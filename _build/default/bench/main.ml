@@ -1,0 +1,123 @@
+(** The paper-reproduction harness: regenerates every table and figure of
+    the evaluation section and prints them as one report.
+
+    {v
+    dune exec bench/main.exe             full report (bench scale)
+    dune exec bench/main.exe -- --quick  small problem sizes (CI-fast)
+    dune exec bench/main.exe -- --bechamel
+                                         Bechamel micro-benchmarks: one
+                                         Test.make per exhibit, measuring
+                                         the wall cost of regenerating it
+                                         at reduced scale
+    v} *)
+
+open Commopt
+
+let section title body =
+  Printf.printf "\n%s\n%s\n\n%s\n" title (String.make (String.length title) '=') body
+
+let print_report ~scale () =
+  Printf.printf
+    "Reproduction of: Choi & Snyder, \"Quantifying the Effects of \
+     Communication Optimizations\" (ICPP 1997)\n";
+  Printf.printf
+    "All numbers from the deterministic machine simulator; see DESIGN.md \
+     and EXPERIMENTS.md.\n";
+  (match scale with
+  | `Test -> Printf.printf "Scale: QUICK (reduced problem sizes, 2x2 mesh)\n"
+  | `Bench -> Printf.printf "Scale: paper-like problem sizes on an 8x8 (64-node) simulated T3D\n");
+  section "Figure 3: machine parameters" (Report.Figures.machine_table ());
+  section "Figure 5: IRONMAN bindings" (Report.Figures.bindings_table ());
+  section "Figure 7: benchmark programs" (Report.Figures.benchmarks_table ());
+  let sizes =
+    match scale with
+    | `Test -> [ 8; 64; 512 ]
+    | `Bench -> Report.Ping.default_sizes
+  in
+  let iters = match scale with `Test -> 10 | `Bench -> 50 in
+  let curves = Report.Ping.figure6 ~sizes ~iters () in
+  section "Figure 6: exposed communication costs" (Report.Figures.fig6 curves);
+  let grid = Report.Experiment.grid ~scale () in
+  section "Figure 8: eliminating communication" (Report.Figures.fig8 grid);
+  section "Figure 10(a): performance using PVM"
+    (Report.Figures.fig10 ~part:`A grid);
+  section "Figure 10(b): performance using SHMEM"
+    (Report.Figures.fig10 ~part:`B grid);
+  section "Figure 11: combining heuristics, counts" (Report.Figures.fig11 grid);
+  section "Figure 12: combining heuristics, times" (Report.Figures.fig12 grid);
+  List.iteri
+    (fun i r ->
+      section
+        (Printf.sprintf "Table %d: %s" (i + 1)
+           r.Report.Experiment.bench.Programs.Bench_def.name)
+        (Report.Figures.appendix_table r))
+    grid;
+  let pgrid = Report.Experiment.paragon_grid ~scale () in
+  section "Extension: Paragon whole-program results"
+    (Report.Figures.paragon_appendix pgrid)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per paper exhibit           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let quick_grid () = Report.Experiment.grid ~scale:`Test () in
+  let quick_fig6 () =
+    Report.Ping.figure6 ~sizes:[ 8; 512 ] ~iters:5 ()
+  in
+  let grid = quick_grid () in
+  let curves = quick_fig6 () in
+  let exhibit name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"paper-exhibits" ~fmt:"%s %s"
+    [ exhibit "figure-3-machines" (fun () -> Report.Figures.machine_table ());
+      exhibit "figure-5-bindings" (fun () -> Report.Figures.bindings_table ());
+      exhibit "figure-7-benchmarks" (fun () -> Report.Figures.benchmarks_table ());
+      exhibit "figure-6-overhead" (fun () -> quick_fig6 ());
+      exhibit "figure-6-render" (fun () -> Report.Figures.fig6 curves);
+      exhibit "figure-8-counts" (fun () -> quick_grid () |> Report.Figures.fig8);
+      exhibit "figure-10a-pvm" (fun () -> Report.Figures.fig10 ~part:`A grid);
+      exhibit "figure-10b-shmem" (fun () -> Report.Figures.fig10 ~part:`B grid);
+      exhibit "figure-11-heuristic-counts" (fun () -> Report.Figures.fig11 grid);
+      exhibit "figure-12-heuristic-times" (fun () -> Report.Figures.fig12 grid);
+      exhibit "table-1-tomcatv" (fun () ->
+          Report.Figures.appendix_table (List.nth grid 0));
+      exhibit "table-2-swm" (fun () ->
+          Report.Figures.appendix_table (List.nth grid 1));
+      exhibit "table-3-simple" (fun () ->
+          Report.Figures.appendix_table (List.nth grid 2));
+      exhibit "table-4-sp" (fun () ->
+          Report.Figures.appendix_table (List.nth grid 3));
+      exhibit "extension-paragon" (fun () ->
+          Report.Experiment.paragon_grid ~scale:`Test ()
+          |> Report.Figures.paragon_appendix) ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-45s %15s\n" "exhibit" "wall per run";
+  Printf.printf "%s\n" (String.make 62 '-');
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols_result) ->
+         match Analyze.OLS.estimates ols_result with
+         | Some [ ns ] ->
+             let s = ns /. 1e9 in
+             Printf.printf "%-45s %12.3f ms\n" name (s *. 1e3)
+         | _ -> Printf.printf "%-45s %15s\n" name "n/a")
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--bechamel" args then run_bechamel ()
+  else
+    let scale = if List.mem "--quick" args then `Test else `Bench in
+    print_report ~scale ()

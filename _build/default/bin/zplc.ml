@@ -1,0 +1,261 @@
+(** [zplc] — the mini-ZPL communication-optimizing compiler driver.
+
+    {v
+    zplc check    prog.zpl                  parse + typecheck
+    zplc dump     prog.zpl -O cc --stage ir dump a compilation stage
+    zplc counts   prog.zpl                  static counts per optimization level
+    zplc run      prog.zpl -O pl --lib shmem -p 4x4 --verify
+    zplc bench    --name tomcatv            one benchmark, all paper rows
+    zplc list                               bundled benchmark programs
+    v} *)
+
+open Cmdliner
+open Commopt
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** A source is either a file path or the name of a bundled benchmark. *)
+let load_source path =
+  if Sys.file_exists path then read_file path
+  else
+    match Programs.Suite.find path with
+    | Some b -> b.Programs.Bench_def.source
+    | None -> Fmt.failwith "no such file or bundled benchmark: %s" path
+
+let src_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROG" ~doc:"mini-ZPL source file or bundled benchmark name")
+
+let config_of_string = function
+  | "baseline" | "none" -> Ok Opt.Config.baseline
+  | "rr" -> Ok Opt.Config.rr_only
+  | "cc" -> Ok Opt.Config.cc_cum
+  | "pl" -> Ok Opt.Config.pl_cum
+  | "pl-maxlat" | "maxlat" -> Ok Opt.Config.pl_max_latency
+  | s -> Error (`Msg (Printf.sprintf "unknown optimization level %S" s))
+
+let config_conv =
+  Arg.conv
+    ( config_of_string,
+      fun ppf c -> Fmt.string ppf (Opt.Config.name c) )
+
+let config_arg =
+  Arg.(
+    value
+    & opt config_conv Opt.Config.pl_cum
+    & info [ "O"; "opt" ] ~docv:"LEVEL"
+        ~doc:"optimization level: baseline | rr | cc | pl | pl-maxlat")
+
+let lib_of_string = function
+  | "pvm" -> Ok (Machine.T3d.machine, Machine.T3d.pvm)
+  | "shmem" -> Ok (Machine.T3d.machine, Machine.T3d.shmem)
+  | "csend" | "nx" -> Ok (Machine.Paragon.machine, Machine.Paragon.nx_sync)
+  | "isend" -> Ok (Machine.Paragon.machine, Machine.Paragon.nx_async)
+  | "hsend" -> Ok (Machine.Paragon.machine, Machine.Paragon.nx_callback)
+  | s -> Error (`Msg (Printf.sprintf "unknown library %S" s))
+
+let lib_conv =
+  Arg.conv
+    ( lib_of_string,
+      fun ppf (_, l) ->
+        Fmt.string ppf l.Machine.Library.costs.Machine.Params.lib_name )
+
+let lib_arg =
+  Arg.(
+    value
+    & opt lib_conv (Machine.T3d.machine, Machine.T3d.pvm)
+    & info [ "lib" ] ~docv:"LIB"
+        ~doc:"communication library: pvm | shmem | csend | isend | hsend")
+
+let mesh_conv =
+  let parse s =
+    match String.split_on_char 'x' (String.lowercase_ascii s) with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some pr, Some pc when pr > 0 && pc > 0 -> Ok (pr, pc)
+        | _ -> Error (`Msg "mesh must be RxC, e.g. 4x4"))
+    | _ -> Error (`Msg "mesh must be RxC, e.g. 4x4")
+  in
+  Arg.conv (parse, fun ppf (r, c) -> Fmt.pf ppf "%dx%d" r c)
+
+let mesh_arg =
+  Arg.(
+    value
+    & opt mesh_conv (4, 4)
+    & info [ "p"; "mesh" ] ~docv:"RxC" ~doc:"processor mesh, e.g. 8x8")
+
+let define_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i -> (
+        let k = String.sub s 0 i
+        and v = String.sub s (i + 1) (String.length s - i - 1) in
+        match float_of_string_opt v with
+        | Some f -> Ok (k, f)
+        | None -> Error (`Msg "define must be NAME=NUMBER"))
+    | None -> Error (`Msg "define must be NAME=NUMBER")
+  in
+  Arg.conv (parse, fun ppf (k, v) -> Fmt.pf ppf "%s=%g" k v)
+
+let defines_arg =
+  Arg.(
+    value
+    & opt_all define_conv []
+    & info [ "D"; "define" ] ~docv:"NAME=VALUE"
+        ~doc:"override a constant declaration (repeatable)")
+
+let handle f =
+  match Zpl.Loc.guard f with
+  | Ok () -> 0
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | exception Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run src defines =
+    handle (fun () ->
+        let prog = Zpl.Check.compile_string ~defines (load_source src) in
+        Printf.printf "%s: OK — %d arrays, %d scalars, %d statements\n" src
+          (Array.length prog.Zpl.Prog.arrays)
+          (Array.length prog.Zpl.Prog.scalars)
+          (Zpl.Prog.count_stmts prog.Zpl.Prog.body))
+  in
+  Cmd.v (Cmd.info "check" ~doc:"parse and typecheck a program")
+    Term.(const run $ src_arg $ defines_arg)
+
+let dump_cmd =
+  let stage_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ast", `Ast); ("ir", `Ir); ("flat", `Flat) ]) `Ir
+      & info [ "stage" ] ~docv:"STAGE" ~doc:"ast | ir | flat")
+  in
+  let run src defines config stage =
+    handle (fun () ->
+        let prog = Zpl.Check.compile_string ~defines (load_source src) in
+        match stage with
+        | `Ast -> print_endline (Zpl.Pretty.program_to_string prog)
+        | `Ir ->
+            let ir = Opt.Passes.compile config prog in
+            print_endline (Ir.Printer.program_to_string ir)
+        | `Flat ->
+            let ir = Opt.Passes.compile config prog in
+            print_endline (Ir.Printer.flat_to_string (Ir.Flat.flatten ir)))
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"dump a compilation stage (IRONMAN calls visible)")
+    Term.(const run $ src_arg $ defines_arg $ config_arg $ stage_arg)
+
+let counts_cmd =
+  let run src defines =
+    handle (fun () ->
+        let prog = Zpl.Check.compile_string ~defines (load_source src) in
+        let rows =
+          List.map
+            (fun config ->
+              let ir = Opt.Passes.compile config prog in
+              [ Opt.Config.name config;
+                string_of_int (Ir.Count.static_count ir);
+                string_of_int (Ir.Count.static_member_count ir) ])
+            Opt.Config.
+              [ baseline; rr_only; cc_cum; pl_cum; pl_max_latency ]
+        in
+        print_endline
+          (Report.Table.render
+             ~header:[ "optimization"; "static transfers"; "member messages" ]
+             rows))
+  in
+  Cmd.v
+    (Cmd.info "counts" ~doc:"static communication counts per optimization level")
+    Term.(const run $ src_arg $ defines_arg)
+
+let run_cmd =
+  let verify_arg =
+    Arg.(value & flag & info [ "verify" ] ~doc:"check against the sequential oracle")
+  in
+  let run src defines config (machine, lib) (pr, pc) verify_flag =
+    handle (fun () ->
+        let c = compile ~config ~defines (load_source src) in
+        let res =
+          if verify_flag then verify ~machine ~lib ~mesh:(pr, pc) c
+          else simulate ~machine ~lib ~mesh:(pr, pc) c
+        in
+        let st = res.Sim.Engine.stats in
+        Printf.printf "program        : %s\n" src;
+        Printf.printf "optimization   : %s\n" (Opt.Config.name config);
+        Printf.printf "machine        : %s / %s, %dx%d procs\n"
+          machine.Machine.Params.name
+          lib.Machine.Library.costs.Machine.Params.lib_name pr pc;
+        Printf.printf "static count   : %d\n" (static_count c);
+        Printf.printf "dynamic count  : %d (per-processor max)\n"
+          (Sim.Stats.dynamic_count st);
+        Printf.printf "messages       : %d (%d bytes)\n"
+          (Sim.Stats.total_messages st) (Sim.Stats.total_bytes st);
+        Printf.printf "simulated time : %.6f s\n" res.Sim.Engine.time;
+        if verify_flag then Printf.printf "oracle check   : PASS\n")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"simulate a program on a machine model")
+    Term.(
+      const run $ src_arg $ defines_arg $ config_arg $ lib_arg $ mesh_arg
+      $ verify_arg)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "name" ] ~docv:"BENCH" ~doc:"benchmark name (see 'zplc list')")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"reduced problem size")
+  in
+  let run name quick =
+    handle (fun () ->
+        match Programs.Suite.find name with
+        | None -> Fmt.failwith "unknown benchmark %S" name
+        | Some b ->
+            let scale = if quick then `Test else `Bench in
+            let r = Report.Experiment.run_bench ~scale b in
+            print_endline (Report.Figures.appendix_table r))
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"run one benchmark through all paper experiment rows")
+    Term.(const run $ name_arg $ quick_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Programs.Bench_def.t) ->
+        Printf.printf "%-8s %s\n" b.Programs.Bench_def.name
+          b.Programs.Bench_def.description)
+      Programs.Suite.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"list bundled benchmark programs")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "zplc" ~version:"1.0.0"
+       ~doc:"mini-ZPL compiler with machine-independent communication optimization")
+    [ check_cmd; dump_cmd; counts_cmd; run_cmd; bench_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Commopt Ir List Machine Opt Printf Programs Sim Zpl

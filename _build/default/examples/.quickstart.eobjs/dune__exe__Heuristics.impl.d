@@ -1,0 +1,1 @@
+examples/heuristics.ml: Array Commopt Ir List Machine Opt Printf Programs Sim Zpl

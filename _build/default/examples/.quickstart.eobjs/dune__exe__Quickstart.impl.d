@@ -1,0 +1,1 @@
+examples/quickstart.ml: Commopt Ir Opt Printf Sim

@@ -1,0 +1,1 @@
+examples/tomcatv_study.ml: Commopt List Machine Printf Programs Report Zpl

@@ -1,0 +1,1 @@
+examples/tomcatv_study.mli:

@@ -1,0 +1,59 @@
+(** TOMCATV walk-through: reproduces the paper's flagship benchmark at a
+    reduced problem size and narrates what each optimization does to it —
+    including the two effects the paper singles TOMCATV out for:
+
+    - pipelining barely helps ("a large amount of time is spent in two
+      small loops that implement a tri-diagonal solver");
+    - the max-latency combining heuristic refuses every merge, so its
+      counts equal plain redundant-removal's.
+
+    Run with: [dune exec examples/tomcatv_study.exe] *)
+
+open Commopt
+
+let () =
+  let b = Programs.Suite.tomcatv in
+  Printf.printf "TOMCATV (%s), reduced to n=48, 4x4 processors\n\n"
+    b.Programs.Bench_def.description;
+  let prog =
+    Zpl.Check.compile_string
+      ~defines:[ ("n", 48.); ("iters", 10.) ]
+      b.Programs.Bench_def.source
+  in
+  let rows =
+    List.map
+      (fun (label, config, lib) ->
+        Report.Experiment.run_one ~label ~machine:Machine.T3d.machine ~lib
+          ~config ~pr:4 ~pc:4 prog)
+      Report.Experiment.paper_rows
+  in
+  let baseline = List.hd rows in
+  print_endline
+    (Report.Table.render
+       ~header:[ "experiment"; "static"; "dynamic"; "time (ms)"; "scaled" ]
+       (List.map
+          (fun (r : Report.Experiment.row) ->
+            [ r.label;
+              string_of_int r.static_count;
+              string_of_int r.dynamic_count;
+              Printf.sprintf "%.2f" (r.time *. 1e3);
+              Printf.sprintf "%.0f%%" (100. *. r.time /. baseline.time) ])
+          rows));
+  let get l = List.find (fun (r : Report.Experiment.row) -> r.label = l) rows in
+  let cc = get "cc" and pl = get "pl" and rr = get "rr" in
+  let maxlat = get "pl with max latency" in
+  Printf.printf
+    "\nObservations (compare the paper's Section 3.3):\n\
+     - rr removes %d of %d static transfers but only %d dynamic ones:\n\
+    \  most redundancy sits in setup code outside the main loop.\n\
+     - cc combines X/Y transfers sharing a direction: dynamic count %d -> %d.\n\
+     - pl changes the time by only %.1f%%: the tridiagonal solver's\n\
+    \  cross-loop dependences leave nothing to overlap.\n\
+     - max-latency combining merges nothing here (static %d = rr's %d),\n\
+    \  exactly as in the paper's Figure 11.\n"
+    (baseline.static_count - rr.static_count)
+    baseline.static_count
+    (baseline.dynamic_count - rr.dynamic_count)
+    rr.dynamic_count cc.dynamic_count
+    (100. *. (cc.time -. pl.time) /. cc.time)
+    maxlat.static_count rr.static_count

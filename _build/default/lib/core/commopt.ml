@@ -1,0 +1,85 @@
+(** High-level API of the communication-optimization study.
+
+    The pipeline mirrors the paper's instrumented ZPL compiler:
+
+    {v
+    mini-ZPL source
+      --parse/check-->   Zpl.Prog.t        (typed whole-array program)
+      --lower-------->   Ir.Block.code     (baseline vectorized comm)
+      --optimize----->   Ir.Block.code     (rr / cc / pl applied)
+      --emit--------->   Ir.Instr.program  (IRONMAN DR/SR/DN/SV calls)
+      --flatten------>   Ir.Flat.t         (jump-threaded SPMD code)
+      --simulate----->   Sim.Engine.result (counts + simulated time)
+    v}
+
+    Sub-libraries are re-exported so [commopt] is the only dependency a
+    user needs. *)
+
+module Zpl = Zpl
+module Ir = Ir
+module Opt = Opt
+module Machine = Machine
+module Runtime = Runtime
+module Sim = Sim
+module Programs = Programs
+module Report = Report
+
+type compiled = {
+  prog : Zpl.Prog.t;
+  config : Opt.Config.t;
+  ir : Ir.Instr.program;
+  flat : Ir.Flat.t;
+}
+
+(** Compile mini-ZPL source text under an optimization configuration.
+    [defines] overrides [constant] declarations (e.g. problem size). *)
+let compile ?(config = Opt.Config.pl_cum) ?defines (src : string) : compiled =
+  let prog = Zpl.Check.compile_string ?defines src in
+  let ir = Opt.Passes.compile config prog in
+  { prog; config; ir; flat = Ir.Flat.flatten ir }
+
+(** Re-optimize an already-checked program under another configuration. *)
+let recompile ~(config : Opt.Config.t) (c : compiled) : compiled =
+  let ir = Opt.Passes.compile config c.prog in
+  { c with config; ir; flat = Ir.Flat.flatten ir }
+
+let static_count (c : compiled) = Ir.Count.static_count c.ir
+
+(** Simulate on [mesh] (default 4x4) of the given machine/library (default
+    T3D + PVM). *)
+let simulate ?(machine = Machine.T3d.machine) ?(lib = Machine.T3d.pvm)
+    ?(mesh = (4, 4)) ?limit (c : compiled) : Sim.Engine.result =
+  let pr, pc = mesh in
+  Sim.Engine.run (Sim.Engine.make ?limit ~machine ~lib ~pr ~pc c.flat)
+
+(** Run the sequential oracle on the same program. *)
+let run_oracle ?limit (c : compiled) : Runtime.Seqexec.t =
+  Runtime.Seqexec.run ?limit c.prog
+
+(** Compare a simulation against the oracle: the worst relative difference
+    over every cell of every array. Exact 0.0 unless reduction rounding
+    differs. *)
+let oracle_distance (c : compiled) (res : Sim.Engine.result)
+    (oracle : Runtime.Seqexec.t) : float =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun aid (info : Zpl.Prog.array_info) ->
+      let par = Sim.Engine.gather res.Sim.Engine.engine aid in
+      let sq = oracle.Runtime.Seqexec.stores.(aid) in
+      Zpl.Region.iter info.a_region (fun pt ->
+          let a = Runtime.Store.get sq pt and b = Runtime.Store.get par pt in
+          let d = Float.abs (a -. b) /. (1.0 +. Float.abs a) in
+          if d > !worst then worst := d))
+    c.prog.Zpl.Prog.arrays;
+  !worst
+
+(** [verify c] simulates and checks the result against the oracle;
+    returns the simulation result or fails with the worst deviation. *)
+let verify ?machine ?lib ?mesh ?(tolerance = 1e-9) (c : compiled) :
+    Sim.Engine.result =
+  let res = simulate ?machine ?lib ?mesh c in
+  let oracle = run_oracle c in
+  let d = oracle_distance c res oracle in
+  if d > tolerance then
+    Fmt.failwith "simulation deviates from the sequential oracle by %g" d;
+  res

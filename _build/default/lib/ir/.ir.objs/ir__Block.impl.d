@@ -1,0 +1,1 @@
+lib/ir/block.pp.ml: Array List Zpl

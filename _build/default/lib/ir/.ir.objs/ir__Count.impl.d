@@ -1,0 +1,1 @@
+lib/ir/count.pp.ml: Array Hashtbl Instr List Transfer

@@ -1,0 +1,1 @@
+lib/ir/count.pp.mli: Instr Transfer

@@ -1,0 +1,1 @@
+lib/ir/flat.pp.ml: Array Instr List Transfer Zpl

@@ -1,0 +1,1 @@
+lib/ir/instr.pp.ml: Array Block List Ppx_deriving_runtime Transfer Zpl

@@ -1,0 +1,1 @@
+lib/ir/printer.pp.ml: Array Flat Instr List Printf String Transfer Zpl

@@ -1,0 +1,1 @@
+lib/ir/transfer.pp.ml: List Ppx_deriving_runtime Printf String Zpl

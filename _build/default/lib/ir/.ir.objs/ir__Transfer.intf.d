@@ -1,0 +1,1 @@
+lib/ir/transfer.pp.mli: Format Zpl

@@ -1,0 +1,120 @@
+(** The optimizer's working representation.
+
+    A program is structured code whose leaves are {e source-level basic
+    blocks}: straight-line sequences of whole-array / scalar / reduction
+    work items, plus a set of transfers, each with two placement cursors:
+
+    - [send_pos]: DR and SR are emitted immediately before work item
+      [send_pos] (or at the end of the block when it equals the length);
+    - [recv_pos]: DN and SV are emitted immediately before work item
+      [recv_pos].
+
+    Optimizations only ever move cursors, merge member-array lists, or mark
+    transfers dead — the work items are never reordered, which is exactly
+    the paper's machine-independent optimizer design. *)
+
+type work =
+  | WKernel of Zpl.Prog.assign_a
+  | WScalar of { lhs : int; rhs : Zpl.Prog.sexpr }
+  | WReduce of Zpl.Prog.reduce_s
+
+type xfer = {
+  uid : int;  (** unique across the program; stable under optimization *)
+  off : int * int;
+  mutable arrays : int list;
+  mutable ready_pos : int;
+      (** DR is emitted before work item [ready_pos]; always <= send_pos.
+          The destination fringe may be overwritten from here on. *)
+  mutable send_pos : int;
+  mutable recv_pos : int;
+  mutable live : bool;
+}
+
+type block = { work : work array; mutable xfers : xfer list }
+
+type code = item list
+
+and item =
+  | Straight of block
+  | CRepeat of code * Zpl.Prog.sexpr
+  | CFor of { var : int; lo : Zpl.Prog.sexpr; hi : Zpl.Prog.sexpr; step : int; body : code }
+  | CIf of Zpl.Prog.sexpr * code * code
+
+(** Array ids written by a work item. *)
+let writes = function
+  | WKernel { lhs; _ } -> [ lhs ]
+  | WScalar _ | WReduce _ -> []
+
+(** (array, mesh-offset) pairs a work item needs communicated. *)
+let needs = function
+  | WKernel { rhs; _ } -> Zpl.Prog.comm_needs rhs
+  | WReduce { r_rhs; _ } -> Zpl.Prog.comm_needs r_rhs
+  | WScalar _ -> []
+
+(** Does a work item read the fringe of [aid] at mesh offset [off]? *)
+let reads_fringe (w : work) (aid : int) (off : int * int) =
+  List.mem (aid, off) (needs w)
+
+(** Array ids read by a work item (shifted or not). *)
+let reads = function
+  | WKernel { rhs; _ } -> Zpl.Prog.arrays_read rhs
+  | WReduce { r_rhs; _ } -> Zpl.Prog.arrays_read r_rhs
+  | WScalar _ -> []
+
+(** Statically estimated compute cost of a work item, in flop-cells. Used
+    only by the max-latency-hiding combining heuristic to measure the
+    "distance" between a send and its receive. Loop-variant regions fall
+    back to a nominal row of cells. *)
+let est_cost = function
+  | WScalar _ -> 1
+  | WKernel { region; flops; _ } | WReduce { r_region = region; r_flops = flops; _ }
+    -> (
+      match Zpl.Prog.static_region region with
+      | Some r -> flops * Zpl.Region.size r
+      | None -> flops * 256)
+
+(** Apply [f] to every basic block, recursing through control structure. *)
+let rec map_blocks (f : block -> unit) (code : code) : unit =
+  List.iter
+    (function
+      | Straight b -> f b
+      | CRepeat (body, _) -> map_blocks f body
+      | CFor { body; _ } -> map_blocks f body
+      | CIf (_, a, b) ->
+          map_blocks f a;
+          map_blocks f b)
+    code
+
+let live_xfers (b : block) = List.filter (fun x -> x.live) b.xfers
+
+(** Transfers live anywhere in [code], in first-appearance order. *)
+let all_live (code : code) : xfer list =
+  let acc = ref [] in
+  map_blocks (fun b -> acc := List.rev_append (live_xfers b) !acc) code;
+  List.rev !acc
+
+(** Internal invariants; used by tests and checked after each pass. *)
+let check_block_invariants (b : block) =
+  let n = Array.length b.work in
+  List.iter
+    (fun x ->
+      if x.live then begin
+        if x.arrays = [] then failwith "xfer with no member arrays";
+        if x.off = (0, 0) then failwith "xfer with zero offset";
+        if x.send_pos < 0 || x.send_pos > n then failwith "send_pos out of range";
+        if x.ready_pos < 0 || x.ready_pos > x.send_pos then
+          failwith "ready_pos after send_pos";
+        if x.recv_pos < x.send_pos || x.recv_pos > n then
+          failwith "recv_pos before send_pos";
+        (* no member array may be written between send and use *)
+        for i = x.send_pos to x.recv_pos - 1 do
+          List.iter
+            (fun w ->
+              if List.mem w x.arrays then
+                failwith "member array written between send and receive")
+            (writes b.work.(i))
+        done
+      end)
+    b.xfers
+
+let check_invariants (code : code) = map_blocks check_block_invariants code

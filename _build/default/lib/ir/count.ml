@@ -1,0 +1,32 @@
+(** Static communication counts — "the number of communications in the text
+    of the SPMD program" (paper Section 3.3.1). One communication = one
+    transfer site, i.e. one DR/SR/DN/SV quadruple; combined transfers count
+    once. *)
+
+let static_transfers (p : Instr.program) : Transfer.t list =
+  let seen = Hashtbl.create 32 in
+  let rec go code =
+    List.iter
+      (function
+        | Instr.Comm (Instr.SR, x) -> Hashtbl.replace seen x ()
+        | Instr.Comm (_, _) | Instr.Kernel _ | Instr.ScalarK _ | Instr.ReduceK _
+          -> ()
+        | Instr.Repeat (body, _) -> go body
+        | Instr.For { body; _ } -> go body
+        | Instr.If (_, a, b) ->
+            go a;
+            go b)
+      code
+  in
+  go p.Instr.code;
+  Hashtbl.fold (fun x () acc -> p.Instr.transfers.(x) :: acc) seen []
+  |> List.sort (fun (a : Transfer.t) b -> compare a.id b.id)
+
+(** Static communication count of the program text. *)
+let static_count (p : Instr.program) = List.length (static_transfers p)
+
+(** Number of member messages if no combining had happened; useful to
+    report how much combining compressed. *)
+let static_member_count (p : Instr.program) =
+  List.fold_left (fun n (x : Transfer.t) -> n + List.length x.arrays) 0
+    (static_transfers p)

@@ -1,0 +1,75 @@
+(** Flattened instruction vector with explicit jumps, executed by the
+    discrete-event simulator. Control flow depends only on replicated
+    scalars, so every processor follows the same path. *)
+
+type finstr =
+  | FComm of Instr.call * int
+  | FKernel of Zpl.Prog.assign_a
+  | FScalar of { lhs : int; rhs : Zpl.Prog.sexpr }
+  | FReduce of Zpl.Prog.reduce_s
+  | FJump of int
+  | FJumpIfNot of Zpl.Prog.sexpr * int  (** jump when the condition is false *)
+  | FHalt
+
+type t = { prog : Zpl.Prog.t; transfers : Transfer.t array; ops : finstr array }
+
+let flatten (p : Instr.program) : t =
+  let buf = ref [] in
+  let len = ref 0 in
+  let push i =
+    buf := i :: !buf;
+    incr len
+  in
+  (* Jump targets are patched after the fact via placeholders. *)
+  let rec go (code : Instr.instr list) =
+    List.iter
+      (function
+        | Instr.Comm (c, x) -> push (FComm (c, x))
+        | Instr.Kernel a -> push (FKernel a)
+        | Instr.ScalarK { lhs; rhs } -> push (FScalar { lhs; rhs })
+        | Instr.ReduceK r -> push (FReduce r)
+        | Instr.Repeat (body, cond) ->
+            let start = !len in
+            go body;
+            (* repeat..until: loop back while the condition is false *)
+            push (FJumpIfNot (cond, start))
+        | Instr.For { var; lo; hi; step; body } ->
+            push (FScalar { lhs = var; rhs = lo });
+            let head = !len in
+            let cond =
+              if step >= 0 then Zpl.Prog.SBin (Zpl.Ast.Le, Zpl.Prog.SVar var, hi)
+              else Zpl.Prog.SBin (Zpl.Ast.Ge, Zpl.Prog.SVar var, hi)
+            in
+            let patch_pos = !len in
+            push (FJumpIfNot (cond, -1) (* patched below *));
+            go body;
+            push
+              (FScalar
+                 { lhs = var;
+                   rhs =
+                     Zpl.Prog.SBin
+                       (Zpl.Ast.Add, Zpl.Prog.SVar var, Zpl.Prog.SInt step) });
+            push (FJump head);
+            patch patch_pos (FJumpIfNot (cond, !len))
+        | Instr.If (cond, then_, else_) ->
+            let p1 = !len in
+            push (FJumpIfNot (cond, -1));
+            go then_;
+            if else_ = [] then patch p1 (FJumpIfNot (cond, !len))
+            else begin
+              let p2 = !len in
+              push (FJump (-1));
+              patch p1 (FJumpIfNot (cond, !len));
+              go else_;
+              patch p2 (FJump !len)
+            end)
+      code
+  and patch pos instr =
+    (* [buf] is reversed: element at logical index i lives at !len-1-i *)
+    buf := List.mapi (fun k x -> if k = !len - 1 - pos then instr else x) !buf
+  in
+  go p.Instr.code;
+  push FHalt;
+  { prog = p.Instr.prog;
+    transfers = p.Instr.transfers;
+    ops = Array.of_list (List.rev !buf) }

@@ -1,0 +1,79 @@
+(** Textual dump of the communication IR, in the pseudo-code style of the
+    paper's Figure 1 — used by `zplc --dump-ir` and in test failure output. *)
+
+let xfer_str (p : Instr.program) id =
+  let x = p.Instr.transfers.(id) in
+  Printf.sprintf "%s, %s"
+    (String.concat ", "
+       (List.map
+          (fun a -> (Zpl.Prog.array_info p.Instr.prog a).a_name)
+          x.Transfer.arrays))
+    (Transfer.direction_name x.Transfer.off)
+
+let rec instr_lines (p : Instr.program) ~indent (i : Instr.instr) : string list =
+  let pad = String.make indent ' ' in
+  let prog = p.Instr.prog in
+  match i with
+  | Instr.Comm (c, x) ->
+      [ Printf.sprintf "%s%s(%s);" pad (Instr.call_name c) (xfer_str p x) ]
+  | Instr.Kernel a -> Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignA a)
+  | Instr.ScalarK { lhs; rhs } ->
+      Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignS { lhs; rhs })
+  | Instr.ReduceK r -> Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.ReduceS r)
+  | Instr.Repeat (body, cond) ->
+      (Printf.sprintf "%srepeat" pad
+      :: List.concat_map (instr_lines p ~indent:(indent + 2)) body)
+      @ [ Printf.sprintf "%suntil %s;" pad (Zpl.Pretty.sexpr_to_string prog cond) ]
+  | Instr.For { var; lo; hi; step; body } ->
+      (Printf.sprintf "%sfor %s := %s %s %s do" pad
+         (Zpl.Prog.scalar_info prog var).s_name
+         (Zpl.Pretty.sexpr_to_string prog lo)
+         (if step >= 0 then "to" else "downto")
+         (Zpl.Pretty.sexpr_to_string prog hi)
+      :: List.concat_map (instr_lines p ~indent:(indent + 2)) body)
+      @ [ Printf.sprintf "%send;" pad ]
+  | Instr.If (cond, a, b) ->
+      (Printf.sprintf "%sif %s then" pad (Zpl.Pretty.sexpr_to_string prog cond)
+      :: List.concat_map (instr_lines p ~indent:(indent + 2)) a)
+      @ (if b = [] then []
+         else
+           Printf.sprintf "%selse" pad
+           :: List.concat_map (instr_lines p ~indent:(indent + 2)) b)
+      @ [ Printf.sprintf "%send;" pad ]
+
+let program_to_string (p : Instr.program) =
+  String.concat "\n"
+    (List.concat_map (instr_lines p ~indent:0) p.Instr.code)
+
+let flat_to_string (f : Flat.t) =
+  let prog = f.Flat.prog in
+  let line i op =
+    let body =
+      match op with
+      | Flat.FComm (c, x) ->
+          let xf = f.Flat.transfers.(x) in
+          Printf.sprintf "%s(%s, %s)" (Instr.call_name c)
+            (String.concat ","
+               (List.map
+                  (fun a -> (Zpl.Prog.array_info prog a).a_name)
+                  xf.Transfer.arrays))
+            (Transfer.direction_name xf.Transfer.off)
+      | Flat.FKernel a ->
+          String.concat " "
+            (List.map String.trim
+               (Zpl.Pretty.stmt_lines prog ~indent:0 (Zpl.Prog.AssignA a)))
+      | Flat.FScalar { lhs; rhs } ->
+          Printf.sprintf "%s := %s" (Zpl.Prog.scalar_info prog lhs).s_name
+            (Zpl.Pretty.sexpr_to_string prog rhs)
+      | Flat.FReduce r ->
+          String.concat " "
+            (List.map String.trim
+               (Zpl.Pretty.stmt_lines prog ~indent:0 (Zpl.Prog.ReduceS r)))
+      | Flat.FJump t -> Printf.sprintf "jump %d" t
+      | Flat.FJumpIfNot (c, t) ->
+          Printf.sprintf "unless %s jump %d" (Zpl.Pretty.sexpr_to_string prog c) t
+      | Flat.FHalt -> "halt"
+    in
+    Printf.sprintf "%4d: %s" i body
+  in
+  f.Flat.ops |> Array.to_list |> List.mapi line |> String.concat "\n"

@@ -1,0 +1,33 @@
+(** A transfer is the unit of communication — and the unit in which the
+    paper counts communications: one DR/SR/DN/SV quadruple that fills the
+    ghost (fringe) cells of one or more arrays for one mesh offset.
+
+    A combined transfer carries several arrays; all members share the same
+    offset, so all messages involved have the same source and destination
+    processors (Section 2 of the paper). *)
+
+type t = {
+  id : int;  (** dense index into the program's transfer table *)
+  arrays : int list;  (** member array ids; singleton unless combined *)
+  off : int * int;  (** mesh offset (d0, d1), never (0, 0) *)
+}
+[@@deriving show, eq]
+
+let direction_name (d0, d1) =
+  match (d0, d1) with
+  | 0, 0 -> "none"
+  | -1, 0 -> "north"
+  | 1, 0 -> "south"
+  | 0, 1 -> "east"
+  | 0, -1 -> "west"
+  | -1, 1 -> "ne"
+  | -1, -1 -> "nw"
+  | 1, 1 -> "se"
+  | 1, -1 -> "sw"
+  | _ -> Printf.sprintf "(%d,%d)" d0 d1
+
+let describe (p : Zpl.Prog.t) (x : t) =
+  Printf.sprintf "x%d:%s@%s" x.id
+    (String.concat "+"
+       (List.map (fun a -> (Zpl.Prog.array_info p a).a_name) x.arrays))
+    (direction_name x.off)

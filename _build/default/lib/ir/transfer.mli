@@ -1,0 +1,22 @@
+(** A transfer is the unit of communication — and the unit in which the
+    paper counts communications: one DR/SR/DN/SV quadruple that fills the
+    ghost (fringe) cells of one or more arrays for one mesh offset. A
+    combined transfer carries several arrays; all members share the same
+    offset, so all messages involved have the same source and destination
+    processors. *)
+
+type t = {
+  id : int;  (** dense index into the program's transfer table *)
+  arrays : int list;  (** member array ids; singleton unless combined *)
+  off : int * int;  (** mesh offset (d0, d1), never (0, 0) *)
+}
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+(** Compass name for unit offsets ("east", "nw", ...), or "(d0,d1)". *)
+val direction_name : int * int -> string
+
+(** Human-readable one-liner, e.g. ["x3:X+Y@east"]. *)
+val describe : Zpl.Prog.t -> t -> string

@@ -1,0 +1,1 @@
+lib/machine/library.pp.ml: Ir Params Ppx_deriving_runtime

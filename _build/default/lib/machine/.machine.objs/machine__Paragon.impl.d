@@ -1,0 +1,1 @@
+lib/machine/paragon.pp.ml: Library Params

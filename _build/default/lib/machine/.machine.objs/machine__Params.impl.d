@@ -1,0 +1,1 @@
+lib/machine/params.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/machine/t3d.pp.ml: Library Params

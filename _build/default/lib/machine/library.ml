@@ -1,0 +1,105 @@
+(** The five communication primitive sets of the paper and their IRONMAN
+    bindings (Figure 5):
+
+    {v
+    IRONMAN call | NX csend/crecv | NX async     | NX callback | PVM      | SHMEM
+    DR           | no-op          | irecv        | hprobe      | no-op    | synch
+    SR           | csend          | isend        | hsend       | pvm_send | shmem_put
+    DN           | crecv          | msgwait      | hrecv       | pvm_recv | synch
+    SV           | no-op          | msgwait      | msgwait     | no-op    | no-op
+    v}
+
+    Each binding is given an executable semantics the simulator interprets:
+
+    - [No_op] — compiled away at link time.
+    - [Post_recv] — pre-register the receive buffer (async NX / callback):
+      arriving data can land directly, so DN pays no per-byte copy.
+    - [Notify_ready] — SHMEM's prototype synchronization: tell each
+      upstream partner this processor's fringe buffer is ready.
+    - [Send_buffered] — copy into a system buffer and launch; the sender
+      continues as soon as its CPU work is done (csend, isend, pvm_send).
+    - [Send_rendezvous] — one-sided put: wait for each downstream
+      partner's ready token, then write directly into its fringe. The wait
+      is the "unnecessarily heavy-weight" synchronization the paper blames
+      for SHMEM's losses on serialized codes.
+    - [Wait_data] — block until all partner messages for this transfer
+      instance have arrived, then pay unpack costs (crecv, pvm_recv,
+      msgwait, hrecv, SHMEM's completion synch).
+    - [Wait_send_done] — block until the local send has drained (msgwait
+      on the source side). *)
+
+type call_sem =
+  | No_op
+  | Post_recv
+  | Notify_ready
+  | Send_buffered
+  | Send_rendezvous
+  | Wait_data
+  | Wait_send_done
+[@@deriving show, eq]
+
+type kind = NX_sync | NX_async | NX_callback | PVM | SHMEM
+[@@deriving show, eq, ord]
+
+type t = { kind : kind; costs : Params.lib_costs }
+
+let kind_name = function
+  | NX_sync -> "csend/crecv"
+  | NX_async -> "isend/irecv"
+  | NX_callback -> "hsend/hrecv"
+  | PVM -> "PVM"
+  | SHMEM -> "SHMEM"
+
+(** The primitive name each IRONMAN call maps to (the Figure 5 table). *)
+let primitive_name kind (call : Ir.Instr.call) =
+  match (kind, call) with
+  | NX_sync, Ir.Instr.DR -> "no-op"
+  | NX_sync, Ir.Instr.SR -> "csend"
+  | NX_sync, Ir.Instr.DN -> "crecv"
+  | NX_sync, Ir.Instr.SV -> "no-op"
+  | NX_async, Ir.Instr.DR -> "irecv"
+  | NX_async, Ir.Instr.SR -> "isend"
+  | NX_async, Ir.Instr.DN -> "msgwait"
+  | NX_async, Ir.Instr.SV -> "msgwait"
+  | NX_callback, Ir.Instr.DR -> "hprobe"
+  | NX_callback, Ir.Instr.SR -> "hsend"
+  | NX_callback, Ir.Instr.DN -> "hrecv"
+  | NX_callback, Ir.Instr.SV -> "msgwait"
+  | PVM, Ir.Instr.DR -> "no-op"
+  | PVM, Ir.Instr.SR -> "pvm_send"
+  | PVM, Ir.Instr.DN -> "pvm_recv"
+  | PVM, Ir.Instr.SV -> "no-op"
+  | SHMEM, Ir.Instr.DR -> "synch"
+  | SHMEM, Ir.Instr.SR -> "shmem_put"
+  | SHMEM, Ir.Instr.DN -> "synch"
+  | SHMEM, Ir.Instr.SV -> "no-op"
+
+(** Executable semantics of each binding. *)
+let semantics kind (call : Ir.Instr.call) : call_sem =
+  match (kind, call) with
+  | NX_sync, Ir.Instr.DR -> No_op
+  | NX_sync, Ir.Instr.SR -> Send_buffered
+  | NX_sync, Ir.Instr.DN -> Wait_data
+  | NX_sync, Ir.Instr.SV -> No_op
+  | NX_async, Ir.Instr.DR -> Post_recv
+  | NX_async, Ir.Instr.SR -> Send_buffered
+  | NX_async, Ir.Instr.DN -> Wait_data
+  | NX_async, Ir.Instr.SV -> Wait_send_done
+  | NX_callback, Ir.Instr.DR -> Post_recv
+  | NX_callback, Ir.Instr.SR -> Send_buffered
+  | NX_callback, Ir.Instr.DN -> Wait_data
+  | NX_callback, Ir.Instr.SV -> Wait_send_done
+  | PVM, Ir.Instr.DR -> No_op
+  | PVM, Ir.Instr.SR -> Send_buffered
+  | PVM, Ir.Instr.DN -> Wait_data
+  | PVM, Ir.Instr.SV -> No_op
+  | SHMEM, Ir.Instr.DR -> Notify_ready
+  | SHMEM, Ir.Instr.SR -> Send_rendezvous
+  | SHMEM, Ir.Instr.DN -> Wait_data
+  | SHMEM, Ir.Instr.SV -> No_op
+
+(** One-sided puts deposit straight into the destination fringe: no
+    receive-side unpack. *)
+let deposits_directly = function
+  | SHMEM -> true
+  | NX_sync | NX_async | NX_callback | PVM -> false

@@ -1,0 +1,62 @@
+(** The simulated Intel Paragon: 50 MHz i860 XP nodes, NX message passing.
+    Parameter magnitudes follow published NX measurements of the era
+    (~50-100 us one-way latency for csend/crecv, tens-of-MB/s sustained
+    memory copies); the paper's observations they must reproduce are that
+    (a) the exposed-overhead knee sits near 512 doubles (4 KB) and (b) the
+    asynchronous and callback primitives are at least as heavy as
+    csend/crecv. *)
+
+let machine : Params.t =
+  { Params.name = "Intel Paragon";
+    clock_mhz = 50.0;
+    timer_granularity_ns = 100.0;
+    sec_per_flop = 120e-9;  (* ~8 Mflops sustained by compiler-generated C *)
+    kernel_overhead = 5e-6;
+    scalar_op_cost = 0.2e-6;
+    wire_latency = 5e-6;
+    bandwidth = 80e6 }
+
+let nx_sync : Library.t =
+  { Library.kind = Library.NX_sync;
+    costs =
+      { Params.lib_name = "csend/crecv";
+        dr_over = 0.0;
+        sr_over = 50e-6;
+        dn_over = 30e-6;
+        sv_over = 0.0;
+        send_byte = 10e-9;
+        recv_byte = 10e-9;
+        msg_latency = 20e-6;
+        token_latency = 0.0 } }
+
+(** Co-processor ("asynchronous") message passing: posting and completion
+    calls are individually cheap-ish but numerous, and the paper found the
+    total no better than csend/crecv. *)
+let nx_async : Library.t =
+  { Library.kind = Library.NX_async;
+    costs =
+      { Params.lib_name = "isend/irecv";
+        dr_over = 30e-6;
+        sr_over = 42e-6;
+        dn_over = 16e-6;
+        sv_over = 12e-6;
+        send_byte = 10e-9;
+        recv_byte = 10e-9;
+        msg_latency = 20e-6;
+        token_latency = 0.0 } }
+
+(** Handler ("callback") message passing: extremely heavy-weight. *)
+let nx_callback : Library.t =
+  { Library.kind = Library.NX_callback;
+    costs =
+      { Params.lib_name = "hsend/hrecv";
+        dr_over = 40e-6;
+        sr_over = 80e-6;
+        dn_over = 60e-6;
+        sv_over = 10e-6;
+        send_byte = 10e-9;
+        recv_byte = 10e-9;
+        msg_latency = 30e-6;
+        token_latency = 0.0 } }
+
+let libraries = [ nx_sync; nx_async; nx_callback ]

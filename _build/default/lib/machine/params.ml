@@ -1,0 +1,37 @@
+(** Machine-level cost parameters for the simulated multiprocessors. All
+    times are in seconds; the simulator works at nanosecond-level floats,
+    matching the timer granularities of the paper's Figure 3 (~100 ns on
+    the Paragon, ~150 ns on the T3D). *)
+
+type t = {
+  name : string;
+  clock_mhz : float;  (** reported, for the Figure 3 table *)
+  timer_granularity_ns : float;  (** reported, for the Figure 3 table *)
+  sec_per_flop : float;  (** sustained per-cell-flop compute cost *)
+  kernel_overhead : float;  (** fixed per whole-array statement (loop setup) *)
+  scalar_op_cost : float;  (** per scalar statement *)
+  wire_latency : float;  (** network latency per message *)
+  bandwidth : float;  (** network bytes/second *)
+}
+[@@deriving show]
+
+(** Cost model of one communication primitive set ("library"). Fixed
+    overheads are charged per message (a diagonal transfer can involve up
+    to three partner messages); byte rates model CPU-side copy/pack work. *)
+type lib_costs = {
+  lib_name : string;
+  dr_over : float;  (** per expected message at DR *)
+  sr_over : float;  (** per message at SR *)
+  dn_over : float;  (** per message at DN *)
+  sv_over : float;  (** per SV call *)
+  send_byte : float;  (** CPU copy/pack cost per byte at the source *)
+  recv_byte : float;  (** CPU copy/unpack cost per byte at the destination *)
+  msg_latency : float;
+      (** software messaging-stack delivery latency per message, added to
+          the machine's hardware wire latency; this is the part of the
+          transfer pipelining can hide *)
+  token_latency : float;
+      (** delivery latency of synchronization tokens (SHMEM's prototype
+          rendezvous); 0 for libraries without rendezvous *)
+}
+[@@deriving show]

@@ -1,0 +1,1 @@
+lib/opt/combine.pp.ml: Array Config Ir List

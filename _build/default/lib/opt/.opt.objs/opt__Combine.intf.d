@@ -1,0 +1,1 @@
+lib/opt/combine.pp.mli: Config Ir

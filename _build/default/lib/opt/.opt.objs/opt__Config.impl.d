@@ -1,0 +1,1 @@
+lib/opt/config.pp.ml: Ppx_deriving_runtime Printf

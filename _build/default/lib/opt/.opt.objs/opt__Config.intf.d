@@ -1,0 +1,1 @@
+lib/opt/config.pp.mli: Format

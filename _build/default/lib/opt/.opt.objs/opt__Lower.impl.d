@@ -1,0 +1,1 @@
+lib/opt/lower.pp.ml: Array Ir List Zpl

@@ -1,0 +1,1 @@
+lib/opt/lower.pp.mli: Ir Zpl

@@ -1,0 +1,1 @@
+lib/opt/passes.pp.ml: Combine Config Ir Lower Pipeline Redundant Zpl

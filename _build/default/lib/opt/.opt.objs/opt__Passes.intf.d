@@ -1,0 +1,1 @@
+lib/opt/passes.pp.mli: Config Ir Zpl

@@ -1,0 +1,1 @@
+lib/opt/pipeline.pp.ml: Array Combine Ir List

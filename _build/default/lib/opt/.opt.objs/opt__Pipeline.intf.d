@@ -1,0 +1,1 @@
+lib/opt/pipeline.pp.mli: Ir

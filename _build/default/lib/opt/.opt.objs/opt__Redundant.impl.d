@@ -1,0 +1,1 @@
+lib/opt/redundant.pp.ml: Array Ir List

@@ -1,0 +1,107 @@
+(** Communication combination.
+
+    "Several messages that are bound for the same processor may be combined
+    into a single, larger message" — transfers with the same offset vector
+    but different arrays merge when neither array is modified between the
+    combined communication point and each use (paper, Sections 2 and 3.1).
+
+    Two heuristics from the paper's Figure 2:
+
+    - {e maximize combining}: merge whenever legal, ignoring the resulting
+      send-to-receive distance;
+    - {e maximize latency hiding}: merge only while the combined transfer's
+      distance (modeled compute cost between its send point and its receive
+      point, assuming pipelining) stays at least as large as the smallest
+      distance among the block's transfers — i.e. combining never creates a
+      new latency-hiding bottleneck. *)
+
+(** Earliest legal send position: just after the last write to any member
+    array that precedes the use point (or the top of the block). *)
+let def_pos (b : Ir.Block.block) ~arrays ~use =
+  let d = ref 0 in
+  for i = 0 to use - 1 do
+    List.iter
+      (fun w -> if List.mem w arrays then d := i + 1)
+      (Ir.Block.writes b.Ir.Block.work.(i))
+  done;
+  !d
+
+(** Modeled compute cost between positions [from] and [until]. *)
+let span_cost (b : Ir.Block.block) ~from ~until =
+  let c = ref 0 in
+  for i = from to until - 1 do
+    c := !c + Ir.Block.est_cost b.Ir.Block.work.(i)
+  done;
+  !c
+
+type group = {
+  g_off : int * int;
+  mutable g_members : Ir.Block.xfer list;
+  mutable g_arrays : int list;
+  mutable g_def : int;  (** max over member defs *)
+  mutable g_use : int;  (** min over member uses *)
+}
+
+let run_block (heuristic : Config.heuristic) (b : Ir.Block.block) =
+  let xs =
+    List.sort
+      (fun (a : Ir.Block.xfer) c -> compare (a.recv_pos, a.uid) (c.recv_pos, c.uid))
+      (Ir.Block.live_xfers b)
+  in
+  let groups : group list ref = ref [] in
+  let try_merge (x : Ir.Block.xfer) =
+    let def = def_pos b ~arrays:x.Ir.Block.arrays ~use:x.Ir.Block.recv_pos in
+    let fits g =
+      g.g_off = x.Ir.Block.off
+      && (not (List.exists (fun a -> List.mem a g.g_arrays) x.Ir.Block.arrays))
+      &&
+      let ndef = max g.g_def def and nuse = min g.g_use x.Ir.Block.recv_pos in
+      ndef <= nuse
+      &&
+      match heuristic with
+      | Config.Max_combine -> true
+      | Config.Max_latency ->
+          (* only "completely nested" merges that cost no member any
+             latency-hiding distance: the merged window must span the same
+             compute cost as every member's own window *)
+          let nspan = span_cost b ~from:ndef ~until:nuse in
+          nspan = span_cost b ~from:def ~until:x.Ir.Block.recv_pos
+          && List.for_all
+               (fun (m : Ir.Block.xfer) ->
+                 let mdef =
+                   def_pos b ~arrays:m.Ir.Block.arrays ~use:m.Ir.Block.recv_pos
+                 in
+                 nspan = span_cost b ~from:mdef ~until:m.Ir.Block.recv_pos)
+               g.g_members
+    in
+    match List.find_opt fits !groups with
+    | Some g ->
+        g.g_members <- g.g_members @ [ x ];
+        g.g_arrays <- g.g_arrays @ x.Ir.Block.arrays;
+        g.g_def <- max g.g_def def;
+        g.g_use <- min g.g_use x.Ir.Block.recv_pos
+    | None ->
+        groups :=
+          !groups
+          @ [ { g_off = x.Ir.Block.off; g_members = [ x ];
+                g_arrays = x.Ir.Block.arrays; g_def = def;
+                g_use = x.Ir.Block.recv_pos } ]
+  in
+  List.iter try_merge xs;
+  (* Collapse each group into its first member; placement stays
+     "immediately before first use" (pipelining, if on, hoists sends). *)
+  List.iter
+    (fun g ->
+      match g.g_members with
+      | [] -> assert false
+      | rep :: others ->
+          rep.Ir.Block.arrays <- g.g_arrays;
+          rep.Ir.Block.ready_pos <- g.g_use;
+          rep.Ir.Block.send_pos <- g.g_use;
+          rep.Ir.Block.recv_pos <- g.g_use;
+          List.iter (fun (x : Ir.Block.xfer) -> x.Ir.Block.live <- false) others)
+    !groups
+
+let run (heuristic : Config.heuristic) (code : Ir.Block.code) : Ir.Block.code =
+  Ir.Block.map_blocks (run_block heuristic) code;
+  code

@@ -1,0 +1,16 @@
+(** Communication combination (paper Sections 2, 3.1, Figure 2): merge
+    same-offset transfers of different arrays whose legality windows
+    intersect, under either the maximize-combining or the
+    maximize-latency-hiding heuristic. *)
+
+(** Earliest legal send position for a transfer of [arrays] used at
+    [use]: just after the last prior write to any member, or the top of
+    the block. *)
+val def_pos : Ir.Block.block -> arrays:int list -> use:int -> int
+
+(** Modeled compute cost between two positions — the "distance" of the
+    paper's Section 2. *)
+val span_cost : Ir.Block.block -> from:int -> until:int -> int
+
+val run_block : Config.heuristic -> Ir.Block.block -> unit
+val run : Config.heuristic -> Ir.Block.code -> Ir.Block.code

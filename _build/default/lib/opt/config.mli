@@ -1,0 +1,38 @@
+(** Optimization selection — the switchboard of the paper's instrumented
+    compiler: each of the three optimizations can be turned on and off
+    individually, and communication combination can run under either of
+    the two heuristics of the paper's Figure 2. *)
+
+type heuristic =
+  | Max_combine  (** combine without regard for send/receive distance *)
+  | Max_latency  (** combine only while no member loses latency-hiding
+                     distance ("completely nested" merges) *)
+
+val pp_heuristic : Format.formatter -> heuristic -> unit
+val show_heuristic : heuristic -> string
+val equal_heuristic : heuristic -> heuristic -> bool
+
+type t = {
+  rr : bool;  (** redundant communication removal *)
+  cc : bool;  (** communication combination *)
+  pl : bool;  (** communication pipelining *)
+  heuristic : heuristic;
+}
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+
+(** Message vectorization only — the paper's baseline. *)
+val baseline : t
+
+(** The cumulative rows of the paper's Figure 9. *)
+val rr_only : t
+
+val cc_cum : t  (** baseline + rr + cc *)
+val pl_cum : t  (** baseline + rr + cc + pl *)
+val pl_max_latency : t  (** pl_cum with the max-latency-hiding heuristic *)
+
+(** Short display name: "baseline", "rr", "cc", "pl", "pl-maxlat", or a
+    composed description for non-standard combinations. *)
+val name : t -> string

@@ -1,0 +1,59 @@
+(** Naive communication generation with message vectorization — the
+    paper's baseline. Whole-array statements are already the unit of
+    representation, so "vectorization" simply means: one transfer per
+    distinct (array, offset) required by each statement, placed immediately
+    before the statement (Figure 1(a) of the paper, at array granularity). *)
+
+let work_of (s : Zpl.Prog.stmt) : Ir.Block.work option =
+  match s with
+  | Zpl.Prog.AssignA a -> Some (Ir.Block.WKernel a)
+  | Zpl.Prog.AssignS { lhs; rhs } -> Some (Ir.Block.WScalar { lhs; rhs })
+  | Zpl.Prog.ReduceS r -> Some (Ir.Block.WReduce r)
+  | Zpl.Prog.Repeat _ | Zpl.Prog.For _ | Zpl.Prog.If _ -> None
+
+let lower (p : Zpl.Prog.t) : Ir.Block.code =
+  let uid = ref 0 in
+  let fresh () =
+    let u = !uid in
+    incr uid;
+    u
+  in
+  let make_block (simple : Zpl.Prog.stmt list) : Ir.Block.item =
+    let work =
+      simple
+      |> List.filter_map work_of
+      |> Array.of_list
+    in
+    let xfers = ref [] in
+    Array.iteri
+      (fun i w ->
+        List.iter
+          (fun (aid, off) ->
+            xfers :=
+              { Ir.Block.uid = fresh (); off; arrays = [ aid ];
+                ready_pos = i; send_pos = i; recv_pos = i; live = true }
+              :: !xfers)
+          (Ir.Block.needs w))
+      work;
+    Ir.Block.Straight { Ir.Block.work; xfers = List.rev !xfers }
+  in
+  let rec go (stmts : Zpl.Prog.stmt list) : Ir.Block.code =
+    let rec split acc = function
+      | (Zpl.Prog.AssignA _ | Zpl.Prog.AssignS _ | Zpl.Prog.ReduceS _) as s
+        :: rest ->
+          split (s :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    match stmts with
+    | [] -> []
+    | (Zpl.Prog.AssignA _ | Zpl.Prog.AssignS _ | Zpl.Prog.ReduceS _) :: _ ->
+        let simple, rest = split [] stmts in
+        make_block simple :: go rest
+    | Zpl.Prog.Repeat (body, cond) :: rest ->
+        Ir.Block.CRepeat (go body, cond) :: go rest
+    | Zpl.Prog.For { var; lo; hi; step; body } :: rest ->
+        Ir.Block.CFor { var; lo; hi; step; body = go body } :: go rest
+    | Zpl.Prog.If (cond, a, b) :: rest ->
+        Ir.Block.CIf (cond, go a, go b) :: go rest
+  in
+  go p.Zpl.Prog.body

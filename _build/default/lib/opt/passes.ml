@@ -1,0 +1,32 @@
+(** The pass driver: lower to the baseline (message-vectorized) block form,
+    apply the selected optimizations in the paper's order (rr, then cc,
+    then pl), validate invariants, and emit the final IRONMAN IR. *)
+
+type report = {
+  config : Config.t;
+  static_count : int;  (** transfers in the optimized program text *)
+  static_members : int;  (** member messages before combining compression *)
+  baseline_static : int;  (** transfers the baseline would have *)
+}
+
+let optimize (config : Config.t) (code : Ir.Block.code) : Ir.Block.code =
+  let code = if config.Config.rr then Redundant.run code else code in
+  let code =
+    if config.Config.cc then Combine.run config.Config.heuristic code else code
+  in
+  let code = if config.Config.pl then Pipeline.run code else code in
+  Ir.Block.check_invariants code;
+  code
+
+(** Compile a typed program under [config] to the final IR. *)
+let compile (config : Config.t) (p : Zpl.Prog.t) : Ir.Instr.program =
+  Ir.Instr.of_code p (optimize config (Lower.lower p))
+
+let report (config : Config.t) (p : Zpl.Prog.t) : report * Ir.Instr.program =
+  let baseline = compile Config.baseline p in
+  let optimized = compile config p in
+  ( { config;
+      static_count = Ir.Count.static_count optimized;
+      static_members = Ir.Count.static_member_count optimized;
+      baseline_static = Ir.Count.static_count baseline },
+    optimized )

@@ -1,0 +1,19 @@
+(** The optimizer's pass driver: lower to the baseline (message-vectorized)
+    block form, apply the selected optimizations in the paper's order (rr,
+    then cc, then pl), validate invariants, and emit the final IRONMAN IR. *)
+
+type report = {
+  config : Config.t;
+  static_count : int;  (** transfers in the optimized program text *)
+  static_members : int;  (** member messages before combining compression *)
+  baseline_static : int;  (** transfers the baseline would have *)
+}
+
+(** Apply the selected passes in place and check block invariants. *)
+val optimize : Config.t -> Ir.Block.code -> Ir.Block.code
+
+(** Full pipeline: typed program to final IRONMAN IR. *)
+val compile : Config.t -> Zpl.Prog.t -> Ir.Instr.program
+
+(** [compile] plus a static-count comparison against the baseline. *)
+val report : Config.t -> Zpl.Prog.t -> report * Ir.Instr.program

@@ -1,0 +1,35 @@
+(** Communication pipelining.
+
+    "Pushing the send operation of a communication up as far as the most
+    recent modification of the required array values or the top of the
+    basic block, whichever occurs later" (paper, Section 3.1). The receive
+    (DN) stays immediately before the first use, so the intervening
+    computation can overlap the data transfer. Message counts and volume
+    are unchanged. *)
+
+(** Earliest safe DR position: after the last statement (before the
+    transfer's receive) that still reads a member array's fringe at the
+    same offset — data a {e previous} transfer of the same (array, offset)
+    delivered, which the incoming message would overwrite. *)
+let ready_pos (b : Ir.Block.block) (x : Ir.Block.xfer) =
+  let last_reader = ref 0 in
+  for i = 0 to x.Ir.Block.send_pos - 1 do
+    List.iter
+      (fun aid ->
+        if Ir.Block.reads_fringe b.Ir.Block.work.(i) aid x.Ir.Block.off then
+          last_reader := i + 1)
+      x.Ir.Block.arrays
+  done;
+  min !last_reader x.Ir.Block.send_pos
+
+let run_block (b : Ir.Block.block) =
+  List.iter
+    (fun (x : Ir.Block.xfer) ->
+      x.Ir.Block.send_pos <-
+        Combine.def_pos b ~arrays:x.Ir.Block.arrays ~use:x.Ir.Block.recv_pos;
+      x.Ir.Block.ready_pos <- ready_pos b x)
+    (Ir.Block.live_xfers b)
+
+let run (code : Ir.Block.code) : Ir.Block.code =
+  Ir.Block.map_blocks run_block code;
+  code

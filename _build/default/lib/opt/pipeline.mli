@@ -1,0 +1,12 @@
+(** Communication pipelining (paper Section 3.1): push each send (SR) up
+    to the most recent modification of the communicated values or the top
+    of the basic block, and the readiness notification (DR) even earlier —
+    to the last statement that still reads the previous same-key
+    transfer's fringe data. Receives (DN/SV) stay immediately before first
+    use. Message counts and volume are unchanged. *)
+
+(** Earliest safe DR position for a transfer. *)
+val ready_pos : Ir.Block.block -> Ir.Block.xfer -> int
+
+val run_block : Ir.Block.block -> unit
+val run : Ir.Block.code -> Ir.Block.code

@@ -1,0 +1,41 @@
+(** Redundant communication removal.
+
+    "Communication for @ expressions with the same array variable and same
+    offset vector as a previous @ expression may be removed if the required
+    non-local values have not been modified since the communication."
+    (paper, Section 3.1). Scope is one source-level basic block. *)
+
+(** True when no work item in [\[from, until)] writes any array in [arrays]. *)
+let no_writes (b : Ir.Block.block) ~arrays ~from ~until =
+  let ok = ref true in
+  for i = from to until - 1 do
+    List.iter
+      (fun w -> if List.mem w arrays then ok := false)
+      (Ir.Block.writes b.Ir.Block.work.(i))
+  done;
+  !ok
+
+(** [covers b earlier x] — the data moved by [earlier] still holds all
+    values [x] would move at [x]'s use point. *)
+let covers (b : Ir.Block.block) (earlier : Ir.Block.xfer) (x : Ir.Block.xfer) =
+  earlier.Ir.Block.off = x.Ir.Block.off
+  && List.for_all (fun a -> List.mem a earlier.Ir.Block.arrays) x.Ir.Block.arrays
+  && no_writes b ~arrays:x.Ir.Block.arrays ~from:earlier.Ir.Block.recv_pos
+       ~until:x.Ir.Block.recv_pos
+
+let run_block (b : Ir.Block.block) =
+  let in_order =
+    List.sort
+      (fun (a : Ir.Block.xfer) c -> compare (a.recv_pos, a.uid) (c.recv_pos, c.uid))
+      (Ir.Block.live_xfers b)
+  in
+  let kept = ref [] in
+  List.iter
+    (fun (x : Ir.Block.xfer) ->
+      if List.exists (fun k -> covers b k x) !kept then x.live <- false
+      else kept := !kept @ [ x ])
+    in_order
+
+let run (code : Ir.Block.code) : Ir.Block.code =
+  Ir.Block.map_blocks run_block code;
+  code

@@ -1,0 +1,9 @@
+(** Redundant communication removal (paper Section 3.1): a transfer is
+    dropped when an earlier transfer of the same (array, offset) in the
+    same source-level basic block is still valid — no member array written
+    in between. *)
+
+val no_writes : Ir.Block.block -> arrays:int list -> from:int -> until:int -> bool
+val covers : Ir.Block.block -> Ir.Block.xfer -> Ir.Block.xfer -> bool
+val run_block : Ir.Block.block -> unit
+val run : Ir.Block.code -> Ir.Block.code

@@ -1,0 +1,1 @@
+lib/programs/bench_def.ml:

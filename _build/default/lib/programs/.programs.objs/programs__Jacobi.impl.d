@@ -1,0 +1,1 @@
+lib/programs/jacobi.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/programs/simple_hydro.ml: Bench_def

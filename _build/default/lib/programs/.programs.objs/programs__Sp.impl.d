@@ -1,0 +1,1 @@
+lib/programs/sp.ml: Bench_def

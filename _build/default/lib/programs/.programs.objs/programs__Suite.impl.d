@@ -1,0 +1,1 @@
+lib/programs/suite.ml: Bench_def Jacobi List Simple_hydro Sp Swm Synthetic Tomcatv Zpl

@@ -1,0 +1,1 @@
+lib/programs/suite.mli: Bench_def Zpl

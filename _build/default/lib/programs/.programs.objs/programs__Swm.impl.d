@@ -1,0 +1,1 @@
+lib/programs/swm.ml: Bench_def

@@ -1,0 +1,1 @@
+lib/programs/synthetic.ml: Bench_def Printf

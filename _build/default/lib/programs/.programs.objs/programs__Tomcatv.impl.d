@@ -1,0 +1,1 @@
+lib/programs/tomcatv.ml: Bench_def

@@ -1,0 +1,30 @@
+(** Common shape of a benchmark program entry: ZPL source plus the scales
+    used by tests (small) and by the paper-reproduction harness (large),
+    and the paper's published numbers for side-by-side reporting. *)
+
+(** One row of the paper's appendix tables (static count, dynamic count,
+    execution time in seconds on the 64-node T3D). *)
+type paper_row = {
+  experiment : string;
+  p_static : int;
+  p_dynamic : int;
+  p_time : float option;  (** None where the paper could not run the case *)
+}
+
+type t = {
+  name : string;
+  description : string;  (** the paper's Figure 7 description *)
+  source : string;
+  bench_defines : (string * float) list;
+      (** problem scale for the figure/table harness *)
+  test_defines : (string * float) list;  (** small scale for the test suite *)
+  bench_mesh : int * int;  (** processor mesh for the harness (8x8 = 64) *)
+  paper_rows : paper_row list;  (** appendix table of the paper, if any *)
+  paper_grid : string;  (** problem size the paper used *)
+}
+
+let row experiment p_static p_dynamic p_time =
+  { experiment; p_static; p_dynamic; p_time = Some p_time }
+
+let row_no_time experiment p_static p_dynamic =
+  { experiment; p_static; p_dynamic; p_time = None }

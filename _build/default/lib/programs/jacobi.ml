@@ -1,0 +1,43 @@
+(** Jacobi iteration — the "hello world" of data-parallel array languages,
+    used by the quickstart example and by many tests. Not one of the
+    paper's four benchmarks, but a convenient minimal program with real
+    communication (4-point stencil + convergence reduction). *)
+
+let source =
+  {|
+-- Jacobi 4-point relaxation with convergence test
+constant n   = 64;
+constant tol = 0.0001;
+
+region R    = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+
+direction east  = [ 0,  1];
+direction west  = [ 0, -1];
+direction north = [-1,  0];
+direction south = [ 1,  0];
+
+var A, Temp : [BigR] float;
+var err : float;
+
+procedure main();
+begin
+  [BigR] A := 0.0;
+  [n+1..n+1, 0..n+1] A := 1.0;          -- hot southern boundary
+  repeat
+    [R] Temp := 0.25 * (A@east + A@west + A@north + A@south);
+    [R] err := max<< abs(Temp - A);
+    [R] A := Temp;
+  until err < tol;
+end;
+|}
+
+let def : Bench_def.t =
+  { Bench_def.name = "jacobi";
+    description = "Jacobi 4-point relaxation (quickstart)";
+    source;
+    bench_defines = [ ("n", 64.) ];
+    test_defines = [ ("n", 12.); ("tol", 0.01) ];
+    bench_mesh = (4, 4);
+    paper_grid = "(not in the paper)";
+    paper_rows = [] }

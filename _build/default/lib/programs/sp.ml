@@ -1,0 +1,117 @@
+(** SP — NAS scalar-pentadiagonal CFD application benchmark, rewritten in
+    mini-ZPL at reduced scale. The communication structure of the ADI
+    scheme is what matters for the paper's measurements:
+
+    - the RHS computation applies 3-D stencils to four solution components
+      (x and y neighbors are communicated; z is processor-local);
+    - the x- and y-sweeps are serialized line solves along a distributed
+      dimension (forward + backward recurrences) whose four per-component
+      transfers share an offset and combine into one;
+    - the z-sweep is the same recurrence along the local dimension and
+      needs no communication at all — inherently sequential computation
+      that, as the paper notes for SP, makes the heavy prototype SHMEM
+      synchronization particularly costly elsewhere. *)
+
+let source =
+  {|
+-- SP: simplified NAS SP (ADI) in mini-ZPL
+constant n     = 16;
+constant iters = 4;
+constant cfac  = 0.35;
+
+region Cube  = [1..n, 1..n, 1..n];
+region Inner = [2..n-1, 2..n-1, 2..n-1];
+
+direction xp = [ 1,  0,  0];
+direction xm = [-1,  0,  0];
+direction yp = [ 0,  1,  0];
+direction ym = [ 0, -1,  0];
+direction zp = [ 0,  0,  1];
+direction zm = [ 0,  0, -1];
+
+var Q1, Q2, Q3, Q4, R1, R2, R3, R4 : [Cube] float;
+var resid : float;
+var it, i, j, k : int;
+
+procedure main();
+begin
+  [Cube] Q1 := 1.0 + 0.05 * sin(Index1 * 0.3) * cos(Index2 * 0.2);
+  [Cube] Q2 := 0.1 * Index1 + 0.01 * Index3;
+  [Cube] Q3 := 0.1 * Index2 - 0.01 * Index3;
+  [Cube] Q4 := 2.5 + 0.02 * cos(Index3 * 0.4);
+  for it := 1 to iters do
+    -- RHS: 3-D stencils; x/y neighbors communicated, z local
+    [Inner] R1 := Q1@xp - 2.0 * Q1 + Q1@xm + Q1@yp - 2.0 * Q1 + Q1@ym
+                  + Q1@zp - 2.0 * Q1 + Q1@zm;
+    [Inner] R2 := Q2@xp - 2.0 * Q2 + Q2@xm + Q2@yp - 2.0 * Q2 + Q2@ym
+                  + Q2@zp - 2.0 * Q2 + Q2@zm;
+    [Inner] R3 := Q3@xp - 2.0 * Q3 + Q3@xm + Q3@yp - 2.0 * Q3 + Q3@ym
+                  + Q3@zp - 2.0 * Q3 + Q3@zm;
+    [Inner] R4 := Q4@xp - 2.0 * Q4 + Q4@xm + Q4@yp - 2.0 * Q4 + Q4@ym
+                  + Q4@zp - 2.0 * Q4 + Q4@zm
+                  + 0.1 * (Q1@xp - Q1@xm + Q2@yp - Q2@ym);
+    -- x-sweep: forward and backward line solve along dimension 1
+    for i := 2 to n - 1 do
+      [i..i, 1..n, 1..n] R1 := R1 - cfac * R1@xm;
+      [i..i, 1..n, 1..n] R2 := R2 - cfac * R2@xm;
+      [i..i, 1..n, 1..n] R3 := R3 - cfac * R3@xm;
+      [i..i, 1..n, 1..n] R4 := R4 - cfac * R4@xm;
+    end;
+    for i := n - 1 downto 2 do
+      [i..i, 1..n, 1..n] R1 := R1 - cfac * R1@xp;
+      [i..i, 1..n, 1..n] R2 := R2 - cfac * R2@xp;
+      [i..i, 1..n, 1..n] R3 := R3 - cfac * R3@xp;
+      [i..i, 1..n, 1..n] R4 := R4 - cfac * R4@xp;
+    end;
+    -- y-sweep
+    for j := 2 to n - 1 do
+      [1..n, j..j, 1..n] R1 := R1 - cfac * R1@ym;
+      [1..n, j..j, 1..n] R2 := R2 - cfac * R2@ym;
+      [1..n, j..j, 1..n] R3 := R3 - cfac * R3@ym;
+      [1..n, j..j, 1..n] R4 := R4 - cfac * R4@ym;
+    end;
+    for j := n - 1 downto 2 do
+      [1..n, j..j, 1..n] R1 := R1 - cfac * R1@yp;
+      [1..n, j..j, 1..n] R2 := R2 - cfac * R2@yp;
+      [1..n, j..j, 1..n] R3 := R3 - cfac * R3@yp;
+      [1..n, j..j, 1..n] R4 := R4 - cfac * R4@yp;
+    end;
+    -- z-sweep: recurrence along the processor-local dimension (no comm)
+    for k := 2 to n - 1 do
+      [1..n, 1..n, k..k] R1 := R1 - cfac * R1@zm;
+      [1..n, 1..n, k..k] R2 := R2 - cfac * R2@zm;
+      [1..n, 1..n, k..k] R3 := R3 - cfac * R3@zm;
+      [1..n, 1..n, k..k] R4 := R4 - cfac * R4@zm;
+    end;
+    for k := n - 1 downto 2 do
+      [1..n, 1..n, k..k] R1 := R1 - cfac * R1@zp;
+      [1..n, 1..n, k..k] R2 := R2 - cfac * R2@zp;
+      [1..n, 1..n, k..k] R3 := R3 - cfac * R3@zp;
+      [1..n, 1..n, k..k] R4 := R4 - cfac * R4@zp;
+    end;
+    -- update and residual
+    [Inner] Q1 := Q1 + 0.05 * R1;
+    [Inner] Q2 := Q2 + 0.05 * R2;
+    [Inner] Q3 := Q3 + 0.05 * R3;
+    [Inner] Q4 := Q4 + 0.05 * R4;
+    [Inner] resid := max<< abs(R1) + abs(R2) + abs(R3) + abs(R4);
+  end;
+end;
+|}
+
+let def : Bench_def.t =
+  { Bench_def.name = "sp";
+    description = "CFD computation (NAS Application Benchmarks)";
+    source;
+    bench_defines = [ ("n", 16.); ("iters", 12.) ];
+    test_defines = [ ("n", 8.); ("iters", 2.) ];
+    bench_mesh = (8, 8);
+    paper_grid = "16x16x16, 64 procs";
+    paper_rows =
+      Bench_def.
+        [ row "baseline" 212 85982 22.572110;
+          row "rr" 114 70094 20.381131;
+          row "cc" 84 44286 19.274767;
+          row "pl" 84 44286 18.149760;
+          row "pl with shmem" 84 44286 19.079338;
+          Bench_def.row_no_time "pl with max latency" 92 53487 ] }

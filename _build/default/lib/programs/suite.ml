@@ -1,0 +1,25 @@
+(** Registry of benchmark programs (the paper's Figure 7 plus extras). *)
+
+let tomcatv = Tomcatv.def
+let swm = Swm.def
+let simple = Simple_hydro.def
+let sp = Sp.def
+let jacobi = Jacobi.def
+let synth = Synthetic.def
+
+(** The paper's four whole-program benchmarks, in Figure 7 order. *)
+let paper_benchmarks = [ tomcatv; swm; simple; sp ]
+
+let all = [ tomcatv; swm; simple; sp; jacobi; synth ]
+
+let find name =
+  List.find_opt (fun (b : Bench_def.t) -> b.name = name) all
+
+(** Compile a benchmark at test (small) or bench (paper-like) scale. *)
+let compile ?(scale = `Test) (b : Bench_def.t) : Zpl.Prog.t =
+  let defines =
+    match scale with
+    | `Test -> b.Bench_def.test_defines
+    | `Bench -> b.Bench_def.bench_defines
+  in
+  Zpl.Check.compile_string ~defines b.Bench_def.source

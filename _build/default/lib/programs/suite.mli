@@ -1,0 +1,18 @@
+(** Registry of benchmark programs (the paper's Figure 7 plus extras). *)
+
+val tomcatv : Bench_def.t
+val swm : Bench_def.t
+val simple : Bench_def.t
+val sp : Bench_def.t
+val jacobi : Bench_def.t
+val synth : Bench_def.t
+
+(** The paper's four whole-program benchmarks, in Figure 7 order. *)
+val paper_benchmarks : Bench_def.t list
+
+val all : Bench_def.t list
+val find : string -> Bench_def.t option
+
+(** Compile a benchmark at test (small, default) or bench (paper-like)
+    scale via its `defines`. *)
+val compile : ?scale:[ `Bench | `Test ] -> Bench_def.t -> Zpl.Prog.t

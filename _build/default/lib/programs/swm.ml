@@ -1,0 +1,105 @@
+(** SWM — shallow water model weather prediction benchmark, rewritten in
+    mini-ZPL after the classic swm256 code. One large time-stepping block:
+    mass fluxes (CU, CV), potential vorticity (Z) and height (H) are
+    computed from P/U/V stencils, then the new time level is formed from
+    shifts of CU/CV/Z/H — statements share offsets across different arrays
+    (combinable) and reuse earlier shifts (removable), and two to three
+    statements of pure computation sit between a shift's definition and its
+    use, giving pipelining room. The paper's periodic (wrap) boundaries are
+    replaced by explicit boundary strip copies with the same communication
+    structure (see DESIGN.md). *)
+
+let source =
+  {|
+-- SWM: shallow water weather prediction (mini-ZPL)
+constant n     = 256;
+constant iters = 20;
+constant tdts8   = 0.012;
+constant tdtsdx  = 0.009;
+constant tdtsdy  = 0.009;
+constant fsdx    = 4.5;
+constant fsdy    = 4.5;
+constant alpha   = 0.001;
+
+region R    = [2..n-1, 2..n-1];
+region BigR = [1..n, 1..n];
+
+direction east  = [ 0,  1];
+direction west  = [ 0, -1];
+direction north = [-1,  0];
+direction south = [ 1,  0];
+direction se    = [ 1,  1];
+direction nw    = [-1, -1];
+
+var U, V, P, UNEW, VNEW, PNEW, UOLD, VOLD, POLD, CU, CV, Z, H : [BigR] float;
+var check : float;
+var it : int;
+
+procedure setup();
+begin
+  [BigR] P := 1000.0 + 50.0 * sin(Index1 * 0.09) * cos(Index2 * 0.07);
+  [BigR] U := 10.0 * sin(Index2 * 0.11);
+  [BigR] V := -10.0 * cos(Index1 * 0.08);
+  [BigR] UOLD := U;
+  [BigR] VOLD := V;
+  [BigR] POLD := P;
+  [BigR] CU := 0.0;
+  [BigR] CV := 0.0;
+  [BigR] Z := 0.0;
+  [BigR] H := 0.0;
+end;
+
+procedure main();
+begin
+  setup();
+  for it := 1 to iters do
+    -- fluxes and vorticity
+    [R] CU := 0.5 * (P@east + P) * U;
+    [R] CV := 0.5 * (P@south + P) * V;
+    [R] Z  := (fsdx * (V@east - V) - fsdy * (U@south - U))
+              / (P + P@east + P@south + P@se);
+    [R] H  := P + 0.25 * ((U@east + U) * (U@east + U)
+              + (V@south + V) * (V@south + V));
+    -- new time level from shifted fluxes
+    [R] UNEW := UOLD + tdts8 * (Z + Z@north) * (CV + CV@north + CV@west + CV@nw)
+                - tdtsdx * (H - H@west);
+    [R] VNEW := VOLD - tdts8 * (Z + Z@west) * (CU + CU@west + CU@north + CU@nw)
+                + tdtsdy * (H@north - H);
+    [R] PNEW := POLD - tdtsdx * (CU - CU@west) - tdtsdy * (CV - CV@north);
+    -- time smoothing and rotation
+    [R] UOLD := U + alpha * (UNEW - 2.0 * U + UOLD);
+    [R] VOLD := V + alpha * (VNEW - 2.0 * V + VOLD);
+    [R] POLD := P + alpha * (PNEW - 2.0 * P + POLD);
+    [R] U := UNEW;
+    [R] V := VNEW;
+    [R] P := PNEW;
+    -- boundary strips replacing the periodic wrap
+    [1..1, 1..n] U := U@south;
+    [1..1, 1..n] V := V@south;
+    [1..1, 1..n] P := P@south;
+    [n..n, 1..n] U := U@north;
+    [n..n, 1..n] V := V@north;
+    [n..n, 1..n] P := P@north;
+    [1..n, 1..1] P := P@east;
+    [1..n, n..n] P := P@west;
+  end;
+  [R] check := +<< P;
+end;
+|}
+
+let def : Bench_def.t =
+  { Bench_def.name = "swm";
+    description = "Weather prediction (shallow water model)";
+    source;
+    bench_defines = [ ("n", 256.); ("iters", 20.) ];
+    test_defines = [ ("n", 16.); ("iters", 3.) ];
+    bench_mesh = (8, 8);
+    paper_grid = "512x512, 64 procs";
+    paper_rows =
+      Bench_def.
+        [ row "baseline" 29 8602 6.809007;
+          row "rr" 22 7202 6.323369;
+          row "cc" 16 6002 6.191816;
+          row "pl" 16 6002 5.922135;
+          row "pl with shmem" 16 6002 5.454957;
+          row "pl with max latency" 16 6002 5.477305 ] }

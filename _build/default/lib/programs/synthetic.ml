@@ -1,0 +1,68 @@
+(** The synthetic benchmark of the paper's Section 3.2 (Figure 6): one
+    message of a chosen size travels between two nodes per step, with a
+    busy loop large enough to hide the wire transmission time; the busy
+    loop's cost is subtracted, leaving the {e exposed software overhead}.
+
+    [source] builds the communicating program on a 1x2 processor mesh: a
+    strip of [m] rows and two columns, so the transfer for [B@east]
+    carries exactly [m] boundary values from the second processor to the
+    first. [busy_source] is the identical program with the communicating
+    statement replaced by a local one; simulating both and subtracting
+    isolates the overhead exactly as the paper does. The busy loop size
+    [busyn] is chosen by the harness so the busy work exceeds the wire
+    time of the largest message. *)
+
+let template ~comm_east ~comm_west =
+  Printf.sprintf
+    {|
+constant m     = 512;
+constant iters = 200;
+constant busyn = 512;
+
+region Strip = [1..m, 1..2];
+region BusyR = [1..busyn, 1..2];
+
+direction east = [0, 1];
+direction west = [0, -1];
+
+var A, B : [0..m+1, 0..3] float;
+var W : [0..busyn+1, 0..3] float;
+var t : int;
+
+procedure main();
+begin
+  [0..m+1, 0..3] B := Index1 * 0.5 + Index2;
+  [0..busyn+1, 0..3] W := 1.0;
+  for t := 1 to iters do
+    [BusyR] W := W * 1.000001 + 0.000001;
+    [BusyR] W := W * 0.999999 + 0.000002;
+    [Strip] A := %s;
+    [BusyR] W := W * 1.000001 + 0.000001;
+    [Strip] B := %s;
+  end;
+end;
+|}
+    comm_east comm_west
+
+(** Ping-pong: the message crosses east then west once per iteration, so
+    each processor pays one send and one receive per transfer pair. *)
+let source = template ~comm_east:"B@east + 0.0001" ~comm_west:"A@west * 0.9999"
+
+(** Identical work, no communication. *)
+let busy_source = template ~comm_east:"B + 0.0001" ~comm_west:"A * 0.9999"
+
+(** Scale the message to [doubles] values and the busy loop to [busyn]
+    rows (three 2-flop statements each). *)
+let defines ~doubles ~busyn ~iters =
+  [ ("m", float_of_int doubles); ("busyn", float_of_int busyn);
+    ("iters", float_of_int iters) ]
+
+let def : Bench_def.t =
+  { Bench_def.name = "synth";
+    description = "Two-node exposed-overhead microbenchmark (Figure 6)";
+    source;
+    bench_defines = defines ~doubles:512 ~busyn:2048 ~iters:200;
+    test_defines = defines ~doubles:8 ~busyn:16 ~iters:5;
+    bench_mesh = (1, 2);
+    paper_grid = "2 nodes";
+    paper_rows = [] }

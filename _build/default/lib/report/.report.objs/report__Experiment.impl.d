@@ -1,0 +1,1 @@
+lib/report/experiment.ml: Ir List Machine Opt Programs Sim Zpl

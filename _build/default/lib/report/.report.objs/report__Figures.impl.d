@@ -1,0 +1,1 @@
+lib/report/figures.ml: Buffer Experiment Ir List Machine Ping Plot Printf Programs String Table

@@ -1,0 +1,1 @@
+lib/report/ping.ml: Float Ir List Machine Opt Programs Sim Zpl

@@ -1,0 +1,1 @@
+lib/report/plot.ml: Array Buffer Char Float List Printf String

@@ -1,0 +1,98 @@
+(** The experiment driver: runs one benchmark under one experiment row of
+    the paper's Figure 9 (optimization selection + communication library)
+    and records static count, dynamic count and simulated execution time —
+    the three columns of the paper's appendix tables. *)
+
+type row = {
+  label : string;  (** the paper's row name, e.g. "pl with shmem" *)
+  config : Opt.Config.t;
+  lib : Machine.Library.t;
+  static_count : int;
+  dynamic_count : int;
+  time : float;  (** simulated seconds *)
+}
+
+(** The six experiment rows of the paper's Figure 9 (the last two use the
+    T3D SHMEM library). *)
+let paper_rows : (string * Opt.Config.t * Machine.Library.t) list =
+  [ ("baseline", Opt.Config.baseline, Machine.T3d.pvm);
+    ("rr", Opt.Config.rr_only, Machine.T3d.pvm);
+    ("cc", Opt.Config.cc_cum, Machine.T3d.pvm);
+    ("pl", Opt.Config.pl_cum, Machine.T3d.pvm);
+    ("pl with shmem", Opt.Config.pl_cum, Machine.T3d.shmem);
+    ("pl with max latency", Opt.Config.pl_max_latency, Machine.T3d.shmem) ]
+
+let run_one ?label ~(machine : Machine.Params.t) ~(lib : Machine.Library.t)
+    ~(config : Opt.Config.t) ~pr ~pc (prog : Zpl.Prog.t) : row =
+  let ir = Opt.Passes.compile config prog in
+  let flat = Ir.Flat.flatten ir in
+  let engine = Sim.Engine.make ~machine ~lib ~pr ~pc flat in
+  let result = Sim.Engine.run engine in
+  { label = (match label with Some l -> l | None -> Opt.Config.name config);
+    config;
+    lib;
+    static_count = Ir.Count.static_count ir;
+    dynamic_count = Sim.Stats.dynamic_count result.Sim.Engine.stats;
+    time = result.Sim.Engine.time }
+
+type bench_result = { bench : Programs.Bench_def.t; rows : row list }
+
+(** Run the paper's six rows for one benchmark on the T3D. *)
+let run_bench ?(scale = `Bench) (b : Programs.Bench_def.t) : bench_result =
+  let prog = Programs.Suite.compile ~scale b in
+  let pr, pc =
+    match scale with `Bench -> b.Programs.Bench_def.bench_mesh | `Test -> (2, 2)
+  in
+  let rows =
+    List.map
+      (fun (label, config, lib) ->
+        run_one ~label ~machine:Machine.T3d.machine ~lib ~config ~pr ~pc prog)
+      paper_rows
+  in
+  { bench = b; rows }
+
+(** The full grid behind Figures 8-12 and Tables 1-4. *)
+let grid ?(scale = `Bench) () : bench_result list =
+  List.map (run_bench ~scale) Programs.Suite.paper_benchmarks
+
+let find_row (r : bench_result) label =
+  List.find (fun (x : row) -> x.label = label) r.rows
+
+let baseline_of (r : bench_result) = find_row r "baseline"
+
+(** Value scaled to the benchmark's baseline, as in the paper's figures. *)
+let scaled (r : bench_result) (f : row -> float) (x : row) =
+  f x /. f (baseline_of r)
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the Paragon rows the paper omitted                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Section 3.2 of the paper reports that on the Paragon "the asynchronous
+    primitives saw little performance improvement or, in most cases,
+    performance degradation", and then omits the whole-program Paragon
+    results. With a simulator we can afford to produce them: the fully
+    optimized configuration under each NX primitive set. *)
+let paragon_rows : (string * Opt.Config.t * Machine.Library.t) list =
+  [ ("baseline csend/crecv", Opt.Config.baseline, Machine.Paragon.nx_sync);
+    ("pl with csend/crecv", Opt.Config.pl_cum, Machine.Paragon.nx_sync);
+    ("pl with isend/irecv", Opt.Config.pl_cum, Machine.Paragon.nx_async);
+    ("pl with hsend/hrecv", Opt.Config.pl_cum, Machine.Paragon.nx_callback) ]
+
+let run_bench_paragon ?(scale = `Bench) (b : Programs.Bench_def.t) :
+    bench_result =
+  let prog = Programs.Suite.compile ~scale b in
+  let pr, pc =
+    match scale with `Bench -> b.Programs.Bench_def.bench_mesh | `Test -> (2, 2)
+  in
+  let rows =
+    List.map
+      (fun (label, config, lib) ->
+        run_one ~label ~machine:Machine.Paragon.machine ~lib ~config ~pr ~pc
+          prog)
+      paragon_rows
+  in
+  { bench = b; rows }
+
+let paragon_grid ?(scale = `Bench) () : bench_result list =
+  List.map (run_bench_paragon ~scale) Programs.Suite.paper_benchmarks

@@ -1,0 +1,295 @@
+(** Generators for every table and figure of the paper's evaluation
+    section. Each function takes pre-computed data (the experiment grid or
+    Figure 6 curves) and renders the exhibit as text; the harness in
+    [bench/main.ml] runs them all and writes the combined report. *)
+
+let fmt_time t =
+  if t >= 1.0 then Printf.sprintf "%.6f s" t
+  else Printf.sprintf "%.3f ms" (t *. 1000.)
+
+let pct x = Printf.sprintf "%3.0f%%" (100. *. x)
+
+(* ------------------------------------------------------------------ *)
+(* Static tables (Figures 3, 5, 7)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let machine_table () =
+  Table.render
+    ~header:[ "machine"; "communication library"; "timer granularity" ]
+    [ [ "Intel Paragon 50 MHz"; "NX (message passing)"; "~100 ns" ];
+      [ "Cray T3D 150 MHz"; "PVM (message passing)"; "~150 ns" ];
+      [ ""; "SHMEM (shared memory)"; "" ] ]
+
+let bindings_table () =
+  let call_row call =
+    Ir.Instr.call_name call
+    :: List.map
+         (fun (lib : Machine.Library.t) ->
+           Machine.Library.primitive_name lib.Machine.Library.kind call)
+         (Machine.Paragon.libraries @ Machine.T3d.libraries)
+  in
+  Table.render
+    ~header:
+      ("call"
+      :: List.map
+           (fun (l : Machine.Library.t) ->
+             Machine.Library.kind_name l.Machine.Library.kind)
+           (Machine.Paragon.libraries @ Machine.T3d.libraries))
+    (List.map call_row [ Ir.Instr.DR; Ir.Instr.SR; Ir.Instr.DN; Ir.Instr.SV ])
+
+let benchmarks_table () =
+  Table.render
+    ~header:[ "benchmark"; "description"; "mini-ZPL lines"; "paper grid" ]
+    (List.map
+       (fun (b : Programs.Bench_def.t) ->
+         let lines =
+           List.length (String.split_on_char '\n' b.Programs.Bench_def.source)
+         in
+         [ b.Programs.Bench_def.name; b.Programs.Bench_def.description; string_of_int lines;
+           b.Programs.Bench_def.paper_grid ])
+       Programs.Suite.paper_benchmarks)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 (curves : Ping.curve list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 6: exposed communication costs (software overhead) vs message size\n\n";
+  let header =
+    "doubles"
+    :: List.map
+         (fun (c : Ping.curve) ->
+           Printf.sprintf "%s/%s"
+             (if c.machine.Machine.Params.name = "Intel Paragon" then "Paragon"
+              else "T3D")
+             c.lib.Machine.Library.costs.Machine.Params.lib_name)
+         curves
+  in
+  let sizes =
+    match curves with [] -> [] | c :: _ -> List.map (fun p -> p.Ping.doubles) c.points
+  in
+  let rows =
+    List.map
+      (fun size ->
+        string_of_int size
+        :: List.map
+             (fun (c : Ping.curve) ->
+               match
+                 List.find_opt (fun p -> p.Ping.doubles = size) c.points
+               with
+               | Some p -> Printf.sprintf "%.1f us" (p.Ping.overhead *. 1e6)
+               | None -> "-")
+             curves)
+      sizes
+  in
+  Buffer.add_string buf (Table.render ~header rows);
+  Buffer.add_char buf '\n';
+  (* per-machine charts *)
+  List.iter
+    (fun machine_name ->
+      let series =
+        curves
+        |> List.filter (fun (c : Ping.curve) ->
+               c.machine.Machine.Params.name = machine_name)
+        |> List.map (fun (c : Ping.curve) ->
+               ( c.lib.Machine.Library.costs.Machine.Params.lib_name,
+                 List.map
+                   (fun p ->
+                     (float_of_int p.Ping.doubles, p.Ping.overhead *. 1e6))
+                   c.points ))
+      in
+      if series <> [] then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf
+          (Plot.log_chart
+             ~title:(Printf.sprintf "Exposed overhead on the %s" machine_name)
+             ~xlabel:"message size (doubles)" ~ylabel:"overhead (us)" series)
+      end)
+    [ "Intel Paragon"; "Cray T3D" ];
+  (* knees *)
+  Buffer.add_string buf "\nObserved knees (overhead > 2x small-message overhead):\n";
+  List.iter
+    (fun (c : Ping.curve) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s %-12s %s\n" c.machine.Machine.Params.name
+           c.lib.Machine.Library.costs.Machine.Params.lib_name
+           (match Ping.knee c with
+           | Some d -> Printf.sprintf "~%d doubles" d
+           | None -> "none up to the largest size")))
+    curves;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8-12 and Tables 1-4 from the experiment grid                *)
+(* ------------------------------------------------------------------ *)
+
+let row_of (r : Experiment.bench_result) label = Experiment.find_row r label
+
+let fig8 (grid : Experiment.bench_result list) : string =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 8: reduction in communications due to rr and cc (scaled to baseline)\n\n";
+  let groups =
+    List.concat_map
+      (fun (r : Experiment.bench_result) ->
+        let scale_s x =
+          Experiment.scaled r (fun (x : Experiment.row) -> float_of_int x.static_count) x
+        in
+        let scale_d x =
+          Experiment.scaled r (fun (x : Experiment.row) -> float_of_int x.dynamic_count) x
+        in
+        [ ( r.bench.Programs.Bench_def.name ^ " (static)",
+            [ ("rr", scale_s (row_of r "rr")); ("cc", scale_s (row_of r "cc")) ] );
+          ( r.bench.Programs.Bench_def.name ^ " (dynamic)",
+            [ ("rr", scale_d (row_of r "rr")); ("cc", scale_d (row_of r "cc")) ] ) ])
+      grid
+  in
+  Buffer.add_string buf
+    (Plot.grouped_bars ~title:"communications relative to baseline (1.00)"
+       ~unit_label:"fraction of baseline" groups);
+  Buffer.contents buf
+
+let fig10 ~(part : [ `A | `B ]) (grid : Experiment.bench_result list) : string =
+  let buf = Buffer.create 2048 in
+  (match part with
+  | `A ->
+      Buffer.add_string buf
+        "Figure 10(a): scaled execution time using PVM (1.00 = baseline)\n\n"
+  | `B ->
+      Buffer.add_string buf
+        "Figure 10(b): scaled execution time, pl vs pl with SHMEM\n\n");
+  let labels =
+    match part with
+    | `A -> [ "rr"; "cc"; "pl" ]
+    | `B -> [ "pl"; "pl with shmem" ]
+  in
+  let groups =
+    List.map
+      (fun (r : Experiment.bench_result) ->
+        ( r.bench.Programs.Bench_def.name,
+          List.map
+            (fun l ->
+              (l, Experiment.scaled r (fun x -> x.Experiment.time) (row_of r l)))
+            labels ))
+      grid
+  in
+  Buffer.add_string buf
+    (Plot.grouped_bars ~title:"execution time relative to baseline"
+       ~unit_label:"fraction of baseline" groups);
+  Buffer.contents buf
+
+let fig11 (grid : Experiment.bench_result list) : string =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 11: communications under the two combining heuristics (scaled to baseline)\n\n";
+  let header =
+    [ "benchmark"; "static max-comb"; "static max-lat"; "dynamic max-comb";
+      "dynamic max-lat" ]
+  in
+  let rows =
+    List.map
+      (fun (r : Experiment.bench_result) ->
+        let s l f = Experiment.scaled r f (row_of r l) in
+        [ r.bench.Programs.Bench_def.name;
+          pct (s "pl with shmem" (fun x -> float_of_int x.Experiment.static_count));
+          pct (s "pl with max latency" (fun x -> float_of_int x.Experiment.static_count));
+          pct (s "pl with shmem" (fun x -> float_of_int x.Experiment.dynamic_count));
+          pct (s "pl with max latency" (fun x -> float_of_int x.Experiment.dynamic_count)) ])
+      grid
+  in
+  Buffer.add_string buf (Table.render ~header rows);
+  Buffer.contents buf
+
+let fig12 (grid : Experiment.bench_result list) : string =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 12: combining heuristics, scaled execution times (SHMEM)\n\n";
+  let groups =
+    List.map
+      (fun (r : Experiment.bench_result) ->
+        ( r.bench.Programs.Bench_def.name,
+          [ ( "pl with shmem (max combining)",
+              Experiment.scaled r (fun x -> x.Experiment.time)
+                (row_of r "pl with shmem") );
+            ( "pl with max latency",
+              Experiment.scaled r (fun x -> x.Experiment.time)
+                (row_of r "pl with max latency") ) ] ))
+      grid
+  in
+  Buffer.add_string buf
+    (Plot.grouped_bars ~title:"execution time relative to baseline"
+       ~unit_label:"fraction of baseline" groups);
+  Buffer.contents buf
+
+(** One appendix table (Tables 1-4): ours next to the paper's numbers. *)
+let appendix_table (r : Experiment.bench_result) : string =
+  let b = r.bench in
+  let paper_row label =
+    List.find_opt
+      (fun (p : Programs.Bench_def.paper_row) -> p.experiment = label)
+      b.Programs.Bench_def.paper_rows
+  in
+  let header =
+    [ "experiment"; "static"; "dynamic"; "time";
+      "paper static"; "paper dynamic"; "paper time (s)" ]
+  in
+  let rows =
+    List.map
+      (fun (x : Experiment.row) ->
+        [ x.label; string_of_int x.static_count; string_of_int x.dynamic_count;
+          fmt_time x.time ]
+        @
+        match paper_row x.label with
+        | Some p ->
+            [ string_of_int p.Programs.Bench_def.p_static;
+              string_of_int p.Programs.Bench_def.p_dynamic;
+              (match p.Programs.Bench_def.p_time with
+              | Some t -> Printf.sprintf "%.6f" t
+              | None -> "-") ]
+        | None -> [ "-"; "-"; "-" ])
+      r.rows
+  in
+  Printf.sprintf "Results for %s %s (ours: %s on a simulated %dx%d T3D)\n\n%s"
+    b.Programs.Bench_def.paper_grid b.Programs.Bench_def.name
+    (let d = b.Programs.Bench_def.bench_defines in
+     String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) d))
+    (fst b.Programs.Bench_def.bench_mesh) (snd b.Programs.Bench_def.bench_mesh)
+    (Table.render ~header rows)
+
+(* ------------------------------------------------------------------ *)
+(* Extension exhibits beyond the paper                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** The whole-program Paragon comparison the paper chose not to present:
+    fully optimized code under each NX primitive set, scaled to the
+    csend/crecv baseline. *)
+let paragon_appendix (grid : Experiment.bench_result list) : string =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Extension: whole-program results on the simulated Paragon\n\
+     (the paper ran these and reported only that the asynchronous\n\
+     primitives did not help; here are the numbers)\n\n";
+  let header =
+    [ "benchmark"; "baseline"; "pl csend/crecv"; "pl isend/irecv";
+      "pl hsend/hrecv" ]
+  in
+  let rows =
+    List.map
+      (fun (r : Experiment.bench_result) ->
+        let base = List.hd r.rows in
+        r.bench.Programs.Bench_def.name
+        :: List.map
+             (fun (x : Experiment.row) ->
+               Printf.sprintf "%s (%.0f%%)" (fmt_time x.time)
+                 (100. *. x.time /. base.time))
+             r.rows)
+      grid
+  in
+  Buffer.add_string buf (Table.render ~header rows);
+  Buffer.add_string buf
+    "\n\nAs the paper observed: isend/irecv is at best marginal and\n\
+     hsend/hrecv degrades every benchmark.\n";
+  Buffer.contents buf

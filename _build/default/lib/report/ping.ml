@@ -1,0 +1,77 @@
+(** Figure 6 driver: exposed software overhead per communication primitive
+    set, measured exactly as the paper's synthetic benchmark does — a
+    message bounces between two nodes with busy loops big enough to hide
+    the wire transmission; the busy-only variant's time is subtracted and
+    the remainder divided by the iteration count. *)
+
+type point = { doubles : int; overhead : float (* seconds *) }
+
+type curve = {
+  machine : Machine.Params.t;
+  lib : Machine.Library.t;
+  points : point list;
+}
+
+let default_sizes = [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+(** Busy-loop rows needed so the busy statements exceed ~1.5x the full
+    transmission time of a [doubles]-sized message, including the remote
+    sender's CPU share — "the loop performs enough computation to hide the
+    transmission time". *)
+let busyn_for (machine : Machine.Params.t) (lib : Machine.Library.t) doubles =
+  let c = lib.Machine.Library.costs in
+  let bytes = float_of_int (doubles * 8) in
+  let transmission =
+    c.Machine.Params.sr_over
+    +. (bytes *. c.Machine.Params.send_byte)
+    +. machine.Machine.Params.wire_latency
+    +. c.Machine.Params.msg_latency +. c.Machine.Params.token_latency
+    +. (bytes /. machine.Machine.Params.bandwidth)
+  in
+  let per_row = 9.0 *. machine.Machine.Params.sec_per_flop in
+  max 16 (int_of_float (Float.ceil (1.5 *. transmission /. per_row)))
+
+let simulate_time ~machine ~lib ~defines source =
+  let prog = Zpl.Check.compile_string ~defines source in
+  let ir = Opt.Passes.compile Opt.Config.pl_cum prog in
+  let flat = Ir.Flat.flatten ir in
+  let engine = Sim.Engine.make ~machine ~lib ~pr:1 ~pc:2 flat in
+  (Sim.Engine.run engine).Sim.Engine.time
+
+(** Measure one (machine, library) curve. *)
+let measure ?(sizes = default_sizes) ?(iters = 50)
+    (machine : Machine.Params.t) (lib : Machine.Library.t) : curve =
+  let points =
+    List.map
+      (fun doubles ->
+        let busyn = busyn_for machine lib doubles in
+        let defines = Programs.Synthetic.defines ~doubles ~busyn ~iters in
+        let t_comm =
+          simulate_time ~machine ~lib ~defines Programs.Synthetic.source
+        in
+        let t_busy =
+          simulate_time ~machine ~lib ~defines Programs.Synthetic.busy_source
+        in
+        (* each iteration pays one send and one receive per processor,
+           i.e. exactly one transfer's two-sided software overhead *)
+        { doubles; overhead = (t_comm -. t_busy) /. float_of_int iters })
+      sizes
+  in
+  { machine; lib; points }
+
+(** All five curves of Figure 6. *)
+let figure6 ?sizes ?iters () : curve list =
+  List.map (measure ?sizes ?iters Machine.Paragon.machine) Machine.Paragon.libraries
+  @ List.map (measure ?sizes ?iters Machine.T3d.machine) Machine.T3d.libraries
+
+(** The message size at which overhead stops being flat: the first size
+    whose overhead exceeds twice the smallest-message overhead — the
+    "knee" the paper places at 512 doubles (4 KB). *)
+let knee (c : curve) : int option =
+  match c.points with
+  | [] -> None
+  | first :: _ ->
+      List.find_map
+        (fun p ->
+          if p.overhead > 2.0 *. first.overhead then Some p.doubles else None)
+        c.points

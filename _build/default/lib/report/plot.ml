@@ -1,0 +1,83 @@
+(** ASCII charts: horizontal bars for the scaled-performance figures and a
+    log-x line chart for the Figure 6 overhead curves. *)
+
+(** One horizontal bar, [value] in [0, ~1.5], scaled to [width] columns. *)
+let bar ?(width = 48) value =
+  let n = int_of_float (Float.round (value *. float_of_int width)) in
+  let n = max 0 n in
+  String.concat ""
+    [ String.make (min n (width * 2)) '#' ]
+
+(** Grouped horizontal bar chart: for each group, one labelled bar per
+    series, values scaled to the given unit (1.0 = full [width]). *)
+let grouped_bars ~(title : string) ~(unit_label : string)
+    (groups : (string * (string * float) list) list) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  (bar unit: %s; '#' = 1/48)\n" unit_label);
+  let lw =
+    List.fold_left
+      (fun m (_, series) ->
+        List.fold_left (fun m (l, _) -> max m (String.length l)) m series)
+      0 groups
+  in
+  List.iter
+    (fun (group, series) ->
+      Buffer.add_string buf (Printf.sprintf "  %s\n" group);
+      List.iter
+        (fun (label, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %-*s %5.2f %s\n" lw label v (bar v)))
+        series)
+    groups;
+  Buffer.contents buf
+
+(** Log2-x line chart rendered as rows of points, one series per line
+    label; good enough to see the knee of Figure 6. *)
+let log_chart ~(title : string) ~(xlabel : string) ~(ylabel : string)
+    (series : (string * (float * float) list) list) : string =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "%s\n  y: %s, x: %s (log scale)\n" title ylabel xlabel);
+  let all_pts = List.concat_map snd series in
+  let ymax = List.fold_left (fun m (_, y) -> Float.max m y) 0.0 all_pts in
+  let height = 16 and width = 60 in
+  let xs = List.sort_uniq compare (List.map fst all_pts) in
+  let xmin = List.hd xs and xmax = List.nth xs (List.length xs - 1) in
+  let xcol x =
+    if xmax = xmin then 0
+    else
+      int_of_float
+        (Float.round
+           (Float.log (x /. xmin) /. Float.log (xmax /. xmin)
+           *. float_of_int (width - 1)))
+  in
+  let yrow y =
+    height - 1 - int_of_float (Float.round (y /. ymax *. float_of_int (height - 1)))
+  in
+  let canvas = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun si (_, pts) ->
+      let mark = Char.chr (Char.code 'a' + si) in
+      List.iter
+        (fun (x, y) ->
+          let r = max 0 (min (height - 1) (yrow y)) in
+          let c = max 0 (min (width - 1) (xcol x)) in
+          canvas.(r).(c) <- (if canvas.(r).(c) = ' ' then mark else '*'))
+        pts)
+    series;
+  Array.iteri
+    (fun r row ->
+      let yval = ymax *. float_of_int (height - 1 - r) /. float_of_int (height - 1) in
+      Buffer.add_string buf (Printf.sprintf "  %8.1f |%s|\n" yval (String.init width (Array.get row))))
+    canvas;
+  Buffer.add_string buf
+    (Printf.sprintf "  %8s +%s+\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "  legend: %s ('*' = overlap)\n"
+       (String.concat ", "
+          (List.mapi
+             (fun si (name, _) ->
+               Printf.sprintf "%c=%s" (Char.chr (Char.code 'a' + si)) name)
+             series)));
+  Buffer.contents buf

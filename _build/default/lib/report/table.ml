@@ -1,0 +1,38 @@
+(** Minimal ASCII table renderer for the harness output. *)
+
+type align = L | R
+
+let render ?(aligns : align list option) ~(header : string list)
+    (rows : string list list) : string =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let get r i = match List.nth_opt r i with Some s -> s | None -> "" in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun m r -> max m (String.length (get r i))) 0 all)
+  in
+  let aligns =
+    match aligns with
+    | Some a -> List.init ncols (fun i -> match List.nth_opt a i with Some x -> x | None -> L)
+    | None -> List.init ncols (fun i -> if i = 0 then L else R)
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | L -> s ^ String.make n ' '
+      | R -> String.make n ' ' ^ s
+  in
+  let line r =
+    "| "
+    ^ String.concat " | "
+        (List.mapi (fun i (w, a) -> pad a w (get r i))
+           (List.combine widths aligns))
+    ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  String.concat "\n"
+    ([ sep; line header; sep ] @ List.map line rows @ [ sep ])

@@ -1,0 +1,8 @@
+(** Minimal ASCII table renderer for the harness output. *)
+
+type align = L | R
+
+(** [render ~header rows] lays out a bordered table; column widths fit the
+    widest cell. Default alignment: first column left, the rest right. *)
+val render :
+  ?aligns:align list -> header:string list -> string list list -> string

@@ -1,0 +1,1 @@
+lib/runtime/halo.pp.ml: Array Layout List Zpl

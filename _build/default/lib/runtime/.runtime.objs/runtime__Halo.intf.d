@@ -1,0 +1,1 @@
+lib/runtime/halo.pp.mli: Layout Zpl

@@ -1,0 +1,1 @@
+lib/runtime/kernel.pp.ml: Array Float Fmt List Reduce Values Zpl

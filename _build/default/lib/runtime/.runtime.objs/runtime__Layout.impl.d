@@ -1,0 +1,1 @@
+lib/runtime/layout.pp.ml: Array Zpl

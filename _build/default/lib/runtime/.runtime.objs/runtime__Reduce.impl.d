@@ -1,0 +1,1 @@
+lib/runtime/reduce.pp.ml: Float Zpl

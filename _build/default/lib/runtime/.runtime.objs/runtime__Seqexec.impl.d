@@ -1,0 +1,1 @@
+lib/runtime/seqexec.pp.ml: Array Kernel List Store Values Zpl

@@ -1,0 +1,1 @@
+lib/runtime/seqexec.pp.mli: Store Values Zpl

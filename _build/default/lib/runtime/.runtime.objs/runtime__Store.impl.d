@@ -1,0 +1,1 @@
+lib/runtime/store.pp.ml: Array Fmt List String Zpl

@@ -1,0 +1,1 @@
+lib/runtime/values.pp.ml: Array Float Ppx_deriving_runtime Zpl

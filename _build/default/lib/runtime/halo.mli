@@ -1,0 +1,42 @@
+(** Halo (fringe) exchange arithmetic: which rectangles a processor sends
+    to and receives from its neighbors to satisfy a shifted reference. A
+    transfer for array [A] with mesh offset [(d0, d1)] fills, on each
+    processor, the ghost cells [shift(owned, d) \ owned], which lie in the
+    partition boxes of up to three neighbors (row slab, column slab,
+    corner). *)
+
+type piece = {
+  partner : int;  (** the other processor *)
+  rect : Zpl.Region.t;  (** 2-D rectangle in global coordinates *)
+}
+
+val sign : int -> int
+
+(** The part of [info]'s declared region owned by a processor (full rank;
+    dimension 2 of rank-3 arrays is kept whole). *)
+val owned_of : Layout.t -> Zpl.Prog.array_info -> int -> Zpl.Region.t
+
+(** First two dimensions of a region. *)
+val two_d : Zpl.Region.t -> Zpl.Region.t
+
+(** Candidate neighbor mesh deltas for an offset: row-side, column-side,
+    diagonal — whichever components are nonzero. *)
+val neighbor_deltas : int * int -> (int * int) list
+
+(** Rectangles processor [p] must receive for [info] shifted by [off];
+    empty at mesh edges and when [p] owns nothing of the array. *)
+val recv_pieces :
+  Layout.t -> Zpl.Prog.array_info -> p:int -> off:int * int -> piece list
+
+(** Rectangles processor [p] must send — the exact duals of its
+    [-off]-side neighbors' receive pieces. *)
+val send_pieces :
+  Layout.t -> Zpl.Prog.array_info -> p:int -> off:int * int -> piece list
+
+(** Cells a piece moves, including the local third dimension of rank-3
+    arrays. *)
+val piece_cells : Zpl.Prog.array_info -> piece -> int
+
+(** Extend a piece's 2-D rectangle to the array's full rank, for
+    extraction and injection. *)
+val full_rect : Zpl.Prog.array_info -> piece -> Zpl.Region.t

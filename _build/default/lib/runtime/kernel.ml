@@ -1,0 +1,141 @@
+(** Compilation of per-cell array expressions to closures, and execution of
+    whole-array statements and reductions over a region. Shared between the
+    parallel simulator (reading local blocks with fringes) and the
+    sequential oracle (reading global storage). *)
+
+type ctx = {
+  read : int -> int array -> float;  (** array id, global coordinates *)
+  scalar : int -> float;  (** numeric scalar value *)
+}
+
+(** [compile ctx e] builds a closure evaluating [e] at a global point. The
+    point buffer passed in is never retained. *)
+let rec compile (ctx : ctx) (e : Zpl.Prog.aexpr) : int array -> float =
+  match e with
+  | Zpl.Prog.AConst c -> fun _ -> c
+  | Zpl.Prog.AScalar id -> fun _ -> ctx.scalar id
+  | Zpl.Prog.AIndex d -> fun p -> float_of_int p.(d)
+  | Zpl.Prog.ARef (aid, off) ->
+      if Array.for_all (fun d -> d = 0) off then fun p -> ctx.read aid p
+      else
+        let n = Array.length off in
+        let scratch = Array.make n 0 in
+        fun p ->
+          for k = 0 to n - 1 do
+            scratch.(k) <- p.(k) + off.(k)
+          done;
+          ctx.read aid scratch
+  | Zpl.Prog.ABin (op, a, b) -> (
+      let fa = compile ctx a and fb = compile ctx b in
+      match op with
+      | Zpl.Ast.Add -> fun p -> fa p +. fb p
+      | Zpl.Ast.Sub -> fun p -> fa p -. fb p
+      | Zpl.Ast.Mul -> fun p -> fa p *. fb p
+      | Zpl.Ast.Div -> fun p -> fa p /. fb p
+      | Zpl.Ast.Pow -> fun p -> Float.pow (fa p) (fb p)
+      | Zpl.Ast.Lt | Zpl.Ast.Le | Zpl.Ast.Gt | Zpl.Ast.Ge | Zpl.Ast.Eq
+      | Zpl.Ast.Ne | Zpl.Ast.And | Zpl.Ast.Or ->
+          invalid_arg "comparison in array expression")
+  | Zpl.Prog.AUn (Zpl.Ast.Neg, a) ->
+      let fa = compile ctx a in
+      fun p -> -.fa p
+  | Zpl.Prog.AUn (Zpl.Ast.Not, _) -> invalid_arg "'not' in array expression"
+  | Zpl.Prog.ACall (f, [ a ]) ->
+      let fa = compile ctx a in
+      fun p -> Values.apply1 f (fa p)
+  | Zpl.Prog.ACall (f, [ a; b ]) ->
+      let fa = compile ctx a and fb = compile ctx b in
+      fun p -> Values.apply2 f (fa p) (fb p)
+  | Zpl.Prog.ACall (f, _) -> invalid_arg ("bad arity for intrinsic " ^ f)
+
+(** Whether the rhs reads the lhs through a nonzero shift — the case where
+    in-place evaluation would observe freshly written cells, so the
+    assignment must evaluate into a buffer first (array semantics). *)
+let needs_buffer (a : Zpl.Prog.assign_a) =
+  let rec go = function
+    | Zpl.Prog.AConst _ | Zpl.Prog.AScalar _ | Zpl.Prog.AIndex _ -> false
+    | Zpl.Prog.ARef (aid, off) ->
+        aid = a.lhs && Array.exists (fun d -> d <> 0) off
+    | Zpl.Prog.ABin (_, x, y) -> go x || go y
+    | Zpl.Prog.AUn (_, x) -> go x
+    | Zpl.Prog.ACall (_, args) -> List.exists go args
+  in
+  go a.rhs
+
+(** Run a pre-compiled per-cell function over [region], writing through
+    [write]. [buffered] forces evaluation into a temporary first (array
+    semantics when the lhs is read through a shift). Returns the number of
+    cells updated. *)
+let run_region ~(write : int array -> float -> unit) ~(region : Zpl.Region.t)
+    ~buffered (f : int array -> float) : int =
+  if Zpl.Region.is_empty region then 0
+  else begin
+    if buffered then begin
+      let buf = Array.make (Zpl.Region.size region) 0.0 in
+      let k = ref 0 in
+      Zpl.Region.iter region (fun p ->
+          buf.(!k) <- f p;
+          incr k);
+      k := 0;
+      Zpl.Region.iter region (fun p ->
+          write p buf.(!k);
+          incr k)
+    end
+    else Zpl.Region.iter region (fun p -> write p (f p));
+    Zpl.Region.size region
+  end
+
+(** Execute an array assignment over [region] (already intersected with
+    ownership by the caller). [write] stores into the lhs array. Returns
+    the number of cells updated. *)
+let exec_assign (ctx : ctx) ~(write : int array -> float -> unit)
+    ~(region : Zpl.Region.t) (a : Zpl.Prog.assign_a) : int =
+  if Zpl.Region.is_empty region then 0
+  else
+    run_region ~write ~region ~buffered:(needs_buffer a) (compile ctx a.rhs)
+
+(** Fold a pre-compiled per-cell function over [region] with reduction
+    operator [op]. Returns the partial (identity on empty regions) and the
+    cell count. *)
+let run_reduce ~(region : Zpl.Region.t) (op : Zpl.Ast.redop)
+    (f : int array -> float) : float * int =
+  if Zpl.Region.is_empty region then (Reduce.identity op, 0)
+  else begin
+    let acc = ref (Reduce.identity op) in
+    Zpl.Region.iter region (fun p -> acc := Reduce.apply op !acc (f p));
+    (!acc, Zpl.Region.size region)
+  end
+
+(** Evaluate the local partial reduction of [r] over [region]. Returns the
+    partial value (identity when the region is empty) and the cell count. *)
+let exec_reduce (ctx : ctx) ~(region : Zpl.Region.t) (r : Zpl.Prog.reduce_s) :
+    float * int =
+  run_reduce ~region r.r_op (compile ctx r.r_rhs)
+
+(** Runtime validation that every shifted read of [e] over [region] stays
+    inside the referenced array's allocated storage — the dynamic
+    counterpart of the checker's static shift-bounds test, needed for
+    loop-variant regions. [alloc_of] maps an array id to its allocated
+    region on this executor. *)
+let check_refs ~(region : Zpl.Region.t) ~(alloc_of : int -> Zpl.Region.t)
+    (e : Zpl.Prog.aexpr) =
+  if not (Zpl.Region.is_empty region) then begin
+    let rec go = function
+      | Zpl.Prog.AConst _ | Zpl.Prog.AScalar _ | Zpl.Prog.AIndex _ -> ()
+      | Zpl.Prog.ARef (aid, off) ->
+          let target = Zpl.Region.shift region off in
+          if not (Zpl.Region.subset target (alloc_of aid)) then
+            Fmt.failwith
+              "shifted read of array %d over %s reaches %s, outside allocated %s"
+              aid
+              (Zpl.Region.to_string region)
+              (Zpl.Region.to_string target)
+              (Zpl.Region.to_string (alloc_of aid))
+      | Zpl.Prog.ABin (_, a, b) ->
+          go a;
+          go b
+      | Zpl.Prog.AUn (_, a) -> go a
+      | Zpl.Prog.ACall (_, args) -> List.iter go args
+    in
+    go e
+  end

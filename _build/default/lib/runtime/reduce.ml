@@ -1,0 +1,20 @@
+(** Full-reduction operators. ZPL's [op<<] reduces an array expression to a
+    replicated scalar; in the parallel runtime each processor computes a
+    local partial which a (modeled) combining tree merges. All four
+    operators are associative and commutative, so partial order does not
+    affect the mathematical result; floating-point sum/product may differ
+    from the sequential order by rounding, which tests account for with a
+    tolerance. *)
+
+let identity = function
+  | Zpl.Ast.RSum -> 0.0
+  | Zpl.Ast.RProd -> 1.0
+  | Zpl.Ast.RMax -> neg_infinity
+  | Zpl.Ast.RMin -> infinity
+
+let apply op a b =
+  match op with
+  | Zpl.Ast.RSum -> a +. b
+  | Zpl.Ast.RProd -> a *. b
+  | Zpl.Ast.RMax -> Float.max a b
+  | Zpl.Ast.RMin -> Float.min a b

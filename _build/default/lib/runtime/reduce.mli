@@ -1,0 +1,7 @@
+(** Full-reduction operators for ZPL's [op<<]. All four are associative
+    and commutative; floating-point sum/product may round differently
+    under different evaluation orders, which callers account for with a
+    tolerance. *)
+
+val identity : Zpl.Ast.redop -> float
+val apply : Zpl.Ast.redop -> float -> float -> float

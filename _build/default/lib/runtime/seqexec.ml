@@ -1,0 +1,87 @@
+(** Sequential reference executor: runs a typed program directly on global
+    (undistributed) storage. This is the semantic oracle every optimizer
+    configuration and machine model is tested against. *)
+
+type t = {
+  prog : Zpl.Prog.t;
+  stores : Store.t array;
+  env : Values.env;
+  mutable steps : int;  (** simple statements executed *)
+}
+
+exception Step_limit of int
+
+let make (prog : Zpl.Prog.t) : t =
+  let stores =
+    Array.map
+      (fun (info : Zpl.Prog.array_info) ->
+        Store.make info ~owned:info.a_region ~fringe:0)
+      prog.arrays
+  in
+  { prog; stores; env = Values.make_env prog; steps = 0 }
+
+let ctx_of (t : t) : Kernel.ctx =
+  { Kernel.read = (fun aid p -> Store.get_unsafe t.stores.(aid) p);
+    scalar = (fun id -> Values.as_float t.env.(id)) }
+
+let bump t limit =
+  t.steps <- t.steps + 1;
+  if t.steps > limit then raise (Step_limit limit)
+
+let rec exec_stmts t ~limit (stmts : Zpl.Prog.stmt list) =
+  List.iter (exec_stmt t ~limit) stmts
+
+and exec_stmt t ~limit (s : Zpl.Prog.stmt) =
+  match s with
+  | Zpl.Prog.AssignA a ->
+      bump t limit;
+      let region = Values.eval_dregion t.env a.region in
+      let region = Zpl.Region.inter region t.stores.(a.lhs).Store.owned in
+      let store = t.stores.(a.lhs) in
+      ignore
+        (Kernel.exec_assign (ctx_of t)
+           ~write:(fun p v -> Store.set_unsafe store p v)
+           ~region a)
+  | Zpl.Prog.AssignS { lhs; rhs } ->
+      bump t limit;
+      t.env.(lhs) <- Values.eval_env t.env rhs
+  | Zpl.Prog.ReduceS r ->
+      bump t limit;
+      let region = Values.eval_dregion t.env r.r_region in
+      let v, _ = Kernel.exec_reduce (ctx_of t) ~region r in
+      t.env.(r.r_lhs) <- Values.VFloat v
+  | Zpl.Prog.Repeat (body, cond) ->
+      let rec loop () =
+        exec_stmts t ~limit body;
+        if not (Values.eval_bool t.env cond) then loop ()
+      in
+      loop ()
+  | Zpl.Prog.For { var; lo; hi; step; body } ->
+      let lo = Values.as_int (Values.eval_env t.env lo) in
+      let hi = Values.as_int (Values.eval_env t.env hi) in
+      let count = if step >= 0 then hi - lo + 1 else lo - hi + 1 in
+      for k = 0 to count - 1 do
+        t.env.(var) <- Values.VInt (lo + (k * step));
+        exec_stmts t ~limit body
+      done
+  | Zpl.Prog.If (cond, then_, else_) ->
+      if Values.eval_bool t.env cond then exec_stmts t ~limit then_
+      else exec_stmts t ~limit else_
+
+(** Run the whole program. [limit] bounds the number of simple statements
+    executed (default 10 million) and raises {!Step_limit} beyond it, so a
+    buggy [repeat] cannot hang the test suite. *)
+let run ?(limit = 10_000_000) (prog : Zpl.Prog.t) : t =
+  let t = make prog in
+  exec_stmts t ~limit prog.body;
+  t
+
+let scalar_value (t : t) name =
+  match Zpl.Prog.find_scalar t.prog name with
+  | Some s -> Some t.env.(s.s_id)
+  | None -> None
+
+let array_store (t : t) name =
+  match Zpl.Prog.find_array t.prog name with
+  | Some a -> Some t.stores.(a.a_id)
+  | None -> None

@@ -1,0 +1,22 @@
+(** Sequential reference executor: runs a typed program directly on global
+    (undistributed) storage — the semantic oracle every optimizer
+    configuration and machine model is tested against. *)
+
+type t = {
+  prog : Zpl.Prog.t;
+  stores : Store.t array;  (** one global store per array *)
+  env : Values.env;
+  mutable steps : int;  (** simple statements executed *)
+}
+
+(** Raised when the statement budget is exhausted (runaway [repeat]). *)
+exception Step_limit of int
+
+val make : Zpl.Prog.t -> t
+
+(** Run to completion. [limit] bounds executed simple statements
+    (default 10 million). *)
+val run : ?limit:int -> Zpl.Prog.t -> t
+
+val scalar_value : t -> string -> Values.value option
+val array_store : t -> string -> Store.t option

@@ -1,0 +1,75 @@
+(** Local storage for one array on one processor: the owned sub-box plus a
+    fringe (ghost region) of configurable width around the distributed
+    dimensions. The same structure with an empty fringe and the full
+    declared region serves as global storage for the sequential oracle. *)
+
+type t = {
+  info : Zpl.Prog.array_info;
+  owned : Zpl.Region.t;  (** owned part of the declared region; may be empty *)
+  alloc : Zpl.Region.t;  (** owned grown by the fringe in dims 0 and 1 *)
+  strides : int array;
+  data : float array;
+}
+
+let grow (r : Zpl.Region.t) ~fringe : Zpl.Region.t =
+  Array.mapi
+    (fun d ({ Zpl.Region.lo; hi } as rg) ->
+      if d < 2 then { Zpl.Region.lo = lo - fringe; hi = hi + fringe } else rg)
+    r
+
+(** [make info ~owned ~fringe] allocates storage covering [owned] plus
+    [fringe] ghost cells on each side of dims 0 and 1. All cells start 0. *)
+let make (info : Zpl.Prog.array_info) ~(owned : Zpl.Region.t) ~fringe : t =
+  let alloc =
+    if Zpl.Region.is_empty owned then owned else grow owned ~fringe
+  in
+  let rank = Zpl.Region.rank alloc in
+  let strides = Array.make rank 1 in
+  for d = rank - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * Zpl.Region.range_size (Zpl.Region.dim alloc (d + 1))
+  done;
+  let cells = if Zpl.Region.is_empty alloc then 0 else Zpl.Region.size alloc in
+  { info; owned; alloc; strides; data = Array.make cells 0.0 }
+
+let index (s : t) (p : int array) =
+  let idx = ref 0 in
+  for d = 0 to Array.length p - 1 do
+    idx := !idx + ((p.(d) - (Zpl.Region.dim s.alloc d).lo) * s.strides.(d))
+  done;
+  !idx
+
+let get (s : t) (p : int array) : float =
+  if not (Zpl.Region.contains_point s.alloc p) then
+    Fmt.invalid_arg "Store.get: %s out of %s of %s"
+      (String.concat "," (List.map string_of_int (Array.to_list p)))
+      (Zpl.Region.to_string s.alloc) s.info.a_name;
+  s.data.(index s p)
+
+let set (s : t) (p : int array) (v : float) =
+  if not (Zpl.Region.contains_point s.alloc p) then
+    Fmt.invalid_arg "Store.set: %s out of %s of %s"
+      (String.concat "," (List.map string_of_int (Array.to_list p)))
+      (Zpl.Region.to_string s.alloc) s.info.a_name;
+  s.data.(index s p) <- v
+
+(** Unchecked accessors for hot kernel loops. *)
+let get_unsafe (s : t) (p : int array) : float = s.data.(index s p)
+
+let set_unsafe (s : t) (p : int array) (v : float) = s.data.(index s p) <- v
+
+(** Copy the values of rectangle [rect] (must lie inside [alloc]) into a
+    fresh buffer, row-major. *)
+let extract (s : t) (rect : Zpl.Region.t) : float array =
+  let buf = Array.make (Zpl.Region.size rect) 0.0 in
+  let k = ref 0 in
+  Zpl.Region.iter rect (fun p ->
+      buf.(!k) <- get s p;
+      incr k);
+  buf
+
+(** Write [buf] (row-major over [rect]) into storage. *)
+let inject (s : t) (rect : Zpl.Region.t) (buf : float array) =
+  let k = ref 0 in
+  Zpl.Region.iter rect (fun p ->
+      set s p buf.(!k);
+      incr k)

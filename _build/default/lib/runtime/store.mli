@@ -1,0 +1,37 @@
+(** Local storage for one array on one processor: the owned sub-box plus a
+    fringe (ghost region) around the distributed dimensions. With an empty
+    fringe and the full declared region it doubles as global storage for
+    the sequential oracle. *)
+
+type t = {
+  info : Zpl.Prog.array_info;
+  owned : Zpl.Region.t;  (** owned part of the declared region; may be empty *)
+  alloc : Zpl.Region.t;  (** owned grown by the fringe in dims 0 and 1 *)
+  strides : int array;
+  data : float array;
+}
+
+(** [make info ~owned ~fringe] allocates storage covering [owned] plus
+    [fringe] ghost cells on each side of dimensions 0 and 1 (dimension 2
+    of rank-3 arrays is never grown). All cells start at 0. *)
+val make : Zpl.Prog.array_info -> owned:Zpl.Region.t -> fringe:int -> t
+
+val index : t -> int array -> int
+
+(** Bounds-checked accessors; raise [Invalid_argument] outside [alloc]. *)
+val get : t -> int array -> float
+
+val set : t -> int array -> float -> unit
+
+(** Unchecked accessors for hot kernel loops; the caller must guarantee
+    the point lies in [alloc]. *)
+val get_unsafe : t -> int array -> float
+
+val set_unsafe : t -> int array -> float -> unit
+
+(** Copy the values of a rectangle (inside [alloc]) into a fresh buffer,
+    row-major. *)
+val extract : t -> Zpl.Region.t -> float array
+
+(** Write a row-major buffer back over a rectangle. *)
+val inject : t -> Zpl.Region.t -> float array -> unit

@@ -1,0 +1,104 @@
+(** Replicated scalar values and scalar-expression evaluation. Every
+    processor evaluates scalar statements identically, so control flow is
+    SPMD-consistent by construction. *)
+
+type value = VFloat of float | VInt of int | VBool of bool
+[@@deriving show, eq]
+
+let as_float = function
+  | VFloat f -> f
+  | VInt i -> float_of_int i
+  | VBool _ -> invalid_arg "boolean used as number"
+
+let as_int = function
+  | VInt i -> i
+  | VFloat f when Float.is_integer f -> int_of_float f
+  | VFloat _ -> invalid_arg "non-integral float used as int"
+  | VBool _ -> invalid_arg "boolean used as int"
+
+let as_bool = function
+  | VBool b -> b
+  | VInt _ | VFloat _ -> invalid_arg "number used as boolean"
+
+let default_of = function
+  | Zpl.Ast.TFloat -> VFloat 0.0
+  | Zpl.Ast.TInt -> VInt 0
+  | Zpl.Ast.TBool -> VBool false
+
+let apply1 name (x : float) : float =
+  match name with
+  | "abs" -> Float.abs x
+  | "sqrt" -> sqrt x
+  | "exp" -> exp x
+  | "ln" | "log" -> log x
+  | "sin" -> sin x
+  | "cos" -> cos x
+  | "tan" -> tan x
+  | "floor" -> Float.floor x
+  | "sign" -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0
+  | _ -> invalid_arg ("unknown unary intrinsic " ^ name)
+
+let apply2 name (x : float) (y : float) : float =
+  match name with
+  | "min" -> Float.min x y
+  | "max" -> Float.max x y
+  | _ -> invalid_arg ("unknown binary intrinsic " ^ name)
+
+let rec eval (lookup : int -> value) (e : Zpl.Prog.sexpr) : value =
+  match e with
+  | Zpl.Prog.SFloat f -> VFloat f
+  | Zpl.Prog.SInt i -> VInt i
+  | Zpl.Prog.SBool b -> VBool b
+  | Zpl.Prog.SVar id -> lookup id
+  | Zpl.Prog.SUn (Zpl.Ast.Neg, a) -> (
+      match eval lookup a with
+      | VInt i -> VInt (-i)
+      | VFloat f -> VFloat (-.f)
+      | VBool _ -> invalid_arg "cannot negate a boolean")
+  | Zpl.Prog.SUn (Zpl.Ast.Not, a) -> VBool (not (as_bool (eval lookup a)))
+  | Zpl.Prog.SBin (op, a, b) -> (
+      let va = eval lookup a and vb = eval lookup b in
+      let num f_int f_float =
+        match (va, vb) with
+        | VInt x, VInt y -> VInt (f_int x y)
+        | _ -> VFloat (f_float (as_float va) (as_float vb))
+      in
+      let cmp f = VBool (f (as_float va) (as_float vb)) in
+      match op with
+      | Zpl.Ast.Add -> num ( + ) ( +. )
+      | Zpl.Ast.Sub -> num ( - ) ( -. )
+      | Zpl.Ast.Mul -> num ( * ) ( *. )
+      | Zpl.Ast.Div -> VFloat (as_float va /. as_float vb)
+      | Zpl.Ast.Pow -> VFloat (Float.pow (as_float va) (as_float vb))
+      | Zpl.Ast.Lt -> cmp ( < )
+      | Zpl.Ast.Le -> cmp ( <= )
+      | Zpl.Ast.Gt -> cmp ( > )
+      | Zpl.Ast.Ge -> cmp ( >= )
+      | Zpl.Ast.Eq -> cmp ( = )
+      | Zpl.Ast.Ne -> cmp ( <> )
+      | Zpl.Ast.And -> VBool (as_bool va && as_bool vb)
+      | Zpl.Ast.Or -> VBool (as_bool va || as_bool vb))
+  | Zpl.Prog.SCall (f, [ a ]) -> VFloat (apply1 f (as_float (eval lookup a)))
+  | Zpl.Prog.SCall (f, [ a; b ]) ->
+      VFloat (apply2 f (as_float (eval lookup a)) (as_float (eval lookup b)))
+  | Zpl.Prog.SCall (f, _) -> invalid_arg ("bad arity for intrinsic " ^ f)
+
+(** A mutable environment for one (simulated or sequential) processor. *)
+type env = value array
+
+let make_env (p : Zpl.Prog.t) : env =
+  Array.map (fun (s : Zpl.Prog.scalar_info) -> default_of s.s_ty) p.scalars
+
+let lookup_env (env : env) id = env.(id)
+
+let eval_env (env : env) e = eval (lookup_env env) e
+
+let eval_bool (env : env) e = as_bool (eval_env env e)
+
+let eval_int_bound (env : env) (b : Zpl.Prog.bound) =
+  match b.bvar with
+  | None -> b.base
+  | Some v -> b.base + as_int env.(v)
+
+let eval_dregion (env : env) (dr : Zpl.Prog.dregion) : Zpl.Region.t =
+  Zpl.Prog.eval_dregion (fun v -> as_int env.(v)) dr

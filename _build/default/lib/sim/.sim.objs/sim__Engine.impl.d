@@ -1,0 +1,1 @@
+lib/sim/engine.pp.ml: Array Float Fmt Hashtbl Ir List Machine Printf Queue Runtime Stats String Zpl

@@ -1,0 +1,592 @@
+(** Deterministic discrete-event simulation of an SPMD program on a
+    simulated multiprocessor.
+
+    Each virtual processor owns real distributed blocks (with fringes) of
+    every array, executes the flattened IR greedily on its own clock, and
+    blocks only on message availability (receives, rendezvous tokens,
+    collective reductions). Because every wait is a blocking wait — no
+    processor ever branches on the {e absence} of a message — processors
+    may safely run ahead of each other: a blocked processor resumes at
+    [max(own clock, message arrival)], which yields exactly the same times
+    as a global-clock event loop. Ties never matter, so the simulation is
+    fully deterministic.
+
+    The network model charges per-message CPU overheads and per-byte
+    copy/pack costs on the involved processors (the "software overhead"
+    the paper measures) plus wire latency and bandwidth; link contention
+    is not modeled (see DESIGN.md). *)
+
+type msg_kind = Data | Token
+
+type message = {
+  arrival : float;
+  payload : (int * Zpl.Region.t * float array) list;
+      (** per member array: (array id, full-rank rect, values) *)
+}
+
+(** One partner's share of a transfer on one processor. *)
+type side = {
+  partner : int;
+  rects : (int * Zpl.Region.t) list;  (** (array id, full-rank rect) *)
+  bytes : int;
+}
+
+type xfer_plan = { recv_sides : side list; send_sides : side list }
+
+type waiting =
+  | WData of int * int list  (** transfer, partners still missing *)
+  | WTokens of int * int list
+  | WReduce of int  (** reduction sequence number *)
+
+type proc = {
+  rank : int;
+  mutable pc : int;
+  mutable time : float;
+  stores : Runtime.Store.t array;
+  env : Runtime.Values.env;
+  mutable waiting : waiting option;
+  mutable halted : bool;
+  mutable queued : bool;
+  posted : int array;  (** per transfer: outstanding posted receives *)
+  send_done : float array;  (** per transfer: when the last send drained *)
+  mutable reduce_seq : int;
+  mail : (int * int * msg_kind, message Queue.t) Hashtbl.t;
+  kernels : (bool * (int array -> float)) option array;  (** per op index *)
+  stats : Stats.per_proc;
+}
+
+type reduce_slot = {
+  mutable arrived : int;
+  partials : float array;
+  times : float array;
+  mutable op : Zpl.Ast.redop;
+  mutable lhs : int;
+}
+
+type t = {
+  flat : Ir.Flat.t;
+  machine : Machine.Params.t;
+  lib : Machine.Library.t;
+  layout : Runtime.Layout.t;
+  procs : proc array;
+  plans : xfer_plan array array;  (** [transfer id].(proc) *)
+  runnable : int Queue.t;
+  reduce_slots : (int, reduce_slot) Hashtbl.t;
+  stats : Stats.t;
+  limit : int;
+}
+
+exception Deadlock of string
+exception Instruction_limit of int
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let build_plan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
+    (x : Ir.Transfer.t) ~nprocs : xfer_plan array =
+  let collect pieces_of =
+    Array.init nprocs (fun p ->
+        (* gather (partner, aid, rect) triples for all member arrays *)
+        let triples =
+          List.concat_map
+            (fun aid ->
+              let info = prog.Zpl.Prog.arrays.(aid) in
+              List.map
+                (fun (pc : Runtime.Halo.piece) ->
+                  (pc.partner, aid, Runtime.Halo.full_rect info pc,
+                   Runtime.Halo.piece_cells info pc))
+                (pieces_of info ~p))
+            x.Ir.Transfer.arrays
+        in
+        let partners =
+          List.sort_uniq compare (List.map (fun (q, _, _, _) -> q) triples)
+        in
+        List.map
+          (fun q ->
+            let mine =
+              List.filter (fun (q', _, _, _) -> q' = q) triples
+            in
+            { partner = q;
+              rects = List.map (fun (_, aid, rect, _) -> (aid, rect)) mine;
+              bytes = 8 * List.fold_left (fun n (_, _, _, c) -> n + c) 0 mine })
+          partners)
+  in
+  let recvs =
+    collect (fun info ~p ->
+        Runtime.Halo.recv_pieces layout info ~p ~off:x.Ir.Transfer.off)
+  in
+  let sends =
+    collect (fun info ~p ->
+        Runtime.Halo.send_pieces layout info ~p ~off:x.Ir.Transfer.off)
+  in
+  Array.init nprocs (fun p ->
+      { recv_sides = recvs.(p); send_sides = sends.(p) })
+
+let make ?(limit = 1_000_000_000) ~(machine : Machine.Params.t)
+    ~(lib : Machine.Library.t) ~pr ~pc (flat : Ir.Flat.t) : t =
+  let prog = flat.Ir.Flat.prog in
+  let layout = Runtime.Layout.for_program ~pr ~pc prog in
+  let nprocs = Runtime.Layout.nprocs layout in
+  (* fringe shifts must stay within adjacent blocks *)
+  let max_off =
+    Array.fold_left
+      (fun m (x : Ir.Transfer.t) ->
+        let d0, d1 = x.off in
+        max m (max (abs d0) (abs d1)))
+      0 flat.Ir.Flat.transfers
+  in
+  let mr, mc = Runtime.Layout.min_block_extent layout in
+  if max_off > min mr mc then
+    Fmt.invalid_arg
+      "Engine.make: shift magnitude %d exceeds the smallest block extent \
+       (%d x %d) of a %dx%d mesh"
+      max_off mr mc pr pc;
+  let fringe = Zpl.Prog.fringe_widths prog in
+  let nx = Array.length flat.Ir.Flat.transfers in
+  let procs =
+    Array.init nprocs (fun rank ->
+        let stores =
+          Array.map
+            (fun (info : Zpl.Prog.array_info) ->
+              Runtime.Store.make info
+                ~owned:(Runtime.Halo.owned_of layout info rank)
+                ~fringe:fringe.(info.a_id))
+            prog.Zpl.Prog.arrays
+        in
+        { rank; pc = 0; time = 0.0; stores;
+          env = Runtime.Values.make_env prog;
+          waiting = None; halted = false; queued = false;
+          posted = Array.make nx 0;
+          send_done = Array.make nx 0.0;
+          reduce_seq = 0;
+          mail = Hashtbl.create 64;
+          kernels = Array.make (Array.length flat.Ir.Flat.ops) None;
+          stats = Stats.fresh_proc () })
+  in
+  let plans =
+    Array.map (fun x -> build_plan layout prog x ~nprocs) flat.Ir.Flat.transfers
+  in
+  { flat; machine; lib; layout; procs; plans;
+    runnable = Queue.create ();
+    reduce_slots = Hashtbl.create 8;
+    stats = Stats.make nprocs;
+    limit }
+
+(* ------------------------------------------------------------------ *)
+(* Mail                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mailbox (p : proc) key =
+  match Hashtbl.find_opt p.mail key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace p.mail key q;
+      q
+
+let wake (t : t) (q : proc) =
+  if (not q.halted) && not q.queued then begin
+    q.queued <- true;
+    Queue.push q.rank t.runnable
+  end
+
+let deliver (t : t) ~(dest : int) ~key (m : message) =
+  let q = t.procs.(dest) in
+  Queue.push m (mailbox q key);
+  wake t q
+
+(** Partners of [sides] whose next message has not arrived yet. *)
+let missing_partners (p : proc) ~xfer ~kind (sides : side list) =
+  List.filter_map
+    (fun s ->
+      if Queue.is_empty (mailbox p (s.partner, xfer, kind)) then Some s.partner
+      else None)
+    sides
+
+(* ------------------------------------------------------------------ *)
+(* Cost helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let costs (t : t) = t.lib.Machine.Library.costs
+
+let wire_time (t : t) bytes =
+  t.machine.Machine.Params.wire_latency
+  +. (costs t).Machine.Params.msg_latency
+  +. (float_of_int bytes /. t.machine.Machine.Params.bandwidth)
+
+let reduce_stage_cost (t : t) =
+  let c = costs t in
+  c.Machine.Params.sr_over +. c.Machine.Params.dn_over
+  +. t.machine.Machine.Params.wire_latency
+
+let reduce_stages (t : t) =
+  let n = Runtime.Layout.nprocs t.layout in
+  int_of_float (Float.ceil (Float.log2 (float_of_int (max 2 n))))
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution                                               *)
+(* ------------------------------------------------------------------ *)
+
+type step = Continue | Blocked | Halted
+
+let ctx_of (p : proc) : Runtime.Kernel.ctx =
+  { Runtime.Kernel.read =
+      (fun aid pt -> Runtime.Store.get_unsafe p.stores.(aid) pt);
+    scalar = (fun id -> Runtime.Values.as_float p.env.(id)) }
+
+let kernel_fn (p : proc) idx (a : Zpl.Prog.assign_a) =
+  match p.kernels.(idx) with
+  | Some kf -> kf
+  | None ->
+      let kf =
+        (Runtime.Kernel.needs_buffer a,
+         Runtime.Kernel.compile (ctx_of p) a.rhs)
+      in
+      p.kernels.(idx) <- Some kf;
+      kf
+
+let reduce_fn (p : proc) idx (r : Zpl.Prog.reduce_s) =
+  match p.kernels.(idx) with
+  | Some (_, f) -> f
+  | None ->
+      let f = Runtime.Kernel.compile (ctx_of p) r.r_rhs in
+      p.kernels.(idx) <- Some (false, f);
+      f
+
+(** Local part of a statement region: dims 0-1 intersected with the
+    processor's partition box, higher dims untouched. *)
+let local_region (t : t) (p : proc) (r : Zpl.Region.t) : Zpl.Region.t =
+  let b = Runtime.Layout.box t.layout p.rank in
+  let two = Zpl.Region.inter [| r.(0); r.(1) |] b in
+  if Zpl.Region.rank r = 2 then two
+  else [| two.(0); two.(1); r.(2) |]
+
+let exec_kernel (t : t) (p : proc) idx (a : Zpl.Prog.assign_a) =
+  let region = Runtime.Values.eval_dregion p.env a.region in
+  let store = p.stores.(a.lhs) in
+  let region = Zpl.Region.inter (local_region t p region) store.Runtime.Store.owned in
+  let cells =
+    if Zpl.Region.is_empty region then 0
+    else begin
+      Runtime.Kernel.check_refs ~region
+        ~alloc_of:(fun aid -> p.stores.(aid).Runtime.Store.alloc)
+        a.rhs;
+      let buffered, f = kernel_fn p idx a in
+      Runtime.Kernel.run_region
+        ~write:(fun pt v -> Runtime.Store.set_unsafe store pt v)
+        ~region ~buffered f
+    end
+  in
+  let dt =
+    t.machine.Machine.Params.kernel_overhead
+    +. (float_of_int (cells * a.flops) *. t.machine.Machine.Params.sec_per_flop)
+  in
+  p.time <- p.time +. dt;
+  p.stats.Stats.compute_time <- p.stats.Stats.compute_time +. dt;
+  p.stats.Stats.cells <- p.stats.Stats.cells + cells
+
+(* --- communication calls --- *)
+
+let charge_comm (p : proc) dt =
+  p.time <- p.time +. dt;
+  p.stats.Stats.comm_cpu_time <- p.stats.Stats.comm_cpu_time +. dt
+
+let block_until (p : proc) arrival =
+  if arrival > p.time then begin
+    p.stats.Stats.wait_time <- p.stats.Stats.wait_time +. (arrival -. p.time);
+    p.time <- arrival
+  end
+
+(** Extract the payload a side carries, from the sender's current blocks. *)
+let payload_of (p : proc) (s : side) =
+  List.map
+    (fun (aid, rect) -> (aid, rect, Runtime.Store.extract p.stores.(aid) rect))
+    s.rects
+
+let do_send (t : t) (p : proc) ~xfer (s : side) =
+  let c = costs t in
+  let cpu =
+    c.Machine.Params.sr_over
+    +. (float_of_int s.bytes *. c.Machine.Params.send_byte)
+  in
+  let payload = payload_of p s in
+  charge_comm p cpu;
+  let arrival = p.time +. wire_time t s.bytes in
+  deliver t ~dest:s.partner ~key:(p.rank, xfer, Data) { arrival; payload };
+  p.send_done.(xfer) <-
+    Float.max p.send_done.(xfer)
+      (p.time +. (float_of_int s.bytes /. t.machine.Machine.Params.bandwidth));
+  p.stats.Stats.msgs_sent <- p.stats.Stats.msgs_sent + 1;
+  p.stats.Stats.bytes_sent <- p.stats.Stats.bytes_sent + s.bytes
+
+let exec_comm (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) : step =
+  let plan = t.plans.(xfer).(p.rank) in
+  let c = costs t in
+  match Machine.Library.semantics t.lib.Machine.Library.kind call with
+  | Machine.Library.No_op -> Continue
+  | Machine.Library.Post_recv ->
+      if plan.recv_sides <> [] then begin
+        charge_comm p
+          (float_of_int (List.length plan.recv_sides) *. c.Machine.Params.dr_over);
+        p.posted.(xfer) <- p.posted.(xfer) + 1
+      end;
+      Continue
+  | Machine.Library.Notify_ready ->
+      (* tell each upstream partner (a processor that will put into us)
+         that our fringe buffer is ready *)
+      List.iter
+        (fun s ->
+          charge_comm p c.Machine.Params.dr_over;
+          deliver t ~dest:s.partner ~key:(p.rank, xfer, Token)
+            { arrival =
+                p.time +. t.machine.Machine.Params.wire_latency
+                +. (costs t).Machine.Params.token_latency;
+              payload = [] })
+        plan.recv_sides;
+      Continue
+  | Machine.Library.Send_buffered ->
+      if plan.send_sides <> [] then begin
+        List.iter (do_send t p ~xfer) plan.send_sides;
+        p.stats.Stats.xfers_sent <- p.stats.Stats.xfers_sent + 1
+      end;
+      Continue
+  | Machine.Library.Send_rendezvous ->
+      if plan.send_sides = [] then Continue
+      else begin
+        match missing_partners p ~xfer ~kind:Token plan.send_sides with
+        | _ :: _ as missing ->
+            p.waiting <- Some (WTokens (xfer, missing));
+            Blocked
+        | [] ->
+            p.waiting <- None;
+            let arr =
+              List.fold_left
+                (fun m (s : side) ->
+                  let tok = Queue.pop (mailbox p (s.partner, xfer, Token)) in
+                  Float.max m tok.arrival)
+                0.0 plan.send_sides
+            in
+            block_until p arr;
+            List.iter (do_send t p ~xfer) plan.send_sides;
+            p.stats.Stats.xfers_sent <- p.stats.Stats.xfers_sent + 1;
+            Continue
+      end
+  | Machine.Library.Wait_data ->
+      if plan.recv_sides = [] then Continue
+      else begin
+        match missing_partners p ~xfer ~kind:Data plan.recv_sides with
+        | _ :: _ as missing ->
+            p.waiting <- Some (WData (xfer, missing));
+            Blocked
+        | [] ->
+            p.waiting <- None;
+            let msgs =
+              List.map
+                (fun (s : side) ->
+                  (s, Queue.pop (mailbox p (s.partner, xfer, Data))))
+                plan.recv_sides
+            in
+            let arr =
+              List.fold_left (fun m (_, msg) -> Float.max m msg.arrival) 0.0 msgs
+            in
+            block_until p arr;
+            let unpack =
+              if p.posted.(xfer) > 0 then begin
+                p.posted.(xfer) <- p.posted.(xfer) - 1;
+                0.0
+              end
+              else if Machine.Library.deposits_directly t.lib.Machine.Library.kind
+              then 0.0
+              else c.Machine.Params.recv_byte
+            in
+            List.iter
+              (fun ((s : side), msg) ->
+                charge_comm p
+                  (c.Machine.Params.dn_over
+                  +. (float_of_int s.bytes *. unpack));
+                List.iter
+                  (fun (aid, rect, buf) ->
+                    Runtime.Store.inject p.stores.(aid) rect buf)
+                  msg.payload;
+                p.stats.Stats.msgs_recv <- p.stats.Stats.msgs_recv + 1;
+                p.stats.Stats.bytes_recv <- p.stats.Stats.bytes_recv + s.bytes)
+              msgs;
+            p.stats.Stats.xfers_recv <- p.stats.Stats.xfers_recv + 1;
+            Continue
+      end
+  | Machine.Library.Wait_send_done ->
+      if plan.send_sides <> [] then begin
+        block_until p p.send_done.(xfer);
+        charge_comm p c.Machine.Params.sv_over
+      end;
+      Continue
+
+(* --- collective reduction --- *)
+
+let finish_reduce (t : t) seq (slot : reduce_slot) =
+  let n = Array.length t.procs in
+  let value = ref (Runtime.Reduce.identity slot.op) in
+  for r = 0 to n - 1 do
+    value := Runtime.Reduce.apply slot.op !value slot.partials.(r)
+  done;
+  let arrive = Array.fold_left Float.max 0.0 slot.times in
+  let finish =
+    arrive +. (float_of_int (reduce_stages t) *. reduce_stage_cost t)
+  in
+  Array.iter
+    (fun (q : proc) ->
+      q.stats.Stats.wait_time <-
+        q.stats.Stats.wait_time +. Float.max 0.0 (finish -. q.time);
+      q.time <- Float.max q.time finish;
+      q.env.(slot.lhs) <- Runtime.Values.VFloat !value;
+      q.stats.Stats.reduces <- q.stats.Stats.reduces + 1;
+      q.waiting <- None;
+      q.pc <- q.pc + 1;
+      wake t q)
+    t.procs;
+  Hashtbl.remove t.reduce_slots seq
+
+let exec_reduce (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) : step =
+  let region = Runtime.Values.eval_dregion p.env r.r_region in
+  let region = local_region t p region in
+  Runtime.Kernel.check_refs ~region
+    ~alloc_of:(fun aid -> p.stores.(aid).Runtime.Store.alloc)
+    r.r_rhs;
+  let f = reduce_fn p idx r in
+  let partial, cells = Runtime.Kernel.run_reduce ~region r.r_op f in
+  let dt =
+    t.machine.Machine.Params.kernel_overhead
+    +. (float_of_int (cells * r.r_flops) *. t.machine.Machine.Params.sec_per_flop)
+  in
+  p.time <- p.time +. dt;
+  p.stats.Stats.compute_time <- p.stats.Stats.compute_time +. dt;
+  p.stats.Stats.cells <- p.stats.Stats.cells + cells;
+  let seq = p.reduce_seq in
+  p.reduce_seq <- seq + 1;
+  let slot =
+    match Hashtbl.find_opt t.reduce_slots seq with
+    | Some s -> s
+    | None ->
+        let s =
+          { arrived = 0;
+            partials = Array.make (Array.length t.procs) 0.0;
+            times = Array.make (Array.length t.procs) 0.0;
+            op = r.r_op;
+            lhs = r.r_lhs }
+        in
+        Hashtbl.replace t.reduce_slots seq s;
+        s
+  in
+  slot.partials.(p.rank) <- partial;
+  slot.times.(p.rank) <- p.time;
+  slot.arrived <- slot.arrived + 1;
+  p.waiting <- Some (WReduce seq);
+  if slot.arrived = Array.length t.procs then finish_reduce t seq slot;
+  Blocked
+
+(* --- main dispatch --- *)
+
+let exec_one (t : t) (p : proc) : step =
+  t.stats.Stats.instructions <- t.stats.Stats.instructions + 1;
+  if t.stats.Stats.instructions > t.limit then
+    raise (Instruction_limit t.limit);
+  match t.flat.Ir.Flat.ops.(p.pc) with
+  | Ir.Flat.FHalt ->
+      p.halted <- true;
+      p.stats.Stats.finish <- p.time;
+      Halted
+  | Ir.Flat.FKernel a ->
+      exec_kernel t p p.pc a;
+      p.pc <- p.pc + 1;
+      Continue
+  | Ir.Flat.FScalar { lhs; rhs } ->
+      p.env.(lhs) <- Runtime.Values.eval_env p.env rhs;
+      p.time <- p.time +. t.machine.Machine.Params.scalar_op_cost;
+      p.pc <- p.pc + 1;
+      Continue
+  | Ir.Flat.FJump target ->
+      p.pc <- target;
+      Continue
+  | Ir.Flat.FJumpIfNot (cond, target) ->
+      p.time <- p.time +. t.machine.Machine.Params.scalar_op_cost;
+      if Runtime.Values.eval_bool p.env cond then p.pc <- p.pc + 1
+      else p.pc <- target;
+      Continue
+  | Ir.Flat.FReduce r -> exec_reduce t p p.pc r
+  | Ir.Flat.FComm (call, xfer) -> (
+      match exec_comm t p call xfer with
+      | Continue ->
+          p.pc <- p.pc + 1;
+          Continue
+      | other -> other)
+
+let run_proc (t : t) (p : proc) =
+  if not p.halted then begin
+    let rec go () =
+      match exec_one t p with Continue -> go () | Blocked | Halted -> ()
+    in
+    go ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  time : float;  (** makespan over processors *)
+  stats : Stats.t;
+  engine : t;
+}
+
+let run (t : t) : result =
+  Array.iter (fun (p : proc) -> wake t p) t.procs;
+  (* wake marks queued; initial procs are not waiting *)
+  let rec drain () =
+    match Queue.take_opt t.runnable with
+    | None -> ()
+    | Some r ->
+        let p = t.procs.(r) in
+        p.queued <- false;
+        run_proc t p;
+        drain ()
+  in
+  drain ();
+  (match
+     Array.find_opt (fun (p : proc) -> not p.halted) t.procs
+   with
+  | Some p ->
+      let why =
+        match p.waiting with
+        | Some (WData (x, miss)) ->
+            Printf.sprintf "proc %d waiting for data of transfer %d from %s"
+              p.rank x
+              (String.concat "," (List.map string_of_int miss))
+        | Some (WTokens (x, miss)) ->
+            Printf.sprintf "proc %d waiting for tokens of transfer %d from %s"
+              p.rank x
+              (String.concat "," (List.map string_of_int miss))
+        | Some (WReduce s) ->
+            Printf.sprintf "proc %d waiting in reduction %d" p.rank s
+        | None -> Printf.sprintf "proc %d stopped at pc %d" p.rank p.pc
+      in
+      raise (Deadlock why)
+  | None -> ());
+  Array.iteri (fun i (p : proc) -> t.stats.Stats.procs.(i) <- p.stats) t.procs;
+  { time = Stats.makespan t.stats; stats = t.stats; engine = t }
+
+(** Gather the distributed blocks of array [aid] into one global store
+    (fringe cells ignored) — used to verify against the sequential oracle. *)
+let gather (t : t) (aid : int) : Runtime.Store.t =
+  let info = t.flat.Ir.Flat.prog.Zpl.Prog.arrays.(aid) in
+  let global = Runtime.Store.make info ~owned:info.a_region ~fringe:0 in
+  Array.iter
+    (fun (p : proc) ->
+      let s = p.stores.(aid) in
+      Zpl.Region.iter s.Runtime.Store.owned (fun pt ->
+          Runtime.Store.set global pt (Runtime.Store.get_unsafe s pt)))
+    t.procs;
+  global
+
+(** Scalars after the run (replicated; proc 0's copy). *)
+let final_env (t : t) : Runtime.Values.env = t.procs.(0).env

@@ -1,0 +1,44 @@
+(** Per-processor counters gathered during simulation. The paper's
+    "dynamic count" is the number of communications (transfers) actually
+    performed during execution on a single processor; we report the
+    maximum over processors, which corresponds to an interior processor of
+    the mesh. *)
+
+type per_proc = {
+  mutable xfers_recv : int;  (** transfer instances with >= 1 incoming piece *)
+  mutable xfers_sent : int;  (** transfer instances with >= 1 outgoing piece *)
+  mutable msgs_sent : int;
+  mutable msgs_recv : int;
+  mutable bytes_sent : int;
+  mutable bytes_recv : int;
+  mutable reduces : int;  (** collective reductions joined *)
+  mutable cells : int;  (** array cells computed *)
+  mutable compute_time : float;
+  mutable comm_cpu_time : float;  (** CPU time spent inside comm calls *)
+  mutable wait_time : float;  (** time blocked on messages / collectives *)
+  mutable finish : float;
+}
+
+let fresh_proc () =
+  { xfers_recv = 0; xfers_sent = 0; msgs_sent = 0; msgs_recv = 0;
+    bytes_sent = 0; bytes_recv = 0; reduces = 0; cells = 0;
+    compute_time = 0.0; comm_cpu_time = 0.0; wait_time = 0.0; finish = 0.0 }
+
+type t = { procs : per_proc array; mutable instructions : int }
+
+let make n = { procs = Array.init n (fun _ -> fresh_proc ()); instructions = 0 }
+
+let fold_max f (t : t) =
+  Array.fold_left (fun m p -> max m (f p)) min_int t.procs
+
+(** The paper's per-processor dynamic communication count. *)
+let dynamic_count (t : t) = fold_max (fun p -> p.xfers_recv) t
+
+let total_messages (t : t) =
+  Array.fold_left (fun n p -> n + p.msgs_sent) 0 t.procs
+
+let total_bytes (t : t) =
+  Array.fold_left (fun n p -> n + p.bytes_sent) 0 t.procs
+
+let makespan (t : t) =
+  Array.fold_left (fun m p -> Float.max m p.finish) 0.0 t.procs

@@ -1,0 +1,36 @@
+(** Per-processor counters gathered during simulation. The paper's
+    "dynamic count" is the number of communications (transfers) actually
+    performed during execution on a single processor; [dynamic_count]
+    reports the maximum over processors, corresponding to an interior
+    processor of the mesh. *)
+
+type per_proc = {
+  mutable xfers_recv : int;  (** transfer instances with >= 1 incoming piece *)
+  mutable xfers_sent : int;
+  mutable msgs_sent : int;
+  mutable msgs_recv : int;
+  mutable bytes_sent : int;
+  mutable bytes_recv : int;
+  mutable reduces : int;  (** collective reductions joined *)
+  mutable cells : int;  (** array cells computed *)
+  mutable compute_time : float;
+  mutable comm_cpu_time : float;  (** CPU time inside communication calls *)
+  mutable wait_time : float;  (** blocked on messages / collectives *)
+  mutable finish : float;
+}
+
+val fresh_proc : unit -> per_proc
+
+type t = { procs : per_proc array; mutable instructions : int }
+
+val make : int -> t
+val fold_max : (per_proc -> int) -> t -> int
+
+(** The paper's per-processor dynamic communication count. *)
+val dynamic_count : t -> int
+
+val total_messages : t -> int
+val total_bytes : t -> int
+
+(** Simulated end time: the slowest processor's finish. *)
+val makespan : t -> float

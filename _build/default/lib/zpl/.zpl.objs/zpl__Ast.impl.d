@@ -1,0 +1,1 @@
+lib/zpl/ast.pp.ml: Loc Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/zpl/check.pp.ml: Array Ast Float Fmt Hashtbl List Loc Parser Prog Region String

@@ -1,0 +1,1 @@
+lib/zpl/check.pp.mli: Ast Prog

@@ -1,0 +1,1 @@
+lib/zpl/lexer.pp.ml: Ast List Loc Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/zpl/loc.pp.ml: Fmt Ppx_deriving_runtime Result

@@ -1,0 +1,1 @@
+lib/zpl/parser.pp.ml: Ast Lexer List Loc Printf String

@@ -1,0 +1,1 @@
+lib/zpl/pretty.pp.ml: Array Ast List Printf Prog Region String

@@ -1,0 +1,1 @@
+lib/zpl/prog.pp.ml: Array Ast List Ppx_deriving_runtime Region

@@ -1,0 +1,1 @@
+lib/zpl/region.pp.ml: Array Fun List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/zpl/region.pp.mli: Format

@@ -1,0 +1,90 @@
+(** Raw abstract syntax produced by the parser, before name resolution and
+    type checking. Every node carries the location of its first token. *)
+
+type elem = TFloat | TInt | TBool [@@deriving show, eq, ord]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+[@@deriving show, eq, ord]
+
+type unop = Neg | Not [@@deriving show, eq, ord]
+
+(** Full reductions over a region: [+<<], [max<<], [min<<], [*<<]. *)
+type redop = RSum | RMax | RMin | RProd [@@deriving show, eq, ord]
+
+type expr = { e : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | EFloat of float
+  | EInt of int
+  | EBool of bool
+  | EId of string  (** scalar, array, constant or [Index1]/[Index2]/[Index3] *)
+  | EAt of string * at_arg  (** [A@east] or [A@[0,1]] *)
+  | EBin of binop * expr * expr
+  | EUn of unop * expr
+  | ECall of string * expr list  (** intrinsics: abs, sqrt, min, max, ... *)
+  | EReduce of redop * expr  (** only legal at the top of an assignment rhs *)
+
+and at_arg = AtName of string | AtLit of int list
+
+(** Region bound: an integer expression, restricted by the checker to the
+    affine form [var + const]. *)
+type region_ref =
+  | RName of string * Loc.t
+  | RLit of (expr * expr) list * Loc.t  (** [lo..hi, lo..hi, ...] *)
+
+type for_dir = Upto | Downto
+
+type stmt = { s : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | SAssign of region_ref option * string * expr  (** [[R] A := e] *)
+  | SRepeat of stmt list * expr  (** [repeat ... until e] *)
+  | SFor of string * for_dir * expr * expr * stmt list
+      (** [for i := lo to|downto hi do ... end] *)
+  | SIf of expr * stmt list * stmt list
+  | SCall of string  (** no-argument procedure call, inlined by the checker *)
+
+type decl =
+  | DRegion of string * (expr * expr) list * Loc.t
+  | DDirection of string * int list * Loc.t
+  | DConstant of string * expr * Loc.t
+  | DVarArray of string list * region_ref * elem * Loc.t
+  | DVarScalar of string list * elem * Loc.t
+
+type proc = { p_name : string; p_body : stmt list; p_loc : Loc.t }
+
+type program = { decls : decl list; procs : proc list }
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "^"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "!="
+  | And -> "and"
+  | Or -> "or"
+
+let redop_name = function
+  | RSum -> "+<<"
+  | RMax -> "max<<"
+  | RMin -> "min<<"
+  | RProd -> "*<<"

@@ -1,0 +1,559 @@
+(** Semantic analysis: resolves names, checks types and ranks, inlines
+    no-argument procedure calls, folds constants, and produces a typed
+    {!Prog.t}.
+
+    The checker also enforces the properties the communication optimizer
+    relies on: array shifts are static offset vectors, reductions appear
+    only at the top of an assignment, control-flow conditions are
+    replicated scalar expressions, and every shifted reference stays inside
+    the referenced array's declared region (when the statement region is
+    static). *)
+
+type entry =
+  | KConst of Prog.sexpr  (** folded literal *)
+  | KRegion of Region.t
+  | KDirection of int array
+  | KArray of int
+  | KScalar of int
+  | KIndexd of int  (** Index1/Index2/Index3, 0-based dimension *)
+
+type env = {
+  mutable table : (string * entry) list;
+  mutable arrays : Prog.array_info list;  (** reversed *)
+  mutable scalars : Prog.scalar_info list;  (** reversed *)
+  mutable ambient : Prog.dregion option;
+      (** region of the nearest preceding explicit region prefix, mimicking
+          ZPL's dynamic region scoping for straight-line code *)
+  procs : (string, Ast.proc) Hashtbl.t;
+  mutable inlining : string list;  (** call stack, for recursion detection *)
+}
+
+let lookup env loc name =
+  match List.assoc_opt name env.table with
+  | Some e -> e
+  | None -> (
+      match name with
+      | "Index1" -> KIndexd 0
+      | "Index2" -> KIndexd 1
+      | "Index3" -> KIndexd 2
+      | _ -> Loc.fail loc "unknown name %S" name)
+
+let define env loc name entry =
+  (match List.assoc_opt name env.table with
+  | Some _ -> Loc.fail loc "duplicate definition of %S" name
+  | None -> ());
+  env.table <- (name, entry) :: env.table
+
+let fresh_scalar env name ty =
+  let id = List.length env.scalars in
+  env.scalars <- { Prog.s_id = id; s_name = name; s_ty = ty } :: env.scalars;
+  id
+
+let fresh_array env loc name region =
+  let rank = Region.rank region in
+  if rank < 2 || rank > 3 then
+    Loc.fail loc "array %S has rank %d; only rank 2 and 3 are supported" name
+      rank;
+  let id = List.length env.arrays in
+  env.arrays <-
+    { Prog.a_id = id; a_name = name; a_region = region; a_rank = rank }
+    :: env.arrays;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding over scalar expressions                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec fold_sexpr (e : Prog.sexpr) : Prog.sexpr =
+  let module P = Prog in
+  let num_of = function
+    | P.SInt i -> Some (float_of_int i, true)
+    | P.SFloat f -> Some (f, false)
+    | _ -> None
+  in
+  match e with
+  | P.SBin (op, a, b) -> (
+      let a = fold_sexpr a and b = fold_sexpr b in
+      match (num_of a, num_of b) with
+      | Some (x, xi), Some (y, yi) -> (
+          let both_int = xi && yi in
+          let arith f =
+            let v = f x y in
+            if both_int && Float.is_integer v && op <> Ast.Div then
+              P.SInt (int_of_float v)
+            else P.SFloat v
+          in
+          match op with
+          | Ast.Add -> arith ( +. )
+          | Ast.Sub -> arith ( -. )
+          | Ast.Mul -> arith ( *. )
+          | Ast.Div ->
+              if both_int && y <> 0. && Float.is_integer (x /. y) then
+                P.SInt (int_of_float (x /. y))
+              else P.SFloat (x /. y)
+          | Ast.Pow -> P.SFloat (Float.pow x y)
+          | Ast.Lt -> P.SBool (x < y)
+          | Ast.Le -> P.SBool (x <= y)
+          | Ast.Gt -> P.SBool (x > y)
+          | Ast.Ge -> P.SBool (x >= y)
+          | Ast.Eq -> P.SBool (x = y)
+          | Ast.Ne -> P.SBool (x <> y)
+          | Ast.And | Ast.Or -> P.SBin (op, a, b))
+      | _ -> P.SBin (op, a, b))
+  | P.SUn (Ast.Neg, a) -> (
+      match fold_sexpr a with
+      | P.SInt i -> P.SInt (-i)
+      | P.SFloat f -> P.SFloat (-.f)
+      | a -> P.SUn (Ast.Neg, a))
+  | P.SUn (op, a) -> P.SUn (op, fold_sexpr a)
+  | P.SCall (f, args) -> P.SCall (f, List.map fold_sexpr args)
+  | e -> e
+
+let _static_int loc (e : Prog.sexpr) =
+  match fold_sexpr e with
+  | Prog.SInt i -> i
+  | _ -> Loc.fail loc "expected a compile-time integer expression"
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expressions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type sty = TInt | TFloat | TBool
+
+let _pp_sty = function TInt -> "int" | TFloat -> "float" | TBool -> "bool"
+
+let intrinsics = [ ("abs", 1); ("sqrt", 1); ("exp", 1); ("ln", 1); ("log", 1);
+                   ("sin", 1); ("cos", 1); ("tan", 1); ("floor", 1);
+                   ("sign", 1); ("min", 2); ("max", 2) ]
+
+let check_intrinsic loc name nargs =
+  match List.assoc_opt name intrinsics with
+  | Some n when n = nargs -> ()
+  | Some n -> Loc.fail loc "%s expects %d argument(s), got %d" name n nargs
+  | None -> Loc.fail loc "unknown function %S" name
+
+let sty_of_elem = function
+  | Ast.TInt -> TInt
+  | Ast.TFloat -> TFloat
+  | Ast.TBool -> TBool
+
+(** Checks a scalar expression; returns the typed expression and its type.
+    Int values coerce implicitly to float. *)
+let rec check_sexpr env (e : Ast.expr) : Prog.sexpr * sty =
+  let module P = Prog in
+  match e.Ast.e with
+  | Ast.EFloat f -> (P.SFloat f, TFloat)
+  | Ast.EInt i -> (P.SInt i, TInt)
+  | Ast.EBool b -> (P.SBool b, TBool)
+  | Ast.EId name -> (
+      match lookup env e.eloc name with
+      | KConst lit ->
+          ( lit,
+            match lit with
+            | P.SInt _ -> TInt
+            | P.SFloat _ -> TFloat
+            | P.SBool _ -> TBool
+            | _ -> assert false )
+      | KScalar id ->
+          let info = List.nth env.scalars (List.length env.scalars - 1 - id) in
+          (P.SVar id, sty_of_elem info.P.s_ty)
+      | KArray _ ->
+          Loc.fail e.eloc "array %S used in a scalar context" name
+      | KIndexd _ ->
+          Loc.fail e.eloc "%S may only appear in an array expression" name
+      | KRegion _ | KDirection _ ->
+          Loc.fail e.eloc "%S is not a scalar value" name)
+  | Ast.EAt (name, _) ->
+      Loc.fail e.eloc "shifted reference %S@... in a scalar context" name
+  | Ast.EBin (op, a, b) -> (
+      let ta, tya = check_sexpr env a in
+      let tb, tyb = check_sexpr env b in
+      let arith () =
+        match (tya, tyb) with
+        | TBool, _ | _, TBool ->
+            Loc.fail e.eloc "boolean operand in arithmetic"
+        | TInt, TInt -> TInt
+        | _ -> TFloat
+      in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul -> (P.SBin (op, ta, tb), arith ())
+      | Ast.Div | Ast.Pow ->
+          ignore (arith ());
+          (P.SBin (op, ta, tb), TFloat)
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+          ignore (arith ());
+          (P.SBin (op, ta, tb), TBool)
+      | Ast.And | Ast.Or ->
+          if tya <> TBool || tyb <> TBool then
+            Loc.fail e.eloc "'%s' expects boolean operands" (Ast.binop_name op);
+          (P.SBin (op, ta, tb), TBool))
+  | Ast.EUn (Ast.Neg, a) ->
+      let ta, ty = check_sexpr env a in
+      if ty = TBool then Loc.fail e.eloc "cannot negate a boolean";
+      (P.SUn (Ast.Neg, ta), ty)
+  | Ast.EUn (Ast.Not, a) ->
+      let ta, ty = check_sexpr env a in
+      if ty <> TBool then Loc.fail e.eloc "'not' expects a boolean";
+      (P.SUn (Ast.Not, ta), TBool)
+  | Ast.ECall (f, args) ->
+      check_intrinsic e.eloc f (List.length args);
+      let targs =
+        List.map
+          (fun a ->
+            let ta, ty = check_sexpr env a in
+            if ty = TBool then
+              Loc.fail a.Ast.eloc "boolean argument to %S" f;
+            ta)
+          args
+      in
+      (P.SCall (f, targs), TFloat)
+  | Ast.EReduce _ ->
+      Loc.fail e.eloc
+        "reductions are only allowed at the top of an assignment"
+
+(* ------------------------------------------------------------------ *)
+(* Regions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** A statement-region bound: restricted to the affine form [var + const]. *)
+let check_bound env (e : Ast.expr) : Prog.bound =
+  let te, ty = check_sexpr env e in
+  if ty <> TInt then Loc.fail e.Ast.eloc "region bounds must be integers";
+  match fold_sexpr te with
+  | Prog.SInt i -> { Prog.base = i; bvar = None }
+  | Prog.SVar v -> { Prog.base = 0; bvar = Some v }
+  | Prog.SBin (Ast.Add, Prog.SVar v, Prog.SInt c)
+  | Prog.SBin (Ast.Add, Prog.SInt c, Prog.SVar v) ->
+      { Prog.base = c; bvar = Some v }
+  | Prog.SBin (Ast.Sub, Prog.SVar v, Prog.SInt c) ->
+      { Prog.base = -c; bvar = Some v }
+  | _ ->
+      Loc.fail e.Ast.eloc
+        "region bounds must have the form <const>, <var>, or <var> +/- <const>"
+
+let check_region_ref env (r : Ast.region_ref) : Prog.dregion =
+  match r with
+  | Ast.RName (name, loc) -> (
+      match lookup env loc name with
+      | KRegion reg -> Prog.dregion_of_region reg
+      | _ -> Loc.fail loc "%S is not a region" name)
+  | Ast.RLit (ranges, loc) ->
+      if ranges = [] then Loc.fail loc "empty region literal";
+      ranges
+      |> List.map (fun (lo, hi) -> (check_bound env lo, check_bound env hi))
+      |> Array.of_list
+
+(** Region declarations must be fully static. *)
+let check_static_region env (ranges : (Ast.expr * Ast.expr) list) loc : Region.t =
+  let dr =
+    ranges
+    |> List.map (fun (lo, hi) -> (check_bound env lo, check_bound env hi))
+    |> Array.of_list
+  in
+  match Prog.static_region dr with
+  | Some r -> r
+  | None -> Loc.fail loc "declared regions may not reference variables"
+
+(* ------------------------------------------------------------------ *)
+(* Array expressions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let offset_of env loc aid (at : Ast.at_arg) : int array =
+  let rank =
+    (List.nth env.arrays (List.length env.arrays - 1 - aid)).Prog.a_rank
+  in
+  let off =
+    match at with
+    | Ast.AtName d -> (
+        match lookup env loc d with
+        | KDirection off -> off
+        | _ -> Loc.fail loc "%S is not a direction" d)
+    | Ast.AtLit l -> Array.of_list l
+  in
+  if Array.length off <> rank then
+    Loc.fail loc "direction of rank %d applied to array of rank %d"
+      (Array.length off) rank;
+  off
+
+(** Checks an expression in array context: scalars broadcast, arrays may be
+    shifted. Returns the typed per-cell expression; the expression may read
+    no array at all (a pure broadcast fill). *)
+let rec check_aexpr env (e : Ast.expr) : Prog.aexpr =
+  let module P = Prog in
+  match e.Ast.e with
+  | Ast.EFloat f -> P.AConst f
+  | Ast.EInt i -> P.AConst (float_of_int i)
+  | Ast.EBool _ -> Loc.fail e.eloc "boolean value in an array expression"
+  | Ast.EId name -> (
+      match lookup env e.eloc name with
+      | KArray aid ->
+          let rank =
+            (List.nth env.arrays (List.length env.arrays - 1 - aid)).P.a_rank
+          in
+          P.ARef (aid, Array.make rank 0)
+      | KScalar id ->
+          let info = List.nth env.scalars (List.length env.scalars - 1 - id) in
+          if info.P.s_ty = Ast.TBool then
+            Loc.fail e.eloc "boolean scalar %S in an array expression" name;
+          P.AScalar id
+      | KConst (P.SInt i) -> P.AConst (float_of_int i)
+      | KConst (P.SFloat f) -> P.AConst f
+      | KConst _ -> Loc.fail e.eloc "boolean constant in an array expression"
+      | KIndexd d -> P.AIndex d
+      | KRegion _ | KDirection _ ->
+          Loc.fail e.eloc "%S is not a value" name)
+  | Ast.EAt (name, at) -> (
+      match lookup env e.eloc name with
+      | KArray aid -> P.ARef (aid, offset_of env e.eloc aid at)
+      | _ -> Loc.fail e.eloc "'@' applied to %S, which is not an array" name)
+  | Ast.EBin ((Ast.And | Ast.Or | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), _, _)
+    ->
+      Loc.fail e.eloc "comparisons are not supported in array expressions"
+  | Ast.EBin (op, a, b) -> P.ABin (op, check_aexpr env a, check_aexpr env b)
+  | Ast.EUn (Ast.Not, _) ->
+      Loc.fail e.eloc "'not' is not supported in array expressions"
+  | Ast.EUn (op, a) -> P.AUn (op, check_aexpr env a)
+  | Ast.ECall (f, args) ->
+      check_intrinsic e.eloc f (List.length args);
+      P.ACall (f, List.map (check_aexpr env) args)
+  | Ast.EReduce _ ->
+      Loc.fail e.eloc
+        "reductions are only allowed at the top of an assignment"
+
+(** Verify (statically, when possible) that every shifted read stays inside
+    the referenced array's declared region. *)
+let check_shift_bounds env loc (region : Prog.dregion) (e : Prog.aexpr) =
+  match Prog.static_region region with
+  | None -> ()  (* loop-variant region: validated at run time by the kernel *)
+  | Some r ->
+      let arr aid =
+        List.nth env.arrays (List.length env.arrays - 1 - aid)
+      in
+      let rec go = function
+        | Prog.AConst _ | Prog.AScalar _ | Prog.AIndex _ -> ()
+        | Prog.ARef (aid, off) ->
+            let a = arr aid in
+            if Region.rank r <> a.Prog.a_rank then
+              Loc.fail loc
+                "statement region has rank %d but array %S has rank %d"
+                (Region.rank r) a.Prog.a_name a.Prog.a_rank;
+            let shifted = Region.shift r off in
+            if not (Region.subset shifted a.Prog.a_region) then
+              Loc.fail loc
+                "shifted reference %s@%s reads outside the declared region %s"
+                a.Prog.a_name
+                (Fmt.str "[%s]"
+                   (String.concat ","
+                      (List.map string_of_int (Array.to_list off))))
+                (Region.to_string a.Prog.a_region)
+        | Prog.ABin (_, a, b) ->
+            go a;
+            go b
+        | Prog.AUn (_, a) -> go a
+        | Prog.ACall (_, args) -> List.iter go args
+      in
+      go e
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_region env loc (r : Ast.region_ref option) : Prog.dregion =
+  match r with
+  | Some r ->
+      let dr = check_region_ref env r in
+      env.ambient <- Some dr;
+      dr
+  | None -> (
+      match env.ambient with
+      | Some dr -> dr
+      | None ->
+          Loc.fail loc
+            "no region in scope: prefix the statement with [R] or [lo..hi, ...]")
+
+let rec check_stmts env (stmts : Ast.stmt list) : Prog.stmt list =
+  List.concat_map (check_stmt env) stmts
+
+and check_stmt env (s : Ast.stmt) : Prog.stmt list =
+  let module P = Prog in
+  match s.Ast.s with
+  | Ast.SAssign (rref, name, rhs) -> (
+      match (lookup env s.sloc name, rhs.Ast.e) with
+      | KScalar id, Ast.EReduce (op, body) ->
+          let info = List.nth env.scalars (List.length env.scalars - 1 - id) in
+          if info.P.s_ty <> Ast.TFloat then
+            Loc.fail s.sloc "reduction target %S must be a float scalar" name;
+          let region = resolve_region env s.sloc rref in
+          let te = check_aexpr env body in
+          check_shift_bounds env s.sloc region te;
+          [ P.ReduceS
+              { r_lhs = id; r_op = op; r_region = region; r_rhs = te;
+                r_flops = P.flops_of_aexpr te + 1 } ]
+      | KScalar id, _ ->
+          (match rref with
+          | Some r -> env.ambient <- Some (check_region_ref env r)
+          | None -> ());
+          let te, ty = check_sexpr env rhs in
+          let info = List.nth env.scalars (List.length env.scalars - 1 - id) in
+          let ok =
+            match (info.P.s_ty, ty) with
+            | Ast.TFloat, (TFloat | TInt) -> true
+            | Ast.TInt, TInt -> true
+            | Ast.TBool, TBool -> true
+            | _ -> false
+          in
+          if not ok then
+            Loc.fail s.sloc "type mismatch assigning to scalar %S" name;
+          [ P.AssignS { lhs = id; rhs = fold_sexpr te } ]
+      | KArray _, Ast.EReduce _ ->
+          Loc.fail s.sloc "reduction target %S must be a scalar, not an array"
+            name
+      | KArray aid, _ ->
+          let region = resolve_region env s.sloc rref in
+          let a = List.nth env.arrays (List.length env.arrays - 1 - aid) in
+          if Array.length region <> a.P.a_rank then
+            Loc.fail s.sloc "region of rank %d assigned to array of rank %d"
+              (Array.length region) a.P.a_rank;
+          (match P.static_region region with
+          | Some r when not (Region.subset r a.P.a_region) ->
+              Loc.fail s.sloc
+                "statement region %s is outside %S's declared region %s"
+                (Region.to_string r) name
+                (Region.to_string a.P.a_region)
+          | _ -> ());
+          let te = check_aexpr env rhs in
+          check_shift_bounds env s.sloc region te;
+          [ P.AssignA
+              { region; lhs = aid; rhs = te; flops = P.flops_of_aexpr te + 1 } ]
+      | _ -> Loc.fail s.sloc "%S is not assignable" name)
+  | Ast.SRepeat (body, cond) ->
+      let tbody = check_stmts env body in
+      let tc, ty = check_sexpr env cond in
+      if ty <> TBool then
+        Loc.fail s.sloc "'until' condition must be boolean";
+      [ P.Repeat (tbody, fold_sexpr tc) ]
+  | Ast.SFor (v, dir, lo, hi, body) ->
+      let tlo, tylo = check_sexpr env lo in
+      let thi, tyhi = check_sexpr env hi in
+      if tylo <> TInt || tyhi <> TInt then
+        Loc.fail s.sloc "'for' bounds must be integers";
+      let id = fresh_scalar env v Ast.TInt in
+      let saved = env.table in
+      env.table <- (v, KScalar id) :: env.table;
+      let tbody = check_stmts env body in
+      env.table <- saved;
+      let step = match dir with Ast.Upto -> 1 | Ast.Downto -> -1 in
+      [ P.For
+          { var = id; lo = fold_sexpr tlo; hi = fold_sexpr thi; step;
+            body = tbody } ]
+  | Ast.SIf (cond, then_, else_) ->
+      let tc, ty = check_sexpr env cond in
+      if ty <> TBool then Loc.fail s.sloc "'if' condition must be boolean";
+      let tthen = check_stmts env then_ in
+      let telse = check_stmts env else_ in
+      [ P.If (fold_sexpr tc, tthen, telse) ]
+  | Ast.SCall name -> (
+      match Hashtbl.find_opt env.procs name with
+      | None -> Loc.fail s.sloc "unknown procedure %S" name
+      | Some proc ->
+          if List.mem name env.inlining then
+            Loc.fail s.sloc "recursive procedure %S cannot be inlined" name;
+          env.inlining <- name :: env.inlining;
+          let body = check_stmts env proc.Ast.p_body in
+          env.inlining <- List.tl env.inlining;
+          body)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and entry point                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_decl env (d : Ast.decl) =
+  match d with
+  | Ast.DRegion (name, ranges, loc) ->
+      define env loc name (KRegion (check_static_region env ranges loc))
+  | Ast.DDirection (name, offs, loc) ->
+      if offs = [] then Loc.fail loc "empty direction";
+      define env loc name (KDirection (Array.of_list offs))
+  | Ast.DConstant (name, e, loc) -> (
+      if List.mem_assoc name env.table then
+        Loc.fail loc "duplicate definition of %S" name;
+      let te, _ = check_sexpr env e in
+      match fold_sexpr te with
+      | (Prog.SInt _ | Prog.SFloat _ | Prog.SBool _) as lit ->
+          define env loc name (KConst lit)
+      | _ -> Loc.fail loc "constant %S is not a compile-time value" name)
+  | Ast.DVarArray (names, rref, elem, loc) ->
+      if elem <> Ast.TFloat then
+        Loc.fail loc "arrays must have element type float";
+      let dr = check_region_ref env rref in
+      let region =
+        match Prog.static_region dr with
+        | Some r -> r
+        | None -> Loc.fail loc "array extents must be static"
+      in
+      List.iter
+        (fun n -> define env loc n (KArray (fresh_array env loc n region)))
+        names
+  | Ast.DVarScalar (names, elem, loc) ->
+      List.iter (fun n -> define env loc n (KScalar (fresh_scalar env n elem))) names
+
+(** [check ?defines ?entry program] type-checks [program]. [defines]
+    overrides same-named [constant] declarations (used to rescale problem
+    sizes without editing sources). [entry] selects the entry procedure
+    (default: ["main"] if present, else the last procedure). *)
+let check ?(defines : (string * float) list = []) ?entry ?(source_lines = 0)
+    (prog : Ast.program) : Prog.t =
+  let env =
+    { table = []; arrays = []; scalars = []; ambient = None;
+      procs = Hashtbl.create 8; inlining = [] }
+  in
+  List.iter (fun p -> Hashtbl.replace env.procs p.Ast.p_name p) prog.Ast.procs;
+  let apply_define (d : Ast.decl) =
+    match d with
+    | Ast.DConstant (name, _, loc) -> (
+        match List.assoc_opt name defines with
+        | Some v ->
+            let lit =
+              if Float.is_integer v then Prog.SInt (int_of_float v)
+              else Prog.SFloat v
+            in
+            Ast.DConstant
+              ( name,
+                { Ast.e =
+                    (match lit with
+                    | Prog.SInt i -> Ast.EInt i
+                    | _ -> Ast.EFloat v);
+                  eloc = loc },
+                loc )
+        | None -> d)
+    | d -> d
+  in
+  List.iter (fun d -> check_decl env (apply_define d)) prog.Ast.decls;
+  let entry_proc =
+    match entry with
+    | Some name -> (
+        match Hashtbl.find_opt env.procs name with
+        | Some p -> p
+        | None -> Loc.fail Loc.dummy "no procedure named %S" name)
+    | None -> (
+        match Hashtbl.find_opt env.procs "main" with
+        | Some p -> p
+        | None -> (
+            match List.rev prog.Ast.procs with
+            | p :: _ -> p
+            | [] -> Loc.fail Loc.dummy "program has no procedures"))
+  in
+  env.inlining <- [ entry_proc.Ast.p_name ];
+  let body = check_stmts env entry_proc.Ast.p_body in
+  {
+    Prog.name = entry_proc.Ast.p_name;
+    arrays = Array.of_list (List.rev env.arrays);
+    scalars = Array.of_list (List.rev env.scalars);
+    body;
+    source_lines;
+  }
+
+(** Convenience: parse + check a source string. *)
+let compile_string ?defines ?entry (src : string) : Prog.t =
+  let lines = List.length (String.split_on_char '\n' src) in
+  check ?defines ?entry ~source_lines:lines (Parser.parse_program src)

@@ -1,0 +1,29 @@
+(** Semantic analysis: resolves names, checks types and ranks, inlines
+    no-argument procedure calls, folds constants, and produces a typed
+    {!Prog.t}. Raises {!Loc.Error} on malformed programs.
+
+    The checker enforces the properties the communication optimizer relies
+    on: array shifts are static offset vectors, reductions appear only at
+    the top of an assignment, control-flow conditions are replicated
+    scalar expressions, and every shifted reference stays inside the
+    referenced array's declared region (when the statement region is
+    static; loop-variant regions are validated at run time). *)
+
+(** Constant-fold a scalar expression (used by tests and the checker). *)
+val fold_sexpr : Prog.sexpr -> Prog.sexpr
+
+(** [check ?defines ?entry ?source_lines program] type-checks a parsed
+    program. [defines] overrides same-named [constant] declarations (used
+    to rescale problem sizes without editing sources). [entry] selects the
+    entry procedure (default ["main"] if present, else the last
+    procedure). *)
+val check :
+  ?defines:(string * float) list ->
+  ?entry:string ->
+  ?source_lines:int ->
+  Ast.program ->
+  Prog.t
+
+(** Parse and check a source string. *)
+val compile_string :
+  ?defines:(string * float) list -> ?entry:string -> string -> Prog.t

@@ -1,0 +1,246 @@
+(** Hand-written lexer for the mini-ZPL language.
+
+    Comments run from [--] or [//] to end of line. The compound token [+<<]
+    is lexed as [RED Ast.RSum] and [*<<] as [RED Ast.RProd]; [max<<]/[min<<]
+    are produced by the parser from an identifier followed by [SHIFTL]. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | KW of string  (** reserved word, lowercased *)
+  | RED of Ast.redop  (** [+<<] and [*<<] *)
+  | SHIFTL  (** [<<] *)
+  | ASSIGN  (** [:=] *)
+  | DOTDOT  (** [..] *)
+  | AT
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | COLON
+  | SEMI
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | CARET
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | EOF
+[@@deriving show, eq]
+
+type lexed = { tok : token; loc : Loc.t }
+
+let keywords =
+  [ "region"; "direction"; "constant"; "var"; "float"; "int"; "bool";
+    "procedure"; "begin"; "end"; "repeat"; "until"; "for"; "to"; "do";
+    "if"; "then"; "else"; "and"; "or"; "not"; "true"; "false"; "downto" ]
+
+let is_keyword s = List.mem s keywords
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** position of beginning of current line *)
+}
+
+let loc_of st = { Loc.line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '-' when peek2 st = Some '-' -> skip_line_comment st
+  | Some '/' when peek2 st = Some '/' -> skip_line_comment st
+  | _ -> ()
+
+and skip_line_comment st =
+  let rec go () =
+    match peek st with
+    | Some '\n' | None -> skip_ws st
+    | Some _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+let lex_number st loc =
+  let start = st.pos in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  let is_float = ref false in
+  (* A '.' starts a fraction only if not the ".." range operator. *)
+  (match (peek st, peek2 st) with
+  | Some '.', Some '.' -> ()
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      digits ()
+  | Some '.', (Some _ | None) ->
+      is_float := true;
+      advance st
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with
+      | Some ('+' | '-') -> advance st
+      | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> { tok = FLOAT f; loc }
+    | None -> Loc.fail loc "malformed float literal %S" text
+  else
+    match int_of_string_opt text with
+    | Some i -> { tok = INT i; loc }
+    | None -> Loc.fail loc "malformed int literal %S" text
+
+let lex_ident st loc =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.pos - start) in
+  let lower = String.lowercase_ascii text in
+  if is_keyword lower then { tok = KW lower; loc } else { tok = IDENT text; loc }
+
+let next_token st =
+  skip_ws st;
+  let loc = loc_of st in
+  match peek st with
+  | None -> { tok = EOF; loc }
+  | Some c when is_digit c -> lex_number st loc
+  | Some c when is_ident_start c -> lex_ident st loc
+  | Some c -> (
+      let two target tok1 tok2 =
+        advance st;
+        if peek st = Some target then (
+          advance st;
+          { tok = tok2; loc })
+        else { tok = tok1; loc }
+      in
+      match c with
+      | '@' ->
+          advance st;
+          { tok = AT; loc }
+      | '[' ->
+          advance st;
+          { tok = LBRACK; loc }
+      | ']' ->
+          advance st;
+          { tok = RBRACK; loc }
+      | '(' ->
+          advance st;
+          { tok = LPAREN; loc }
+      | ')' ->
+          advance st;
+          { tok = RPAREN; loc }
+      | ',' ->
+          advance st;
+          { tok = COMMA; loc }
+      | ';' ->
+          advance st;
+          { tok = SEMI; loc }
+      | '^' ->
+          advance st;
+          { tok = CARET; loc }
+      | '/' ->
+          advance st;
+          { tok = SLASH; loc }
+      | '=' ->
+          advance st;
+          { tok = EQ; loc }
+      | ':' -> two '=' COLON ASSIGN
+      | '.' ->
+          advance st;
+          if peek st = Some '.' then (
+            advance st;
+            { tok = DOTDOT; loc })
+          else Loc.fail loc "unexpected '.'"
+      | '+' ->
+          advance st;
+          if peek st = Some '<' && peek2 st = Some '<' then (
+            advance st;
+            advance st;
+            { tok = RED Ast.RSum; loc })
+          else { tok = PLUS; loc }
+      | '*' ->
+          advance st;
+          if peek st = Some '<' && peek2 st = Some '<' then (
+            advance st;
+            advance st;
+            { tok = RED Ast.RProd; loc })
+          else { tok = STAR; loc }
+      | '-' ->
+          advance st;
+          { tok = MINUS; loc }
+      | '<' ->
+          advance st;
+          (match peek st with
+          | Some '=' ->
+              advance st;
+              { tok = LE; loc }
+          | Some '<' ->
+              advance st;
+              { tok = SHIFTL; loc }
+          | _ -> { tok = LT; loc })
+      | '>' -> two '=' GT GE
+      | '!' ->
+          advance st;
+          if peek st = Some '=' then (
+            advance st;
+            { tok = NE; loc })
+          else Loc.fail loc "unexpected '!'"
+      | c -> Loc.fail loc "unexpected character %C" c)
+
+(** Lex an entire source string; the resulting list ends with [EOF]. *)
+let tokenize (src : string) : lexed list =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,22 @@
+(** Source locations and located errors for the mini-ZPL front end. *)
+
+type t = { line : int; col : int } [@@deriving show, eq]
+
+let dummy = { line = 0; col = 0 }
+
+let pp ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+
+(** Raised by the lexer, parser and checker on malformed input. *)
+exception Error of t * string
+
+let fail loc fmt = Fmt.kstr (fun s -> raise (Error (loc, s))) fmt
+
+let error_to_string = function
+  | Error (loc, msg) -> Some (Fmt.str "%a: %s" pp loc msg)
+  | _ -> None
+
+(** [guard f] runs [f ()] and converts a located error into [Result.Error]. *)
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Error (loc, msg) -> Result.Error (Fmt.str "%a: %s" pp loc msg)

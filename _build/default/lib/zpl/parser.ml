@@ -1,0 +1,486 @@
+(** Recursive-descent parser for the mini-ZPL language.
+
+    The grammar is close to the ZPL fragments shown in the paper:
+
+    {v
+    program := { decl | proc }
+    decl    := "region" ID "=" "[" range {"," range} "]" ";"
+             | "direction" ID "=" "[" int {"," int} "]" ";"
+             | "constant" ID "=" expr ";"
+             | "var" ID {"," ID} ":" [ "[" region "]" ] type ";"
+    proc    := "procedure" ID "(" ")" ";" "begin" stmts "end" ";"
+    stmt    := [ "[" region "]" ] ID ":=" rhs ";"
+             | ID "(" ")" ";"
+             | "repeat" stmts "until" expr ";"
+             | "for" ID ":=" expr "to" expr "do" stmts "end" ";"
+             | "if" expr "then" stmts [ "else" stmts ] "end" ";"
+    rhs     := redop expr | expr        -- reductions only at top level
+    v} *)
+
+open Lexer
+
+type state = { mutable toks : Lexer.lexed list }
+
+let here st =
+  match st.toks with [] -> Loc.dummy | { loc; _ } :: _ -> loc
+
+let cur st = match st.toks with [] -> EOF | { tok; _ } :: _ -> tok
+
+let peek2 st =
+  match st.toks with _ :: { tok; _ } :: _ -> tok | _ -> EOF
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | KW s -> Printf.sprintf "keyword %S" s
+  | EOF -> "end of input"
+  | t -> Lexer.show_token t
+
+let expect st tok what =
+  if cur st = tok then advance st
+  else Loc.fail (here st) "expected %s but found %s" what (describe (cur st))
+
+let expect_ident st what =
+  match cur st with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> Loc.fail (here st) "expected %s but found %s" what (describe t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk loc e = { Ast.e; eloc = loc }
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop lhs =
+    if cur st = KW "or" then begin
+      let loc = here st in
+      advance st;
+      let rhs = parse_and st in
+      loop (mk loc (Ast.EBin (Ast.Or, lhs, rhs)))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    if cur st = KW "and" then begin
+      let loc = here st in
+      advance st;
+      let rhs = parse_not st in
+      loop (mk loc (Ast.EBin (Ast.And, lhs, rhs)))
+    end
+    else lhs
+  in
+  loop (parse_not st)
+
+and parse_not st =
+  if cur st = KW "not" then begin
+    let loc = here st in
+    advance st;
+    mk loc (Ast.EUn (Ast.Not, parse_not st))
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match cur st with
+    | LT -> Some Ast.Lt
+    | LE -> Some Ast.Le
+    | GT -> Some Ast.Gt
+    | GE -> Some Ast.Ge
+    | EQ -> Some Ast.Eq
+    | NE -> Some Ast.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      let loc = here st in
+      advance st;
+      let rhs = parse_add st in
+      mk loc (Ast.EBin (op, lhs, rhs))
+
+and parse_add st =
+  let rec loop lhs =
+    match cur st with
+    | PLUS ->
+        let loc = here st in
+        advance st;
+        loop (mk loc (Ast.EBin (Ast.Add, lhs, parse_mul st)))
+    | MINUS ->
+        let loc = here st in
+        advance st;
+        loop (mk loc (Ast.EBin (Ast.Sub, lhs, parse_mul st)))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match cur st with
+    | STAR ->
+        let loc = here st in
+        advance st;
+        loop (mk loc (Ast.EBin (Ast.Mul, lhs, parse_unary st)))
+    | SLASH ->
+        let loc = here st in
+        advance st;
+        loop (mk loc (Ast.EBin (Ast.Div, lhs, parse_unary st)))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match cur st with
+  | MINUS ->
+      let loc = here st in
+      advance st;
+      mk loc (Ast.EUn (Ast.Neg, parse_unary st))
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_postfix st in
+  if cur st = CARET then begin
+    let loc = here st in
+    advance st;
+    (* right-associative *)
+    mk loc (Ast.EBin (Ast.Pow, base, parse_unary st))
+  end
+  else base
+
+and parse_postfix st =
+  let prim = parse_primary st in
+  if cur st = AT then begin
+    let loc = here st in
+    advance st;
+    let name =
+      match prim.Ast.e with
+      | Ast.EId n -> n
+      | _ -> Loc.fail loc "'@' may only follow an array name"
+    in
+    match cur st with
+    | IDENT d ->
+        advance st;
+        mk prim.Ast.eloc (Ast.EAt (name, Ast.AtName d))
+    | LBRACK ->
+        advance st;
+        let offs = parse_int_list st in
+        expect st RBRACK "']' after offset vector";
+        mk prim.Ast.eloc (Ast.EAt (name, Ast.AtLit offs))
+    | t ->
+        Loc.fail (here st) "expected direction name or offset vector after '@', found %s"
+          (describe t)
+  end
+  else prim
+
+and parse_primary st =
+  let loc = here st in
+  match cur st with
+  | FLOAT f ->
+      advance st;
+      mk loc (Ast.EFloat f)
+  | INT i ->
+      advance st;
+      mk loc (Ast.EInt i)
+  | KW "true" ->
+      advance st;
+      mk loc (Ast.EBool true)
+  | KW "false" ->
+      advance st;
+      mk loc (Ast.EBool false)
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "')'";
+      e
+  | IDENT name -> (
+      advance st;
+      match cur st with
+      | LPAREN ->
+          advance st;
+          let args =
+            if cur st = RPAREN then []
+            else
+              let rec loop acc =
+                let e = parse_expr st in
+                if cur st = COMMA then begin
+                  advance st;
+                  loop (e :: acc)
+                end
+                else List.rev (e :: acc)
+              in
+              loop []
+          in
+          expect st RPAREN "')' after arguments";
+          mk loc (Ast.ECall (name, args))
+      | SHIFTL -> (
+          advance st;
+          let body = parse_expr st in
+          match String.lowercase_ascii name with
+          | "max" -> mk loc (Ast.EReduce (Ast.RMax, body))
+          | "min" -> mk loc (Ast.EReduce (Ast.RMin, body))
+          | _ -> Loc.fail loc "unknown reduction operator %S<<" name)
+      | _ -> mk loc (Ast.EId name))
+  | RED op ->
+      advance st;
+      mk loc (Ast.EReduce (op, parse_expr st))
+  | t -> Loc.fail loc "expected expression, found %s" (describe t)
+
+and parse_int_list st =
+  let parse_int () =
+    match cur st with
+    | INT i ->
+        advance st;
+        i
+    | MINUS -> (
+        advance st;
+        match cur st with
+        | INT i ->
+            advance st;
+            -i
+        | t -> Loc.fail (here st) "expected integer after '-', found %s" (describe t))
+    | t -> Loc.fail (here st) "expected integer, found %s" (describe t)
+  in
+  let rec loop acc =
+    let i = parse_int () in
+    if cur st = COMMA then begin
+      advance st;
+      loop (i :: acc)
+    end
+    else List.rev (i :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Regions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Parses the interior of a region literal or a region name, after '['. *)
+let parse_region_inner st loc : Ast.region_ref =
+  match (cur st, peek2 st) with
+  | IDENT name, RBRACK ->
+      advance st;
+      Ast.RName (name, loc)
+  | _ ->
+      let rec loop acc =
+        let lo = parse_expr st in
+        expect st DOTDOT "'..' in range";
+        let hi = parse_expr st in
+        if cur st = COMMA then begin
+          advance st;
+          loop ((lo, hi) :: acc)
+        end
+        else List.rev ((lo, hi) :: acc)
+      in
+      Ast.RLit (loop [], loc)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_stmt loc s = { Ast.s; sloc = loc }
+
+let parse_rhs st =
+  (* reductions are only recognized here, at the top of an assignment *)
+  parse_expr st
+
+let rec parse_stmts st ~stop =
+  let rec loop acc =
+    match cur st with
+    | KW k when List.mem k stop -> List.rev acc
+    | EOF -> List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  let loc = here st in
+  match cur st with
+  | LBRACK ->
+      advance st;
+      let r = parse_region_inner st loc in
+      expect st RBRACK "']' closing region";
+      let name = expect_ident st "array or scalar name" in
+      expect st ASSIGN "':='";
+      let e = parse_rhs st in
+      expect st SEMI "';'";
+      mk_stmt loc (Ast.SAssign (Some r, name, e))
+  | IDENT name -> (
+      advance st;
+      match cur st with
+      | ASSIGN ->
+          advance st;
+          let e = parse_rhs st in
+          expect st SEMI "';'";
+          mk_stmt loc (Ast.SAssign (None, name, e))
+      | LPAREN ->
+          advance st;
+          expect st RPAREN "')' (procedures take no arguments)";
+          expect st SEMI "';'";
+          mk_stmt loc (Ast.SCall name)
+      | t ->
+          Loc.fail (here st) "expected ':=' or '(' after %S, found %s" name
+            (describe t))
+  | KW "repeat" ->
+      advance st;
+      let body = parse_stmts st ~stop:[ "until" ] in
+      expect st (KW "until") "'until'";
+      let cond = parse_expr st in
+      expect st SEMI "';'";
+      mk_stmt loc (Ast.SRepeat (body, cond))
+  | KW "for" ->
+      advance st;
+      let v = expect_ident st "loop variable" in
+      expect st ASSIGN "':='";
+      let lo = parse_expr st in
+      let dir =
+        match cur st with
+        | KW "to" ->
+            advance st;
+            Ast.Upto
+        | KW "downto" ->
+            advance st;
+            Ast.Downto
+        | t -> Loc.fail (here st) "expected 'to' or 'downto', found %s" (describe t)
+      in
+      let hi = parse_expr st in
+      expect st (KW "do") "'do'";
+      let body = parse_stmts st ~stop:[ "end" ] in
+      expect st (KW "end") "'end'";
+      expect st SEMI "';'";
+      mk_stmt loc (Ast.SFor (v, dir, lo, hi, body))
+  | KW "if" ->
+      advance st;
+      let cond = parse_expr st in
+      expect st (KW "then") "'then'";
+      let then_ = parse_stmts st ~stop:[ "else"; "end" ] in
+      let else_ =
+        if cur st = KW "else" then begin
+          advance st;
+          parse_stmts st ~stop:[ "end" ]
+        end
+        else []
+      in
+      expect st (KW "end") "'end'";
+      expect st SEMI "';'";
+      mk_stmt loc (Ast.SIf (cond, then_, else_))
+  | t -> Loc.fail loc "expected statement, found %s" (describe t)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and program                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_elem st =
+  match cur st with
+  | KW "float" ->
+      advance st;
+      Ast.TFloat
+  | KW "int" ->
+      advance st;
+      Ast.TInt
+  | KW "bool" ->
+      advance st;
+      Ast.TBool
+  | t -> Loc.fail (here st) "expected element type, found %s" (describe t)
+
+let parse_decl st : Ast.decl =
+  let loc = here st in
+  match cur st with
+  | KW "region" ->
+      advance st;
+      let name = expect_ident st "region name" in
+      expect st EQ "'='";
+      expect st LBRACK "'['";
+      let rec loop acc =
+        let lo = parse_expr st in
+        expect st DOTDOT "'..'";
+        let hi = parse_expr st in
+        if cur st = COMMA then begin
+          advance st;
+          loop ((lo, hi) :: acc)
+        end
+        else List.rev ((lo, hi) :: acc)
+      in
+      let ranges = loop [] in
+      expect st RBRACK "']'";
+      expect st SEMI "';'";
+      Ast.DRegion (name, ranges, loc)
+  | KW "direction" ->
+      advance st;
+      let name = expect_ident st "direction name" in
+      expect st EQ "'='";
+      expect st LBRACK "'['";
+      let offs = parse_int_list st in
+      expect st RBRACK "']'";
+      expect st SEMI "';'";
+      Ast.DDirection (name, offs, loc)
+  | KW "constant" ->
+      advance st;
+      let name = expect_ident st "constant name" in
+      expect st EQ "'='";
+      let e = parse_expr st in
+      expect st SEMI "';'";
+      Ast.DConstant (name, e, loc)
+  | KW "var" ->
+      advance st;
+      let rec names acc =
+        let n = expect_ident st "variable name" in
+        if cur st = COMMA then begin
+          advance st;
+          names (n :: acc)
+        end
+        else List.rev (n :: acc)
+      in
+      let ns = names [] in
+      expect st COLON "':'";
+      if cur st = LBRACK then begin
+        advance st;
+        let r = parse_region_inner st loc in
+        expect st RBRACK "']'";
+        let ty = parse_elem st in
+        expect st SEMI "';'";
+        Ast.DVarArray (ns, r, ty, loc)
+      end
+      else begin
+        let ty = parse_elem st in
+        expect st SEMI "';'";
+        Ast.DVarScalar (ns, ty, loc)
+      end
+  | t -> Loc.fail loc "expected declaration, found %s" (describe t)
+
+let parse_proc st : Ast.proc =
+  let loc = here st in
+  expect st (KW "procedure") "'procedure'";
+  let name = expect_ident st "procedure name" in
+  expect st LPAREN "'('";
+  expect st RPAREN "')' (procedures take no arguments)";
+  expect st SEMI "';'";
+  expect st (KW "begin") "'begin'";
+  let body = parse_stmts st ~stop:[ "end" ] in
+  expect st (KW "end") "'end'";
+  expect st SEMI "';'";
+  { Ast.p_name = name; p_body = body; p_loc = loc }
+
+let parse_program (src : string) : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop decls procs =
+    match cur st with
+    | EOF -> { Ast.decls = List.rev decls; procs = List.rev procs }
+    | KW "procedure" -> loop decls (parse_proc st :: procs)
+    | KW ("region" | "direction" | "constant" | "var") ->
+        loop (parse_decl st :: decls) procs
+    | t ->
+        Loc.fail (here st) "expected declaration or procedure, found %s"
+          (describe t)
+  in
+  loop [] []

@@ -1,0 +1,109 @@
+(** Pretty-printing of typed programs, used by the [zplc] CLI's dump modes
+    and by tests to give readable failure output. *)
+
+open Prog
+
+let offset_to_string off =
+  "["
+  ^ String.concat "," (List.map string_of_int (Array.to_list off))
+  ^ "]"
+
+let bound_to_string { base; bvar } =
+  match bvar with
+  | None -> string_of_int base
+  | Some v when base = 0 -> Printf.sprintf "s%d" v
+  | Some v when base > 0 -> Printf.sprintf "s%d+%d" v base
+  | Some v -> Printf.sprintf "s%d-%d" v (-base)
+
+let dregion_to_string (dr : dregion) =
+  dr
+  |> Array.to_list
+  |> List.map (fun (lo, hi) ->
+         Printf.sprintf "%s..%s" (bound_to_string lo) (bound_to_string hi))
+  |> String.concat ", "
+  |> Printf.sprintf "[%s]"
+
+let rec sexpr_to_string (p : t) = function
+  | SFloat f -> Printf.sprintf "%g" f
+  | SInt i -> string_of_int i
+  | SBool b -> string_of_bool b
+  | SVar id -> (scalar_info p id).s_name
+  | SBin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (sexpr_to_string p a) (Ast.binop_name op)
+        (sexpr_to_string p b)
+  | SUn (Ast.Neg, a) -> Printf.sprintf "(-%s)" (sexpr_to_string p a)
+  | SUn (Ast.Not, a) -> Printf.sprintf "(not %s)" (sexpr_to_string p a)
+  | SCall (f, args) ->
+      Printf.sprintf "%s(%s)" f
+        (String.concat ", " (List.map (sexpr_to_string p) args))
+
+let rec aexpr_to_string (p : t) = function
+  | AConst f -> Printf.sprintf "%g" f
+  | AScalar id -> (scalar_info p id).s_name
+  | AIndex d -> Printf.sprintf "Index%d" (d + 1)
+  | ARef (aid, off) ->
+      let name = (array_info p aid).a_name in
+      if Array.for_all (fun d -> d = 0) off then name
+      else Printf.sprintf "%s@%s" name (offset_to_string off)
+  | ABin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (aexpr_to_string p a) (Ast.binop_name op)
+        (aexpr_to_string p b)
+  | AUn (Ast.Neg, a) -> Printf.sprintf "(-%s)" (aexpr_to_string p a)
+  | AUn (Ast.Not, a) -> Printf.sprintf "(not %s)" (aexpr_to_string p a)
+  | ACall (f, args) ->
+      Printf.sprintf "%s(%s)" f
+        (String.concat ", " (List.map (aexpr_to_string p) args))
+
+let rec stmt_lines (p : t) ~indent (s : stmt) : string list =
+  let pad = String.make indent ' ' in
+  match s with
+  | AssignA { region; lhs; rhs; _ } ->
+      [ Printf.sprintf "%s%s %s := %s;" pad (dregion_to_string region)
+          (array_info p lhs).a_name (aexpr_to_string p rhs) ]
+  | AssignS { lhs; rhs } ->
+      [ Printf.sprintf "%s%s := %s;" pad (scalar_info p lhs).s_name
+          (sexpr_to_string p rhs) ]
+  | ReduceS { r_lhs; r_op; r_region; r_rhs; _ } ->
+      [ Printf.sprintf "%s%s %s := %s %s;" pad
+          (dregion_to_string r_region)
+          (scalar_info p r_lhs).s_name (Ast.redop_name r_op)
+          (aexpr_to_string p r_rhs) ]
+  | Repeat (body, cond) ->
+      (Printf.sprintf "%srepeat" pad
+      :: List.concat_map (stmt_lines p ~indent:(indent + 2)) body)
+      @ [ Printf.sprintf "%suntil %s;" pad (sexpr_to_string p cond) ]
+  | For { var; lo; hi; step; body } ->
+      (Printf.sprintf "%sfor %s := %s %s %s do" pad (scalar_info p var).s_name
+         (sexpr_to_string p lo)
+         (if step >= 0 then "to" else "downto")
+         (sexpr_to_string p hi)
+      :: List.concat_map (stmt_lines p ~indent:(indent + 2)) body)
+      @ [ Printf.sprintf "%send;" pad ]
+  | If (cond, then_, else_) ->
+      (Printf.sprintf "%sif %s then" pad (sexpr_to_string p cond)
+      :: List.concat_map (stmt_lines p ~indent:(indent + 2)) then_)
+      @ (if else_ = [] then []
+         else
+           Printf.sprintf "%selse" pad
+           :: List.concat_map (stmt_lines p ~indent:(indent + 2)) else_)
+      @ [ Printf.sprintf "%send;" pad ]
+
+let program_to_string (p : t) =
+  let decls =
+    (p.arrays |> Array.to_list
+    |> List.map (fun a ->
+           Printf.sprintf "var %s : %s float;" a.a_name
+             (Region.to_string a.a_region)))
+    @ (p.scalars |> Array.to_list
+      |> List.map (fun s ->
+             Printf.sprintf "var %s : %s;" s.s_name
+               (match s.s_ty with
+               | Ast.TFloat -> "float"
+               | Ast.TInt -> "int"
+               | Ast.TBool -> "bool")))
+  in
+  String.concat "\n"
+    (decls
+    @ [ Printf.sprintf "procedure %s();" p.name; "begin" ]
+    @ List.concat_map (stmt_lines p ~indent:2) p.body
+    @ [ "end;" ])

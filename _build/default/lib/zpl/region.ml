@@ -1,0 +1,85 @@
+(** Dense rectangular index regions of rank 1..3.
+
+    A region is an array of inclusive [lo, hi] ranges, one per dimension.
+    Regions are the unit of iteration for whole-array statements and the
+    declared extent of parallel arrays. *)
+
+type range = { lo : int; hi : int } [@@deriving show, eq, ord]
+
+type t = range array [@@deriving show, eq, ord]
+
+let range lo hi = { lo; hi }
+
+let make bounds = Array.of_list (List.map (fun (lo, hi) -> { lo; hi }) bounds)
+
+let rank (r : t) = Array.length r
+
+let range_size { lo; hi } = if hi < lo then 0 else hi - lo + 1
+
+let size (r : t) = Array.fold_left (fun acc rg -> acc * range_size rg) 1 r
+
+let is_empty (r : t) = Array.exists (fun rg -> rg.hi < rg.lo) r
+
+let dim (r : t) i = r.(i)
+
+(** Intersection; raises [Invalid_argument] on rank mismatch. *)
+let inter (a : t) (b : t) : t =
+  if rank a <> rank b then invalid_arg "Region.inter: rank mismatch";
+  Array.map2 (fun x y -> { lo = max x.lo y.lo; hi = min x.hi y.hi }) a b
+
+(** Smallest region containing both arguments. *)
+let hull (a : t) (b : t) : t =
+  if rank a <> rank b then invalid_arg "Region.hull: rank mismatch";
+  if is_empty a then b
+  else if is_empty b then a
+  else Array.map2 (fun x y -> { lo = min x.lo y.lo; hi = max x.hi y.hi }) a b
+
+(** Translate a region by an offset vector. *)
+let shift (r : t) (off : int array) : t =
+  if rank r <> Array.length off then invalid_arg "Region.shift: rank mismatch";
+  Array.mapi (fun i rg -> { lo = rg.lo + off.(i); hi = rg.hi + off.(i) }) r
+
+let contains_point (r : t) (p : int array) =
+  rank r = Array.length p
+  && Array.for_all (fun i -> r.(i).lo <= p.(i) && p.(i) <= r.(i).hi)
+       (Array.init (rank r) Fun.id)
+
+(** [subset a b] is true when every point of [a] lies in [b]. *)
+let subset (a : t) (b : t) =
+  is_empty a
+  || (rank a = rank b
+     && Array.for_all2 (fun x y -> x.lo >= y.lo && x.hi <= y.hi) a b)
+
+(** Iterate all points in row-major order. The callback receives a scratch
+    buffer that is reused between calls; copy it if you keep it. *)
+let iter (r : t) (f : int array -> unit) =
+  if not (is_empty r) then begin
+    let n = rank r in
+    let p = Array.map (fun rg -> rg.lo) r in
+    let rec step d =
+      if d < 0 then ()
+      else if p.(d) < r.(d).hi then begin
+        p.(d) <- p.(d) + 1;
+        for k = d + 1 to n - 1 do
+          p.(k) <- r.(k).lo
+        done;
+        f p;
+        step (n - 1)
+      end
+      else step (d - 1)
+    in
+    f p;
+    step (n - 1)
+  end
+
+let fold (r : t) (f : 'a -> int array -> 'a) (init : 'a) =
+  let acc = ref init in
+  iter r (fun p -> acc := f !acc p);
+  !acc
+
+let to_string (r : t) =
+  r
+  |> Array.to_list
+  |> List.map (fun { lo; hi } -> Printf.sprintf "%d..%d" lo hi)
+  |> String.concat ", "
+  |> Printf.sprintf "[%s]"

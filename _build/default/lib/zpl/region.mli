@@ -1,0 +1,56 @@
+(** Dense rectangular index regions of rank 1..3 — the unit of iteration
+    for whole-array statements, the declared extent of parallel arrays,
+    and the currency of all ownership/halo arithmetic. *)
+
+type range = { lo : int; hi : int }  (** inclusive; empty when [hi < lo] *)
+
+type t = range array  (** one range per dimension *)
+
+val pp_range : Format.formatter -> range -> unit
+val show_range : range -> string
+val equal_range : range -> range -> bool
+val compare_range : range -> range -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val range : int -> int -> range
+
+(** [make [(lo, hi); ...]] builds a region from per-dimension bounds. *)
+val make : (int * int) list -> t
+
+val rank : t -> int
+val range_size : range -> int
+
+(** Number of points; 0 when any dimension is empty. *)
+val size : t -> int
+
+val is_empty : t -> bool
+
+(** The [i]-th dimension's range. *)
+val dim : t -> int -> range
+
+(** Intersection; raises [Invalid_argument] on rank mismatch. *)
+val inter : t -> t -> t
+
+(** Smallest region containing both arguments (empty args are ignored). *)
+val hull : t -> t -> t
+
+(** Translate by an offset vector of matching rank. *)
+val shift : t -> int array -> t
+
+val contains_point : t -> int array -> bool
+
+(** [subset a b] — every point of [a] lies in [b]; empty regions are
+    subsets of everything. *)
+val subset : t -> t -> bool
+
+(** Iterate all points in row-major order. The point buffer is reused
+    between calls; copy it if retained. *)
+val iter : t -> (int array -> unit) -> unit
+
+val fold : t -> ('a -> int array -> 'a) -> 'a -> 'a
+
+(** ["[lo..hi, lo..hi]"] rendering used in error messages and dumps. *)
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Array Ast Check Commopt List Loc Prog Region String

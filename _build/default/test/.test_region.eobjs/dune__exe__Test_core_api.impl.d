@@ -1,0 +1,1 @@
+test/test_core_api.ml: Alcotest Commopt Ir List Machine Opt Sim String Zpl

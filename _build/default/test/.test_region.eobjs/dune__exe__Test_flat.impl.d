@@ -1,0 +1,1 @@
+test/test_flat.ml: Alcotest Array Commopt Ir List Opt Printf Programs Runtime String Zpl

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Commopt Float Ir List Machine Opt Programs Report Runtime Sim String Zpl

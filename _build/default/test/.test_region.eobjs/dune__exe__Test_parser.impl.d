@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Commopt List Loc Parser Printf String

@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Commopt Float Ir List Machine Opt Printf Programs Runtime Sim Zpl

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Buffer Commopt Float Fun Ir List Machine Opt Printf QCheck QCheck_alcotest Runtime Sim String Zpl

@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Array Commopt Fmt List Printf QCheck QCheck_alcotest Region

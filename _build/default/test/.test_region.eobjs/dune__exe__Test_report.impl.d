@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Commopt Lazy List Machine Printf Programs Report String

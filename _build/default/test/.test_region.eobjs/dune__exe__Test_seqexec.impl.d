@@ -1,0 +1,1 @@
+test/test_seqexec.ml: Alcotest Commopt Option Runtime Zpl

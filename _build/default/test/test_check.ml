@@ -1,0 +1,168 @@
+(** Checker tests: name resolution, typing, region scoping, constant
+    folding and overrides, procedure inlining, and every class of semantic
+    error the optimizer relies on being rejected. *)
+
+open Commopt.Zpl
+
+let prelude =
+  {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+direction east = [0, 1];
+direction north = [-1, 0];
+var A, B : [BigR] float;
+var x, y : float;
+var k : int;
+var flag : bool;
+|}
+
+let compile ?defines body = Check.compile_string ?defines (prelude ^ body)
+
+let expect_error body frag =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    ln = 0 || go 0
+  in
+  match compile body with
+  | _ -> Alcotest.failf "expected checker error mentioning %S" frag
+  | exception Loc.Error (_, msg) ->
+      if not (contains msg frag) then
+        Alcotest.failf "error %S does not mention %S" msg frag
+
+let test_basic () =
+  let p = compile "procedure main(); begin [R] A := B@east + x; end;" in
+  Alcotest.(check int) "arrays" 2 (Array.length p.Prog.arrays);
+  Alcotest.(check int) "scalars" 4 (Array.length p.Prog.scalars);
+  match p.Prog.body with
+  | [ Prog.AssignA { lhs = 0; rhs; _ } ] ->
+      Alcotest.(check (list (pair int (pair int int))))
+        "comm needs"
+        [ (1, (0, 1)) ]
+        (Prog.comm_needs rhs)
+  | _ -> Alcotest.fail "body shape"
+
+let test_constant_folding () =
+  let p = compile "procedure main(); begin [1..n-1, 2..n] A := 1.0; end;" in
+  match p.Prog.body with
+  | [ Prog.AssignA { region; _ } ] ->
+      (match Prog.static_region region with
+      | Some r ->
+          Alcotest.(check string) "folded bounds" "[1..7, 2..8]" (Region.to_string r)
+      | None -> Alcotest.fail "region should be static")
+  | _ -> Alcotest.fail "body shape"
+
+let test_defines_override () =
+  let p =
+    compile ~defines:[ ("n", 16.) ]
+      "procedure main(); begin [R] A := 0.0; end;"
+  in
+  Alcotest.(check string) "declared region follows n=16" "[0..17, 0..17]"
+    (Region.to_string (Prog.array_info p 0).a_region)
+
+let test_region_inheritance () =
+  (* the second statement inherits [R] from the first *)
+  let p =
+    compile "procedure main(); begin [R] A := 1.0; B := A@east; end;"
+  in
+  match p.Prog.body with
+  | [ Prog.AssignA a1; Prog.AssignA a2 ] ->
+      Alcotest.(check bool) "same region" true (Prog.equal_dregion a1.region a2.region)
+  | _ -> Alcotest.fail "body shape"
+
+let test_loop_variant_region () =
+  let p =
+    compile
+      "procedure main(); begin for k := 2 to n do [k..k, 1..n] A := 1.0; end; end;"
+  in
+  match p.Prog.body with
+  | [ Prog.For { body = [ Prog.AssignA { region; _ } ]; _ } ] ->
+      Alcotest.(check bool) "dynamic" true (Prog.static_region region = None)
+  | _ -> Alcotest.fail "body shape"
+
+let test_inlining () =
+  let p =
+    compile
+      {|
+procedure helper(); begin [R] A := A + 1.0; end;
+procedure main(); begin helper(); helper(); end;
+|}
+  in
+  Alcotest.(check int) "two inlined statements" 2 (List.length p.Prog.body)
+
+let test_recursion_rejected () =
+  expect_error
+    "procedure loop(); begin loop(); end; procedure main(); begin loop(); end;"
+    "recursive"
+
+let test_reduce_forms () =
+  let p =
+    compile "procedure main(); begin [R] x := max<< abs(A - B); end;"
+  in
+  match p.Prog.body with
+  | [ Prog.ReduceS { r_op = Ast.RMax; _ } ] -> ()
+  | _ -> Alcotest.fail "reduce shape"
+
+let test_flops_positive () =
+  let p =
+    compile "procedure main(); begin [R] A := sqrt(B@east * B + 2.0); end;"
+  in
+  match p.Prog.body with
+  | [ Prog.AssignA { flops; _ } ] ->
+      Alcotest.(check bool) "flops counted" true (flops >= 10)
+  | _ -> Alcotest.fail "body shape"
+
+let test_fringe_widths () =
+  let p =
+    compile
+      "procedure main(); begin [1..n-2, 1..n] A := B@[2,0] + B@east + A@north; end;"
+  in
+  let w = Prog.fringe_widths p in
+  Alcotest.(check int) "A width" 1 w.(0);
+  Alcotest.(check int) "B width" 2 w.(1)
+
+let test_errors () =
+  expect_error "procedure main(); begin [R] A := flag; end;" "boolean";
+  expect_error "procedure main(); begin [R] A := C; end;" "unknown name";
+  expect_error "procedure main(); begin x := A; end;" "scalar context";
+  expect_error "procedure main(); begin [R] A := B@nowhere; end;" "unknown name";
+  expect_error "procedure main(); begin [R] A := B@n; end;" "not a direction";
+  expect_error "procedure main(); begin [R] k := max<< A; end;" "float scalar";
+  expect_error "procedure main(); begin [R] A := 1.0 + max<< B; end;"
+    "top of an assignment";
+  expect_error "procedure main(); begin A := 1.0; end;" "no region in scope";
+  expect_error "procedure main(); begin [0..n+2, 1..n] A := 1.0; end;"
+    "outside";
+  expect_error "procedure main(); begin [R] A := B@[9,0]; end;"
+    "reads outside";
+  expect_error "procedure main(); begin repeat x := 1.0; until x; end;" "boolean";
+  expect_error "procedure main(); begin for k := 1.5 to 3 do x := 1.0; end; end;"
+    "integers";
+  expect_error "procedure main(); begin [k..k*2, 1..n] A := 1.0; end;"
+    "form";
+  expect_error "var Z : [1..4] float;\nprocedure main(); begin x := 1.0; end;"
+    "rank"
+
+let test_index_arrays () =
+  let p = compile "procedure main(); begin [R] A := Index1 + 2.0 * Index2; end;" in
+  match p.Prog.body with
+  | [ Prog.AssignA { rhs = Prog.ABin (_, Prog.AIndex 0, _); _ } ] -> ()
+  | _ -> Alcotest.fail "Index1/Index2 shape"
+
+let () =
+  Alcotest.run "check"
+    [ ( "accepts",
+        [ Alcotest.test_case "basic program" `Quick test_basic;
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "defines override" `Quick test_defines_override;
+          Alcotest.test_case "region inheritance" `Quick test_region_inheritance;
+          Alcotest.test_case "loop-variant regions" `Quick test_loop_variant_region;
+          Alcotest.test_case "procedure inlining" `Quick test_inlining;
+          Alcotest.test_case "reductions" `Quick test_reduce_forms;
+          Alcotest.test_case "flops estimate" `Quick test_flops_positive;
+          Alcotest.test_case "fringe widths" `Quick test_fringe_widths;
+          Alcotest.test_case "IndexD" `Quick test_index_arrays ] );
+      ( "rejects",
+        [ Alcotest.test_case "recursion" `Quick test_recursion_rejected;
+          Alcotest.test_case "semantic errors" `Quick test_errors ] ) ]

@@ -1,0 +1,96 @@
+(** Tests of the high-level [Commopt] API that examples, the CLI and
+    downstream users build on. *)
+
+open Commopt
+
+let src =
+  {|
+constant n = 12;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+direction e = [0, 1]; direction w = [0, -1];
+var A, B : [BigR] float;
+var err : float;
+var t : int;
+procedure main();
+begin
+  [BigR] A := Index1 * 0.5;
+  for t := 1 to 4 do
+    [R] B := 0.5 * (A@e + A@w);
+    [R] err := max<< abs(B - A@e);
+    [R] A := B;
+  end;
+end;
+|}
+
+let test_compile_defaults () =
+  let c = compile src in
+  Alcotest.(check bool) "default config is pl" true
+    (c.config = Opt.Config.pl_cum);
+  Alcotest.(check bool) "positive static count" true (static_count c > 0)
+
+let test_defines () =
+  let c = compile ~defines:[ ("n", 6.) ] src in
+  Alcotest.(check string) "resized" "[0..7, 0..7]"
+    (Zpl.Region.to_string (Zpl.Prog.array_info c.prog 0).a_region)
+
+let test_recompile () =
+  let c = compile ~config:Opt.Config.baseline src in
+  let c' = recompile ~config:Opt.Config.cc_cum c in
+  Alcotest.(check bool) "same typed program" true (c.prog == c'.prog);
+  Alcotest.(check bool) "fewer transfers" true (static_count c' < static_count c)
+
+let test_simulate_and_oracle () =
+  let c = compile src in
+  let res = simulate ~mesh:(2, 2) c in
+  let oracle = run_oracle c in
+  Alcotest.(check (float 0.)) "exact" 0.0 (oracle_distance c res oracle);
+  Alcotest.(check bool) "time advanced" true (res.Sim.Engine.time > 0.)
+
+let test_verify_passes () =
+  let c = compile src in
+  ignore (verify ~mesh:(2, 2) c)
+
+let test_verify_rejects_sabotage () =
+  (* hand-build a miscompiled program: transfers dropped *)
+  let prog = Zpl.Check.compile_string src in
+  let code = Opt.Lower.lower prog in
+  Ir.Block.map_blocks
+    (fun b ->
+      List.iter (fun (x : Ir.Block.xfer) -> x.Ir.Block.live <- false) b.Ir.Block.xfers)
+    code;
+  let ir = Ir.Instr.of_code prog code in
+  let c = { prog; config = Opt.Config.baseline; ir; flat = Ir.Flat.flatten ir } in
+  Alcotest.(check bool) "verify raises" true
+    (match verify ~mesh:(2, 2) c with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_simulate_other_machines () =
+  let c = compile src in
+  List.iter
+    (fun (machine, lib) ->
+      let res = simulate ~machine ~lib ~mesh:(2, 2) c in
+      Alcotest.(check bool) "ran" true (res.Sim.Engine.time > 0.))
+    [ (Machine.Paragon.machine, Machine.Paragon.nx_sync);
+      (Machine.Paragon.machine, Machine.Paragon.nx_async);
+      (Machine.Paragon.machine, Machine.Paragon.nx_callback);
+      (Machine.T3d.machine, Machine.T3d.shmem) ]
+
+let test_loc_guard () =
+  (match Zpl.Loc.guard (fun () -> compile "nonsense !") with
+  | Ok _ -> Alcotest.fail "should not parse"
+  | Error msg -> Alcotest.(check bool) "located" true (String.length msg > 3))
+
+let () =
+  Alcotest.run "core-api"
+    [ ( "api",
+        [ Alcotest.test_case "compile" `Quick test_compile_defaults;
+          Alcotest.test_case "defines" `Quick test_defines;
+          Alcotest.test_case "recompile" `Quick test_recompile;
+          Alcotest.test_case "simulate vs oracle" `Quick test_simulate_and_oracle;
+          Alcotest.test_case "verify" `Quick test_verify_passes;
+          Alcotest.test_case "verify catches sabotage" `Quick
+            test_verify_rejects_sabotage;
+          Alcotest.test_case "other machines" `Quick test_simulate_other_machines;
+          Alcotest.test_case "error guard" `Quick test_loc_guard ] ) ]

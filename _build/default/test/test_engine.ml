@@ -1,0 +1,200 @@
+(** Simulator engine tests: data movement, counters, determinism,
+    blocking semantics per library model, collective reductions, and the
+    safety rails (shift-too-wide rejection, instruction limit). *)
+
+open Commopt
+
+let stencil_src =
+  {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+direction e = [0, 1]; direction w = [0, -1];
+direction no = [-1, 0]; direction s = [1, 0];
+var A, B : [BigR] float;
+var err : float;
+var t : int;
+procedure main();
+begin
+  [BigR] A := Index1 + 10.0 * Index2;
+  for t := 1 to 3 do
+    [R] B := 0.25 * (A@e + A@w + A@no + A@s);
+    [R] err := max<< abs(B - A);
+    [R] A := B;
+  end;
+end;
+|}
+
+let make_engine ?(config = Opt.Config.pl_cum) ?(lib = Machine.T3d.pvm)
+    ?(pr = 2) ?(pc = 2) ?limit src =
+  let prog = Zpl.Check.compile_string src in
+  let ir = Opt.Passes.compile config prog in
+  Sim.Engine.make ?limit ~machine:Machine.T3d.machine ~lib ~pr ~pc
+    (Ir.Flat.flatten ir)
+
+let test_counts_and_time () =
+  let res = Sim.Engine.run (make_engine stencil_src) in
+  let st = res.Sim.Engine.stats in
+  (* 4 directional transfers x 3 iterations, but every proc on a 2x2 mesh
+     is a corner with only two inbound neighbors *)
+  Alcotest.(check int) "dynamic count" 6 (Sim.Stats.dynamic_count st);
+  Alcotest.(check bool) "time positive" true (res.Sim.Engine.time > 0.0);
+  Alcotest.(check bool) "messages flowed" true (Sim.Stats.total_messages st > 0);
+  Alcotest.(check int) "reduces joined" 3 st.Sim.Stats.procs.(0).Sim.Stats.reduces
+
+let test_determinism () =
+  let r1 = Sim.Engine.run (make_engine stencil_src) in
+  let r2 = Sim.Engine.run (make_engine stencil_src) in
+  Alcotest.(check (float 0.)) "same makespan" r1.Sim.Engine.time r2.Sim.Engine.time;
+  Alcotest.(check int) "same instructions"
+    r1.Sim.Engine.stats.Sim.Stats.instructions
+    r2.Sim.Engine.stats.Sim.Stats.instructions
+
+let test_gather_matches_oracle () =
+  let prog = Zpl.Check.compile_string stencil_src in
+  let oracle = Runtime.Seqexec.run prog in
+  let res = Sim.Engine.run (make_engine stencil_src) in
+  let g = Sim.Engine.gather res.Sim.Engine.engine 0 in
+  let sq = oracle.Runtime.Seqexec.stores.(0) in
+  Zpl.Region.iter (Zpl.Prog.array_info prog 0).a_region (fun p ->
+      let a = Runtime.Store.get sq p and b = Runtime.Store.get g p in
+      if a <> b then Alcotest.failf "cell differs: %g vs %g" a b)
+
+let test_replicated_scalars_agree () =
+  let res = Sim.Engine.run (make_engine stencil_src) in
+  let env0 = Sim.Engine.final_env res.Sim.Engine.engine in
+  Array.iter
+    (fun (p : Sim.Engine.proc) ->
+      Array.iteri
+        (fun i v ->
+          if not (Runtime.Values.equal_value v env0.(i)) then
+            Alcotest.fail "scalar env diverged between processors")
+        p.Sim.Engine.env)
+    res.Sim.Engine.engine.Sim.Engine.procs
+
+let test_library_overheads_ordered () =
+  let time lib = (Sim.Engine.run (make_engine ~lib stencil_src)).Sim.Engine.time in
+  let csend = time Machine.Paragon.nx_sync in
+  let hsend = time Machine.Paragon.nx_callback in
+  Alcotest.(check bool) "callback primitives are heavier" true (hsend > csend)
+
+let test_baseline_slower_than_optimized () =
+  let time config =
+    (Sim.Engine.run (make_engine ~config stencil_src)).Sim.Engine.time
+  in
+  Alcotest.(check bool) "optimization helps" true
+    (time Opt.Config.pl_cum <= time Opt.Config.baseline)
+
+let test_rejects_wide_shift () =
+  (* shift magnitude 3 > block extent 2 on a 4x4 mesh over 8 cells *)
+  let src =
+    {|
+constant n = 8;
+region R = [4..n, 1..n];
+var A, B : [1..n, 1..n] float;
+procedure main(); begin [R] B := A@[-3, 0]; end;
+|}
+  in
+  Alcotest.(check bool) "raises" true
+    (match make_engine ~pr:4 ~pc:4 src with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_instruction_limit () =
+  Alcotest.(check bool) "limit enforced" true
+    (match Sim.Engine.run (make_engine ~limit:100 stencil_src) with
+    | _ -> false
+    | exception Sim.Engine.Instruction_limit _ -> true)
+
+let test_wavefront_serializes () =
+  (* a row-sweep over a distributed dimension must take longer than the
+     same arithmetic without the cross-row dependence *)
+  let sweep =
+    {|
+constant n = 16;
+region R = [1..n, 1..n];
+var A : [0..n+1, 0..n+1] float;
+var i : int;
+direction no = [-1, 0];
+procedure main();
+begin
+  [0..n+1, 0..n+1] A := 1.0;
+  for i := 2 to n do
+    [i..i, 1..n] A := A@no * 0.5 + 1.0;
+  end;
+end;
+|}
+  in
+  let independent =
+    {|
+constant n = 16;
+region R = [1..n, 1..n];
+var A : [0..n+1, 0..n+1] float;
+var i : int;
+procedure main();
+begin
+  [0..n+1, 0..n+1] A := 1.0;
+  for i := 2 to n do
+    [i..i, 1..n] A := A * 0.5 + 1.0;
+  end;
+end;
+|}
+  in
+  let t src = (Sim.Engine.run (make_engine ~pr:4 ~pc:1 src)).Sim.Engine.time in
+  Alcotest.(check bool) "dependence chain costs time" true
+    (t sweep > t independent *. 1.5)
+
+let test_shmem_rendezvous_couples () =
+  (* under SHMEM the wavefront pays the per-instance rendezvous; PVM's
+     buffered sends do not *)
+  let sweep =
+    {|
+constant n = 24;
+var A : [0..n+1, 0..n+1] float;
+var i : int;
+direction no = [-1, 0];
+procedure main();
+begin
+  [0..n+1, 0..n+1] A := 1.0;
+  for i := 2 to n do
+    [i..i, 1..n] A := A@no * 0.5 + 1.0;
+  end;
+end;
+|}
+  in
+  let t lib = (Sim.Engine.run (make_engine ~lib ~pr:4 ~pc:1 sweep)).Sim.Engine.time in
+  Alcotest.(check bool) "shmem slower on serialized code" true
+    (t Machine.T3d.shmem > t Machine.T3d.pvm)
+
+let test_paragon_machine_is_slower () =
+  let t machine =
+    let prog = Zpl.Check.compile_string stencil_src in
+    let ir = Opt.Passes.compile Opt.Config.pl_cum prog in
+    let lib =
+      if machine == Machine.Paragon.machine then Machine.Paragon.nx_sync
+      else Machine.T3d.pvm
+    in
+    (Sim.Engine.run
+       (Sim.Engine.make ~machine ~lib ~pr:2 ~pc:2 (Ir.Flat.flatten ir)))
+      .Sim.Engine.time
+  in
+  Alcotest.(check bool) "50 MHz Paragon slower than 150 MHz T3D" true
+    (t Machine.Paragon.machine > t Machine.T3d.machine)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "execution",
+        [ Alcotest.test_case "counts & time" `Quick test_counts_and_time;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "gather == oracle" `Quick test_gather_matches_oracle;
+          Alcotest.test_case "replicated scalars" `Quick test_replicated_scalars_agree
+        ] );
+      ( "models",
+        [ Alcotest.test_case "library ordering" `Quick test_library_overheads_ordered;
+          Alcotest.test_case "optimization helps" `Quick test_baseline_slower_than_optimized;
+          Alcotest.test_case "wavefront serializes" `Quick test_wavefront_serializes;
+          Alcotest.test_case "shmem rendezvous" `Quick test_shmem_rendezvous_couples;
+          Alcotest.test_case "machine speeds" `Quick test_paragon_machine_is_slower ] );
+      ( "guards",
+        [ Alcotest.test_case "wide shift rejected" `Quick test_rejects_wide_shift;
+          Alcotest.test_case "instruction limit" `Quick test_instruction_limit ] ) ]

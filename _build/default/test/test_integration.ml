@@ -1,0 +1,162 @@
+(** Whole-pipeline integration tests: every bundled benchmark, at every
+    optimization level, on several library models, must produce the same
+    values as the sequential oracle — the property that makes the
+    optimizer trustworthy. Also checks the count relationships the paper's
+    tables exhibit, and injects an optimizer fault to prove the oracle
+    harness actually catches miscompiles. *)
+
+open Commopt
+
+let configs =
+  Opt.Config.[ baseline; rr_only; cc_cum; pl_cum; pl_max_latency ]
+
+let libs = [ Machine.T3d.pvm; Machine.T3d.shmem; Machine.Paragon.nx_sync ]
+
+let tolerance_for (b : Programs.Bench_def.t) =
+  (* sum/product reductions may legally round differently in parallel *)
+  let has_sum_reduce =
+    let contains hay needle =
+      let lh = String.length hay and ln = String.length needle in
+      let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+      go 0
+    in
+    contains b.Programs.Bench_def.source "+<<"
+  in
+  if has_sum_reduce then 1e-9 else 0.0
+
+let oracle_case (b : Programs.Bench_def.t) =
+  Alcotest.test_case b.Programs.Bench_def.name `Slow (fun () ->
+      let prog = Programs.Suite.compile ~scale:`Test b in
+      let oracle = Runtime.Seqexec.run prog in
+      List.iter
+        (fun config ->
+          List.iter
+            (fun lib ->
+              let ir = Opt.Passes.compile config prog in
+              let res =
+                Sim.Engine.run
+                  (Sim.Engine.make ~machine:Machine.T3d.machine ~lib ~pr:2
+                     ~pc:2 (Ir.Flat.flatten ir))
+              in
+              let worst = ref 0.0 in
+              Array.iteri
+                (fun aid (info : Zpl.Prog.array_info) ->
+                  let par = Sim.Engine.gather res.Sim.Engine.engine aid in
+                  let sq = oracle.Runtime.Seqexec.stores.(aid) in
+                  Zpl.Region.iter info.a_region (fun pt ->
+                      let a = Runtime.Store.get sq pt
+                      and c = Runtime.Store.get par pt in
+                      let d = Float.abs (a -. c) /. (1.0 +. Float.abs a) in
+                      if d > !worst then worst := d))
+                prog.Zpl.Prog.arrays;
+              if !worst > tolerance_for b then
+                Alcotest.failf "%s/%s deviates from oracle by %g"
+                  (Opt.Config.name config)
+                  (Machine.Library.kind_name lib.Machine.Library.kind)
+                  !worst)
+            libs)
+        configs)
+
+let count_relations_case (b : Programs.Bench_def.t) =
+  Alcotest.test_case b.Programs.Bench_def.name `Quick (fun () ->
+      let prog = Programs.Suite.compile ~scale:`Test b in
+      let stat config = Ir.Count.static_count (Opt.Passes.compile config prog) in
+      let base = stat Opt.Config.baseline in
+      let rr = stat Opt.Config.rr_only in
+      let cc = stat Opt.Config.cc_cum in
+      let pl = stat Opt.Config.pl_cum in
+      let maxlat = stat Opt.Config.pl_max_latency in
+      Alcotest.(check bool) "rr <= baseline" true (rr <= base);
+      Alcotest.(check bool) "cc <= rr" true (cc <= rr);
+      Alcotest.(check int) "pl leaves counts unchanged" cc pl;
+      Alcotest.(check bool) "maxlat between cc and rr" true
+        (cc <= maxlat && maxlat <= rr);
+      (* member messages: combining never changes the data moved *)
+      let members config =
+        Ir.Count.static_member_count (Opt.Passes.compile config prog)
+      in
+      Alcotest.(check int) "cc preserves member messages" (members Opt.Config.rr_only)
+        (members Opt.Config.cc_cum))
+
+let dynamic_relations_case (b : Programs.Bench_def.t) =
+  Alcotest.test_case b.Programs.Bench_def.name `Slow (fun () ->
+      let prog = Programs.Suite.compile ~scale:`Test b in
+      let dyn config =
+        let ir = Opt.Passes.compile config prog in
+        let res =
+          Sim.Engine.run
+            (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+               ~pr:2 ~pc:2 (Ir.Flat.flatten ir))
+        in
+        (Sim.Stats.dynamic_count res.Sim.Engine.stats, res.Sim.Engine.time)
+      in
+      let dbase, tbase = dyn Opt.Config.baseline in
+      let drr, trr = dyn Opt.Config.rr_only in
+      let dcc, tcc = dyn Opt.Config.cc_cum in
+      let dpl, _ = dyn Opt.Config.pl_cum in
+      Alcotest.(check bool) "dynamic rr <= baseline" true (drr <= dbase);
+      Alcotest.(check bool) "dynamic cc <= rr" true (dcc <= drr);
+      Alcotest.(check int) "dynamic pl = cc" dcc dpl;
+      Alcotest.(check bool) "time rr <= baseline (PVM)" true (trr <= tbase);
+      Alcotest.(check bool) "time cc <= rr (PVM)" true (tcc <= trr))
+
+(** Fault injection: silently drop one needed transfer and prove the
+    oracle comparison catches the miscompile. This validates the testing
+    methodology itself. *)
+let test_fault_injection () =
+  let src =
+    {|
+constant n = 8;
+region R = [1..n, 1..n];
+var A, B : [0..n+1, 0..n+1] float;
+direction e = [0, 1];
+procedure main();
+begin
+  [0..n+1, 0..n+1] A := Index1 + 10.0 * Index2;
+  [R] B := A@e * 2.0;
+end;
+|}
+  in
+  let prog = Zpl.Check.compile_string src in
+  let code = Opt.Lower.lower prog in
+  (* sabotage: mark every transfer dead, as a buggy "optimizer" might *)
+  Ir.Block.map_blocks
+    (fun b ->
+      List.iter (fun (x : Ir.Block.xfer) -> x.Ir.Block.live <- false) b.Ir.Block.xfers)
+    code;
+  let ir = Ir.Instr.of_code prog code in
+  let res =
+    Sim.Engine.run
+      (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm ~pr:1
+         ~pc:2 (Ir.Flat.flatten ir))
+  in
+  let oracle = Runtime.Seqexec.run prog in
+  let par = Sim.Engine.gather res.Sim.Engine.engine 1 in
+  let sq = oracle.Runtime.Seqexec.stores.(1) in
+  let differs = ref false in
+  Zpl.Region.iter
+    (Zpl.Region.make [ (1, 8); (1, 8) ])
+    (fun p ->
+      if Runtime.Store.get par p <> Runtime.Store.get sq p then differs := true);
+  Alcotest.(check bool) "missing transfer is detected" true !differs
+
+(** The paper's qualitative table shapes at bench scale would be too slow
+    here; the experiment grid at test scale must still satisfy the
+    headline orderings. *)
+let test_experiment_rows_shape () =
+  let r = Report.Experiment.run_bench ~scale:`Test Programs.Suite.tomcatv in
+  let get l = (Report.Experiment.find_row r l).Report.Experiment.static_count in
+  Alcotest.(check bool) "rr below baseline" true (get "rr" < get "baseline");
+  Alcotest.(check bool) "cc below rr" true (get "cc" < get "rr");
+  Alcotest.(check int) "tomcatv: maxlat counts = rr counts (Figure 11)"
+    (get "rr") (get "pl with max latency")
+
+let () =
+  Alcotest.run "integration"
+    [ ("oracle", List.map oracle_case Programs.Suite.all);
+      ("static-count-relations", List.map count_relations_case Programs.Suite.all);
+      ("dynamic-relations", List.map dynamic_relations_case Programs.Suite.all);
+      ( "methodology",
+        [ Alcotest.test_case "fault injection" `Quick test_fault_injection;
+          Alcotest.test_case "experiment rows" `Slow test_experiment_rows_shape ] )
+    ]

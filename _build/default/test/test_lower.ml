@@ -1,0 +1,117 @@
+(** Baseline lowering tests: block formation, one transfer per distinct
+    (array, offset) per statement, and transfer placement. *)
+
+open Commopt
+module B = Ir.Block
+
+let prelude =
+  {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+direction east = [0, 1];
+direction west = [0, -1];
+direction north = [-1, 0];
+var A, C, D : [BigR] float;
+var x : float;
+var i : int;
+|}
+
+let lower body = Opt.Lower.lower (Zpl.Check.compile_string (prelude ^ body))
+
+let blocks code =
+  let acc = ref [] in
+  B.map_blocks (fun b -> acc := b :: !acc) code;
+  List.rev !acc
+
+let test_single_block () =
+  let code =
+    lower
+      "procedure main(); begin [R] A := C@east; [R] C := A@east; x := 1.0; end;"
+  in
+  Alcotest.(check int) "one block" 1 (List.length (blocks code));
+  let b = List.hd (blocks code) in
+  Alcotest.(check int) "three work items" 3 (Array.length b.B.work);
+  Alcotest.(check int) "two transfers" 2 (List.length (B.live_xfers b))
+
+let test_blocks_split_by_control () =
+  let code =
+    lower
+      {|
+procedure main();
+begin
+  [R] A := C@east;
+  repeat
+    [R] C := A@east;
+  until x < 1.0;
+  [R] A := C@west;
+end;
+|}
+  in
+  Alcotest.(check int) "three blocks" 3 (List.length (blocks code))
+
+let test_dedup_within_statement () =
+  (* A@east appears twice in one statement: message vectorization emits a
+     single transfer for it *)
+  let code = lower "procedure main(); begin [R] C := A@east + A@east * 2.0; end;" in
+  let b = List.hd (blocks code) in
+  Alcotest.(check int) "one transfer" 1 (List.length (B.live_xfers b))
+
+let test_no_dedup_across_statements () =
+  (* baseline (no rr): each statement communicates its own copy *)
+  let code =
+    lower "procedure main(); begin [R] C := A@east; [R] D := A@east; end;"
+  in
+  let b = List.hd (blocks code) in
+  Alcotest.(check int) "two transfers" 2 (List.length (B.live_xfers b))
+
+let test_placement_before_use () =
+  let code =
+    lower "procedure main(); begin [R] A := 1.0; [R] C := A@east + D@west; end;"
+  in
+  let b = List.hd (blocks code) in
+  List.iter
+    (fun (x : B.xfer) ->
+      Alcotest.(check int) "send at use" 1 x.B.send_pos;
+      Alcotest.(check int) "recv at use" 1 x.B.recv_pos;
+      Alcotest.(check int) "ready at use" 1 x.B.ready_pos)
+    (B.live_xfers b)
+
+let test_local_shift_no_comm () =
+  (* rank-3 dim-2 shifts stay local *)
+  let src =
+    {|
+constant n = 4;
+region Cube = [1..n, 1..n, 1..n];
+var Q : [Cube] float;
+procedure main(); begin [1..n, 1..n, 2..n] Q := Q@[0, 0, -1]; end;
+|}
+  in
+  let code = Opt.Lower.lower (Zpl.Check.compile_string src) in
+  let b = List.hd (blocks code) in
+  Alcotest.(check int) "no transfers" 0 (List.length (B.live_xfers b))
+
+let test_reduce_needs_comm () =
+  let code = lower "procedure main(); begin [R] x := +<< A@east; end;" in
+  let b = List.hd (blocks code) in
+  Alcotest.(check int) "reduce's shift communicated" 1 (List.length (B.live_xfers b))
+
+let test_est_cost_and_writes () =
+  let code = lower "procedure main(); begin [R] A := C * 2.0; x := 1.0; end;" in
+  let b = List.hd (blocks code) in
+  Alcotest.(check (list int)) "writes" [ 0 ] (B.writes b.B.work.(0));
+  Alcotest.(check (list int)) "scalar writes nothing" [] (B.writes b.B.work.(1));
+  Alcotest.(check bool) "kernel cost dominates scalar" true
+    (B.est_cost b.B.work.(0) > B.est_cost b.B.work.(1))
+
+let () =
+  Alcotest.run "lower"
+    [ ( "lowering",
+        [ Alcotest.test_case "single block" `Quick test_single_block;
+          Alcotest.test_case "control splits blocks" `Quick test_blocks_split_by_control;
+          Alcotest.test_case "dedup within statement" `Quick test_dedup_within_statement;
+          Alcotest.test_case "no dedup across statements" `Quick test_no_dedup_across_statements;
+          Alcotest.test_case "placement before use" `Quick test_placement_before_use;
+          Alcotest.test_case "local dim-2 shift" `Quick test_local_shift_no_comm;
+          Alcotest.test_case "reduction comm" `Quick test_reduce_needs_comm;
+          Alcotest.test_case "cost & writes" `Quick test_est_cost_and_writes ] ) ]

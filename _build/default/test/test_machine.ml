@@ -1,0 +1,139 @@
+(** Machine-model tests: the IRONMAN binding tables of the paper's
+    Figure 5, the executable semantics behind them, and the calibrated
+    cost relationships the experiments depend on. *)
+
+open Commopt
+module L = Machine.Library
+
+let all_libs = Machine.Paragon.libraries @ Machine.T3d.libraries
+
+(** Figure 5, transcribed from the paper. *)
+let paper_bindings =
+  [ (L.NX_sync, [ "no-op"; "csend"; "crecv"; "no-op" ]);
+    (L.NX_async, [ "irecv"; "isend"; "msgwait"; "msgwait" ]);
+    (L.NX_callback, [ "hprobe"; "hsend"; "hrecv"; "msgwait" ]);
+    (L.PVM, [ "no-op"; "pvm_send"; "pvm_recv"; "no-op" ]);
+    (L.SHMEM, [ "synch"; "shmem_put"; "synch"; "no-op" ]) ]
+
+let calls = [ Ir.Instr.DR; Ir.Instr.SR; Ir.Instr.DN; Ir.Instr.SV ]
+
+let test_figure5_bindings () =
+  List.iter
+    (fun (kind, names) ->
+      Alcotest.(check (list string))
+        (L.kind_name kind) names
+        (List.map (L.primitive_name kind) calls))
+    paper_bindings
+
+let test_noop_semantics_match_table () =
+  (* wherever Figure 5 says no-op, the executable semantics must be No_op,
+     and nowhere else *)
+  List.iter
+    (fun (kind, names) ->
+      List.iter2
+        (fun call name ->
+          let sem = L.semantics kind call in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s" (L.kind_name kind) (Ir.Instr.call_name call))
+            (name = "no-op")
+            (sem = L.No_op))
+        calls names)
+    paper_bindings
+
+let test_sr_always_sends () =
+  List.iter
+    (fun (lib : L.t) ->
+      match L.semantics lib.L.kind Ir.Instr.SR with
+      | L.Send_buffered | L.Send_rendezvous -> ()
+      | _ -> Alcotest.failf "%s: SR must send" (L.kind_name lib.L.kind))
+    all_libs
+
+let test_dn_always_waits () =
+  List.iter
+    (fun (lib : L.t) ->
+      Alcotest.(check bool)
+        (L.kind_name lib.L.kind)
+        true
+        (L.semantics lib.L.kind Ir.Instr.DN = L.Wait_data))
+    all_libs
+
+let test_only_shmem_rendezvous () =
+  List.iter
+    (fun (lib : L.t) ->
+      let is_rdv = L.semantics lib.L.kind Ir.Instr.SR = L.Send_rendezvous in
+      Alcotest.(check bool) (L.kind_name lib.L.kind) (lib.L.kind = L.SHMEM) is_rdv)
+    all_libs;
+  Alcotest.(check bool) "shmem deposits directly" true (L.deposits_directly L.SHMEM);
+  Alcotest.(check bool) "pvm copies" false (L.deposits_directly L.PVM)
+
+(* --- calibration relationships the reproduction depends on --- *)
+
+let fixed (c : Machine.Params.lib_costs) =
+  c.Machine.Params.dr_over +. c.Machine.Params.sr_over
+  +. c.Machine.Params.dn_over +. c.Machine.Params.sv_over
+
+let test_shmem_under_pvm () =
+  let pvm = fixed Machine.T3d.pvm.L.costs in
+  let shmem = fixed Machine.T3d.shmem.L.costs in
+  let ratio = shmem /. pvm in
+  Alcotest.(check bool)
+    (Printf.sprintf "fixed-cost ratio %.2f in [0.8, 1.0]" ratio)
+    true
+    (ratio > 0.8 && ratio < 1.0)
+
+let test_async_not_cheaper () =
+  Alcotest.(check bool) "isend/irecv >= csend/crecv" true
+    (fixed Machine.Paragon.nx_async.L.costs
+    >= fixed Machine.Paragon.nx_sync.L.costs);
+  Alcotest.(check bool) "hsend/hrecv heavier still" true
+    (fixed Machine.Paragon.nx_callback.L.costs
+    > fixed Machine.Paragon.nx_async.L.costs)
+
+let test_knee_positions () =
+  (* knee ~ fixed overhead / per-byte rate: must land near 4 KB for the
+     message-passing libraries (the paper's 512 doubles) *)
+  List.iter
+    (fun (lib : L.t) ->
+      let c = lib.L.costs in
+      let per_byte = c.Machine.Params.send_byte +. c.Machine.Params.recv_byte in
+      let knee_bytes = fixed c /. per_byte in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s knee %.0f B in [2 KB, 8 KB]"
+           c.Machine.Params.lib_name knee_bytes)
+        true
+        (knee_bytes >= 2048. && knee_bytes <= 8192.))
+    [ Machine.Paragon.nx_sync; Machine.T3d.pvm ]
+
+let test_machine_params_sane () =
+  List.iter
+    (fun (m : Machine.Params.t) ->
+      Alcotest.(check bool) "positive flop cost" true (m.Machine.Params.sec_per_flop > 0.);
+      Alcotest.(check bool) "positive bandwidth" true (m.Machine.Params.bandwidth > 0.);
+      Alcotest.(check bool) "latency sub-millisecond" true
+        (m.Machine.Params.wire_latency < 1e-3))
+    [ Machine.Paragon.machine; Machine.T3d.machine ];
+  Alcotest.(check bool) "T3D faster CPU" true
+    (Machine.T3d.machine.Machine.Params.sec_per_flop
+    < Machine.Paragon.machine.Machine.Params.sec_per_flop)
+
+let test_transfer_direction_names () =
+  Alcotest.(check string) "east" "east" (Ir.Transfer.direction_name (0, 1));
+  Alcotest.(check string) "nw" "nw" (Ir.Transfer.direction_name (-1, -1));
+  Alcotest.(check string) "wide" "(2,0)" (Ir.Transfer.direction_name (2, 0))
+
+let () =
+  Alcotest.run "machine"
+    [ ( "bindings",
+        [ Alcotest.test_case "figure 5 table" `Quick test_figure5_bindings;
+          Alcotest.test_case "no-ops agree" `Quick test_noop_semantics_match_table;
+          Alcotest.test_case "SR sends" `Quick test_sr_always_sends;
+          Alcotest.test_case "DN waits" `Quick test_dn_always_waits;
+          Alcotest.test_case "rendezvous is shmem-only" `Quick
+            test_only_shmem_rendezvous ] );
+      ( "calibration",
+        [ Alcotest.test_case "shmem under pvm" `Quick test_shmem_under_pvm;
+          Alcotest.test_case "async not cheaper" `Quick test_async_not_cheaper;
+          Alcotest.test_case "knee positions" `Quick test_knee_positions;
+          Alcotest.test_case "machine params" `Quick test_machine_params_sane;
+          Alcotest.test_case "direction names" `Quick test_transfer_direction_names
+        ] ) ]

@@ -1,0 +1,230 @@
+(** Optimizer tests: redundant removal, combination (both heuristics),
+    pipelining, DR-early placement, pass invariants, and the emitted
+    IRONMAN call order. These mirror the paper's Figures 1 and 2. *)
+
+open Commopt
+module B = Ir.Block
+
+let prelude =
+  {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+direction east = [0, 1];
+direction west = [0, -1];
+direction north = [-1, 0];
+var A, C, D, E : [BigR] float;
+var x : float;
+|}
+
+let program body = Zpl.Check.compile_string (prelude ^ body)
+
+let static config body = Ir.Count.static_count (Opt.Passes.compile config (program body))
+
+let first_block config body =
+  let code = Opt.Passes.optimize config (Opt.Lower.lower (program body)) in
+  let acc = ref [] in
+  B.map_blocks (fun b -> acc := b :: !acc) code;
+  List.hd (List.rev !acc)
+
+(* --- redundant removal (paper Figure 1(b)) --- *)
+
+let test_rr_removes_duplicate () =
+  let body = "procedure main(); begin [R] C := A@east; [R] D := A@east; end;" in
+  Alcotest.(check int) "baseline 2" 2 (static Opt.Config.baseline body);
+  Alcotest.(check int) "rr 1" 1 (static Opt.Config.rr_only body)
+
+let test_rr_blocked_by_write () =
+  (* the communicated array is modified in between: not redundant *)
+  let body =
+    "procedure main(); begin [R] C := A@east; [R] A := C; [R] D := A@east; end;"
+  in
+  Alcotest.(check int) "rr keeps both" 2 (static Opt.Config.rr_only body)
+
+let test_rr_different_offsets_kept () =
+  let body = "procedure main(); begin [R] C := A@east; [R] D := A@west; end;" in
+  Alcotest.(check int) "different offsets" 2 (static Opt.Config.rr_only body)
+
+let test_rr_scoped_to_block () =
+  (* same transfer on both sides of a loop boundary is NOT removed: the
+     optimizer's scope is a single source-level basic block *)
+  let body =
+    {|
+procedure main();
+begin
+  [R] C := A@east;
+  repeat
+    [R] D := A@east;
+  until x < 1.0;
+end;
+|}
+  in
+  Alcotest.(check int) "kept across blocks" 2 (static Opt.Config.rr_only body)
+
+(* --- combination (paper Figure 1(c)) --- *)
+
+let test_cc_combines_same_offset () =
+  let body = "procedure main(); begin [R] C := A@east + E@east; end;" in
+  Alcotest.(check int) "baseline 2" 2 (static Opt.Config.baseline body);
+  Alcotest.(check int) "cc 1" 1 (static Opt.Config.cc_cum body);
+  let b = first_block Opt.Config.cc_cum "procedure main(); begin [R] C := A@east + E@east; end;" in
+  match B.live_xfers b with
+  | [ x ] -> Alcotest.(check int) "two member arrays" 2 (List.length x.B.arrays)
+  | _ -> Alcotest.fail "expected one combined transfer"
+
+let test_cc_requires_same_offset () =
+  let body = "procedure main(); begin [R] C := A@east + E@west; end;" in
+  Alcotest.(check int) "not combined" 2 (static Opt.Config.cc_cum body)
+
+let test_cc_blocked_by_write () =
+  (* E is written between A's use and E's use: windows do not intersect *)
+  let body =
+    "procedure main(); begin [R] C := A@east; [R] E := C; [R] D := E@east; end;"
+  in
+  Alcotest.(check int) "not combined" 2 (static Opt.Config.cc_cum body)
+
+let test_cc_same_array_not_merged () =
+  (* paper: "same offset vector but different array variable" *)
+  let body =
+    "procedure main(); begin [R] C := A@east; [R] A := C; [R] D := A@east; end;"
+  in
+  Alcotest.(check int) "same array stays separate" 2 (static Opt.Config.cc_cum body)
+
+(* --- pipelining (paper Figure 1(d)) --- *)
+
+let test_pl_hoists_send () =
+  let body =
+    "procedure main(); begin [R] A := 1.0; [R] C := D; [R] E := A@east; end;"
+  in
+  let b = first_block Opt.Config.pl_cum body in
+  match B.live_xfers b with
+  | [ x ] ->
+      Alcotest.(check int) "send after A's write" 1 x.B.send_pos;
+      Alcotest.(check int) "recv before use" 2 x.B.recv_pos;
+      Alcotest.(check int) "counts unchanged" 1
+        (static Opt.Config.pl_cum body)
+  | _ -> Alcotest.fail "expected one transfer"
+
+let test_pl_stops_at_top () =
+  let body = "procedure main(); begin [R] C := D; [R] E := A@east; end;" in
+  let b = first_block Opt.Config.pl_cum body in
+  match B.live_xfers b with
+  | [ x ] -> Alcotest.(check int) "top of block" 0 x.B.send_pos
+  | _ -> Alcotest.fail "expected one transfer"
+
+let test_dr_early () =
+  (* a previous transfer's fringe data is read at statement 1, so the next
+     same-key transfer's DR may move to position 2, not earlier *)
+  let body =
+    {|
+procedure main();
+begin
+  [R] C := A@east;
+  [R] D := A@east + C;
+  [R] A := D;
+  [R] E := C;
+  [R] E := A@east;
+end;
+|}
+  in
+  let b = first_block Opt.Config.pl_cum body in
+  let late =
+    List.find
+      (fun (x : B.xfer) -> x.B.recv_pos = 4)
+      (B.live_xfers b)
+  in
+  Alcotest.(check int) "DR after last fringe reader" 2 late.B.ready_pos;
+  Alcotest.(check int) "SR after the write to A" 3 late.B.send_pos
+
+(* --- heuristics (paper Figure 2) --- *)
+
+let heuristic_body =
+  (* (A,e) used at stmt 0 (distance 0), (E,e) used at stmt 2 with E
+     defined before the block (distance = 2 statements). Merging would
+     cost (E,e) its distance: max-latency refuses, max-combining merges. *)
+  "procedure main(); begin [R] C := A@east; [R] D := C * 2.0; [R] D := D + E@east; end;"
+
+let test_heuristics_differ () =
+  Alcotest.(check int) "max-combining merges" 1
+    (static Opt.Config.pl_cum heuristic_body);
+  Alcotest.(check int) "max-latency refuses" 2
+    (static Opt.Config.pl_max_latency heuristic_body)
+
+let test_max_latency_merges_equal_windows () =
+  (* both transfers live at the same window: no distance is lost *)
+  let body = "procedure main(); begin [R] C := A@east + E@east; end;" in
+  Alcotest.(check int) "merged" 1 (static Opt.Config.pl_max_latency body)
+
+(* --- emission order --- *)
+
+let test_emitted_call_order () =
+  let ir =
+    Opt.Passes.compile Opt.Config.pl_cum
+      (program
+         "procedure main(); begin [R] A := 1.0; [R] C := A@east + E@east; end;")
+  in
+  let calls =
+    let rec go = function
+      | [] -> []
+      | Ir.Instr.Comm (c, x) :: rest -> (c, x) :: go rest
+      | _ :: rest -> go rest
+    in
+    go ir.Ir.Instr.code
+  in
+  (match calls with
+  | [ (Ir.Instr.DR, a); (Ir.Instr.SR, b); (Ir.Instr.DN, c); (Ir.Instr.SV, d) ]
+    when a = b && b = c && c = d ->
+      ()
+  | _ -> Alcotest.fail "expected DR SR DN SV of one transfer");
+  Alcotest.(check int) "one transfer in table" 1
+    (Array.length ir.Ir.Instr.transfers)
+
+let test_invariants_hold () =
+  List.iter
+    (fun config ->
+      let code = Opt.Passes.optimize config (Opt.Lower.lower (program heuristic_body)) in
+      B.check_invariants code)
+    Opt.Config.[ baseline; rr_only; cc_cum; pl_cum; pl_max_latency ]
+
+let test_config_names () =
+  Alcotest.(check string) "baseline" "baseline" (Opt.Config.name Opt.Config.baseline);
+  Alcotest.(check string) "rr" "rr" (Opt.Config.name Opt.Config.rr_only);
+  Alcotest.(check string) "cc" "cc" (Opt.Config.name Opt.Config.cc_cum);
+  Alcotest.(check string) "pl" "pl" (Opt.Config.name Opt.Config.pl_cum);
+  Alcotest.(check string) "maxlat" "pl-maxlat" (Opt.Config.name Opt.Config.pl_max_latency)
+
+let test_pass_report () =
+  let report, _ =
+    Opt.Passes.report Opt.Config.cc_cum
+      (program "procedure main(); begin [R] C := A@east + E@east; end;")
+  in
+  Alcotest.(check int) "baseline static" 2 report.Opt.Passes.baseline_static;
+  Alcotest.(check int) "optimized static" 1 report.Opt.Passes.static_count;
+  Alcotest.(check int) "member messages preserved" 2 report.Opt.Passes.static_members
+
+let () =
+  Alcotest.run "opt"
+    [ ( "redundant removal",
+        [ Alcotest.test_case "removes duplicate" `Quick test_rr_removes_duplicate;
+          Alcotest.test_case "blocked by write" `Quick test_rr_blocked_by_write;
+          Alcotest.test_case "offsets differ" `Quick test_rr_different_offsets_kept;
+          Alcotest.test_case "block-scoped" `Quick test_rr_scoped_to_block ] );
+      ( "combination",
+        [ Alcotest.test_case "same offset merges" `Quick test_cc_combines_same_offset;
+          Alcotest.test_case "offset must match" `Quick test_cc_requires_same_offset;
+          Alcotest.test_case "write blocks merge" `Quick test_cc_blocked_by_write;
+          Alcotest.test_case "same array not merged" `Quick test_cc_same_array_not_merged
+        ] );
+      ( "pipelining",
+        [ Alcotest.test_case "hoists sends" `Quick test_pl_hoists_send;
+          Alcotest.test_case "stops at block top" `Quick test_pl_stops_at_top;
+          Alcotest.test_case "DR-early placement" `Quick test_dr_early ] );
+      ( "heuristics",
+        [ Alcotest.test_case "heuristics differ" `Quick test_heuristics_differ;
+          Alcotest.test_case "equal windows merge" `Quick
+            test_max_latency_merges_equal_windows ] );
+      ( "emission",
+        [ Alcotest.test_case "call order" `Quick test_emitted_call_order;
+          Alcotest.test_case "invariants" `Quick test_invariants_hold;
+          Alcotest.test_case "config names" `Quick test_config_names;
+          Alcotest.test_case "pass report" `Quick test_pass_report ] ) ]

@@ -1,0 +1,149 @@
+(** Parser unit tests: declaration and statement structure, operator
+    precedence, region literals, and error messages. *)
+
+open Commopt.Zpl
+
+let parse src = Parser.parse_program src
+
+let parse_expr_via_stmt src =
+  (* wrap an expression in a minimal assignment to reuse the parser *)
+  let p = parse (Printf.sprintf "procedure main(); begin x := %s; end;" src) in
+  match (List.hd p.Ast.procs).Ast.p_body with
+  | [ { Ast.s = Ast.SAssign (None, "x", e); _ } ] -> e
+  | _ -> Alcotest.fail "unexpected statement shape"
+
+let rec expr_to_string (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.EFloat f -> Printf.sprintf "%g" f
+  | Ast.EInt i -> string_of_int i
+  | Ast.EBool b -> string_of_bool b
+  | Ast.EId s -> s
+  | Ast.EAt (a, Ast.AtName d) -> Printf.sprintf "%s@%s" a d
+  | Ast.EAt (a, Ast.AtLit l) ->
+      Printf.sprintf "%s@[%s]" a (String.concat "," (List.map string_of_int l))
+  | Ast.EBin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (Ast.binop_name op)
+        (expr_to_string b)
+  | Ast.EUn (Ast.Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | Ast.EUn (Ast.Not, a) -> Printf.sprintf "(not %s)" (expr_to_string a)
+  | Ast.ECall (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat "," (List.map expr_to_string args))
+  | Ast.EReduce (op, a) ->
+      Printf.sprintf "(%s %s)" (Ast.redop_name op) (expr_to_string a)
+
+let check_expr name expected src =
+  Alcotest.(check string) name expected (expr_to_string (parse_expr_via_stmt src))
+
+let test_precedence () =
+  check_expr "mul over add" "(1 + (2 * 3))" "1 + 2 * 3";
+  check_expr "left assoc sub" "((1 - 2) - 3)" "1 - 2 - 3";
+  check_expr "parens" "((1 + 2) * 3)" "(1 + 2) * 3";
+  check_expr "unary minus" "((-1) + 2)" "-1 + 2";
+  check_expr "power binds tighter" "(2 ^ (3 ^ 2))" "2 ^ 3 ^ 2";
+  check_expr "cmp lowest" "((a + 1) < (b * 2))" "a + 1 < b * 2";
+  check_expr "and/or" "(a or (b and c))" "a or b and c";
+  check_expr "not" "(not (a < b))" "not a < b"
+
+let test_at () =
+  check_expr "named direction" "A@east" "A@east";
+  check_expr "literal offset" "A@[1,-1]" "A@[1, -1]";
+  check_expr "at in expr" "(A@east + B@west)" "A@east + B@west"
+
+let test_reduce () =
+  check_expr "sum reduce" "(+<< (A + B))" "+<< A + B";
+  check_expr "max reduce" "(max<< abs(A))" "max<< abs(A)";
+  check_expr "min reduce" "(min<< A)" "min<< A"
+
+let test_calls () =
+  check_expr "two args" "max(a,b)" "max(a, b)";
+  check_expr "nested" "sqrt((a + abs(b)))" "sqrt(a + abs(b))"
+
+let test_decls () =
+  let p =
+    parse
+      {|
+constant n = 4;
+region R = [1..n, 0..n+1];
+direction ne = [-1, 1];
+var A, B : [R] float;
+var k : int;
+procedure main(); begin [R] A := B; end;
+|}
+  in
+  Alcotest.(check int) "decl count" 5 (List.length p.Ast.decls);
+  match p.Ast.decls with
+  | [ Ast.DConstant ("n", _, _); Ast.DRegion ("R", [ _; _ ], _);
+      Ast.DDirection ("ne", [ -1; 1 ], _);
+      Ast.DVarArray ([ "A"; "B" ], _, Ast.TFloat, _);
+      Ast.DVarScalar ([ "k" ], Ast.TInt, _) ] ->
+      ()
+  | _ -> Alcotest.fail "declaration shapes"
+
+let test_stmts () =
+  let p =
+    parse
+      {|
+procedure main();
+begin
+  repeat
+    x := 1;
+  until x > 3;
+  for i := 1 to 9 do x := x + 1; end;
+  for i := 9 downto 1 do x := x - 1; end;
+  if x < 2 then x := 2; else x := 3; end;
+  helper();
+end;
+|}
+  in
+  let body = (List.hd p.Ast.procs).Ast.p_body in
+  match body with
+  | [ { Ast.s = Ast.SRepeat ([ _ ], _); _ };
+      { Ast.s = Ast.SFor (_, Ast.Upto, _, _, _); _ };
+      { Ast.s = Ast.SFor (_, Ast.Downto, _, _, _); _ };
+      { Ast.s = Ast.SIf (_, [ _ ], [ _ ]); _ };
+      { Ast.s = Ast.SCall "helper"; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "statement shapes"
+
+let test_region_prefix () =
+  let p =
+    parse
+      "procedure main(); begin [R] A := 1.0; [1..4, i..i+1] B := 2.0; end;"
+  in
+  match (List.hd p.Ast.procs).Ast.p_body with
+  | [ { Ast.s = Ast.SAssign (Some (Ast.RName ("R", _)), "A", _); _ };
+      { Ast.s = Ast.SAssign (Some (Ast.RLit ([ _; _ ], _)), "B", _); _ } ] ->
+      ()
+  | _ -> Alcotest.fail "region prefixes"
+
+let test_errors () =
+  let expect src frag =
+    match parse src with
+    | _ -> Alcotest.failf "expected parse error containing %S" frag
+    | exception Loc.Error (_, msg) ->
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+          ln = 0 || go 0
+        in
+        if not (contains msg frag) then
+          Alcotest.failf "error %S does not mention %S" msg frag
+  in
+  expect "procedure main(); begin x := ; end;" "expected expression";
+  expect "procedure main(); begin x = 1; end;" "expected ':='";
+  expect "region R = [1..2 procedure" "']'";
+  expect "procedure main(); begin for i := 1 do x := 1; end; end;" "'to' or 'downto'";
+  expect "procedure main(x); begin end;" "procedures take no arguments"
+
+let () =
+  Alcotest.run "parser"
+    [ ( "expressions",
+        [ Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "@ shifts" `Quick test_at;
+          Alcotest.test_case "reductions" `Quick test_reduce;
+          Alcotest.test_case "calls" `Quick test_calls ] );
+      ( "structure",
+        [ Alcotest.test_case "declarations" `Quick test_decls;
+          Alcotest.test_case "statements" `Quick test_stmts;
+          Alcotest.test_case "region prefixes" `Quick test_region_prefix;
+          Alcotest.test_case "errors" `Quick test_errors ] ) ]

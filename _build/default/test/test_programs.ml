@@ -1,0 +1,127 @@
+(** Benchmark-suite tests: every bundled program compiles at both scales,
+    has the structural features the paper's analysis relies on, and
+    produces numerically sane results. *)
+
+open Commopt
+
+let test_all_compile_both_scales () =
+  List.iter
+    (fun (b : Programs.Bench_def.t) ->
+      List.iter
+        (fun scale ->
+          let p = Programs.Suite.compile ~scale b in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s has arrays" b.Programs.Bench_def.name)
+            true
+            (Array.length p.Zpl.Prog.arrays > 0))
+        [ `Test; `Bench ])
+    Programs.Suite.all
+
+let test_registry () =
+  Alcotest.(check int) "four paper benchmarks" 4
+    (List.length Programs.Suite.paper_benchmarks);
+  Alcotest.(check bool) "find works" true (Programs.Suite.find "tomcatv" <> None);
+  Alcotest.(check bool) "unknown is None" true (Programs.Suite.find "nope" = None);
+  (* names unique *)
+  let names = List.map (fun (b : Programs.Bench_def.t) -> b.name) Programs.Suite.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_paper_rows_recorded () =
+  List.iter
+    (fun (b : Programs.Bench_def.t) ->
+      Alcotest.(check int)
+        (b.Programs.Bench_def.name ^ " has the paper's six rows")
+        6
+        (List.length b.Programs.Bench_def.paper_rows))
+    Programs.Suite.paper_benchmarks
+
+let static_count b config =
+  let p = Programs.Suite.compile ~scale:`Test b in
+  Ir.Count.static_count (Opt.Passes.compile config p)
+
+let test_optimization_opportunities () =
+  (* every paper benchmark must give rr AND cc something to do — the whole
+     point of using them as evaluation subjects *)
+  List.iter
+    (fun (b : Programs.Bench_def.t) ->
+      let base = static_count b Opt.Config.baseline in
+      let rr = static_count b Opt.Config.rr_only in
+      let cc = static_count b Opt.Config.cc_cum in
+      Alcotest.(check bool) (b.name ^ ": rr fires") true (rr < base);
+      Alcotest.(check bool) (b.name ^ ": cc fires") true (cc < rr))
+    Programs.Suite.paper_benchmarks
+
+let test_tomcatv_structure () =
+  let p = Programs.Suite.compile ~scale:`Test Programs.Suite.tomcatv in
+  (* the serialized solver: at least two for-loops, one of them downto *)
+  let rec collect acc = function
+    | Zpl.Prog.For { step; body; _ } ->
+        List.fold_left collect (step :: acc) body
+    | Zpl.Prog.Repeat (body, _) -> List.fold_left collect acc body
+    | Zpl.Prog.If (_, a, b) ->
+        List.fold_left collect (List.fold_left collect acc a) b
+    | _ -> acc
+  in
+  let steps = List.fold_left collect [] p.Zpl.Prog.body in
+  Alcotest.(check bool) "has forward sweep" true (List.mem 1 steps);
+  Alcotest.(check bool) "has backward sweep" true (List.mem (-1) steps)
+
+let test_sp_is_rank3 () =
+  let p = Programs.Suite.compile ~scale:`Test Programs.Suite.sp in
+  Array.iter
+    (fun (a : Zpl.Prog.array_info) ->
+      Alcotest.(check int) (a.a_name ^ " rank") 3 a.a_rank)
+    p.Zpl.Prog.arrays
+
+let test_results_finite () =
+  (* no NaN/inf anywhere after a run: the physics-ish kernels are stable *)
+  List.iter
+    (fun (b : Programs.Bench_def.t) ->
+      let p = Programs.Suite.compile ~scale:`Test b in
+      let t = Runtime.Seqexec.run p in
+      Array.iter
+        (fun (s : Runtime.Store.t) ->
+          Array.iter
+            (fun v ->
+              if not (Float.is_finite v) then
+                Alcotest.failf "%s has non-finite values" b.name)
+            s.Runtime.Store.data)
+        t.Runtime.Seqexec.stores)
+    Programs.Suite.all
+
+let test_synthetic_pairing () =
+  (* the busy variant must differ from the comm variant only in its
+     communication: same statement count, no transfers *)
+  let comm = Zpl.Check.compile_string Programs.Synthetic.source in
+  let busy = Zpl.Check.compile_string Programs.Synthetic.busy_source in
+  Alcotest.(check int) "same statements"
+    (Zpl.Prog.count_stmts comm.Zpl.Prog.body)
+    (Zpl.Prog.count_stmts busy.Zpl.Prog.body);
+  let stat p = Ir.Count.static_count (Opt.Passes.compile Opt.Config.baseline p) in
+  Alcotest.(check int) "comm program: 2 transfers" 2 (stat comm);
+  Alcotest.(check int) "busy program: none" 0 (stat busy)
+
+let test_bench_mesh_fits () =
+  (* the declared bench meshes must be legal for the bench-scale shifts *)
+  List.iter
+    (fun (b : Programs.Bench_def.t) ->
+      let p = Programs.Suite.compile ~scale:`Bench b in
+      let pr, pc = b.Programs.Bench_def.bench_mesh in
+      let flat = Ir.Flat.flatten (Opt.Passes.compile Opt.Config.baseline p) in
+      (* Engine.make validates block extents against shifts *)
+      ignore (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm ~pr ~pc flat))
+    Programs.Suite.paper_benchmarks
+
+let () =
+  Alcotest.run "programs"
+    [ ( "suite",
+        [ Alcotest.test_case "all compile" `Quick test_all_compile_both_scales;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "paper rows" `Quick test_paper_rows_recorded;
+          Alcotest.test_case "optimizations fire" `Quick test_optimization_opportunities;
+          Alcotest.test_case "tomcatv sweeps" `Quick test_tomcatv_structure;
+          Alcotest.test_case "sp is 3-D" `Quick test_sp_is_rank3;
+          Alcotest.test_case "finite results" `Slow test_results_finite;
+          Alcotest.test_case "synthetic pairing" `Quick test_synthetic_pairing;
+          Alcotest.test_case "bench meshes fit" `Quick test_bench_mesh_fits ] ) ]

@@ -1,0 +1,245 @@
+(** Property-based tests over randomly generated stencil programs: the
+    central guarantee — every optimizer configuration preserves program
+    semantics on every machine model — plus structural invariants of the
+    passes and the halo arithmetic, exercised across random layouts. *)
+
+open Commopt
+
+(* ------------------------------------------------------------------ *)
+(* Random mini-ZPL stencil programs                                    *)
+(*                                                                     *)
+(* Arrays A..D over [0..n+1]^2; statements assign over [1..n] with     *)
+(* random rhs built from shifted refs (offsets in {-1,0,1}^2), scalars *)
+(* and constants; optionally wrapped in a for loop. All shifts stay in *)
+(* bounds by construction. Coefficients keep values bounded.           *)
+(* ------------------------------------------------------------------ *)
+
+type rstmt = { lhs : int; terms : (int * (int * int)) list }
+
+type rprog = { stmts : rstmt list; loop_iters : int }
+
+let arrays = [| "A"; "B"; "C"; "D" |]
+
+let gen_offset = QCheck.Gen.(pair (int_range (-1) 1) (int_range (-1) 1))
+
+let gen_stmt =
+  QCheck.Gen.(
+    let* lhs = int_range 0 3 in
+    let* nterms = int_range 1 4 in
+    let* terms = list_size (return nterms) (pair (int_range 0 3) gen_offset) in
+    return { lhs; terms })
+
+let gen_prog =
+  QCheck.Gen.(
+    let* nstmts = int_range 2 8 in
+    let* stmts = list_size (return nstmts) gen_stmt in
+    let* loop_iters = int_range 1 3 in
+    return { stmts; loop_iters })
+
+let prog_to_source (p : rprog) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+var A, B, C, D : [BigR] float;
+var t : int;
+procedure main();
+begin
+  [BigR] A := Index1 * 0.7 + Index2 * 0.3;
+  [BigR] B := Index1 - Index2 * 0.5;
+  [BigR] C := 1.0 + Index2 * 0.1;
+  [BigR] D := 2.0 - Index1 * 0.1;
+|};
+  Buffer.add_string buf
+    (Printf.sprintf "  for t := 1 to %d do\n" p.loop_iters);
+  List.iteri
+    (fun i s ->
+      let coef = 1.0 /. float_of_int (List.length s.terms) in
+      let terms =
+        List.map
+          (fun (a, (d0, d1)) ->
+            if d0 = 0 && d1 = 0 then Printf.sprintf "%s" arrays.(a)
+            else Printf.sprintf "%s@[%d,%d]" arrays.(a) d0 d1)
+          s.terms
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "    [R] %s := 0.4 * %s + %.6f * (%s) + 0.01 * %d;\n"
+           arrays.(s.lhs) arrays.(s.lhs) (0.5 *. coef)
+           (String.concat " + " terms) i))
+    p.stmts;
+  Buffer.add_string buf "  end;\nend;\n";
+  Buffer.contents buf
+
+let arb_prog =
+  QCheck.make ~print:(fun p -> prog_to_source p) gen_prog
+
+let all_configs =
+  Opt.Config.[ baseline; rr_only; cc_cum; pl_cum; pl_max_latency ]
+
+let oracle_distance prog (lib : Machine.Library.t) config ~pr ~pc =
+  let ir = Opt.Passes.compile config prog in
+  let res =
+    Sim.Engine.run
+      (Sim.Engine.make ~machine:Machine.T3d.machine ~lib ~pr ~pc
+         (Ir.Flat.flatten ir))
+  in
+  let oracle = Runtime.Seqexec.run prog in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun aid (info : Zpl.Prog.array_info) ->
+      let par = Sim.Engine.gather res.Sim.Engine.engine aid in
+      let sq = oracle.Runtime.Seqexec.stores.(aid) in
+      Zpl.Region.iter info.a_region (fun pt ->
+          let a = Runtime.Store.get sq pt and b = Runtime.Store.get par pt in
+          let d = Float.abs (a -. b) in
+          if d > !worst then worst := d))
+    prog.Zpl.Prog.arrays;
+  !worst
+
+(** The headline property: every optimization level, on both T3D
+    libraries, computes bit-identical results to the sequential oracle. *)
+let prop_optimizer_preserves_semantics =
+  QCheck.Test.make ~name:"optimizer preserves semantics" ~count:30 arb_prog
+    (fun p ->
+      let prog = Zpl.Check.compile_string (prog_to_source p) in
+      List.for_all
+        (fun config ->
+          List.for_all
+            (fun lib -> oracle_distance prog lib config ~pr:2 ~pc:2 = 0.0)
+            [ Machine.T3d.pvm; Machine.T3d.shmem ])
+        all_configs)
+
+(** Counts behave monotonically under the passes. *)
+let prop_counts_monotone =
+  QCheck.Test.make ~name:"static counts monotone" ~count:60 arb_prog (fun p ->
+      let prog = Zpl.Check.compile_string (prog_to_source p) in
+      let stat config = Ir.Count.static_count (Opt.Passes.compile config prog) in
+      let base = stat Opt.Config.baseline in
+      let rr = stat Opt.Config.rr_only in
+      let cc = stat Opt.Config.cc_cum in
+      let pl = stat Opt.Config.pl_cum in
+      let maxlat = stat Opt.Config.pl_max_latency in
+      rr <= base && cc <= rr && pl = cc && cc <= maxlat && maxlat <= rr)
+
+(** Combining never changes the total member messages (volume proxy). *)
+let prop_members_preserved =
+  QCheck.Test.make ~name:"cc preserves member messages" ~count:60 arb_prog
+    (fun p ->
+      let prog = Zpl.Check.compile_string (prog_to_source p) in
+      let members config =
+        Ir.Count.static_member_count (Opt.Passes.compile config prog)
+      in
+      members Opt.Config.rr_only = members Opt.Config.cc_cum
+      && members Opt.Config.rr_only = members Opt.Config.pl_cum)
+
+(** Pass invariants hold on arbitrary inputs (would raise otherwise). *)
+let prop_invariants =
+  QCheck.Test.make ~name:"block invariants after passes" ~count:100 arb_prog
+    (fun p ->
+      let prog = Zpl.Check.compile_string (prog_to_source p) in
+      List.iter
+        (fun config ->
+          Ir.Block.check_invariants
+            (Opt.Passes.optimize config (Opt.Lower.lower prog)))
+        all_configs;
+      true)
+
+(** On a uniform machine with PVM, optimized code is never slower. *)
+let prop_never_slower =
+  QCheck.Test.make ~name:"optimized <= baseline time (PVM)" ~count:20 arb_prog
+    (fun p ->
+      let prog = Zpl.Check.compile_string (prog_to_source p) in
+      let time config =
+        let ir = Opt.Passes.compile config prog in
+        (Sim.Engine.run
+           (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+              ~pr:2 ~pc:2 (Ir.Flat.flatten ir)))
+          .Sim.Engine.time
+      in
+      time Opt.Config.pl_cum <= time Opt.Config.baseline *. 1.0001)
+
+(* ------------------------------------------------------------------ *)
+(* Halo duality across random layouts and offsets                      *)
+(* ------------------------------------------------------------------ *)
+
+let arb_halo_case =
+  QCheck.make
+    ~print:(fun (pr, pc, n, (d0, d1)) ->
+      Printf.sprintf "mesh %dx%d, n=%d, off=(%d,%d)" pr pc n d0 d1)
+    QCheck.Gen.(
+      let* pr = int_range 1 4 in
+      let* pc = int_range 1 4 in
+      let* n = int_range 8 20 in
+      let* off = pair (int_range (-2) 2) (int_range (-2) 2) in
+      return (pr, pc, n, off))
+
+let prop_halo_duality =
+  QCheck.Test.make ~name:"halo send/recv duality" ~count:200 arb_halo_case
+    (fun (pr, pc, n, off) ->
+      QCheck.assume (off <> (0, 0));
+      let space = Zpl.Region.make [ (0, n); (0, n) ] in
+      let l = Runtime.Layout.make ~pr ~pc space in
+      let info =
+        { Zpl.Prog.a_id = 0; a_name = "A"; a_region = space; a_rank = 2 }
+      in
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun (rp : Runtime.Halo.piece) ->
+              let sends = Runtime.Halo.send_pieces l info ~p:rp.partner ~off in
+              List.exists
+                (fun (s : Runtime.Halo.piece) ->
+                  s.partner = p && Zpl.Region.equal s.rect rp.rect)
+                sends)
+            (Runtime.Halo.recv_pieces l info ~p ~off))
+        (List.init (Runtime.Layout.nprocs l) Fun.id))
+
+(** Every ghost cell needed is covered exactly once by the recv pieces. *)
+let prop_halo_covers =
+  QCheck.Test.make ~name:"halo pieces tile the ghost region" ~count:200
+    arb_halo_case (fun (pr, pc, n, off) ->
+      QCheck.assume (off <> (0, 0));
+      let space = Zpl.Region.make [ (0, n); (0, n) ] in
+      let l = Runtime.Layout.make ~pr ~pc space in
+      let info =
+        { Zpl.Prog.a_id = 0; a_name = "A"; a_region = space; a_rank = 2 }
+      in
+      List.for_all
+        (fun p ->
+          let own = Runtime.Halo.owned_of l info p in
+          if Zpl.Region.is_empty own then true
+          else begin
+            let own2 = Zpl.Region.(make [ ((dim own 0).lo, (dim own 0).hi);
+                                          ((dim own 1).lo, (dim own 1).hi) ]) in
+            let needed =
+              Zpl.Region.inter (Zpl.Region.shift own2 [| fst off; snd off |]) space
+            in
+            let pieces = Runtime.Halo.recv_pieces l info ~p ~off in
+            (* count coverage of every needed-but-not-owned cell *)
+            let ok = ref true in
+            Zpl.Region.iter needed (fun pt ->
+                let covers =
+                  List.length
+                    (List.filter
+                       (fun (pc_ : Runtime.Halo.piece) ->
+                         Zpl.Region.contains_point pc_.rect pt)
+                       pieces)
+                in
+                let owned_here = Zpl.Region.contains_point own2 pt in
+                if owned_here then (if covers <> 0 then ok := false)
+                else if covers <> 1 then ok := false);
+            !ok
+          end)
+        (List.init (Runtime.Layout.nprocs l) Fun.id))
+
+let () =
+  Alcotest.run "properties"
+    [ ( "optimizer",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_optimizer_preserves_semantics; prop_counts_monotone;
+            prop_members_preserved; prop_invariants; prop_never_slower ] );
+      ( "halo",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_halo_duality; prop_halo_covers ] ) ]

@@ -1,0 +1,148 @@
+(** Report-layer tests: table/plot rendering, the Figure 6 synthetic
+    measurement (overhead positivity, monotonicity in size, knee
+    detection, the paper's SHMEM-vs-PVM relation), and the experiment
+    grid's structure. *)
+
+open Commopt
+
+let test_table_render () =
+  let s =
+    Report.Table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "six lines" 6 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check int) "equal widths" (String.length (List.hd lines))
+        (String.length l))
+    lines
+
+let test_bar () =
+  Alcotest.(check string) "full" (String.make 48 '#') (Report.Plot.bar 1.0);
+  Alcotest.(check string) "half" (String.make 24 '#') (Report.Plot.bar 0.5);
+  Alcotest.(check string) "zero" "" (Report.Plot.bar 0.0)
+
+let test_grouped_bars () =
+  let s =
+    Report.Plot.grouped_bars ~title:"t" ~unit_label:"u"
+      [ ("g1", [ ("a", 1.0); ("b", 0.5) ]) ]
+  in
+  Alcotest.(check bool) "mentions group" true
+    (String.length s > 0 && String.index_opt s 'g' <> None)
+
+let test_log_chart_renders () =
+  let s =
+    Report.Plot.log_chart ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [ ("s1", [ (8., 10.); (64., 20.); (512., 80.) ]) ]
+  in
+  Alcotest.(check bool) "non-empty" true (String.length s > 100)
+
+let curves =
+  lazy (Report.Ping.figure6 ~sizes:[ 8; 64; 512; 2048 ] ~iters:10 ())
+
+let find_curve machine_name lib_name =
+  List.find
+    (fun (c : Report.Ping.curve) ->
+      c.machine.Machine.Params.name = machine_name
+      && c.lib.Machine.Library.costs.Machine.Params.lib_name = lib_name)
+    (Lazy.force curves)
+
+let test_overheads_positive_and_monotone () =
+  List.iter
+    (fun (c : Report.Ping.curve) ->
+      let prev = ref 0.0 in
+      List.iter
+        (fun (p : Report.Ping.point) ->
+          Alcotest.(check bool) "positive" true (p.overhead > 0.0);
+          Alcotest.(check bool) "monotone in size" true (p.overhead >= !prev);
+          prev := p.overhead)
+        c.points)
+    (Lazy.force curves)
+
+let test_shmem_vs_pvm () =
+  (* the paper: "the SHMEM overhead is about 10% less than that of PVM" *)
+  let pvm = find_curve "Cray T3D" "PVM" in
+  let shmem = find_curve "Cray T3D" "SHMEM" in
+  let small c = (List.hd c.Report.Ping.points).Report.Ping.overhead in
+  let ratio = small shmem /. small pvm in
+  Alcotest.(check bool)
+    (Printf.sprintf "shmem/pvm = %.2f in [0.8, 0.99]" ratio)
+    true
+    (ratio > 0.8 && ratio < 0.99)
+
+let test_async_not_better () =
+  (* the paper: asynchronous NX primitives do not reduce exposed overhead *)
+  let csend = find_curve "Intel Paragon" "csend/crecv" in
+  let hsend = find_curve "Intel Paragon" "hsend/hrecv" in
+  let small c = (List.hd c.Report.Ping.points).Report.Ping.overhead in
+  Alcotest.(check bool) "callbacks are heavier" true (small hsend > small csend)
+
+let test_knee () =
+  (* the paper: the knee is at about 512 doubles (4 KB) *)
+  List.iter
+    (fun lib_name ->
+      match Report.Ping.knee (find_curve "Cray T3D" lib_name) with
+      | Some k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s knee %d in [256, 2048]" lib_name k)
+            true (k >= 256 && k <= 2048)
+      | None -> Alcotest.failf "%s has no knee" lib_name)
+    [ "PVM" ]
+
+let test_experiment_grid_shape () =
+  let r = Report.Experiment.run_bench ~scale:`Test Programs.Suite.swm in
+  Alcotest.(check int) "six rows" 6 (List.length r.Report.Experiment.rows);
+  let labels = List.map (fun (x : Report.Experiment.row) -> x.label) r.rows in
+  Alcotest.(check (list string)) "paper row names"
+    [ "baseline"; "rr"; "cc"; "pl"; "pl with shmem"; "pl with max latency" ]
+    labels;
+  List.iter
+    (fun (x : Report.Experiment.row) ->
+      Alcotest.(check bool) "sane row" true
+        (x.static_count > 0 && x.dynamic_count > 0 && x.time > 0.0))
+    r.rows
+
+let test_appendix_table_includes_paper () =
+  let r = Report.Experiment.run_bench ~scale:`Test Programs.Suite.tomcatv in
+  let s = Report.Figures.appendix_table r in
+  let contains needle =
+    let lh = String.length s and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub s i ln = needle || go (i + 1)) in
+    go 0
+  in
+  (* the paper's Table 1 values must appear next to ours *)
+  Alcotest.(check bool) "paper static 46" true (contains "46");
+  Alcotest.(check bool) "paper dynamic 40400" true (contains "40400");
+  Alcotest.(check bool) "paper time" true (contains "2.491051")
+
+let test_figures_render () =
+  let grid = [ Report.Experiment.run_bench ~scale:`Test Programs.Suite.swm ] in
+  List.iter
+    (fun s -> Alcotest.(check bool) "non-empty" true (String.length s > 50))
+    [ Report.Figures.fig8 grid;
+      Report.Figures.fig10 ~part:`A grid;
+      Report.Figures.fig10 ~part:`B grid;
+      Report.Figures.fig11 grid;
+      Report.Figures.fig12 grid;
+      Report.Figures.machine_table ();
+      Report.Figures.bindings_table ();
+      Report.Figures.benchmarks_table () ]
+
+let () =
+  Alcotest.run "report"
+    [ ( "rendering",
+        [ Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "bar" `Quick test_bar;
+          Alcotest.test_case "grouped bars" `Quick test_grouped_bars;
+          Alcotest.test_case "log chart" `Quick test_log_chart_renders;
+          Alcotest.test_case "figures render" `Slow test_figures_render ] );
+      ( "figure 6",
+        [ Alcotest.test_case "positive & monotone" `Slow
+            test_overheads_positive_and_monotone;
+          Alcotest.test_case "shmem ~10% under pvm" `Slow test_shmem_vs_pvm;
+          Alcotest.test_case "async not better" `Slow test_async_not_better;
+          Alcotest.test_case "knee near 512 doubles" `Slow test_knee ] );
+      ( "experiments",
+        [ Alcotest.test_case "grid shape" `Slow test_experiment_grid_shape;
+          Alcotest.test_case "appendix table" `Slow
+            test_appendix_table_includes_paper ] ) ]
