@@ -3,7 +3,13 @@
 
     {v
     dune exec bench/main.exe             full report (bench scale)
-    dune exec bench/main.exe -- --quick  small problem sizes (CI-fast)
+    dune exec bench/main.exe -- --quick  small problem sizes (CI-fast);
+                                         also runs the kernel benchmark
+                                         and writes BENCH_kernel.json
+    dune exec bench/main.exe -- --kernel row-path vs per-point kernel
+                                         throughput + serial vs parallel
+                                         grid wall time; writes
+                                         BENCH_kernel.json
     dune exec bench/main.exe -- --bechamel
                                          Bechamel micro-benchmarks: one
                                          Test.make per exhibit, measuring
@@ -115,9 +121,120 @@ let run_bechamel () =
              Printf.printf "%-45s %12.3f ms\n" name (s *. 1e3)
          | _ -> Printf.printf "%-45s %15s\n" name "n/a")
 
+(* ------------------------------------------------------------------ *)
+(* Kernel benchmark: row-compiled vs per-point execution paths          *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(** Run [f] repeatedly until it has consumed at least [budget] wall
+    seconds; returns (runs, total wall time). *)
+let repeat_for ~budget f =
+  let rec go runs total =
+    if total >= budget && runs > 0 then (runs, total)
+    else
+      let _, dt = wall f in
+      go (runs + 1) (total +. dt)
+  in
+  go 0 0.0
+
+(** Cells/second of the TOMCATV kernel loop on a 1x1-mesh engine — the
+    simulated program is pure kernel execution there (no communication),
+    so the measurement isolates the array-statement execution path. *)
+let tomcatv_cells_per_sec ~row_path ~defines () =
+  let c =
+    compile ~config:Opt.Config.pl_cum ~defines Programs.Tomcatv.source
+  in
+  let cells = ref 0 in
+  let runs, total =
+    repeat_for ~budget:0.5 (fun () ->
+        let engine =
+          Sim.Engine.make ~row_path ~machine:Machine.T3d.machine
+            ~lib:Machine.T3d.shmem ~pr:1 ~pc:1 c.flat
+        in
+        let result = Sim.Engine.run engine in
+        cells :=
+          Array.fold_left
+            (fun n (pp : Sim.Stats.per_proc) -> n + pp.Sim.Stats.cells)
+            0 result.Sim.Engine.stats.Sim.Stats.procs)
+  in
+  (float_of_int (!cells * runs) /. total, !cells, runs)
+
+type kernel_bench = {
+  kb_cells : int;  (** cells per TOMCATV run *)
+  kb_point_cps : float;  (** cells/sec, per-point path *)
+  kb_row_cps : float;  (** cells/sec, row-compiled path *)
+  kb_speedup : float;
+  kb_grid_serial : float;  (** quick grid wall time, 1 domain *)
+  kb_grid_parallel : float;  (** quick grid wall time, domain pool *)
+  kb_domains : int;
+}
+
+let run_kernel_bench ~scale () =
+  let defines =
+    match scale with
+    | `Bench -> [ ("n", 128.); ("iters", 10.) ]
+    | `Test -> [ ("n", 64.); ("iters", 3.) ]
+  in
+  let row_cps, cells, _ = tomcatv_cells_per_sec ~row_path:true ~defines () in
+  let point_cps, _, _ = tomcatv_cells_per_sec ~row_path:false ~defines () in
+  let domains = Report.Pool.default_domains () in
+  let _, grid_serial =
+    wall (fun () -> Report.Experiment.grid ~scale:`Test ~domains:1 ())
+  in
+  let _, grid_parallel =
+    wall (fun () -> Report.Experiment.grid ~scale:`Test ~domains ())
+  in
+  { kb_cells = cells;
+    kb_point_cps = point_cps;
+    kb_row_cps = row_cps;
+    kb_speedup = row_cps /. point_cps;
+    kb_grid_serial = grid_serial;
+    kb_grid_parallel = grid_parallel;
+    kb_domains = domains }
+
+let write_kernel_json path (kb : kernel_bench) =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"tomcatv kernel loop (1x1 mesh, T3D shmem)\",\n\
+    \  \"cells_per_run\": %d,\n\
+    \  \"point_path_cells_per_sec\": %.0f,\n\
+    \  \"row_path_cells_per_sec\": %.0f,\n\
+    \  \"row_vs_point_speedup\": %.2f,\n\
+    \  \"grid_quick_serial_sec\": %.4f,\n\
+    \  \"grid_quick_parallel_sec\": %.4f,\n\
+    \  \"grid_domains\": %d\n\
+     }\n"
+    kb.kb_cells kb.kb_point_cps kb.kb_row_cps kb.kb_speedup kb.kb_grid_serial
+    kb.kb_grid_parallel kb.kb_domains;
+  close_out oc
+
+let print_kernel_bench ~scale () =
+  let kb = run_kernel_bench ~scale () in
+  section "Kernel benchmark: row-compiled vs per-point execution"
+    (Printf.sprintf
+       "TOMCATV kernel loop (%d cells/run):\n\
+       \  per-point path : %12.0f cells/sec\n\
+       \  row path       : %12.0f cells/sec\n\
+       \  speedup        : %.2fx\n\
+        Quick experiment grid (%d domain(s) available):\n\
+       \  serial         : %.3f s\n\
+       \  domain pool    : %.3f s"
+       kb.kb_cells kb.kb_point_cps kb.kb_row_cps kb.kb_speedup kb.kb_domains
+       kb.kb_grid_serial kb.kb_grid_parallel);
+  write_kernel_json "BENCH_kernel.json" kb;
+  Printf.printf "\nWrote BENCH_kernel.json\n"
+
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--bechamel" args then run_bechamel ()
-  else
+  else if List.mem "--kernel" args then print_kernel_bench ~scale:`Bench ()
+  else begin
     let scale = if List.mem "--quick" args then `Test else `Bench in
-    print_report ~scale ()
+    print_report ~scale ();
+    if scale = `Test then print_kernel_bench ~scale ()
+  end

@@ -37,23 +37,68 @@ let run_one ?label ~(machine : Machine.Params.t) ~(lib : Machine.Library.t)
 
 type bench_result = { bench : Programs.Bench_def.t; rows : row list }
 
-(** Run the paper's six rows for one benchmark on the T3D. *)
-let run_bench ?(scale = `Bench) (b : Programs.Bench_def.t) : bench_result =
-  let prog = Programs.Suite.compile ~scale b in
-  let pr, pc =
-    match scale with `Bench -> b.Programs.Bench_def.bench_mesh | `Test -> (2, 2)
-  in
-  let rows =
+let mesh_of scale (b : Programs.Bench_def.t) =
+  match scale with `Bench -> b.Programs.Bench_def.bench_mesh | `Test -> (2, 2)
+
+(** Run [rows] for every benchmark in [benches], fanning the independent
+    (benchmark x row) simulations over a domain pool ([domains] workers,
+    default {!Pool.default_domains}; [1] runs serially). Programs are
+    compiled once per benchmark up front and shared read-only; each task
+    owns its engine, so results — and their order — are bit-identical to
+    the serial run. *)
+let run_grid ~(machine : Machine.Params.t)
+    ~(rows : (string * Opt.Config.t * Machine.Library.t) list) ?domains
+    ~scale (benches : Programs.Bench_def.t list) : bench_result list =
+  let compiled =
     List.map
-      (fun (label, config, lib) ->
-        run_one ~label ~machine:Machine.T3d.machine ~lib ~config ~pr ~pc prog)
-      paper_rows
+      (fun b -> (b, Programs.Suite.compile ~scale b, mesh_of scale b))
+      benches
   in
-  { bench = b; rows }
+  let tasks =
+    List.concat_map
+      (fun (_, prog, (pr, pc)) ->
+        List.map
+          (fun (label, config, lib) -> (prog, pr, pc, label, config, lib))
+          rows)
+      compiled
+  in
+  let results =
+    Pool.parmap ?domains
+      (fun (prog, pr, pc, label, config, lib) ->
+        run_one ~label ~machine ~lib ~config ~pr ~pc prog)
+      tasks
+  in
+  (* regroup: |rows| consecutive results per benchmark, input order *)
+  let nrows = List.length rows in
+  let rec take n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> invalid_arg "run_grid: result count mismatch"
+      | x :: rest ->
+          let mine, others = take (n - 1) rest in
+          (x :: mine, others)
+  in
+  let rec chunk benches results =
+    match benches with
+    | [] -> []
+    | (b, _, _) :: rest ->
+        let mine, others = take nrows results in
+        { bench = b; rows = mine } :: chunk rest others
+  in
+  chunk compiled results
+
+(** Run the paper's six rows for one benchmark on the T3D. *)
+let run_bench ?(scale = `Bench) ?domains (b : Programs.Bench_def.t) :
+    bench_result =
+  List.hd
+    (run_grid ~machine:Machine.T3d.machine ~rows:paper_rows ?domains ~scale
+       [ b ])
 
 (** The full grid behind Figures 8-12 and Tables 1-4. *)
-let grid ?(scale = `Bench) () : bench_result list =
-  List.map (run_bench ~scale) Programs.Suite.paper_benchmarks
+let grid ?(scale = `Bench) ?domains () : bench_result list =
+  run_grid ~machine:Machine.T3d.machine ~rows:paper_rows ?domains ~scale
+    Programs.Suite.paper_benchmarks
 
 let find_row (r : bench_result) label =
   List.find (fun (x : row) -> x.label = label) r.rows
@@ -79,20 +124,12 @@ let paragon_rows : (string * Opt.Config.t * Machine.Library.t) list =
     ("pl with isend/irecv", Opt.Config.pl_cum, Machine.Paragon.nx_async);
     ("pl with hsend/hrecv", Opt.Config.pl_cum, Machine.Paragon.nx_callback) ]
 
-let run_bench_paragon ?(scale = `Bench) (b : Programs.Bench_def.t) :
+let run_bench_paragon ?(scale = `Bench) ?domains (b : Programs.Bench_def.t) :
     bench_result =
-  let prog = Programs.Suite.compile ~scale b in
-  let pr, pc =
-    match scale with `Bench -> b.Programs.Bench_def.bench_mesh | `Test -> (2, 2)
-  in
-  let rows =
-    List.map
-      (fun (label, config, lib) ->
-        run_one ~label ~machine:Machine.Paragon.machine ~lib ~config ~pr ~pc
-          prog)
-      paragon_rows
-  in
-  { bench = b; rows }
+  List.hd
+    (run_grid ~machine:Machine.Paragon.machine ~rows:paragon_rows ?domains
+       ~scale [ b ])
 
-let paragon_grid ?(scale = `Bench) () : bench_result list =
-  List.map (run_bench_paragon ~scale) Programs.Suite.paper_benchmarks
+let paragon_grid ?(scale = `Bench) ?domains () : bench_result list =
+  run_grid ~machine:Machine.Paragon.machine ~rows:paragon_rows ?domains ~scale
+    Programs.Suite.paper_benchmarks

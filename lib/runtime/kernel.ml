@@ -112,6 +112,465 @@ let exec_reduce (ctx : ctx) ~(region : Zpl.Region.t) (r : Zpl.Prog.reduce_s) :
     float * int =
   run_reduce ~region r.r_op (compile ctx r.r_rhs)
 
+(* ------------------------------------------------------------------ *)
+(* Row-compiled fast path                                              *)
+(*                                                                     *)
+(* Array statements spend their lives in the innermost (stride-1)      *)
+(* dimension. The row compiler turns an array expression into a        *)
+(* [rowsrc] that produces one whole row at a time: each full-rank      *)
+(* stencil operand becomes a (store, flat shift) pair whose per-row    *)
+(* base index is computed once, and the per-cell work is a tight       *)
+(* [for] loop over [base + k] — no per-point [int array] allocation,   *)
+(* no closure dispatch per cell. Expressions the row compiler cannot   *)
+(* handle fall back to the per-point path above, which doubles as the  *)
+(* differential-testing oracle (see test/test_props.ml).               *)
+(* ------------------------------------------------------------------ *)
+
+type rowctx = {
+  rstore : int -> Store.t;  (** array id -> local storage *)
+  rscalar : int -> float;  (** numeric scalar value *)
+}
+
+let point_ctx (rc : rowctx) : ctx =
+  { read = (fun aid p -> Store.get_unsafe (rc.rstore aid) p);
+    scalar = rc.rscalar }
+
+(** How to produce the values of an expression along one row of the
+    iteration region. The row is identified by its start point [p0]
+    (innermost coordinate at its [lo]) and its length. *)
+type rowsrc =
+  | RConst of float  (** the same value in every cell *)
+  | RRow of (int array -> float)  (** row-invariant: one eval per row *)
+  | RRef of Store.t * int
+      (** full-rank shifted ref: [data.(index p0 + shift + k)] *)
+  | RIndexLast  (** the innermost coordinate itself: [p0.(last) + k] *)
+  | RFill of (int array -> int -> float array -> int -> unit)
+      (** general: fill [dst.(d0 .. d0+len-1)] with the row's values *)
+
+exception Row_fallback
+
+(** Flat base index of the row starting at [p0] read through flat shift
+    [dshift]; checks the whole row stays inside the store's allocation
+    (the dynamic counterpart of {!check_refs} for the row path). *)
+let ref_base (s : Store.t) (dshift : int) (p0 : int array) (len : int) : int =
+  let base = Store.index s p0 + dshift in
+  if base < 0 || base + len > Array.length s.Store.data then
+    Fmt.invalid_arg "row kernel: shifted read of %s runs outside %s"
+      s.Store.info.a_name
+      (Zpl.Region.to_string s.Store.alloc);
+  base
+
+let ensure (buf : float array ref) n =
+  if Array.length !buf < n then buf := Array.make n 0.0;
+  !buf
+
+(** Materialize a row source into [dst.(d0 .. d0+len-1)]. *)
+let fill (src : rowsrc) (p0 : int array) (len : int) (dst : float array)
+    (d0 : int) : unit =
+  match src with
+  | RConst v -> Array.fill dst d0 len v
+  | RRow f -> Array.fill dst d0 len (f p0)
+  | RRef (s, dshift) ->
+      let base = ref_base s dshift p0 len in
+      Array.blit s.Store.data base dst d0 len
+  | RIndexLast ->
+      let x0 = p0.(Array.length p0 - 1) in
+      for k = 0 to len - 1 do
+        Array.unsafe_set dst (d0 + k) (float_of_int (x0 + k))
+      done
+  | RFill g -> g p0 len dst d0
+
+(** A row reduced to either a per-row constant or a contiguous slice. *)
+type slice = SConst of float | SVec of float array * int
+
+let slice_of (src : rowsrc) (scratch : float array ref) p0 len : slice =
+  match src with
+  | RConst v -> SConst v
+  | RRow f -> SConst (f p0)
+  | RRef (s, dshift) -> SVec (s.Store.data, ref_base s dshift p0 len)
+  | RIndexLast | RFill _ ->
+      let buf = ensure scratch len in
+      fill src p0 len buf 0;
+      SVec (buf, 0)
+
+(* Monomorphic combine loops: one [match] per row, zero dispatch per cell.
+   Index ranges are validated by the callers ([ref_base] for slices, the
+   region-subset check in {!run_region_rows} for destinations). *)
+
+(** [dst.(k) <- dst.(k) op v] over the row. *)
+let map_vs (op : Zpl.Ast.binop) dst d0 len v =
+  match op with
+  | Zpl.Ast.Add ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (Array.unsafe_get dst k +. v)
+      done
+  | Zpl.Ast.Sub ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (Array.unsafe_get dst k -. v)
+      done
+  | Zpl.Ast.Mul ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (Array.unsafe_get dst k *. v)
+      done
+  | Zpl.Ast.Div ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (Array.unsafe_get dst k /. v)
+      done
+  | Zpl.Ast.Pow ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (Float.pow (Array.unsafe_get dst k) v)
+      done
+  | _ -> raise Row_fallback
+
+(** [dst.(k) <- v op dst.(k)] over the row. *)
+let map_sv (op : Zpl.Ast.binop) v dst d0 len =
+  match op with
+  | Zpl.Ast.Add ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (v +. Array.unsafe_get dst k)
+      done
+  | Zpl.Ast.Sub ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (v -. Array.unsafe_get dst k)
+      done
+  | Zpl.Ast.Mul ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (v *. Array.unsafe_get dst k)
+      done
+  | Zpl.Ast.Div ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (v /. Array.unsafe_get dst k)
+      done
+  | Zpl.Ast.Pow ->
+      for k = d0 to d0 + len - 1 do
+        Array.unsafe_set dst k (Float.pow v (Array.unsafe_get dst k))
+      done
+  | _ -> raise Row_fallback
+
+(** [dst.(k) <- dst.(k) op src.(s0 + k - d0)] over the row. *)
+let map_vv (op : Zpl.Ast.binop) dst d0 (src : float array) s0 len =
+  match op with
+  | Zpl.Ast.Add ->
+      for k = 0 to len - 1 do
+        Array.unsafe_set dst (d0 + k)
+          (Array.unsafe_get dst (d0 + k) +. Array.unsafe_get src (s0 + k))
+      done
+  | Zpl.Ast.Sub ->
+      for k = 0 to len - 1 do
+        Array.unsafe_set dst (d0 + k)
+          (Array.unsafe_get dst (d0 + k) -. Array.unsafe_get src (s0 + k))
+      done
+  | Zpl.Ast.Mul ->
+      for k = 0 to len - 1 do
+        Array.unsafe_set dst (d0 + k)
+          (Array.unsafe_get dst (d0 + k) *. Array.unsafe_get src (s0 + k))
+      done
+  | Zpl.Ast.Div ->
+      for k = 0 to len - 1 do
+        Array.unsafe_set dst (d0 + k)
+          (Array.unsafe_get dst (d0 + k) /. Array.unsafe_get src (s0 + k))
+      done
+  | Zpl.Ast.Pow ->
+      for k = 0 to len - 1 do
+        Array.unsafe_set dst (d0 + k)
+          (Float.pow
+             (Array.unsafe_get dst (d0 + k))
+             (Array.unsafe_get src (s0 + k)))
+      done
+  | _ -> raise Row_fallback
+
+let apply_bin (op : Zpl.Ast.binop) x y =
+  match op with
+  | Zpl.Ast.Add -> x +. y
+  | Zpl.Ast.Sub -> x -. y
+  | Zpl.Ast.Mul -> x *. y
+  | Zpl.Ast.Div -> x /. y
+  | Zpl.Ast.Pow -> Float.pow x y
+  | _ -> raise Row_fallback
+
+let row_value = function
+  | RConst v -> fun _ -> v
+  | RRow f -> f
+  | _ -> assert false
+
+(** [compile_row rc ~rank e] row-compiles [e] for iteration regions of
+    rank [rank]; [None] means the caller must use the per-point path. *)
+let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
+    rowsrc option =
+  let rec go (e : Zpl.Prog.aexpr) : rowsrc =
+    match e with
+    | Zpl.Prog.AConst c -> RConst c
+    | Zpl.Prog.AScalar id -> RRow (fun _ -> rc.rscalar id)
+    | Zpl.Prog.AIndex d ->
+        if d = rank - 1 then RIndexLast
+        else if d >= 0 && d < rank - 1 then
+          RRow (fun p0 -> float_of_int p0.(d))
+        else raise Row_fallback
+    | Zpl.Prog.ARef (aid, off) ->
+        let n = Array.length off in
+        let s = rc.rstore aid in
+        if Array.length s.Store.strides <> n then raise Row_fallback
+        else if n = rank then begin
+          (* the innermost dimension is stride-1 by construction, so the
+             whole shift collapses to one flat offset *)
+          if n > 0 && s.Store.strides.(n - 1) <> 1 then raise Row_fallback;
+          let dshift = ref 0 in
+          Array.iteri
+            (fun d o -> dshift := !dshift + (o * s.Store.strides.(d)))
+            off;
+          RRef (s, !dshift)
+        end
+        else if n < rank then begin
+          (* rank-deficient ref: constant along the innermost dimension *)
+          let scratch = Array.make n 0 in
+          RRow
+            (fun p0 ->
+              for k = 0 to n - 1 do
+                scratch.(k) <- p0.(k) + off.(k)
+              done;
+              Store.get_unsafe s scratch)
+        end
+        else raise Row_fallback
+    | Zpl.Prog.ABin (op, a, b) -> (
+        (match op with
+        | Zpl.Ast.Add | Zpl.Ast.Sub | Zpl.Ast.Mul | Zpl.Ast.Div | Zpl.Ast.Pow
+          ->
+            ()
+        | _ -> raise Row_fallback);
+        let ra = go a and rb = go b in
+        match (ra, rb) with
+        | RConst x, RConst y -> RConst (apply_bin op x y)
+        | (RConst _ | RRow _), (RConst _ | RRow _) ->
+            let fa = row_value ra and fb = row_value rb in
+            RRow (fun p0 -> apply_bin op (fa p0) (fb p0))
+        | _, (RConst _ | RRow _) ->
+            let fb = row_value rb in
+            RFill
+              (fun p0 len dst d0 ->
+                fill ra p0 len dst d0;
+                map_vs op dst d0 len (fb p0))
+        | (RConst _ | RRow _), _ ->
+            let fa = row_value ra in
+            RFill
+              (fun p0 len dst d0 ->
+                fill rb p0 len dst d0;
+                map_sv op (fa p0) dst d0 len)
+        | _, _ ->
+            let scratch = ref [||] in
+            RFill
+              (fun p0 len dst d0 ->
+                fill ra p0 len dst d0;
+                match slice_of rb scratch p0 len with
+                | SConst v -> map_vs op dst d0 len v
+                | SVec (src, s0) -> map_vv op dst d0 src s0 len))
+    | Zpl.Prog.AUn (Zpl.Ast.Neg, a) -> (
+        match go a with
+        | RConst v -> RConst (-.v)
+        | RRow f -> RRow (fun p0 -> -.f p0)
+        | ra ->
+            RFill
+              (fun p0 len dst d0 ->
+                fill ra p0 len dst d0;
+                for k = d0 to d0 + len - 1 do
+                  Array.unsafe_set dst k (-.Array.unsafe_get dst k)
+                done))
+    | Zpl.Prog.AUn (Zpl.Ast.Not, _) -> raise Row_fallback
+    | Zpl.Prog.ACall (f, [ a ]) -> (
+        let g = try Values.resolve1 f with Invalid_argument _ -> raise Row_fallback in
+        match go a with
+        | RConst v -> RConst (g v)
+        | RRow fa -> RRow (fun p0 -> g (fa p0))
+        | ra ->
+            let apply =
+              (* keep the hottest intrinsics call-free in the loop *)
+              match f with
+              | "abs" ->
+                  fun dst d0 len ->
+                    for k = d0 to d0 + len - 1 do
+                      Array.unsafe_set dst k (Float.abs (Array.unsafe_get dst k))
+                    done
+              | "sqrt" ->
+                  fun dst d0 len ->
+                    for k = d0 to d0 + len - 1 do
+                      Array.unsafe_set dst k (sqrt (Array.unsafe_get dst k))
+                    done
+              | _ ->
+                  fun dst d0 len ->
+                    for k = d0 to d0 + len - 1 do
+                      Array.unsafe_set dst k (g (Array.unsafe_get dst k))
+                    done
+            in
+            RFill
+              (fun p0 len dst d0 ->
+                fill ra p0 len dst d0;
+                apply dst d0 len))
+    | Zpl.Prog.ACall (f, [ a; b ]) -> (
+        let g = try Values.resolve2 f with Invalid_argument _ -> raise Row_fallback in
+        let ra = go a and rb = go b in
+        match (ra, rb) with
+        | RConst x, RConst y -> RConst (g x y)
+        | (RConst _ | RRow _), (RConst _ | RRow _) ->
+            let fa = row_value ra and fb = row_value rb in
+            RRow (fun p0 -> g (fa p0) (fb p0))
+        | _ ->
+            let scratch = ref [||] in
+            RFill
+              (fun p0 len dst d0 ->
+                fill ra p0 len dst d0;
+                match slice_of rb scratch p0 len with
+                | SConst v ->
+                    for k = d0 to d0 + len - 1 do
+                      Array.unsafe_set dst k (g (Array.unsafe_get dst k) v)
+                    done
+                | SVec (src, s0) ->
+                    for k = 0 to len - 1 do
+                      Array.unsafe_set dst (d0 + k)
+                        (g
+                           (Array.unsafe_get dst (d0 + k))
+                           (Array.unsafe_get src (s0 + k)))
+                    done))
+    | Zpl.Prog.ACall (_, _) -> raise Row_fallback
+  in
+  match go e with src -> Some src | exception Row_fallback -> None
+
+(** How the row path may write the lhs. *)
+type write_mode =
+  | WDirect
+      (** rhs never reads the lhs: rows are written straight into storage *)
+  | WRowBuffer
+      (** rhs reads the lhs at zero shift only: each row evaluates into a
+          scratch row first, then blits (per-point order reads the old
+          value of exactly the cell being written) *)
+  | WFullBuffer
+      (** rhs reads the lhs through a nonzero shift: the whole region
+          evaluates into a buffer first (array semantics) *)
+
+let write_mode (a : Zpl.Prog.assign_a) : write_mode =
+  if needs_buffer a then WFullBuffer
+  else if List.mem a.lhs (Zpl.Prog.arrays_read a.rhs) then WRowBuffer
+  else WDirect
+
+(** Run a row-compiled source over [region], writing the lhs rows of
+    [lhs]. Returns the number of cells updated. *)
+let run_region_rows ~(lhs : Store.t) ~(region : Zpl.Region.t)
+    ~(mode : write_mode) (src : rowsrc) : int =
+  if Zpl.Region.is_empty region then 0
+  else begin
+    if not (Zpl.Region.subset region lhs.Store.alloc) then
+      Fmt.invalid_arg "row kernel: write region %s outside allocated %s of %s"
+        (Zpl.Region.to_string region)
+        (Zpl.Region.to_string lhs.Store.alloc)
+        lhs.Store.info.a_name;
+    (match mode with
+    | WDirect ->
+        let data = lhs.Store.data in
+        Zpl.Region.iter_rows region (fun p0 len ->
+            fill src p0 len data (Store.index lhs p0))
+    | WRowBuffer ->
+        let scratch = ref [||] in
+        Zpl.Region.iter_rows region (fun p0 len ->
+            let buf = ensure scratch len in
+            fill src p0 len buf 0;
+            Array.blit buf 0 lhs.Store.data (Store.index lhs p0) len)
+    | WFullBuffer ->
+        let buf = Array.make (Zpl.Region.size region) 0.0 in
+        let k = ref 0 in
+        Zpl.Region.iter_rows region (fun p0 len ->
+            fill src p0 len buf !k;
+            k := !k + len);
+        k := 0;
+        Zpl.Region.iter_rows region (fun p0 len ->
+            Array.blit buf !k lhs.Store.data (Store.index lhs p0) len;
+            k := !k + len));
+    Zpl.Region.size region
+  end
+
+(** Fold a row-compiled source over [region] in row-major order — the
+    same per-cell operation sequence as {!run_reduce}, so partials are
+    bit-identical to the per-point path. *)
+let fold_rows (op : Zpl.Ast.redop) (src : rowsrc) (region : Zpl.Region.t) :
+    float * int =
+  if Zpl.Region.is_empty region then (Reduce.identity op, 0)
+  else begin
+    let scratch = ref [||] in
+    let acc = ref (Reduce.identity op) in
+    Zpl.Region.iter_rows region (fun p0 len ->
+        match slice_of src scratch p0 len with
+        | SConst v ->
+            let a = ref !acc in
+            (match op with
+            | Zpl.Ast.RSum -> for _ = 1 to len do a := !a +. v done
+            | Zpl.Ast.RProd -> for _ = 1 to len do a := !a *. v done
+            | Zpl.Ast.RMax -> for _ = 1 to len do a := Float.max !a v done
+            | Zpl.Ast.RMin -> for _ = 1 to len do a := Float.min !a v done);
+            acc := !a
+        | SVec (data, s0) ->
+            let a = ref !acc in
+            (match op with
+            | Zpl.Ast.RSum ->
+                for k = s0 to s0 + len - 1 do
+                  a := !a +. Array.unsafe_get data k
+                done
+            | Zpl.Ast.RProd ->
+                for k = s0 to s0 + len - 1 do
+                  a := !a *. Array.unsafe_get data k
+                done
+            | Zpl.Ast.RMax ->
+                for k = s0 to s0 + len - 1 do
+                  a := Float.max !a (Array.unsafe_get data k)
+                done
+            | Zpl.Ast.RMin ->
+                for k = s0 to s0 + len - 1 do
+                  a := Float.min !a (Array.unsafe_get data k)
+                done);
+            acc := !a);
+    (!acc, Zpl.Region.size region)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution plans: row path when possible, per-point fallback else     *)
+(* ------------------------------------------------------------------ *)
+
+type plan =
+  | PRow of write_mode * rowsrc
+  | PPoint of bool * (int array -> float)  (** buffered flag, per-cell fn *)
+
+(** Compile an assignment into an execution plan. [row:false] forces the
+    per-point fallback (used by differential tests and the benchmark
+    harness). *)
+let plan_assign ?(row = true) (rc : rowctx) (a : Zpl.Prog.assign_a) : plan =
+  let rank = Array.length a.region in
+  match if row then compile_row rc ~rank a.rhs else None with
+  | Some src -> PRow (write_mode a, src)
+  | None -> PPoint (needs_buffer a, compile (point_ctx rc) a.rhs)
+
+let plan_is_row = function PRow _ -> true | PPoint _ -> false
+
+(** Execute a plan over [region] (already clipped to ownership and lying
+    inside [lhs]'s allocation). Returns the number of cells updated. *)
+let exec_plan (plan : plan) ~(lhs : Store.t) ~(region : Zpl.Region.t) : int =
+  match plan with
+  | PRow (mode, src) -> run_region_rows ~lhs ~region ~mode src
+  | PPoint (buffered, f) ->
+      run_region
+        ~write:(fun p v -> Store.set_unsafe lhs p v)
+        ~region ~buffered f
+
+type rplan = RowRed of rowsrc | PointRed of (int array -> float)
+
+let plan_reduce ?(row = true) (rc : rowctx) (r : Zpl.Prog.reduce_s) : rplan =
+  let rank = Array.length r.r_region in
+  match if row then compile_row rc ~rank r.r_rhs else None with
+  | Some src -> RowRed src
+  | None -> PointRed (compile (point_ctx rc) r.r_rhs)
+
+(** Local partial of a reduction plan over [region]: (partial, cells). *)
+let exec_rplan (plan : rplan) ~(region : Zpl.Region.t) (op : Zpl.Ast.redop) :
+    float * int =
+  match plan with
+  | RowRed src -> fold_rows op src region
+  | PointRed f -> run_reduce ~region op f
+
 (** Runtime validation that every shifted read of [e] over [region] stays
     inside the referenced array's allocated storage — the dynamic
     counterpart of the checker's static shift-bounds test, needed for

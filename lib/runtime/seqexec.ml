@@ -1,62 +1,103 @@
 (** Sequential reference executor: runs a typed program directly on global
     (undistributed) storage. This is the semantic oracle every optimizer
-    configuration and machine model is tested against. *)
+    configuration and machine model is tested against.
+
+    The program body is pre-compiled into a statement tree whose array
+    statements carry a lazily-built execution plan (row-compiled fast path
+    by default, per-point fallback when [row_path] is off or the row
+    compiler declines), so statements inside loops compile once rather
+    than once per iteration. *)
 
 type t = {
   prog : Zpl.Prog.t;
   stores : Store.t array;
   env : Values.env;
+  row_path : bool;  (** whether array statements may use the row path *)
   mutable steps : int;  (** simple statements executed *)
+  mutable cells : int;  (** array cells updated or reduced *)
 }
 
 exception Step_limit of int
 
-let make (prog : Zpl.Prog.t) : t =
+let make ?(row_path = true) (prog : Zpl.Prog.t) : t =
   let stores =
     Array.map
       (fun (info : Zpl.Prog.array_info) ->
         Store.make info ~owned:info.a_region ~fringe:0)
       prog.arrays
   in
-  { prog; stores; env = Values.make_env prog; steps = 0 }
+  { prog; stores; env = Values.make_env prog; row_path; steps = 0; cells = 0 }
 
-let ctx_of (t : t) : Kernel.ctx =
-  { Kernel.read = (fun aid p -> Store.get_unsafe t.stores.(aid) p);
-    scalar = (fun id -> Values.as_float t.env.(id)) }
+let rowctx_of (t : t) : Kernel.rowctx =
+  { Kernel.rstore = (fun aid -> t.stores.(aid));
+    rscalar = (fun id -> Values.as_float t.env.(id)) }
+
+(* --- pre-compiled statement tree --- *)
+
+type cstmt =
+  | CAssignA of Zpl.Prog.assign_a * Kernel.plan Lazy.t
+  | CAssignS of int * Zpl.Prog.sexpr
+  | CReduceS of Zpl.Prog.reduce_s * Kernel.rplan Lazy.t
+  | CRepeat of cstmt list * Zpl.Prog.sexpr
+  | CFor of {
+      var : int;
+      lo : Zpl.Prog.sexpr;
+      hi : Zpl.Prog.sexpr;
+      step : int;
+      body : cstmt list;
+    }
+  | CIf of Zpl.Prog.sexpr * cstmt list * cstmt list
+
+let rec compile_stmts t stmts = List.map (compile_stmt t) stmts
+
+and compile_stmt (t : t) (s : Zpl.Prog.stmt) : cstmt =
+  match s with
+  | Zpl.Prog.AssignA a ->
+      CAssignA
+        (a, lazy (Kernel.plan_assign ~row:t.row_path (rowctx_of t) a))
+  | Zpl.Prog.AssignS { lhs; rhs } -> CAssignS (lhs, rhs)
+  | Zpl.Prog.ReduceS r ->
+      CReduceS
+        (r, lazy (Kernel.plan_reduce ~row:t.row_path (rowctx_of t) r))
+  | Zpl.Prog.Repeat (body, cond) -> CRepeat (compile_stmts t body, cond)
+  | Zpl.Prog.For { var; lo; hi; step; body } ->
+      CFor { var; lo; hi; step; body = compile_stmts t body }
+  | Zpl.Prog.If (cond, then_, else_) ->
+      CIf (cond, compile_stmts t then_, compile_stmts t else_)
 
 let bump t limit =
   t.steps <- t.steps + 1;
   if t.steps > limit then raise (Step_limit limit)
 
-let rec exec_stmts t ~limit (stmts : Zpl.Prog.stmt list) =
+let rec exec_stmts t ~limit (stmts : cstmt list) =
   List.iter (exec_stmt t ~limit) stmts
 
-and exec_stmt t ~limit (s : Zpl.Prog.stmt) =
+and exec_stmt t ~limit (s : cstmt) =
   match s with
-  | Zpl.Prog.AssignA a ->
+  | CAssignA (a, plan) ->
       bump t limit;
       let region = Values.eval_dregion t.env a.region in
-      let region = Zpl.Region.inter region t.stores.(a.lhs).Store.owned in
       let store = t.stores.(a.lhs) in
-      ignore
-        (Kernel.exec_assign (ctx_of t)
-           ~write:(fun p v -> Store.set_unsafe store p v)
-           ~region a)
-  | Zpl.Prog.AssignS { lhs; rhs } ->
+      let region = Zpl.Region.inter region store.Store.owned in
+      if not (Zpl.Region.is_empty region) then
+        t.cells <-
+          t.cells + Kernel.exec_plan (Lazy.force plan) ~lhs:store ~region
+  | CAssignS (lhs, rhs) ->
       bump t limit;
       t.env.(lhs) <- Values.eval_env t.env rhs
-  | Zpl.Prog.ReduceS r ->
+  | CReduceS (r, plan) ->
       bump t limit;
       let region = Values.eval_dregion t.env r.r_region in
-      let v, _ = Kernel.exec_reduce (ctx_of t) ~region r in
+      let v, cells = Kernel.exec_rplan (Lazy.force plan) ~region r.r_op in
+      t.cells <- t.cells + cells;
       t.env.(r.r_lhs) <- Values.VFloat v
-  | Zpl.Prog.Repeat (body, cond) ->
+  | CRepeat (body, cond) ->
       let rec loop () =
         exec_stmts t ~limit body;
         if not (Values.eval_bool t.env cond) then loop ()
       in
       loop ()
-  | Zpl.Prog.For { var; lo; hi; step; body } ->
+  | CFor { var; lo; hi; step; body } ->
       let lo = Values.as_int (Values.eval_env t.env lo) in
       let hi = Values.as_int (Values.eval_env t.env hi) in
       let count = if step >= 0 then hi - lo + 1 else lo - hi + 1 in
@@ -64,16 +105,17 @@ and exec_stmt t ~limit (s : Zpl.Prog.stmt) =
         t.env.(var) <- Values.VInt (lo + (k * step));
         exec_stmts t ~limit body
       done
-  | Zpl.Prog.If (cond, then_, else_) ->
+  | CIf (cond, then_, else_) ->
       if Values.eval_bool t.env cond then exec_stmts t ~limit then_
       else exec_stmts t ~limit else_
 
 (** Run the whole program. [limit] bounds the number of simple statements
     executed (default 10 million) and raises {!Step_limit} beyond it, so a
-    buggy [repeat] cannot hang the test suite. *)
-let run ?(limit = 10_000_000) (prog : Zpl.Prog.t) : t =
-  let t = make prog in
-  exec_stmts t ~limit prog.body;
+    buggy [repeat] cannot hang the test suite. [row_path:false] forces the
+    per-point fallback everywhere — the differential-testing oracle. *)
+let run ?(limit = 10_000_000) ?row_path (prog : Zpl.Prog.t) : t =
+  let t = make ?row_path prog in
+  exec_stmts t ~limit (compile_stmts t prog.body);
   t
 
 let scalar_value (t : t) name =

@@ -57,19 +57,31 @@ let get_unsafe (s : t) (p : int array) : float = s.data.(index s p)
 
 let set_unsafe (s : t) (p : int array) (v : float) = s.data.(index s p) <- v
 
+let check_rect (s : t) (what : string) (rect : Zpl.Region.t) =
+  if not (Zpl.Region.subset rect s.alloc) then
+    Fmt.invalid_arg "Store.%s: %s outside %s of %s" what
+      (Zpl.Region.to_string rect)
+      (Zpl.Region.to_string s.alloc)
+      s.info.a_name
+
 (** Copy the values of rectangle [rect] (must lie inside [alloc]) into a
-    fresh buffer, row-major. *)
+    fresh buffer, row-major. The innermost dimension is stride-1, so each
+    row of the rectangle is one contiguous [Array.blit] — message packing
+    costs one bounds check and [rows] block copies, not a per-point loop. *)
 let extract (s : t) (rect : Zpl.Region.t) : float array =
+  check_rect s "extract" rect;
   let buf = Array.make (Zpl.Region.size rect) 0.0 in
   let k = ref 0 in
-  Zpl.Region.iter rect (fun p ->
-      buf.(!k) <- get s p;
-      incr k);
+  Zpl.Region.iter_rows rect (fun p0 len ->
+      Array.blit s.data (index s p0) buf !k len;
+      k := !k + len);
   buf
 
-(** Write [buf] (row-major over [rect]) into storage. *)
+(** Write [buf] (row-major over [rect]) into storage, one [Array.blit]
+    per contiguous row. *)
 let inject (s : t) (rect : Zpl.Region.t) (buf : float array) =
+  check_rect s "inject" rect;
   let k = ref 0 in
-  Zpl.Region.iter rect (fun p ->
-      set s p buf.(!k);
-      incr k)
+  Zpl.Region.iter_rows rect (fun p0 len ->
+      Array.blit buf !k s.data (index s p0) len;
+      k := !k + len)

@@ -29,9 +29,10 @@ val get_unsafe : t -> int array -> float
 
 val set_unsafe : t -> int array -> float -> unit
 
-(** Copy the values of a rectangle (inside [alloc]) into a fresh buffer,
-    row-major. *)
+(** Copy the values of a rectangle (inside [alloc], checked once) into a
+    fresh buffer, row-major — one contiguous [Array.blit] per row. *)
 val extract : t -> Zpl.Region.t -> float array
 
-(** Write a row-major buffer back over a rectangle. *)
+(** Write a row-major buffer back over a rectangle (inside [alloc],
+    checked once), one [Array.blit] per row. *)
 val inject : t -> Zpl.Region.t -> float array -> unit

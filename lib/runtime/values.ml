@@ -25,24 +25,31 @@ let default_of = function
   | Zpl.Ast.TInt -> VInt 0
   | Zpl.Ast.TBool -> VBool false
 
-let apply1 name (x : float) : float =
+(** [resolve1 name] resolves a unary intrinsic to its function once, so
+    hot loops pay no per-call string match. *)
+let resolve1 name : float -> float =
   match name with
-  | "abs" -> Float.abs x
-  | "sqrt" -> sqrt x
-  | "exp" -> exp x
-  | "ln" | "log" -> log x
-  | "sin" -> sin x
-  | "cos" -> cos x
-  | "tan" -> tan x
-  | "floor" -> Float.floor x
-  | "sign" -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0
+  | "abs" -> Float.abs
+  | "sqrt" -> sqrt
+  | "exp" -> exp
+  | "ln" | "log" -> log
+  | "sin" -> sin
+  | "cos" -> cos
+  | "tan" -> tan
+  | "floor" -> Float.floor
+  | "sign" -> fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0
   | _ -> invalid_arg ("unknown unary intrinsic " ^ name)
 
-let apply2 name (x : float) (y : float) : float =
+let apply1 name (x : float) : float = (resolve1 name) x
+
+(** Binary counterpart of {!resolve1}. *)
+let resolve2 name : float -> float -> float =
   match name with
-  | "min" -> Float.min x y
-  | "max" -> Float.max x y
+  | "min" -> Float.min
+  | "max" -> Float.max
   | _ -> invalid_arg ("unknown binary intrinsic " ^ name)
+
+let apply2 name (x : float) (y : float) : float = (resolve2 name) x y
 
 let rec eval (lookup : int -> value) (e : Zpl.Prog.sexpr) : value =
   match e with

@@ -38,6 +38,11 @@ type waiting =
   | WTokens of int * int list
   | WReduce of int  (** reduction sequence number *)
 
+(** Compiled form of one array statement or reduction, cached per op. *)
+type ckernel =
+  | CAssign of Runtime.Kernel.plan
+  | CReduce of Runtime.Kernel.rplan
+
 type proc = {
   rank : int;
   mutable pc : int;
@@ -51,7 +56,7 @@ type proc = {
   send_done : float array;  (** per transfer: when the last send drained *)
   mutable reduce_seq : int;
   mail : (int * int * msg_kind, message Queue.t) Hashtbl.t;
-  kernels : (bool * (int array -> float)) option array;  (** per op index *)
+  kernels : ckernel option array;  (** per op index *)
   stats : Stats.per_proc;
 }
 
@@ -74,6 +79,7 @@ type t = {
   reduce_slots : (int, reduce_slot) Hashtbl.t;
   stats : Stats.t;
   limit : int;
+  row_path : bool;  (** whether kernels may use the row-compiled path *)
 }
 
 exception Deadlock of string
@@ -123,7 +129,8 @@ let build_plan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
   Array.init nprocs (fun p ->
       { recv_sides = recvs.(p); send_sides = sends.(p) })
 
-let make ?(limit = 1_000_000_000) ~(machine : Machine.Params.t)
+let make ?(limit = 1_000_000_000) ?(row_path = true)
+    ~(machine : Machine.Params.t)
     ~(lib : Machine.Library.t) ~pr ~pc (flat : Ir.Flat.t) : t =
   let prog = flat.Ir.Flat.prog in
   let layout = Runtime.Layout.for_program ~pr ~pc prog in
@@ -171,7 +178,8 @@ let make ?(limit = 1_000_000_000) ~(machine : Machine.Params.t)
     runnable = Queue.create ();
     reduce_slots = Hashtbl.create 8;
     stats = Stats.make nprocs;
-    limit }
+    limit;
+    row_path }
 
 (* ------------------------------------------------------------------ *)
 (* Mail                                                                *)
@@ -230,29 +238,29 @@ let reduce_stages (t : t) =
 
 type step = Continue | Blocked | Halted
 
-let ctx_of (p : proc) : Runtime.Kernel.ctx =
-  { Runtime.Kernel.read =
-      (fun aid pt -> Runtime.Store.get_unsafe p.stores.(aid) pt);
-    scalar = (fun id -> Runtime.Values.as_float p.env.(id)) }
+let rowctx_of (p : proc) : Runtime.Kernel.rowctx =
+  { Runtime.Kernel.rstore = (fun aid -> p.stores.(aid));
+    rscalar = (fun id -> Runtime.Values.as_float p.env.(id)) }
 
-let kernel_fn (p : proc) idx (a : Zpl.Prog.assign_a) =
+let assign_plan (t : t) (p : proc) idx (a : Zpl.Prog.assign_a) =
   match p.kernels.(idx) with
-  | Some kf -> kf
-  | None ->
-      let kf =
-        (Runtime.Kernel.needs_buffer a,
-         Runtime.Kernel.compile (ctx_of p) a.rhs)
+  | Some (CAssign plan) -> plan
+  | _ ->
+      let plan =
+        Runtime.Kernel.plan_assign ~row:t.row_path (rowctx_of p) a
       in
-      p.kernels.(idx) <- Some kf;
-      kf
+      p.kernels.(idx) <- Some (CAssign plan);
+      plan
 
-let reduce_fn (p : proc) idx (r : Zpl.Prog.reduce_s) =
+let reduce_plan (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) =
   match p.kernels.(idx) with
-  | Some (_, f) -> f
-  | None ->
-      let f = Runtime.Kernel.compile (ctx_of p) r.r_rhs in
-      p.kernels.(idx) <- Some (false, f);
-      f
+  | Some (CReduce plan) -> plan
+  | _ ->
+      let plan =
+        Runtime.Kernel.plan_reduce ~row:t.row_path (rowctx_of p) r
+      in
+      p.kernels.(idx) <- Some (CReduce plan);
+      plan
 
 (** Local part of a statement region: dims 0-1 intersected with the
     processor's partition box, higher dims untouched. *)
@@ -272,10 +280,7 @@ let exec_kernel (t : t) (p : proc) idx (a : Zpl.Prog.assign_a) =
       Runtime.Kernel.check_refs ~region
         ~alloc_of:(fun aid -> p.stores.(aid).Runtime.Store.alloc)
         a.rhs;
-      let buffered, f = kernel_fn p idx a in
-      Runtime.Kernel.run_region
-        ~write:(fun pt v -> Runtime.Store.set_unsafe store pt v)
-        ~region ~buffered f
+      Runtime.Kernel.exec_plan (assign_plan t p idx a) ~lhs:store ~region
     end
   in
   let dt =
@@ -453,8 +458,9 @@ let exec_reduce (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) : step =
   Runtime.Kernel.check_refs ~region
     ~alloc_of:(fun aid -> p.stores.(aid).Runtime.Store.alloc)
     r.r_rhs;
-  let f = reduce_fn p idx r in
-  let partial, cells = Runtime.Kernel.run_reduce ~region r.r_op f in
+  let partial, cells =
+    Runtime.Kernel.exec_rplan (reduce_plan t p idx r) ~region r.r_op
+  in
   let dt =
     t.machine.Machine.Params.kernel_overhead
     +. (float_of_int (cells * r.r_flops) *. t.machine.Machine.Params.sec_per_flop)

@@ -51,25 +51,93 @@ let subset (a : t) (b : t) =
      && Array.for_all2 (fun x y -> x.lo >= y.lo && x.hi <= y.hi) a b)
 
 (** Iterate all points in row-major order. The callback receives a scratch
-    buffer that is reused between calls; copy it if you keep it. *)
+    buffer that is reused between calls; copy it if you keep it. The
+    rank-1/2/3 paths are hoisted into nested [for] loops with bounds read
+    once, so low-rank regions pay no generic odometer recursion. *)
 let iter (r : t) (f : int array -> unit) =
-  if not (is_empty r) then begin
-    let n = rank r in
-    let p = Array.map (fun rg -> rg.lo) r in
-    let rec step d =
-      if d < 0 then ()
-      else if p.(d) < r.(d).hi then begin
-        p.(d) <- p.(d) + 1;
-        for k = d + 1 to n - 1 do
-          p.(k) <- r.(k).lo
-        done;
+  if not (is_empty r) then
+    match Array.length r with
+    | 1 ->
+        let p = [| 0 |] in
+        for i = r.(0).lo to r.(0).hi do
+          p.(0) <- i;
+          f p
+        done
+    | 2 ->
+        let lo1 = r.(1).lo and hi1 = r.(1).hi in
+        let p = [| 0; 0 |] in
+        for i = r.(0).lo to r.(0).hi do
+          p.(0) <- i;
+          for j = lo1 to hi1 do
+            p.(1) <- j;
+            f p
+          done
+        done
+    | 3 ->
+        let lo1 = r.(1).lo and hi1 = r.(1).hi in
+        let lo2 = r.(2).lo and hi2 = r.(2).hi in
+        let p = [| 0; 0; 0 |] in
+        for i = r.(0).lo to r.(0).hi do
+          p.(0) <- i;
+          for j = lo1 to hi1 do
+            p.(1) <- j;
+            for k = lo2 to hi2 do
+              p.(2) <- k;
+              f p
+            done
+          done
+        done
+    | n ->
+        (* generic odometer for hypothetical higher ranks *)
+        let p = Array.map (fun rg -> rg.lo) r in
+        let rec step d =
+          if d < 0 then ()
+          else if p.(d) < r.(d).hi then begin
+            p.(d) <- p.(d) + 1;
+            for k = d + 1 to n - 1 do
+              p.(k) <- r.(k).lo
+            done;
+            f p;
+            step (n - 1)
+          end
+          else step (d - 1)
+        in
         f p;
         step (n - 1)
-      end
-      else step (d - 1)
-    in
-    f p;
-    step (n - 1)
+
+(** Iterate the region row by row: the callback receives the row's start
+    point (innermost coordinate at its [lo]) and the row length. The point
+    buffer is reused between calls; copy it if retained. A rank-1 region
+    is a single row. *)
+let iter_rows (r : t) (f : int array -> int -> unit) =
+  if not (is_empty r) then begin
+    let n = Array.length r in
+    let len = range_size r.(n - 1) in
+    match n with
+    | 1 -> f [| r.(0).lo |] len
+    | 2 ->
+        let p = [| 0; r.(1).lo |] in
+        for i = r.(0).lo to r.(0).hi do
+          p.(0) <- i;
+          f p len
+        done
+    | 3 ->
+        let lo1 = r.(1).lo and hi1 = r.(1).hi in
+        let p = [| 0; 0; r.(2).lo |] in
+        for i = r.(0).lo to r.(0).hi do
+          p.(0) <- i;
+          for j = lo1 to hi1 do
+            p.(1) <- j;
+            f p len
+          done
+        done
+    | _ ->
+        let outer = Array.sub r 0 (n - 1) in
+        let p = Array.map (fun rg -> rg.lo) r in
+        iter outer (fun q ->
+            Array.blit q 0 p 0 (n - 1);
+            p.(n - 1) <- r.(n - 1).lo;
+            f p len)
   end
 
 let fold (r : t) (f : 'a -> int array -> 'a) (init : 'a) =

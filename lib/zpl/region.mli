@@ -46,9 +46,22 @@ val contains_point : t -> int array -> bool
     subsets of everything. *)
 val subset : t -> t -> bool
 
-(** Iterate all points in row-major order. The point buffer is reused
-    between calls; copy it if retained. *)
+(** Iterate all points in row-major order.
+
+    Reused-point-buffer contract: the [int array] passed to the callback
+    is a single scratch buffer owned by the iterator and overwritten in
+    place between calls — callbacks must either consume it immediately or
+    copy it ([Array.copy]) before retaining it. Rank-1/2/3 regions iterate
+    through specialized nested loops whose bounds are read once, without
+    the generic odometer recursion. *)
 val iter : t -> (int array -> unit) -> unit
+
+(** [iter_rows r f] calls [f p0 len] once per row of [r] in row-major
+    order, where [p0] is the row's start point (innermost coordinate at
+    its [lo]) and [len] the innermost extent. A rank-1 region is a single
+    row. The same reused-point-buffer contract as {!iter} applies to
+    [p0]. *)
+val iter_rows : t -> (int array -> int -> unit) -> unit
 
 val fold : t -> ('a -> int array -> 'a) -> 'a -> 'a
 

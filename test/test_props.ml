@@ -234,6 +234,273 @@ let prop_halo_covers =
           end)
         (List.init (Runtime.Layout.nprocs l) Fun.id))
 
+(* ------------------------------------------------------------------ *)
+(* Row-compiled kernels vs the per-point oracle                        *)
+(*                                                                     *)
+(* Direct-AST differential tests: random regions of rank 1..3, random  *)
+(* offsets in {-1,0,1}^rank, random expression trees. The row path     *)
+(* must be bitwise identical to the per-point fallback — including     *)
+(* self-referencing statements that exercise the buffered write modes. *)
+(* ------------------------------------------------------------------ *)
+
+let narrays = 3
+
+let bits = Int64.bits_of_float
+
+(* Deterministic pseudo-random fill so failures reproduce from the seed. *)
+let fill_store (s : Runtime.Store.t) seed =
+  Array.iteri
+    (fun i _ ->
+      s.Runtime.Store.data.(i) <-
+        (float_of_int (((i * 7919) + (seed * 104729)) mod 1999) /. 97.0) -. 10.0)
+    s.Runtime.Store.data
+
+let grow1 (r : Zpl.Region.t) : Zpl.Region.t =
+  Array.map
+    (fun { Zpl.Region.lo; hi } -> { Zpl.Region.lo = lo - 1; hi = hi + 1 })
+    r
+
+let mk_store aid rank (alloc : Zpl.Region.t) seed =
+  let info =
+    { Zpl.Prog.a_id = aid; a_name = Printf.sprintf "S%d" aid;
+      a_region = alloc; a_rank = rank }
+  in
+  let s = Runtime.Store.make info ~owned:alloc ~fringe:0 in
+  fill_store s (seed + aid);
+  s
+
+type kcase = {
+  krank : int;
+  kregion : Zpl.Region.t;  (** iteration region; stores alloc [grow1] of it *)
+  klhs : int;
+  krhs : Zpl.Prog.aexpr;
+  kseed : int;
+}
+
+let gen_aexpr rank =
+  QCheck.Gen.(
+    let gen_off = array_size (return rank) (int_range (-1) 1) in
+    let leaf =
+      frequency
+        [ (2,
+           map (fun i -> Zpl.Prog.AConst (float_of_int i /. 8.0))
+             (int_range (-16) 16));
+          (1, map (fun d -> Zpl.Prog.AIndex d) (int_range 0 (rank - 1)));
+          (1, map (fun i -> Zpl.Prog.AScalar i) (int_range 0 1));
+          (4,
+           map2
+             (fun a off -> Zpl.Prog.ARef (a, off))
+             (int_range 0 (narrays - 1))
+             gen_off) ]
+    in
+    fix
+      (fun self depth ->
+        if depth <= 0 then leaf
+        else
+          frequency
+            [ (2, leaf);
+              (4,
+               map3
+                 (fun op a b -> Zpl.Prog.ABin (op, a, b))
+                 (oneofl Zpl.Ast.[ Add; Sub; Mul; Div ])
+                 (self (depth - 1)) (self (depth - 1)));
+              (1,
+               map (fun a -> Zpl.Prog.AUn (Zpl.Ast.Neg, a)) (self (depth - 1)));
+              (1,
+               map2
+                 (fun f a -> Zpl.Prog.ACall (f, [ a ]))
+                 (oneofl [ "abs"; "sqrt"; "sin" ])
+                 (self (depth - 1)));
+              (1,
+               map3
+                 (fun f a b -> Zpl.Prog.ACall (f, [ a; b ]))
+                 (oneofl [ "min"; "max" ])
+                 (self (depth - 1)) (self (depth - 1))) ])
+      3)
+
+let gen_kregion rank =
+  QCheck.Gen.(
+    let* dims = list_size (return rank) (pair (int_range (-2) 2) (int_range 1 5)) in
+    return (Zpl.Region.make (List.map (fun (lo, sz) -> (lo, lo + sz - 1)) dims)))
+
+let gen_kcase =
+  QCheck.Gen.(
+    let* krank = int_range 1 3 in
+    let* kregion = gen_kregion krank in
+    let* klhs = int_range 0 (narrays - 1) in
+    let* krhs = gen_aexpr krank in
+    let* kseed = int_range 0 9999 in
+    return { krank; kregion; klhs; krhs; kseed })
+
+let arb_kcase =
+  QCheck.make
+    ~print:(fun c ->
+      Printf.sprintf "rank %d, region %s, S%d := %s, seed %d" c.krank
+        (Zpl.Region.to_string c.kregion)
+        c.klhs
+        (Zpl.Prog.show_aexpr c.krhs)
+        c.kseed)
+    gen_kcase
+
+let kcase_stores (c : kcase) =
+  let alloc = grow1 c.kregion in
+  let stores = Array.init narrays (fun aid -> mk_store aid c.krank alloc c.kseed) in
+  let rc =
+    { Runtime.Kernel.rstore = (fun aid -> stores.(aid));
+      rscalar = (fun i -> [| 0.5; -1.25 |].(i)) }
+  in
+  (stores, rc)
+
+let exec_kcase ~row (c : kcase) =
+  let stores, rc = kcase_stores c in
+  let a =
+    { Zpl.Prog.region = Zpl.Prog.dregion_of_region c.kregion;
+      lhs = c.klhs; rhs = c.krhs; flops = 0 }
+  in
+  let plan = Runtime.Kernel.plan_assign ~row rc a in
+  let cells =
+    Runtime.Kernel.exec_plan plan ~lhs:stores.(c.klhs) ~region:c.kregion
+  in
+  ( cells,
+    Array.map
+      (fun (s : Runtime.Store.t) -> Array.map bits s.Runtime.Store.data)
+      stores )
+
+(** Row-compiled assignments produce bitwise-identical stores and cell
+    counts to the per-point interpreter, across self-references (both
+    buffered write modes), fallbacks and all ranks. *)
+let prop_row_kernel_bitwise =
+  QCheck.Test.make ~name:"row kernels == per-point kernels (bitwise)"
+    ~count:300 arb_kcase (fun c ->
+      exec_kcase ~row:true c = exec_kcase ~row:false c)
+
+(** Same for reductions: identical partials (bitwise) and cell counts. *)
+let prop_row_reduce_bitwise =
+  QCheck.Test.make ~name:"row reductions == per-point (bitwise)" ~count:200
+    (QCheck.pair arb_kcase
+       (QCheck.oneofl ~print:Zpl.Ast.show_redop
+          Zpl.Ast.[ RSum; RMax; RMin; RProd ]))
+    (fun (c, op) ->
+      let run ~row =
+        let _, rc = kcase_stores c in
+        let r =
+          { Zpl.Prog.r_lhs = 0; r_op = op;
+            r_region = Zpl.Prog.dregion_of_region c.kregion;
+            r_rhs = c.krhs; r_flops = 0 }
+        in
+        let plan = Runtime.Kernel.plan_reduce ~row rc r in
+        let v, cells = Runtime.Kernel.exec_rplan plan ~region:c.kregion op in
+        (bits v, cells)
+      in
+      run ~row:true = run ~row:false)
+
+(** The row path must actually engage on the paper's stencil shapes —
+    compile-to-row coverage, not just agreement when it happens to fire. *)
+let test_row_plan_engages () =
+  let region = Zpl.Region.make [ (1, 8); (1, 8) ] in
+  let c seed lhs rhs = { krank = 2; kregion = region; klhs = lhs; krhs = rhs; kseed = seed } in
+  let stencil =
+    (* 0.25 * (S0@[0,1] + S0@[0,-1] + S0@[1,0] + S0@[-1,0]) *)
+    Zpl.Prog.(
+      ABin
+        ( Zpl.Ast.Mul, AConst 0.25,
+          ABin
+            ( Zpl.Ast.Add,
+              ABin (Zpl.Ast.Add, ARef (0, [| 0; 1 |]), ARef (0, [| 0; -1 |])),
+              ABin (Zpl.Ast.Add, ARef (0, [| 1; 0 |]), ARef (0, [| -1; 0 |])) ) ))
+  in
+  List.iter
+    (fun (name, case) ->
+      let stores, rc = kcase_stores case in
+      ignore stores;
+      let a =
+        { Zpl.Prog.region = Zpl.Prog.dregion_of_region case.kregion;
+          lhs = case.klhs; rhs = case.krhs; flops = 0 }
+      in
+      Alcotest.(check bool) name true
+        (Runtime.Kernel.plan_is_row (Runtime.Kernel.plan_assign rc a));
+      Alcotest.(check bool) (name ^ " (forced fallback)") false
+        (Runtime.Kernel.plan_is_row (Runtime.Kernel.plan_assign ~row:false rc a)))
+    [ ("jacobi-style stencil, direct write", c 1 1 stencil);
+      ("jacobi-style stencil, self-update", c 2 0 stencil);
+      ("index expression", c 3 0 Zpl.Prog.(ABin (Zpl.Ast.Add, AIndex 0, AIndex 1)));
+      ("scalar broadcast", c 4 2 (Zpl.Prog.AScalar 0)) ]
+
+(** Row-wise [extract]/[inject] agree with a per-point reference and
+    roundtrip without disturbing cells outside the rectangle. *)
+let prop_extract_inject_rows =
+  QCheck.Test.make ~name:"extract/inject row path == per-point" ~count:300
+    (QCheck.make
+       ~print:(fun (alloc, rect, seed) ->
+         Printf.sprintf "alloc %s, rect %s, seed %d"
+           (Zpl.Region.to_string alloc) (Zpl.Region.to_string rect) seed)
+       QCheck.Gen.(
+         let* rank = int_range 1 3 in
+         let* alloc = gen_kregion rank in
+         let* rect =
+           Array.to_list alloc
+           |> List.map (fun { Zpl.Region.lo; hi } ->
+                  let* l = int_range lo hi in
+                  let* h = int_range l hi in
+                  return (l, h))
+           |> flatten_l
+         in
+         let* seed = int_range 0 9999 in
+         return (alloc, Zpl.Region.make rect, seed)))
+    (fun (alloc, rect, seed) ->
+      let rank = Zpl.Region.rank alloc in
+      let s = mk_store 0 rank alloc seed in
+      (* reference extract, point by point *)
+      let ref_buf = Array.make (Zpl.Region.size rect) 0.0 in
+      let k = ref 0 in
+      Zpl.Region.iter rect (fun p ->
+          ref_buf.(!k) <- Runtime.Store.get s p;
+          incr k);
+      let fast = Runtime.Store.extract s rect in
+      (* reference inject into a copy of a second store *)
+      let s2 = mk_store 0 rank alloc (seed + 17) in
+      let expected = Array.copy s2.Runtime.Store.data in
+      let k = ref 0 in
+      Zpl.Region.iter rect (fun p ->
+          expected.(Runtime.Store.index s2 p) <- fast.(!k);
+          incr k);
+      Runtime.Store.inject s2 rect fast;
+      Array.map bits fast = Array.map bits ref_buf
+      && Array.map bits s2.Runtime.Store.data = Array.map bits expected)
+
+(** End to end: the sequential executor computes bitwise-identical stores
+    with and without the row path, on random mini-ZPL programs. *)
+let prop_seqexec_row_path =
+  QCheck.Test.make ~name:"seqexec row path == per-point path (bitwise)"
+    ~count:25 arb_prog (fun p ->
+      let prog = Zpl.Check.compile_string (prog_to_source p) in
+      let a = Runtime.Seqexec.run ~row_path:true prog in
+      let b = Runtime.Seqexec.run ~row_path:false prog in
+      a.Runtime.Seqexec.cells = b.Runtime.Seqexec.cells
+      && Array.for_all2
+           (fun (x : Runtime.Store.t) (y : Runtime.Store.t) ->
+             Array.map bits x.data = Array.map bits y.data)
+           a.Runtime.Seqexec.stores b.Runtime.Seqexec.stores)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel experiment grid == serial grid                      *)
+(* ------------------------------------------------------------------ *)
+
+let project_grid (rs : Report.Experiment.bench_result list) =
+  List.map
+    (fun (r : Report.Experiment.bench_result) ->
+      ( r.Report.Experiment.bench.Programs.Bench_def.name,
+        List.map
+          (fun (row : Report.Experiment.row) ->
+            (row.label, row.static_count, row.dynamic_count, bits row.time))
+          r.Report.Experiment.rows ))
+    rs
+
+let test_grid_parallel_deterministic () =
+  let serial = project_grid (Report.Experiment.grid ~scale:`Test ~domains:1 ()) in
+  let par = project_grid (Report.Experiment.grid ~scale:`Test ~domains:4 ()) in
+  Alcotest.(check bool) "parallel grid == serial grid" true (serial = par)
+
 let () =
   Alcotest.run "properties"
     [ ( "optimizer",
@@ -242,4 +509,12 @@ let () =
             prop_members_preserved; prop_invariants; prop_never_slower ] );
       ( "halo",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_halo_duality; prop_halo_covers ] ) ]
+          [ prop_halo_duality; prop_halo_covers ] );
+      ( "row engine",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_row_kernel_bitwise; prop_row_reduce_bitwise;
+            prop_extract_inject_rows; prop_seqexec_row_path ]
+        @ [ Alcotest.test_case "stencil compiles to row plan" `Quick
+              test_row_plan_engages;
+            Alcotest.test_case "parallel grid == serial grid" `Quick
+              test_grid_parallel_deterministic ] ) ]
