@@ -141,18 +141,24 @@ let repeat_for ~budget f =
   in
   go 0 0.0
 
-(** Cells/second of the TOMCATV kernel loop on a 1x1-mesh engine — the
-    simulated program is pure kernel execution there (no communication),
-    so the measurement isolates the array-statement execution path. *)
-let tomcatv_cells_per_sec ~row_path ~defines () =
-  let c =
-    compile ~config:Opt.Config.pl_cum ~defines Programs.Tomcatv.source
+(** Cells/second of one benchmark's kernel loops on a 1x1-mesh engine —
+    the simulated program is pure kernel execution there (no
+    communication), so the measurement isolates the array-statement
+    execution path. [path] picks the strategy: interpreted per-point, row
+    kernels without fusion, or fused row kernels (the default engine
+    configuration). *)
+let kernel_trial ~path ~budget (c : Commopt.compiled) =
+  let row_path, fuse =
+    match path with
+    | `Point -> (false, false)
+    | `Row -> (true, false)
+    | `Fused -> (true, true)
   in
   let cells = ref 0 in
   let runs, total =
-    repeat_for ~budget:0.5 (fun () ->
+    repeat_for ~budget (fun () ->
         let engine =
-          Sim.Engine.make ~row_path ~machine:Machine.T3d.machine
+          Sim.Engine.make ~row_path ~fuse ~machine:Machine.T3d.machine
             ~lib:Machine.T3d.shmem ~pr:1 ~pc:1 c.flat
         in
         let result = Sim.Engine.run engine in
@@ -161,26 +167,56 @@ let tomcatv_cells_per_sec ~row_path ~defines () =
             (fun n (pp : Sim.Stats.per_proc) -> n + pp.Sim.Stats.cells)
             0 result.Sim.Engine.stats.Sim.Stats.procs)
   in
-  (float_of_int (!cells * runs) /. total, !cells, runs)
+  (float_of_int (!cells * runs) /. total, !cells)
+
+type path_cps = {
+  pc_cells : int;  (** cells per run *)
+  pc_point : float;  (** cells/sec, per-point path *)
+  pc_row : float;  (** cells/sec, row path, fusion off *)
+  pc_fused : float;  (** cells/sec, fused row path *)
+}
+
+(** Best of three interleaved trials per path. Interference on a shared
+    box only ever subtracts throughput, so the max of several short
+    trials is the estimate closest to the path's real capability — and
+    interleaving the paths decorrelates any slow phase of the machine
+    from one particular path. *)
+let bench_paths ~defines source =
+  let c = compile ~config:Opt.Config.pl_cum ~defines source in
+  let best = [| 0.0; 0.0; 0.0 |] in
+  let cells = ref 0 in
+  for _trial = 1 to 3 do
+    List.iteri
+      (fun i path ->
+        let cps, n = kernel_trial ~path ~budget:0.25 c in
+        cells := n;
+        if cps > best.(i) then best.(i) <- cps)
+      [ `Fused; `Row; `Point ]
+  done;
+  { pc_cells = !cells;
+    pc_point = best.(2);
+    pc_row = best.(1);
+    pc_fused = best.(0) }
 
 type kernel_bench = {
-  kb_cells : int;  (** cells per TOMCATV run *)
-  kb_point_cps : float;  (** cells/sec, per-point path *)
-  kb_row_cps : float;  (** cells/sec, row-compiled path *)
-  kb_speedup : float;
+  kb_tomcatv : path_cps;
+  kb_swm : path_cps;
   kb_grid_serial : float;  (** quick grid wall time, 1 domain *)
   kb_grid_parallel : float;  (** quick grid wall time, domain pool *)
   kb_domains : int;
 }
 
 let run_kernel_bench ~scale () =
-  let defines =
+  let tomcatv_defines, swm_defines =
     match scale with
-    | `Bench -> [ ("n", 128.); ("iters", 10.) ]
-    | `Test -> [ ("n", 64.); ("iters", 3.) ]
+    | `Bench -> ([ ("n", 128.); ("iters", 10.) ], [ ("n", 64.); ("iters", 8.) ])
+    | `Test -> ([ ("n", 64.); ("iters", 3.) ], [ ("n", 32.); ("iters", 2.) ])
   in
-  let row_cps, cells, _ = tomcatv_cells_per_sec ~row_path:true ~defines () in
-  let point_cps, _, _ = tomcatv_cells_per_sec ~row_path:false ~defines () in
+  let tomcatv = bench_paths ~defines:tomcatv_defines Programs.Tomcatv.source in
+  let swm =
+    bench_paths ~defines:swm_defines
+      Programs.Suite.swm.Programs.Bench_def.source
+  in
   let domains = Report.Pool.default_domains () in
   let _, grid_serial =
     wall (fun () -> Report.Experiment.grid ~scale:`Test ~domains:1 ())
@@ -188,53 +224,156 @@ let run_kernel_bench ~scale () =
   let _, grid_parallel =
     wall (fun () -> Report.Experiment.grid ~scale:`Test ~domains ())
   in
-  { kb_cells = cells;
-    kb_point_cps = point_cps;
-    kb_row_cps = row_cps;
-    kb_speedup = row_cps /. point_cps;
+  { kb_tomcatv = tomcatv;
+    kb_swm = swm;
     kb_grid_serial = grid_serial;
     kb_grid_parallel = grid_parallel;
     kb_domains = domains }
 
+(** The JSON payload as key/value pairs; the legacy keys of PR 1's
+    BENCH_kernel.json keep their names, with [row_path_cells_per_sec]
+    tracking the engine's default (now fused) row path so old baselines
+    stay comparable. *)
+let kernel_numbers (kb : kernel_bench) : (string * float) list =
+  let t = kb.kb_tomcatv and s = kb.kb_swm in
+  [ ("cells_per_run", float_of_int t.pc_cells);
+    ("point_path_cells_per_sec", t.pc_point);
+    ("row_path_cells_per_sec", t.pc_fused);
+    ("row_vs_point_speedup", t.pc_fused /. t.pc_point);
+    ("tomcatv_point_cells_per_sec", t.pc_point);
+    ("tomcatv_row_cells_per_sec", t.pc_row);
+    ("tomcatv_fused_cells_per_sec", t.pc_fused);
+    ("swm_cells_per_run", float_of_int s.pc_cells);
+    ("swm_point_cells_per_sec", s.pc_point);
+    ("swm_row_cells_per_sec", s.pc_row);
+    ("swm_fused_cells_per_sec", s.pc_fused);
+    ("grid_quick_serial_sec", kb.kb_grid_serial);
+    ("grid_quick_parallel_sec", kb.kb_grid_parallel);
+    ("grid_domains", float_of_int kb.kb_domains) ]
+
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4f" v
+
 let write_kernel_json path (kb : kernel_bench) =
   let oc = open_out path in
   Printf.fprintf oc
-    "{\n\
-    \  \"benchmark\": \"tomcatv kernel loop (1x1 mesh, T3D shmem)\",\n\
-    \  \"cells_per_run\": %d,\n\
-    \  \"point_path_cells_per_sec\": %.0f,\n\
-    \  \"row_path_cells_per_sec\": %.0f,\n\
-    \  \"row_vs_point_speedup\": %.2f,\n\
-    \  \"grid_quick_serial_sec\": %.4f,\n\
-    \  \"grid_quick_parallel_sec\": %.4f,\n\
-    \  \"grid_domains\": %d\n\
-     }\n"
-    kb.kb_cells kb.kb_point_cps kb.kb_row_cps kb.kb_speedup kb.kb_grid_serial
-    kb.kb_grid_parallel kb.kb_domains;
+    "{\n  \"benchmark\": \"kernel loops on a 1x1 mesh (T3D shmem): per-point \
+     vs row vs fused\"";
+  List.iter
+    (fun (k, v) -> Printf.fprintf oc ",\n  \"%s\": %s" k (fmt_num v))
+    (kernel_numbers kb);
+  Printf.fprintf oc "\n}\n";
   close_out oc
 
-let print_kernel_bench ~scale () =
+(* --------------------------------------------------------------- *)
+(* Baseline comparison: --kernel --baseline FILE                     *)
+(* --------------------------------------------------------------- *)
+
+(** Minimal reader for the flat [{"key": number, ...}] files this
+    program writes: one pair per line, string values skipped. *)
+let baseline_numbers path : (string * float) list =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let line = String.trim line in
+        if String.length line = 0 || line.[0] <> '"' then go acc
+        else
+          match String.index_from_opt line 1 '"' with
+          | None -> go acc
+          | Some j -> (
+              let key = String.sub line 1 (j - 1) in
+              match String.index_from_opt line j ':' with
+              | None -> go acc
+              | Some k ->
+                  let v =
+                    String.trim
+                      (String.sub line (k + 1) (String.length line - k - 1))
+                  in
+                  let v =
+                    if String.length v > 0 && v.[String.length v - 1] = ',' then
+                      String.sub v 0 (String.length v - 1)
+                    else v
+                  in
+                  (match float_of_string_opt v with
+                  | Some f -> go ((key, f) :: acc)
+                  | None -> go acc)))
+  in
+  go []
+
+(** Compare throughput keys against a baseline file; returns the keys
+    that regressed by 5% or more. Wall-clock grid times are excluded:
+    they measure this machine's load, not the execution paths. *)
+let kernel_regressions ~baseline (kb : kernel_bench) =
+  let base = baseline_numbers baseline in
+  List.filter_map
+    (fun (key, now) ->
+      if not (Filename.check_suffix key "cells_per_sec") then None
+      else
+        match List.assoc_opt key base with
+        | Some was when now < was *. 0.95 -> Some (key, was, now)
+        | _ -> None)
+    (kernel_numbers kb)
+
+let print_kernel_bench ?baseline ~scale () =
   let kb = run_kernel_bench ~scale () in
-  section "Kernel benchmark: row-compiled vs per-point execution"
+  let line name (p : path_cps) =
+    Printf.sprintf
+      "%s (%d cells/run):\n\
+      \  per-point path : %12.0f cells/sec\n\
+      \  row path       : %12.0f cells/sec\n\
+      \  fused rows     : %12.0f cells/sec  (%.2fx point, %.2fx row)"
+      name p.pc_cells p.pc_point p.pc_row p.pc_fused
+      (p.pc_fused /. p.pc_point)
+      (p.pc_fused /. p.pc_row)
+  in
+  section "Kernel benchmark: per-point vs row-compiled vs fused rows"
     (Printf.sprintf
-       "TOMCATV kernel loop (%d cells/run):\n\
-       \  per-point path : %12.0f cells/sec\n\
-       \  row path       : %12.0f cells/sec\n\
-       \  speedup        : %.2fx\n\
-        Quick experiment grid (%d domain(s) available):\n\
+       "%s\n%s\nQuick experiment grid (%d domain(s) available):\n\
        \  serial         : %.3f s\n\
        \  domain pool    : %.3f s"
-       kb.kb_cells kb.kb_point_cps kb.kb_row_cps kb.kb_speedup kb.kb_domains
-       kb.kb_grid_serial kb.kb_grid_parallel);
-  write_kernel_json "BENCH_kernel.json" kb;
-  Printf.printf "\nWrote BENCH_kernel.json\n"
+       (line "TOMCATV" kb.kb_tomcatv)
+       (line "SWM" kb.kb_swm) kb.kb_domains kb.kb_grid_serial
+       kb.kb_grid_parallel);
+  (* Quick runs exist for smoke tests and gate checks; only a full-scale
+     run is a measurement worth committing as the baseline artifact. *)
+  if scale = `Bench then begin
+    write_kernel_json "BENCH_kernel.json" kb;
+    Printf.printf "\nWrote BENCH_kernel.json\n"
+  end;
+  match baseline with
+  | None -> ()
+  | Some file -> (
+      match kernel_regressions ~baseline:file kb with
+      | [] ->
+          Printf.printf "No throughput regressions >= 5%% against %s\n" file
+      | rs ->
+          List.iter
+            (fun (key, was, now) ->
+              Printf.printf "REGRESSION %s: %.0f -> %.0f cells/sec (%.1f%%)\n"
+                key was now
+                (100. *. (1. -. (now /. was))))
+            rs;
+          exit 3)
+
+let rec opt_value flag = function
+  | [] -> None
+  | x :: v :: _ when x = flag -> Some v
+  | _ :: rest -> opt_value flag rest
 
 let () =
   let args = Array.to_list Sys.argv in
+  let baseline = opt_value "--baseline" args in
   if List.mem "--bechamel" args then run_bechamel ()
-  else if List.mem "--kernel" args then print_kernel_bench ~scale:`Bench ()
+  else if List.mem "--kernel" args then
+    let scale = if List.mem "--quick" args then `Test else `Bench in
+    print_kernel_bench ?baseline ~scale ()
   else begin
     let scale = if List.mem "--quick" args then `Test else `Bench in
     print_report ~scale ();
-    if scale = `Test then print_kernel_bench ~scale ()
+    if scale = `Test then print_kernel_bench ?baseline ~scale ()
   end

@@ -131,11 +131,11 @@ let handle f =
 let check_cmd =
   let run src defines =
     handle (fun () ->
-        let prog = Zpl.Check.compile_string ~defines (load_source src) in
+        let c = compile ~defines (load_source src) in
         Printf.printf "%s: OK — %d arrays, %d scalars, %d statements\n" src
-          (Array.length prog.Zpl.Prog.arrays)
-          (Array.length prog.Zpl.Prog.scalars)
-          (Zpl.Prog.count_stmts prog.Zpl.Prog.body))
+          (Array.length c.prog.Zpl.Prog.arrays)
+          (Array.length c.prog.Zpl.Prog.scalars)
+          (Zpl.Prog.count_stmts c.prog.Zpl.Prog.body))
   in
   Cmd.v (Cmd.info "check" ~doc:"parse and typecheck a program")
     Term.(const run $ src_arg $ defines_arg)
@@ -149,15 +149,11 @@ let dump_cmd =
   in
   let run src defines config stage =
     handle (fun () ->
-        let prog = Zpl.Check.compile_string ~defines (load_source src) in
+        let c = compile ~config ~defines (load_source src) in
         match stage with
-        | `Ast -> print_endline (Zpl.Pretty.program_to_string prog)
-        | `Ir ->
-            let ir = Opt.Passes.compile config prog in
-            print_endline (Ir.Printer.program_to_string ir)
-        | `Flat ->
-            let ir = Opt.Passes.compile config prog in
-            print_endline (Ir.Printer.flat_to_string (Ir.Flat.flatten ir)))
+        | `Ast -> print_endline (Zpl.Pretty.program_to_string c.prog)
+        | `Ir -> print_endline (Ir.Printer.program_to_string c.ir)
+        | `Flat -> print_endline (Ir.Printer.flat_to_string c.flat))
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"dump a compilation stage (IRONMAN calls visible)")
@@ -166,14 +162,14 @@ let dump_cmd =
 let counts_cmd =
   let run src defines =
     handle (fun () ->
-        let prog = Zpl.Check.compile_string ~defines (load_source src) in
+        let c0 = compile ~config:Opt.Config.baseline ~defines (load_source src) in
         let rows =
           List.map
             (fun config ->
-              let ir = Opt.Passes.compile config prog in
+              let c = recompile ~config c0 in
               [ Opt.Config.name config;
-                string_of_int (Ir.Count.static_count ir);
-                string_of_int (Ir.Count.static_member_count ir) ])
+                string_of_int (static_count c);
+                string_of_int (Ir.Count.static_member_count c.ir) ])
             Opt.Config.
               [ baseline; rr_only; cc_cum; pl_cum; pl_max_latency ]
         in
@@ -190,13 +186,24 @@ let run_cmd =
   let verify_arg =
     Arg.(value & flag & info [ "verify" ] ~doc:"check against the sequential oracle")
   in
-  let run src defines config (machine, lib) (pr, pc) verify_flag =
+  let no_fuse_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fuse" ] ~doc:"disable row-kernel fusion in the simulator")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"drain independent simulated processors over N OCaml domains")
+  in
+  let run src defines config (machine, lib) (pr, pc) verify_flag no_fuse
+      domains =
     handle (fun () ->
         let c = compile ~config ~defines (load_source src) in
-        let res =
-          if verify_flag then verify ~machine ~lib ~mesh:(pr, pc) c
-          else simulate ~machine ~lib ~mesh:(pr, pc) c
-        in
+        let fuse = not no_fuse in
+        let res = simulate ~machine ~lib ~mesh:(pr, pc) ~fuse ?domains c in
         let st = res.Sim.Engine.stats in
         Printf.printf "program        : %s\n" src;
         Printf.printf "optimization   : %s\n" (Opt.Config.name config);
@@ -209,13 +216,18 @@ let run_cmd =
         Printf.printf "messages       : %d (%d bytes)\n"
           (Sim.Stats.total_messages st) (Sim.Stats.total_bytes st);
         Printf.printf "simulated time : %.6f s\n" res.Sim.Engine.time;
-        if verify_flag then Printf.printf "oracle check   : PASS\n")
+        if verify_flag then
+          match first_divergence c res (run_oracle c) with
+          | None -> Printf.printf "oracle check   : PASS\n"
+          | Some d ->
+              Fmt.failwith "oracle check FAILED at the first divergent cell: %a"
+                pp_divergence d)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"simulate a program on a machine model")
     Term.(
       const run $ src_arg $ defines_arg $ config_arg $ lib_arg $ mesh_arg
-      $ verify_arg)
+      $ verify_arg $ no_fuse_arg $ domains_arg)
 
 let bench_cmd =
   let name_arg =

@@ -22,8 +22,8 @@ let scaled_lib f : Machine.Library.t =
 
 let () =
   let b = Programs.Suite.swm in
-  let prog =
-    Zpl.Check.compile_string
+  let c0 =
+    compile ~config:Opt.Config.baseline
       ~defines:[ ("n", 64.); ("iters", 8.) ]
       b.Programs.Bench_def.source
   in
@@ -36,12 +36,7 @@ let () =
     (fun f ->
       let lib = scaled_lib f in
       let time config =
-        let ir = Opt.Passes.compile config prog in
-        let res =
-          Sim.Engine.run
-            (Sim.Engine.make ~machine:Machine.T3d.machine ~lib ~pr:4 ~pc:4
-               (Ir.Flat.flatten ir))
-        in
+        let res = simulate ~lib ~mesh:(4, 4) (recompile ~config c0) in
         res.Sim.Engine.time *. 1e3
       in
       let tb = time Opt.Config.baseline in

@@ -34,15 +34,15 @@ let show_placements title (code : Ir.Block.code) =
 
 let () =
   let b = Programs.Suite.simple in
-  let prog =
-    Zpl.Check.compile_string
+  let c0 =
+    compile
       ~defines:[ ("n", 48.); ("iters", 4.) ]
       b.Programs.Bench_def.source
   in
   let with_heuristic h =
     Opt.Passes.optimize
       { Opt.Config.pl_cum with Opt.Config.heuristic = h }
-      (Opt.Lower.lower prog)
+      (Opt.Lower.lower c0.prog)
   in
   show_placements "Max-combining (merge whenever legal):"
     (with_heuristic Opt.Config.Max_combine);
@@ -52,15 +52,10 @@ let () =
   (* time both on the simulated T3D with SHMEM, as the paper's Figure 12 *)
   List.iter
     (fun (name, config) ->
-      let ir = Opt.Passes.compile config prog in
-      let flat = Ir.Flat.flatten ir in
-      let res =
-        Sim.Engine.run
-          (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.shmem
-             ~pr:4 ~pc:4 flat)
-      in
+      let c = recompile ~config c0 in
+      let res = simulate ~lib:Machine.T3d.shmem ~mesh:(4, 4) c in
       Printf.printf "%-28s static=%3d dynamic=%5d time=%.2f ms\n" name
-        (Ir.Count.static_count ir)
+        (static_count c)
         (Sim.Stats.dynamic_count res.Sim.Engine.stats)
         (res.Sim.Engine.time *. 1e3))
     [ ("pl with shmem (max-combine)", Opt.Config.pl_cum);

@@ -16,9 +16,8 @@ let () =
   Printf.printf "TOMCATV (%s), reduced to n=48, 4x4 processors\n\n"
     b.Programs.Bench_def.description;
   let prog =
-    Zpl.Check.compile_string
-      ~defines:[ ("n", 48.); ("iters", 10.) ]
-      b.Programs.Bench_def.source
+    (compile ~defines:[ ("n", 48.); ("iters", 10.) ] b.Programs.Bench_def.source)
+      .prog
   in
   let rows =
     List.map

@@ -46,15 +46,59 @@ let recompile ~(config : Opt.Config.t) (c : compiled) : compiled =
 let static_count (c : compiled) = Ir.Count.static_count c.ir
 
 (** Simulate on [mesh] (default 4x4) of the given machine/library (default
-    T3D + PVM). *)
+    T3D + PVM). [fuse] toggles row-kernel fusion inside the simulated
+    processors; [domains] drains independent local work over that many
+    OCaml domains (both default to the engine's defaults). *)
 let simulate ?(machine = Machine.T3d.machine) ?(lib = Machine.T3d.pvm)
-    ?(mesh = (4, 4)) ?limit (c : compiled) : Sim.Engine.result =
+    ?(mesh = (4, 4)) ?limit ?fuse ?domains (c : compiled) : Sim.Engine.result
+    =
   let pr, pc = mesh in
-  Sim.Engine.run (Sim.Engine.make ?limit ~machine ~lib ~pr ~pc c.flat)
+  Sim.Engine.run
+    (Sim.Engine.make ?limit ?fuse ?domains ~machine ~lib ~pr ~pc c.flat)
 
 (** Run the sequential oracle on the same program. *)
 let run_oracle ?limit (c : compiled) : Runtime.Seqexec.t =
   Runtime.Seqexec.run ?limit c.prog
+
+(** One cell where the simulation disagrees with the oracle. *)
+type divergence = {
+  d_array : string;
+  d_point : int array;
+  d_got : float;  (** the simulated (gathered) value *)
+  d_want : float;  (** the oracle's value *)
+}
+
+exception Found of divergence
+
+(** First cell (array-declaration order, then row-major point order)
+    whose relative difference from the oracle exceeds [tolerance]. *)
+let first_divergence ?(tolerance = 1e-9) (c : compiled)
+    (res : Sim.Engine.result) (oracle : Runtime.Seqexec.t) :
+    divergence option =
+  try
+    Array.iteri
+      (fun aid (info : Zpl.Prog.array_info) ->
+        let par = Sim.Engine.gather res.Sim.Engine.engine aid in
+        let sq = oracle.Runtime.Seqexec.stores.(aid) in
+        Zpl.Region.iter info.a_region (fun pt ->
+            let want = Runtime.Store.get sq pt
+            and got = Runtime.Store.get par pt in
+            let d = Float.abs (want -. got) /. (1.0 +. Float.abs want) in
+            if d > tolerance then
+              raise
+                (Found
+                   { d_array = info.a_name;
+                     d_point = Array.copy pt;
+                     d_got = got;
+                     d_want = want })))
+      c.prog.Zpl.Prog.arrays;
+    None
+  with Found d -> Some d
+
+let pp_divergence ppf (d : divergence) =
+  Fmt.pf ppf "%s[%a] = %.17g, oracle says %.17g" d.d_array
+    Fmt.(array ~sep:(any ", ") int)
+    d.d_point d.d_got d.d_want
 
 (** Compare a simulation against the oracle: the worst relative difference
     over every cell of every array. Exact 0.0 unless reduction rounding
@@ -73,13 +117,14 @@ let oracle_distance (c : compiled) (res : Sim.Engine.result)
     c.prog.Zpl.Prog.arrays;
   !worst
 
-(** [verify c] simulates and checks the result against the oracle;
-    returns the simulation result or fails with the worst deviation. *)
-let verify ?machine ?lib ?mesh ?(tolerance = 1e-9) (c : compiled) :
-    Sim.Engine.result =
-  let res = simulate ?machine ?lib ?mesh c in
+(** [verify c] simulates and checks the result against the oracle; returns
+    the simulation result or fails naming the first divergent cell. *)
+let verify ?machine ?lib ?mesh ?fuse ?domains ?(tolerance = 1e-9)
+    (c : compiled) : Sim.Engine.result =
+  let res = simulate ?machine ?lib ?mesh ?fuse ?domains c in
   let oracle = run_oracle c in
-  let d = oracle_distance c res oracle in
-  if d > tolerance then
-    Fmt.failwith "simulation deviates from the sequential oracle by %g" d;
-  res
+  match first_divergence ~tolerance c res oracle with
+  | None -> res
+  | Some d ->
+      Fmt.failwith "simulation diverges from the sequential oracle: %a"
+        pp_divergence d

@@ -22,11 +22,12 @@ let paper_rows : (string * Opt.Config.t * Machine.Library.t) list =
     ("pl with shmem", Opt.Config.pl_cum, Machine.T3d.shmem);
     ("pl with max latency", Opt.Config.pl_max_latency, Machine.T3d.shmem) ]
 
-let run_one ?label ~(machine : Machine.Params.t) ~(lib : Machine.Library.t)
-    ~(config : Opt.Config.t) ~pr ~pc (prog : Zpl.Prog.t) : row =
+let run_one ?label ?fuse ~(machine : Machine.Params.t)
+    ~(lib : Machine.Library.t) ~(config : Opt.Config.t) ~pr ~pc
+    (prog : Zpl.Prog.t) : row =
   let ir = Opt.Passes.compile config prog in
   let flat = Ir.Flat.flatten ir in
-  let engine = Sim.Engine.make ~machine ~lib ~pr ~pc flat in
+  let engine = Sim.Engine.make ?fuse ~machine ~lib ~pr ~pc flat in
   let result = Sim.Engine.run engine in
   { label = (match label with Some l -> l | None -> Opt.Config.name config);
     config;
@@ -48,7 +49,7 @@ let mesh_of scale (b : Programs.Bench_def.t) =
     the serial run. *)
 let run_grid ~(machine : Machine.Params.t)
     ~(rows : (string * Opt.Config.t * Machine.Library.t) list) ?domains
-    ~scale (benches : Programs.Bench_def.t list) : bench_result list =
+    ?fuse ~scale (benches : Programs.Bench_def.t list) : bench_result list =
   let compiled =
     List.map
       (fun b -> (b, Programs.Suite.compile ~scale b, mesh_of scale b))
@@ -65,7 +66,7 @@ let run_grid ~(machine : Machine.Params.t)
   let results =
     Pool.parmap ?domains
       (fun (prog, pr, pc, label, config, lib) ->
-        run_one ~label ~machine ~lib ~config ~pr ~pc prog)
+        run_one ~label ?fuse ~machine ~lib ~config ~pr ~pc prog)
       tasks
   in
   (* regroup: |rows| consecutive results per benchmark, input order *)
@@ -89,15 +90,15 @@ let run_grid ~(machine : Machine.Params.t)
   chunk compiled results
 
 (** Run the paper's six rows for one benchmark on the T3D. *)
-let run_bench ?(scale = `Bench) ?domains (b : Programs.Bench_def.t) :
+let run_bench ?(scale = `Bench) ?domains ?fuse (b : Programs.Bench_def.t) :
     bench_result =
   List.hd
-    (run_grid ~machine:Machine.T3d.machine ~rows:paper_rows ?domains ~scale
-       [ b ])
+    (run_grid ~machine:Machine.T3d.machine ~rows:paper_rows ?domains ?fuse
+       ~scale [ b ])
 
 (** The full grid behind Figures 8-12 and Tables 1-4. *)
-let grid ?(scale = `Bench) ?domains () : bench_result list =
-  run_grid ~machine:Machine.T3d.machine ~rows:paper_rows ?domains ~scale
+let grid ?(scale = `Bench) ?domains ?fuse () : bench_result list =
+  run_grid ~machine:Machine.T3d.machine ~rows:paper_rows ?domains ?fuse ~scale
     Programs.Suite.paper_benchmarks
 
 let find_row (r : bench_result) label =

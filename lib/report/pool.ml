@@ -1,49 +1,5 @@
-(** A small domain pool for embarrassingly parallel task lists — the
-    experiment grid runs each (benchmark x row x library) simulation in
-    its own independent engine, so tasks share nothing but immutable
-    compiled programs.
+(** Re-export of {!Sim.Pool}, kept so existing [Report.Pool] callers and
+    docs stay valid; the pool itself moved next to the engine it now
+    also serves (the phased parallel drain in {!Sim.Engine}). *)
 
-    Determinism: tasks are pure functions of their inputs (the simulator
-    is deterministic and takes no input from the scheduler), each result
-    lands in its input slot, and the output order is the input order — so
-    the parallel result is bit-identical to the serial one regardless of
-    domain count or interleaving (see DESIGN.md). *)
-
-(** Number of worker domains used when none is requested: the runtime's
-    recommendation, which respects the machine's core count. *)
-let default_domains () = max 1 (Domain.recommended_domain_count ())
-
-(** [parmap ~domains f xs] maps [f] over [xs] on a pool of [domains]
-    domains (the calling domain included), preserving order. Work is
-    claimed dynamically from a shared counter, so uneven task costs load
-    balance. [domains <= 1] (or a singleton/empty list) degrades to plain
-    [List.map]. The first raised exception (in input order) is re-raised
-    after all domains join. *)
-let parmap ?domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
-  let tasks = Array.of_list xs in
-  let n = Array.length tasks in
-  let d = min n (match domains with Some d -> max 1 d | None -> default_domains ()) in
-  if d <= 1 then List.map f xs
-  else begin
-    let results : ('b, exn) result option array = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <-
-            Some (try Ok (f tasks.(i)) with e -> Error e);
-          go ()
-        end
-      in
-      go ()
-    in
-    let workers = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join workers;
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error e) -> raise e
-         | None -> assert false)
-  end
+include Sim.Pool

@@ -1,7 +1,18 @@
 (** Compilation of per-cell array expressions to closures, and execution of
     whole-array statements and reductions over a region. Shared between the
     parallel simulator (reading local blocks with fringes) and the
-    sequential oracle (reading global storage). *)
+    sequential oracle (reading global storage).
+
+    Two execution paths coexist. The per-point path interprets the
+    expression tree cell by cell and doubles as the differential-testing
+    oracle. The row path compiles the expression once into loops over
+    contiguous Bigarray rows; every row kernel performs the exact same
+    floating-point operation sequence per cell as the per-point path, so
+    the two are bit-identical (see test/test_props.ml). *)
+
+module A1 = Bigarray.Array1
+
+type buf = Store.buf
 
 type ctx = {
   read : int -> int array -> float;  (** array id, global coordinates *)
@@ -120,10 +131,13 @@ let exec_reduce (ctx : ctx) ~(region : Zpl.Region.t) (r : Zpl.Prog.reduce_s) :
 (* [rowsrc] that produces one whole row at a time: each full-rank      *)
 (* stencil operand becomes a (store, flat shift) pair whose per-row    *)
 (* base index is computed once, and the per-cell work is a tight       *)
-(* [for] loop over [base + k] — no per-point [int array] allocation,   *)
-(* no closure dispatch per cell. Expressions the row compiler cannot   *)
-(* handle fall back to the per-point path above, which doubles as the  *)
-(* differential-testing oracle (see test/test_props.ml).               *)
+(* [for] loop over [base + k] on the store's flat float64 Bigarray —   *)
+(* no per-point [int array] allocation, no closure dispatch per cell,  *)
+(* no boxing. Binary nodes over plain refs compile to single-pass      *)
+(* loops, and +/- chains of refs (the 4-point stencil averages of      *)
+(* TOMCATV, with an optional scalar factor) collapse to one loop with  *)
+(* n reads and one write per cell. Expressions the row compiler        *)
+(* cannot handle fall back to the per-point path above.                *)
 (* ------------------------------------------------------------------ *)
 
 type rowctx = {
@@ -142,9 +156,9 @@ type rowsrc =
   | RConst of float  (** the same value in every cell *)
   | RRow of (int array -> float)  (** row-invariant: one eval per row *)
   | RRef of Store.t * int
-      (** full-rank shifted ref: [data.(index p0 + shift + k)] *)
+      (** full-rank shifted ref: flat cell [index p0 + shift + k] *)
   | RIndexLast  (** the innermost coordinate itself: [p0.(last) + k] *)
-  | RFill of (int array -> int -> float array -> int -> unit)
+  | RFill of (int array -> int -> buf -> int -> unit)
       (** general: fill [dst.(d0 .. d0+len-1)] with the row's values *)
 
 exception Row_fallback
@@ -154,128 +168,179 @@ exception Row_fallback
     (the dynamic counterpart of {!check_refs} for the row path). *)
 let ref_base (s : Store.t) (dshift : int) (p0 : int array) (len : int) : int =
   let base = Store.index s p0 + dshift in
-  if base < 0 || base + len > Array.length s.Store.data then
+  if base < 0 || base + len > Store.length s then
     Fmt.invalid_arg "row kernel: shifted read of %s runs outside %s"
-      s.Store.info.a_name
-      (Zpl.Region.to_string s.Store.alloc);
+      (Store.info s).a_name
+      (Zpl.Region.to_string (Store.alloc s));
   base
 
-let ensure (buf : float array ref) n =
-  if Array.length !buf < n then buf := Array.make n 0.0;
-  !buf
+let empty_buf : buf = A1.create Bigarray.float64 Bigarray.c_layout 0
+
+let ensure (scratch : buf ref) n : buf =
+  if A1.dim !scratch < n then
+    scratch := A1.create Bigarray.float64 Bigarray.c_layout n;
+  !scratch
+
+(* Hand-rolled row copy/fill: [A1.sub] allocates a custom block per call
+   and [A1.fill]/[A1.blit] dispatch into C — at our row lengths that
+   costs more than the copy itself, so the hot paths never use them. *)
+
+let buf_fill (dst : buf) d0 len v =
+  for k = d0 to d0 + len - 1 do
+    A1.unsafe_set dst k v
+  done
+
+let buf_blit (src : buf) s0 (dst : buf) d0 len =
+  for k = 0 to len - 1 do
+    A1.unsafe_set dst (d0 + k) (A1.unsafe_get src (s0 + k))
+  done
 
 (** Materialize a row source into [dst.(d0 .. d0+len-1)]. *)
-let fill (src : rowsrc) (p0 : int array) (len : int) (dst : float array)
-    (d0 : int) : unit =
+let fill (src : rowsrc) (p0 : int array) (len : int) (dst : buf) (d0 : int) :
+    unit =
   match src with
-  | RConst v -> Array.fill dst d0 len v
-  | RRow f -> Array.fill dst d0 len (f p0)
+  | RConst v -> buf_fill dst d0 len v
+  | RRow f -> buf_fill dst d0 len (f p0)
   | RRef (s, dshift) ->
       let base = ref_base s dshift p0 len in
-      Array.blit s.Store.data base dst d0 len
+      buf_blit (Store.read_only s) base dst d0 len
   | RIndexLast ->
       let x0 = p0.(Array.length p0 - 1) in
       for k = 0 to len - 1 do
-        Array.unsafe_set dst (d0 + k) (float_of_int (x0 + k))
+        A1.unsafe_set dst (d0 + k) (float_of_int (x0 + k))
       done
   | RFill g -> g p0 len dst d0
 
 (** A row reduced to either a per-row constant or a contiguous slice. *)
-type slice = SConst of float | SVec of float array * int
+type slice = SConst of float | SVec of buf * int
 
-let slice_of (src : rowsrc) (scratch : float array ref) p0 len : slice =
+let slice_of (src : rowsrc) (scratch : buf ref) p0 len : slice =
   match src with
   | RConst v -> SConst v
   | RRow f -> SConst (f p0)
-  | RRef (s, dshift) -> SVec (s.Store.data, ref_base s dshift p0 len)
+  | RRef (s, dshift) -> SVec (Store.read_only s, ref_base s dshift p0 len)
   | RIndexLast | RFill _ ->
-      let buf = ensure scratch len in
-      fill src p0 len buf 0;
-      SVec (buf, 0)
+      let b = ensure scratch len in
+      fill src p0 len b 0;
+      SVec (b, 0)
 
 (* Monomorphic combine loops: one [match] per row, zero dispatch per cell.
    Index ranges are validated by the callers ([ref_base] for slices, the
    region-subset check in {!run_region_rows} for destinations). *)
 
 (** [dst.(k) <- dst.(k) op v] over the row. *)
-let map_vs (op : Zpl.Ast.binop) dst d0 len v =
+let map_vs (op : Zpl.Ast.binop) (dst : buf) d0 len v =
   match op with
   | Zpl.Ast.Add ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (Array.unsafe_get dst k +. v)
+        A1.unsafe_set dst k (A1.unsafe_get dst k +. v)
       done
   | Zpl.Ast.Sub ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (Array.unsafe_get dst k -. v)
+        A1.unsafe_set dst k (A1.unsafe_get dst k -. v)
       done
   | Zpl.Ast.Mul ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (Array.unsafe_get dst k *. v)
+        A1.unsafe_set dst k (A1.unsafe_get dst k *. v)
       done
   | Zpl.Ast.Div ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (Array.unsafe_get dst k /. v)
+        A1.unsafe_set dst k (A1.unsafe_get dst k /. v)
       done
   | Zpl.Ast.Pow ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (Float.pow (Array.unsafe_get dst k) v)
+        A1.unsafe_set dst k (Float.pow (A1.unsafe_get dst k) v)
       done
   | _ -> raise Row_fallback
 
 (** [dst.(k) <- v op dst.(k)] over the row. *)
-let map_sv (op : Zpl.Ast.binop) v dst d0 len =
+let map_sv (op : Zpl.Ast.binop) v (dst : buf) d0 len =
   match op with
   | Zpl.Ast.Add ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (v +. Array.unsafe_get dst k)
+        A1.unsafe_set dst k (v +. A1.unsafe_get dst k)
       done
   | Zpl.Ast.Sub ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (v -. Array.unsafe_get dst k)
+        A1.unsafe_set dst k (v -. A1.unsafe_get dst k)
       done
   | Zpl.Ast.Mul ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (v *. Array.unsafe_get dst k)
+        A1.unsafe_set dst k (v *. A1.unsafe_get dst k)
       done
   | Zpl.Ast.Div ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (v /. Array.unsafe_get dst k)
+        A1.unsafe_set dst k (v /. A1.unsafe_get dst k)
       done
   | Zpl.Ast.Pow ->
       for k = d0 to d0 + len - 1 do
-        Array.unsafe_set dst k (Float.pow v (Array.unsafe_get dst k))
+        A1.unsafe_set dst k (Float.pow v (A1.unsafe_get dst k))
       done
   | _ -> raise Row_fallback
 
 (** [dst.(k) <- dst.(k) op src.(s0 + k - d0)] over the row. *)
-let map_vv (op : Zpl.Ast.binop) dst d0 (src : float array) s0 len =
+let map_vv (op : Zpl.Ast.binop) (dst : buf) d0 (src : buf) s0 len =
   match op with
   | Zpl.Ast.Add ->
       for k = 0 to len - 1 do
-        Array.unsafe_set dst (d0 + k)
-          (Array.unsafe_get dst (d0 + k) +. Array.unsafe_get src (s0 + k))
+        A1.unsafe_set dst (d0 + k)
+          (A1.unsafe_get dst (d0 + k) +. A1.unsafe_get src (s0 + k))
       done
   | Zpl.Ast.Sub ->
       for k = 0 to len - 1 do
-        Array.unsafe_set dst (d0 + k)
-          (Array.unsafe_get dst (d0 + k) -. Array.unsafe_get src (s0 + k))
+        A1.unsafe_set dst (d0 + k)
+          (A1.unsafe_get dst (d0 + k) -. A1.unsafe_get src (s0 + k))
       done
   | Zpl.Ast.Mul ->
       for k = 0 to len - 1 do
-        Array.unsafe_set dst (d0 + k)
-          (Array.unsafe_get dst (d0 + k) *. Array.unsafe_get src (s0 + k))
+        A1.unsafe_set dst (d0 + k)
+          (A1.unsafe_get dst (d0 + k) *. A1.unsafe_get src (s0 + k))
       done
   | Zpl.Ast.Div ->
       for k = 0 to len - 1 do
-        Array.unsafe_set dst (d0 + k)
-          (Array.unsafe_get dst (d0 + k) /. Array.unsafe_get src (s0 + k))
+        A1.unsafe_set dst (d0 + k)
+          (A1.unsafe_get dst (d0 + k) /. A1.unsafe_get src (s0 + k))
       done
   | Zpl.Ast.Pow ->
       for k = 0 to len - 1 do
-        Array.unsafe_set dst (d0 + k)
+        A1.unsafe_set dst (d0 + k)
           (Float.pow
-             (Array.unsafe_get dst (d0 + k))
-             (Array.unsafe_get src (s0 + k)))
+             (A1.unsafe_get dst (d0 + k))
+             (A1.unsafe_get src (s0 + k)))
+      done
+  | _ -> raise Row_fallback
+
+(** [dst.(k) <- src.(s0 + k - d0) op dst.(k)] over the row — the reversed
+    accumulate, used when the {e left} operand is a plain ref and the
+    right one already lives in [dst]. *)
+let map_rv (op : Zpl.Ast.binop) (src : buf) s0 (dst : buf) d0 len =
+  match op with
+  | Zpl.Ast.Add ->
+      for k = 0 to len - 1 do
+        A1.unsafe_set dst (d0 + k)
+          (A1.unsafe_get src (s0 + k) +. A1.unsafe_get dst (d0 + k))
+      done
+  | Zpl.Ast.Sub ->
+      for k = 0 to len - 1 do
+        A1.unsafe_set dst (d0 + k)
+          (A1.unsafe_get src (s0 + k) -. A1.unsafe_get dst (d0 + k))
+      done
+  | Zpl.Ast.Mul ->
+      for k = 0 to len - 1 do
+        A1.unsafe_set dst (d0 + k)
+          (A1.unsafe_get src (s0 + k) *. A1.unsafe_get dst (d0 + k))
+      done
+  | Zpl.Ast.Div ->
+      for k = 0 to len - 1 do
+        A1.unsafe_set dst (d0 + k)
+          (A1.unsafe_get src (s0 + k) /. A1.unsafe_get dst (d0 + k))
+      done
+  | Zpl.Ast.Pow ->
+      for k = 0 to len - 1 do
+        A1.unsafe_set dst (d0 + k)
+          (Float.pow
+             (A1.unsafe_get src (s0 + k))
+             (A1.unsafe_get dst (d0 + k)))
       done
   | _ -> raise Row_fallback
 
@@ -293,10 +358,409 @@ let row_value = function
   | RRow f -> f
   | _ -> assert false
 
+(* --- single-pass binary kernels over plain refs --- *)
+
+(** [dst.(d0+k) <- a.(ia+k) op b.(ib+k)] in one pass, no intermediate
+    row. Same per-cell operation as fill-then-combine, one memory
+    traversal instead of two. *)
+let fill_vv2 (op : Zpl.Ast.binop) (sa : Store.t) (da : int) (sb : Store.t)
+    (db : int) : rowsrc =
+  let a = Store.read_only sa and b = Store.read_only sb in
+  let body : int -> int -> buf -> int -> int -> unit =
+    match op with
+    | Zpl.Ast.Add ->
+        fun ia ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              (A1.unsafe_get a (ia + k) +. A1.unsafe_get b (ib + k))
+          done
+    | Zpl.Ast.Sub ->
+        fun ia ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              (A1.unsafe_get a (ia + k) -. A1.unsafe_get b (ib + k))
+          done
+    | Zpl.Ast.Mul ->
+        fun ia ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              (A1.unsafe_get a (ia + k) *. A1.unsafe_get b (ib + k))
+          done
+    | Zpl.Ast.Div ->
+        fun ia ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              (A1.unsafe_get a (ia + k) /. A1.unsafe_get b (ib + k))
+          done
+    | Zpl.Ast.Pow ->
+        fun ia ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              (Float.pow (A1.unsafe_get a (ia + k)) (A1.unsafe_get b (ib + k)))
+          done
+    | _ -> raise Row_fallback
+  in
+  RFill
+    (fun p0 len dst d0 ->
+      let ia = ref_base sa da p0 len and ib = ref_base sb db p0 len in
+      body ia ib dst d0 len)
+
+(** [dst.(d0+k) <- a.(ia+k) op v] in one pass. *)
+let fill_vs2 (op : Zpl.Ast.binop) (sa : Store.t) (da : int)
+    (fv : int array -> float) : rowsrc =
+  let a = Store.read_only sa in
+  let body : int -> float -> buf -> int -> int -> unit =
+    match op with
+    | Zpl.Ast.Add ->
+        fun ia v dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (A1.unsafe_get a (ia + k) +. v)
+          done
+    | Zpl.Ast.Sub ->
+        fun ia v dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (A1.unsafe_get a (ia + k) -. v)
+          done
+    | Zpl.Ast.Mul ->
+        fun ia v dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (A1.unsafe_get a (ia + k) *. v)
+          done
+    | Zpl.Ast.Div ->
+        fun ia v dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (A1.unsafe_get a (ia + k) /. v)
+          done
+    | Zpl.Ast.Pow ->
+        fun ia v dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (Float.pow (A1.unsafe_get a (ia + k)) v)
+          done
+    | _ -> raise Row_fallback
+  in
+  RFill
+    (fun p0 len dst d0 ->
+      let ia = ref_base sa da p0 len in
+      body ia (fv p0) dst d0 len)
+
+(** [dst.(d0+k) <- v op b.(ib+k)] in one pass. *)
+let fill_sv2 (op : Zpl.Ast.binop) (fv : int array -> float) (sb : Store.t)
+    (db : int) : rowsrc =
+  let b = Store.read_only sb in
+  let body : float -> int -> buf -> int -> int -> unit =
+    match op with
+    | Zpl.Ast.Add ->
+        fun v ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (v +. A1.unsafe_get b (ib + k))
+          done
+    | Zpl.Ast.Sub ->
+        fun v ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (v -. A1.unsafe_get b (ib + k))
+          done
+    | Zpl.Ast.Mul ->
+        fun v ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (v *. A1.unsafe_get b (ib + k))
+          done
+    | Zpl.Ast.Div ->
+        fun v ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (v /. A1.unsafe_get b (ib + k))
+          done
+    | Zpl.Ast.Pow ->
+        fun v ib dst d0 len ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k) (Float.pow v (A1.unsafe_get b (ib + k)))
+          done
+    | _ -> raise Row_fallback
+  in
+  RFill
+    (fun p0 len dst d0 ->
+      let ib = ref_base sb db p0 len in
+      body (fv p0) ib dst d0 len)
+
+(** [dst.(d0+k) <- (a*b) op (c*d)] in one pass — the shape of the
+    metric-coefficient statements ([AA := 0.25*(XY*XY + YY*YY)] and
+    friends), which would otherwise cost two product passes, a scratch
+    row and a combine. *)
+let fill_prodsum2 (op : [ `Add | `Sub ]) (sa, da) (sb, db) (sc, dc) (sd, dd) :
+    rowsrc =
+  let a = Store.read_only sa
+  and b = Store.read_only sb
+  and c = Store.read_only sc
+  and d = Store.read_only sd in
+  RFill
+    (fun p0 len dst d0 ->
+      let ia = ref_base sa da p0 len
+      and ib = ref_base sb db p0 len
+      and ic = ref_base sc dc p0 len
+      and id = ref_base sd dd p0 len in
+      match op with
+      | `Add ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              ((A1.unsafe_get a (ia + k) *. A1.unsafe_get b (ib + k))
+              +. (A1.unsafe_get c (ic + k) *. A1.unsafe_get d (id + k)))
+          done
+      | `Sub ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              ((A1.unsafe_get a (ia + k) *. A1.unsafe_get b (ib + k))
+              -. (A1.unsafe_get c (ic + k) *. A1.unsafe_get d (id + k)))
+          done)
+
+(** [dst.(d0+k) <- a op (c*d)] in one pass — the tridiagonal-solver
+    numerator shape, [RX + AA * DX@north]. *)
+let fill_refprod (op : [ `Add | `Sub ]) (sa, da) (sc, dc) (sd, dd) : rowsrc =
+  let a = Store.read_only sa
+  and c = Store.read_only sc
+  and d = Store.read_only sd in
+  RFill
+    (fun p0 len dst d0 ->
+      let ia = ref_base sa da p0 len
+      and ic = ref_base sc dc p0 len
+      and id = ref_base sd dd p0 len in
+      match op with
+      | `Add ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              (A1.unsafe_get a (ia + k)
+              +. (A1.unsafe_get c (ic + k) *. A1.unsafe_get d (id + k)))
+          done
+      | `Sub ->
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              (A1.unsafe_get a (ia + k)
+              -. (A1.unsafe_get c (ic + k) *. A1.unsafe_get d (id + k)))
+          done)
+
+(* --- single-pass +/- chains of plain refs --- *)
+
+(** How an optional outer scalar wraps a chain: applied last per cell,
+    with the scalar on the recorded side — the same left-associated
+    order the per-point evaluator uses. *)
+type scale_kind =
+  | KNone
+  | KLeft of Zpl.Ast.binop * (int array -> float)  (** [s op chain] *)
+  | KRight of Zpl.Ast.binop * (int array -> float)  (** [chain op s] *)
+
+(** One chain term: a full-rank ref with an optional row-invariant
+    multiplicative coefficient on its left, [c * A@d]. *)
+type cterm = {
+  t_store : Store.t;
+  t_shift : int;
+  t_coeff : (int array -> float) option;
+}
+
+(** A left-associated +/- chain of (optionally scaled) full-rank refs,
+    [((c0*t0 ± c1*t1) ± c2*t2) ± ...], evaluated in one loop: n reads,
+    n multiplies and one write per cell, where the multi-pass build-up
+    would touch memory 2(n-1)+1 times. [sub.(i)] records whether term
+    [i+1] is subtracted.
+
+    Coefficient-less terms run with coefficient 1.0: [1.0 *. x] is
+    bit-identical to [x] for every representable value (exact for all
+    numerics including signed zeros and infinities; quiet NaNs pass
+    through multiplication unchanged), so results still match the
+    per-point evaluator bitwise.
+
+    The loop shape is picked here, at row-compile time — the common
+    arities get fully monomorphic bodies, because a per-cell sign test
+    or term loop costs ~3x on the stencil chains this exists for. The
+    outer scalar factor is applied as a second in-cache pass over the
+    row; per-cell value and order of operations are exactly those of
+    the per-point evaluator. *)
+let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
+    rowsrc =
+  let n = Array.length terms in
+  let datas = Array.map (fun t -> Store.read_only t.t_store) terms in
+  let bases = Array.make n 0 in
+  let cvals = Array.make n 1.0 in
+  let generic (dst : buf) d0 len =
+    for k = 0 to len - 1 do
+      let v =
+        ref
+          (Array.unsafe_get cvals 0
+          *. A1.unsafe_get (Array.unsafe_get datas 0)
+               (Array.unsafe_get bases 0 + k))
+      in
+      for t = 1 to n - 1 do
+        let x =
+          Array.unsafe_get cvals t
+          *. A1.unsafe_get (Array.unsafe_get datas t)
+               (Array.unsafe_get bases t + k)
+        in
+        v := (if Array.unsafe_get sub (t - 1) then !v -. x else !v +. x)
+      done;
+      A1.unsafe_set dst (d0 + k) !v
+    done
+  in
+  let all_add = Array.for_all not sub in
+  let core : buf -> int -> int -> unit =
+    match n with
+    | 2 ->
+        let a = datas.(0) and b = datas.(1) in
+        if sub.(0) then fun dst d0 len ->
+          let ia = bases.(0) and ib = bases.(1) in
+          let ca = cvals.(0) and cb = cvals.(1) in
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              ((ca *. A1.unsafe_get a (ia + k))
+              -. (cb *. A1.unsafe_get b (ib + k)))
+          done
+        else fun dst d0 len ->
+          let ia = bases.(0) and ib = bases.(1) in
+          let ca = cvals.(0) and cb = cvals.(1) in
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              ((ca *. A1.unsafe_get a (ia + k))
+              +. (cb *. A1.unsafe_get b (ib + k)))
+          done
+    | 3 ->
+        let a = datas.(0) and b = datas.(1) and c = datas.(2) in
+        let s1 = sub.(0) and s2 = sub.(1) in
+        fun dst d0 len ->
+          let ia = bases.(0) and ib = bases.(1) and ic = bases.(2) in
+          let ca = cvals.(0) and cb = cvals.(1) and cc = cvals.(2) in
+          if (not s1) && not s2 then
+            for k = 0 to len - 1 do
+              A1.unsafe_set dst (d0 + k)
+                ((ca *. A1.unsafe_get a (ia + k))
+                +. (cb *. A1.unsafe_get b (ib + k))
+                +. (cc *. A1.unsafe_get c (ic + k)))
+            done
+          else if (not s1) && s2 then
+            for k = 0 to len - 1 do
+              A1.unsafe_set dst (d0 + k)
+                ((ca *. A1.unsafe_get a (ia + k))
+                +. (cb *. A1.unsafe_get b (ib + k))
+                -. (cc *. A1.unsafe_get c (ic + k)))
+            done
+          else if s1 && not s2 then
+            for k = 0 to len - 1 do
+              A1.unsafe_set dst (d0 + k)
+                ((ca *. A1.unsafe_get a (ia + k))
+                -. (cb *. A1.unsafe_get b (ib + k))
+                +. (cc *. A1.unsafe_get c (ic + k)))
+            done
+          else
+            for k = 0 to len - 1 do
+              A1.unsafe_set dst (d0 + k)
+                ((ca *. A1.unsafe_get a (ia + k))
+                -. (cb *. A1.unsafe_get b (ib + k))
+                -. (cc *. A1.unsafe_get c (ic + k)))
+            done
+    | 4 when all_add ->
+        let a = datas.(0)
+        and b = datas.(1)
+        and c = datas.(2)
+        and d = datas.(3) in
+        fun dst d0 len ->
+          let ia = bases.(0)
+          and ib = bases.(1)
+          and ic = bases.(2)
+          and id = bases.(3) in
+          let ca = cvals.(0)
+          and cb = cvals.(1)
+          and cc = cvals.(2)
+          and cd = cvals.(3) in
+          for k = 0 to len - 1 do
+            A1.unsafe_set dst (d0 + k)
+              ((ca *. A1.unsafe_get a (ia + k))
+              +. (cb *. A1.unsafe_get b (ib + k))
+              +. (cc *. A1.unsafe_get c (ic + k))
+              +. (cd *. A1.unsafe_get d (id + k)))
+          done
+    | 4 ->
+        (* mixed signs (the corner stencils, [X@se - X@ne - X@sw + X@nw]):
+           straight-line body with three loop-invariant, predictable
+           branches — still far from the generic inner term loop *)
+        let a = datas.(0)
+        and b = datas.(1)
+        and c = datas.(2)
+        and d = datas.(3) in
+        let s1 = sub.(0) and s2 = sub.(1) and s3 = sub.(2) in
+        fun dst d0 len ->
+          let ia = bases.(0)
+          and ib = bases.(1)
+          and ic = bases.(2)
+          and id = bases.(3) in
+          let ca = cvals.(0)
+          and cb = cvals.(1)
+          and cc = cvals.(2)
+          and cd = cvals.(3) in
+          for k = 0 to len - 1 do
+            let t0 = ca *. A1.unsafe_get a (ia + k)
+            and t1 = cb *. A1.unsafe_get b (ib + k)
+            and t2 = cc *. A1.unsafe_get c (ic + k)
+            and t3 = cd *. A1.unsafe_get d (id + k) in
+            let v = if s1 then t0 -. t1 else t0 +. t1 in
+            let v = if s2 then v -. t2 else v +. t2 in
+            let v = if s3 then v -. t3 else v +. t3 in
+            A1.unsafe_set dst (d0 + k) v
+          done
+    | _ -> generic
+  in
+  RFill
+    (fun p0 len dst d0 ->
+      for t = 0 to n - 1 do
+        let { t_store; t_shift; t_coeff } = terms.(t) in
+        bases.(t) <- ref_base t_store t_shift p0 len;
+        cvals.(t) <- (match t_coeff with None -> 1.0 | Some f -> f p0)
+      done;
+      core dst d0 len;
+      match kind with
+      | KNone -> ()
+      | KLeft (op, f) -> map_sv op (f p0) dst d0 len
+      | KRight (op, f) -> map_vs op dst d0 len (f p0))
+
 (** [compile_row rc ~rank e] row-compiles [e] for iteration regions of
     rank [rank]; [None] means the caller must use the per-point path. *)
 let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
     rowsrc option =
+  (* a full-rank ref whose shift collapses to one flat offset *)
+  let as_ref (e : Zpl.Prog.aexpr) : (Store.t * int) option =
+    match e with
+    | Zpl.Prog.ARef (aid, off) ->
+        let n = Array.length off in
+        let s = rc.rstore aid in
+        if
+          Store.rank s = n && n = rank
+          && (n = 0 || Store.stride s (n - 1) = 1)
+        then begin
+          let dshift = ref 0 in
+          Array.iteri (fun d o -> dshift := !dshift + (o * Store.stride s d)) off;
+          Some (s, !dshift)
+        end
+        else None
+    | _ -> None
+  in
+  (* single-pass product shapes: [(a*b) ± (c*d)] and [a ± (b*c)] *)
+  let special (e : Zpl.Prog.aexpr) : rowsrc option =
+    let ref2 e =
+      match e with
+      | Zpl.Prog.ABin (Zpl.Ast.Mul, x, y) -> (
+          match (as_ref x, as_ref y) with
+          | Some rx, Some ry -> Some (rx, ry)
+          | _ -> None)
+      | _ -> None
+    in
+    match e with
+    | Zpl.Prog.ABin (((Zpl.Ast.Add | Zpl.Ast.Sub) as op), a, b) -> (
+        let op = if op = Zpl.Ast.Sub then `Sub else `Add in
+        match ref2 b with
+        | None -> None
+        | Some (rc, rd) -> (
+            match ref2 a with
+            | Some (ra, rb) -> Some (fill_prodsum2 op ra rb rc rd)
+            | None -> (
+                match as_ref a with
+                | Some ra -> Some (fill_refprod op ra rc rd)
+                | None -> None)))
+    | _ -> None
+  in
   let rec go (e : Zpl.Prog.aexpr) : rowsrc =
     match e with
     | Zpl.Prog.AConst c -> RConst c
@@ -306,63 +770,104 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
         else if d >= 0 && d < rank - 1 then
           RRow (fun p0 -> float_of_int p0.(d))
         else raise Row_fallback
-    | Zpl.Prog.ARef (aid, off) ->
-        let n = Array.length off in
-        let s = rc.rstore aid in
-        if Array.length s.Store.strides <> n then raise Row_fallback
-        else if n = rank then begin
-          (* the innermost dimension is stride-1 by construction, so the
-             whole shift collapses to one flat offset *)
-          if n > 0 && s.Store.strides.(n - 1) <> 1 then raise Row_fallback;
-          let dshift = ref 0 in
-          Array.iteri
-            (fun d o -> dshift := !dshift + (o * s.Store.strides.(d)))
-            off;
-          RRef (s, !dshift)
-        end
-        else if n < rank then begin
-          (* rank-deficient ref: constant along the innermost dimension *)
-          let scratch = Array.make n 0 in
-          RRow
-            (fun p0 ->
-              for k = 0 to n - 1 do
-                scratch.(k) <- p0.(k) + off.(k)
-              done;
-              Store.get_unsafe s scratch)
-        end
-        else raise Row_fallback
+    | Zpl.Prog.ARef (aid, off) -> (
+        match as_ref e with
+        | Some (s, dshift) -> RRef (s, dshift)
+        | None ->
+            let n = Array.length off in
+            let s = rc.rstore aid in
+            if Store.rank s <> n then raise Row_fallback
+            else if n < rank then begin
+              (* rank-deficient ref: constant along the innermost dimension *)
+              let scratch = Array.make n 0 in
+              RRow
+                (fun p0 ->
+                  for k = 0 to n - 1 do
+                    scratch.(k) <- p0.(k) + off.(k)
+                  done;
+                  Store.get_unsafe s scratch)
+            end
+            else raise Row_fallback)
     | Zpl.Prog.ABin (op, a, b) -> (
         (match op with
         | Zpl.Ast.Add | Zpl.Ast.Sub | Zpl.Ast.Mul | Zpl.Ast.Div | Zpl.Ast.Pow
           ->
             ()
         | _ -> raise Row_fallback);
-        let ra = go a and rb = go b in
-        match (ra, rb) with
-        | RConst x, RConst y -> RConst (apply_bin op x y)
-        | (RConst _ | RRow _), (RConst _ | RRow _) ->
-            let fa = row_value ra and fb = row_value rb in
-            RRow (fun p0 -> apply_bin op (fa p0) (fb p0))
-        | _, (RConst _ | RRow _) ->
-            let fb = row_value rb in
+        match chain e with
+        | Some src -> src
+        | None ->
+        match special e with
+        | Some src -> src
+        | None ->
+        (* a structural square, [(U@east + U) * (U@east + U)]: evaluate
+           the operand once and square in place — both factors read the
+           same value, so one evaluation is exact *)
+        match
+          if op = Zpl.Ast.Mul && Stdlib.compare a b = 0 then Some (go a)
+          else None
+        with
+        | Some (RConst x) -> RConst (x *. x)
+        | Some (RRow f) ->
+            RRow
+              (fun p0 ->
+                let v = f p0 in
+                v *. v)
+        | Some (RRef (sa, da)) -> fill_vv2 Zpl.Ast.Mul sa da sa da
+        | Some ra ->
             RFill
               (fun p0 len dst d0 ->
                 fill ra p0 len dst d0;
-                map_vs op dst d0 len (fb p0))
-        | (RConst _ | RRow _), _ ->
-            let fa = row_value ra in
-            RFill
-              (fun p0 len dst d0 ->
-                fill rb p0 len dst d0;
-                map_sv op (fa p0) dst d0 len)
-        | _, _ ->
-            let scratch = ref [||] in
-            RFill
-              (fun p0 len dst d0 ->
-                fill ra p0 len dst d0;
-                match slice_of rb scratch p0 len with
-                | SConst v -> map_vs op dst d0 len v
-                | SVec (src, s0) -> map_vv op dst d0 src s0 len))
+                for k = d0 to d0 + len - 1 do
+                  let v = A1.unsafe_get dst k in
+                  A1.unsafe_set dst k (v *. v)
+                done)
+        | None -> (
+            let ra = go a and rb = go b in
+            match (ra, rb) with
+            | RConst x, RConst y -> RConst (apply_bin op x y)
+            | (RConst _ | RRow _), (RConst _ | RRow _) ->
+                let fa = row_value ra and fb = row_value rb in
+                RRow (fun p0 -> apply_bin op (fa p0) (fb p0))
+            | RRef (sa, da), RRef (sb, db) -> fill_vv2 op sa da sb db
+            | RRef (sa, da), (RConst _ | RRow _) ->
+                fill_vs2 op sa da (row_value rb)
+            | (RConst _ | RRow _), RRef (sb, db) ->
+                fill_sv2 op (row_value ra) sb db
+            | RRef (sa, da), _ ->
+                (* evaluate the composite right side into dst, then fold
+                   in the left ref slice reversed — no scratch row *)
+                RFill
+                  (fun p0 len dst d0 ->
+                    fill rb p0 len dst d0;
+                    let ia = ref_base sa da p0 len in
+                    map_rv op (Store.read_only sa) ia dst d0 len)
+            | _, (RConst _ | RRow _) ->
+                let fb = row_value rb in
+                RFill
+                  (fun p0 len dst d0 ->
+                    fill ra p0 len dst d0;
+                    map_vs op dst d0 len (fb p0))
+            | (RConst _ | RRow _), _ ->
+                let fa = row_value ra in
+                RFill
+                  (fun p0 len dst d0 ->
+                    fill rb p0 len dst d0;
+                    map_sv op (fa p0) dst d0 len)
+            | _, RRef (sb, db) ->
+                RFill
+                  (fun p0 len dst d0 ->
+                    fill ra p0 len dst d0;
+                    let ib = ref_base sb db p0 len in
+                    map_vv op dst d0 (Store.read_only sb) ib len)
+            | _, _ ->
+                let scratch = ref empty_buf in
+                RFill
+                  (fun p0 len dst d0 ->
+                    fill ra p0 len dst d0;
+                    match slice_of rb scratch p0 len with
+                    | SConst v -> map_vs op dst d0 len v
+                    | SVec (src, s0) -> map_vv op dst d0 src s0 len)))
     | Zpl.Prog.AUn (Zpl.Ast.Neg, a) -> (
         match go a with
         | RConst v -> RConst (-.v)
@@ -372,11 +877,13 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
               (fun p0 len dst d0 ->
                 fill ra p0 len dst d0;
                 for k = d0 to d0 + len - 1 do
-                  Array.unsafe_set dst k (-.Array.unsafe_get dst k)
+                  A1.unsafe_set dst k (-.A1.unsafe_get dst k)
                 done))
     | Zpl.Prog.AUn (Zpl.Ast.Not, _) -> raise Row_fallback
     | Zpl.Prog.ACall (f, [ a ]) -> (
-        let g = try Values.resolve1 f with Invalid_argument _ -> raise Row_fallback in
+        let g =
+          try Values.resolve1 f with Invalid_argument _ -> raise Row_fallback
+        in
         match go a with
         | RConst v -> RConst (g v)
         | RRow fa -> RRow (fun p0 -> g (fa p0))
@@ -385,19 +892,19 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
               (* keep the hottest intrinsics call-free in the loop *)
               match f with
               | "abs" ->
-                  fun dst d0 len ->
+                  fun (dst : buf) d0 len ->
                     for k = d0 to d0 + len - 1 do
-                      Array.unsafe_set dst k (Float.abs (Array.unsafe_get dst k))
+                      A1.unsafe_set dst k (Float.abs (A1.unsafe_get dst k))
                     done
               | "sqrt" ->
                   fun dst d0 len ->
                     for k = d0 to d0 + len - 1 do
-                      Array.unsafe_set dst k (sqrt (Array.unsafe_get dst k))
+                      A1.unsafe_set dst k (sqrt (A1.unsafe_get dst k))
                     done
               | _ ->
                   fun dst d0 len ->
                     for k = d0 to d0 + len - 1 do
-                      Array.unsafe_set dst k (g (Array.unsafe_get dst k))
+                      A1.unsafe_set dst k (g (A1.unsafe_get dst k))
                     done
             in
             RFill
@@ -405,7 +912,9 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
                 fill ra p0 len dst d0;
                 apply dst d0 len))
     | Zpl.Prog.ACall (f, [ a; b ]) -> (
-        let g = try Values.resolve2 f with Invalid_argument _ -> raise Row_fallback in
+        let g =
+          try Values.resolve2 f with Invalid_argument _ -> raise Row_fallback
+        in
         let ra = go a and rb = go b in
         match (ra, rb) with
         | RConst x, RConst y -> RConst (g x y)
@@ -413,23 +922,81 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
             let fa = row_value ra and fb = row_value rb in
             RRow (fun p0 -> g (fa p0) (fb p0))
         | _ ->
-            let scratch = ref [||] in
+            let scratch = ref empty_buf in
             RFill
               (fun p0 len dst d0 ->
                 fill ra p0 len dst d0;
                 match slice_of rb scratch p0 len with
                 | SConst v ->
                     for k = d0 to d0 + len - 1 do
-                      Array.unsafe_set dst k (g (Array.unsafe_get dst k) v)
+                      A1.unsafe_set dst k (g (A1.unsafe_get dst k) v)
                     done
                 | SVec (src, s0) ->
                     for k = 0 to len - 1 do
-                      Array.unsafe_set dst (d0 + k)
+                      A1.unsafe_set dst (d0 + k)
                         (g
-                           (Array.unsafe_get dst (d0 + k))
-                           (Array.unsafe_get src (s0 + k)))
+                           (A1.unsafe_get dst (d0 + k))
+                           (A1.unsafe_get src (s0 + k)))
                     done))
     | Zpl.Prog.ACall (_, _) -> raise Row_fallback
+  (* single-pass chain at this node, optionally under a scalar factor *)
+  and chain (e : Zpl.Prog.aexpr) : rowsrc option =
+    let try_scalar e =
+      match go e with
+      | RConst v -> Some (fun (_ : int array) -> v)
+      | RRow f -> Some f
+      | _ -> None
+      | exception Row_fallback -> None
+    in
+    (* one chain term: a plain full-rank ref, or [c * A@d] with a
+       row-invariant coefficient on the left. A coefficient on the right
+       is left to the general path: swapping multiplicand order is not
+       bitwise-safe when both operands are NaN. *)
+    let as_term (e : Zpl.Prog.aexpr) : cterm option =
+      match as_ref e with
+      | Some (s, sh) -> Some { t_store = s; t_shift = sh; t_coeff = None }
+      | None -> (
+          match e with
+          | Zpl.Prog.ABin (Zpl.Ast.Mul, c, r) -> (
+              match as_ref r with
+              | Some (s, sh) -> (
+                  match try_scalar c with
+                  | Some f ->
+                      Some { t_store = s; t_shift = sh; t_coeff = Some f }
+                  | None -> None)
+              | None -> None)
+          | _ -> None)
+    in
+    (* [collect e acc]: flatten a left-associated +/- spine whose
+       trailing operands (and base) are all chain terms *)
+    let rec collect (e : Zpl.Prog.aexpr) acc =
+      match e with
+      | Zpl.Prog.ABin (((Zpl.Ast.Add | Zpl.Ast.Sub) as op), a, b) -> (
+          match as_term b with
+          | Some t -> collect a ((op = Zpl.Ast.Sub, t) :: acc)
+          | None -> None)
+      | e -> (
+          match as_term e with
+          | Some base when acc <> [] -> Some (base, acc)
+          | _ -> None)
+    in
+    let build kind (base, rest) =
+      let terms = Array.of_list (base :: List.map snd rest) in
+      let sub = Array.of_list (List.map fst rest) in
+      fill_chain terms sub kind
+    in
+    match e with
+    | Zpl.Prog.ABin (op, a, b) -> (
+        match collect e [] with
+        | Some c -> Some (build KNone c)
+        | None -> (
+            match (try_scalar a, collect b []) with
+            | Some f, Some c -> Some (build (KLeft (op, f)) c)
+            | _ -> (
+                match (collect a [], try_scalar b) with
+                | Some c, Some f -> Some (build (KRight (op, f)) c)
+                | _ -> None)))
+    | _ -> None
   in
   match go e with src -> Some src | exception Row_fallback -> None
 
@@ -450,37 +1017,40 @@ let write_mode (a : Zpl.Prog.assign_a) : write_mode =
   else if List.mem a.lhs (Zpl.Prog.arrays_read a.rhs) then WRowBuffer
   else WDirect
 
-(** Run a row-compiled source over [region], writing the lhs rows of
-    [lhs]. Returns the number of cells updated. *)
+(** Run a row-compiled source over [region], writing the rows of [lhs].
+    Returns the number of cells updated. *)
 let run_region_rows ~(lhs : Store.t) ~(region : Zpl.Region.t)
     ~(mode : write_mode) (src : rowsrc) : int =
   if Zpl.Region.is_empty region then 0
   else begin
-    if not (Zpl.Region.subset region lhs.Store.alloc) then
+    if not (Zpl.Region.subset region (Store.alloc lhs)) then
       Fmt.invalid_arg "row kernel: write region %s outside allocated %s of %s"
         (Zpl.Region.to_string region)
-        (Zpl.Region.to_string lhs.Store.alloc)
-        lhs.Store.info.a_name;
+        (Zpl.Region.to_string (Store.alloc lhs))
+        (Store.info lhs).a_name;
     (match mode with
     | WDirect ->
-        let data = lhs.Store.data in
+        let data = Store.unsafe_data lhs in
         Zpl.Region.iter_rows region (fun p0 len ->
             fill src p0 len data (Store.index lhs p0))
     | WRowBuffer ->
-        let scratch = ref [||] in
+        let scratch = ref empty_buf in
+        let data = Store.unsafe_data lhs in
         Zpl.Region.iter_rows region (fun p0 len ->
-            let buf = ensure scratch len in
-            fill src p0 len buf 0;
-            Array.blit buf 0 lhs.Store.data (Store.index lhs p0) len)
+            let b = ensure scratch len in
+            fill src p0 len b 0;
+            buf_blit b 0 data (Store.index lhs p0) len)
     | WFullBuffer ->
-        let buf = Array.make (Zpl.Region.size region) 0.0 in
+        let data = Store.unsafe_data lhs in
+        let buf = A1.create Bigarray.float64 Bigarray.c_layout
+            (Zpl.Region.size region) in
         let k = ref 0 in
         Zpl.Region.iter_rows region (fun p0 len ->
             fill src p0 len buf !k;
             k := !k + len);
         k := 0;
         Zpl.Region.iter_rows region (fun p0 len ->
-            Array.blit buf !k lhs.Store.data (Store.index lhs p0) len;
+            buf_blit buf !k data (Store.index lhs p0) len;
             k := !k + len));
     Zpl.Region.size region
   end
@@ -492,7 +1062,7 @@ let fold_rows (op : Zpl.Ast.redop) (src : rowsrc) (region : Zpl.Region.t) :
     float * int =
   if Zpl.Region.is_empty region then (Reduce.identity op, 0)
   else begin
-    let scratch = ref [||] in
+    let scratch = ref empty_buf in
     let acc = ref (Reduce.identity op) in
     Zpl.Region.iter_rows region (fun p0 len ->
         match slice_of src scratch p0 len with
@@ -509,19 +1079,19 @@ let fold_rows (op : Zpl.Ast.redop) (src : rowsrc) (region : Zpl.Region.t) :
             (match op with
             | Zpl.Ast.RSum ->
                 for k = s0 to s0 + len - 1 do
-                  a := !a +. Array.unsafe_get data k
+                  a := !a +. A1.unsafe_get data k
                 done
             | Zpl.Ast.RProd ->
                 for k = s0 to s0 + len - 1 do
-                  a := !a *. Array.unsafe_get data k
+                  a := !a *. A1.unsafe_get data k
                 done
             | Zpl.Ast.RMax ->
                 for k = s0 to s0 + len - 1 do
-                  a := Float.max !a (Array.unsafe_get data k)
+                  a := Float.max !a (A1.unsafe_get data k)
                 done
             | Zpl.Ast.RMin ->
                 for k = s0 to s0 + len - 1 do
-                  a := Float.min !a (Array.unsafe_get data k)
+                  a := Float.min !a (A1.unsafe_get data k)
                 done);
             acc := !a);
     (!acc, Zpl.Region.size region)
@@ -571,6 +1141,116 @@ let exec_rplan (plan : rplan) ~(region : Zpl.Region.t) (op : Zpl.Ast.redop) :
   | RowRed src -> fold_rows op src region
   | PointRed f -> run_reduce ~region op f
 
+(* ------------------------------------------------------------------ *)
+(* Statement fusion                                                    *)
+(*                                                                     *)
+(* Adjacent array statements over the same region can share one bounds *)
+(* computation and one row traversal: the fused loop visits each row   *)
+(* once and evaluates every statement's rhs for it while the row's     *)
+(* indices (and often its operand cache lines) are hot. Fusing         *)
+(* interleaves rows of different statements, so it is only legal when  *)
+(* that interleaving is unobservable — see {!can_join}.                *)
+(* ------------------------------------------------------------------ *)
+
+(** Whether statement [s] may join a fused group already containing
+    [group] (statically, before row compilation). The conditions:
+    - [s] must not need whole-region buffering ([WFullBuffer] evaluates
+      everything before writing anything, which cannot interleave);
+    - same iteration-region expression (syntactic equality) as the
+      group, so one bounds computation serves every statement;
+    - identical declared regions for all lhs arrays, so each processor
+      clips every statement to the same owned rectangle;
+    - distinct left-hand sides;
+    - no cross-statement flow: for fused statements [i <> j], [lhs_i]
+      must not be read by [rhs_j]. Row interleaving would otherwise
+      observe a partially updated array ([i < j]) or miss updates that
+      per-statement order had not applied yet ([i > j]). *)
+let can_join ~(arrays : int -> Zpl.Prog.array_info)
+    (group : Zpl.Prog.assign_a list) (s : Zpl.Prog.assign_a) : bool =
+  (not (needs_buffer s))
+  && (match group with
+     | [] -> true
+     | g0 :: _ ->
+         Zpl.Prog.equal_dregion s.region g0.region
+         && Zpl.Region.equal (arrays s.lhs).a_region (arrays g0.lhs).a_region)
+  && List.for_all
+       (fun (g : Zpl.Prog.assign_a) ->
+         g.lhs <> s.lhs
+         && (not (List.mem g.lhs (Zpl.Prog.arrays_read s.rhs)))
+         && not (List.mem s.lhs (Zpl.Prog.arrays_read g.rhs)))
+       group
+
+type fstmt = { f_lhs : Store.t; f_mode : write_mode; f_src : rowsrc }
+type fplan = fstmt array
+
+(** Row-compile a legal group (per {!can_join}) of at least two
+    statements into a fused plan; [None] if any statement falls back to
+    the per-point path, in which case the caller executes the group
+    statement by statement. *)
+let plan_fused (rc : rowctx) (stmts : Zpl.Prog.assign_a array) : fplan option =
+  let n = Array.length stmts in
+  if n < 2 then None
+  else begin
+    let rank = Array.length stmts.(0).Zpl.Prog.region in
+    let rec build i acc =
+      if i = n then Some (Array.of_list (List.rev acc))
+      else
+        match compile_row rc ~rank stmts.(i).Zpl.Prog.rhs with
+        | None -> None
+        | Some src ->
+            let mode = write_mode stmts.(i) in
+            if mode = WFullBuffer then None
+            else
+              build (i + 1)
+                ({ f_lhs = rc.rstore stmts.(i).Zpl.Prog.lhs;
+                   f_mode = mode;
+                   f_src = src }
+                :: acc)
+    in
+    build 0 []
+  end
+
+(** Execute a fused plan: one traversal of [region], all statements per
+    row, in statement order. Returns the total number of cells updated
+    (region size times the number of statements). *)
+let exec_fused (fp : fplan) ~(region : Zpl.Region.t) : int =
+  if Zpl.Region.is_empty region then 0
+  else begin
+    Array.iter
+      (fun fs ->
+        if not (Zpl.Region.subset region (Store.alloc fs.f_lhs)) then
+          Fmt.invalid_arg
+            "fused kernel: write region %s outside allocated %s of %s"
+            (Zpl.Region.to_string region)
+            (Zpl.Region.to_string (Store.alloc fs.f_lhs))
+            (Store.info fs.f_lhs).a_name)
+      fp;
+    let scratch = ref empty_buf in
+    (* hoist the per-statement write-mode dispatch out of the row loop *)
+    let runs =
+      Array.map
+        (fun fs ->
+          let lhs = fs.f_lhs in
+          let data = Store.unsafe_data lhs in
+          match fs.f_mode with
+          | WDirect ->
+              fun p0 len -> fill fs.f_src p0 len data (Store.index lhs p0)
+          | WRowBuffer ->
+              fun p0 len ->
+                let b = ensure scratch len in
+                fill fs.f_src p0 len b 0;
+                buf_blit b 0 data (Store.index lhs p0) len
+          | WFullBuffer -> assert false)
+        fp
+    in
+    let n = Array.length runs in
+    Zpl.Region.iter_rows region (fun p0 len ->
+        for i = 0 to n - 1 do
+          (Array.unsafe_get runs i) p0 len
+        done);
+    Zpl.Region.size region * Array.length fp
+  end
+
 (** Runtime validation that every shifted read of [e] over [region] stays
     inside the referenced array's allocated storage — the dynamic
     counterpart of the checker's static shift-bounds test, needed for
@@ -598,3 +1278,56 @@ let check_refs ~(region : Zpl.Region.t) ~(alloc_of : int -> Zpl.Region.t)
     in
     go e
   end
+
+(** The distinct (array, shift) reads of an expression, extracted once
+    at plan time so the per-execution bounds check — still needed on
+    every execution for loop-variant regions — walks a short array
+    instead of the whole AST. *)
+type refs = (int * int array) array
+
+let refs_of (e : Zpl.Prog.aexpr) : refs =
+  let acc = ref [] in
+  let rec go = function
+    | Zpl.Prog.AConst _ | Zpl.Prog.AScalar _ | Zpl.Prog.AIndex _ -> ()
+    | Zpl.Prog.ARef (aid, off) ->
+        if not (List.exists (fun (a, o) -> a = aid && o = off) !acc) then
+          acc := (aid, off) :: !acc
+    | Zpl.Prog.ABin (_, a, b) ->
+        go a;
+        go b
+    | Zpl.Prog.AUn (_, a) -> go a
+    | Zpl.Prog.ACall (_, args) -> List.iter go args
+  in
+  go e;
+  Array.of_list !acc
+
+(** Allocation-free fast path of {!check_refs} over pre-extracted reads. *)
+let check_ref_bounds ~(region : Zpl.Region.t)
+    ~(alloc_of : int -> Zpl.Region.t) (rs : refs) =
+  if Array.length rs > 0 && not (Zpl.Region.is_empty region) then
+    let rank = Zpl.Region.rank region in
+    Array.iter
+      (fun (aid, off) ->
+        if Array.length off <> rank then
+          invalid_arg "Region.shift: rank mismatch";
+        let alloc = alloc_of aid in
+        let ok = ref (Zpl.Region.rank alloc = rank) in
+        for d = 0 to rank - 1 do
+          if !ok then begin
+            let rd = Zpl.Region.dim region d
+            and ad = Zpl.Region.dim alloc d in
+            if
+              rd.Zpl.Region.lo + off.(d) < ad.Zpl.Region.lo
+              || rd.Zpl.Region.hi + off.(d) > ad.Zpl.Region.hi
+            then ok := false
+          end
+        done;
+        if not !ok then
+          Fmt.failwith
+            "shifted read of array %d over %s reaches %s, outside allocated \
+             %s"
+            aid
+            (Zpl.Region.to_string region)
+            (Zpl.Region.to_string (Zpl.Region.shift region off))
+            (Zpl.Region.to_string alloc))
+      rs

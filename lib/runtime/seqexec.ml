@@ -6,27 +6,33 @@
     statements carry a lazily-built execution plan (row-compiled fast path
     by default, per-point fallback when [row_path] is off or the row
     compiler declines), so statements inside loops compile once rather
-    than once per iteration. *)
+    than once per iteration. Adjacent array assignments that satisfy
+    {!Kernel.can_join} are additionally grouped into fused nodes sharing
+    one row traversal — the same fusion the simulator applies, testable
+    here against both unfused and per-point execution. *)
 
 type t = {
   prog : Zpl.Prog.t;
   stores : Store.t array;
   env : Values.env;
   row_path : bool;  (** whether array statements may use the row path *)
+  fuse : bool;  (** whether adjacent assignments may fuse (needs row path) *)
   mutable steps : int;  (** simple statements executed *)
   mutable cells : int;  (** array cells updated or reduced *)
 }
 
 exception Step_limit of int
 
-let make ?(row_path = true) (prog : Zpl.Prog.t) : t =
+let make ?(row_path = true) ?(fuse = true) (prog : Zpl.Prog.t) : t =
   let stores =
     Array.map
       (fun (info : Zpl.Prog.array_info) ->
         Store.make info ~owned:info.a_region ~fringe:0)
       prog.arrays
   in
-  { prog; stores; env = Values.make_env prog; row_path; steps = 0; cells = 0 }
+  { prog; stores; env = Values.make_env prog;
+    row_path; fuse = fuse && row_path;
+    steps = 0; cells = 0 }
 
 let rowctx_of (t : t) : Kernel.rowctx =
   { Kernel.rstore = (fun aid -> t.stores.(aid));
@@ -34,8 +40,12 @@ let rowctx_of (t : t) : Kernel.rowctx =
 
 (* --- pre-compiled statement tree --- *)
 
+type cassign = Zpl.Prog.assign_a * Kernel.plan Lazy.t
+
 type cstmt =
-  | CAssignA of Zpl.Prog.assign_a * Kernel.plan Lazy.t
+  | CAssignA of cassign
+  | CFused of cassign array * Kernel.fplan option Lazy.t
+      (** fused group; the per-statement plans back the [None] fallback *)
   | CAssignS of int * Zpl.Prog.sexpr
   | CReduceS of Zpl.Prog.reduce_s * Kernel.rplan Lazy.t
   | CRepeat of cstmt list * Zpl.Prog.sexpr
@@ -48,13 +58,39 @@ type cstmt =
     }
   | CIf of Zpl.Prog.sexpr * cstmt list * cstmt list
 
-let rec compile_stmts t stmts = List.map (compile_stmt t) stmts
+let cassign_of t (a : Zpl.Prog.assign_a) : cassign =
+  (a, lazy (Kernel.plan_assign ~row:t.row_path (rowctx_of t) a))
+
+(** Greedy grouping of adjacent array assignments, mirroring the
+    simulator's op-stream partition: a statement joins the open group
+    while {!Kernel.can_join} holds against every member. *)
+let rec compile_stmts t (stmts : Zpl.Prog.stmt list) : cstmt list =
+  let arrays aid = t.prog.Zpl.Prog.arrays.(aid) in
+  let close group acc =
+    match group with
+    | [] -> acc
+    | [ a ] -> CAssignA (cassign_of t a) :: acc
+    | _ :: _ :: _ ->
+        let g = Array.of_list (List.rev group) in
+        let cas = Array.map (cassign_of t) g in
+        CFused (cas, lazy (Kernel.plan_fused (rowctx_of t) g)) :: acc
+  in
+  let rec go group acc = function
+    | [] -> List.rev (close group acc)
+    | Zpl.Prog.AssignA a :: rest
+      when t.fuse && Kernel.can_join ~arrays (List.rev group) a ->
+        go (a :: group) acc rest
+    | s :: rest ->
+        let acc = close group acc in
+        (match s with
+        | Zpl.Prog.AssignA a -> go [ a ] acc rest
+        | s -> go [] (compile_stmt t s :: acc) rest)
+  in
+  go [] [] stmts
 
 and compile_stmt (t : t) (s : Zpl.Prog.stmt) : cstmt =
   match s with
-  | Zpl.Prog.AssignA a ->
-      CAssignA
-        (a, lazy (Kernel.plan_assign ~row:t.row_path (rowctx_of t) a))
+  | Zpl.Prog.AssignA a -> CAssignA (cassign_of t a)
   | Zpl.Prog.AssignS { lhs; rhs } -> CAssignS (lhs, rhs)
   | Zpl.Prog.ReduceS r ->
       CReduceS
@@ -69,19 +105,34 @@ let bump t limit =
   t.steps <- t.steps + 1;
   if t.steps > limit then raise (Step_limit limit)
 
+let exec_assign t ~limit ((a, plan) : cassign) =
+  bump t limit;
+  let region = Values.eval_dregion t.env a.region in
+  let store = t.stores.(a.lhs) in
+  let region = Zpl.Region.inter region (Store.owned store) in
+  if not (Zpl.Region.is_empty region) then
+    t.cells <- t.cells + Kernel.exec_plan (Lazy.force plan) ~lhs:store ~region
+
 let rec exec_stmts t ~limit (stmts : cstmt list) =
   List.iter (exec_stmt t ~limit) stmts
 
 and exec_stmt t ~limit (s : cstmt) =
   match s with
-  | CAssignA (a, plan) ->
-      bump t limit;
-      let region = Values.eval_dregion t.env a.region in
-      let store = t.stores.(a.lhs) in
-      let region = Zpl.Region.inter region store.Store.owned in
-      if not (Zpl.Region.is_empty region) then
-        t.cells <-
-          t.cells + Kernel.exec_plan (Lazy.force plan) ~lhs:store ~region
+  | CAssignA ca -> exec_assign t ~limit ca
+  | CFused (cas, fplan) -> (
+      match Lazy.force fplan with
+      | None ->
+          (* some member only per-point-compiles: run the group unfused *)
+          Array.iter (exec_assign t ~limit) cas
+      | Some fp ->
+          Array.iter (fun _ -> bump t limit) cas;
+          let a0, _ = cas.(0) in
+          let region = Values.eval_dregion t.env a0.region in
+          let region =
+            Zpl.Region.inter region (Store.owned t.stores.(a0.lhs))
+          in
+          if not (Zpl.Region.is_empty region) then
+            t.cells <- t.cells + Kernel.exec_fused fp ~region)
   | CAssignS (lhs, rhs) ->
       bump t limit;
       t.env.(lhs) <- Values.eval_env t.env rhs
@@ -112,9 +163,10 @@ and exec_stmt t ~limit (s : cstmt) =
 (** Run the whole program. [limit] bounds the number of simple statements
     executed (default 10 million) and raises {!Step_limit} beyond it, so a
     buggy [repeat] cannot hang the test suite. [row_path:false] forces the
-    per-point fallback everywhere — the differential-testing oracle. *)
-let run ?(limit = 10_000_000) ?row_path (prog : Zpl.Prog.t) : t =
-  let t = make ?row_path prog in
+    per-point fallback everywhere — the differential-testing oracle.
+    [fuse:false] keeps the row path but runs every statement alone. *)
+let run ?(limit = 10_000_000) ?row_path ?fuse (prog : Zpl.Prog.t) : t =
+  let t = make ?row_path ?fuse prog in
   exec_stmts t ~limit (compile_stmts t prog.body);
   t
 

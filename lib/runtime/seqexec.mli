@@ -1,14 +1,17 @@
 (** Sequential reference executor: runs a typed program directly on global
     (undistributed) storage — the semantic oracle every optimizer
     configuration and machine model is tested against. Array statements
-    run through the row-compiled fast path by default, with the per-point
-    interpreter as fallback and differential-testing oracle. *)
+    run through the row-compiled fast path by default (with adjacent
+    fusable assignments sharing one row traversal, mirroring the
+    simulator), and the per-point interpreter is the fallback and
+    differential-testing oracle. *)
 
 type t = {
   prog : Zpl.Prog.t;
   stores : Store.t array;  (** one global store per array *)
   env : Values.env;
   row_path : bool;  (** whether array statements may use the row path *)
+  fuse : bool;  (** whether adjacent assignments may fuse (needs row path) *)
   mutable steps : int;  (** simple statements executed *)
   mutable cells : int;  (** array cells updated or reduced *)
 }
@@ -16,12 +19,15 @@ type t = {
 (** Raised when the statement budget is exhausted (runaway [repeat]). *)
 exception Step_limit of int
 
-val make : ?row_path:bool -> Zpl.Prog.t -> t
+val make : ?row_path:bool -> ?fuse:bool -> Zpl.Prog.t -> t
 
 (** Run to completion. [limit] bounds executed simple statements
     (default 10 million). [row_path] defaults to [true]; [false] forces
-    the per-point fallback everywhere. *)
-val run : ?limit:int -> ?row_path:bool -> Zpl.Prog.t -> t
+    the per-point fallback everywhere. [fuse] defaults to [true];
+    [false] keeps the row path but executes every statement alone.
+    Results (stores, scalars, steps, cells) are identical across all
+    three configurations — property-tested in [test_props.ml]. *)
+val run : ?limit:int -> ?row_path:bool -> ?fuse:bool -> Zpl.Prog.t -> t
 
 val scalar_value : t -> string -> Values.value option
 val array_store : t -> string -> Store.t option

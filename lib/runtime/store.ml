@@ -1,15 +1,47 @@
 (** Local storage for one array on one processor: the owned sub-box plus a
     fringe (ghost region) of configurable width around the distributed
     dimensions. The same structure with an empty fringe and the full
-    declared region serves as global storage for the sequential oracle. *)
+    declared region serves as global storage for the sequential oracle.
+
+    Values live in one flat [Bigarray.Array1] of unboxed float64 in C
+    (row-major) layout, so the innermost dimension is stride-1 and a row
+    of any rectangle is one contiguous slice: message packing and the row
+    kernels move data with [Array1.sub]/[Array1.blit] instead of
+    per-point loops. The representation is sealed behind this module —
+    callers go through {!read_only}/{!unsafe_data} and the rectangle
+    copies, never a record field. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type t = {
   info : Zpl.Prog.array_info;
-  owned : Zpl.Region.t;  (** owned part of the declared region; may be empty *)
-  alloc : Zpl.Region.t;  (** owned grown by the fringe in dims 0 and 1 *)
+  owned : Zpl.Region.t;
+  alloc : Zpl.Region.t;
   strides : int array;
-  data : float array;
+  data : buf;
 }
+
+let info (s : t) = s.info
+let owned (s : t) = s.owned
+let alloc (s : t) = s.alloc
+let rank (s : t) = Array.length s.strides
+let stride (s : t) d = s.strides.(d)
+let length (s : t) = Bigarray.Array1.dim s.data
+let read_only (s : t) : buf = s.data
+let unsafe_data (s : t) : buf = s.data
+
+let alloc_buf n : buf =
+  let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  Bigarray.Array1.fill b 0.0;
+  b
+
+let buf_of_array (a : float array) : buf =
+  Bigarray.Array1.of_array Bigarray.float64 Bigarray.c_layout a
+
+let buf_to_array (b : buf) : float array =
+  Array.init (Bigarray.Array1.dim b) (Bigarray.Array1.get b)
+
+let to_array (s : t) : float array = buf_to_array s.data
 
 let grow (r : Zpl.Region.t) ~fringe : Zpl.Region.t =
   Array.mapi
@@ -17,8 +49,6 @@ let grow (r : Zpl.Region.t) ~fringe : Zpl.Region.t =
       if d < 2 then { Zpl.Region.lo = lo - fringe; hi = hi + fringe } else rg)
     r
 
-(** [make info ~owned ~fringe] allocates storage covering [owned] plus
-    [fringe] ghost cells on each side of dims 0 and 1. All cells start 0. *)
 let make (info : Zpl.Prog.array_info) ~(owned : Zpl.Region.t) ~fringe : t =
   let alloc =
     if Zpl.Region.is_empty owned then owned else grow owned ~fringe
@@ -29,7 +59,7 @@ let make (info : Zpl.Prog.array_info) ~(owned : Zpl.Region.t) ~fringe : t =
     strides.(d) <- strides.(d + 1) * Zpl.Region.range_size (Zpl.Region.dim alloc (d + 1))
   done;
   let cells = if Zpl.Region.is_empty alloc then 0 else Zpl.Region.size alloc in
-  { info; owned; alloc; strides; data = Array.make cells 0.0 }
+  { info; owned; alloc; strides; data = alloc_buf cells }
 
 let index (s : t) (p : int array) =
   let idx = ref 0 in
@@ -43,19 +73,28 @@ let get (s : t) (p : int array) : float =
     Fmt.invalid_arg "Store.get: %s out of %s of %s"
       (String.concat "," (List.map string_of_int (Array.to_list p)))
       (Zpl.Region.to_string s.alloc) s.info.a_name;
-  s.data.(index s p)
+  Bigarray.Array1.get s.data (index s p)
 
 let set (s : t) (p : int array) (v : float) =
   if not (Zpl.Region.contains_point s.alloc p) then
     Fmt.invalid_arg "Store.set: %s out of %s of %s"
       (String.concat "," (List.map string_of_int (Array.to_list p)))
       (Zpl.Region.to_string s.alloc) s.info.a_name;
-  s.data.(index s p) <- v
+  Bigarray.Array1.set s.data (index s p) v
 
-(** Unchecked accessors for hot kernel loops. *)
-let get_unsafe (s : t) (p : int array) : float = s.data.(index s p)
+let get_unsafe (s : t) (p : int array) : float =
+  Bigarray.Array1.unsafe_get s.data (index s p)
 
-let set_unsafe (s : t) (p : int array) (v : float) = s.data.(index s p) <- v
+let set_unsafe (s : t) (p : int array) (v : float) =
+  Bigarray.Array1.unsafe_set s.data (index s p) v
+
+let get_flat (s : t) (i : int) : float = Bigarray.Array1.get s.data i
+let set_flat (s : t) (i : int) (v : float) = Bigarray.Array1.set s.data i v
+
+let fill_flat (s : t) (f : int -> float) =
+  for i = 0 to length s - 1 do
+    Bigarray.Array1.unsafe_set s.data i (f i)
+  done
 
 let check_rect (s : t) (what : string) (rect : Zpl.Region.t) =
   if not (Zpl.Region.subset rect s.alloc) then
@@ -64,24 +103,26 @@ let check_rect (s : t) (what : string) (rect : Zpl.Region.t) =
       (Zpl.Region.to_string s.alloc)
       s.info.a_name
 
-(** Copy the values of rectangle [rect] (must lie inside [alloc]) into a
-    fresh buffer, row-major. The innermost dimension is stride-1, so each
-    row of the rectangle is one contiguous [Array.blit] — message packing
-    costs one bounds check and [rows] block copies, not a per-point loop. *)
-let extract (s : t) (rect : Zpl.Region.t) : float array =
+(* a manual loop: [Array1.sub] allocates and [Array1.blit] dispatches
+   into C, which costs more than the copy itself at typical row lengths *)
+let blit_rows (src : buf) s0 (dst : buf) d0 len =
+  for k = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set dst (d0 + k)
+      (Bigarray.Array1.unsafe_get src (s0 + k))
+  done
+
+let extract (s : t) (rect : Zpl.Region.t) : buf =
   check_rect s "extract" rect;
-  let buf = Array.make (Zpl.Region.size rect) 0.0 in
+  let buf = alloc_buf (Zpl.Region.size rect) in
   let k = ref 0 in
   Zpl.Region.iter_rows rect (fun p0 len ->
-      Array.blit s.data (index s p0) buf !k len;
+      blit_rows s.data (index s p0) buf !k len;
       k := !k + len);
   buf
 
-(** Write [buf] (row-major over [rect]) into storage, one [Array.blit]
-    per contiguous row. *)
-let inject (s : t) (rect : Zpl.Region.t) (buf : float array) =
+let inject (s : t) (rect : Zpl.Region.t) (buf : buf) =
   check_rect s "inject" rect;
   let k = ref 0 in
   Zpl.Region.iter_rows rect (fun p0 len ->
-      Array.blit buf !k s.data (index s p0) len;
+      blit_rows buf !k s.data (index s p0) len;
       k := !k + len)

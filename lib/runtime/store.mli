@@ -1,21 +1,43 @@
 (** Local storage for one array on one processor: the owned sub-box plus a
     fringe (ghost region) around the distributed dimensions. With an empty
     fringe and the full declared region it doubles as global storage for
-    the sequential oracle. *)
+    the sequential oracle.
 
-type t = {
-  info : Zpl.Prog.array_info;
-  owned : Zpl.Region.t;  (** owned part of the declared region; may be empty *)
-  alloc : Zpl.Region.t;  (** owned grown by the fringe in dims 0 and 1 *)
-  strides : int array;
-  data : float array;
-}
+    Values live in one flat float64 Bigarray in C (row-major) layout, so
+    the innermost dimension is stride-1 and any row of a rectangle is a
+    contiguous slice reachable with [Bigarray.Array1.sub]/[blit]. The
+    record itself is abstract: readers go through {!get}/{!read_only},
+    writers through {!set}/{!inject}, and only the row kernels touch
+    {!unsafe_data}. *)
+
+(** Flat unboxed float64 buffer, C layout. Also the payload type of
+    simulator messages and of {!extract}/{!inject}. *)
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
 
 (** [make info ~owned ~fringe] allocates storage covering [owned] plus
     [fringe] ghost cells on each side of dimensions 0 and 1 (dimension 2
     of rank-3 arrays is never grown). All cells start at 0. *)
 val make : Zpl.Prog.array_info -> owned:Zpl.Region.t -> fringe:int -> t
 
+val info : t -> Zpl.Prog.array_info
+
+(** Owned part of the declared region; may be empty. *)
+val owned : t -> Zpl.Region.t
+
+(** [owned] grown by the fringe in dims 0 and 1. *)
+val alloc : t -> Zpl.Region.t
+
+val rank : t -> int
+
+(** Flat-index stride of dimension [d]; the innermost stride is 1. *)
+val stride : t -> int -> int
+
+(** Total number of allocated cells. *)
+val length : t -> int
+
+(** Flat index of a point inside [alloc] (unchecked arithmetic). *)
 val index : t -> int array -> int
 
 (** Bounds-checked accessors; raise [Invalid_argument] outside [alloc]. *)
@@ -29,10 +51,41 @@ val get_unsafe : t -> int array -> float
 
 val set_unsafe : t -> int array -> float -> unit
 
+(** Checked flat-index accessors (Bigarray bounds checks apply). *)
+val get_flat : t -> int -> float
+
+val set_flat : t -> int -> float -> unit
+
+(** [fill_flat s f] sets every cell [i] of the flat buffer to [f i];
+    test/benchmark seeding helper. *)
+val fill_flat : t -> (int -> float) -> unit
+
+(** The underlying flat buffer, for reading. The view is live — writes
+    by the owner show through — but callers of [read_only] must not
+    mutate it; use {!set}/{!inject}/{!unsafe_data} to write. *)
+val read_only : t -> buf
+
+(** The underlying flat buffer, writable. Reserved for the row kernels
+    in {!Kernel}; anything else mutating it bypasses the region checks. *)
+val unsafe_data : t -> buf
+
 (** Copy the values of a rectangle (inside [alloc], checked once) into a
-    fresh buffer, row-major — one contiguous [Array.blit] per row. *)
-val extract : t -> Zpl.Region.t -> float array
+    fresh buffer, row-major — one contiguous blit per row. *)
+val extract : t -> Zpl.Region.t -> buf
 
 (** Write a row-major buffer back over a rectangle (inside [alloc],
-    checked once), one [Array.blit] per row. *)
-val inject : t -> Zpl.Region.t -> float array -> unit
+    checked once), one blit per row. *)
+val inject : t -> Zpl.Region.t -> buf -> unit
+
+(** Conversions between [buf] and boxed [float array], for tests and
+    report plumbing. *)
+val buf_of_array : float array -> buf
+
+val buf_to_array : buf -> float array
+
+(** Snapshot of the whole flat buffer as a boxed array (bit-comparison
+    helper for differential tests). *)
+val to_array : t -> float array
+
+(** Fresh zero-filled buffer of [n] cells. *)
+val alloc_buf : int -> buf

@@ -11,6 +11,20 @@
     as a global-clock event loop. Ties never matter, so the simulation is
     fully deterministic.
 
+    That same order-independence makes the host-parallel drain possible:
+    with [domains > 1] the engine alternates a parallel phase, where a
+    {!Pool.t} runs every runnable processor's {e local} instructions
+    (kernels, scalar ops, jumps — per-processor state only), with a
+    serial phase that executes the communication and reduction calls
+    touching shared mailboxes. Virtual clocks are per-processor
+    arithmetic over the same values in the same order, so results and
+    times are bit-identical to the serial drain (property-tested).
+
+    Adjacent kernel statements that pass {!Runtime.Kernel.can_join} are
+    fused at [make] time: one region evaluation and one row traversal
+    execute the whole group, while time and statistics are still charged
+    statement by statement — reports do not change.
+
     The network model charges per-message CPU overheads and per-byte
     copy/pack costs on the involved processors (the "software overhead"
     the paper measures) plus wire latency and bandwidth; link contention
@@ -20,7 +34,7 @@ type msg_kind = Data | Token
 
 type message = {
   arrival : float;
-  payload : (int * Zpl.Region.t * float array) list;
+  payload : (int * Zpl.Region.t * Runtime.Store.buf) list;
       (** per member array: (array id, full-rank rect, values) *)
 }
 
@@ -38,10 +52,14 @@ type waiting =
   | WTokens of int * int list
   | WReduce of int  (** reduction sequence number *)
 
-(** Compiled form of one array statement or reduction, cached per op. *)
+(** Compiled form of one array statement, reduction, or fused group,
+    cached per op index (fused plans under the group's first op). *)
 type ckernel =
   | CAssign of Runtime.Kernel.plan
   | CReduce of Runtime.Kernel.rplan
+  | CFused of Runtime.Kernel.fplan option
+      (** [None]: some statement of the group fell back to the per-point
+          path, so the group runs unfused *)
 
 type proc = {
   rank : int;
@@ -52,6 +70,7 @@ type proc = {
   mutable waiting : waiting option;
   mutable halted : bool;
   mutable queued : bool;
+  mutable instrs : int;  (** instructions executed by this processor *)
   posted : int array;  (** per transfer: outstanding posted receives *)
   send_done : float array;  (** per transfer: when the last send drained *)
   mutable reduce_seq : int;
@@ -80,6 +99,13 @@ type t = {
   stats : Stats.t;
   limit : int;
   row_path : bool;  (** whether kernels may use the row-compiled path *)
+  fuse : bool;  (** whether adjacent kernels may fuse (needs row path) *)
+  domains : int;  (** host domains driving the drain loop *)
+  fuse_len : int array;
+      (** per op index: length of the fused group starting there, or 0 *)
+  refchecks : Runtime.Kernel.refs array;
+      (** per op index: the rhs's (array, shift) reads, extracted once so
+          the per-execution bounds check is allocation-free *)
 }
 
 exception Deadlock of string
@@ -129,7 +155,41 @@ let build_plan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
   Array.init nprocs (fun p ->
       { recv_sides = recvs.(p); send_sides = sends.(p) })
 
-let make ?(limit = 1_000_000_000) ?(row_path = true)
+(** Greedy partition of maximal adjacent-[FKernel] runs into fused
+    groups: a statement joins the current group while
+    {!Runtime.Kernel.can_join} holds against every member. Entry [i] of
+    the result is the length (>= 2) of the group headed at op [i], 0
+    elsewhere. Jumps into the middle of a group are harmless — fusion
+    only triggers when control reaches the head. *)
+let fuse_groups (flat : Ir.Flat.t) : int array =
+  let ops = flat.Ir.Flat.ops in
+  let n = Array.length ops in
+  let lens = Array.make n 0 in
+  let arrays aid = flat.Ir.Flat.prog.Zpl.Prog.arrays.(aid) in
+  let i = ref 0 in
+  while !i < n do
+    match ops.(!i) with
+    | Ir.Flat.FKernel _ ->
+        let start = !i in
+        let group = ref [] in
+        let stop = ref false in
+        while (not !stop) && !i < n do
+          match ops.(!i) with
+          | Ir.Flat.FKernel a
+            when Runtime.Kernel.can_join ~arrays (List.rev !group) a ->
+              group := a :: !group;
+              incr i
+          | _ -> stop := true
+        done;
+        let glen = !i - start in
+        if glen >= 2 then lens.(start) <- glen;
+        if glen = 0 then incr i
+    | _ -> incr i
+  done;
+  lens
+
+let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
+    ?(domains = 1)
     ~(machine : Machine.Params.t)
     ~(lib : Machine.Library.t) ~pr ~pc (flat : Ir.Flat.t) : t =
   let prog = flat.Ir.Flat.prog in
@@ -164,6 +224,7 @@ let make ?(limit = 1_000_000_000) ?(row_path = true)
         { rank; pc = 0; time = 0.0; stores;
           env = Runtime.Values.make_env prog;
           waiting = None; halted = false; queued = false;
+          instrs = 0;
           posted = Array.make nx 0;
           send_done = Array.make nx 0.0;
           reduce_seq = 0;
@@ -179,7 +240,19 @@ let make ?(limit = 1_000_000_000) ?(row_path = true)
     reduce_slots = Hashtbl.create 8;
     stats = Stats.make nprocs;
     limit;
-    row_path }
+    row_path;
+    fuse = fuse && row_path;
+    domains = max 1 domains;
+    fuse_len =
+      (if fuse && row_path then fuse_groups flat
+       else Array.make (Array.length flat.Ir.Flat.ops) 0);
+    refchecks =
+      Array.map
+        (function
+          | Ir.Flat.FKernel a -> Runtime.Kernel.refs_of a.Zpl.Prog.rhs
+          | Ir.Flat.FReduce r -> Runtime.Kernel.refs_of r.Zpl.Prog.r_rhs
+          | _ -> [||])
+        flat.Ir.Flat.ops }
 
 (* ------------------------------------------------------------------ *)
 (* Mail                                                                *)
@@ -262,6 +335,20 @@ let reduce_plan (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) =
       p.kernels.(idx) <- Some (CReduce plan);
       plan
 
+let fused_plan (t : t) (p : proc) idx glen =
+  match p.kernels.(idx) with
+  | Some (CFused fp) -> fp
+  | _ ->
+      let stmts =
+        Array.init glen (fun k ->
+            match t.flat.Ir.Flat.ops.(idx + k) with
+            | Ir.Flat.FKernel a -> a
+            | _ -> assert false)
+      in
+      let fp = Runtime.Kernel.plan_fused (rowctx_of p) stmts in
+      p.kernels.(idx) <- Some (CFused fp);
+      fp
+
 (** Local part of a statement region: dims 0-1 intersected with the
     processor's partition box, higher dims untouched. *)
 let local_region (t : t) (p : proc) (r : Zpl.Region.t) : Zpl.Region.t =
@@ -270,26 +357,71 @@ let local_region (t : t) (p : proc) (r : Zpl.Region.t) : Zpl.Region.t =
   if Zpl.Region.rank r = 2 then two
   else [| two.(0); two.(1); r.(2) |]
 
-let exec_kernel (t : t) (p : proc) idx (a : Zpl.Prog.assign_a) =
-  let region = Runtime.Values.eval_dregion p.env a.region in
-  let store = p.stores.(a.lhs) in
-  let region = Zpl.Region.inter (local_region t p region) store.Runtime.Store.owned in
-  let cells =
-    if Zpl.Region.is_empty region then 0
-    else begin
-      Runtime.Kernel.check_refs ~region
-        ~alloc_of:(fun aid -> p.stores.(aid).Runtime.Store.alloc)
-        a.rhs;
-      Runtime.Kernel.exec_plan (assign_plan t p idx a) ~lhs:store ~region
-    end
-  in
+(** Charge the cost of one executed statement: the same formula — and
+    the same float-accumulation order — whether it ran alone or fused. *)
+let charge_kernel (t : t) (p : proc) ~cells ~flops =
   let dt =
     t.machine.Machine.Params.kernel_overhead
-    +. (float_of_int (cells * a.flops) *. t.machine.Machine.Params.sec_per_flop)
+    +. (float_of_int (cells * flops) *. t.machine.Machine.Params.sec_per_flop)
   in
   p.time <- p.time +. dt;
   p.stats.Stats.compute_time <- p.stats.Stats.compute_time +. dt;
   p.stats.Stats.cells <- p.stats.Stats.cells + cells
+
+let exec_kernel (t : t) (p : proc) idx (a : Zpl.Prog.assign_a) =
+  let region = Runtime.Values.eval_dregion p.env a.region in
+  let store = p.stores.(a.lhs) in
+  let region =
+    Zpl.Region.inter (local_region t p region) (Runtime.Store.owned store)
+  in
+  let cells =
+    if Zpl.Region.is_empty region then 0
+    else begin
+      Runtime.Kernel.check_ref_bounds ~region
+        ~alloc_of:(fun aid -> Runtime.Store.alloc p.stores.(aid))
+        t.refchecks.(idx);
+      Runtime.Kernel.exec_plan (assign_plan t p idx a) ~lhs:store ~region
+    end
+  in
+  charge_kernel t p ~cells ~flops:a.flops
+
+(** Execute the fused group of [glen] kernels headed at [idx]: one
+    region evaluation and one row traversal, but per-statement cost and
+    statistics identical to unfused execution. *)
+let exec_fused_group (t : t) (p : proc) idx glen =
+  let stmt k =
+    match t.flat.Ir.Flat.ops.(idx + k) with
+    | Ir.Flat.FKernel a -> a
+    | _ -> assert false
+  in
+  match fused_plan t p idx glen with
+  | None ->
+      (* some member fell back to the per-point path: run unfused *)
+      for k = 0 to glen - 1 do
+        exec_kernel t p (idx + k) (stmt k)
+      done
+  | Some fp ->
+      let a0 = stmt 0 in
+      let region = Runtime.Values.eval_dregion p.env a0.region in
+      let region =
+        Zpl.Region.inter (local_region t p region)
+          (Runtime.Store.owned p.stores.(a0.lhs))
+      in
+      let cells =
+        if Zpl.Region.is_empty region then 0
+        else begin
+          for k = 0 to glen - 1 do
+            Runtime.Kernel.check_ref_bounds ~region
+              ~alloc_of:(fun aid -> Runtime.Store.alloc p.stores.(aid))
+              t.refchecks.(idx + k)
+          done;
+          ignore (Runtime.Kernel.exec_fused fp ~region);
+          Zpl.Region.size region
+        end
+      in
+      for k = 0 to glen - 1 do
+        charge_kernel t p ~cells ~flops:(stmt k).flops
+      done
 
 (* --- communication calls --- *)
 
@@ -455,9 +587,9 @@ let finish_reduce (t : t) seq (slot : reduce_slot) =
 let exec_reduce (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) : step =
   let region = Runtime.Values.eval_dregion p.env r.r_region in
   let region = local_region t p region in
-  Runtime.Kernel.check_refs ~region
-    ~alloc_of:(fun aid -> p.stores.(aid).Runtime.Store.alloc)
-    r.r_rhs;
+  Runtime.Kernel.check_ref_bounds ~region
+    ~alloc_of:(fun aid -> Runtime.Store.alloc p.stores.(aid))
+    t.refchecks.(idx);
   let partial, cells =
     Runtime.Kernel.exec_rplan (reduce_plan t p idx r) ~region r.r_op
   in
@@ -493,36 +625,60 @@ let exec_reduce (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) : step =
 
 (* --- main dispatch --- *)
 
+(** Count [k] executed instructions against [p]'s budget. The limit is
+    per processor, so the check involves no shared state and the
+    parallel drain needs no synchronization to enforce it. *)
+let count_instrs (t : t) (p : proc) k =
+  p.instrs <- p.instrs + k;
+  if p.instrs > t.limit then raise (Instruction_limit t.limit)
+
 let exec_one (t : t) (p : proc) : step =
-  t.stats.Stats.instructions <- t.stats.Stats.instructions + 1;
-  if t.stats.Stats.instructions > t.limit then
-    raise (Instruction_limit t.limit);
   match t.flat.Ir.Flat.ops.(p.pc) with
   | Ir.Flat.FHalt ->
+      count_instrs t p 1;
       p.halted <- true;
       p.stats.Stats.finish <- p.time;
       Halted
   | Ir.Flat.FKernel a ->
-      exec_kernel t p p.pc a;
-      p.pc <- p.pc + 1;
+      let glen = t.fuse_len.(p.pc) in
+      if glen >= 2 then begin
+        count_instrs t p glen;
+        exec_fused_group t p p.pc glen;
+        p.pc <- p.pc + glen
+      end
+      else begin
+        count_instrs t p 1;
+        exec_kernel t p p.pc a;
+        p.pc <- p.pc + 1
+      end;
       Continue
   | Ir.Flat.FScalar { lhs; rhs } ->
+      count_instrs t p 1;
       p.env.(lhs) <- Runtime.Values.eval_env p.env rhs;
       p.time <- p.time +. t.machine.Machine.Params.scalar_op_cost;
       p.pc <- p.pc + 1;
       Continue
   | Ir.Flat.FJump target ->
+      count_instrs t p 1;
       p.pc <- target;
       Continue
   | Ir.Flat.FJumpIfNot (cond, target) ->
+      count_instrs t p 1;
       p.time <- p.time +. t.machine.Machine.Params.scalar_op_cost;
       if Runtime.Values.eval_bool p.env cond then p.pc <- p.pc + 1
       else p.pc <- target;
       Continue
-  | Ir.Flat.FReduce r -> exec_reduce t p p.pc r
+  | Ir.Flat.FReduce r ->
+      count_instrs t p 1;
+      exec_reduce t p p.pc r
   | Ir.Flat.FComm (call, xfer) -> (
       match exec_comm t p call xfer with
       | Continue ->
+          (* counted only on completion: a blocked call re-executes when
+             woken, and the number of attempts is schedule-dependent —
+             counting attempts would make [instructions] differ between
+             the serial and parallel drains *)
+          count_instrs t p 1;
           p.pc <- p.pc + 1;
           Continue
       | other -> other)
@@ -535,6 +691,41 @@ let run_proc (t : t) (p : proc) =
     go ()
   end
 
+(** Ops touching only the executing processor's state — safe to run
+    concurrently across processors. *)
+let is_local (op : Ir.Flat.finstr) =
+  match op with
+  | Ir.Flat.FKernel _ | Ir.Flat.FScalar _ | Ir.Flat.FJump _
+  | Ir.Flat.FJumpIfNot _ | Ir.Flat.FHalt ->
+      true
+  | Ir.Flat.FComm _ | Ir.Flat.FReduce _ -> false
+
+(** Parallel-phase worker: execute local ops until the next op needs the
+    shared mailboxes (or the processor halts). *)
+let run_local (t : t) (p : proc) =
+  if not p.halted then begin
+    let rec go () =
+      if is_local t.flat.Ir.Flat.ops.(p.pc) then
+        match exec_one t p with
+        | Continue -> go ()
+        | Halted -> ()
+        | Blocked -> assert false
+    in
+    go ()
+  end
+
+(** Serial-phase step: execute communication/reduction ops; a processor
+    reaching local work again is requeued for the next parallel phase. *)
+let run_serial (t : t) (p : proc) =
+  let rec go () =
+    if not p.halted then
+      match t.flat.Ir.Flat.ops.(p.pc) with
+      | Ir.Flat.FComm _ | Ir.Flat.FReduce _ -> (
+          match exec_one t p with Continue -> go () | Blocked | Halted -> ())
+      | _ -> wake t p
+  in
+  go ()
+
 (* ------------------------------------------------------------------ *)
 (* Results                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -545,9 +736,7 @@ type result = {
   engine : t;
 }
 
-let run (t : t) : result =
-  Array.iter (fun (p : proc) -> wake t p) t.procs;
-  (* wake marks queued; initial procs are not waiting *)
+let drain_serial (t : t) =
   let rec drain () =
     match Queue.take_opt t.runnable with
     | None -> ()
@@ -557,7 +746,31 @@ let run (t : t) : result =
         run_proc t p;
         drain ()
   in
-  drain ();
+  drain ()
+
+let drain_parallel (t : t) (pool : Pool.t) =
+  let rec loop () =
+    if not (Queue.is_empty t.runnable) then begin
+      let n = Queue.length t.runnable in
+      let batch =
+        Array.init n (fun _ ->
+            let p = t.procs.(Queue.pop t.runnable) in
+            p.queued <- false;
+            p)
+      in
+      Pool.run pool (fun i -> run_local t batch.(i)) n;
+      Array.iter (fun p -> run_serial t p) batch;
+      loop ()
+    end
+  in
+  loop ()
+
+let run (t : t) : result =
+  Array.iter (fun (p : proc) -> wake t p) t.procs;
+  (* wake marks queued; initial procs are not waiting *)
+  if t.domains > 1 then
+    Pool.with_pool ~domains:t.domains (fun pool -> drain_parallel t pool)
+  else drain_serial t;
   (match
      Array.find_opt (fun (p : proc) -> not p.halted) t.procs
    with
@@ -578,6 +791,8 @@ let run (t : t) : result =
       in
       raise (Deadlock why)
   | None -> ());
+  t.stats.Stats.instructions <-
+    Array.fold_left (fun n (p : proc) -> n + p.instrs) 0 t.procs;
   Array.iteri (fun i (p : proc) -> t.stats.Stats.procs.(i) <- p.stats) t.procs;
   { time = Stats.makespan t.stats; stats = t.stats; engine = t }
 
@@ -589,10 +804,18 @@ let gather (t : t) (aid : int) : Runtime.Store.t =
   Array.iter
     (fun (p : proc) ->
       let s = p.stores.(aid) in
-      Zpl.Region.iter s.Runtime.Store.owned (fun pt ->
+      Zpl.Region.iter (Runtime.Store.owned s) (fun pt ->
           Runtime.Store.set global pt (Runtime.Store.get_unsafe s pt)))
     t.procs;
   global
 
 (** Scalars after the run (replicated; proc 0's copy). *)
 let final_env (t : t) : Runtime.Values.env = t.procs.(0).env
+
+(* accessors for tests and tools that inspect a finished engine *)
+
+let procs (t : t) = t.procs
+let proc_env (p : proc) = p.env
+let proc_stores (p : proc) = p.stores
+let fused_group_count (t : t) =
+  Array.fold_left (fun n l -> if l >= 2 then n + 1 else n) 0 t.fuse_len

@@ -1,0 +1,87 @@
+(** Deterministic discrete-event simulation of an SPMD program on a
+    simulated multiprocessor.
+
+    Each virtual processor owns real distributed blocks (with fringes)
+    of every array, executes the flattened IR greedily on its own
+    virtual clock, and blocks only on message availability. Every wait
+    is a blocking wait, so processors may run ahead of each other and
+    the simulation is fully deterministic; the same order-independence
+    lets [domains > 1] execute the processors' local instructions in
+    parallel on host domains with bit-identical results (see DESIGN.md
+    section 5). *)
+
+(** A running or finished engine. *)
+type t
+
+(** One virtual processor's state. Inspect through {!proc_env} and
+    {!proc_stores}. *)
+type proc
+
+(** Raised when no processor can make progress (a library/program
+    mismatch, e.g. a receive with no matching send). *)
+exception Deadlock of string
+
+(** Raised when some single processor exceeds the instruction budget
+    given to {!make} — a runaway-loop backstop. The limit is per
+    processor, not global, so the parallel drain can enforce it without
+    synchronization. *)
+exception Instruction_limit of int
+
+(** [make ~machine ~lib ~pr ~pc flat] lays the program's arrays out on a
+    [pr x pc] processor mesh and readies one virtual processor per mesh
+    point.
+
+    [limit] bounds instructions {e per processor} (default [1e9]).
+    [row_path] (default true) allows the row-compiled kernels;
+    [false] forces the per-point oracle path everywhere.
+    [fuse] (default true, implies [row_path]) lets adjacent fusable
+    kernel statements share one region evaluation and row traversal —
+    simulated times and statistics are unchanged by fusion.
+    [domains] (default 1) drives the drain loop with that many host
+    domains: local instructions run in parallel, communication and
+    reductions stay serial. Results are bit-identical for any value.
+
+    Raises [Invalid_argument] if a stencil shift exceeds the smallest
+    block extent of the mesh. *)
+val make :
+  ?limit:int ->
+  ?row_path:bool ->
+  ?fuse:bool ->
+  ?domains:int ->
+  machine:Machine.Params.t ->
+  lib:Machine.Library.t ->
+  pr:int ->
+  pc:int ->
+  Ir.Flat.t ->
+  t
+
+type result = {
+  time : float;  (** makespan over processors *)
+  stats : Stats.t;
+  engine : t;  (** the engine itself, for {!gather}/{!final_env} *)
+}
+
+(** Run to completion (every processor halted). Raises {!Deadlock} or
+    {!Instruction_limit}. *)
+val run : t -> result
+
+(** Gather the distributed blocks of one array into a single global
+    store (fringe cells ignored) — used to verify against the
+    sequential oracle. *)
+val gather : t -> int -> Runtime.Store.t
+
+(** Scalar environment after the run (replicated; proc 0's copy). *)
+val final_env : t -> Runtime.Values.env
+
+(** The virtual processors, indexed by rank. *)
+val procs : t -> proc array
+
+(** A processor's scalar environment. *)
+val proc_env : proc -> Runtime.Values.env
+
+(** A processor's local array blocks, indexed by array id. *)
+val proc_stores : proc -> Runtime.Store.t array
+
+(** Number of fused kernel groups the op stream was partitioned into
+    (0 when fusion is off) — exposed for tests and tooling. *)
+val fused_group_count : t -> int

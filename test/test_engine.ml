@@ -26,11 +26,11 @@ end;
 |}
 
 let make_engine ?(config = Opt.Config.pl_cum) ?(lib = Machine.T3d.pvm)
-    ?(pr = 2) ?(pc = 2) ?limit src =
+    ?(pr = 2) ?(pc = 2) ?limit ?fuse ?domains src =
   let prog = Zpl.Check.compile_string src in
   let ir = Opt.Passes.compile config prog in
-  Sim.Engine.make ?limit ~machine:Machine.T3d.machine ~lib ~pr ~pc
-    (Ir.Flat.flatten ir)
+  Sim.Engine.make ?limit ?fuse ?domains ~machine:Machine.T3d.machine ~lib ~pr
+    ~pc (Ir.Flat.flatten ir)
 
 let test_counts_and_time () =
   let res = Sim.Engine.run (make_engine stencil_src) in
@@ -69,8 +69,8 @@ let test_replicated_scalars_agree () =
         (fun i v ->
           if not (Runtime.Values.equal_value v env0.(i)) then
             Alcotest.fail "scalar env diverged between processors")
-        p.Sim.Engine.env)
-    res.Sim.Engine.engine.Sim.Engine.procs
+        (Sim.Engine.proc_env p))
+    (Sim.Engine.procs res.Sim.Engine.engine)
 
 let test_library_overheads_ordered () =
   let time lib = (Sim.Engine.run (make_engine ~lib stencil_src)).Sim.Engine.time in
@@ -101,10 +101,53 @@ procedure main(); begin [R] B := A@[-3, 0]; end;
     | exception Invalid_argument _ -> true)
 
 let test_instruction_limit () =
+  (* the limit is per processor: each of the 4 procs runs well over 10
+     instructions on this program, so a budget of 10 must trip *)
   Alcotest.(check bool) "limit enforced" true
-    (match Sim.Engine.run (make_engine ~limit:100 stencil_src) with
+    (match Sim.Engine.run (make_engine ~limit:10 stencil_src) with
     | _ -> false
     | exception Sim.Engine.Instruction_limit _ -> true)
+
+let test_fusion_engages_on_tomcatv () =
+  (* TOMCATV's metric-terms block (XX/YX/XY/YY, then AA/BB/CC) is the
+     fusion showcase: groups must actually form, and the fused run must
+     match the unfused one exactly — makespan, counters and data *)
+  let p = Programs.Suite.compile ~scale:`Test Programs.Suite.tomcatv in
+  let flat = Ir.Flat.flatten (Opt.Passes.compile Opt.Config.pl_cum p) in
+  let mk ~fuse =
+    Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm ~pr:2
+      ~pc:2 ~fuse flat
+  in
+  let fused_eng = mk ~fuse:true in
+  Alcotest.(check bool) "groups formed" true
+    (Sim.Engine.fused_group_count fused_eng > 0);
+  Alcotest.(check int) "fusion off means no groups" 0
+    (Sim.Engine.fused_group_count (mk ~fuse:false));
+  let fused = Sim.Engine.run fused_eng in
+  let plain = Sim.Engine.run (mk ~fuse:false) in
+  Alcotest.(check (float 0.)) "same makespan" plain.Sim.Engine.time
+    fused.Sim.Engine.time;
+  Alcotest.(check int) "same instructions"
+    plain.Sim.Engine.stats.Sim.Stats.instructions
+    fused.Sim.Engine.stats.Sim.Stats.instructions;
+  Array.iteri
+    (fun aid _ ->
+      let a = Runtime.Store.to_array (Sim.Engine.gather plain.Sim.Engine.engine aid) in
+      let b = Runtime.Store.to_array (Sim.Engine.gather fused.Sim.Engine.engine aid) in
+      if a <> b then Alcotest.failf "array %d differs under fusion" aid)
+    p.Zpl.Prog.arrays
+
+let test_parallel_drain_matches_serial () =
+  let run domains = Sim.Engine.run (make_engine ~domains stencil_src) in
+  let serial = run 1 and par = run 4 in
+  Alcotest.(check (float 0.)) "same makespan" serial.Sim.Engine.time
+    par.Sim.Engine.time;
+  Alcotest.(check int) "same instructions"
+    serial.Sim.Engine.stats.Sim.Stats.instructions
+    par.Sim.Engine.stats.Sim.Stats.instructions;
+  Alcotest.(check int) "same messages"
+    (Sim.Stats.total_messages serial.Sim.Engine.stats)
+    (Sim.Stats.total_messages par.Sim.Engine.stats)
 
 let test_wavefront_serializes () =
   (* a row-sweep over a distributed dimension must take longer than the
@@ -187,8 +230,11 @@ let () =
         [ Alcotest.test_case "counts & time" `Quick test_counts_and_time;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "gather == oracle" `Quick test_gather_matches_oracle;
-          Alcotest.test_case "replicated scalars" `Quick test_replicated_scalars_agree
-        ] );
+          Alcotest.test_case "replicated scalars" `Quick test_replicated_scalars_agree;
+          Alcotest.test_case "fusion engages (tomcatv)" `Quick
+            test_fusion_engages_on_tomcatv;
+          Alcotest.test_case "parallel drain == serial" `Quick
+            test_parallel_drain_matches_serial ] );
       ( "models",
         [ Alcotest.test_case "library ordering" `Quick test_library_overheads_ordered;
           Alcotest.test_case "optimization helps" `Quick test_baseline_slower_than_optimized;

@@ -86,7 +86,7 @@ let test_results_finite () =
             (fun v ->
               if not (Float.is_finite v) then
                 Alcotest.failf "%s has non-finite values" b.name)
-            s.Runtime.Store.data)
+            (Runtime.Store.to_array s))
         t.Runtime.Seqexec.stores)
     Programs.Suite.all
 

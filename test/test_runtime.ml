@@ -69,9 +69,11 @@ let test_store_get_set () =
 let test_store_extract_inject () =
   let s = Runtime.Store.make info2 ~owned:(r2 0 4 0 4) ~fringe:1 in
   let rect = r2 2 3 1 4 in
-  let buf = Array.init (R.size rect) (fun i -> float_of_int i +. 0.5) in
-  Runtime.Store.inject s rect buf;
-  Alcotest.(check (array (float 0.))) "roundtrip" buf (Runtime.Store.extract s rect);
+  let arr = Array.init (R.size rect) (fun i -> float_of_int i +. 0.5) in
+  Runtime.Store.inject s rect (Runtime.Store.buf_of_array arr);
+  Alcotest.(check (array (float 0.)))
+    "roundtrip" arr
+    (Runtime.Store.buf_to_array (Runtime.Store.extract s rect));
   Alcotest.(check (float 0.)) "row-major order" 1.5 (Runtime.Store.get s [| 2; 2 |])
 
 let test_store_rank3 () =
@@ -86,7 +88,7 @@ let test_store_rank3 () =
   Alcotest.(check (float 0.)) "3d cell" 3.5 (Runtime.Store.get s [| 2; 2; 6 |]);
   (* dim 2 has no fringe *)
   Alcotest.(check bool) "alloc grows dims 0-1 only" true
-    (R.equal s.Runtime.Store.alloc (R.make [ (0, 3); (0, 3); (1, 6) ]))
+    (R.equal (Runtime.Store.alloc s) (R.make [ (0, 3); (0, 3); (1, 6) ]))
 
 (* ------------------------------------------------------------------ *)
 (* Halo                                                                *)
