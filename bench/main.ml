@@ -125,10 +125,16 @@ let run_bechamel () =
 (* Kernel benchmark: row-compiled vs per-point execution paths          *)
 (* ------------------------------------------------------------------ *)
 
+(* Monotonic trial timing: [Unix.gettimeofday] is wall-clock, so an NTP
+   step mid-trial yields negative or garbage durations that corrupt
+   best-of-3 selection and the --baseline regression gate. The bechamel
+   clock is CLOCK_MONOTONIC (ns since an arbitrary origin), immune to
+   clock steps. *)
 let wall f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monotonic_clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  let t1 = Monotonic_clock.now () in
+  (r, Int64.to_float (Int64.sub t1 t0) /. 1e9)
 
 (** Run [f] repeatedly until it has consumed at least [budget] wall
     seconds; returns (runs, total wall time). *)
@@ -145,20 +151,21 @@ let repeat_for ~budget f =
     the simulated program is pure kernel execution there (no
     communication), so the measurement isolates the array-statement
     execution path. [path] picks the strategy: interpreted per-point, row
-    kernels without fusion, or fused row kernels (the default engine
-    configuration). *)
+    kernels without fusion, fused row kernels, or fused row kernels with
+    CSE row temporaries (the default engine configuration). *)
 let kernel_trial ~path ~budget (c : Commopt.compiled) =
-  let row_path, fuse =
+  let row_path, fuse, cse =
     match path with
-    | `Point -> (false, false)
-    | `Row -> (true, false)
-    | `Fused -> (true, true)
+    | `Point -> (false, false, false)
+    | `Row -> (true, false, false)
+    | `Fused -> (true, true, false)
+    | `FusedCse -> (true, true, true)
   in
   let cells = ref 0 in
   let runs, total =
     repeat_for ~budget (fun () ->
         let engine =
-          Sim.Engine.make ~row_path ~fuse ~machine:Machine.T3d.machine
+          Sim.Engine.make ~row_path ~fuse ~cse ~machine:Machine.T3d.machine
             ~lib:Machine.T3d.shmem ~pr:1 ~pc:1 c.flat
         in
         let result = Sim.Engine.run engine in
@@ -173,30 +180,37 @@ type path_cps = {
   pc_cells : int;  (** cells per run *)
   pc_point : float;  (** cells/sec, per-point path *)
   pc_row : float;  (** cells/sec, row path, fusion off *)
-  pc_fused : float;  (** cells/sec, fused row path *)
+  pc_fused : float;  (** cells/sec, fused row path, CSE off *)
+  pc_fused_cse : float;  (** cells/sec, fused row path with CSE temps *)
 }
 
 (** Best of three interleaved trials per path. Interference on a shared
     box only ever subtracts throughput, so the max of several short
     trials is the estimate closest to the path's real capability — and
     interleaving the paths decorrelates any slow phase of the machine
-    from one particular path. *)
+    from one particular path. The starting path rotates across trials:
+    with a fixed order, whichever path runs first after a warm-up gap
+    systematically measures low, which read as a phantom ~4% CSE
+    regression before the rotation. *)
 let bench_paths ~defines source =
   let c = compile ~config:Opt.Config.pl_cum ~defines source in
-  let best = [| 0.0; 0.0; 0.0 |] in
+  let paths = [| `FusedCse; `Fused; `Row; `Point |] in
+  let np = Array.length paths in
+  let best = Array.make np 0.0 in
   let cells = ref 0 in
-  for _trial = 1 to 3 do
-    List.iteri
-      (fun i path ->
-        let cps, n = kernel_trial ~path ~budget:0.25 c in
-        cells := n;
-        if cps > best.(i) then best.(i) <- cps)
-      [ `Fused; `Row; `Point ]
+  for trial = 0 to 2 do
+    for j = 0 to np - 1 do
+      let i = (j + trial) mod np in
+      let cps, n = kernel_trial ~path:paths.(i) ~budget:0.25 c in
+      cells := n;
+      if cps > best.(i) then best.(i) <- cps
+    done
   done;
   { pc_cells = !cells;
-    pc_point = best.(2);
-    pc_row = best.(1);
-    pc_fused = best.(0) }
+    pc_point = best.(3);
+    pc_row = best.(2);
+    pc_fused = best.(1);
+    pc_fused_cse = best.(0) }
 
 type kernel_bench = {
   kb_tomcatv : path_cps;
@@ -232,21 +246,23 @@ let run_kernel_bench ~scale () =
 
 (** The JSON payload as key/value pairs; the legacy keys of PR 1's
     BENCH_kernel.json keep their names, with [row_path_cells_per_sec]
-    tracking the engine's default (now fused) row path so old baselines
-    stay comparable. *)
+    tracking the engine's default configuration (now fused + CSE) so
+    old baselines stay comparable. *)
 let kernel_numbers (kb : kernel_bench) : (string * float) list =
   let t = kb.kb_tomcatv and s = kb.kb_swm in
   [ ("cells_per_run", float_of_int t.pc_cells);
     ("point_path_cells_per_sec", t.pc_point);
-    ("row_path_cells_per_sec", t.pc_fused);
-    ("row_vs_point_speedup", t.pc_fused /. t.pc_point);
+    ("row_path_cells_per_sec", t.pc_fused_cse);
+    ("row_vs_point_speedup", t.pc_fused_cse /. t.pc_point);
     ("tomcatv_point_cells_per_sec", t.pc_point);
     ("tomcatv_row_cells_per_sec", t.pc_row);
     ("tomcatv_fused_cells_per_sec", t.pc_fused);
+    ("tomcatv_fused_cse_cells_per_sec", t.pc_fused_cse);
     ("swm_cells_per_run", float_of_int s.pc_cells);
     ("swm_point_cells_per_sec", s.pc_point);
     ("swm_row_cells_per_sec", s.pc_row);
     ("swm_fused_cells_per_sec", s.pc_fused);
+    ("swm_fused_cse_cells_per_sec", s.pc_fused_cse);
     ("grid_quick_serial_sec", kb.kb_grid_serial);
     ("grid_quick_parallel_sec", kb.kb_grid_parallel);
     ("grid_domains", float_of_int kb.kb_domains) ]
@@ -259,7 +275,9 @@ let write_kernel_json path (kb : kernel_bench) =
   let oc = open_out path in
   Printf.fprintf oc
     "{\n  \"benchmark\": \"kernel loops on a 1x1 mesh (T3D shmem): per-point \
-     vs row vs fused\"";
+     vs row vs fused vs fused+CSE\",\n\
+    \  \"profile\": \"%s\",\n  \"flambda\": %b"
+    Build_info.profile Build_info.flambda;
   List.iter
     (fun (k, v) -> Printf.fprintf oc ",\n  \"%s\": %s" k (fmt_num v))
     (kernel_numbers kb);
@@ -326,16 +344,23 @@ let print_kernel_bench ?baseline ~scale () =
       "%s (%d cells/run):\n\
       \  per-point path : %12.0f cells/sec\n\
       \  row path       : %12.0f cells/sec\n\
-      \  fused rows     : %12.0f cells/sec  (%.2fx point, %.2fx row)"
+      \  fused rows     : %12.0f cells/sec  (%.2fx point, %.2fx row)\n\
+      \  fused + CSE    : %12.0f cells/sec  (%.3fx fused)"
       name p.pc_cells p.pc_point p.pc_row p.pc_fused
       (p.pc_fused /. p.pc_point)
       (p.pc_fused /. p.pc_row)
+      p.pc_fused_cse
+      (p.pc_fused_cse /. p.pc_fused)
   in
-  section "Kernel benchmark: per-point vs row-compiled vs fused rows"
+  section "Kernel benchmark: per-point vs row-compiled vs fused vs fused+CSE"
     (Printf.sprintf
-       "%s\n%s\nQuick experiment grid (%d domain(s) available):\n\
+       "Build profile: %s (flambda: %b)\n\
+        %s\n\
+        %s\n\
+        Quick experiment grid (%d domain(s) available):\n\
        \  serial         : %.3f s\n\
        \  domain pool    : %.3f s"
+       Build_info.profile Build_info.flambda
        (line "TOMCATV" kb.kb_tomcatv)
        (line "SWM" kb.kb_swm) kb.kb_domains kb.kb_grid_serial
        kb.kb_grid_parallel);

@@ -191,6 +191,13 @@ let run_cmd =
       value & flag
       & info [ "no-fuse" ] ~doc:"disable row-kernel fusion in the simulator")
   in
+  let no_cse_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cse" ]
+          ~doc:
+            "disable common-subexpression row temporaries in fused kernels")
+  in
   let domains_arg =
     Arg.(
       value
@@ -199,11 +206,14 @@ let run_cmd =
           ~doc:"drain independent simulated processors over N OCaml domains")
   in
   let run src defines config (machine, lib) (pr, pc) verify_flag no_fuse
-      domains =
+      no_cse domains =
     handle (fun () ->
         let c = compile ~config ~defines (load_source src) in
         let fuse = not no_fuse in
-        let res = simulate ~machine ~lib ~mesh:(pr, pc) ~fuse ?domains c in
+        let cse = not no_cse in
+        let res =
+          simulate ~machine ~lib ~mesh:(pr, pc) ~fuse ~cse ?domains c
+        in
         let st = res.Sim.Engine.stats in
         Printf.printf "program        : %s\n" src;
         Printf.printf "optimization   : %s\n" (Opt.Config.name config);
@@ -227,7 +237,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"simulate a program on a machine model")
     Term.(
       const run $ src_arg $ defines_arg $ config_arg $ lib_arg $ mesh_arg
-      $ verify_arg $ no_fuse_arg $ domains_arg)
+      $ verify_arg $ no_fuse_arg $ no_cse_arg $ domains_arg)
 
 let bench_cmd =
   let name_arg =

@@ -47,14 +47,15 @@ let static_count (c : compiled) = Ir.Count.static_count c.ir
 
 (** Simulate on [mesh] (default 4x4) of the given machine/library (default
     T3D + PVM). [fuse] toggles row-kernel fusion inside the simulated
-    processors; [domains] drains independent local work over that many
-    OCaml domains (both default to the engine's defaults). *)
+    processors; [cse] toggles subterm hoisting within fused groups;
+    [domains] drains independent local work over that many OCaml domains
+    (all default to the engine's defaults). *)
 let simulate ?(machine = Machine.T3d.machine) ?(lib = Machine.T3d.pvm)
-    ?(mesh = (4, 4)) ?limit ?fuse ?domains (c : compiled) : Sim.Engine.result
-    =
+    ?(mesh = (4, 4)) ?limit ?fuse ?cse ?domains (c : compiled) :
+    Sim.Engine.result =
   let pr, pc = mesh in
   Sim.Engine.run
-    (Sim.Engine.make ?limit ?fuse ?domains ~machine ~lib ~pr ~pc c.flat)
+    (Sim.Engine.make ?limit ?fuse ?cse ?domains ~machine ~lib ~pr ~pc c.flat)
 
 (** Run the sequential oracle on the same program. *)
 let run_oracle ?limit (c : compiled) : Runtime.Seqexec.t =
@@ -70,8 +71,24 @@ type divergence = {
 
 exception Found of divergence
 
+(** Whether [got] diverges from the oracle's [want] beyond [tolerance].
+    NaN-aware: [d > tolerance] alone is [false] whenever [d] is NaN, so
+    the naive relative test silently passes a cell where the simulation
+    produced NaN and the oracle did not (or where got/want are opposite
+    infinities, whose difference quotient is NaN). Exactly one NaN is a
+    divergence; two NaNs agree (the oracle predicted the NaN); equal
+    values — including equal infinities, whose relative difference would
+    be NaN — agree. *)
+let cell_diverges ~tolerance ~got ~want =
+  if Float.is_nan got || Float.is_nan want then
+    not (Float.is_nan got && Float.is_nan want)
+  else if got = want then false
+  else
+    let d = Float.abs (want -. got) /. (1.0 +. Float.abs want) in
+    Float.is_nan d || d > tolerance
+
 (** First cell (array-declaration order, then row-major point order)
-    whose relative difference from the oracle exceeds [tolerance]. *)
+    diverging from the oracle beyond [tolerance] (per {!cell_diverges}). *)
 let first_divergence ?(tolerance = 1e-9) (c : compiled)
     (res : Sim.Engine.result) (oracle : Runtime.Seqexec.t) :
     divergence option =
@@ -83,8 +100,7 @@ let first_divergence ?(tolerance = 1e-9) (c : compiled)
         Zpl.Region.iter info.a_region (fun pt ->
             let want = Runtime.Store.get sq pt
             and got = Runtime.Store.get par pt in
-            let d = Float.abs (want -. got) /. (1.0 +. Float.abs want) in
-            if d > tolerance then
+            if cell_diverges ~tolerance ~got ~want then
               raise
                 (Found
                    { d_array = info.a_name;
@@ -102,7 +118,10 @@ let pp_divergence ppf (d : divergence) =
 
 (** Compare a simulation against the oracle: the worst relative difference
     over every cell of every array. Exact 0.0 unless reduction rounding
-    differs. *)
+    differs. NaN-aware like {!cell_diverges}: a cell where exactly one
+    side is NaN (or whose difference quotient is NaN) contributes
+    [infinity] rather than being skipped by NaN-poisoned comparison;
+    both-NaN and equal-value cells contribute 0. *)
 let oracle_distance (c : compiled) (res : Sim.Engine.result)
     (oracle : Runtime.Seqexec.t) : float =
   let worst = ref 0.0 in
@@ -112,16 +131,23 @@ let oracle_distance (c : compiled) (res : Sim.Engine.result)
       let sq = oracle.Runtime.Seqexec.stores.(aid) in
       Zpl.Region.iter info.a_region (fun pt ->
           let a = Runtime.Store.get sq pt and b = Runtime.Store.get par pt in
-          let d = Float.abs (a -. b) /. (1.0 +. Float.abs a) in
+          let d =
+            if Float.is_nan a || Float.is_nan b then
+              if Float.is_nan a && Float.is_nan b then 0.0 else infinity
+            else if a = b then 0.0
+            else
+              let d = Float.abs (a -. b) /. (1.0 +. Float.abs a) in
+              if Float.is_nan d then infinity else d
+          in
           if d > !worst then worst := d))
     c.prog.Zpl.Prog.arrays;
   !worst
 
 (** [verify c] simulates and checks the result against the oracle; returns
     the simulation result or fails naming the first divergent cell. *)
-let verify ?machine ?lib ?mesh ?fuse ?domains ?(tolerance = 1e-9)
+let verify ?machine ?lib ?mesh ?fuse ?cse ?domains ?(tolerance = 1e-9)
     (c : compiled) : Sim.Engine.result =
-  let res = simulate ?machine ?lib ?mesh ?fuse ?domains c in
+  let res = simulate ?machine ?lib ?mesh ?fuse ?cse ?domains c in
   let oracle = run_oracle c in
   match first_divergence ~tolerance c res oracle with
   | None -> res

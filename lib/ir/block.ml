@@ -93,28 +93,49 @@ let all_live (code : code) : xfer list =
   map_blocks (fun b -> acc := List.rev_append (live_xfers b) !acc) code;
   List.rev !acc
 
-(** Internal invariants; used by tests and checked after each pass. *)
-let check_block_invariants (b : block) =
+(** Internal invariants; used by tests and checked after each pass.
+    [ctx] names the block (e.g. "block 3") so a violation planted by an
+    optimizer pass is diagnosable from the message alone: every failure
+    carries the block identity, the xfer uid, and the offending
+    positions. *)
+let check_block_invariants ?(ctx = "block") (b : block) =
   let n = Array.length b.work in
   List.iter
     (fun x ->
+      let fail_x msg =
+        let dr, dc = x.off in
+        Printf.ksprintf failwith
+          "%s: %s: xfer uid %d off (%d,%d) ready/send/recv %d/%d/%d of %d \
+           work items"
+          ctx msg x.uid dr dc x.ready_pos x.send_pos x.recv_pos n
+      in
       if x.live then begin
-        if x.arrays = [] then failwith "xfer with no member arrays";
-        if x.off = (0, 0) then failwith "xfer with zero offset";
-        if x.send_pos < 0 || x.send_pos > n then failwith "send_pos out of range";
+        if x.arrays = [] then fail_x "xfer with no member arrays";
+        if x.off = (0, 0) then fail_x "xfer with zero offset";
+        if x.send_pos < 0 || x.send_pos > n then fail_x "send_pos out of range";
         if x.ready_pos < 0 || x.ready_pos > x.send_pos then
-          failwith "ready_pos after send_pos";
+          fail_x "ready_pos after send_pos";
         if x.recv_pos < x.send_pos || x.recv_pos > n then
-          failwith "recv_pos before send_pos";
+          fail_x "recv_pos before send_pos";
         (* no member array may be written between send and use *)
         for i = x.send_pos to x.recv_pos - 1 do
           List.iter
             (fun w ->
               if List.mem w x.arrays then
-                failwith "member array written between send and receive")
+                fail_x
+                  (Printf.sprintf
+                     "member array %d written at work item %d between send \
+                      and receive"
+                     w i))
             (writes b.work.(i))
         done
       end)
     b.xfers
 
-let check_invariants (code : code) = map_blocks check_block_invariants code
+let check_invariants (code : code) =
+  let idx = ref (-1) in
+  map_blocks
+    (fun b ->
+      incr idx;
+      check_block_invariants ~ctx:(Printf.sprintf "block %d" !idx) b)
+    code

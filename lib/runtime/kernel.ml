@@ -160,6 +160,10 @@ type rowsrc =
   | RIndexLast  (** the innermost coordinate itself: [p0.(last) + k] *)
   | RFill of (int array -> int -> buf -> int -> unit)
       (** general: fill [dst.(d0 .. d0+len-1)] with the row's values *)
+  | RTemp of buf ref
+      (** a CSE row temporary of a fused group: the current row's values
+          at [0 .. len-1], filled before any member statement runs (see
+          {!plan_fused} / {!exec_fused}) *)
 
 exception Row_fallback
 
@@ -176,10 +180,7 @@ let ref_base (s : Store.t) (dshift : int) (p0 : int array) (len : int) : int =
 
 let empty_buf : buf = A1.create Bigarray.float64 Bigarray.c_layout 0
 
-let ensure (scratch : buf ref) n : buf =
-  if A1.dim !scratch < n then
-    scratch := A1.create Bigarray.float64 Bigarray.c_layout n;
-  !scratch
+let ensure : buf ref -> int -> buf = Store.grow_buf
 
 (* Hand-rolled row copy/fill: [A1.sub] allocates a custom block per call
    and [A1.fill]/[A1.blit] dispatch into C — at our row lengths that
@@ -210,6 +211,7 @@ let fill (src : rowsrc) (p0 : int array) (len : int) (dst : buf) (d0 : int) :
         A1.unsafe_set dst (d0 + k) (float_of_int (x0 + k))
       done
   | RFill g -> g p0 len dst d0
+  | RTemp b -> buf_blit !b 0 dst d0 len
 
 (** A row reduced to either a per-row constant or a contiguous slice. *)
 type slice = SConst of float | SVec of buf * int
@@ -219,6 +221,7 @@ let slice_of (src : rowsrc) (scratch : buf ref) p0 len : slice =
   | RConst v -> SConst v
   | RRow f -> SConst (f p0)
   | RRef (s, dshift) -> SVec (Store.read_only s, ref_base s dshift p0 len)
+  | RTemp b -> SVec (!b, 0)
   | RIndexLast | RFill _ ->
       let b = ensure scratch len in
       fill src p0 len b 0;
@@ -546,11 +549,11 @@ type scale_kind =
   | KLeft of Zpl.Ast.binop * (int array -> float)  (** [s op chain] *)
   | KRight of Zpl.Ast.binop * (int array -> float)  (** [chain op s] *)
 
-(** One chain term: a full-rank ref with an optional row-invariant
-    multiplicative coefficient on its left, [c * A@d]. *)
+(** One chain term: a contiguous row of floats — a full-rank ref at its
+    flat shift, or a CSE row temporary — with an optional row-invariant
+    multiplicative coefficient on its left, [c * A@d] / [c * temp]. *)
 type cterm = {
-  t_store : Store.t;
-  t_shift : int;
+  t_src : [ `Slice of Store.t * int | `Temp of buf ref ];
   t_coeff : (int array -> float) option;
 }
 
@@ -571,11 +574,16 @@ type cterm = {
     or term loop costs ~3x on the stencil chains this exists for. The
     outer scalar factor is applied as a second in-cache pass over the
     row; per-cell value and order of operations are exactly those of
-    the per-point evaluator. *)
+    the per-point evaluator.
+
+    Data buffers are re-resolved per row (not captured at plan time):
+    a [`Temp] term's buffer ref is reallocated whenever the row length
+    grows, so the cores load it from [datas] on entry — n array reads
+    per row, invisible next to the per-cell work. *)
 let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
     rowsrc =
   let n = Array.length terms in
-  let datas = Array.map (fun t -> Store.read_only t.t_store) terms in
+  let datas = Array.make n empty_buf in
   let bases = Array.make n 0 in
   let cvals = Array.make n 1.0 in
   let generic (dst : buf) d0 len =
@@ -601,8 +609,8 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
   let core : buf -> int -> int -> unit =
     match n with
     | 2 ->
-        let a = datas.(0) and b = datas.(1) in
         if sub.(0) then fun dst d0 len ->
+          let a = datas.(0) and b = datas.(1) in
           let ia = bases.(0) and ib = bases.(1) in
           let ca = cvals.(0) and cb = cvals.(1) in
           for k = 0 to len - 1 do
@@ -611,6 +619,7 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
               -. (cb *. A1.unsafe_get b (ib + k)))
           done
         else fun dst d0 len ->
+          let a = datas.(0) and b = datas.(1) in
           let ia = bases.(0) and ib = bases.(1) in
           let ca = cvals.(0) and cb = cvals.(1) in
           for k = 0 to len - 1 do
@@ -619,9 +628,9 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
               +. (cb *. A1.unsafe_get b (ib + k)))
           done
     | 3 ->
-        let a = datas.(0) and b = datas.(1) and c = datas.(2) in
         let s1 = sub.(0) and s2 = sub.(1) in
         fun dst d0 len ->
+          let a = datas.(0) and b = datas.(1) and c = datas.(2) in
           let ia = bases.(0) and ib = bases.(1) and ic = bases.(2) in
           let ca = cvals.(0) and cb = cvals.(1) and cc = cvals.(2) in
           if (not s1) && not s2 then
@@ -653,11 +662,11 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
                 -. (cc *. A1.unsafe_get c (ic + k)))
             done
     | 4 when all_add ->
-        let a = datas.(0)
-        and b = datas.(1)
-        and c = datas.(2)
-        and d = datas.(3) in
         fun dst d0 len ->
+          let a = datas.(0)
+          and b = datas.(1)
+          and c = datas.(2)
+          and d = datas.(3) in
           let ia = bases.(0)
           and ib = bases.(1)
           and ic = bases.(2)
@@ -677,12 +686,12 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
         (* mixed signs (the corner stencils, [X@se - X@ne - X@sw + X@nw]):
            straight-line body with three loop-invariant, predictable
            branches — still far from the generic inner term loop *)
-        let a = datas.(0)
-        and b = datas.(1)
-        and c = datas.(2)
-        and d = datas.(3) in
         let s1 = sub.(0) and s2 = sub.(1) and s3 = sub.(2) in
         fun dst d0 len ->
+          let a = datas.(0)
+          and b = datas.(1)
+          and c = datas.(2)
+          and d = datas.(3) in
           let ia = bases.(0)
           and ib = bases.(1)
           and ic = bases.(2)
@@ -706,8 +715,14 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
   RFill
     (fun p0 len dst d0 ->
       for t = 0 to n - 1 do
-        let { t_store; t_shift; t_coeff } = terms.(t) in
-        bases.(t) <- ref_base t_store t_shift p0 len;
+        let { t_src; t_coeff } = terms.(t) in
+        (match t_src with
+        | `Slice (s, shift) ->
+            datas.(t) <- Store.read_only s;
+            bases.(t) <- ref_base s shift p0 len
+        | `Temp b ->
+            datas.(t) <- !b;
+            bases.(t) <- 0);
         cvals.(t) <- (match t_coeff with None -> 1.0 | Some f -> f p0)
       done;
       core dst d0 len;
@@ -717,9 +732,25 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
       | KRight (op, f) -> map_vs op dst d0 len (f p0))
 
 (** [compile_row rc ~rank e] row-compiles [e] for iteration regions of
-    rank [rank]; [None] means the caller must use the per-point path. *)
-let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
-    rowsrc option =
+    rank [rank]; [None] means the caller must use the per-point path.
+
+    [cse] is an environment of already-hoisted subterms: any subterm of
+    [e] syntactically equal to a bound term compiles to its [RTemp] row
+    instead of being recomputed. The bindings are consulted before every
+    other compilation strategy — the product fast paths refuse to inline
+    a bound term, and the chain compiler reads it as a leaf slice — so a
+    bound occurrence is never evaluated twice. Reading a temp is bitwise-identical to
+    evaluating the term in place because {!plan_fused} only binds terms
+    whose operand arrays no fused statement writes (row-invariant during
+    the group), and the temp row is itself produced by this compiler's
+    order-preserving strategies. *)
+let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
+    ~(rank : int) (e : Zpl.Prog.aexpr) : rowsrc option =
+  let lookup (e : Zpl.Prog.aexpr) =
+    if cse == [] then None
+    else List.find_opt (fun (t, _) -> Zpl.Prog.equal_aexpr t e) cse
+  in
+  let is_bound (e : Zpl.Prog.aexpr) = lookup e <> None in
   (* a full-rank ref whose shift collapses to one flat offset *)
   let as_ref (e : Zpl.Prog.aexpr) : (Store.t * int) option =
     match e with
@@ -740,12 +771,14 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
   (* single-pass product shapes: [(a*b) ± (c*d)] and [a ± (b*c)] *)
   let special (e : Zpl.Prog.aexpr) : rowsrc option =
     let ref2 e =
-      match e with
-      | Zpl.Prog.ABin (Zpl.Ast.Mul, x, y) -> (
-          match (as_ref x, as_ref y) with
-          | Some rx, Some ry -> Some (rx, ry)
-          | _ -> None)
-      | _ -> None
+      if is_bound e then None
+      else
+        match e with
+        | Zpl.Prog.ABin (Zpl.Ast.Mul, x, y) -> (
+            match (as_ref x, as_ref y) with
+            | Some rx, Some ry -> Some (rx, ry)
+            | _ -> None)
+        | _ -> None
     in
     match e with
     | Zpl.Prog.ABin (((Zpl.Ast.Add | Zpl.Ast.Sub) as op), a, b) -> (
@@ -762,6 +795,8 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
     | _ -> None
   in
   let rec go (e : Zpl.Prog.aexpr) : rowsrc =
+    match lookup e with Some (_, src) -> src | None -> go_unbound e
+  and go_unbound (e : Zpl.Prog.aexpr) : rowsrc =
     match e with
     | Zpl.Prog.AConst c -> RConst c
     | Zpl.Prog.AScalar id -> RRow (fun _ -> rc.rscalar id)
@@ -948,21 +983,34 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
       | _ -> None
       | exception Row_fallback -> None
     in
-    (* one chain term: a plain full-rank ref, or [c * A@d] with a
-       row-invariant coefficient on the left. A coefficient on the right
-       is left to the general path: swapping multiplicand order is not
-       bitwise-safe when both operands are NaN. *)
+    (* one chain term: a plain full-rank ref, a bound (CSE'd) subterm
+       read from its temp row, or either under a row-invariant
+       coefficient on the left, [c * _]. A coefficient on the right is
+       left to the general path: swapping multiplicand order is not
+       bitwise-safe when both operands are NaN. Treating a temp as a
+       chain leaf is what keeps hoisting profitable — the member
+       statement stays a single-pass loop instead of degrading to
+       operator-by-operator composition around the temp read. *)
+    let as_slice (e : Zpl.Prog.aexpr) :
+        [ `Slice of Store.t * int | `Temp of buf ref ] option =
+      match lookup e with
+      | Some (_, RTemp b) -> Some (`Temp b)
+      | Some _ -> None
+      | None -> (
+          match as_ref e with
+          | Some (s, sh) -> Some (`Slice (s, sh))
+          | None -> None)
+    in
     let as_term (e : Zpl.Prog.aexpr) : cterm option =
-      match as_ref e with
-      | Some (s, sh) -> Some { t_store = s; t_shift = sh; t_coeff = None }
+      match as_slice e with
+      | Some src -> Some { t_src = src; t_coeff = None }
       | None -> (
           match e with
-          | Zpl.Prog.ABin (Zpl.Ast.Mul, c, r) -> (
-              match as_ref r with
-              | Some (s, sh) -> (
+          | Zpl.Prog.ABin (Zpl.Ast.Mul, c, r) when not (is_bound e) -> (
+              match as_slice r with
+              | Some src -> (
                   match try_scalar c with
-                  | Some f ->
-                      Some { t_store = s; t_shift = sh; t_coeff = Some f }
+                  | Some f -> Some { t_src = src; t_coeff = Some f }
                   | None -> None)
               | None -> None)
           | _ -> None)
@@ -971,7 +1019,8 @@ let compile_row (rc : rowctx) ~(rank : int) (e : Zpl.Prog.aexpr) :
        trailing operands (and base) are all chain terms *)
     let rec collect (e : Zpl.Prog.aexpr) acc =
       match e with
-      | Zpl.Prog.ABin (((Zpl.Ast.Add | Zpl.Ast.Sub) as op), a, b) -> (
+      | Zpl.Prog.ABin (((Zpl.Ast.Add | Zpl.Ast.Sub) as op), a, b)
+        when not (is_bound e) -> (
           match as_term b with
           | Some t -> collect a ((op = Zpl.Ast.Sub, t) :: acc)
           | None -> None)
@@ -1180,22 +1229,189 @@ let can_join ~(arrays : int -> Zpl.Prog.array_info)
          && not (List.mem s.lhs (Zpl.Prog.arrays_read g.rhs)))
        group
 
+(* ------------------------------------------------------------------ *)
+(* Cross-statement common-subexpression elimination                    *)
+(*                                                                     *)
+(* Adjacent fused statements often recompute the same shifted-read     *)
+(* subterm — TOMCATV's solver sweeps take the same neighbor sums in    *)
+(* consecutive statements. Within one fused group such a subterm can   *)
+(* be hoisted into a row temporary computed once per row, provided the *)
+(* hoist is bitwise-invisible:                                         *)
+(*   - the term must read at least two array cells (one scaled read is *)
+(*     free inside the chain kernels, so hoisting it only adds temp    *)
+(*     traffic) and none of the arrays any member statement writes —   *)
+(*     its value is then identical no matter where in the group's      *)
+(*     interleaved execution it is evaluated;                          *)
+(*   - the temp row is produced by [compile_row]'s order-preserving    *)
+(*     strategies, so each cell holds exactly the float the in-place   *)
+(*     evaluation would have produced (same left-to-right order);      *)
+(*   - occurrences are replaced only on syntactic equality, never on   *)
+(*     algebraic identities.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec aexpr_size (e : Zpl.Prog.aexpr) : int =
+  match e with
+  | Zpl.Prog.AConst _ | Zpl.Prog.AScalar _ | Zpl.Prog.AIndex _
+  | Zpl.Prog.ARef _ ->
+      1
+  | Zpl.Prog.ABin (_, a, b) -> 1 + aexpr_size a + aexpr_size b
+  | Zpl.Prog.AUn (_, a) -> 1 + aexpr_size a
+  | Zpl.Prog.ACall (_, args) ->
+      List.fold_left (fun n a -> n + aexpr_size a) 1 args
+
+(** Number of array-read leaves ([ARef] occurrences, not distinct
+    arrays) in [e] — the vector work a hoist saves per duplicate. *)
+let rec aexpr_refs (e : Zpl.Prog.aexpr) : int =
+  match e with
+  | Zpl.Prog.ARef _ -> 1
+  | Zpl.Prog.AConst _ | Zpl.Prog.AScalar _ | Zpl.Prog.AIndex _ -> 0
+  | Zpl.Prog.ABin (_, a, b) -> aexpr_refs a + aexpr_refs b
+  | Zpl.Prog.AUn (_, a) -> aexpr_refs a
+  | Zpl.Prog.ACall (_, args) ->
+      List.fold_left (fun n a -> n + aexpr_refs a) 0 args
+
+(** Whether [e] may be hoisted out of a group whose statements write the
+    arrays in [written]: compound float arithmetic reading at least two
+    array cells and none of the written arrays. The two-read floor is a
+    profitability rule, not a legality one — a single scaled read like
+    [2.0 * X] costs the chain kernels nothing (coefficients ride along
+    in the same loop), so hoisting it saves no memory traffic and adds a
+    temp row of it. *)
+let cse_eligible ~(written : int list) (e : Zpl.Prog.aexpr) : bool =
+  (match e with
+  | Zpl.Prog.ABin
+      ( ( Zpl.Ast.Add | Zpl.Ast.Sub | Zpl.Ast.Mul | Zpl.Ast.Div
+        | Zpl.Ast.Pow ),
+        _,
+        _ )
+  | Zpl.Prog.AUn (Zpl.Ast.Neg, _)
+  | Zpl.Prog.ACall _ ->
+      true
+  | _ -> false)
+  && aexpr_refs e >= 2
+  &&
+  match Zpl.Prog.arrays_read e with
+  | [] -> false
+  | reads -> not (List.exists (fun a -> List.mem a written) reads)
+
+(** Pick the subterms worth hoisting from a fused group's right-hand
+    sides: eligible terms occurring at least twice, largest first, where
+    each term must still occur twice once already-accepted (larger)
+    terms shadow their insides — an occurrence buried in an accepted
+    definition is computed once per row, not once per use. The result
+    is ordered smallest-first so definitions can read earlier temps. *)
+let cse_select ~(written : int list) (rhss : Zpl.Prog.aexpr list) :
+    Zpl.Prog.aexpr list =
+  let eq = Zpl.Prog.equal_aexpr in
+  let counts : (Zpl.Prog.aexpr * int ref) list ref = ref [] in
+  let note e =
+    if cse_eligible ~written e then
+      match List.find_opt (fun (t, _) -> eq t e) !counts with
+      | Some (_, n) -> incr n
+      | None -> counts := (e, ref 1) :: !counts
+  in
+  let rec scan e =
+    note e;
+    match e with
+    | Zpl.Prog.ABin (Zpl.Ast.Mul, a, b) when Stdlib.compare a b = 0 ->
+        (* structural square: the row compiler evaluates the operand
+           once and squares in place, so its subterms occur once here —
+           counting both sides would hoist terms whose "duplicate" was
+           already free *)
+        scan a
+    | Zpl.Prog.ABin (_, a, b) ->
+        scan a;
+        scan b
+    | Zpl.Prog.AUn (_, a) -> scan a
+    | Zpl.Prog.ACall (_, args) -> List.iter scan args
+    | _ -> ()
+  in
+  List.iter scan rhss;
+  let candidates =
+    List.filter (fun (_, n) -> !n >= 2) !counts
+    |> List.map fst
+    |> List.stable_sort (fun a b ->
+           Stdlib.compare (aexpr_size b) (aexpr_size a))
+  in
+  (* [occurs accepted t]: evaluations of [t] per row once the accepted
+     terms are hoisted — occurrences inside an accepted definition count
+     via the definition (computed once), not via its uses *)
+  let occurs accepted t =
+    let rec in_e e =
+      if eq e t then 1
+      else if List.exists (eq e) accepted then 0
+      else under e
+    and under e =
+      match e with
+      | Zpl.Prog.ABin (Zpl.Ast.Mul, a, b) when Stdlib.compare a b = 0 ->
+          in_e a (* square operand evaluated once, as in [scan] *)
+      | Zpl.Prog.ABin (_, a, b) -> in_e a + in_e b
+      | Zpl.Prog.AUn (_, a) -> in_e a
+      | Zpl.Prog.ACall (_, args) ->
+          List.fold_left (fun n a -> n + in_e a) 0 args
+      | _ -> 0
+    in
+    List.fold_left (fun n e -> n + in_e e) 0 rhss
+    + List.fold_left (fun n d -> n + under d) 0 accepted
+  in
+  let accepted =
+    List.fold_left
+      (fun acc t -> if occurs acc t >= 2 then t :: acc else acc)
+      [] candidates
+  in
+  List.stable_sort
+    (fun a b -> Stdlib.compare (aexpr_size a) (aexpr_size b))
+    accepted
+
 type fstmt = { f_lhs : Store.t; f_mode : write_mode; f_src : rowsrc }
-type fplan = fstmt array
+
+type ftemp = { ft_buf : Store.buf ref; ft_src : rowsrc }
+(** One CSE row temporary: [ft_src] evaluated into [!ft_buf] (cells
+    [0 .. len-1]) before any member statement of the row runs. *)
+
+type fplan = { f_temps : ftemp array; f_stmts : fstmt array }
+
+let fused_temp_count (fp : fplan) = Array.length fp.f_temps
 
 (** Row-compile a legal group (per {!can_join}) of at least two
     statements into a fused plan; [None] if any statement falls back to
     the per-point path, in which case the caller executes the group
-    statement by statement. *)
-let plan_fused (rc : rowctx) (stmts : Zpl.Prog.assign_a array) : fplan option =
+    statement by statement. [cse:false] disables subterm hoisting (the
+    [--no-cse] escape hatch); a hoist candidate that itself fails row
+    compilation is skipped, never a reason to abandon the plan. *)
+let plan_fused ?(cse = true) (rc : rowctx) (stmts : Zpl.Prog.assign_a array)
+    : fplan option =
   let n = Array.length stmts in
   if n < 2 then None
   else begin
     let rank = Array.length stmts.(0).Zpl.Prog.region in
+    let env = ref [] and temps = ref [] in
+    if cse then begin
+      let written =
+        Array.to_list
+          (Array.map (fun (s : Zpl.Prog.assign_a) -> s.lhs) stmts)
+      in
+      let rhss =
+        Array.to_list
+          (Array.map (fun (s : Zpl.Prog.assign_a) -> s.rhs) stmts)
+      in
+      List.iter
+        (fun t ->
+          match compile_row ~cse:!env rc ~rank t with
+          | None -> ()
+          | Some src ->
+              let b = ref empty_buf in
+              env := (t, RTemp b) :: !env;
+              temps := { ft_buf = b; ft_src = src } :: !temps)
+        (cse_select ~written rhss)
+    end;
     let rec build i acc =
-      if i = n then Some (Array.of_list (List.rev acc))
+      if i = n then
+        Some
+          { f_temps = Array.of_list (List.rev !temps);
+            f_stmts = Array.of_list (List.rev acc) }
       else
-        match compile_row rc ~rank stmts.(i).Zpl.Prog.rhs with
+        match compile_row ~cse:!env rc ~rank stmts.(i).Zpl.Prog.rhs with
         | None -> None
         | Some src ->
             let mode = write_mode stmts.(i) in
@@ -1224,7 +1440,7 @@ let exec_fused (fp : fplan) ~(region : Zpl.Region.t) : int =
             (Zpl.Region.to_string region)
             (Zpl.Region.to_string (Store.alloc fs.f_lhs))
             (Store.info fs.f_lhs).a_name)
-      fp;
+      fp.f_stmts;
     let scratch = ref empty_buf in
     (* hoist the per-statement write-mode dispatch out of the row loop *)
     let runs =
@@ -1241,14 +1457,23 @@ let exec_fused (fp : fplan) ~(region : Zpl.Region.t) : int =
                 fill fs.f_src p0 len b 0;
                 buf_blit b 0 data (Store.index lhs p0) len
           | WFullBuffer -> assert false)
-        fp
+        fp.f_stmts
     in
     let n = Array.length runs in
+    let temps = fp.f_temps in
+    let nt = Array.length temps in
     Zpl.Region.iter_rows region (fun p0 len ->
+        (* temp definitions first, in order: later temps may read
+           earlier ones through their [RTemp] refs *)
+        for t = 0 to nt - 1 do
+          let ft = Array.unsafe_get temps t in
+          let b = ensure ft.ft_buf len in
+          fill ft.ft_src p0 len b 0
+        done;
         for i = 0 to n - 1 do
           (Array.unsafe_get runs i) p0 len
         done);
-    Zpl.Region.size region * Array.length fp
+    Zpl.Region.size region * Array.length fp.f_stmts
   end
 
 (** Runtime validation that every shifted read of [e] over [region] stays

@@ -4,7 +4,17 @@
     operators are associative and commutative, so partial order does not
     affect the mathematical result; floating-point sum/product may differ
     from the sequential order by rounding, which tests account for with a
-    tolerance. *)
+    tolerance.
+
+    Empty regions: a reduction over zero cells yields the operator's
+    identity — 0 for [+<<], 1 for [*<<], [neg_infinity] for [max<<] and
+    [infinity] for [min<<]. The checker rejects regions that are
+    {e statically} empty (almost certainly a bounds mistake), so the
+    identity can only be observed through loop-variant bounds that
+    become empty at run time; that dynamic behavior is deliberate,
+    uniform across the sequential oracle and every simulated processor
+    (whose local partial is the identity whenever its block misses the
+    region), and pinned by tests. *)
 
 let identity = function
   | Zpl.Ast.RSum -> 0.0

@@ -17,13 +17,15 @@ type t = {
   env : Values.env;
   row_path : bool;  (** whether array statements may use the row path *)
   fuse : bool;  (** whether adjacent assignments may fuse (needs row path) *)
+  cse : bool;  (** whether fused groups may hoist repeated subterms *)
   mutable steps : int;  (** simple statements executed *)
   mutable cells : int;  (** array cells updated or reduced *)
 }
 
 exception Step_limit of int
 
-let make ?(row_path = true) ?(fuse = true) (prog : Zpl.Prog.t) : t =
+let make ?(row_path = true) ?(fuse = true) ?(cse = true) (prog : Zpl.Prog.t) :
+    t =
   let stores =
     Array.map
       (fun (info : Zpl.Prog.array_info) ->
@@ -31,7 +33,7 @@ let make ?(row_path = true) ?(fuse = true) (prog : Zpl.Prog.t) : t =
       prog.arrays
   in
   { prog; stores; env = Values.make_env prog;
-    row_path; fuse = fuse && row_path;
+    row_path; fuse = fuse && row_path; cse;
     steps = 0; cells = 0 }
 
 let rowctx_of (t : t) : Kernel.rowctx =
@@ -73,7 +75,8 @@ let rec compile_stmts t (stmts : Zpl.Prog.stmt list) : cstmt list =
     | _ :: _ :: _ ->
         let g = Array.of_list (List.rev group) in
         let cas = Array.map (cassign_of t) g in
-        CFused (cas, lazy (Kernel.plan_fused (rowctx_of t) g)) :: acc
+        CFused (cas, lazy (Kernel.plan_fused ~cse:t.cse (rowctx_of t) g))
+        :: acc
   in
   let rec go group acc = function
     | [] -> List.rev (close group acc)
@@ -164,9 +167,10 @@ and exec_stmt t ~limit (s : cstmt) =
     executed (default 10 million) and raises {!Step_limit} beyond it, so a
     buggy [repeat] cannot hang the test suite. [row_path:false] forces the
     per-point fallback everywhere — the differential-testing oracle.
-    [fuse:false] keeps the row path but runs every statement alone. *)
-let run ?(limit = 10_000_000) ?row_path ?fuse (prog : Zpl.Prog.t) : t =
-  let t = make ?row_path ?fuse prog in
+    [fuse:false] keeps the row path but runs every statement alone.
+    [cse:false] fuses without hoisting repeated subterms. *)
+let run ?(limit = 10_000_000) ?row_path ?fuse ?cse (prog : Zpl.Prog.t) : t =
+  let t = make ?row_path ?fuse ?cse prog in
   exec_stmts t ~limit (compile_stmts t prog.body);
   t
 

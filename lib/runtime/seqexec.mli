@@ -12,6 +12,7 @@ type t = {
   env : Values.env;
   row_path : bool;  (** whether array statements may use the row path *)
   fuse : bool;  (** whether adjacent assignments may fuse (needs row path) *)
+  cse : bool;  (** whether fused groups may hoist repeated subterms *)
   mutable steps : int;  (** simple statements executed *)
   mutable cells : int;  (** array cells updated or reduced *)
 }
@@ -19,15 +20,18 @@ type t = {
 (** Raised when the statement budget is exhausted (runaway [repeat]). *)
 exception Step_limit of int
 
-val make : ?row_path:bool -> ?fuse:bool -> Zpl.Prog.t -> t
+val make : ?row_path:bool -> ?fuse:bool -> ?cse:bool -> Zpl.Prog.t -> t
 
 (** Run to completion. [limit] bounds executed simple statements
     (default 10 million). [row_path] defaults to [true]; [false] forces
     the per-point fallback everywhere. [fuse] defaults to [true];
     [false] keeps the row path but executes every statement alone.
-    Results (stores, scalars, steps, cells) are identical across all
-    three configurations — property-tested in [test_props.ml]. *)
-val run : ?limit:int -> ?row_path:bool -> ?fuse:bool -> Zpl.Prog.t -> t
+    [cse] defaults to [true]; [false] fuses without hoisting repeated
+    subterms into row temporaries. Results (stores, scalars, steps,
+    cells) are bit-identical across all configurations —
+    property-tested in [test_props.ml]. *)
+val run :
+  ?limit:int -> ?row_path:bool -> ?fuse:bool -> ?cse:bool -> Zpl.Prog.t -> t
 
 val scalar_value : t -> string -> Values.value option
 val array_store : t -> string -> Store.t option

@@ -35,6 +35,11 @@ let alloc_buf n : buf =
   Bigarray.Array1.fill b 0.0;
   b
 
+let grow_buf (r : buf ref) n : buf =
+  if Bigarray.Array1.dim !r < n then
+    r := Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n;
+  !r
+
 let buf_of_array (a : float array) : buf =
   Bigarray.Array1.of_array Bigarray.float64 Bigarray.c_layout a
 

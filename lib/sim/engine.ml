@@ -57,9 +57,11 @@ type waiting =
 type ckernel =
   | CAssign of Runtime.Kernel.plan
   | CReduce of Runtime.Kernel.rplan
-  | CFused of Runtime.Kernel.fplan option
-      (** [None]: some statement of the group fell back to the per-point
-          path, so the group runs unfused *)
+  | CFused of bool * Runtime.Kernel.fplan option
+      (** the CSE flag the plan was compiled under — part of the cache
+          key, since plans with and without hoisted temporaries differ —
+          and the plan; [None]: some statement of the group fell back to
+          the per-point path, so the group runs unfused *)
 
 type proc = {
   rank : int;
@@ -100,6 +102,7 @@ type t = {
   limit : int;
   row_path : bool;  (** whether kernels may use the row-compiled path *)
   fuse : bool;  (** whether adjacent kernels may fuse (needs row path) *)
+  cse : bool;  (** whether fused groups may hoist repeated subterms *)
   domains : int;  (** host domains driving the drain loop *)
   fuse_len : int array;
       (** per op index: length of the fused group starting there, or 0 *)
@@ -189,7 +192,7 @@ let fuse_groups (flat : Ir.Flat.t) : int array =
   lens
 
 let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
-    ?(domains = 1)
+    ?(cse = true) ?(domains = 1)
     ~(machine : Machine.Params.t)
     ~(lib : Machine.Library.t) ~pr ~pc (flat : Ir.Flat.t) : t =
   let prog = flat.Ir.Flat.prog in
@@ -242,6 +245,7 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
     limit;
     row_path;
     fuse = fuse && row_path;
+    cse;
     domains = max 1 domains;
     fuse_len =
       (if fuse && row_path then fuse_groups flat
@@ -337,7 +341,7 @@ let reduce_plan (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) =
 
 let fused_plan (t : t) (p : proc) idx glen =
   match p.kernels.(idx) with
-  | Some (CFused fp) -> fp
+  | Some (CFused (flag, fp)) when flag = t.cse -> fp
   | _ ->
       let stmts =
         Array.init glen (fun k ->
@@ -345,8 +349,8 @@ let fused_plan (t : t) (p : proc) idx glen =
             | Ir.Flat.FKernel a -> a
             | _ -> assert false)
       in
-      let fp = Runtime.Kernel.plan_fused (rowctx_of p) stmts in
-      p.kernels.(idx) <- Some (CFused fp);
+      let fp = Runtime.Kernel.plan_fused ~cse:t.cse (rowctx_of p) stmts in
+      p.kernels.(idx) <- Some (CFused (t.cse, fp));
       fp
 
 (** Local part of a statement region: dims 0-1 intersected with the

@@ -37,6 +37,10 @@ exception Instruction_limit of int
     [fuse] (default true, implies [row_path]) lets adjacent fusable
     kernel statements share one region evaluation and row traversal —
     simulated times and statistics are unchanged by fusion.
+    [cse] (default true, effective only under [fuse]) lets fused groups
+    hoist repeated shifted-read subterms into row temporaries computed
+    once per row; results are bit-identical either way, and cached
+    fused plans are keyed on the flag.
     [domains] (default 1) drives the drain loop with that many host
     domains: local instructions run in parallel, communication and
     reductions stay serial. Results are bit-identical for any value.
@@ -47,6 +51,7 @@ val make :
   ?limit:int ->
   ?row_path:bool ->
   ?fuse:bool ->
+  ?cse:bool ->
   ?domains:int ->
   machine:Machine.Params.t ->
   lib:Machine.Library.t ->

@@ -384,6 +384,21 @@ and check_stmt env (s : Ast.stmt) : Prog.stmt list =
           if info.P.s_ty <> Ast.TFloat then
             Loc.fail s.sloc "reduction target %S must be a float scalar" name;
           let region = resolve_region env s.sloc rref in
+          (* a statically empty region makes the reduction return the
+             operator's identity (neg_infinity for max<<, infinity for
+             min<<) without touching a single cell — almost certainly a
+             bounds mistake or a degenerate [constant] override, so
+             reject it here with the source location. Regions that only
+             become empty at run time (loop-variant bounds) still yield
+             the identity; see [Runtime.Reduce.identity]. *)
+          (match P.static_region region with
+          | Some r when Region.is_empty r ->
+              Loc.fail s.sloc
+                "%s reduces over statically empty region %s (it would \
+                 yield only the operator's identity); check the bounds or \
+                 the constant overrides"
+                (Ast.redop_name op) (Region.to_string r)
+          | _ -> ());
           let te = check_aexpr env body in
           check_shift_bounds env s.sloc region te;
           [ P.ReduceS

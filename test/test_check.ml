@@ -144,6 +144,35 @@ let test_errors () =
   expect_error "var Z : [1..4] float;\nprocedure main(); begin x := 1.0; end;"
     "rank"
 
+(* A reduction over a statically empty region would silently yield the
+   operator's identity (neg_infinity for max<<, infinity for min<<) —
+   the checker rejects it with the source location, whether the bounds
+   are empty in the source text or emptied by a [constant] override.
+   Regions that only become empty at run time cannot be seen here and
+   must be accepted; their identity semantics are pinned by the runtime
+   tests. *)
+let test_empty_reduction_rejected () =
+  expect_error "procedure main(); begin [5..4, 1..n] x := max<< A; end;"
+    "statically empty";
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    ln = 0 || go 0
+  in
+  match
+    compile ~defines:[ ("n", 0.) ]
+      "procedure main(); begin [R] x := min<< A; end;"
+  with
+  | _ -> Alcotest.fail "expected rejection when a define empties the region"
+  | exception Loc.Error (_, msg) ->
+      Alcotest.(check bool) "mentions the empty region" true
+        (contains msg "statically empty" && contains msg "min<<")
+
+let test_dynamic_empty_reduction_accepted () =
+  ignore
+    (compile
+       "procedure main(); begin k := 0; [1..k, 1..n] x := max<< A; end;")
+
 let test_index_arrays () =
   let p = compile "procedure main(); begin [R] A := Index1 + 2.0 * Index2; end;" in
   match p.Prog.body with
@@ -162,7 +191,11 @@ let () =
           Alcotest.test_case "reductions" `Quick test_reduce_forms;
           Alcotest.test_case "flops estimate" `Quick test_flops_positive;
           Alcotest.test_case "fringe widths" `Quick test_fringe_widths;
-          Alcotest.test_case "IndexD" `Quick test_index_arrays ] );
+          Alcotest.test_case "IndexD" `Quick test_index_arrays;
+          Alcotest.test_case "dynamic empty reduction accepted" `Quick
+            test_dynamic_empty_reduction_accepted ] );
       ( "rejects",
         [ Alcotest.test_case "recursion" `Quick test_recursion_rejected;
-          Alcotest.test_case "semantic errors" `Quick test_errors ] ) ]
+          Alcotest.test_case "semantic errors" `Quick test_errors;
+          Alcotest.test_case "empty reduction rejected" `Quick
+            test_empty_reduction_rejected ] ) ]

@@ -77,6 +77,97 @@ let test_simulate_other_machines () =
       (Machine.Paragon.machine, Machine.Paragon.nx_callback);
       (Machine.T3d.machine, Machine.T3d.shmem) ]
 
+(* Regression: the oracle comparison used to test [d > tolerance] where
+   [d] is the relative difference — false whenever [d] is NaN, so a
+   simulation bug producing NaN where the oracle has a finite value
+   sailed straight through [first_divergence] and [oracle_distance].
+   Plant a NaN in a simulated store and check the comparison now flags
+   it (and that the old predicate demonstrably did not). *)
+let test_nan_flagged_as_divergence () =
+  let c = compile src in
+  let res = simulate ~mesh:(1, 1) c in
+  let oracle = run_oracle c in
+  Alcotest.(check (float 0.)) "clean before planting" 0.0
+    (oracle_distance c res oracle);
+  let pt = [| 2; 2 |] in
+  let stores =
+    Sim.Engine.proc_stores (Sim.Engine.procs res.Sim.Engine.engine).(0)
+  in
+  Runtime.Store.set stores.(0) pt Float.nan;
+  let want = Runtime.Store.get oracle.Runtime.Seqexec.stores.(0) pt in
+  (* the pre-fix comparison on exactly this cell: NaN-blind, passes *)
+  let pre_fix_diverges =
+    Float.abs (want -. Float.nan) /. (1.0 +. Float.abs want) > 1e-9
+  in
+  Alcotest.(check bool) "pre-fix comparison passes the NaN (the bug)" false
+    pre_fix_diverges;
+  Alcotest.(check bool) "cell_diverges flags it" true
+    (cell_diverges ~tolerance:1e-9 ~got:Float.nan ~want);
+  (match first_divergence c res oracle with
+  | None -> Alcotest.fail "first_divergence missed the planted NaN"
+  | Some d ->
+      Alcotest.(check bool) "reports the NaN cell" true
+        (Float.is_nan d.d_got && d.d_point = pt));
+  Alcotest.(check (float 0.)) "oracle_distance is infinite" infinity
+    (oracle_distance c res oracle)
+
+(* Two NaNs agree: if the oracle itself predicts NaN at a cell, the
+   simulation matching it is not a divergence. *)
+let test_nan_both_sides_agree () =
+  let c = compile src in
+  let res = simulate ~mesh:(1, 1) c in
+  let oracle = run_oracle c in
+  let pt = [| 2; 2 |] in
+  let stores =
+    Sim.Engine.proc_stores (Sim.Engine.procs res.Sim.Engine.engine).(0)
+  in
+  Runtime.Store.set stores.(0) pt Float.nan;
+  Runtime.Store.set oracle.Runtime.Seqexec.stores.(0) pt Float.nan;
+  Alcotest.(check bool) "no divergence" true
+    (first_divergence c res oracle = None);
+  Alcotest.(check (float 0.)) "distance 0" 0.0 (oracle_distance c res oracle)
+
+(* Opposite infinities: |inf - (-inf)| / (1 + inf) is NaN, another cell
+   the pre-fix comparison silently passed. *)
+let test_opposite_infinities_diverge () =
+  Alcotest.(check bool) "inf vs -inf diverges" true
+    (cell_diverges ~tolerance:1e-9 ~got:infinity ~want:neg_infinity);
+  Alcotest.(check bool) "equal infinities agree" false
+    (cell_diverges ~tolerance:1e-9 ~got:infinity ~want:infinity)
+
+(* A reduction region that only becomes empty at run time slips past the
+   checker's static rejection by design; the documented semantics are
+   the operator's identity, uniformly in the oracle and the simulator. *)
+let test_dynamic_empty_reduction_identity () =
+  let c =
+    compile
+      {|
+constant n = 8;
+region R = [1..n, 1..n];
+var A : [R] float;
+var x, s : float;
+var k : int;
+procedure main();
+begin
+  [R] A := 2.0;
+  k := 0;
+  [1..k, 1..n] x := max<< A;
+  [1..k, 1..n] s := +<< A;
+end;
+|}
+  in
+  let oracle = run_oracle c in
+  (match Runtime.Seqexec.scalar_value oracle "x" with
+  | Some (Runtime.Values.VFloat v) ->
+      Alcotest.(check (float 0.)) "max<< identity" neg_infinity v
+  | _ -> Alcotest.fail "x should be a float scalar");
+  (match Runtime.Seqexec.scalar_value oracle "s" with
+  | Some (Runtime.Values.VFloat v) ->
+      Alcotest.(check (float 0.)) "+<< identity" 0.0 v
+  | _ -> Alcotest.fail "s should be a float scalar");
+  (* the simulated combining tree agrees with the oracle *)
+  ignore (verify ~mesh:(2, 2) c)
+
 let test_loc_guard () =
   (match Zpl.Loc.guard (fun () -> compile "nonsense !") with
   | Ok _ -> Alcotest.fail "should not parse"
@@ -93,4 +184,12 @@ let () =
           Alcotest.test_case "verify catches sabotage" `Quick
             test_verify_rejects_sabotage;
           Alcotest.test_case "other machines" `Quick test_simulate_other_machines;
+          Alcotest.test_case "NaN flagged as divergence" `Quick
+            test_nan_flagged_as_divergence;
+          Alcotest.test_case "both-NaN cells agree" `Quick
+            test_nan_both_sides_agree;
+          Alcotest.test_case "opposite infinities diverge" `Quick
+            test_opposite_infinities_diverge;
+          Alcotest.test_case "dynamic empty reduction identity" `Quick
+            test_dynamic_empty_reduction_identity;
           Alcotest.test_case "error guard" `Quick test_loc_guard ] ) ]

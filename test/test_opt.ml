@@ -186,6 +186,33 @@ let test_invariants_hold () =
       B.check_invariants code)
     Opt.Config.[ baseline; rr_only; cc_cum; pl_cum; pl_max_latency ]
 
+(* An invariant violation planted by a buggy pass must be diagnosable
+   from the message alone: block identity, xfer uid, and the offending
+   positions. *)
+let test_invariant_message_identifies_xfer () =
+  let bad : B.xfer =
+    { B.uid = 7; off = (1, 0); arrays = [ 0 ]; ready_pos = 0; send_pos = 1;
+      recv_pos = 1; live = true }
+  in
+  (* send_pos = 1 is out of range for an empty work array *)
+  let code = [ B.Straight { B.work = [||]; xfers = [ bad ] } ] in
+  match B.check_invariants code with
+  | () -> Alcotest.fail "expected an invariant failure"
+  | exception Failure msg ->
+      let contains needle =
+        let lh = String.length msg and ln = String.length needle in
+        let rec go i =
+          i + ln <= lh && (String.sub msg i ln = needle || go (i + 1))
+        in
+        ln = 0 || go 0
+      in
+      List.iter
+        (fun frag ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message %S mentions %S" msg frag)
+            true (contains frag))
+        [ "block 0"; "send_pos out of range"; "uid 7"; "(1,0)"; "0/1/1" ]
+
 let test_config_names () =
   Alcotest.(check string) "baseline" "baseline" (Opt.Config.name Opt.Config.baseline);
   Alcotest.(check string) "rr" "rr" (Opt.Config.name Opt.Config.rr_only);
@@ -226,5 +253,7 @@ let () =
       ( "emission",
         [ Alcotest.test_case "call order" `Quick test_emitted_call_order;
           Alcotest.test_case "invariants" `Quick test_invariants_hold;
+          Alcotest.test_case "invariant failure names the xfer" `Quick
+            test_invariant_message_identifies_xfer;
           Alcotest.test_case "config names" `Quick test_config_names;
           Alcotest.test_case "pass report" `Quick test_pass_report ] ) ]

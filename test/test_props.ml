@@ -469,10 +469,11 @@ let prop_extract_inject_rows =
       && Array.map bits (Runtime.Store.to_array s2) = Array.map bits expected)
 
 (** End to end: the sequential executor computes bitwise-identical stores
-    across all three configurations — fused rows (default), unfused rows,
-    and the per-point interpreter — on random mini-ZPL programs. *)
-let seqexec_fingerprint ?row_path ?fuse prog =
-  let t = Runtime.Seqexec.run ?row_path ?fuse prog in
+    across all four configurations — fused rows with CSE (default),
+    fused without CSE, unfused rows, and the per-point interpreter — on
+    random mini-ZPL programs. *)
+let seqexec_fingerprint ?row_path ?fuse ?cse prog =
+  let t = Runtime.Seqexec.run ?row_path ?fuse ?cse prog in
   ( t.Runtime.Seqexec.steps,
     t.Runtime.Seqexec.cells,
     Array.map
@@ -485,9 +486,150 @@ let prop_seqexec_row_path =
     (fun p ->
       let prog = Zpl.Check.compile_string (prog_to_source p) in
       let fused = seqexec_fingerprint ~row_path:true ~fuse:true prog in
+      let no_cse = seqexec_fingerprint ~row_path:true ~fuse:true ~cse:false prog in
       let unfused = seqexec_fingerprint ~row_path:true ~fuse:false prog in
       let point = seqexec_fingerprint ~row_path:false prog in
-      fused = unfused && unfused = point)
+      fused = no_cse && no_cse = unfused && unfused = point)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-statement CSE in fused row kernels                            *)
+(*                                                                     *)
+(* The general generator above writes the same arrays it reads, which  *)
+(* mostly disqualifies subterms from hoisting (a CSE'd term must read  *)
+(* no array the fused group writes). This generator is biased the      *)
+(* other way: statements write only E/F/G and draw their right-hand    *)
+(* sides from a 4-entry pool of neighbor sums over A..D, so adjacent   *)
+(* statements fuse AND repeat subterms — the CSE stage fires on most   *)
+(* draws, and must stay bitwise-invisible on every one.                *)
+(* ------------------------------------------------------------------ *)
+
+let cse_lhs = [| "E"; "F"; "G" |]
+
+let cse_pool =
+  [| "(A@[0,1] + A@[0,-1])"; "(B@[1,0] + B@[-1,0])";
+     "(C@[0,1] + C@[1,0])"; "(D@[-1,0] + D@[0,-1])" |]
+
+type cprog = { cterms : (int * int) list; citers : int }
+(** one statement per list element: [R] E/F/G := c*(pool t1) + c'*(pool t2) *)
+
+let gen_cprog =
+  QCheck.Gen.(
+    let* nstmts = int_range 2 3 in
+    let* cterms =
+      list_size (return nstmts) (pair (int_range 0 3) (int_range 0 3))
+    in
+    let* citers = int_range 1 2 in
+    return { cterms; citers })
+
+let cprog_to_source (p : cprog) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+var A, B, C, D, E, F, G : [BigR] float;
+var t : int;
+procedure main();
+begin
+  [BigR] A := Index1 * 0.7 + Index2 * 0.3;
+  [BigR] B := Index1 - Index2 * 0.5;
+  [BigR] C := 1.0 + Index2 * 0.1;
+  [BigR] D := 2.0 - Index1 * 0.1;
+|};
+  Buffer.add_string buf (Printf.sprintf "  for t := 1 to %d do\n" p.citers);
+  List.iteri
+    (fun i (t1, t2) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    [R] %s := %.2f * %s + %.2f * %s + 0.01 * %d;\n"
+           cse_lhs.(i)
+           (0.5 /. float_of_int (i + 1))
+           cse_pool.(t1)
+           (0.25 /. float_of_int (i + 1))
+           cse_pool.(t2) i))
+    p.cterms;
+  Buffer.add_string buf "  end;\nend;\n";
+  Buffer.contents buf
+
+let arb_cprog = QCheck.make ~print:cprog_to_source gen_cprog
+
+let prop_seqexec_cse =
+  QCheck.Test.make ~name:"seqexec CSE'd == no-CSE == per-point (bitwise)"
+    ~count:40 arb_cprog (fun p ->
+      let prog = Zpl.Check.compile_string (cprog_to_source p) in
+      let cse = seqexec_fingerprint ~row_path:true ~fuse:true ~cse:true prog in
+      let no_cse =
+        seqexec_fingerprint ~row_path:true ~fuse:true ~cse:false prog
+      in
+      let point = seqexec_fingerprint ~row_path:false prog in
+      cse = no_cse && no_cse = point)
+
+(** The CSE stage must actually engage on the paper's shapes — a fused
+    TOMCATV-like pair sharing a neighbor sum hoists at least one row
+    temporary, executes bit-identically to the per-point oracle, and
+    compiles to zero temporaries (same bits) under [~cse:false]. *)
+let test_cse_plan_engages () =
+  let region = Zpl.Region.make [ (1, 8); (1, 8) ] in
+  let shared =
+    Zpl.Prog.(ABin (Zpl.Ast.Add, ARef (0, [| 0; 1 |]), ARef (0, [| 0; -1 |])))
+  in
+  let rhs c =
+    Zpl.Prog.(
+      ABin
+        ( Zpl.Ast.Add,
+          ABin (Zpl.Ast.Mul, AConst c, shared),
+          ABin (Zpl.Ast.Mul, AConst (c /. 2.0), ARef (0, [| 1; 0 |])) ))
+  in
+  let stmt lhs c =
+    { Zpl.Prog.region = Zpl.Prog.dregion_of_region region; lhs; rhs = rhs c;
+      flops = 0 }
+  in
+  let group = [| stmt 1 0.25; stmt 2 0.75 |] in
+  let mk () =
+    let alloc = grow1 region in
+    let stores = Array.init narrays (fun aid -> mk_store aid 2 alloc 77) in
+    let rc =
+      { Runtime.Kernel.rstore = (fun aid -> stores.(aid));
+        rscalar = (fun i -> [| 0.5; -1.25 |].(i)) }
+    in
+    (stores, rc)
+  in
+  let fingerprint stores =
+    Array.map
+      (fun (s : Runtime.Store.t) -> Array.map bits (Runtime.Store.to_array s))
+      stores
+  in
+  (* per-point oracle, statement by statement *)
+  let stores_pt, rc_pt = mk () in
+  Array.iter
+    (fun (a : Zpl.Prog.assign_a) ->
+      ignore
+        (Runtime.Kernel.exec_plan
+           (Runtime.Kernel.plan_assign ~row:false rc_pt a)
+           ~lhs:stores_pt.(a.Zpl.Prog.lhs) ~region))
+    group;
+  (* fused with CSE: a temp must be hoisted, bits must match *)
+  let stores_f, rc_f = mk () in
+  (match Runtime.Kernel.plan_fused rc_f group with
+  | None -> Alcotest.fail "group should row-compile"
+  | Some fp ->
+      Alcotest.(check bool) "hoists a row temporary" true
+        (Runtime.Kernel.fused_temp_count fp > 0);
+      Alcotest.(check int) "cells"
+        (2 * Zpl.Region.size region)
+        (Runtime.Kernel.exec_fused fp ~region));
+  Alcotest.(check bool) "CSE'd == per-point (bitwise)" true
+    (fingerprint stores_f = fingerprint stores_pt);
+  (* --no-cse: zero temps, same bits *)
+  let stores_n, rc_n = mk () in
+  (match Runtime.Kernel.plan_fused ~cse:false rc_n group with
+  | None -> Alcotest.fail "group should row-compile without CSE"
+  | Some fp ->
+      Alcotest.(check int) "no temps under --no-cse" 0
+        (Runtime.Kernel.fused_temp_count fp);
+      ignore (Runtime.Kernel.exec_fused fp ~region));
+  Alcotest.(check bool) "no-CSE fused == per-point (bitwise)" true
+    (fingerprint stores_n = fingerprint stores_pt)
 
 (** Extract/inject round-trips exactly at Bigarray sub-view boundaries:
     full fringe rows/columns of a fringed store, and rank-3 rectangles
@@ -535,12 +677,12 @@ let test_extract_inject_boundaries () =
 (* Simulator: fusion and domain-parallel drain preserve everything     *)
 (* ------------------------------------------------------------------ *)
 
-let engine_fingerprint ~fuse ~domains prog =
+let engine_fingerprint ?cse ~fuse ~domains prog =
   let ir = Opt.Passes.compile Opt.Config.pl_cum prog in
   let res =
     Sim.Engine.run
       (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
-         ~pr:2 ~pc:2 ~fuse ~domains (Ir.Flat.flatten ir))
+         ~pr:2 ~pc:2 ~fuse ?cse ~domains (Ir.Flat.flatten ir))
   in
   ( bits res.Sim.Engine.time,
     res.Sim.Engine.stats,
@@ -550,9 +692,9 @@ let engine_fingerprint ~fuse ~domains prog =
           (Runtime.Store.to_array (Sim.Engine.gather res.Sim.Engine.engine aid)))
       prog.Zpl.Prog.arrays )
 
-(** Kernel fusion and the domain-parallel drain both leave simulated
-    time, statistics and every array bit-identical to the serial,
-    unfused engine. *)
+(** Kernel fusion (with and without CSE) and the domain-parallel drain
+    all leave simulated time, statistics and every array bit-identical
+    to the serial, unfused engine. *)
 let prop_engine_fuse_parallel =
   QCheck.Test.make
     ~name:"engine: fused/parallel == unfused/serial (bitwise)" ~count:12
@@ -560,7 +702,17 @@ let prop_engine_fuse_parallel =
       let prog = Zpl.Check.compile_string (prog_to_source p) in
       let base = engine_fingerprint ~fuse:false ~domains:1 prog in
       base = engine_fingerprint ~fuse:true ~domains:1 prog
+      && base = engine_fingerprint ~fuse:true ~cse:false ~domains:1 prog
       && base = engine_fingerprint ~fuse:true ~domains:3 prog)
+
+(** The engine's fused plans with CSE stay bit-identical on programs
+    engineered so the hoisting stage actually fires (see [arb_cprog]). *)
+let prop_engine_cse =
+  QCheck.Test.make ~name:"engine: CSE'd == no-CSE (bitwise)" ~count:10
+    arb_cprog (fun p ->
+      let prog = Zpl.Check.compile_string (cprog_to_source p) in
+      engine_fingerprint ~fuse:true ~cse:true ~domains:1 prog
+      = engine_fingerprint ~fuse:true ~cse:false ~domains:1 prog)
 
 (* ------------------------------------------------------------------ *)
 (* Domain-parallel experiment grid == serial grid                      *)
@@ -601,9 +753,11 @@ let () =
         List.map to_alcotest
           [ prop_row_kernel_bitwise; prop_row_reduce_bitwise;
             prop_extract_inject_rows; prop_seqexec_row_path;
-            prop_engine_fuse_parallel ]
+            prop_seqexec_cse; prop_engine_fuse_parallel; prop_engine_cse ]
         @ [ Alcotest.test_case "stencil compiles to row plan" `Quick
               test_row_plan_engages;
+            Alcotest.test_case "fused CSE engages and matches per-point"
+              `Quick test_cse_plan_engages;
             Alcotest.test_case "extract/inject at view boundaries" `Quick
               test_extract_inject_boundaries;
             Alcotest.test_case "parallel grid == serial grid" `Quick
