@@ -4,7 +4,8 @@
     zplc check    prog.zpl                  parse + typecheck
     zplc dump     prog.zpl -O cc --stage ir dump a compilation stage
     zplc counts   prog.zpl                  static counts per optimization level
-    zplc run      prog.zpl -O pl --lib shmem -p 4x4 --verify
+    zplc lint     prog.zpl | --all          verify schedules (all experiment rows)
+    zplc run      prog.zpl -O pl --lib shmem -p 4x4 --verify --check
     zplc bench    --name tomcatv            one benchmark, all paper rows
     zplc list                               bundled benchmark programs
     v} *)
@@ -152,7 +153,7 @@ let dump_cmd =
         let c = compile ~config ~defines (load_source src) in
         match stage with
         | `Ast -> print_endline (Zpl.Pretty.program_to_string c.prog)
-        | `Ir -> print_endline (Ir.Printer.program_to_string c.ir)
+        | `Ir -> print_endline (Ir.Printer.program_to_annotated_string c.ir)
         | `Flat -> print_endline (Ir.Printer.flat_to_string c.flat))
   in
   Cmd.v
@@ -182,9 +183,71 @@ let counts_cmd =
     (Cmd.info "counts" ~doc:"static communication counts per optimization level")
     Term.(const run $ src_arg $ defines_arg)
 
+let lint_cmd =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"lint every bundled benchmark (at test scale) instead of PROG")
+  in
+  let progs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PROG"
+          ~doc:"mini-ZPL source files or bundled benchmark names")
+  in
+  let run progs defines all =
+    handle (fun () ->
+        let targets =
+          (if all then
+             List.map
+               (fun (b : Programs.Bench_def.t) ->
+                 ( b.Programs.Bench_def.name,
+                   b.Programs.Bench_def.source,
+                   b.Programs.Bench_def.test_defines ))
+               Programs.Suite.all
+           else [])
+          @ List.map (fun p -> (p, load_source p, defines)) progs
+        in
+        if targets = [] then
+          Fmt.failwith "nothing to lint: name a program or pass --all";
+        let bad = ref 0 in
+        List.iter
+          (fun (name, src, defines) ->
+            let prog = Zpl.Check.compile_string ~defines src in
+            List.iter
+              (fun (label, config, _lib) ->
+                let ir = Opt.Passes.compile config prog in
+                match Analysis.Schedcheck.check ir with
+                | [] -> Printf.printf "%s [%s]: OK\n" name label
+                | diags ->
+                    bad := !bad + List.length diags;
+                    List.iter
+                      (fun d ->
+                        Printf.printf "%s [%s]: %s\n" name label
+                          (Analysis.Schedcheck.diag_to_string d))
+                      diags)
+              Report.Experiment.paper_rows)
+          targets;
+        if !bad > 0 then
+          Fmt.failwith "schedule verification failed: %d diagnostic(s)" !bad)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "statically verify communication schedules under all experiment \
+          rows (schedcheck: protocol, races, availability, rendezvous order)")
+    Term.(const run $ progs_arg $ defines_arg $ all_arg)
+
 let run_cmd =
   let verify_arg =
     Arg.(value & flag & info [ "verify" ] ~doc:"check against the sequential oracle")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"statically verify the emitted schedule (schedcheck)")
   in
   let no_fuse_arg =
     Arg.(
@@ -205,10 +268,10 @@ let run_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"drain independent simulated processors over N OCaml domains")
   in
-  let run src defines config (machine, lib) (pr, pc) verify_flag no_fuse
-      no_cse domains =
+  let run src defines config (machine, lib) (pr, pc) verify_flag check_flag
+      no_fuse no_cse domains =
     handle (fun () ->
-        let c = compile ~config ~defines (load_source src) in
+        let c = compile ~config ~defines ~check:check_flag (load_source src) in
         let fuse = not no_fuse in
         let cse = not no_cse in
         let res =
@@ -237,7 +300,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"simulate a program on a machine model")
     Term.(
       const run $ src_arg $ defines_arg $ config_arg $ lib_arg $ mesh_arg
-      $ verify_arg $ no_fuse_arg $ no_cse_arg $ domains_arg)
+      $ verify_arg $ check_arg $ no_fuse_arg $ no_cse_arg $ domains_arg)
 
 let bench_cmd =
   let name_arg =
@@ -278,6 +341,6 @@ let main =
   Cmd.group
     (Cmd.info "zplc" ~version:"1.0.0"
        ~doc:"mini-ZPL compiler with machine-independent communication optimization")
-    [ check_cmd; dump_cmd; counts_cmd; run_cmd; bench_cmd; list_cmd ]
+    [ check_cmd; dump_cmd; counts_cmd; lint_cmd; run_cmd; bench_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,52 @@
+(** Forward dataflow over the final IRONMAN IR. See the interface for
+    the contract; the notes here cover the loop treatment.
+
+    A [Repeat] body runs at least once (do-until), so its exit state is
+    the body's output under the stable entry state, where the stable
+    entry is the meet of the pre-loop state with the body's own output
+    (the back edge). A [For] body may run zero times, so its exit
+    additionally meets the pre-loop state. Fixpoints terminate because
+    every client lattice has finite height (meets only ever lose
+    information); the iteration cap is a safety net, not a widening. *)
+
+type 'a ops = {
+  equal : 'a -> 'a -> bool;
+  meet : 'a -> 'a -> 'a;
+  transfer : final:bool -> pos:int -> Ir.Instr.instr -> 'a -> 'a;
+}
+
+let max_fixpoint_iters = 1000
+
+let run (ops : 'a ops) ~(init : 'a) (code : Ir.Instr.instr list) : 'a =
+  let rec exec_list ~final pos st = function
+    | [] -> st
+    | i :: rest ->
+        let st = exec ~final pos i st in
+        exec_list ~final (pos + Ir.Instr.size i) st rest
+  and exec ~final pos (i : Ir.Instr.instr) st =
+    match i with
+    | Ir.Instr.Comm _ | Ir.Instr.Kernel _ | Ir.Instr.ScalarK _
+    | Ir.Instr.ReduceK _ ->
+        ops.transfer ~final ~pos i st
+    | Ir.Instr.If (_, a, b) ->
+        let sa = exec_list ~final (pos + 1) st a in
+        let sb = exec_list ~final (pos + 1 + Ir.Instr.size_list a) st b in
+        ops.meet sa sb
+    | Ir.Instr.Repeat (body, _) -> loop ~final ~zero_trip:false pos body st
+    | Ir.Instr.For { body; _ } -> loop ~final ~zero_trip:true pos body st
+  and loop ~final ~zero_trip pos body pre =
+    let body_pos = pos + 1 in
+    let rec fix entry n =
+      if n > max_fixpoint_iters then
+        failwith "Dataflow.run: loop fixpoint did not converge";
+      let out = exec_list ~final:false body_pos entry body in
+      let entry' = ops.meet pre out in
+      if ops.equal entry entry' then (entry, out) else fix entry' (n + 1)
+    in
+    let entry, out = fix pre 0 in
+    (* replay the body once from the stable entry so the client sees
+       every instruction exactly once with [final] inherited *)
+    let out = if final then exec_list ~final:true body_pos entry body else out in
+    if zero_trip then ops.meet pre out else out
+  in
+  exec_list ~final:true 0 init code

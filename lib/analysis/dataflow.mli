@@ -1,0 +1,35 @@
+(** A forward dataflow framework over the final IRONMAN IR
+    ({!Ir.Instr.instr} lists): abstract states flow through straight-line
+    code, meet over the arms of [If], and reach a fixpoint over the
+    bodies of [Repeat] and [For]. Positions handed to the client are the
+    stable preorder indices of {!Ir.Instr.size} — the same numbering
+    [zplc dump --ir] prints — so diagnostics derived from a run point at
+    concrete dump lines.
+
+    The framework is deliberately independent of the optimizer's own
+    bookkeeping ({!Ir.Block}): it sees only the emitted instruction
+    stream, which is what makes {!Schedcheck} a translation-validation
+    layer rather than a re-run of the optimizer's reasoning. *)
+
+type 'a ops = {
+  equal : 'a -> 'a -> bool;
+  meet : 'a -> 'a -> 'a;
+      (** greatest lower bound: combines the two arms of an [If] and the
+          loop entry with the loop back edge. Must be conservative —
+          anything true of the meet must be true of both inputs. *)
+  transfer : final:bool -> pos:int -> Ir.Instr.instr -> 'a -> 'a;
+      (** the abstract effect of one {e atomic} instruction ([Comm],
+          [Kernel], [ScalarK], [ReduceK] — structured instructions are
+          handled by the framework). [final] is [false] during fixpoint
+          iterations and [true] on the single stable replay of each
+          instruction: clients that collect diagnostics should emit them
+          only when [final], which guarantees exactly one report per
+          program point. *)
+}
+
+(** [run ops ~init code] propagates [init] through [code] and returns
+    the state at the exit. [Repeat] bodies execute at least once; [For]
+    bodies may execute zero times (the exit state meets the entry).
+    Raises [Failure] if a loop fixpoint fails to stabilize within an
+    internal iteration bound — impossible for finite-height lattices. *)
+val run : 'a ops -> init:'a -> Ir.Instr.instr list -> 'a

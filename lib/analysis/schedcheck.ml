@@ -1,0 +1,327 @@
+(** Schedcheck implementation. See the interface for the contract.
+
+    The protocol, race and availability checkers share one abstract
+    state flowing through {!Dataflow}:
+
+    - [phases] — per transfer id, where in the DR/SR/DN/SV cycle the
+      current activation stands. The lattice is the five-point flat
+      lattice {Idle, Ready, Sent, Delivered} + [Conflict]: two paths
+      that disagree meet to [Conflict], and any further call on a
+      [Conflict] transfer is a path-dependence diagnostic.
+    - [avail] — the set of (array, mesh-offset) pairs whose fringe data
+      is valid: added when a transfer carrying the pair issues DN,
+      killed when any kernel writes the array. Meet is intersection, so
+      availability holds only if it holds on every path — exactly the
+      obligation redundant-communication removal discharges informally.
+
+    The order checker is a separate syntactic scan: rendezvous order is
+    a property of maximal runs of adjacent communication calls, not of
+    the dataflow state. *)
+
+type checker = Protocol | Race | Availability | Order
+
+let checker_name = function
+  | Protocol -> "protocol"
+  | Race -> "race"
+  | Availability -> "availability"
+  | Order -> "order"
+
+type diag = {
+  d_checker : checker;
+  d_pos : int;
+  d_xfer : int option;
+  d_msg : string;
+}
+
+let pp_diag ppf d =
+  Fmt.string ppf
+    (Zpl.Loc.format_error (Zpl.Loc.Instr d.d_pos)
+       (checker_name d.d_checker ^ ": " ^ d.d_msg))
+
+let diag_to_string d = Fmt.str "%a" pp_diag d
+
+(* ------------------------------------------------------------------ *)
+(* Shared abstract state                                               *)
+(* ------------------------------------------------------------------ *)
+
+type phase = Idle | Ready | Sent | Delivered | Conflict
+
+let phase_name = function
+  | Idle -> "idle"
+  | Ready -> "after DR"
+  | Sent -> "after SR"
+  | Delivered -> "after DN"
+  | Conflict -> "path-dependent"
+
+module Pair = struct
+  type t = int * (int * int)  (* array id, mesh offset *)
+
+  let compare = Stdlib.compare
+end
+
+module Avail = Set.Make (Pair)
+
+type state = { phases : phase array; avail : Avail.t }
+
+let state_equal a b = a.phases = b.phases && Avail.equal a.avail b.avail
+
+let state_meet a b =
+  { phases =
+      Array.init (Array.length a.phases) (fun i ->
+          if a.phases.(i) = b.phases.(i) then a.phases.(i) else Conflict);
+    avail = Avail.inter a.avail b.avail }
+
+(* ------------------------------------------------------------------ *)
+(* Protocol, race and availability: one dataflow pass                  *)
+(* ------------------------------------------------------------------ *)
+
+let dataflow_diags (p : Ir.Instr.program) : diag list =
+  let prog = p.Ir.Instr.prog in
+  let transfers = p.Ir.Instr.transfers in
+  let n = Array.length transfers in
+  let xdesc t = Ir.Transfer.describe prog transfers.(t) in
+  let aname aid = (Zpl.Prog.array_info prog aid).Zpl.Prog.a_name in
+  let pair_str (aid, off) =
+    Printf.sprintf "%s@%s" (aname aid) (Ir.Transfer.direction_name off)
+  in
+  let diags = ref [] in
+  let emit ~final ~pos checker xfer fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if final then
+          diags :=
+            { d_checker = checker; d_pos = pos; d_xfer = xfer; d_msg = msg }
+            :: !diags)
+      fmt
+  in
+  (* transfers currently carrying (aid, off), in a given set of phases *)
+  let in_flight st ~phases (aid, off) =
+    let found = ref None in
+    for t = n - 1 downto 0 do
+      if
+        List.mem st.phases.(t) phases
+        && transfers.(t).Ir.Transfer.off = off
+        && List.mem aid transfers.(t).Ir.Transfer.arrays
+      then found := Some t
+    done;
+    !found
+  in
+  (* effect of a compute work item: fringe reads then array writes *)
+  let work ~final ~pos ~(writes : int list) ~(rhs : Zpl.Prog.aexpr) st =
+    List.iter
+      (fun (aid, off) ->
+        (match in_flight st ~phases:[ Ready; Sent ] (aid, off) with
+        | Some t ->
+            emit ~final ~pos Race (Some t)
+              "kernel reads fringe %s before the DN of in-flight transfer \
+               %s — the incoming message may already overwrite those cells"
+              (pair_str (aid, off)) (xdesc t)
+        | None -> ());
+        if not (Avail.mem (aid, off) st.avail) then begin
+          let candidate =
+            let found = ref None in
+            Array.iter
+              (fun (x : Ir.Transfer.t) ->
+                if
+                  !found = None && x.Ir.Transfer.off = off
+                  && List.mem aid x.Ir.Transfer.arrays
+                then found := Some x.Ir.Transfer.id)
+              transfers;
+            !found
+          in
+          emit ~final ~pos Availability candidate
+            "kernel reads fringe %s, but no transfer delivering it is \
+             available on every path since the last write of %s%s"
+            (pair_str (aid, off)) (aname aid)
+            (match candidate with
+            | Some t -> Printf.sprintf " (nearest in the table: %s)" (xdesc t)
+            | None -> "")
+        end)
+      (Zpl.Prog.comm_needs rhs);
+    List.iter
+      (fun w ->
+        for t = 0 to n - 1 do
+          if
+            (st.phases.(t) = Sent || st.phases.(t) = Delivered)
+            && List.mem w transfers.(t).Ir.Transfer.arrays
+          then
+            emit ~final ~pos Race (Some t)
+              "kernel writes %s, a member array of in-flight transfer %s, \
+               between its SR and SV"
+              (aname w) (xdesc t)
+        done)
+      writes;
+    if writes = [] then st
+    else
+      { st with
+        avail = Avail.filter (fun (a, _) -> not (List.mem a writes)) st.avail
+      }
+  in
+  let transfer ~final ~pos (i : Ir.Instr.instr) st =
+    match i with
+    | Ir.Instr.Comm (c, t) ->
+        let expected, next =
+          match c with
+          | Ir.Instr.DR -> (Idle, Ready)
+          | Ir.Instr.SR -> (Ready, Sent)
+          | Ir.Instr.DN -> (Sent, Delivered)
+          | Ir.Instr.SV -> (Delivered, Idle)
+        in
+        let ph = st.phases.(t) in
+        if ph <> expected then
+          emit ~final ~pos Protocol (Some t)
+            "%s(%s) while %s (expected %s) — each activation must run DR, \
+             SR, DN, SV exactly once, on every path"
+            (Ir.Instr.call_name c) (xdesc t) (phase_name ph)
+            (phase_name expected);
+        let phases = Array.copy st.phases in
+        phases.(t) <- next;
+        let avail =
+          match c with
+          | Ir.Instr.DN ->
+              List.fold_left
+                (fun s a -> Avail.add (a, transfers.(t).Ir.Transfer.off) s)
+                st.avail transfers.(t).Ir.Transfer.arrays
+          | _ -> st.avail
+        in
+        { phases; avail }
+    | Ir.Instr.Kernel a ->
+        work ~final ~pos ~writes:[ a.Zpl.Prog.lhs ] ~rhs:a.Zpl.Prog.rhs st
+    | Ir.Instr.ReduceK r -> work ~final ~pos ~writes:[] ~rhs:r.Zpl.Prog.r_rhs st
+    | Ir.Instr.ScalarK _ -> st
+    | Ir.Instr.Repeat _ | Ir.Instr.For _ | Ir.Instr.If _ ->
+        assert false (* structured instrs are handled by the framework *)
+  in
+  let init = { phases = Array.make n Idle; avail = Avail.empty } in
+  let exit =
+    Dataflow.run
+      { Dataflow.equal = state_equal; meet = state_meet; transfer }
+      ~init p.Ir.Instr.code
+  in
+  let end_pos = Ir.Instr.size_list p.Ir.Instr.code in
+  Array.iteri
+    (fun t ph ->
+      if ph <> Idle then
+        emit ~final:true ~pos:end_pos Protocol (Some t)
+          (if ph = Conflict then
+             "transfer %s completes on some paths only (%s at end of program)"
+           else "activation of transfer %s never completes (%s at end of program)")
+          (xdesc t) (phase_name ph))
+    exit.phases;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* SPMD rendezvous order: a syntactic scan over call runs              *)
+(* ------------------------------------------------------------------ *)
+
+(** Every maximal run of consecutive [Comm] instructions is one
+    rendezvous group: the emitter puts all calls scheduled at one block
+    position adjacent to each other, and every processor executes the
+    identical sequence (control conditions are replicated scalars). The
+    canonical deadlock-free order within a group is all DRs, then all
+    SRs, then adjacent DN/SV pairs, each class sorted by transfer id —
+    ids are assigned in uid order within a block, so id order here is
+    the uid order of the optimizer. *)
+let order_diags (p : Ir.Instr.program) : diag list =
+  let prog = p.Ir.Instr.prog in
+  let xdesc t = Ir.Transfer.describe prog p.Ir.Instr.transfers.(t) in
+  let diags = ref [] in
+  let emit pos xfer fmt =
+    Printf.ksprintf
+      (fun msg ->
+        diags :=
+          { d_checker = Order; d_pos = pos; d_xfer = Some xfer; d_msg = msg }
+          :: !diags)
+      fmt
+  in
+  let class_rank = function
+    | Ir.Instr.DR -> 0
+    | Ir.Instr.SR -> 1
+    | Ir.Instr.DN | Ir.Instr.SV -> 2
+  in
+  let class_name = function 0 -> "DR" | 1 -> "SR" | _ -> "DN/SV" in
+  let check_run (run : (int * Ir.Instr.call * int) list) =
+    let cur = ref 0 in
+    let last_tid = [| -1; -1; -1 |] in
+    let pending = ref None in
+    (* DN awaiting its adjacent SV *)
+    List.iter
+      (fun (pos, c, t) ->
+        (match !pending with
+        | Some (dpos, td) when c <> Ir.Instr.SV ->
+            emit dpos td "DN(%s) is not immediately followed by its SV"
+              (xdesc td);
+            pending := None
+        | _ -> ());
+        match c with
+        | Ir.Instr.SV -> (
+            match !pending with
+            | Some (_, td) when td = t -> pending := None
+            | Some (_, td) ->
+                emit pos t "SV(%s) follows DN(%s) — DN/SV must be adjacent \
+                            pairs of the same transfer"
+                  (xdesc t) (xdesc td);
+                pending := None
+            | None ->
+                emit pos t "SV(%s) is not immediately preceded by its DN"
+                  (xdesc t))
+        | Ir.Instr.DR | Ir.Instr.SR | Ir.Instr.DN ->
+            let r = class_rank c in
+            if r < !cur then
+              emit pos t
+                "%s(%s) after %s calls in the same rendezvous group — the \
+                 canonical SPMD order is all DRs, then SRs, then DN/SV pairs"
+                (Ir.Instr.call_name c) (xdesc t) (class_name !cur)
+            else cur := r;
+            if last_tid.(r) >= t then
+              emit pos t
+                "%s(%s) breaks the ascending transfer-id (uid) order of its \
+                 class — processors would block on rendezvous partners in \
+                 different orders"
+                (Ir.Instr.call_name c) (xdesc t);
+            last_tid.(r) <- t;
+            if c = Ir.Instr.DN then pending := Some (pos, t))
+      run;
+    match !pending with
+    | Some (dpos, td) ->
+        emit dpos td "DN(%s) has no SV in its rendezvous group" (xdesc td)
+    | None -> ()
+  in
+  let flush run = if run <> [] then check_run (List.rev run) in
+  let rec go pos run = function
+    | [] -> flush run
+    | Ir.Instr.Comm (c, t) :: rest -> go (pos + 1) ((pos, c, t) :: run) rest
+    | i :: rest ->
+        flush run;
+        (match i with
+        | Ir.Instr.Repeat (body, _) -> go (pos + 1) [] body
+        | Ir.Instr.For { body; _ } -> go (pos + 1) [] body
+        | Ir.Instr.If (_, a, b) ->
+            go (pos + 1) [] a;
+            go (pos + 1 + Ir.Instr.size_list a) [] b
+        | Ir.Instr.Comm _ | Ir.Instr.Kernel _ | Ir.Instr.ScalarK _
+        | Ir.Instr.ReduceK _ ->
+            ());
+        go (pos + Ir.Instr.size i) [] rest
+  in
+  go 0 [] p.Ir.Instr.code;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check (p : Ir.Instr.program) : diag list =
+  List.stable_sort
+    (fun a b -> compare a.d_pos b.d_pos)
+    (dataflow_diags p @ order_diags p)
+
+let check_exn (p : Ir.Instr.program) : unit =
+  match check p with
+  | [] -> ()
+  | ds ->
+      failwith
+        (Printf.sprintf "schedule verification failed (%d diagnostic%s):\n%s"
+           (List.length ds)
+           (if List.length ds = 1 then "" else "s")
+           (String.concat "\n" (List.map diag_to_string ds)))

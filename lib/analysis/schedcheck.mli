@@ -1,0 +1,61 @@
+(** Schedcheck: an independent static verifier for IRONMAN communication
+    schedules.
+
+    The optimizer's three transformations (rr, cc, pl) are exactly the
+    ones most likely to break a schedule silently — a hoisted SR racing a
+    later write, a "redundant" transfer removed across a kill, a DN that
+    no longer dominates the fringe read it guards. The existing guards
+    are {!Ir.Block.check_invariants} (structural, and trusted by the same
+    pipeline it checks) and the bitwise oracle (dynamic, one input per
+    run). Schedcheck closes the gap in the translation-validation style:
+    it re-derives correctness of the {e final} {!Ir.Instr.program} from
+    the instruction stream alone, using none of the optimizer's
+    bookkeeping.
+
+    Four checkers run over one forward {!Dataflow} pass (plus one
+    syntactic scan):
+
+    - {b protocol} — on every path, each transfer's calls occur in
+      DR ≤ SR ≤ DN ≤ SV order, exactly once per activation; no orphan,
+      duplicate or path-dependent calls, and every activation completes.
+    - {b race} — no kernel writes a member array of an in-flight
+      transfer between its SR and SV (the message snapshot), and no
+      kernel reads fringe cells of an (array, offset) whose transfer has
+      issued DR but not yet DN (the incoming message may already be
+      overwriting them).
+    - {b availability} — every fringe read is covered: some transfer of
+      the same (array, offset) was delivered (DN) on every path since
+      the last write of that array. This is the removal-soundness check:
+      a transfer deleted as redundant that the analysis cannot re-prove
+      redundant leaves an uncovered read behind.
+    - {b order} — within each rendezvous group (a maximal run of
+      consecutive communication calls), calls follow the canonical SPMD
+      deadlock-free order: all DRs, then all SRs, then adjacent DN/SV
+      pairs, each class sorted by transfer id — the same sequence on
+      every processor.
+
+    Positions in diagnostics are the stable preorder instruction indices
+    of {!Ir.Instr.size}, i.e. the [N:] lines of
+    {!Ir.Printer.program_to_annotated_string} ([zplc dump --ir]). *)
+
+type checker = Protocol | Race | Availability | Order
+
+val checker_name : checker -> string
+
+type diag = {
+  d_checker : checker;
+  d_pos : int;  (** stable instruction index; one past the last for end-of-program diagnostics *)
+  d_xfer : int option;  (** transfer id, when one is implicated *)
+  d_msg : string;  (** includes the {!Ir.Transfer.describe} string *)
+}
+
+val pp_diag : Format.formatter -> diag -> unit
+val diag_to_string : diag -> string
+
+(** All diagnostics, sorted by position. [[]] means the schedule passed
+    every checker. *)
+val check : Ir.Instr.program -> diag list
+
+(** [check_exn p] raises [Failure] with one rendered diagnostic per line
+    if {!check} finds anything. *)
+val check_exn : Ir.Instr.program -> unit

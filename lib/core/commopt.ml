@@ -18,6 +18,7 @@
 module Zpl = Zpl
 module Ir = Ir
 module Opt = Opt
+module Analysis = Analysis
 module Machine = Machine
 module Runtime = Runtime
 module Sim = Sim
@@ -32,15 +33,18 @@ type compiled = {
 }
 
 (** Compile mini-ZPL source text under an optimization configuration.
-    [defines] overrides [constant] declarations (e.g. problem size). *)
-let compile ?(config = Opt.Config.pl_cum) ?defines (src : string) : compiled =
+    [defines] overrides [constant] declarations (e.g. problem size).
+    [check] runs {!Analysis.Schedcheck} on the emitted schedule and
+    fails with its diagnostics if any checker fires. *)
+let compile ?(config = Opt.Config.pl_cum) ?defines ?check (src : string) :
+    compiled =
   let prog = Zpl.Check.compile_string ?defines src in
-  let ir = Opt.Passes.compile config prog in
+  let ir = Opt.Passes.compile ?check config prog in
   { prog; config; ir; flat = Ir.Flat.flatten ir }
 
 (** Re-optimize an already-checked program under another configuration. *)
-let recompile ~(config : Opt.Config.t) (c : compiled) : compiled =
-  let ir = Opt.Passes.compile config c.prog in
+let recompile ?check ~(config : Opt.Config.t) (c : compiled) : compiled =
+  let ir = Opt.Passes.compile ?check config c.prog in
   { c with config; ir; flat = Ir.Flat.flatten ir }
 
 let static_count (c : compiled) = Ir.Count.static_count c.ir

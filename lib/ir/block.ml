@@ -93,11 +93,11 @@ let all_live (code : code) : xfer list =
   map_blocks (fun b -> acc := List.rev_append (live_xfers b) !acc) code;
   List.rev !acc
 
-(** Internal invariants; used by tests and checked after each pass.
-    [ctx] names the block (e.g. "block 3") so a violation planted by an
-    optimizer pass is diagnosable from the message alone: every failure
-    carries the block identity, the xfer uid, and the offending
-    positions. *)
+(** Internal invariants; used by tests and checked unconditionally after
+    each pass. [ctx] names the block (e.g. "block 3") so a violation
+    planted by an optimizer pass is diagnosable from the message alone:
+    every failure carries the block identity, the xfer uid, and the
+    offending positions. *)
 let check_block_invariants ?(ctx = "block") (b : block) =
   let n = Array.length b.work in
   List.iter
@@ -132,10 +132,14 @@ let check_block_invariants ?(ctx = "block") (b : block) =
       end)
     b.xfers
 
-let check_invariants (code : code) =
+(** [check_invariants ?pass code] validates every block. [pass] names
+    the pipeline stage just executed (e.g. ["rr"]) so the failure
+    message pins the pass that planted the violation. *)
+let check_invariants ?pass (code : code) =
+  let prefix = match pass with None -> "" | Some p -> "after " ^ p ^ ": " in
   let idx = ref (-1) in
   map_blocks
     (fun b ->
       incr idx;
-      check_block_invariants ~ctx:(Printf.sprintf "block %d" !idx) b)
+      check_block_invariants ~ctx:(Printf.sprintf "%sblock %d" prefix !idx) b)
     code

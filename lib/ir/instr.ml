@@ -29,6 +29,27 @@ type program = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Stable instruction numbering                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Number of stable instruction indices occupied by one instruction:
+    itself plus, for structured instructions, its body. Indices are
+    assigned in preorder — a header before its body, a then-arm before
+    its else-arm — so an instruction list starting at index [k] places
+    instruction [i] at [k + size of everything before i]. The numbering
+    is the shared coordinate system of [Printer] (annotated dumps) and
+    [Analysis] (schedcheck diagnostics): both walk in preorder, so an
+    [ir#N] position in a diagnostic is the [N:]-prefixed line of
+    [zplc dump --ir]. *)
+let rec size = function
+  | Comm _ | Kernel _ | ScalarK _ | ReduceK _ -> 1
+  | Repeat (body, _) -> 1 + size_list body
+  | For { body; _ } -> 1 + size_list body
+  | If (_, a, b) -> 1 + size_list a + size_list b
+
+and size_list (is : instr list) = List.fold_left (fun n i -> n + size i) 0 is
+
+(* ------------------------------------------------------------------ *)
 (* Emission from the optimizer's block form                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -45,6 +45,72 @@ let program_to_string (p : Instr.program) =
   String.concat "\n"
     (List.concat_map (instr_lines p ~indent:0) p.Instr.code)
 
+(* ------------------------------------------------------------------ *)
+(* Annotated dump                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Like {!program_to_string}, but every instruction line is prefixed
+    with its stable preorder index (the {!Instr.size} numbering) and
+    communication calls carry the {!Transfer.describe} string — so an
+    [ir#N] position in a schedcheck diagnostic is exactly the [N:] line
+    of this dump, and the named transfer is identifiable on it.
+    Continuation lines ([until]/[else]/[end]) carry no index: they
+    belong to the structured instruction whose header is numbered. *)
+let annotated_lines (p : Instr.program) : string list =
+  let idx k = Printf.sprintf "%4d: " k in
+  let blank = String.make 6 ' ' in
+  let prefix_first k = function
+    | [] -> []
+    | l :: rest -> (idx k ^ l) :: List.map (fun l -> blank ^ l) rest
+  in
+  let prog = p.Instr.prog in
+  let rec go ~indent k (i : Instr.instr) : string list =
+    let pad = String.make indent ' ' in
+    match i with
+    | Instr.Comm (c, x) ->
+        [ idx k
+          ^ Printf.sprintf "%s%s(%s);" pad (Instr.call_name c)
+              (Transfer.describe prog p.Instr.transfers.(x)) ]
+    | Instr.Kernel a ->
+        prefix_first k (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignA a))
+    | Instr.ScalarK { lhs; rhs } ->
+        prefix_first k
+          (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignS { lhs; rhs }))
+    | Instr.ReduceK r ->
+        prefix_first k (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.ReduceS r))
+    | Instr.Repeat (body, cond) ->
+        ((idx k ^ pad ^ "repeat") :: go_list ~indent:(indent + 2) (k + 1) body)
+        @ [ blank
+            ^ Printf.sprintf "%suntil %s;" pad
+                (Zpl.Pretty.sexpr_to_string prog cond) ]
+    | Instr.For { var; lo; hi; step; body } ->
+        ((idx k
+          ^ Printf.sprintf "%sfor %s := %s %s %s do" pad
+              (Zpl.Prog.scalar_info prog var).s_name
+              (Zpl.Pretty.sexpr_to_string prog lo)
+              (if step >= 0 then "to" else "downto")
+              (Zpl.Pretty.sexpr_to_string prog hi))
+        :: go_list ~indent:(indent + 2) (k + 1) body)
+        @ [ blank ^ pad ^ "end;" ]
+    | Instr.If (cond, a, b) ->
+        ((idx k
+          ^ Printf.sprintf "%sif %s then" pad
+              (Zpl.Pretty.sexpr_to_string prog cond))
+        :: go_list ~indent:(indent + 2) (k + 1) a)
+        @ (if b = [] then []
+           else
+             (blank ^ pad ^ "else")
+             :: go_list ~indent:(indent + 2) (k + 1 + Instr.size_list a) b)
+        @ [ blank ^ pad ^ "end;" ]
+  and go_list ~indent k = function
+    | [] -> []
+    | i :: rest -> go ~indent k i @ go_list ~indent (k + Instr.size i) rest
+  in
+  go_list ~indent:0 0 p.Instr.code
+
+let program_to_annotated_string (p : Instr.program) =
+  String.concat "\n" (annotated_lines p)
+
 let flat_to_string (f : Flat.t) =
   let prog = f.Flat.prog in
   let line i op =

@@ -9,18 +9,31 @@ type report = {
   baseline_static : int;  (** transfers the baseline would have *)
 }
 
-let optimize (config : Config.t) (code : Ir.Block.code) : Ir.Block.code =
-  let code = if config.Config.rr then Redundant.run code else code in
-  let code =
-    if config.Config.cc then Combine.run config.Config.heuristic code else code
-  in
-  let code = if config.Config.pl then Pipeline.run code else code in
-  Ir.Block.check_invariants code;
-  code
+(** Run one pass when enabled, then (cheaply) re-validate the block
+    invariants — unconditionally, so a violation is pinned on the pass
+    that planted it rather than surfacing blocks later. *)
+let pass name enabled f (code : Ir.Block.code) : Ir.Block.code =
+  if not enabled then code
+  else begin
+    let code = f code in
+    Ir.Block.check_invariants ~pass:name code;
+    code
+  end
 
-(** Compile a typed program under [config] to the final IR. *)
-let compile (config : Config.t) (p : Zpl.Prog.t) : Ir.Instr.program =
-  Ir.Instr.of_code p (optimize config (Lower.lower p))
+let optimize (config : Config.t) (code : Ir.Block.code) : Ir.Block.code =
+  Ir.Block.check_invariants ~pass:"lower" code;
+  code
+  |> pass "rr" config.Config.rr Redundant.run
+  |> pass "cc" config.Config.cc (Combine.run config.Config.heuristic)
+  |> pass "pl" config.Config.pl Pipeline.run
+
+(** Compile a typed program under [config] to the final IR. [check]
+    additionally runs the schedcheck verifier on the emitted program. *)
+let compile ?(check = false) (config : Config.t) (p : Zpl.Prog.t) :
+    Ir.Instr.program =
+  let ir = Ir.Instr.of_code p (optimize config (Lower.lower p)) in
+  if check then Analysis.Schedcheck.check_exn ir;
+  ir
 
 let report (config : Config.t) (p : Zpl.Prog.t) : report * Ir.Instr.program =
   let baseline = compile Config.baseline p in

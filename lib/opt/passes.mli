@@ -1,6 +1,7 @@
 (** The optimizer's pass driver: lower to the baseline (message-vectorized)
     block form, apply the selected optimizations in the paper's order (rr,
-    then cc, then pl), validate invariants, and emit the final IRONMAN IR. *)
+    then cc, then pl), validate invariants after every pass, and emit the
+    final IRONMAN IR. *)
 
 type report = {
   config : Config.t;
@@ -9,11 +10,17 @@ type report = {
   baseline_static : int;  (** transfers the baseline would have *)
 }
 
-(** Apply the selected passes in place and check block invariants. *)
+(** Apply the selected passes in place. {!Ir.Block.check_invariants}
+    runs unconditionally on the input and after each enabled pass; a
+    violation fails with the responsible pass named in the message. *)
 val optimize : Config.t -> Ir.Block.code -> Ir.Block.code
 
-(** Full pipeline: typed program to final IRONMAN IR. *)
-val compile : Config.t -> Zpl.Prog.t -> Ir.Instr.program
+(** Full pipeline: typed program to final IRONMAN IR. With [~check:true]
+    the emitted program is additionally verified by
+    {!Analysis.Schedcheck.check_exn} — an independent dataflow pass over
+    the final instruction stream ([Failure] carries one diagnostic per
+    line). *)
+val compile : ?check:bool -> Config.t -> Zpl.Prog.t -> Ir.Instr.program
 
 (** [compile] plus a static-count comparison against the baseline. *)
 val report : Config.t -> Zpl.Prog.t -> report * Ir.Instr.program

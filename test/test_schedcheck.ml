@@ -1,0 +1,374 @@
+(** Schedcheck: the independent schedule verifier must (a) accept every
+    schedule the real pipeline emits — all benchmarks under all paper
+    experiment rows — and (b) reject perturbed schedules, with the
+    intended checker firing and the diagnostic naming the transfer and
+    its instruction position. The mutations mirror the failure modes the
+    optimizations could introduce: dropped or duplicated IRONMAN calls,
+    an SR hoisted above a writer, a needed transfer deleted, and
+    non-canonical rendezvous orders. *)
+
+open Commopt
+module I = Ir.Instr
+module S = Analysis.Schedcheck
+
+(* ------------------------------------------------------------------ *)
+(* Mutation helpers: structural edits on the final instruction tree    *)
+(* ------------------------------------------------------------------ *)
+
+(** Apply [f] to every instruction list in the tree, strictly in document
+    order with inner lists before their enclosing list — so stateful
+    "first match" edits hit the leftmost innermost occurrence. *)
+let rec map_lists (f : I.instr list -> I.instr list) (is : I.instr list) :
+    I.instr list =
+  let rec each = function
+    | [] -> []
+    | i :: rest ->
+        let i =
+          match i with
+          | I.Repeat (b, c) -> I.Repeat (map_lists f b, c)
+          | I.For { var; lo; hi; step; body } ->
+              I.For { var; lo; hi; step; body = map_lists f body }
+          | I.If (c, a, b) -> I.If (c, map_lists f a, map_lists f b)
+          | (I.Comm _ | I.Kernel _ | I.ScalarK _ | I.ReduceK _) as i -> i
+        in
+        i :: each rest
+  in
+  f (each is)
+
+let drop pred = map_lists (List.filter (fun i -> not (pred i)))
+
+let dup pred =
+  map_lists (List.concat_map (fun i -> if pred i then [ i; i ] else [ i ]))
+
+(** Insert [x] after the first instruction matching [pred] (innermost
+    lists are visited first). *)
+let insert_after_first pred x code =
+  let placed = ref false in
+  map_lists
+    (List.concat_map (fun i ->
+         if (not !placed) && pred i then begin
+           placed := true;
+           [ i; x ]
+         end
+         else [ i ]))
+    code
+
+(** Swap the first adjacent pair where [p1 x; p2 y] into [y; x]. *)
+let swap_adjacent p1 p2 code =
+  let swapped = ref false in
+  map_lists
+    (fun l ->
+      let rec go = function
+        | x :: y :: rest when (not !swapped) && p1 x && p2 y ->
+            swapped := true;
+            y :: x :: rest
+        | x :: rest -> x :: go rest
+        | [] -> []
+      in
+      go l)
+    code
+
+let is_comm c t = fun i -> i = I.Comm (c, t)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: a two-statement loop whose schedule we know exactly        *)
+(* ------------------------------------------------------------------ *)
+
+let fixture_src =
+  {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+direction east  = [ 0,  1];
+direction west  = [ 0, -1];
+direction north = [-1,  0];
+var A, B : [BigR] float;
+var t : int;
+procedure main();
+begin
+  [BigR] A := Index1 * 0.5;
+  [BigR] B := Index2 * 0.25;
+  for t := 1 to 3 do
+    [R] B := A@east + A@west;
+    [R] A := 0.5 * B@north;
+  end;
+end;
+|}
+
+(* Baseline schedule of the loop body (transfer ids are dense in
+   emission order):
+     DR(x0:A@east) DR(x1:A@west) SR(x0) SR(x1)
+     DN(x0) SV(x0) DN(x1) SV(x1)
+     [R] B := A@east + A@west          <- writes B
+     DR(x2:B@north) SR(x2) DN(x2) SV(x2)
+     [R] A := 0.5 * B@north            <- writes A
+   The sanity test below pins this down so the hardcoded ids in the
+   mutations are justified. *)
+
+let fixture () =
+  Opt.Passes.compile Opt.Config.baseline
+    (Zpl.Check.compile_string fixture_src)
+
+let test_fixture_sanity () =
+  let ir = fixture () in
+  let prog = ir.I.prog in
+  Alcotest.(check int) "three transfers" 3 (Array.length ir.I.transfers);
+  Alcotest.(check (list string)) "transfer table"
+    [ "x0:A@east"; "x1:A@west"; "x2:B@north" ]
+    (Array.to_list
+       (Array.map (fun x -> Ir.Transfer.describe prog x) ir.I.transfers));
+  Alcotest.(check (list string)) "schedcheck-clean" []
+    (List.map S.diag_to_string (S.check ir))
+
+(* ------------------------------------------------------------------ *)
+(* The mutation suite                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let checkers ds =
+  List.sort_uniq compare (List.map (fun d -> d.S.d_checker) ds)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+(** Assert the mutated schedule is rejected, the intended checker fires,
+    and some diagnostic of that checker names the expected transfer (by
+    its [Transfer.describe] string) at a concrete position. *)
+let assert_rejected ~name ~intended ~xfer (mutate : I.instr list -> I.instr list)
+    =
+  let ir = fixture () in
+  let ir' = { ir with I.code = mutate ir.I.code } in
+  let ds = S.check ir' in
+  if ds = [] then Alcotest.failf "%s: mutation not rejected" name;
+  if not (List.mem intended (checkers ds)) then
+    Alcotest.failf "%s: %s checker did not fire; got:\n%s" name
+      (S.checker_name intended)
+      (String.concat "\n" (List.map S.diag_to_string ds));
+  let named =
+    List.filter
+      (fun d ->
+        d.S.d_checker = intended
+        && contains d.S.d_msg (Ir.Transfer.describe ir.I.prog ir.I.transfers.(xfer)))
+      ds
+  in
+  (match named with
+  | [] ->
+      Alcotest.failf "%s: no %s diagnostic names transfer %d:\n%s" name
+        (S.checker_name intended) xfer
+        (String.concat "\n" (List.map S.diag_to_string ds))
+  | d :: _ ->
+      if d.S.d_pos < 0 then Alcotest.failf "%s: negative position" name);
+  (* the rendered diagnostic must carry a jumpable ir#N position *)
+  List.iter
+    (fun d ->
+      let s = S.diag_to_string d in
+      if not (contains s "ir#") then
+        Alcotest.failf "%s: diagnostic lacks an ir# position: %s" name s)
+    ds
+
+let test_drop_dn () =
+  (* SV arrives with the transfer still 'after SR' *)
+  assert_rejected ~name:"drop DN" ~intended:S.Protocol ~xfer:0
+    (drop (is_comm I.DN 0))
+
+let test_drop_sv () =
+  (* the activation never completes: caught at the loop's back edge /
+     program end *)
+  assert_rejected ~name:"drop SV" ~intended:S.Protocol ~xfer:2
+    (drop (is_comm I.SV 2))
+
+let test_duplicate_sr () =
+  assert_rejected ~name:"duplicate SR" ~intended:S.Protocol ~xfer:0
+    (dup (is_comm I.SR 0))
+
+let test_sr_above_writer () =
+  (* hoist DR/SR of x2:B@north above the kernel that writes B — the
+     send races the message snapshot between SR and SV. The calls are
+     re-inserted in canonical class positions so only the race checker
+     can object. *)
+  assert_rejected ~name:"SR above writer" ~intended:S.Race ~xfer:2 (fun code ->
+      code
+      |> drop (fun i -> is_comm I.DR 2 i || is_comm I.SR 2 i)
+      |> insert_after_first (is_comm I.DR 1) (I.Comm (I.DR, 2))
+      |> insert_after_first (is_comm I.SR 1) (I.Comm (I.SR, 2)))
+
+let test_dn_after_reader () =
+  (* deliver x2 only after the kernel that reads B@north: the read races
+     the in-flight message *)
+  assert_rejected ~name:"DN after reader" ~intended:S.Race ~xfer:2 (fun code ->
+      let is_reader = function
+        | I.Kernel a -> a.Zpl.Prog.lhs = 0 (* A := 0.5 * B@north *)
+        | _ -> false
+      in
+      code
+      |> drop (fun i -> is_comm I.DN 2 i || is_comm I.SV 2 i)
+      |> insert_after_first is_reader (I.Comm (I.SV, 2))
+      |> insert_after_first is_reader (I.Comm (I.DN, 2)))
+
+let test_delete_needed_transfer () =
+  (* remove all four calls of x0:A@east, as an unsound redundancy
+     removal would: the stencil's fringe read is uncovered *)
+  assert_rejected ~name:"delete needed transfer" ~intended:S.Availability
+    ~xfer:0
+    (drop (fun i -> match i with I.Comm (_, 0) -> true | _ -> false))
+
+let test_dr_uid_order () =
+  assert_rejected ~name:"DR uid order" ~intended:S.Order ~xfer:0
+    (swap_adjacent (is_comm I.DR 0) (is_comm I.DR 1))
+
+let test_sr_uid_order () =
+  assert_rejected ~name:"SR uid order" ~intended:S.Order ~xfer:0
+    (swap_adjacent (is_comm I.SR 0) (is_comm I.SR 1))
+
+let test_split_dn_sv_pair () =
+  (* [DN0 SV0 DN1 SV1] -> [DN0 DN1 SV0 SV1]: protocol-legal, but the
+     rendezvous groups are no longer adjacent pairs *)
+  assert_rejected ~name:"split DN/SV pair" ~intended:S.Order ~xfer:0
+    (swap_adjacent (is_comm I.SV 0) (is_comm I.DN 1))
+
+(* ------------------------------------------------------------------ *)
+(* End-of-program protocol check in straight-line code                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_incomplete_at_end () =
+  let ir =
+    Opt.Passes.compile Opt.Config.baseline
+      (Zpl.Check.compile_string
+         {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+direction east = [0, 1];
+var A, B : [BigR] float;
+procedure main();
+begin
+  [BigR] A := Index1 * 0.5;
+  [R] B := A@east;
+end;
+|})
+  in
+  let ir' = { ir with I.code = drop (is_comm I.SV 0) ir.I.code } in
+  let ds = S.check ir' in
+  (* the order checker also notices the SV-less rendezvous group; the
+     end-of-program protocol diagnostic is the one under test here *)
+  match List.filter (fun d -> d.S.d_checker = S.Protocol) ds with
+  | [ d ] ->
+      Alcotest.(check int) "position one past the end"
+        (I.size_list ir'.I.code) d.S.d_pos;
+      Alcotest.(check bool) "names the incompleteness" true
+        (contains d.S.d_msg "never completes")
+  | _ ->
+      Alcotest.failf "expected exactly one protocol diagnostic, got:\n%s"
+        (String.concat "\n" (List.map S.diag_to_string ds))
+
+(* ------------------------------------------------------------------ *)
+(* The full experiment grid is schedcheck-clean                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_clean () =
+  List.iter
+    (fun (b : Programs.Bench_def.t) ->
+      let prog = Programs.Suite.compile ~scale:`Test b in
+      List.iter
+        (fun (label, config, _lib) ->
+          let ir = Opt.Passes.compile config prog in
+          match S.check ir with
+          | [] -> ()
+          | ds ->
+              Alcotest.failf "%s [%s]:\n%s" b.Programs.Bench_def.name label
+                (String.concat "\n" (List.map S.diag_to_string ds)))
+        Report.Experiment.paper_rows)
+    Programs.Suite.all
+
+let test_compile_check_flag () =
+  (* ?check:true on the pass driver runs the verifier in-line *)
+  let prog = Zpl.Check.compile_string fixture_src in
+  ignore (Opt.Passes.compile ~check:true Opt.Config.pl_cum prog);
+  let c = compile ~check:true ~config:Opt.Config.pl_cum fixture_src in
+  ignore (recompile ~check:true ~config:Opt.Config.rr_only c)
+
+let test_check_exn_message () =
+  let ir = fixture () in
+  let ir' = { ir with I.code = drop (is_comm I.DN 0) ir.I.code } in
+  match S.check_exn ir' with
+  | () -> Alcotest.fail "expected check_exn to raise"
+  | exception Failure msg ->
+      Alcotest.(check bool) "headline" true
+        (contains msg "schedule verification failed");
+      Alcotest.(check bool) "transfer named" true (contains msg "x0:A@east");
+      Alcotest.(check bool) "position named" true (contains msg "ir#")
+
+(* ------------------------------------------------------------------ *)
+(* Annotated dump and numbering agreement                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_annotated_dump_numbering () =
+  let ir =
+    Opt.Passes.compile Opt.Config.pl_cum (Zpl.Check.compile_string fixture_src)
+  in
+  let dump = Ir.Printer.program_to_annotated_string ir in
+  let lines = String.split_on_char '\n' dump in
+  let indexed =
+    List.filter_map
+      (fun l ->
+        match String.index_opt l ':' with
+        | Some i -> int_of_string_opt (String.trim (String.sub l 0 i))
+        | None -> None)
+      lines
+  in
+  (* exactly the preorder indices 0 .. size-1, in order *)
+  Alcotest.(check (list int)) "stable preorder indices"
+    (List.init (I.size_list ir.I.code) Fun.id)
+    indexed;
+  Alcotest.(check bool) "transfers described" true
+    (contains dump "DR(x0:A@east)")
+
+(* ------------------------------------------------------------------ *)
+(* Pass-named invariant failures (driver satellite)                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_invariant_names_pass () =
+  let prog = Zpl.Check.compile_string fixture_src in
+  let code = Opt.Lower.lower prog in
+  (* corrupt a transfer the way a buggy pass would *)
+  (match Ir.Block.all_live code with
+  | x :: _ -> x.Ir.Block.ready_pos <- x.Ir.Block.send_pos + 1
+  | [] -> Alcotest.fail "fixture has no transfers");
+  match Opt.Passes.optimize Opt.Config.baseline code with
+  | _ -> Alcotest.fail "expected an invariant failure"
+  | exception Failure msg ->
+      Alcotest.(check bool) "names the stage" true (contains msg "after lower")
+
+let () =
+  Alcotest.run "schedcheck"
+    [ ( "fixture",
+        [ Alcotest.test_case "baseline schedule as expected" `Quick
+            test_fixture_sanity ] );
+      ( "mutations",
+        [ Alcotest.test_case "drop DN -> protocol" `Quick test_drop_dn;
+          Alcotest.test_case "drop SV -> protocol" `Quick test_drop_sv;
+          Alcotest.test_case "duplicate SR -> protocol" `Quick
+            test_duplicate_sr;
+          Alcotest.test_case "SR above writer -> race" `Quick
+            test_sr_above_writer;
+          Alcotest.test_case "DN after reader -> race" `Quick
+            test_dn_after_reader;
+          Alcotest.test_case "delete needed transfer -> availability" `Quick
+            test_delete_needed_transfer;
+          Alcotest.test_case "DR uid order -> order" `Quick test_dr_uid_order;
+          Alcotest.test_case "SR uid order -> order" `Quick test_sr_uid_order;
+          Alcotest.test_case "split DN/SV pair -> order" `Quick
+            test_split_dn_sv_pair;
+          Alcotest.test_case "incomplete activation at end" `Quick
+            test_incomplete_at_end ] );
+      ( "pipeline",
+        [ Alcotest.test_case "experiment grid is schedcheck-clean" `Quick
+            test_grid_clean;
+          Alcotest.test_case "compile ~check:true wiring" `Quick
+            test_compile_check_flag;
+          Alcotest.test_case "check_exn message" `Quick test_check_exn_message;
+          Alcotest.test_case "annotated dump numbering" `Quick
+            test_annotated_dump_numbering;
+          Alcotest.test_case "invariant failures name the pass" `Quick
+            test_invariant_names_pass ] ) ]
