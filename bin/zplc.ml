@@ -268,14 +268,24 @@ let run_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"drain independent simulated processors over N OCaml domains")
   in
+  let no_wire_arg =
+    Arg.(
+      value & flag
+      & info [ "no-wire" ]
+          ~doc:
+            "use the legacy extract/inject communication path instead of \
+             pre-compiled wire plans (results are bit-identical; for \
+             differential testing and benchmarking)")
+  in
   let run src defines config (machine, lib) (pr, pc) verify_flag check_flag
-      no_fuse no_cse domains =
+      no_fuse no_cse domains no_wire =
     handle (fun () ->
         let c = compile ~config ~defines ~check:check_flag (load_source src) in
         let fuse = not no_fuse in
         let cse = not no_cse in
         let res =
-          simulate ~machine ~lib ~mesh:(pr, pc) ~fuse ~cse ?domains c
+          simulate ~machine ~lib ~mesh:(pr, pc) ~fuse ~cse ?domains
+            ~wire:(not no_wire) c
         in
         let st = res.Sim.Engine.stats in
         Printf.printf "program        : %s\n" src;
@@ -300,7 +310,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"simulate a program on a machine model")
     Term.(
       const run $ src_arg $ defines_arg $ config_arg $ lib_arg $ mesh_arg
-      $ verify_arg $ check_arg $ no_fuse_arg $ no_cse_arg $ domains_arg)
+      $ verify_arg $ check_arg $ no_fuse_arg $ no_cse_arg $ domains_arg
+      $ no_wire_arg)
 
 let bench_cmd =
   let name_arg =

@@ -52,14 +52,18 @@ let static_count (c : compiled) = Ir.Count.static_count c.ir
 (** Simulate on [mesh] (default 4x4) of the given machine/library (default
     T3D + PVM). [fuse] toggles row-kernel fusion inside the simulated
     processors; [cse] toggles subterm hoisting within fused groups;
-    [domains] drains independent local work over that many OCaml domains
-    (all default to the engine's defaults). *)
+    [domains] drains independent local work over that many OCaml domains;
+    [wire] toggles the pre-compiled wire-plan communication runtime
+    (results are bit-identical either way — the flag exists for
+    differential tests and benchmarking). All default to the engine's
+    defaults. *)
 let simulate ?(machine = Machine.T3d.machine) ?(lib = Machine.T3d.pvm)
-    ?(mesh = (4, 4)) ?limit ?fuse ?cse ?domains (c : compiled) :
+    ?(mesh = (4, 4)) ?limit ?fuse ?cse ?domains ?wire (c : compiled) :
     Sim.Engine.result =
   let pr, pc = mesh in
   Sim.Engine.run
-    (Sim.Engine.make ?limit ?fuse ?cse ?domains ~machine ~lib ~pr ~pc c.flat)
+    (Sim.Engine.make ?limit ?fuse ?cse ?domains ?wire ~machine ~lib ~pr ~pc
+       c.flat)
 
 (** Run the sequential oracle on the same program. *)
 let run_oracle ?limit (c : compiled) : Runtime.Seqexec.t =
@@ -92,7 +96,10 @@ let cell_diverges ~tolerance ~got ~want =
     Float.is_nan d || d > tolerance
 
 (** First cell (array-declaration order, then row-major point order)
-    diverging from the oracle beyond [tolerance] (per {!cell_diverges}). *)
+    diverging from the oracle beyond [tolerance] (per {!cell_diverges}).
+    Compares whole rows through the flat buffers — one index computation
+    per row rather than per cell — so verification keeps pace with the
+    row-compiled kernels it checks. *)
 let first_divergence ?(tolerance = 1e-9) (c : compiled)
     (res : Sim.Engine.result) (oracle : Runtime.Seqexec.t) :
     divergence option =
@@ -101,16 +108,26 @@ let first_divergence ?(tolerance = 1e-9) (c : compiled)
       (fun aid (info : Zpl.Prog.array_info) ->
         let par = Sim.Engine.gather res.Sim.Engine.engine aid in
         let sq = oracle.Runtime.Seqexec.stores.(aid) in
-        Zpl.Region.iter info.a_region (fun pt ->
-            let want = Runtime.Store.get sq pt
-            and got = Runtime.Store.get par pt in
-            if cell_diverges ~tolerance ~got ~want then
-              raise
-                (Found
-                   { d_array = info.a_name;
-                     d_point = Array.copy pt;
-                     d_got = got;
-                     d_want = want })))
+        let got_buf = Runtime.Store.read_only par
+        and want_buf = Runtime.Store.read_only sq in
+        Zpl.Region.iter_rows info.a_region (fun p0 len ->
+            let gb = Runtime.Store.index par p0
+            and wb = Runtime.Store.index sq p0 in
+            for k = 0 to len - 1 do
+              let got = Bigarray.Array1.unsafe_get got_buf (gb + k)
+              and want = Bigarray.Array1.unsafe_get want_buf (wb + k) in
+              if cell_diverges ~tolerance ~got ~want then begin
+                let pt = Array.copy p0 in
+                let last = Array.length pt - 1 in
+                pt.(last) <- pt.(last) + k;
+                raise
+                  (Found
+                     { d_array = info.a_name;
+                       d_point = pt;
+                       d_got = got;
+                       d_want = want })
+              end
+            done))
       c.prog.Zpl.Prog.arrays;
     None
   with Found d -> Some d
@@ -133,25 +150,32 @@ let oracle_distance (c : compiled) (res : Sim.Engine.result)
     (fun aid (info : Zpl.Prog.array_info) ->
       let par = Sim.Engine.gather res.Sim.Engine.engine aid in
       let sq = oracle.Runtime.Seqexec.stores.(aid) in
-      Zpl.Region.iter info.a_region (fun pt ->
-          let a = Runtime.Store.get sq pt and b = Runtime.Store.get par pt in
-          let d =
-            if Float.is_nan a || Float.is_nan b then
-              if Float.is_nan a && Float.is_nan b then 0.0 else infinity
-            else if a = b then 0.0
-            else
-              let d = Float.abs (a -. b) /. (1.0 +. Float.abs a) in
-              if Float.is_nan d then infinity else d
-          in
-          if d > !worst then worst := d))
+      let got_buf = Runtime.Store.read_only par
+      and want_buf = Runtime.Store.read_only sq in
+      Zpl.Region.iter_rows info.a_region (fun p0 len ->
+          let gb = Runtime.Store.index par p0
+          and wb = Runtime.Store.index sq p0 in
+          for k = 0 to len - 1 do
+            let b = Bigarray.Array1.unsafe_get got_buf (gb + k)
+            and a = Bigarray.Array1.unsafe_get want_buf (wb + k) in
+            let d =
+              if Float.is_nan a || Float.is_nan b then
+                if Float.is_nan a && Float.is_nan b then 0.0 else infinity
+              else if a = b then 0.0
+              else
+                let d = Float.abs (a -. b) /. (1.0 +. Float.abs a) in
+                if Float.is_nan d then infinity else d
+            in
+            if d > !worst then worst := d
+          done))
     c.prog.Zpl.Prog.arrays;
   !worst
 
 (** [verify c] simulates and checks the result against the oracle; returns
     the simulation result or fails naming the first divergent cell. *)
-let verify ?machine ?lib ?mesh ?fuse ?cse ?domains ?(tolerance = 1e-9)
+let verify ?machine ?lib ?mesh ?fuse ?cse ?domains ?wire ?(tolerance = 1e-9)
     (c : compiled) : Sim.Engine.result =
-  let res = simulate ?machine ?lib ?mesh ?fuse ?cse ?domains c in
+  let res = simulate ?machine ?lib ?mesh ?fuse ?cse ?domains ?wire c in
   let oracle = run_oracle c in
   match first_divergence ~tolerance c res oracle with
   | None -> res

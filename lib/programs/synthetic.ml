@@ -57,6 +57,65 @@ let defines ~doubles ~busyn ~iters =
   [ ("m", float_of_int doubles); ("busyn", float_of_int busyn);
     ("iters", float_of_int iters) ]
 
+(** Combine-heavy variant for the communication-runtime benchmark:
+    eight member arrays cross east in {e one} combined message per
+    iteration (the [cc] pass merges the eight same-shaped transfers),
+    so every message carries eight pieces — the case the wire-plan
+    runtime packs into a single pooled staging buffer while the legacy
+    path pays one extract allocation per piece. The loop body is a
+    single statement: compile it {e without} redundancy removal
+    (e.g. [{ baseline with cc = true }]) so the repeated transfers
+    survive, which keeps the non-communication share of each iteration
+    — the noise floor of a subtracted measurement — as small as
+    possible. The traffic is one-directional, so under the serial
+    drain the sender runs the whole loop ahead of the receiver: no
+    processor ever actually blocks after the first wait, which keeps
+    scheduler cost out of the exposed difference — and the staging pool
+    never recycles, so the wire path is measured at its {e worst} case
+    (one fresh buffer per message). [combined_busy_source] is the same
+    program with the shifted reads made local, for Figure-6-style
+    busy-loop subtraction. *)
+let combined_template ~refs =
+  Printf.sprintf
+    {|
+constant m     = 8;
+constant iters = 2000;
+
+region Strip = [1..m, 1..2];
+
+direction east = [0, 1];
+
+var A, E, F, G, H, P, Q, R, S : [0..m+1, 0..3] float;
+var t : int;
+
+procedure main();
+begin
+  [0..m+1, 0..3] E := Index1 * 0.25;
+  [0..m+1, 0..3] F := Index2 * 0.5;
+  [0..m+1, 0..3] G := Index1 + Index2;
+  [0..m+1, 0..3] H := Index1 - Index2;
+  [0..m+1, 0..3] P := Index1 * 0.125;
+  [0..m+1, 0..3] Q := Index2 * 0.25;
+  [0..m+1, 0..3] R := Index1 * 2.0;
+  [0..m+1, 0..3] S := Index2 * 2.0;
+  for t := 1 to iters do
+    [Strip] A := %s;
+  end;
+end;
+|}
+    refs
+
+let combined_source =
+  combined_template
+    ~refs:
+      "E@east + F@east + G@east + H@east + P@east + Q@east + R@east + S@east"
+
+let combined_busy_source =
+  combined_template ~refs:"E + F + G + H + P + Q + R + S"
+
+let combined_defines ~doubles ~iters =
+  [ ("m", float_of_int doubles); ("iters", float_of_int iters) ]
+
 let def : Bench_def.t =
   { Bench_def.name = "synth";
     description = "Two-node exposed-overhead microbenchmark (Figure 6)";

@@ -82,3 +82,46 @@ let piece_cells (info : Zpl.Prog.array_info) (pc : piece) =
 let full_rect (info : Zpl.Prog.array_info) (pc : piece) : Zpl.Region.t =
   if info.a_rank = 2 then pc.rect
   else [| pc.rect.(0); pc.rect.(1); Zpl.Region.dim info.a_region 2 |]
+
+(** One partner's share of a transfer on one processor: the member
+    rectangles in canonical order. *)
+type partner_pieces = {
+  pp_partner : int;
+  pp_rects : (int * Zpl.Region.t) list;
+      (** (array id, full-rank rect), in member-array order *)
+  pp_cells : int;  (** total cells over all member rects *)
+}
+
+(** Group the send or receive pieces of a (possibly combined) transfer by
+    partner. The rect order within a partner — member arrays in [arrays]
+    order, at most one rect per (array, partner) pair since distinct
+    neighbor deltas reach distinct processors — is the {e canonical
+    message layout}: the sender packs and the receiver unpacks staging
+    buffers in exactly this order, so both sides of a message agree on
+    every member piece's offset by construction. *)
+let partner_sides (l : Layout.t) (prog : Zpl.Prog.t) ~(arrays : int list)
+    ~(off : int * int) ~p ~(dir : [ `Send | `Recv ]) : partner_pieces list =
+  let triples =
+    List.concat_map
+      (fun aid ->
+        let info = prog.Zpl.Prog.arrays.(aid) in
+        let pieces =
+          match dir with
+          | `Recv -> recv_pieces l info ~p ~off
+          | `Send -> send_pieces l info ~p ~off
+        in
+        List.map
+          (fun pc -> (pc.partner, aid, full_rect info pc, piece_cells info pc))
+          pieces)
+      arrays
+  in
+  let partners =
+    List.sort_uniq compare (List.map (fun (q, _, _, _) -> q) triples)
+  in
+  List.map
+    (fun q ->
+      let mine = List.filter (fun (q', _, _, _) -> q' = q) triples in
+      { pp_partner = q;
+        pp_rects = List.map (fun (_, aid, rect, _) -> (aid, rect)) mine;
+        pp_cells = List.fold_left (fun n (_, _, _, c) -> n + c) 0 mine })
+    partners

@@ -40,3 +40,24 @@ val piece_cells : Zpl.Prog.array_info -> piece -> int
 (** Extend a piece's 2-D rectangle to the array's full rank, for
     extraction and injection. *)
 val full_rect : Zpl.Prog.array_info -> piece -> Zpl.Region.t
+
+(** One partner's share of a transfer on one processor. *)
+type partner_pieces = {
+  pp_partner : int;
+  pp_rects : (int * Zpl.Region.t) list;
+      (** (array id, full-rank rect), in member-array order *)
+  pp_cells : int;  (** total cells over all member rects *)
+}
+
+(** Group the send or receive pieces of a (possibly combined) transfer by
+    partner. The rect order within a partner is the canonical message
+    layout: sender and receiver pack/unpack staging buffers in this order,
+    so both sides agree on every member piece's offset by construction. *)
+val partner_sides :
+  Layout.t ->
+  Zpl.Prog.t ->
+  arrays:int list ->
+  off:int * int ->
+  p:int ->
+  dir:[ `Send | `Recv ] ->
+  partner_pieces list

@@ -131,3 +131,13 @@ let inject (s : t) (rect : Zpl.Region.t) (buf : buf) =
   Zpl.Region.iter_rows rect (fun p0 len ->
       blit_rows buf !k s.data (index s p0) len;
       k := !k + len)
+
+let copy_rect ~(src : t) ~(dst : t) (rect : Zpl.Region.t) =
+  check_rect src "copy_rect (src)" rect;
+  check_rect dst "copy_rect (dst)" rect;
+  Zpl.Region.iter_rows rect (fun p0 len ->
+      blit_rows src.data (index src p0) dst.data (index dst p0) len)
+
+let row_blits (s : t) (rect : Zpl.Region.t) (f : int -> int -> unit) =
+  check_rect s "row_blits" rect;
+  Zpl.Region.iter_rows rect (fun p0 len -> f (index s p0) len)

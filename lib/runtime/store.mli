@@ -77,6 +77,17 @@ val extract : t -> Zpl.Region.t -> buf
     checked once), one blit per row. *)
 val inject : t -> Zpl.Region.t -> buf -> unit
 
+(** [copy_rect ~src ~dst rect] copies the values of [rect] (global
+    coordinates, inside both allocs — checked once each) from [src] to
+    [dst], one contiguous blit per row. The engine's gather and the
+    oracle-verification path use this instead of per-point get/set. *)
+val copy_rect : src:t -> dst:t -> Zpl.Region.t -> unit
+
+(** [row_blits s rect f] calls [f base len] once per row of [rect] (inside
+    [alloc], checked once), where [base] is the row's flat index into the
+    store's buffer — the enumeration wire plans are compiled from. *)
+val row_blits : t -> Zpl.Region.t -> (int -> int -> unit) -> unit
+
 (** Conversions between [buf] and boxed [float array], for tests and
     report plumbing. *)
 val buf_of_array : float array -> buf

@@ -25,6 +25,24 @@
     execute the whole group, while time and statistics are still charged
     statement by statement — reports do not change.
 
+    {b The wire-plan communication runtime} (default, [~wire:true])
+    pre-compiles every (transfer, processor, partner) side at [make]
+    time into a {!Runtime.Wireplan.t} — flat blit descriptors against
+    the local stores — with all member-array pieces of one partner
+    packed into a single staging buffer drawn from a per-side pool.
+    Messages travel through dense ring mailboxes indexed by
+    (source, transfer, kind) instead of a tuple-keyed hash table, and
+    every hot-path float lives in an all-float record or float array, so
+    a steady-state communication activation allocates nothing: no
+    payload lists, no closures, no boxed floats (regression-tested with
+    [Gc.minor_words]). A staging buffer is acquired when the sender
+    packs it — the send-time snapshot the legacy path got from
+    [Store.extract] — and returns to the {e sender's} pool only when the
+    receiver unpacks it, so senders running ahead simply deepen the pool
+    to the in-flight high-water mark. Simulated times, statistics, and
+    gathered results are bit-identical to the legacy path ([~wire:false],
+    kept verbatim for differential tests and honest benchmarking).
+
     The network model charges per-message CPU overheads and per-byte
     copy/pack costs on the involved processors (the "software overhead"
     the paper measures) plus wire latency and bandwidth; link contention
@@ -32,13 +50,14 @@
 
 type msg_kind = Data | Token
 
+(** Legacy-path message: extracted payload buffers per member rect. *)
 type message = {
   arrival : float;
   payload : (int * Zpl.Region.t * Runtime.Store.buf) list;
       (** per member array: (array id, full-rank rect, values) *)
 }
 
-(** One partner's share of a transfer on one processor. *)
+(** One partner's share of a transfer on one processor (legacy path). *)
 type side = {
   partner : int;
   rects : (int * Zpl.Region.t) list;  (** (array id, full-rank rect) *)
@@ -47,10 +66,87 @@ type side = {
 
 type xfer_plan = { recv_sides : side list; send_sides : side list }
 
-type waiting =
-  | WData of int * int list  (** transfer, partners still missing *)
-  | WTokens of int * int list
-  | WReduce of int  (** reduction sequence number *)
+(** One partner's share of a transfer on one processor, wire-compiled:
+    the blit plan against this processor's own stores, and the staging
+    pool buffers are drawn from. On send sides the pool is owned; on
+    recv sides it aliases the matching sender's pool, so releasing a
+    consumed buffer returns it to where the next send will look. *)
+type wside = {
+  w_partner : int;
+  w_bytes : int;
+  w_plan : Runtime.Wireplan.t;
+  mutable w_pool : Runtime.Wireplan.pool;
+}
+
+type wplan = { w_recv : wside array; w_send : wside array }
+
+(* Blocked-state encoding. An option-of-variant would allocate on every
+   block; two ints don't. The partner lists the old encoding carried are
+   only needed for deadlock diagnostics and are recomputed there. *)
+let wk_none = 0
+
+let wk_data = 1 (* wait_arg = transfer id *)
+
+let wk_tokens = 2 (* wait_arg = transfer id *)
+
+let wk_reduce = 3 (* wait_arg = reduction sequence number *)
+
+(** Mutable float cell. All-float records are stored flat, so
+    [c.fv <- c.fv +. dt] is an unboxed load/add/store; a mutable float
+    field in the mixed [proc] record would box every update. *)
+type fcell = { mutable fv : float }
+
+(** Ring mailbox of one (source, transfer, kind) slot: arrival times and
+    staging buffers side by side so neither push nor pop allocates.
+    Capacity is a power of two (grow-on-full); [mb_head] indexes the
+    oldest entry. Token entries carry {!dummy_buf}. *)
+type mbox = {
+  mutable mb_arr : float array;
+  mutable mb_buf : Runtime.Store.buf array;
+  mutable mb_head : int;
+  mutable mb_n : int;
+}
+
+let dummy_buf : Runtime.Store.buf = Runtime.Store.alloc_buf 0
+
+(** Shared sentinel for (source, transfer, kind) slots no plan delivers
+    to; keeps the dense mailbox array total without per-slot rings. *)
+let unused_mbox : mbox =
+  { mb_arr = [||]; mb_buf = [||]; mb_head = 0; mb_n = 0 }
+
+let fresh_mbox () : mbox =
+  { mb_arr = [||]; mb_buf = [||]; mb_head = 0; mb_n = 0 }
+
+let mbox_grow (mb : mbox) =
+  let cap = Array.length mb.mb_arr in
+  let ncap = if cap = 0 then 4 else 2 * cap in
+  let arr = Array.make ncap 0.0 in
+  let buf = Array.make ncap dummy_buf in
+  for i = 0 to mb.mb_n - 1 do
+    let j = (mb.mb_head + i) land (cap - 1) in
+    arr.(i) <- mb.mb_arr.(j);
+    buf.(i) <- mb.mb_buf.(j)
+  done;
+  mb.mb_arr <- arr;
+  mb.mb_buf <- buf;
+  mb.mb_head <- 0
+
+(** Slot index for the next push; the caller writes arrival and buffer
+    into it directly so no float crosses a function boundary (which
+    would box it). *)
+let mbox_reserve (mb : mbox) : int =
+  if mb.mb_n = Array.length mb.mb_arr then mbox_grow mb;
+  let i = (mb.mb_head + mb.mb_n) land (Array.length mb.mb_arr - 1) in
+  mb.mb_n <- mb.mb_n + 1;
+  i
+
+(** Slot index of the oldest entry, which is removed; the caller reads
+    the fields out directly. Only call when [mb_n > 0]. *)
+let mbox_pop (mb : mbox) : int =
+  let i = mb.mb_head in
+  mb.mb_head <- (i + 1) land (Array.length mb.mb_arr - 1);
+  mb.mb_n <- mb.mb_n - 1;
+  i
 
 (** Compiled form of one array statement, reduction, or fused group,
     cached per op index (fused plans under the group's first op). *)
@@ -66,17 +162,22 @@ type ckernel =
 type proc = {
   rank : int;
   mutable pc : int;
-  mutable time : float;
+  time : fcell;
   stores : Runtime.Store.t array;
   env : Runtime.Values.env;
-  mutable waiting : waiting option;
+  mutable wait_kind : int;  (** one of the [wk_*] codes *)
+  mutable wait_arg : int;
   mutable halted : bool;
   mutable queued : bool;
   mutable instrs : int;  (** instructions executed by this processor *)
   posted : int array;  (** per transfer: outstanding posted receives *)
   send_done : float array;  (** per transfer: when the last send drained *)
   mutable reduce_seq : int;
-  mail : (int * int * msg_kind, message Queue.t) Hashtbl.t;
+  mail : (int * int * msg_kind, message Queue.t) Hashtbl.t;  (** legacy *)
+  wmail : mbox array;  (** wire: dense (src, xfer, kind) mailboxes *)
+  scratch : float array;
+      (** unboxed hot-path temporaries: [0] max-arrival accumulator
+          (also {!block_until_acc}'s argument), [1] per-byte unpack rate *)
   kernels : ckernel option array;  (** per op index *)
   stats : Stats.per_proc;
 }
@@ -95,8 +196,13 @@ type t = {
   lib : Machine.Library.t;
   layout : Runtime.Layout.t;
   procs : proc array;
-  plans : xfer_plan array array;  (** [transfer id].(proc) *)
-  runnable : int Queue.t;
+  wire : bool;  (** wire-plan comm runtime vs. legacy extract/inject *)
+  nx : int;  (** number of transfers *)
+  plans : xfer_plan array array;  (** legacy: [transfer id].(proc) *)
+  wplans : wplan array array;  (** wire: [transfer id].(proc) *)
+  runnable : int array;  (** ring; capacity = nprocs ([queued] dedups) *)
+  mutable run_head : int;
+  mutable run_len : int;
   reduce_slots : (int, reduce_slot) Hashtbl.t;
   stats : Stats.t;
   limit : int;
@@ -120,43 +226,79 @@ exception Instruction_limit of int
 
 let build_plan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
     (x : Ir.Transfer.t) ~nprocs : xfer_plan array =
-  let collect pieces_of =
+  let collect dir =
     Array.init nprocs (fun p ->
-        (* gather (partner, aid, rect) triples for all member arrays *)
-        let triples =
-          List.concat_map
-            (fun aid ->
-              let info = prog.Zpl.Prog.arrays.(aid) in
-              List.map
-                (fun (pc : Runtime.Halo.piece) ->
-                  (pc.partner, aid, Runtime.Halo.full_rect info pc,
-                   Runtime.Halo.piece_cells info pc))
-                (pieces_of info ~p))
-            x.Ir.Transfer.arrays
-        in
-        let partners =
-          List.sort_uniq compare (List.map (fun (q, _, _, _) -> q) triples)
-        in
         List.map
-          (fun q ->
-            let mine =
-              List.filter (fun (q', _, _, _) -> q' = q) triples
-            in
-            { partner = q;
-              rects = List.map (fun (_, aid, rect, _) -> (aid, rect)) mine;
-              bytes = 8 * List.fold_left (fun n (_, _, _, c) -> n + c) 0 mine })
-          partners)
+          (fun (pp : Runtime.Halo.partner_pieces) ->
+            { partner = pp.Runtime.Halo.pp_partner;
+              rects = pp.Runtime.Halo.pp_rects;
+              bytes = 8 * pp.Runtime.Halo.pp_cells })
+          (Runtime.Halo.partner_sides layout prog ~arrays:x.Ir.Transfer.arrays
+             ~off:x.Ir.Transfer.off ~p ~dir))
   in
-  let recvs =
-    collect (fun info ~p ->
-        Runtime.Halo.recv_pieces layout info ~p ~off:x.Ir.Transfer.off)
-  in
-  let sends =
-    collect (fun info ~p ->
-        Runtime.Halo.send_pieces layout info ~p ~off:x.Ir.Transfer.off)
-  in
+  let recvs = collect `Recv and sends = collect `Send in
   Array.init nprocs (fun p ->
       { recv_sides = recvs.(p); send_sides = sends.(p) })
+
+(** Compile the wire plans of one transfer: per processor, per partner,
+    the blit descriptors and (on send sides) the staging pool. *)
+let build_wplan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
+    (x : Ir.Transfer.t) ~(procs : proc array) : wplan array =
+  let collect p dir =
+    Array.of_list
+      (List.map
+         (fun (pp : Runtime.Halo.partner_pieces) ->
+           { w_partner = pp.Runtime.Halo.pp_partner;
+             w_bytes = 8 * pp.Runtime.Halo.pp_cells;
+             w_plan =
+               Runtime.Wireplan.build ~stores:procs.(p).stores
+                 pp.Runtime.Halo.pp_rects;
+             w_pool = Runtime.Wireplan.make_pool ~cells:pp.Runtime.Halo.pp_cells })
+         (Runtime.Halo.partner_sides layout prog ~arrays:x.Ir.Transfer.arrays
+            ~off:x.Ir.Transfer.off ~p ~dir))
+  in
+  Array.init (Array.length procs) (fun p ->
+      { w_recv = collect p `Recv; w_send = collect p `Send })
+
+(** Point every receive side's pool at the matching sender's pool (so a
+    consumed buffer is released to where the next send acquires), and
+    check that both ends compiled the same staging layout. *)
+let link_wplan (xi : int) (wp : wplan array) =
+  Array.iteri
+    (fun p plan ->
+      Array.iter
+        (fun (rs : wside) ->
+          let sender = wp.(rs.w_partner) in
+          match
+            Array.find_opt (fun (ss : wside) -> ss.w_partner = p) sender.w_send
+          with
+          | None ->
+              Fmt.failwith
+                "Engine.make: transfer %d: proc %d expects data from %d, \
+                 which plans no send back"
+                xi p rs.w_partner
+          | Some ss ->
+              if
+                Runtime.Wireplan.cells ss.w_plan
+                <> Runtime.Wireplan.cells rs.w_plan
+                || ss.w_bytes <> rs.w_bytes
+              then
+                Fmt.failwith
+                  "Engine.make: transfer %d: procs %d and %d disagree on \
+                   the message layout (%d vs %d cells)"
+                  xi rs.w_partner p
+                  (Runtime.Wireplan.cells ss.w_plan)
+                  (Runtime.Wireplan.cells rs.w_plan);
+              rs.w_pool <- ss.w_pool)
+        plan.w_recv)
+    wp
+
+(** Index of the (source, transfer, kind) slot in a proc's dense mailbox
+    array. *)
+let wkey (t : t) ~src ~xfer kind_bit = (((src * t.nx) + xfer) * 2) + kind_bit
+
+let kb_data = 0
+let kb_token = 1
 
 (** Greedy partition of maximal adjacent-[FKernel] runs into fused
     groups: a statement joins the current group while
@@ -192,7 +334,7 @@ let fuse_groups (flat : Ir.Flat.t) : int array =
   lens
 
 let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
-    ?(cse = true) ?(domains = 1)
+    ?(cse = true) ?(domains = 1) ?(wire = true)
     ~(machine : Machine.Params.t)
     ~(lib : Machine.Library.t) ~pr ~pc (flat : Ir.Flat.t) : t =
   let prog = flat.Ir.Flat.prog in
@@ -224,42 +366,77 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
                 ~fringe:fringe.(info.a_id))
             prog.Zpl.Prog.arrays
         in
-        { rank; pc = 0; time = 0.0; stores;
+        { rank; pc = 0; time = { fv = 0.0 }; stores;
           env = Runtime.Values.make_env prog;
-          waiting = None; halted = false; queued = false;
+          wait_kind = wk_none; wait_arg = 0;
+          halted = false; queued = false;
           instrs = 0;
           posted = Array.make nx 0;
           send_done = Array.make nx 0.0;
           reduce_seq = 0;
-          mail = Hashtbl.create 64;
+          mail = Hashtbl.create (if wire then 1 else 64);
+          wmail =
+            (if wire then Array.make (nprocs * nx * 2) unused_mbox else [||]);
+          scratch = Array.make 2 0.0;
           kernels = Array.make (Array.length flat.Ir.Flat.ops) None;
           stats = Stats.fresh_proc () })
   in
   let plans =
-    Array.map (fun x -> build_plan layout prog x ~nprocs) flat.Ir.Flat.transfers
+    if wire then [||]
+    else
+      Array.map (fun x -> build_plan layout prog x ~nprocs) flat.Ir.Flat.transfers
   in
-  { flat; machine; lib; layout; procs; plans;
-    runnable = Queue.create ();
-    reduce_slots = Hashtbl.create 8;
-    stats = Stats.make nprocs;
-    limit;
-    row_path;
-    fuse = fuse && row_path;
-    cse;
-    domains = max 1 domains;
-    fuse_len =
-      (if fuse && row_path then fuse_groups flat
-       else Array.make (Array.length flat.Ir.Flat.ops) 0);
-    refchecks =
-      Array.map
-        (function
-          | Ir.Flat.FKernel a -> Runtime.Kernel.refs_of a.Zpl.Prog.rhs
-          | Ir.Flat.FReduce r -> Runtime.Kernel.refs_of r.Zpl.Prog.r_rhs
-          | _ -> [||])
-        flat.Ir.Flat.ops }
+  let wplans =
+    if not wire then [||]
+    else Array.map (fun x -> build_wplan layout prog x ~procs) flat.Ir.Flat.transfers
+  in
+  let t =
+    { flat; machine; lib; layout; procs; wire; nx; plans; wplans;
+      runnable = Array.make (max 1 nprocs) 0;
+      run_head = 0;
+      run_len = 0;
+      reduce_slots = Hashtbl.create 8;
+      stats = Stats.make nprocs;
+      limit;
+      row_path;
+      fuse = fuse && row_path;
+      cse;
+      domains = max 1 domains;
+      fuse_len =
+        (if fuse && row_path then fuse_groups flat
+         else Array.make (Array.length flat.Ir.Flat.ops) 0);
+      refchecks =
+        Array.map
+          (function
+            | Ir.Flat.FKernel a -> Runtime.Kernel.refs_of a.Zpl.Prog.rhs
+            | Ir.Flat.FReduce r -> Runtime.Kernel.refs_of r.Zpl.Prog.r_rhs
+            | _ -> [||])
+          flat.Ir.Flat.ops }
+  in
+  if wire then
+    Array.iteri
+      (fun xi wp ->
+        link_wplan xi wp;
+        (* materialize exactly the mailbox slots some plan delivers to:
+           data flows sender -> receiver, tokens receiver -> sender *)
+        Array.iteri
+          (fun p plan ->
+            Array.iter
+              (fun (s : wside) ->
+                procs.(p).wmail.(wkey t ~src:s.w_partner ~xfer:xi kb_data) <-
+                  fresh_mbox ())
+              plan.w_recv;
+            Array.iter
+              (fun (s : wside) ->
+                procs.(p).wmail.(wkey t ~src:s.w_partner ~xfer:xi kb_token) <-
+                  fresh_mbox ())
+              plan.w_send)
+          wp)
+      wplans;
+  t
 
 (* ------------------------------------------------------------------ *)
-(* Mail                                                                *)
+(* Mail and the runnable ring                                          *)
 (* ------------------------------------------------------------------ *)
 
 let mailbox (p : proc) key =
@@ -273,7 +450,19 @@ let mailbox (p : proc) key =
 let wake (t : t) (q : proc) =
   if (not q.halted) && not q.queued then begin
     q.queued <- true;
-    Queue.push q.rank t.runnable
+    let cap = Array.length t.runnable in
+    t.runnable.((t.run_head + t.run_len) mod cap) <- q.rank;
+    t.run_len <- t.run_len + 1
+  end
+
+(** Rank of the next runnable processor, or -1. *)
+let take_runnable (t : t) : int =
+  if t.run_len = 0 then -1
+  else begin
+    let r = t.runnable.(t.run_head) in
+    t.run_head <- (t.run_head + 1) mod Array.length t.runnable;
+    t.run_len <- t.run_len - 1;
+    r
   end
 
 let deliver (t : t) ~(dest : int) ~key (m : message) =
@@ -281,13 +470,29 @@ let deliver (t : t) ~(dest : int) ~key (m : message) =
   Queue.push m (mailbox q key);
   wake t q
 
-(** Partners of [sides] whose next message has not arrived yet. *)
+(** Legacy: partners of [sides] whose next message has not arrived. *)
 let missing_partners (p : proc) ~xfer ~kind (sides : side list) =
   List.filter_map
     (fun s ->
       if Queue.is_empty (mailbox p (s.partner, xfer, kind)) then Some s.partner
       else None)
     sides
+
+(** Wire: true when every side's next message has arrived. Top-level
+    recursion, not a local closure — the empty-mailbox check runs on
+    every (possibly re-executed) wait and must not allocate. *)
+let rec all_arrived (t : t) (p : proc) ~xfer ~kind_bit (sides : wside array) i =
+  i >= Array.length sides
+  || (p.wmail.(wkey t ~src:sides.(i).w_partner ~xfer kind_bit).mb_n > 0
+     && all_arrived t p ~xfer ~kind_bit sides (i + 1))
+
+(** Wire: partners with no pending message — deadlock diagnostics only. *)
+let wire_missing (t : t) (p : proc) ~xfer ~kind_bit (sides : wside array) =
+  Array.to_list sides
+  |> List.filter_map (fun (s : wside) ->
+         if p.wmail.(wkey t ~src:s.w_partner ~xfer kind_bit).mb_n = 0 then
+           Some s.w_partner
+         else None)
 
 (* ------------------------------------------------------------------ *)
 (* Cost helpers                                                        *)
@@ -368,8 +573,8 @@ let charge_kernel (t : t) (p : proc) ~cells ~flops =
     t.machine.Machine.Params.kernel_overhead
     +. (float_of_int (cells * flops) *. t.machine.Machine.Params.sec_per_flop)
   in
-  p.time <- p.time +. dt;
-  p.stats.Stats.compute_time <- p.stats.Stats.compute_time +. dt;
+  p.time.fv <- p.time.fv +. dt;
+  p.stats.Stats.times.Stats.compute <- p.stats.Stats.times.Stats.compute +. dt;
   p.stats.Stats.cells <- p.stats.Stats.cells + cells
 
 let exec_kernel (t : t) (p : proc) idx (a : Zpl.Prog.assign_a) =
@@ -430,14 +635,27 @@ let exec_fused_group (t : t) (p : proc) idx glen =
 (* --- communication calls --- *)
 
 let charge_comm (p : proc) dt =
-  p.time <- p.time +. dt;
-  p.stats.Stats.comm_cpu_time <- p.stats.Stats.comm_cpu_time +. dt
+  p.time.fv <- p.time.fv +. dt;
+  p.stats.Stats.times.Stats.comm_cpu <- p.stats.Stats.times.Stats.comm_cpu +. dt
 
 let block_until (p : proc) arrival =
-  if arrival > p.time then begin
-    p.stats.Stats.wait_time <- p.stats.Stats.wait_time +. (arrival -. p.time);
-    p.time <- arrival
+  if arrival > p.time.fv then begin
+    p.stats.Stats.times.Stats.wait <-
+      p.stats.Stats.times.Stats.wait +. (arrival -. p.time.fv);
+    p.time.fv <- arrival
   end
+
+(** {!block_until} reading its argument from [scratch.(0)] — a float
+    parameter would be boxed at the call (no flambda), this is not. *)
+let block_until_acc (p : proc) =
+  let a = p.scratch.(0) in
+  if a > p.time.fv then begin
+    p.stats.Stats.times.Stats.wait <-
+      p.stats.Stats.times.Stats.wait +. (a -. p.time.fv);
+    p.time.fv <- a
+  end
+
+(* --- legacy path: extracted payloads through hashed queues --- *)
 
 (** Extract the payload a side carries, from the sender's current blocks. *)
 let payload_of (p : proc) (s : side) =
@@ -453,15 +671,16 @@ let do_send (t : t) (p : proc) ~xfer (s : side) =
   in
   let payload = payload_of p s in
   charge_comm p cpu;
-  let arrival = p.time +. wire_time t s.bytes in
+  let arrival = p.time.fv +. wire_time t s.bytes in
   deliver t ~dest:s.partner ~key:(p.rank, xfer, Data) { arrival; payload };
   p.send_done.(xfer) <-
     Float.max p.send_done.(xfer)
-      (p.time +. (float_of_int s.bytes /. t.machine.Machine.Params.bandwidth));
+      (p.time.fv +. (float_of_int s.bytes /. t.machine.Machine.Params.bandwidth));
   p.stats.Stats.msgs_sent <- p.stats.Stats.msgs_sent + 1;
   p.stats.Stats.bytes_sent <- p.stats.Stats.bytes_sent + s.bytes
 
-let exec_comm (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) : step =
+let exec_comm_legacy (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) :
+    step =
   let plan = t.plans.(xfer).(p.rank) in
   let c = costs t in
   match Machine.Library.semantics t.lib.Machine.Library.kind call with
@@ -481,7 +700,7 @@ let exec_comm (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) : step =
           charge_comm p c.Machine.Params.dr_over;
           deliver t ~dest:s.partner ~key:(p.rank, xfer, Token)
             { arrival =
-                p.time +. t.machine.Machine.Params.wire_latency
+                p.time.fv +. t.machine.Machine.Params.wire_latency
                 +. (costs t).Machine.Params.token_latency;
               payload = [] })
         plan.recv_sides;
@@ -496,11 +715,12 @@ let exec_comm (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) : step =
       if plan.send_sides = [] then Continue
       else begin
         match missing_partners p ~xfer ~kind:Token plan.send_sides with
-        | _ :: _ as missing ->
-            p.waiting <- Some (WTokens (xfer, missing));
+        | _ :: _ ->
+            p.wait_kind <- wk_tokens;
+            p.wait_arg <- xfer;
             Blocked
         | [] ->
-            p.waiting <- None;
+            p.wait_kind <- wk_none;
             let arr =
               List.fold_left
                 (fun m (s : side) ->
@@ -517,11 +737,12 @@ let exec_comm (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) : step =
       if plan.recv_sides = [] then Continue
       else begin
         match missing_partners p ~xfer ~kind:Data plan.recv_sides with
-        | _ :: _ as missing ->
-            p.waiting <- Some (WData (xfer, missing));
+        | _ :: _ ->
+            p.wait_kind <- wk_data;
+            p.wait_arg <- xfer;
             Blocked
         | [] ->
-            p.waiting <- None;
+            p.wait_kind <- wk_none;
             let msgs =
               List.map
                 (fun (s : side) ->
@@ -563,6 +784,171 @@ let exec_comm (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) : step =
       end;
       Continue
 
+(* --- wire path: pooled staging buffers through ring mailboxes ---
+
+   Same protocol, same charge formulas in the same float-accumulation
+   order as the legacy path (results are differentially property-tested
+   to be bit-identical), but nothing here allocates in steady state:
+   costs are computed inline into all-float records and scratch slots,
+   payloads are packed into pooled buffers, and queues are int-indexed
+   rings. Keep helper calls float-free — an OCaml float argument or
+   return is boxed at every non-inlined call. *)
+
+let wire_send (t : t) (p : proc) ~xfer (s : wside) =
+  let c = costs t in
+  let m = t.machine in
+  let buf = Runtime.Wireplan.acquire s.w_pool in
+  Runtime.Wireplan.pack s.w_plan p.stores buf;
+  let bytes = float_of_int s.w_bytes in
+  let cpu = c.Machine.Params.sr_over +. (bytes *. c.Machine.Params.send_byte) in
+  p.time.fv <- p.time.fv +. cpu;
+  p.stats.Stats.times.Stats.comm_cpu <-
+    p.stats.Stats.times.Stats.comm_cpu +. cpu;
+  let q = t.procs.(s.w_partner) in
+  let mb = q.wmail.(wkey t ~src:p.rank ~xfer kb_data) in
+  let j = mbox_reserve mb in
+  mb.mb_arr.(j) <-
+    p.time.fv
+    +. (m.Machine.Params.wire_latency +. c.Machine.Params.msg_latency
+       +. (bytes /. m.Machine.Params.bandwidth));
+  mb.mb_buf.(j) <- buf;
+  wake t q;
+  let cand = p.time.fv +. (bytes /. m.Machine.Params.bandwidth) in
+  if cand > p.send_done.(xfer) then p.send_done.(xfer) <- cand;
+  p.stats.Stats.msgs_sent <- p.stats.Stats.msgs_sent + 1;
+  p.stats.Stats.bytes_sent <- p.stats.Stats.bytes_sent + s.w_bytes
+
+let exec_comm_wire (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) :
+    step =
+  let wp = t.wplans.(xfer).(p.rank) in
+  let c = costs t in
+  match Machine.Library.semantics t.lib.Machine.Library.kind call with
+  | Machine.Library.No_op -> Continue
+  | Machine.Library.Post_recv ->
+      let nr = Array.length wp.w_recv in
+      if nr > 0 then begin
+        let dt = float_of_int nr *. c.Machine.Params.dr_over in
+        p.time.fv <- p.time.fv +. dt;
+        p.stats.Stats.times.Stats.comm_cpu <-
+          p.stats.Stats.times.Stats.comm_cpu +. dt;
+        p.posted.(xfer) <- p.posted.(xfer) + 1
+      end;
+      Continue
+  | Machine.Library.Notify_ready ->
+      for i = 0 to Array.length wp.w_recv - 1 do
+        let s = wp.w_recv.(i) in
+        p.time.fv <- p.time.fv +. c.Machine.Params.dr_over;
+        p.stats.Stats.times.Stats.comm_cpu <-
+          p.stats.Stats.times.Stats.comm_cpu +. c.Machine.Params.dr_over;
+        let q = t.procs.(s.w_partner) in
+        let mb = q.wmail.(wkey t ~src:p.rank ~xfer kb_token) in
+        let j = mbox_reserve mb in
+        mb.mb_arr.(j) <-
+          p.time.fv
+          +. t.machine.Machine.Params.wire_latency
+          +. c.Machine.Params.token_latency;
+        mb.mb_buf.(j) <- dummy_buf;
+        wake t q
+      done;
+      Continue
+  | Machine.Library.Send_buffered ->
+      let ns = Array.length wp.w_send in
+      if ns > 0 then begin
+        for i = 0 to ns - 1 do
+          wire_send t p ~xfer wp.w_send.(i)
+        done;
+        p.stats.Stats.xfers_sent <- p.stats.Stats.xfers_sent + 1
+      end;
+      Continue
+  | Machine.Library.Send_rendezvous ->
+      let ns = Array.length wp.w_send in
+      if ns = 0 then Continue
+      else if not (all_arrived t p ~xfer ~kind_bit:kb_token wp.w_send 0) then begin
+        p.wait_kind <- wk_tokens;
+        p.wait_arg <- xfer;
+        Blocked
+      end
+      else begin
+        p.wait_kind <- wk_none;
+        p.scratch.(0) <- 0.0;
+        for i = 0 to ns - 1 do
+          let mb =
+            p.wmail.(wkey t ~src:wp.w_send.(i).w_partner ~xfer kb_token)
+          in
+          let j = mbox_pop mb in
+          if mb.mb_arr.(j) > p.scratch.(0) then p.scratch.(0) <- mb.mb_arr.(j)
+        done;
+        block_until_acc p;
+        for i = 0 to ns - 1 do
+          wire_send t p ~xfer wp.w_send.(i)
+        done;
+        p.stats.Stats.xfers_sent <- p.stats.Stats.xfers_sent + 1;
+        Continue
+      end
+  | Machine.Library.Wait_data ->
+      let nr = Array.length wp.w_recv in
+      if nr = 0 then Continue
+      else if not (all_arrived t p ~xfer ~kind_bit:kb_data wp.w_recv 0) then begin
+        p.wait_kind <- wk_data;
+        p.wait_arg <- xfer;
+        Blocked
+      end
+      else begin
+        p.wait_kind <- wk_none;
+        (* max arrival first (peek), so waiting is charged once against
+           the overall latest message — accumulating per message would
+           round differently *)
+        p.scratch.(0) <- 0.0;
+        for i = 0 to nr - 1 do
+          let mb =
+            p.wmail.(wkey t ~src:wp.w_recv.(i).w_partner ~xfer kb_data)
+          in
+          if mb.mb_arr.(mb.mb_head) > p.scratch.(0) then
+            p.scratch.(0) <- mb.mb_arr.(mb.mb_head)
+        done;
+        block_until_acc p;
+        if p.posted.(xfer) > 0 then begin
+          p.posted.(xfer) <- p.posted.(xfer) - 1;
+          p.scratch.(1) <- 0.0
+        end
+        else if Machine.Library.deposits_directly t.lib.Machine.Library.kind
+        then p.scratch.(1) <- 0.0
+        else p.scratch.(1) <- c.Machine.Params.recv_byte;
+        for i = 0 to nr - 1 do
+          let s = wp.w_recv.(i) in
+          let mb = p.wmail.(wkey t ~src:s.w_partner ~xfer kb_data) in
+          let j = mbox_pop mb in
+          let buf = mb.mb_buf.(j) in
+          mb.mb_buf.(j) <- dummy_buf;
+          let dt =
+            c.Machine.Params.dn_over
+            +. (float_of_int s.w_bytes *. p.scratch.(1))
+          in
+          p.time.fv <- p.time.fv +. dt;
+          p.stats.Stats.times.Stats.comm_cpu <-
+            p.stats.Stats.times.Stats.comm_cpu +. dt;
+          Runtime.Wireplan.unpack s.w_plan p.stores buf;
+          Runtime.Wireplan.release s.w_pool buf;
+          p.stats.Stats.msgs_recv <- p.stats.Stats.msgs_recv + 1;
+          p.stats.Stats.bytes_recv <- p.stats.Stats.bytes_recv + s.w_bytes
+        done;
+        p.stats.Stats.xfers_recv <- p.stats.Stats.xfers_recv + 1;
+        Continue
+      end
+  | Machine.Library.Wait_send_done ->
+      if Array.length wp.w_send > 0 then begin
+        p.scratch.(0) <- p.send_done.(xfer);
+        block_until_acc p;
+        p.time.fv <- p.time.fv +. c.Machine.Params.sv_over;
+        p.stats.Stats.times.Stats.comm_cpu <-
+          p.stats.Stats.times.Stats.comm_cpu +. c.Machine.Params.sv_over
+      end;
+      Continue
+
+let exec_comm (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) : step =
+  if t.wire then exec_comm_wire t p call xfer
+  else exec_comm_legacy t p call xfer
+
 (* --- collective reduction --- *)
 
 let finish_reduce (t : t) seq (slot : reduce_slot) =
@@ -577,12 +963,12 @@ let finish_reduce (t : t) seq (slot : reduce_slot) =
   in
   Array.iter
     (fun (q : proc) ->
-      q.stats.Stats.wait_time <-
-        q.stats.Stats.wait_time +. Float.max 0.0 (finish -. q.time);
-      q.time <- Float.max q.time finish;
+      q.stats.Stats.times.Stats.wait <-
+        q.stats.Stats.times.Stats.wait +. Float.max 0.0 (finish -. q.time.fv);
+      q.time.fv <- Float.max q.time.fv finish;
       q.env.(slot.lhs) <- Runtime.Values.VFloat !value;
       q.stats.Stats.reduces <- q.stats.Stats.reduces + 1;
-      q.waiting <- None;
+      q.wait_kind <- wk_none;
       q.pc <- q.pc + 1;
       wake t q)
     t.procs;
@@ -601,8 +987,8 @@ let exec_reduce (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) : step =
     t.machine.Machine.Params.kernel_overhead
     +. (float_of_int (cells * r.r_flops) *. t.machine.Machine.Params.sec_per_flop)
   in
-  p.time <- p.time +. dt;
-  p.stats.Stats.compute_time <- p.stats.Stats.compute_time +. dt;
+  p.time.fv <- p.time.fv +. dt;
+  p.stats.Stats.times.Stats.compute <- p.stats.Stats.times.Stats.compute +. dt;
   p.stats.Stats.cells <- p.stats.Stats.cells + cells;
   let seq = p.reduce_seq in
   p.reduce_seq <- seq + 1;
@@ -621,9 +1007,10 @@ let exec_reduce (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) : step =
         s
   in
   slot.partials.(p.rank) <- partial;
-  slot.times.(p.rank) <- p.time;
+  slot.times.(p.rank) <- p.time.fv;
   slot.arrived <- slot.arrived + 1;
-  p.waiting <- Some (WReduce seq);
+  p.wait_kind <- wk_reduce;
+  p.wait_arg <- seq;
   if slot.arrived = Array.length t.procs then finish_reduce t seq slot;
   Blocked
 
@@ -641,7 +1028,7 @@ let exec_one (t : t) (p : proc) : step =
   | Ir.Flat.FHalt ->
       count_instrs t p 1;
       p.halted <- true;
-      p.stats.Stats.finish <- p.time;
+      p.stats.Stats.times.Stats.finish <- p.time.fv;
       Halted
   | Ir.Flat.FKernel a ->
       let glen = t.fuse_len.(p.pc) in
@@ -659,7 +1046,7 @@ let exec_one (t : t) (p : proc) : step =
   | Ir.Flat.FScalar { lhs; rhs } ->
       count_instrs t p 1;
       p.env.(lhs) <- Runtime.Values.eval_env p.env rhs;
-      p.time <- p.time +. t.machine.Machine.Params.scalar_op_cost;
+      p.time.fv <- p.time.fv +. t.machine.Machine.Params.scalar_op_cost;
       p.pc <- p.pc + 1;
       Continue
   | Ir.Flat.FJump target ->
@@ -668,7 +1055,7 @@ let exec_one (t : t) (p : proc) : step =
       Continue
   | Ir.Flat.FJumpIfNot (cond, target) ->
       count_instrs t p 1;
-      p.time <- p.time +. t.machine.Machine.Params.scalar_op_cost;
+      p.time.fv <- p.time.fv +. t.machine.Machine.Params.scalar_op_cost;
       if Runtime.Values.eval_bool p.env cond then p.pc <- p.pc + 1
       else p.pc <- target;
       Continue
@@ -687,13 +1074,15 @@ let exec_one (t : t) (p : proc) : step =
           Continue
       | other -> other)
 
-let run_proc (t : t) (p : proc) =
-  if not p.halted then begin
-    let rec go () =
-      match exec_one t p with Continue -> go () | Blocked | Halted -> ()
-    in
-    go ()
-  end
+(* The drain loops are top-level recursions, not local [let rec]
+   closures: a closure would be allocated on every processor wake, which
+   the zero-allocation comm path forbids. *)
+let rec exec_until_blocked (t : t) (p : proc) =
+  match exec_one t p with
+  | Continue -> exec_until_blocked t p
+  | Blocked | Halted -> ()
+
+let run_proc (t : t) (p : proc) = if not p.halted then exec_until_blocked t p
 
 (** Ops touching only the executing processor's state — safe to run
     concurrently across processors. *)
@@ -704,31 +1093,27 @@ let is_local (op : Ir.Flat.finstr) =
       true
   | Ir.Flat.FComm _ | Ir.Flat.FReduce _ -> false
 
+let rec exec_local_ops (t : t) (p : proc) =
+  if is_local t.flat.Ir.Flat.ops.(p.pc) then
+    match exec_one t p with
+    | Continue -> exec_local_ops t p
+    | Halted -> ()
+    | Blocked -> assert false
+
 (** Parallel-phase worker: execute local ops until the next op needs the
     shared mailboxes (or the processor halts). *)
-let run_local (t : t) (p : proc) =
-  if not p.halted then begin
-    let rec go () =
-      if is_local t.flat.Ir.Flat.ops.(p.pc) then
-        match exec_one t p with
-        | Continue -> go ()
-        | Halted -> ()
-        | Blocked -> assert false
-    in
-    go ()
-  end
+let run_local (t : t) (p : proc) = if not p.halted then exec_local_ops t p
 
 (** Serial-phase step: execute communication/reduction ops; a processor
     reaching local work again is requeued for the next parallel phase. *)
-let run_serial (t : t) (p : proc) =
-  let rec go () =
-    if not p.halted then
-      match t.flat.Ir.Flat.ops.(p.pc) with
-      | Ir.Flat.FComm _ | Ir.Flat.FReduce _ -> (
-          match exec_one t p with Continue -> go () | Blocked | Halted -> ())
-      | _ -> wake t p
-  in
-  go ()
+let rec run_serial (t : t) (p : proc) =
+  if not p.halted then
+    match t.flat.Ir.Flat.ops.(p.pc) with
+    | Ir.Flat.FComm _ | Ir.Flat.FReduce _ -> (
+        match exec_one t p with
+        | Continue -> run_serial t p
+        | Blocked | Halted -> ())
+    | _ -> wake t p
 
 (* ------------------------------------------------------------------ *)
 (* Results                                                             *)
@@ -740,25 +1125,22 @@ type result = {
   engine : t;
 }
 
-let drain_serial (t : t) =
-  let rec drain () =
-    match Queue.take_opt t.runnable with
-    | None -> ()
-    | Some r ->
-        let p = t.procs.(r) in
-        p.queued <- false;
-        run_proc t p;
-        drain ()
-  in
-  drain ()
+let rec drain_serial (t : t) =
+  let r = take_runnable t in
+  if r >= 0 then begin
+    let p = t.procs.(r) in
+    p.queued <- false;
+    run_proc t p;
+    drain_serial t
+  end
 
 let drain_parallel (t : t) (pool : Pool.t) =
   let rec loop () =
-    if not (Queue.is_empty t.runnable) then begin
-      let n = Queue.length t.runnable in
+    if t.run_len > 0 then begin
+      let n = t.run_len in
       let batch =
         Array.init n (fun _ ->
-            let p = t.procs.(Queue.pop t.runnable) in
+            let p = t.procs.(take_runnable t) in
             p.queued <- false;
             p)
       in
@@ -779,19 +1161,30 @@ let run (t : t) : result =
      Array.find_opt (fun (p : proc) -> not p.halted) t.procs
    with
   | Some p ->
+      let missing ~kind_bit ~kind pick_w pick_l =
+        let x = p.wait_arg in
+        let miss =
+          if t.wire then wire_missing t p ~xfer:x ~kind_bit (pick_w t.wplans.(x).(p.rank))
+          else missing_partners p ~xfer:x ~kind (pick_l t.plans.(x).(p.rank))
+        in
+        String.concat "," (List.map string_of_int miss)
+      in
       let why =
-        match p.waiting with
-        | Some (WData (x, miss)) ->
-            Printf.sprintf "proc %d waiting for data of transfer %d from %s"
-              p.rank x
-              (String.concat "," (List.map string_of_int miss))
-        | Some (WTokens (x, miss)) ->
-            Printf.sprintf "proc %d waiting for tokens of transfer %d from %s"
-              p.rank x
-              (String.concat "," (List.map string_of_int miss))
-        | Some (WReduce s) ->
-            Printf.sprintf "proc %d waiting in reduction %d" p.rank s
-        | None -> Printf.sprintf "proc %d stopped at pc %d" p.rank p.pc
+        if p.wait_kind = wk_data then
+          Printf.sprintf "proc %d waiting for data of transfer %d from %s"
+            p.rank p.wait_arg
+            (missing ~kind_bit:kb_data ~kind:Data
+               (fun wp -> wp.w_recv)
+               (fun pl -> pl.recv_sides))
+        else if p.wait_kind = wk_tokens then
+          Printf.sprintf "proc %d waiting for tokens of transfer %d from %s"
+            p.rank p.wait_arg
+            (missing ~kind_bit:kb_token ~kind:Token
+               (fun wp -> wp.w_send)
+               (fun pl -> pl.send_sides))
+        else if p.wait_kind = wk_reduce then
+          Printf.sprintf "proc %d waiting in reduction %d" p.rank p.wait_arg
+        else Printf.sprintf "proc %d stopped at pc %d" p.rank p.pc
       in
       raise (Deadlock why)
   | None -> ());
@@ -801,15 +1194,18 @@ let run (t : t) : result =
   { time = Stats.makespan t.stats; stats = t.stats; engine = t }
 
 (** Gather the distributed blocks of array [aid] into one global store
-    (fringe cells ignored) — used to verify against the sequential oracle. *)
+    (fringe cells ignored) — used to verify against the sequential
+    oracle. Owned blocks are disjoint, so per-processor rectangle blits
+    write each cell exactly once. *)
 let gather (t : t) (aid : int) : Runtime.Store.t =
   let info = t.flat.Ir.Flat.prog.Zpl.Prog.arrays.(aid) in
   let global = Runtime.Store.make info ~owned:info.a_region ~fringe:0 in
   Array.iter
     (fun (p : proc) ->
       let s = p.stores.(aid) in
-      Zpl.Region.iter (Runtime.Store.owned s) (fun pt ->
-          Runtime.Store.set global pt (Runtime.Store.get_unsafe s pt)))
+      let owned = Runtime.Store.owned s in
+      if not (Zpl.Region.is_empty owned) then
+        Runtime.Store.copy_rect ~src:s ~dst:global owned)
     t.procs;
   global
 
@@ -821,5 +1217,24 @@ let final_env (t : t) : Runtime.Values.env = t.procs.(0).env
 let procs (t : t) = t.procs
 let proc_env (p : proc) = p.env
 let proc_stores (p : proc) = p.stores
+let wired (t : t) = t.wire
+
+(** Staging-pool accounting over all send sides (receive sides alias the
+    sender's pool): (buffers freshly allocated, acquires served from the
+    freelists). The split depends on drain interleaving — a sender
+    running ahead deepens its pools — so it is a runtime diagnostic, not
+    part of the deterministic {!Stats.t}. (0, 0) in legacy mode. *)
+let pool_counts (t : t) : int * int =
+  let fresh = ref 0 and reused = ref 0 in
+  Array.iter
+    (Array.iter (fun (wp : wplan) ->
+         Array.iter
+           (fun (s : wside) ->
+             let f, r = Runtime.Wireplan.pool_stats s.w_pool in
+             fresh := !fresh + f;
+             reused := !reused + r)
+           wp.w_send))
+    t.wplans;
+  (!fresh, !reused)
 let fused_group_count (t : t) =
   Array.fold_left (fun n l -> if l >= 2 then n + 1 else n) 0 t.fuse_len

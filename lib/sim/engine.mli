@@ -44,6 +44,14 @@ exception Instruction_limit of int
     [domains] (default 1) drives the drain loop with that many host
     domains: local instructions run in parallel, communication and
     reductions stay serial. Results are bit-identical for any value.
+    [wire] (default true) selects the pre-compiled wire-plan
+    communication runtime: per-(transfer, partner) blit plans packing
+    all member pieces into one pooled staging buffer per message, with
+    dense ring mailboxes — steady-state communication allocates nothing.
+    [false] keeps the legacy extract/inject path with hashed queues;
+    simulated times, statistics, and results are bit-identical either
+    way (property-tested), so the flag exists for differential tests
+    and honest benchmarking of the optimization.
 
     Raises [Invalid_argument] if a stencil shift exceeds the smallest
     block extent of the mesh. *)
@@ -53,6 +61,7 @@ val make :
   ?fuse:bool ->
   ?cse:bool ->
   ?domains:int ->
+  ?wire:bool ->
   machine:Machine.Params.t ->
   lib:Machine.Library.t ->
   pr:int ->
@@ -86,6 +95,15 @@ val proc_env : proc -> Runtime.Values.env
 
 (** A processor's local array blocks, indexed by array id. *)
 val proc_stores : proc -> Runtime.Store.t array
+
+(** Whether this engine runs the wire-plan communication runtime. *)
+val wired : t -> bool
+
+(** After a run: (staging buffers freshly allocated by the wire pools,
+    acquires served from the freelists). The split is a runtime
+    diagnostic — it depends on how far senders ran ahead — and is not
+    part of the deterministic {!Stats.t}. (0, 0) in legacy mode. *)
+val pool_counts : t -> int * int
 
 (** Number of fused kernel groups the op stream was partitioned into
     (0 when fusion is off) — exposed for tests and tooling. *)

@@ -4,6 +4,16 @@
     reports the maximum over processors, corresponding to an interior
     processor of the mesh. *)
 
+(** Float accumulators, kept in an all-float record so OCaml stores them
+    flat and the engine's hot-path updates are unboxed in-place writes
+    (a mixed record would box every [+.] result). *)
+type times = {
+  mutable compute : float;
+  mutable comm_cpu : float;  (** CPU time inside communication calls *)
+  mutable wait : float;  (** blocked on messages / collectives *)
+  mutable finish : float;
+}
+
 type per_proc = {
   mutable xfers_recv : int;  (** transfer instances with >= 1 incoming piece *)
   mutable xfers_sent : int;
@@ -13,14 +23,14 @@ type per_proc = {
   mutable bytes_recv : int;
   mutable reduces : int;  (** collective reductions joined *)
   mutable cells : int;  (** array cells computed *)
-  mutable compute_time : float;
-  mutable comm_cpu_time : float;  (** CPU time inside communication calls *)
-  mutable wait_time : float;  (** blocked on messages / collectives *)
-  mutable finish : float;
+  times : times;
 }
 
 val fresh_proc : unit -> per_proc
 
+(** Everything in [t] is bit-identical across drain modes; staging-pool
+    fresh/reuse accounting is interleaving-dependent and therefore lives
+    on the engine ([Engine.pool_counts]), not here. *)
 type t = { procs : per_proc array; mutable instructions : int }
 
 val make : int -> t

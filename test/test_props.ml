@@ -797,6 +797,44 @@ let prop_engine_cse =
       = engine_fingerprint ~fuse:true ~cse:false ~domains:1 prog)
 
 (* ------------------------------------------------------------------ *)
+(* Wire-plan comm runtime == legacy extract/inject comm path           *)
+(* ------------------------------------------------------------------ *)
+
+let wire_fingerprint ~wire ~domains (config, lib) prog =
+  let ir = Opt.Passes.compile config prog in
+  let res =
+    Sim.Engine.run
+      (Sim.Engine.make ~machine:Machine.T3d.machine ~lib ~pr:2 ~pc:2 ~wire
+         ~domains (Ir.Flat.flatten ir))
+  in
+  ( bits res.Sim.Engine.time,
+    res.Sim.Engine.stats,
+    Array.mapi
+      (fun aid _ ->
+        Array.map bits
+          (Runtime.Store.to_array (Sim.Engine.gather res.Sim.Engine.engine aid)))
+      prog.Zpl.Prog.arrays,
+    Sim.Engine.final_env res.Sim.Engine.engine )
+
+(** The pre-compiled wire-plan communication runtime (pooled staging
+    buffers, ring mailboxes) is observationally identical to the legacy
+    extract/inject path: simulated time, every statistic, every gathered
+    array, and the final scalar environment match bit for bit — across
+    all six paper experiment rows (every optimization config and both
+    libraries, so cc-combined multi-array messages and SHMEM rendezvous
+    tokens are all exercised), and under the domain-parallel drain. *)
+let prop_wire_equals_legacy =
+  QCheck.Test.make ~name:"engine: wire plans == legacy comm (bitwise)"
+    ~count:10 arb_prog (fun p ->
+      let prog = Zpl.Check.compile_string (prog_to_source p) in
+      List.for_all
+        (fun (_, config, lib) ->
+          let legacy = wire_fingerprint ~wire:false ~domains:1 (config, lib) prog in
+          legacy = wire_fingerprint ~wire:true ~domains:1 (config, lib) prog
+          && legacy = wire_fingerprint ~wire:true ~domains:3 (config, lib) prog)
+        Report.Experiment.paper_rows)
+
+(* ------------------------------------------------------------------ *)
 (* Domain-parallel experiment grid == serial grid                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -836,7 +874,8 @@ let () =
         List.map to_alcotest
           [ prop_row_kernel_bitwise; prop_row_reduce_bitwise;
             prop_extract_inject_rows; prop_seqexec_row_path;
-            prop_seqexec_cse; prop_engine_fuse_parallel; prop_engine_cse ]
+            prop_seqexec_cse; prop_engine_fuse_parallel; prop_engine_cse;
+            prop_wire_equals_legacy ]
         @ [ Alcotest.test_case "stencil compiles to row plan" `Quick
               test_row_plan_engages;
             Alcotest.test_case "fused CSE engages and matches per-point"
