@@ -14,6 +14,11 @@
                                          runtime: 2-node ping micro plus a
                                          comm-heavy tomcatv grid; writes
                                          BENCH_comm.json
+    dune exec bench/main.exe -- --collective
+                                         opaque vendor reductions vs the
+                                         four synthesized collective
+                                         schedules across mesh sizes;
+                                         writes BENCH_collective.json
     dune exec bench/main.exe -- --bechamel
                                          Bechamel micro-benchmarks: one
                                          Test.make per exhibit, measuring
@@ -532,6 +537,113 @@ let write_comm_json path (cb : comm_bench) =
   close_out oc
 
 (* --------------------------------------------------------------- *)
+(* Collective benchmark: opaque reductions vs synthesized schedules  *)
+(* --------------------------------------------------------------- *)
+
+type coll_cell = {
+  xc_per_sec : float;  (** host throughput: whole-machine reductions/sec *)
+  xc_sim_us : float;  (** simulated microseconds per reduction *)
+  xc_mwpr : float;  (** host minor words allocated per reduction (run phase) *)
+}
+
+let coll_meshes = [ (1, 2); (2, 2); (3, 3); (4, 4) ]
+
+let coll_modes =
+  ("opaque", Opt.Config.Opaque)
+  :: List.map
+       (fun a -> (Ir.Coll.alg_name a, Opt.Config.Forced a))
+       Ir.Coll.all_algs
+
+(** One timed trial: engine construction stays inside the timed region
+    (the synthesized schedules' mailbox setup is part of their cost),
+    mirroring {!comm_trial}. [reduces] is the whole-machine reduction
+    count per run — a reduction counts once however many processors
+    participate. *)
+let coll_trial ~budget ~pr ~pc ~reduces (c : Commopt.compiled) =
+  let sim = ref 0.0 and mw = ref 0.0 in
+  let runs, total =
+    repeat_for ~budget (fun () ->
+        let engine =
+          Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+            ~pr ~pc c.flat
+        in
+        let w0 = Gc.minor_words () in
+        let r = Sim.Engine.run engine in
+        mw := Gc.minor_words () -. w0;
+        sim := r.Sim.Engine.time)
+  in
+  { xc_per_sec = float_of_int (reduces * runs) /. total;
+    xc_sim_us = !sim /. float_of_int reduces *. 1e6;
+    xc_mwpr = !mw /. float_of_int reduces }
+
+(** The full grid: each mesh x {opaque + four algorithms}, best of three
+    interleaved trials with the starting mode rotated across trials —
+    the same noise discipline as {!bench_paths}. *)
+let run_coll_bench ~scale () =
+  let iters = match scale with `Bench -> 400 | `Test -> 60 in
+  let budget = match scale with `Bench -> 0.4 | `Test -> 0.08 in
+  let defines = Programs.Synthetic.reduce_defines ~n:16 ~iters in
+  let reduces = Programs.Synthetic.reduce_count ~iters in
+  List.map
+    (fun (pr, pc) ->
+      let compiled =
+        List.map
+          (fun (name, collective) ->
+            let config = { Opt.Config.pl_cum with Opt.Config.collective } in
+            ( name,
+              compile ~config ~defines ~machine:Machine.T3d.machine
+                ~lib:Machine.T3d.pvm ~mesh:(pr, pc)
+                Programs.Synthetic.reduce_source ))
+          coll_modes
+      in
+      let nm = List.length compiled in
+      let arr = Array.of_list compiled in
+      let best = Array.make nm None in
+      for trial = 0 to 2 do
+        for j = 0 to nm - 1 do
+          let i = (j + trial) mod nm in
+          let _, c = arr.(i) in
+          let r = coll_trial ~budget ~pr ~pc ~reduces c in
+          match best.(i) with
+          | Some b when b.xc_per_sec >= r.xc_per_sec ->
+              (* keep the better host trial; sim time is deterministic *)
+              ()
+          | _ -> best.(i) <- Some r
+        done
+      done;
+      let cells =
+        Array.to_list (Array.mapi (fun i (n, _) -> (n, Option.get best.(i))) arr)
+      in
+      ((pr, pc), cells))
+    coll_meshes
+
+let coll_numbers grid : (string * float) list =
+  List.concat_map
+    (fun ((pr, pc), cells) ->
+      List.concat_map
+        (fun (mode, cell) ->
+          [ (Printf.sprintf "m%dx%d_%s_per_sec" pr pc mode, cell.xc_per_sec);
+            (Printf.sprintf "m%dx%d_%s_sim_us" pr pc mode, cell.xc_sim_us);
+            ( Printf.sprintf "m%dx%d_%s_minor_words_per_reduce" pr pc mode,
+              cell.xc_mwpr ) ])
+        cells)
+    grid
+
+let write_coll_json path grid =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"opaque vendor reduction vs synthesized collective \
+     schedules (T3D pvm), whole-machine reductions/sec and simulated us per \
+     reduction\",\n\
+    \  \"profile\": \"%s\",\n  \"flambda\": %b"
+    Build_info.profile Build_info.flambda;
+  List.iter
+    (fun (k, v) -> Printf.fprintf oc ",\n  \"%s\": %s" k (fmt_num v))
+    (coll_numbers grid);
+  Printf.fprintf oc "\n}\n";
+  close_out oc
+
+(* --------------------------------------------------------------- *)
 (* Baseline comparison: --kernel --baseline FILE                     *)
 (* --------------------------------------------------------------- *)
 
@@ -632,6 +744,81 @@ let print_kernel_bench ?baseline ~scale () =
             rs;
           exit 3)
 
+(** Same ≥5% gate as {!kernel_regressions} over the collective grid's
+    throughput keys; sim_us keys are deterministic model outputs, not
+    measurements, so they are informational. *)
+let coll_regressions ~baseline grid =
+  let base = baseline_numbers baseline in
+  List.filter_map
+    (fun (key, now) ->
+      if not (Filename.check_suffix key "_per_sec") then None
+      else
+        match List.assoc_opt key base with
+        | Some was when now < was *. 0.95 -> Some (key, was, now)
+        | _ -> None)
+    (coll_numbers grid)
+
+let print_coll_bench ?baseline ~scale () =
+  let grid = run_coll_bench ~scale () in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Build profile: %s (flambda: %b)\n" Build_info.profile
+       Build_info.flambda);
+  Buffer.add_string buf
+    "Synthetic: 3 reductions (+, max, min) per iteration over a 16x16 \
+     grid.\nHost throughput is whole-machine reductions/sec (best of 3 \
+     rotated trials);\nsim is the deterministic simulated cost per \
+     reduction under the T3D/PVM model.\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %-10s %14s %12s %10s %s\n" "mesh" "mode"
+       "reduces/sec" "sim us/red" "mwords/red" "notes");
+  List.iter
+    (fun ((pr, pc), cells) ->
+      let pick =
+        Opt.Collective.choose ~machine:Machine.T3d.machine
+          ~lib:Machine.T3d.pvm ~nprocs:(pr * pc)
+      in
+      let host_winner, _ =
+        List.fold_left
+          (fun (bn, bv) (n, c) ->
+            if c.xc_per_sec > bv then (n, c.xc_per_sec) else (bn, bv))
+          ("", 0.0) cells
+      in
+      List.iter
+        (fun (mode, cell) ->
+          let notes =
+            (if mode = Ir.Coll.alg_name pick then "<- cost-model pick " else "")
+            ^ if mode = host_winner then "<- host winner" else ""
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-6s %-10s %14.0f %12.3f %10.1f %s\n"
+               (Printf.sprintf "%dx%d" pr pc)
+               mode cell.xc_per_sec cell.xc_sim_us cell.xc_mwpr notes))
+        cells;
+      Buffer.add_char buf '\n')
+    grid;
+  section
+    "Collective benchmark: opaque reductions vs synthesized DR/SR/DN/SV \
+     schedules"
+    (Buffer.contents buf);
+  if scale = `Bench then begin
+    write_coll_json "BENCH_collective.json" grid;
+    Printf.printf "\nWrote BENCH_collective.json\n"
+  end;
+  match baseline with
+  | None -> ()
+  | Some file -> (
+      match coll_regressions ~baseline:file grid with
+      | [] -> Printf.printf "No throughput regressions >= 5%% against %s\n" file
+      | rs ->
+          List.iter
+            (fun (key, was, now) ->
+              Printf.printf "REGRESSION %s: %.0f -> %.0f /sec (%.1f%%)\n" key
+                was now
+                (100. *. (1. -. (now /. was))))
+            rs;
+          exit 3)
+
 (** Same ≥5% gate as {!kernel_regressions}, over every throughput key
     of the comm benchmark (wire and legacy alike — an accidental
     slowdown of either runtime is signal). Ratios and allocation counts
@@ -713,6 +900,9 @@ let () =
   else if List.mem "--comm" args then
     let scale = if List.mem "--quick" args then `Test else `Bench in
     print_comm_bench ?baseline ~scale ()
+  else if List.mem "--collective" args then
+    let scale = if List.mem "--quick" args then `Test else `Bench in
+    print_coll_bench ?baseline ~scale ()
   else begin
     let scale = if List.mem "--quick" args then `Test else `Bench in
     print_report ~scale ();

@@ -57,6 +57,37 @@ let config_arg =
     & info [ "O"; "opt" ] ~docv:"LEVEL"
         ~doc:"optimization level: baseline | rr | cc | pl | pl-maxlat")
 
+let collective_conv =
+  Arg.conv
+    ( (fun s ->
+        match Opt.Config.collective_of_string s with
+        | Some c -> Ok c
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown collective mode %S (opaque | auto | ring | \
+                     binomial | recdouble | dissem)"
+                    s))),
+      fun ppf c -> Fmt.string ppf (Opt.Config.collective_name c) )
+
+(** [None] keeps the optimization level's own setting (opaque for all
+    presets); [Some _] overrides it. *)
+let collective_arg =
+  Arg.(
+    value
+    & opt (some collective_conv) None
+    & info [ "collective" ] ~docv:"MODE"
+        ~doc:
+          "how full reductions compile: opaque (vendor collective) | ring | \
+           binomial | recdouble | dissem (force one synthesized algorithm) \
+           | auto (cost-model search over the target machine)")
+
+let with_collective collective (config : Opt.Config.t) =
+  match collective with
+  | None -> config
+  | Some c -> { config with Opt.Config.collective = c }
+
 let lib_of_string = function
   | "pvm" -> Ok (Machine.T3d.machine, Machine.T3d.pvm)
   | "shmem" -> Ok (Machine.T3d.machine, Machine.T3d.shmem)
@@ -148,9 +179,13 @@ let dump_cmd =
       & opt (enum [ ("ast", `Ast); ("ir", `Ir); ("flat", `Flat) ]) `Ir
       & info [ "stage" ] ~docv:"STAGE" ~doc:"ast | ir | flat")
   in
-  let run src defines config stage =
+  let run src defines config collective (machine, lib) (pr, pc) stage =
     handle (fun () ->
-        let c = compile ~config ~defines (load_source src) in
+        let config = with_collective collective config in
+        let c =
+          compile ~config ~defines ~machine ~lib ~mesh:(pr, pc)
+            (load_source src)
+        in
         match stage with
         | `Ast -> print_endline (Zpl.Pretty.program_to_string c.prog)
         | `Ir -> print_endline (Ir.Printer.program_to_annotated_string c.ir)
@@ -158,7 +193,9 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"dump a compilation stage (IRONMAN calls visible)")
-    Term.(const run $ src_arg $ defines_arg $ config_arg $ stage_arg)
+    Term.(
+      const run $ src_arg $ defines_arg $ config_arg $ collective_arg
+      $ lib_arg $ mesh_arg $ stage_arg)
 
 let counts_cmd =
   let run src defines =
@@ -196,7 +233,16 @@ let lint_cmd =
       & info [] ~docv:"PROG"
           ~doc:"mini-ZPL source files or bundled benchmark names")
   in
-  let run progs defines all =
+  let flat_arg =
+    Arg.(
+      value & flag
+      & info [ "flat" ]
+          ~doc:
+            "additionally verify the flattened (jump-threaded) instruction \
+             vector with the fixpoint flat checker — the form the simulator \
+             actually executes")
+  in
+  let run progs defines all collective (pr, pc) flat =
     handle (fun () ->
         let targets =
           (if all then
@@ -216,9 +262,22 @@ let lint_cmd =
           (fun (name, src, defines) ->
             let prog = Zpl.Check.compile_string ~defines src in
             List.iter
-              (fun (label, config, _lib) ->
-                let ir = Opt.Passes.compile config prog in
-                match Analysis.Schedcheck.check ir with
+              (fun (label, config, lib) ->
+                let config = with_collective collective config in
+                (* paper rows are T3D rows; the collective synthesis
+                   targets the row's library on the linted mesh *)
+                let ir =
+                  Opt.Passes.compile ~machine:Machine.T3d.machine ~lib
+                    ~mesh:(pr, pc) config prog
+                in
+                let diags =
+                  Analysis.Schedcheck.check ir
+                  @
+                  if flat then
+                    Analysis.Schedcheck.check_flat (Ir.Flat.flatten ir)
+                  else []
+                in
+                match diags with
                 | [] -> Printf.printf "%s [%s]: OK\n" name label
                 | diags ->
                     bad := !bad + List.length diags;
@@ -236,8 +295,11 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "statically verify communication schedules under all experiment \
-          rows (schedcheck: protocol, races, availability, rendezvous order)")
-    Term.(const run $ progs_arg $ defines_arg $ all_arg)
+          rows (schedcheck: protocol, races, availability, rendezvous \
+          order, collective rounds)")
+    Term.(
+      const run $ progs_arg $ defines_arg $ all_arg $ collective_arg
+      $ mesh_arg $ flat_arg)
 
 let run_cmd =
   let verify_arg =
@@ -277,10 +339,14 @@ let run_cmd =
              pre-compiled wire plans (results are bit-identical; for \
              differential testing and benchmarking)")
   in
-  let run src defines config (machine, lib) (pr, pc) verify_flag check_flag
-      no_fuse no_cse domains no_wire =
+  let run src defines config collective (machine, lib) (pr, pc) verify_flag
+      check_flag no_fuse no_cse domains no_wire =
     handle (fun () ->
-        let c = compile ~config ~defines ~check:check_flag (load_source src) in
+        let config = with_collective collective config in
+        let c =
+          compile ~config ~defines ~check:check_flag ~machine ~lib
+            ~mesh:(pr, pc) (load_source src)
+        in
         let fuse = not no_fuse in
         let cse = not no_cse in
         let res =
@@ -309,9 +375,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"simulate a program on a machine model")
     Term.(
-      const run $ src_arg $ defines_arg $ config_arg $ lib_arg $ mesh_arg
-      $ verify_arg $ check_arg $ no_fuse_arg $ no_cse_arg $ domains_arg
-      $ no_wire_arg)
+      const run $ src_arg $ defines_arg $ config_arg $ collective_arg
+      $ lib_arg $ mesh_arg $ verify_arg $ check_arg $ no_fuse_arg
+      $ no_cse_arg $ domains_arg $ no_wire_arg)
 
 let bench_cmd =
   let name_arg =

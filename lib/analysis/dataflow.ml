@@ -26,7 +26,7 @@ let run (ops : 'a ops) ~(init : 'a) (code : Ir.Instr.instr list) : 'a =
   and exec ~final pos (i : Ir.Instr.instr) st =
     match i with
     | Ir.Instr.Comm _ | Ir.Instr.Kernel _ | Ir.Instr.ScalarK _
-    | Ir.Instr.ReduceK _ ->
+    | Ir.Instr.ReduceK _ | Ir.Instr.CollPart _ | Ir.Instr.CollFin _ ->
         ops.transfer ~final ~pos i st
     | Ir.Instr.If (_, a, b) ->
         let sa = exec_list ~final (pos + 1) st a in

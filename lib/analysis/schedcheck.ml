@@ -1,7 +1,8 @@
 (** Schedcheck implementation. See the interface for the contract.
 
-    The protocol, race and availability checkers share one abstract
-    state flowing through {!Dataflow}:
+    The protocol, race, availability and collective checkers share one
+    abstract state flowing through {!Dataflow} (or, post-flattening,
+    through a small CFG worklist over {!Ir.Flat.t}):
 
     - [phases] — per transfer id, where in the DR/SR/DN/SV cycle the
       current activation stands. The lattice is the five-point flat
@@ -13,30 +14,37 @@
       killed when any kernel writes the array. Meet is intersection, so
       availability holds only if it holds on every path — exactly the
       obligation redundant-communication removal discharges informally.
+    - [coll] — per collective slot, how many synthesized rounds have
+      completed since the slot's [CollPart] (-1: no collective active;
+      -2: paths disagree). The canonical round sequence is re-derived
+      from {!Ir.Coll.rounds}, independently of the synthesizer, so a
+      dropped, duplicated or reordered round cannot agree with it.
 
     The order checker is a separate syntactic scan: rendezvous order is
     a property of maximal runs of adjacent communication calls, not of
     the dataflow state. *)
 
-type checker = Protocol | Race | Availability | Order
+type checker = Protocol | Race | Availability | Order | Collective
 
 let checker_name = function
   | Protocol -> "protocol"
   | Race -> "race"
   | Availability -> "availability"
   | Order -> "order"
+  | Collective -> "collective"
 
 type diag = {
   d_checker : checker;
   d_pos : int;
+  d_flat : bool;
   d_xfer : int option;
   d_msg : string;
 }
 
 let pp_diag ppf d =
+  let pos = if d.d_flat then Zpl.Loc.Flat d.d_pos else Zpl.Loc.Instr d.d_pos in
   Fmt.string ppf
-    (Zpl.Loc.format_error (Zpl.Loc.Instr d.d_pos)
-       (checker_name d.d_checker ^ ": " ^ d.d_msg))
+    (Zpl.Loc.format_error pos (checker_name d.d_checker ^ ": " ^ d.d_msg))
 
 let diag_to_string d = Fmt.str "%a" pp_diag d
 
@@ -61,38 +69,154 @@ end
 
 module Avail = Set.Make (Pair)
 
-type state = { phases : phase array; avail : Avail.t }
+type state = { phases : phase array; avail : Avail.t; coll : int array }
 
-let state_equal a b = a.phases = b.phases && Avail.equal a.avail b.avail
+let state_equal a b =
+  a.phases = b.phases && Avail.equal a.avail b.avail && a.coll = b.coll
 
 let state_meet a b =
   { phases =
       Array.init (Array.length a.phases) (fun i ->
           if a.phases.(i) = b.phases.(i) then a.phases.(i) else Conflict);
-    avail = Avail.inter a.avail b.avail }
+    avail = Avail.inter a.avail b.avail;
+    coll =
+      Array.init (Array.length a.coll) (fun s ->
+          if a.coll.(s) = b.coll.(s) then a.coll.(s) else -2) }
 
 (* ------------------------------------------------------------------ *)
-(* Protocol, race and availability: one dataflow pass                  *)
+(* Context shared by the structured and flat passes                    *)
 (* ------------------------------------------------------------------ *)
 
-let dataflow_diags (p : Ir.Instr.program) : diag list =
-  let prog = p.Ir.Instr.prog in
-  let transfers = p.Ir.Instr.transfers in
-  let n = Array.length transfers in
-  let xdesc t = Ir.Transfer.describe prog transfers.(t) in
-  let aname aid = (Zpl.Prog.array_info prog aid).Zpl.Prog.a_name in
-  let pair_str (aid, off) =
-    Printf.sprintf "%s@%s" (aname aid) (Ir.Transfer.direction_name off)
-  in
+(** Canonical shape of one collective slot, re-derived from the transfer
+    table and {!Ir.Coll.rounds} — not from the synthesizer's output
+    order. *)
+type slot_info = {
+  si_alg : Ir.Coll.alg;
+  si_nprocs : int;
+  si_rounds : (Ir.Coll.phase * int) array;  (** canonical round order *)
+}
+
+type ctx = {
+  prog : Zpl.Prog.t;
+  transfers : Ir.Transfer.t array;
+  slots : slot_info option array;  (** per collective slot *)
+}
+
+let make_ctx (prog : Zpl.Prog.t) (transfers : Ir.Transfer.t array)
+    ~(nslots : int) : ctx =
+  let slots = Array.make nslots None in
+  Array.iter
+    (fun (x : Ir.Transfer.t) ->
+      match x.Ir.Transfer.coll with
+      | Some d when slots.(d.Ir.Coll.cl_slot) = None ->
+          slots.(d.Ir.Coll.cl_slot) <-
+            Some
+              { si_alg = d.Ir.Coll.cl_alg;
+                si_nprocs = d.Ir.Coll.cl_nprocs;
+                si_rounds =
+                  Array.of_list
+                    (Ir.Coll.rounds d.Ir.Coll.cl_alg
+                       ~nprocs:d.Ir.Coll.cl_nprocs) }
+      | _ -> ())
+    transfers;
+  { prog; transfers; slots }
+
+let nslots_of (transfers : Ir.Transfer.t array) code_slots =
+  let n = ref code_slots in
+  Array.iter
+    (fun (x : Ir.Transfer.t) ->
+      match x.Ir.Transfer.coll with
+      | Some d -> n := max !n (d.Ir.Coll.cl_slot + 1)
+      | None -> ())
+    transfers;
+  !n
+
+(** Slots referenced by [CollPart]/[CollFin] instructions (needed when a
+    one-processor mesh synthesizes zero rounds, so the table is empty). *)
+let rec code_slots (code : Ir.Instr.instr list) =
+  List.fold_left
+    (fun n i ->
+      max n
+        (match i with
+        | Ir.Instr.CollPart w | Ir.Instr.CollFin w -> w.Ir.Instr.cw_slot + 1
+        | Ir.Instr.Repeat (b, _) -> code_slots b
+        | Ir.Instr.For { body; _ } -> code_slots body
+        | Ir.Instr.If (_, a, b) -> max (code_slots a) (code_slots b)
+        | Ir.Instr.Comm _ | Ir.Instr.Kernel _ | Ir.Instr.ScalarK _
+        | Ir.Instr.ReduceK _ ->
+            0))
+    0 code
+
+(** Static consistency of the transfer table's collective tags: every
+    round of a slot must agree on algorithm, operator and processor
+    count, and carry a (phase, round) the algorithm actually has. These
+    are table properties, not path properties, so they are checked once
+    here rather than in the dataflow. *)
+let table_diags (cx : ctx) ~flat ~end_pos : diag list =
   let diags = ref [] in
-  let emit ~final ~pos checker xfer fmt =
+  let emit xfer fmt =
     Printf.ksprintf
       (fun msg ->
-        if final then
-          diags :=
-            { d_checker = checker; d_pos = pos; d_xfer = xfer; d_msg = msg }
-            :: !diags)
+        diags :=
+          { d_checker = Collective;
+            d_pos = end_pos;
+            d_flat = flat;
+            d_xfer = Some xfer;
+            d_msg = msg }
+          :: !diags)
       fmt
+  in
+  Array.iter
+    (fun (x : Ir.Transfer.t) ->
+      match x.Ir.Transfer.coll with
+      | None -> ()
+      | Some d -> (
+          match cx.slots.(d.Ir.Coll.cl_slot) with
+          | None -> assert false (* make_ctx saw this transfer *)
+          | Some si ->
+              if
+                si.si_alg <> d.Ir.Coll.cl_alg
+                || si.si_nprocs <> d.Ir.Coll.cl_nprocs
+              then
+                emit x.Ir.Transfer.id
+                  "transfer %s disagrees with slot %d's algorithm (%s on %d \
+                   procs)"
+                  (Ir.Transfer.describe cx.prog x)
+                  d.Ir.Coll.cl_slot
+                  (Ir.Coll.alg_name si.si_alg)
+                  si.si_nprocs
+              else if
+                not
+                  (Array.exists
+                     (fun r -> r = (d.Ir.Coll.cl_phase, d.Ir.Coll.cl_round))
+                     si.si_rounds)
+              then
+                emit x.Ir.Transfer.id
+                  "transfer %s names a round %s does not have on %d procs"
+                  (Ir.Transfer.describe cx.prog x)
+                  (Ir.Coll.alg_name si.si_alg)
+                  si.si_nprocs))
+    cx.transfers;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Protocol, race, availability, collective: one transfer function     *)
+(* ------------------------------------------------------------------ *)
+
+(** The shared transfer function over atomic instructions. [emit] is
+    called for every diagnostic (a pre-rendered message); the caller
+    decides whether [final] suppresses it (the fixpoint discipline).
+    Structured control flow is the caller's business ({!Dataflow} or the
+    flat CFG worklist). *)
+let make_transfer (cx : ctx)
+    ~(emit : final:bool -> pos:int -> checker -> int option -> string -> unit)
+    =
+  let transfers = cx.transfers in
+  let n = Array.length transfers in
+  let xdesc t = Ir.Transfer.describe cx.prog transfers.(t) in
+  let aname aid = (Zpl.Prog.array_info cx.prog aid).Zpl.Prog.a_name in
+  let pair_str (aid, off) =
+    Printf.sprintf "%s@%s" (aname aid) (Ir.Transfer.direction_name off)
   in
   (* transfers currently carrying (aid, off), in a given set of phases *)
   let in_flight st ~phases (aid, off) =
@@ -113,9 +237,10 @@ let dataflow_diags (p : Ir.Instr.program) : diag list =
         (match in_flight st ~phases:[ Ready; Sent ] (aid, off) with
         | Some t ->
             emit ~final ~pos Race (Some t)
-              "kernel reads fringe %s before the DN of in-flight transfer \
-               %s — the incoming message may already overwrite those cells"
-              (pair_str (aid, off)) (xdesc t)
+              (Printf.sprintf
+                 "kernel reads fringe %s before the DN of in-flight transfer \
+                  %s — the incoming message may already overwrite those cells"
+                 (pair_str (aid, off)) (xdesc t))
         | None -> ());
         if not (Avail.mem (aid, off) st.avail) then begin
           let candidate =
@@ -130,12 +255,14 @@ let dataflow_diags (p : Ir.Instr.program) : diag list =
             !found
           in
           emit ~final ~pos Availability candidate
-            "kernel reads fringe %s, but no transfer delivering it is \
-             available on every path since the last write of %s%s"
-            (pair_str (aid, off)) (aname aid)
-            (match candidate with
-            | Some t -> Printf.sprintf " (nearest in the table: %s)" (xdesc t)
-            | None -> "")
+            (Printf.sprintf
+               "kernel reads fringe %s, but no transfer delivering it is \
+                available on every path since the last write of %s%s"
+               (pair_str (aid, off)) (aname aid)
+               (match candidate with
+               | Some t ->
+                   Printf.sprintf " (nearest in the table: %s)" (xdesc t)
+               | None -> ""))
         end)
       (Zpl.Prog.comm_needs rhs);
     List.iter
@@ -146,9 +273,10 @@ let dataflow_diags (p : Ir.Instr.program) : diag list =
             && List.mem w transfers.(t).Ir.Transfer.arrays
           then
             emit ~final ~pos Race (Some t)
-              "kernel writes %s, a member array of in-flight transfer %s, \
-               between its SR and SV"
-              (aname w) (xdesc t)
+              (Printf.sprintf
+                 "kernel writes %s, a member array of in-flight transfer %s, \
+                  between its SR and SV"
+                 (aname w) (xdesc t))
         done)
       writes;
     if writes = [] then st
@@ -157,7 +285,48 @@ let dataflow_diags (p : Ir.Instr.program) : diag list =
         avail = Avail.filter (fun (a, _) -> not (List.mem a writes)) st.avail
       }
   in
-  let transfer ~final ~pos (i : Ir.Instr.instr) st =
+  (* advance slot [s] by the completed round of transfer [t] *)
+  let coll_round ~final ~pos st t (d : Ir.Coll.desc) =
+    let s = d.Ir.Coll.cl_slot in
+    let si =
+      match cx.slots.(s) with Some si -> si | None -> assert false
+    in
+    let k = st.coll.(s) in
+    let coll = Array.copy st.coll in
+    (if k = -1 then
+       emit ~final ~pos Collective (Some t)
+         (Printf.sprintf
+            "round %s completes outside an active collective of slot %d — no \
+             partial has been computed on this path"
+            (xdesc t) s)
+     else if k = -2 then
+       emit ~final ~pos Collective (Some t)
+         (Printf.sprintf
+            "round %s completes after paths disagreed on slot %d's progress"
+            (xdesc t) s)
+     else if k >= Array.length si.si_rounds then
+       emit ~final ~pos Collective (Some t)
+         (Printf.sprintf
+            "round %s is one round too many — %s on %d procs has only %d \
+             rounds"
+            (xdesc t)
+            (Ir.Coll.alg_name si.si_alg)
+            si.si_nprocs (Array.length si.si_rounds))
+     else begin
+       let ph, r = si.si_rounds.(k) in
+       if (d.Ir.Coll.cl_phase, d.Ir.Coll.cl_round) <> (ph, r) then
+         emit ~final ~pos Collective (Some t)
+           (Printf.sprintf
+              "round %s out of order — the canonical %s schedule expects \
+               %s[%d] as round %d"
+              (xdesc t)
+              (Ir.Coll.alg_name si.si_alg)
+              (Ir.Coll.phase_name ph) r k)
+     end);
+    (if k >= 0 then coll.(s) <- min (k + 1) (Array.length si.si_rounds));
+    { st with coll }
+  in
+  fun ~final ~pos (i : Ir.Instr.instr) st ->
     match i with
     | Ir.Instr.Comm (c, t) ->
         let expected, next =
@@ -170,10 +339,11 @@ let dataflow_diags (p : Ir.Instr.program) : diag list =
         let ph = st.phases.(t) in
         if ph <> expected then
           emit ~final ~pos Protocol (Some t)
-            "%s(%s) while %s (expected %s) — each activation must run DR, \
-             SR, DN, SV exactly once, on every path"
-            (Ir.Instr.call_name c) (xdesc t) (phase_name ph)
-            (phase_name expected);
+            (Printf.sprintf
+               "%s(%s) while %s (expected %s) — each activation must run DR, \
+                SR, DN, SV exactly once, on every path"
+               (Ir.Instr.call_name c) (xdesc t) (phase_name ph)
+               (phase_name expected));
         let phases = Array.copy st.phases in
         phases.(t) <- next;
         let avail =
@@ -184,31 +354,136 @@ let dataflow_diags (p : Ir.Instr.program) : diag list =
                 st.avail transfers.(t).Ir.Transfer.arrays
           | _ -> st.avail
         in
-        { phases; avail }
+        let st = { st with phases; avail } in
+        (* a collective round advances its slot when it completes (SV) *)
+        if c = Ir.Instr.SV then
+          match transfers.(t).Ir.Transfer.coll with
+          | Some d -> coll_round ~final ~pos st t d
+          | None -> st
+        else st
     | Ir.Instr.Kernel a ->
         work ~final ~pos ~writes:[ a.Zpl.Prog.lhs ] ~rhs:a.Zpl.Prog.rhs st
     | Ir.Instr.ReduceK r -> work ~final ~pos ~writes:[] ~rhs:r.Zpl.Prog.r_rhs st
+    | Ir.Instr.CollPart w ->
+        let st =
+          work ~final ~pos ~writes:[] ~rhs:w.Ir.Instr.cw_red.Zpl.Prog.r_rhs st
+        in
+        let s = w.Ir.Instr.cw_slot in
+        if s >= Array.length st.coll then st
+        else begin
+          if st.coll.(s) >= 0 then
+            emit ~final ~pos Collective None
+              (Printf.sprintf
+                 "collective slot %d restarts before its previous activation \
+                  finished"
+                 s);
+          let coll = Array.copy st.coll in
+          coll.(s) <- 0;
+          { st with coll }
+        end
+    | Ir.Instr.CollFin w ->
+        let s = w.Ir.Instr.cw_slot in
+        if s >= Array.length st.coll then st
+        else begin
+          let total =
+            match cx.slots.(s) with
+            | Some si -> Array.length si.si_rounds
+            | None -> 0
+          in
+          (if st.coll.(s) = -1 then
+             emit ~final ~pos Collective None
+               (Printf.sprintf
+                  "collective slot %d finishes without a partial on this path"
+                  s)
+           else if st.coll.(s) = -2 then
+             emit ~final ~pos Collective None
+               (Printf.sprintf
+                  "collective slot %d finishes after paths disagreed on its \
+                   progress"
+                  s)
+           else if st.coll.(s) <> total then
+             emit ~final ~pos Collective None
+               (Printf.sprintf
+                  "collective slot %d finishes after %d of its %d rounds — \
+                   the schedule drops a rendezvous"
+                  s st.coll.(s) total));
+          let coll = Array.copy st.coll in
+          coll.(s) <- -1;
+          { st with coll }
+        end
     | Ir.Instr.ScalarK _ -> st
     | Ir.Instr.Repeat _ | Ir.Instr.For _ | Ir.Instr.If _ ->
         assert false (* structured instrs are handled by the framework *)
+
+let end_state_diags (cx : ctx) ~flat ~end_pos (exit : state) : diag list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Array.iteri
+    (fun t ph ->
+      if ph <> Idle then
+        add
+          { d_checker = Protocol;
+            d_pos = end_pos;
+            d_flat = flat;
+            d_xfer = Some t;
+            d_msg =
+              Printf.sprintf
+                (if ph = Conflict then
+                   "transfer %s completes on some paths only (%s at end of \
+                    program)"
+                 else
+                   "activation of transfer %s never completes (%s at end of \
+                    program)")
+                (Ir.Transfer.describe cx.prog cx.transfers.(t))
+                (phase_name ph) })
+    exit.phases;
+  Array.iteri
+    (fun s k ->
+      if k <> -1 then
+        add
+          { d_checker = Collective;
+            d_pos = end_pos;
+            d_flat = flat;
+            d_xfer = None;
+            d_msg =
+              Printf.sprintf
+                "collective slot %d never finishes (still open at end of \
+                 program)"
+                s })
+    exit.coll;
+  List.rev !diags
+
+let dataflow_diags (p : Ir.Instr.program) : diag list =
+  let cx =
+    make_ctx p.Ir.Instr.prog p.Ir.Instr.transfers
+      ~nslots:(nslots_of p.Ir.Instr.transfers (code_slots p.Ir.Instr.code))
   in
-  let init = { phases = Array.make n Idle; avail = Avail.empty } in
+  let diags = ref [] in
+  let emit ~final ~pos checker xfer msg =
+    if final then
+      diags :=
+        { d_checker = checker;
+          d_pos = pos;
+          d_flat = false;
+          d_xfer = xfer;
+          d_msg = msg }
+        :: !diags
+  in
+  let transfer = make_transfer cx ~emit in
+  let init =
+    { phases = Array.make (Array.length cx.transfers) Idle;
+      avail = Avail.empty;
+      coll = Array.make (Array.length cx.slots) (-1) }
+  in
   let exit =
     Dataflow.run
       { Dataflow.equal = state_equal; meet = state_meet; transfer }
       ~init p.Ir.Instr.code
   in
   let end_pos = Ir.Instr.size_list p.Ir.Instr.code in
-  Array.iteri
-    (fun t ph ->
-      if ph <> Idle then
-        emit ~final:true ~pos:end_pos Protocol (Some t)
-          (if ph = Conflict then
-             "transfer %s completes on some paths only (%s at end of program)"
-           else "activation of transfer %s never completes (%s at end of program)")
-          (xdesc t) (phase_name ph))
-    exit.phases;
   List.rev !diags
+  @ table_diags cx ~flat:false ~end_pos
+  @ end_state_diags cx ~flat:false ~end_pos exit
 
 (* ------------------------------------------------------------------ *)
 (* SPMD rendezvous order: a syntactic scan over call runs              *)
@@ -218,29 +493,40 @@ let dataflow_diags (p : Ir.Instr.program) : diag list =
     rendezvous group: the emitter puts all calls scheduled at one block
     position adjacent to each other, and every processor executes the
     identical sequence (control conditions are replicated scalars). The
-    canonical deadlock-free order within a group is all DRs, then all
-    SRs, then adjacent DN/SV pairs, each class sorted by transfer id —
-    ids are assigned in uid order within a block, so id order here is
-    the uid order of the optimizer. *)
-let order_diags (p : Ir.Instr.program) : diag list =
-  let prog = p.Ir.Instr.prog in
-  let xdesc t = Ir.Transfer.describe prog p.Ir.Instr.transfers.(t) in
-  let diags = ref [] in
+    canonical deadlock-free order within a fringe group is all DRs, then
+    all SRs, then adjacent DN/SV pairs, each class sorted by transfer
+    id — ids are assigned in uid order within a block, so id order here
+    is the uid order of the optimizer.
+
+    Synthesized collective rounds follow a different canonical order:
+    each round is one adjacent DR;SR;DN;SV quadruple of one transfer
+    (round k+1's values depend on round k's, so the classes cannot be
+    batched), quadruples in ascending transfer id. The expansion brackets
+    rounds between [CollPart]/[CollFin] — non-communication
+    instructions — so a collective run never legally mixes with fringe
+    calls; a mixed run is itself a diagnostic. *)
+let order_check (prog : Zpl.Prog.t) (transfers : Ir.Transfer.t array) ~flat
+    ~(emit_diag : diag -> unit) =
+  let xdesc t = Ir.Transfer.describe prog transfers.(t) in
   let emit pos xfer fmt =
     Printf.ksprintf
       (fun msg ->
-        diags :=
-          { d_checker = Order; d_pos = pos; d_xfer = Some xfer; d_msg = msg }
-          :: !diags)
+        emit_diag
+          { d_checker = Order;
+            d_pos = pos;
+            d_flat = flat;
+            d_xfer = Some xfer;
+            d_msg = msg })
       fmt
   in
+  let is_coll t = Ir.Transfer.is_coll transfers.(t) in
   let class_rank = function
     | Ir.Instr.DR -> 0
     | Ir.Instr.SR -> 1
     | Ir.Instr.DN | Ir.Instr.SV -> 2
   in
   let class_name = function 0 -> "DR" | 1 -> "SR" | _ -> "DN/SV" in
-  let check_run (run : (int * Ir.Instr.call * int) list) =
+  let check_fringe_run (run : (int * Ir.Instr.call * int) list) =
     let cur = ref 0 in
     let last_tid = [| -1; -1; -1 |] in
     let pending = ref None in
@@ -287,6 +573,74 @@ let order_diags (p : Ir.Instr.program) : diag list =
         emit dpos td "DN(%s) has no SV in its rendezvous group" (xdesc td)
     | None -> ()
   in
+  (* a collective run: adjacent DR;SR;DN;SV quadruples per round
+     transfer, quadruples in ascending transfer id *)
+  let check_coll_run (run : (int * Ir.Instr.call * int) list) =
+    let expected = [| Ir.Instr.DR; Ir.Instr.SR; Ir.Instr.DN; Ir.Instr.SV |] in
+    let step = ref 0 in
+    let cur_t = ref (-1) in
+    let last_t = ref (-1) in
+    List.iter
+      (fun (pos, c, t) ->
+        if !step = 0 then begin
+          cur_t := t;
+          if t <= !last_t then
+            emit pos t
+              "collective round %s breaks the ascending transfer-id order of \
+               its rounds — every processor must enter rounds in the same \
+               order"
+              (xdesc t)
+        end;
+        if t <> !cur_t then begin
+          emit pos t
+            "%s(%s) interleaves with the unfinished round %s — each \
+             collective round must be one adjacent DR;SR;DN;SV quadruple"
+            (Ir.Instr.call_name c) (xdesc t) (xdesc !cur_t);
+          cur_t := t;
+          step := 0
+        end;
+        if c <> expected.(!step) then
+          emit pos t
+            "%s(%s) where the collective round expects %s — each round runs \
+             DR;SR;DN;SV back to back"
+            (Ir.Instr.call_name c) (xdesc t)
+            (Ir.Instr.call_name expected.(!step));
+        step := !step + 1;
+        if !step = 4 then begin
+          last_t := !cur_t;
+          step := 0;
+          cur_t := -1
+        end)
+      run;
+    if !step <> 0 then
+      emit
+        (match run with (p, _, _) :: _ -> p | [] -> 0)
+        !cur_t "collective round %s is missing calls of its DR;SR;DN;SV \
+                quadruple"
+        (xdesc !cur_t)
+  in
+  let check_run (run : (int * Ir.Instr.call * int) list) =
+    let colls, fringes = List.partition (fun (_, _, t) -> is_coll t) run in
+    match (colls, fringes) with
+    | [], _ -> check_fringe_run run
+    | _, [] -> check_coll_run run
+    | _, (fpos, fc, ft) :: _ ->
+        emit fpos ft
+          "%s(%s) shares a rendezvous group with synthesized collective \
+           rounds — fringe transfers and collective rounds must not \
+           interleave"
+          (Ir.Instr.call_name fc) (xdesc ft);
+        check_coll_run colls;
+        check_fringe_run fringes
+  in
+  check_run
+
+let order_diags (p : Ir.Instr.program) : diag list =
+  let diags = ref [] in
+  let check_run =
+    order_check p.Ir.Instr.prog p.Ir.Instr.transfers ~flat:false
+      ~emit_diag:(fun d -> diags := d :: !diags)
+  in
   let flush run = if run <> [] then check_run (List.rev run) in
   let rec go pos run = function
     | [] -> flush run
@@ -300,11 +654,142 @@ let order_diags (p : Ir.Instr.program) : diag list =
             go (pos + 1) [] a;
             go (pos + 1 + Ir.Instr.size_list a) [] b
         | Ir.Instr.Comm _ | Ir.Instr.Kernel _ | Ir.Instr.ScalarK _
-        | Ir.Instr.ReduceK _ ->
+        | Ir.Instr.ReduceK _ | Ir.Instr.CollPart _ | Ir.Instr.CollFin _ ->
             ());
         go (pos + Ir.Instr.size i) [] rest
   in
   go 0 [] p.Ir.Instr.code;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Post-flattening: the same checkers over the flat CFG                *)
+(* ------------------------------------------------------------------ *)
+
+(** Atomic view of a flat op, for the shared transfer function; [None]
+    for pure control flow (state passes through unchanged). *)
+let atom_of : Ir.Flat.finstr -> Ir.Instr.instr option = function
+  | Ir.Flat.FComm (c, x) -> Some (Ir.Instr.Comm (c, x))
+  | Ir.Flat.FKernel a -> Some (Ir.Instr.Kernel a)
+  | Ir.Flat.FScalar { lhs; rhs } -> Some (Ir.Instr.ScalarK { lhs; rhs })
+  | Ir.Flat.FReduce r -> Some (Ir.Instr.ReduceK r)
+  | Ir.Flat.FCollPart w -> Some (Ir.Instr.CollPart w)
+  | Ir.Flat.FCollFin w -> Some (Ir.Instr.CollFin w)
+  | Ir.Flat.FJump _ | Ir.Flat.FJumpIfNot _ | Ir.Flat.FHalt -> None
+
+let flat_succs (ops : Ir.Flat.finstr array) i =
+  match ops.(i) with
+  | Ir.Flat.FJump t -> [ t ]
+  | Ir.Flat.FJumpIfNot (_, t) -> [ i + 1; t ]
+  | Ir.Flat.FHalt -> []
+  | _ -> [ i + 1 ]
+
+let flat_dataflow_diags (f : Ir.Flat.t) : diag list =
+  let ops = f.Ir.Flat.ops in
+  let n = Array.length ops in
+  let cx =
+    make_ctx f.Ir.Flat.prog f.Ir.Flat.transfers
+      ~nslots:(Ir.Flat.coll_slots f)
+  in
+  let diags = ref [] in
+  let emit ~final ~pos checker xfer msg =
+    if final then
+      diags :=
+        { d_checker = checker;
+          d_pos = pos;
+          d_flat = true;
+          d_xfer = xfer;
+          d_msg = msg }
+        :: !diags
+  in
+  let transfer = make_transfer cx ~emit in
+  let step ~final pos st =
+    match atom_of ops.(pos) with
+    | Some a -> transfer ~final ~pos a st
+    | None -> st
+  in
+  let init =
+    { phases = Array.make (Array.length cx.transfers) Idle;
+      avail = Avail.empty;
+      coll = Array.make (Array.length cx.slots) (-1) }
+  in
+  (* forward worklist fixpoint over the op CFG; the lattice has finite
+     height, so it terminates without widening *)
+  let instate : state option array = Array.make n None in
+  instate.(0) <- Some init;
+  let work = Queue.create () in
+  Queue.push 0 work;
+  let rounds = ref 0 in
+  while not (Queue.is_empty work) do
+    incr rounds;
+    if !rounds > n * 10000 then
+      failwith "Schedcheck.check_flat: fixpoint did not converge";
+    let i = Queue.pop work in
+    match instate.(i) with
+    | None -> assert false
+    | Some st ->
+        let out = step ~final:false i st in
+        List.iter
+          (fun j ->
+            if j >= 0 && j < n then
+              match instate.(j) with
+              | None ->
+                  instate.(j) <- Some out;
+                  Queue.push j work
+              | Some old ->
+                  let m = state_meet old out in
+                  if not (state_equal m old) then begin
+                    instate.(j) <- Some m;
+                    Queue.push j work
+                  end)
+          (flat_succs ops i)
+  done;
+  (* replay every reachable op once from its stable in-state, emitting *)
+  Array.iteri
+    (fun i st ->
+      match st with
+      | None -> ()
+      | Some st -> (
+          ignore (step ~final:true i st);
+          match ops.(i) with
+          | Ir.Flat.FHalt ->
+              List.iter
+                (fun d -> diags := d :: !diags)
+                (List.rev (end_state_diags cx ~flat:true ~end_pos:i st))
+          | _ -> ()))
+    instate;
+  List.rev !diags @ table_diags cx ~flat:true ~end_pos:(n - 1)
+
+let flat_order_diags (f : Ir.Flat.t) : diag list =
+  let ops = f.Ir.Flat.ops in
+  let n = Array.length ops in
+  let diags = ref [] in
+  let check_run =
+    order_check f.Ir.Flat.prog f.Ir.Flat.transfers ~flat:true
+      ~emit_diag:(fun d -> diags := d :: !diags)
+  in
+  (* a jump target starts a new rendezvous group: two processors may
+     reach it along different paths, so adjacency across the boundary is
+     not an SPMD property *)
+  let target = Array.make (n + 1) false in
+  Array.iter
+    (function
+      | Ir.Flat.FJump t -> if t >= 0 && t <= n then target.(t) <- true
+      | Ir.Flat.FJumpIfNot (_, t) -> if t >= 0 && t <= n then target.(t) <- true
+      | _ -> ())
+    ops;
+  let run = ref [] in
+  let flush () =
+    if !run <> [] then check_run (List.rev !run);
+    run := []
+  in
+  Array.iteri
+    (fun i op ->
+      if target.(i) then flush ();
+      match op with
+      | Ir.Flat.FComm (c, t) -> run := (i, c, t) :: !run
+      | _ -> flush ())
+    ops;
+  flush ();
   List.rev !diags
 
 (* ------------------------------------------------------------------ *)
@@ -316,12 +801,31 @@ let check (p : Ir.Instr.program) : diag list =
     (fun a b -> compare a.d_pos b.d_pos)
     (dataflow_diags p @ order_diags p)
 
+(** The same checkers over the flattened op vector: the flattener (jump
+    threading) and collective expansion ordering sit inside the verified
+    boundary. Positions are flat op indices ([flat#N]). *)
+let check_flat (f : Ir.Flat.t) : diag list =
+  List.stable_sort
+    (fun a b -> compare a.d_pos b.d_pos)
+    (flat_dataflow_diags f @ flat_order_diags f)
+
 let check_exn (p : Ir.Instr.program) : unit =
   match check p with
   | [] -> ()
   | ds ->
       failwith
         (Printf.sprintf "schedule verification failed (%d diagnostic%s):\n%s"
+           (List.length ds)
+           (if List.length ds = 1 then "" else "s")
+           (String.concat "\n" (List.map diag_to_string ds)))
+
+let check_flat_exn (f : Ir.Flat.t) : unit =
+  match check_flat f with
+  | [] -> ()
+  | ds ->
+      failwith
+        (Printf.sprintf
+           "flat schedule verification failed (%d diagnostic%s):\n%s"
            (List.length ds)
            (if List.length ds = 1 then "" else "s")
            (String.concat "\n" (List.map diag_to_string ds)))

@@ -12,7 +12,7 @@
     the instruction stream alone, using none of the optimizer's
     bookkeeping.
 
-    Four checkers run over one forward {!Dataflow} pass (plus one
+    Five checkers run over one forward {!Dataflow} pass (plus one
     syntactic scan):
 
     - {b protocol} — on every path, each transfer's calls occur in
@@ -30,21 +30,32 @@
       redundant leaves an uncovered read behind.
     - {b order} — within each rendezvous group (a maximal run of
       consecutive communication calls), calls follow the canonical SPMD
-      deadlock-free order: all DRs, then all SRs, then adjacent DN/SV
-      pairs, each class sorted by transfer id — the same sequence on
-      every processor.
+      deadlock-free order: for fringe transfers all DRs, then all SRs,
+      then adjacent DN/SV pairs, each class sorted by transfer id; for
+      synthesized collective rounds, one adjacent DR;SR;DN;SV quadruple
+      per round in ascending transfer id, never interleaved with fringe
+      calls — the same sequence on every processor.
+    - {b collective} — every synthesized collective ({!Ir.Coll}) runs
+      its full canonical round sequence between its [CollPart] and
+      [CollFin] bookends, in order, on every path. The canonical
+      sequence is re-derived from {!Ir.Coll.rounds} — independently of
+      the synthesizer — so a dropped, duplicated, reordered or
+      mis-tagged round cannot agree with it.
 
     Positions in diagnostics are the stable preorder instruction indices
     of {!Ir.Instr.size}, i.e. the [N:] lines of
-    {!Ir.Printer.program_to_annotated_string} ([zplc dump --ir]). *)
+    {!Ir.Printer.program_to_annotated_string} ([zplc dump --ir]); for
+    {!check_flat} they are flat op indices, the [N:] lines of
+    [zplc dump --flat], rendered as [flat#N]. *)
 
-type checker = Protocol | Race | Availability | Order
+type checker = Protocol | Race | Availability | Order | Collective
 
 val checker_name : checker -> string
 
 type diag = {
   d_checker : checker;
-  d_pos : int;  (** stable instruction index; one past the last for end-of-program diagnostics *)
+  d_pos : int;  (** stable instruction index (or flat op index when [d_flat]); one past the last for end-of-program diagnostics *)
+  d_flat : bool;  (** position is a flat op index ([flat#N]) *)
   d_xfer : int option;  (** transfer id, when one is implicated *)
   d_msg : string;  (** includes the {!Ir.Transfer.describe} string *)
 }
@@ -56,6 +67,19 @@ val diag_to_string : diag -> string
     every checker. *)
 val check : Ir.Instr.program -> diag list
 
+(** The same checkers over the flattened op vector, so the flattener's
+    jump threading and the placement of collective rounds relative to
+    back edges sit inside the verified boundary. Control flow is the op
+    CFG (fallthrough, [FJump], both arms of [FJumpIfNot]), solved by a
+    worklist fixpoint; every [FHalt] must be reached with all transfers
+    idle and no collective open. A jump target starts a new rendezvous
+    group for the order checker: adjacency across a join is not an SPMD
+    property. *)
+val check_flat : Ir.Flat.t -> diag list
+
 (** [check_exn p] raises [Failure] with one rendered diagnostic per line
     if {!check} finds anything. *)
 val check_exn : Ir.Instr.program -> unit
+
+(** [check_flat_exn f] likewise for {!check_flat}. *)
+val check_flat_exn : Ir.Flat.t -> unit

@@ -35,16 +35,20 @@ type compiled = {
 (** Compile mini-ZPL source text under an optimization configuration.
     [defines] overrides [constant] declarations (e.g. problem size).
     [check] runs {!Analysis.Schedcheck} on the emitted schedule and
-    fails with its diagnostics if any checker fires. *)
-let compile ?(config = Opt.Config.pl_cum) ?defines ?check (src : string) :
-    compiled =
+    fails with its diagnostics if any checker fires. [machine]/[lib]/
+    [mesh] are the collective-synthesis targets (see
+    {!Opt.Passes.compile}); when synthesizing, simulate on the same
+    mesh. *)
+let compile ?(config = Opt.Config.pl_cum) ?defines ?check ?machine ?lib ?mesh
+    (src : string) : compiled =
   let prog = Zpl.Check.compile_string ?defines src in
-  let ir = Opt.Passes.compile ?check config prog in
+  let ir = Opt.Passes.compile ?check ?machine ?lib ?mesh config prog in
   { prog; config; ir; flat = Ir.Flat.flatten ir }
 
 (** Re-optimize an already-checked program under another configuration. *)
-let recompile ?check ~(config : Opt.Config.t) (c : compiled) : compiled =
-  let ir = Opt.Passes.compile ?check config c.prog in
+let recompile ?check ?machine ?lib ?mesh ~(config : Opt.Config.t)
+    (c : compiled) : compiled =
+  let ir = Opt.Passes.compile ?check ?machine ?lib ?mesh config c.prog in
   { c with config; ir; flat = Ir.Flat.flatten ir }
 
 let static_count (c : compiled) = Ir.Count.static_count c.ir

@@ -1,0 +1,204 @@
+(** Collective schedules: the shapes of the synthesized reduction
+    algorithms.
+
+    A full reduction ([op<<]) compiled in collective-synthesis mode is no
+    longer one opaque [ReduceK]: it becomes an explicit sequence of
+    DR/SR/DN/SV rounds, each round an ordinary {!Transfer.t} tagged with a
+    {!desc} naming the algorithm, the phase, and the round. This module is
+    the single source of truth for those shapes — the optimizer emits
+    rounds from {!rounds}, the simulator asks {!side} which partner a rank
+    talks to in each round, and Schedcheck re-derives the canonical round
+    sequence from the same functions, so a mis-synthesized schedule cannot
+    agree with its own checker by construction.
+
+    All four algorithms compute an {e allreduce}: every rank ends holding
+    the same scalar, bit-identically across ranks (the SPMD replication
+    invariant — control flow branches on reduced scalars, so a last-ulp
+    disagreement would deadlock the mesh). Their combine orders are fixed
+    and deterministic:
+
+    - {b Ring} — a chain [0 -> 1 -> ... -> P-1] folding exactly in rank
+      order seeded with the operator identity (bitwise equal to the opaque
+      [ReduceK] fold for every operator), then the result chains back.
+    - {b Binomial} — a binomial tree reducing to rank 0 (lower rank always
+      the left operand), then the reversed tree broadcasts.
+    - {b Recdouble} — recursive doubling (butterfly) among the largest
+      power-of-two ranks; both partners of an exchange evaluate the same
+      lower-left expression, so their bits agree. Non-power-of-two
+      remainders fold in before and copy out after.
+    - {b Dissem} — a dissemination (circulant) {e allgather} of the raw
+      local partials with doubling windows; every rank then folds all P
+      partials locally in rank order seeded with the identity — bitwise
+      equal to the opaque fold for every operator, in [ceil(log2 P)]
+      rounds at the price of wider messages.
+
+    [max]/[min] are exact under any tree; [+]/[*] may round differently
+    under different associations, which is why Ring and Dissem reproduce
+    the opaque order exactly and the trees are compared with a tolerance
+    (see DESIGN.md's legality argument). *)
+
+type alg = Ring | Binomial | Recdouble | Dissem [@@deriving show, eq, ord]
+
+type phase =
+  | Reduce  (** combine partials toward the root / across the butterfly *)
+  | Bcast  (** distribute the finished value back *)
+  | Fold_in  (** non-power-of-two ranks fold into the butterfly *)
+  | Fold_out  (** butterfly ranks copy the result back out *)
+  | Gather  (** dissemination allgather of raw partials *)
+[@@deriving show, eq, ord]
+
+(** The collective tag of one synthesized round-transfer. [nprocs] is
+    baked in because the round structure depends on it: an engine whose
+    mesh disagrees must reject the program (see {!Sim.Engine.make}). *)
+type desc = {
+  cl_alg : alg;
+  cl_phase : phase;
+  cl_round : int;  (** index within the phase, from 0 *)
+  cl_slot : int;  (** which collective of the program this round serves *)
+  cl_op : Zpl.Ast.redop;
+  cl_nprocs : int;
+}
+[@@deriving show, eq]
+
+let all_algs = [ Ring; Binomial; Recdouble; Dissem ]
+
+let alg_name = function
+  | Ring -> "ring"
+  | Binomial -> "binomial"
+  | Recdouble -> "recdouble"
+  | Dissem -> "dissem"
+
+let alg_of_name = function
+  | "ring" -> Some Ring
+  | "binomial" -> Some Binomial
+  | "recdouble" -> Some Recdouble
+  | "dissem" -> Some Dissem
+  | _ -> None
+
+let phase_name = function
+  | Reduce -> "reduce"
+  | Bcast -> "bcast"
+  | Fold_in -> "fold-in"
+  | Fold_out -> "fold-out"
+  | Gather -> "gather"
+
+(** [max]/[min] are exact under any combine tree; [+]/[*] are not. *)
+let exact = function
+  | Zpl.Ast.RMax | Zpl.Ast.RMin -> true
+  | Zpl.Ast.RSum | Zpl.Ast.RProd -> false
+
+(** Smallest [k] with [2^k >= n] (0 for n <= 1). *)
+let ceil_log2 n =
+  let k = ref 0 in
+  while 1 lsl !k < n do
+    incr k
+  done;
+  !k
+
+(** Largest power of two [<= n] (for n >= 1). *)
+let floor_pow2 n =
+  let p = ref 1 in
+  while 2 * !p <= n do
+    p := 2 * !p
+  done;
+  !p
+
+(** The round sequence of one algorithm on [nprocs] ranks, in program
+    order: one [(phase, round)] entry per synthesized transfer. Empty
+    when [nprocs = 1] — a one-rank collective needs no communication. *)
+let rounds (a : alg) ~nprocs : (phase * int) list =
+  let p = nprocs in
+  if p <= 1 then []
+  else
+    match a with
+    | Ring ->
+        List.init (p - 1) (fun k -> (Reduce, k))
+        @ List.init (p - 1) (fun k -> (Bcast, k))
+    | Binomial ->
+        let r = ceil_log2 p in
+        List.init r (fun k -> (Reduce, k)) @ List.init r (fun k -> (Bcast, k))
+    | Recdouble ->
+        let p2 = floor_pow2 p in
+        let rem = p - p2 in
+        let l = ceil_log2 p2 in
+        (if rem > 0 then [ (Fold_in, 0) ] else [])
+        @ List.init l (fun k -> (Reduce, k))
+        @ if rem > 0 then [ (Fold_out, 0) ] else []
+    | Dissem -> List.init (ceil_log2 p) (fun k -> (Gather, k))
+
+(** One rank's role in one round: the rank it sends to, the rank it
+    receives from (-1 for "not this rank"), and the number of scalar
+    values per message in this round (equal for every active rank of a
+    round, so sender and receiver agree on the message layout). *)
+type role = { r_to : int; r_from : int; r_count : int }
+
+let idle = { r_to = -1; r_from = -1; r_count = 1 }
+
+(** Dissemination window width of round [k] on [p] ranks: the number of
+    consecutive partials each rank forwards. *)
+let dissem_count ~nprocs k =
+  let s = 1 lsl k in
+  min s (nprocs - s)
+
+let role (d : desc) ~rank : role =
+  let p = d.cl_nprocs in
+  let k = d.cl_round in
+  match (d.cl_alg, d.cl_phase) with
+  | Ring, Reduce ->
+      if rank = k then { idle with r_to = rank + 1 }
+      else if rank = k + 1 then { idle with r_from = rank - 1 }
+      else idle
+  | Ring, Bcast ->
+      (* the finished value walks back down the chain from rank P-1 *)
+      if rank = p - 1 - k then { idle with r_to = rank - 1 }
+      else if rank = p - 2 - k then { idle with r_from = rank + 1 }
+      else idle
+  | Binomial, Reduce ->
+      let m = 1 lsl k in
+      if rank mod (2 * m) = m then { idle with r_to = rank - m }
+      else if rank mod (2 * m) = 0 && rank + m < p then
+        { idle with r_from = rank + m }
+      else idle
+  | Binomial, Bcast ->
+      let m = 1 lsl (ceil_log2 p - 1 - k) in
+      if rank mod (2 * m) = 0 && rank + m < p then { idle with r_to = rank + m }
+      else if rank mod (2 * m) = m then { idle with r_from = rank - m }
+      else idle
+  | Recdouble, Fold_in ->
+      let p2 = floor_pow2 p in
+      if rank >= p2 then { idle with r_to = rank - p2 }
+      else if rank + p2 < p then { idle with r_from = rank + p2 }
+      else idle
+  | Recdouble, Reduce ->
+      let p2 = floor_pow2 p in
+      if rank >= p2 then idle
+      else
+        let partner = rank lxor (1 lsl k) in
+        { idle with r_to = partner; r_from = partner }
+  | Recdouble, Fold_out ->
+      let p2 = floor_pow2 p in
+      if rank >= p2 then { idle with r_from = rank - p2 }
+      else if rank + p2 < p then { idle with r_to = rank + p2 }
+      else idle
+  | Dissem, Gather ->
+      let s = 1 lsl k in
+      { r_to = (rank + s) mod p;
+        r_from = (rank - s + p) mod p;
+        r_count = dissem_count ~nprocs:p k }
+  | (Ring | Binomial), (Fold_in | Fold_out | Gather)
+  | Recdouble, (Bcast | Gather)
+  | Dissem, (Reduce | Bcast | Fold_in | Fold_out) ->
+      idle
+
+(** Total rounds of the algorithm (length of {!rounds}). *)
+let round_count (a : alg) ~nprocs = List.length (rounds a ~nprocs)
+
+(** Short human tag, e.g. ["binomial:reduce[1/4]#s0"] — round index over
+    the algorithm's total round count, then the collective slot. Used by
+    {!Transfer.describe} so every diagnostic about a synthesized round
+    names its algorithm, phase and round. *)
+let describe (d : desc) =
+  Printf.sprintf "%s:%s[%d/%d]#s%d" (alg_name d.cl_alg)
+    (phase_name d.cl_phase) d.cl_round
+    (round_count d.cl_alg ~nprocs:d.cl_nprocs)
+    d.cl_slot

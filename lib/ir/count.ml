@@ -10,7 +10,8 @@ let static_transfers (p : Instr.program) : Transfer.t list =
       (function
         | Instr.Comm (Instr.SR, x) -> Hashtbl.replace seen x ()
         | Instr.Comm (_, _) | Instr.Kernel _ | Instr.ScalarK _ | Instr.ReduceK _
-          -> ()
+        | Instr.CollPart _ | Instr.CollFin _ ->
+            ()
         | Instr.Repeat (body, _) -> go body
         | Instr.For { body; _ } -> go body
         | Instr.If (_, a, b) ->

@@ -7,6 +7,8 @@ type finstr =
   | FKernel of Zpl.Prog.assign_a
   | FScalar of { lhs : int; rhs : Zpl.Prog.sexpr }
   | FReduce of Zpl.Prog.reduce_s
+  | FCollPart of Instr.coll_work
+  | FCollFin of Instr.coll_work
   | FJump of int
   | FJumpIfNot of Zpl.Prog.sexpr * int  (** jump when the condition is false *)
   | FHalt
@@ -28,6 +30,8 @@ let flatten (p : Instr.program) : t =
         | Instr.Kernel a -> push (FKernel a)
         | Instr.ScalarK { lhs; rhs } -> push (FScalar { lhs; rhs })
         | Instr.ReduceK r -> push (FReduce r)
+        | Instr.CollPart w -> push (FCollPart w)
+        | Instr.CollFin w -> push (FCollFin w)
         | Instr.Repeat (body, cond) ->
             let start = !len in
             go body;
@@ -73,3 +77,25 @@ let flatten (p : Instr.program) : t =
   { prog = p.Instr.prog;
     transfers = p.Instr.transfers;
     ops = Array.of_list (List.rev !buf) }
+
+(** Number of collective slots the program uses (0 when no collective
+    synthesis ran) — the size of the per-processor slot state the
+    simulator must allocate. Scans both the ops (a one-processor mesh
+    synthesizes [FCollPart]/[FCollFin] with zero rounds) and the
+    transfer table. *)
+let coll_slots (f : t) : int =
+  let n = ref 0 in
+  Array.iter
+    (function
+      | FCollPart w | FCollFin w -> n := max !n (w.Instr.cw_slot + 1)
+      | FComm _ | FKernel _ | FScalar _ | FReduce _ | FJump _ | FJumpIfNot _
+      | FHalt ->
+          ())
+    f.ops;
+  Array.iter
+    (fun (x : Transfer.t) ->
+      match x.Transfer.coll with
+      | Some d -> n := max !n (d.Coll.cl_slot + 1)
+      | None -> ())
+    f.transfers;
+  !n

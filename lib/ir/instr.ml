@@ -13,11 +13,24 @@ type call = DR | SR | DN | SV [@@deriving show, eq, ord]
 
 let call_name = function DR -> "DR" | SR -> "SR" | DN -> "DN" | SV -> "SV"
 
+(** The local bookends of one synthesized collective (see {!Coll}): the
+    rounds between a [CollPart] and its [CollFin] carry scalar partials
+    through slot [cw_slot]. [CollPart] computes this processor's local
+    partial of the original reduction; [CollFin] publishes the finished
+    value into the reduction's scalar. *)
+type coll_work = {
+  cw_red : Zpl.Prog.reduce_s;  (** the reduction being synthesized *)
+  cw_slot : int;  (** which collective slot of the program *)
+  cw_alg : Coll.alg;
+}
+
 type instr =
   | Comm of call * int  (** transfer id *)
   | Kernel of Zpl.Prog.assign_a
   | ScalarK of { lhs : int; rhs : Zpl.Prog.sexpr }
   | ReduceK of Zpl.Prog.reduce_s
+  | CollPart of coll_work  (** local partial into a collective slot *)
+  | CollFin of coll_work  (** finished collective value into the scalar *)
   | Repeat of instr list * Zpl.Prog.sexpr
   | For of { var : int; lo : Zpl.Prog.sexpr; hi : Zpl.Prog.sexpr; step : int; body : instr list }
   | If of Zpl.Prog.sexpr * instr list * instr list
@@ -42,7 +55,7 @@ type program = {
     [ir#N] position in a diagnostic is the [N:]-prefixed line of
     [zplc dump --ir]. *)
 let rec size = function
-  | Comm _ | Kernel _ | ScalarK _ | ReduceK _ -> 1
+  | Comm _ | Kernel _ | ScalarK _ | ReduceK _ | CollPart _ | CollFin _ -> 1
   | Repeat (body, _) -> 1 + size_list body
   | For { body; _ } -> 1 + size_list body
   | If (_, a, b) -> 1 + size_list a + size_list b
@@ -100,7 +113,7 @@ let of_code (prog : Zpl.Prog.t) (code : Block.code) : program =
   let fresh arrays off =
     let id = !next in
     incr next;
-    table := { Transfer.id; arrays; off } :: !table;
+    table := { Transfer.id; arrays; off; coll = None } :: !table;
     id
   in
   let rec go (code : Block.code) : instr list =

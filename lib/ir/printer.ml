@@ -3,12 +3,24 @@
 
 let xfer_str (p : Instr.program) id =
   let x = p.Instr.transfers.(id) in
-  Printf.sprintf "%s, %s"
-    (String.concat ", "
-       (List.map
-          (fun a -> (Zpl.Prog.array_info p.Instr.prog a).a_name)
-          x.Transfer.arrays))
-    (Transfer.direction_name x.Transfer.off)
+  match x.Transfer.coll with
+  | Some d -> Coll.describe d
+  | None ->
+      Printf.sprintf "%s, %s"
+        (String.concat ", "
+           (List.map
+              (fun a -> (Zpl.Prog.array_info p.Instr.prog a).a_name)
+              x.Transfer.arrays))
+        (Transfer.direction_name x.Transfer.off)
+
+(** One-line rendering of a collective bookend: the reduction statement
+    it implements, tagged with its slot and algorithm. *)
+let coll_work_str (prog : Zpl.Prog.t) which (w : Instr.coll_work) =
+  Printf.sprintf "%s[s%d/%s] %s" which w.Instr.cw_slot
+    (Coll.alg_name w.Instr.cw_alg)
+    (String.concat " "
+       (List.map String.trim
+          (Zpl.Pretty.stmt_lines prog ~indent:0 (Zpl.Prog.ReduceS w.Instr.cw_red))))
 
 let rec instr_lines (p : Instr.program) ~indent (i : Instr.instr) : string list =
   let pad = String.make indent ' ' in
@@ -16,6 +28,8 @@ let rec instr_lines (p : Instr.program) ~indent (i : Instr.instr) : string list 
   match i with
   | Instr.Comm (c, x) ->
       [ Printf.sprintf "%s%s(%s);" pad (Instr.call_name c) (xfer_str p x) ]
+  | Instr.CollPart w -> [ pad ^ coll_work_str prog "partial" w ]
+  | Instr.CollFin w -> [ pad ^ coll_work_str prog "finish" w ]
   | Instr.Kernel a -> Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignA a)
   | Instr.ScalarK { lhs; rhs } ->
       Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignS { lhs; rhs })
@@ -78,6 +92,8 @@ let annotated_lines (p : Instr.program) : string list =
           (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignS { lhs; rhs }))
     | Instr.ReduceK r ->
         prefix_first k (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.ReduceS r))
+    | Instr.CollPart w -> [ idx k ^ pad ^ coll_work_str prog "partial" w ]
+    | Instr.CollFin w -> [ idx k ^ pad ^ coll_work_str prog "finish" w ]
     | Instr.Repeat (body, cond) ->
         ((idx k ^ pad ^ "repeat") :: go_list ~indent:(indent + 2) (k + 1) body)
         @ [ blank
@@ -116,14 +132,17 @@ let flat_to_string (f : Flat.t) =
   let line i op =
     let body =
       match op with
-      | Flat.FComm (c, x) ->
+      | Flat.FComm (c, x) -> (
           let xf = f.Flat.transfers.(x) in
-          Printf.sprintf "%s(%s, %s)" (Instr.call_name c)
-            (String.concat ","
-               (List.map
-                  (fun a -> (Zpl.Prog.array_info prog a).a_name)
-                  xf.Transfer.arrays))
-            (Transfer.direction_name xf.Transfer.off)
+          match xf.Transfer.coll with
+          | Some d -> Printf.sprintf "%s(%s)" (Instr.call_name c) (Coll.describe d)
+          | None ->
+              Printf.sprintf "%s(%s, %s)" (Instr.call_name c)
+                (String.concat ","
+                   (List.map
+                      (fun a -> (Zpl.Prog.array_info prog a).a_name)
+                      xf.Transfer.arrays))
+                (Transfer.direction_name xf.Transfer.off))
       | Flat.FKernel a ->
           String.concat " "
             (List.map String.trim
@@ -135,6 +154,8 @@ let flat_to_string (f : Flat.t) =
           String.concat " "
             (List.map String.trim
                (Zpl.Pretty.stmt_lines prog ~indent:0 (Zpl.Prog.ReduceS r)))
+      | Flat.FCollPart w -> coll_work_str prog "partial" w
+      | Flat.FCollFin w -> coll_work_str prog "finish" w
       | Flat.FJump t -> Printf.sprintf "jump %d" t
       | Flat.FJumpIfNot (c, t) ->
           Printf.sprintf "unless %s jump %d" (Zpl.Pretty.sexpr_to_string prog c) t

@@ -4,14 +4,24 @@
 
     A combined transfer carries several arrays; all members share the same
     offset, so all messages involved have the same source and destination
-    processors (Section 2 of the paper). *)
+    processors (Section 2 of the paper).
+
+    A {e collective} transfer is one synthesized round of a reduction
+    schedule (see {!Coll}): it moves scalar partials rather than fringe
+    rectangles, so it carries no member arrays and the zero offset, and
+    its [coll] tag names the algorithm, phase and round instead. *)
 
 type t = {
   id : int;  (** dense index into the program's transfer table *)
-  arrays : int list;  (** member array ids; singleton unless combined *)
-  off : int * int;  (** mesh offset (d0, d1), never (0, 0) *)
+  arrays : int list;  (** member array ids; singleton unless combined;
+                          empty for collective rounds *)
+  off : int * int;  (** mesh offset (d0, d1); never (0, 0) for fringe
+                        transfers, always (0, 0) for collective rounds *)
+  coll : Coll.desc option;  (** [Some] iff this is a collective round *)
 }
 [@@deriving show, eq]
+
+let is_coll (x : t) = x.coll <> None
 
 let direction_name (d0, d1) =
   match (d0, d1) with
@@ -27,7 +37,10 @@ let direction_name (d0, d1) =
   | _ -> Printf.sprintf "(%d,%d)" d0 d1
 
 let describe (p : Zpl.Prog.t) (x : t) =
-  Printf.sprintf "x%d:%s@%s" x.id
-    (String.concat "+"
-       (List.map (fun a -> (Zpl.Prog.array_info p a).a_name) x.arrays))
-    (direction_name x.off)
+  match x.coll with
+  | Some d -> Printf.sprintf "x%d:%s" x.id (Coll.describe d)
+  | None ->
+      Printf.sprintf "x%d:%s@%s" x.id
+        (String.concat "+"
+           (List.map (fun a -> (Zpl.Prog.array_info p a).a_name) x.arrays))
+        (direction_name x.off)

@@ -3,20 +3,32 @@
     ghost (fringe) cells of one or more arrays for one mesh offset. A
     combined transfer carries several arrays; all members share the same
     offset, so all messages involved have the same source and destination
-    processors. *)
+    processors.
+
+    A {e collective} transfer is one synthesized round of a reduction
+    schedule (see {!Coll}): it carries no member arrays and the zero
+    offset; its [coll] tag names the algorithm, phase and round. *)
 
 type t = {
   id : int;  (** dense index into the program's transfer table *)
-  arrays : int list;  (** member array ids; singleton unless combined *)
-  off : int * int;  (** mesh offset (d0, d1), never (0, 0) *)
+  arrays : int list;  (** member array ids; singleton unless combined;
+                          empty for collective rounds *)
+  off : int * int;  (** mesh offset (d0, d1); never (0, 0) for fringe
+                        transfers, always (0, 0) for collective rounds *)
+  coll : Coll.desc option;  (** [Some] iff this is a collective round *)
 }
 
 val pp : Format.formatter -> t -> unit
 val show : t -> string
 val equal : t -> t -> bool
 
+(** Whether this transfer is a synthesized collective round. *)
+val is_coll : t -> bool
+
 (** Compass name for unit offsets ("east", "nw", ...), or "(d0,d1)". *)
 val direction_name : int * int -> string
 
-(** Human-readable one-liner, e.g. ["x3:X+Y@east"]. *)
+(** Human-readable one-liner: ["x3:X+Y@east"] for fringe transfers,
+    ["x9:binomial:reduce[1/4]#s0"] for collective rounds — a failing
+    synthesized round names its algorithm, phase and round. *)
 val describe : Zpl.Prog.t -> t -> string

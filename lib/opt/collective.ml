@@ -1,0 +1,166 @@
+(** Collective synthesis: compile each full reduction ([ReduceK]) into
+    the explicit DR/SR/DN/SV round schedule of one of the four
+    {!Ir.Coll} algorithms, selected by an alpha/beta cost model over the
+    target machine's library parameters.
+
+    The expansion runs on the final {!Ir.Instr.program}, after the
+    block-level passes (rr/cc/pl): reductions are not fringe transfers,
+    so none of those passes move them, and expanding last keeps the
+    synthesized rounds out of the combining/pipelining search space —
+    a round's payload is one live scalar, there is nothing to combine
+    or hoist. Each reduction site gets its own collective {e slot};
+    a site inside a loop reuses its slot every iteration (the
+    [CollPart]/[CollFin] bookends delimit activations, which is what
+    {!Analysis.Schedcheck}'s collective checker verifies).
+
+    {b Cost model.} One message of [b] bytes under library [L] on
+    machine [M] costs
+
+    {v
+    alpha(L) + b * beta(L)
+    alpha = dr + sr + dn + sv + wire_latency + msg_latency
+          + (wire_latency + token_latency  if L rendezvous at SR)
+    beta  = send_byte + recv_byte + 1/bandwidth
+    v}
+
+    — the per-call software overheads the paper measures (Figure 3)
+    plus the wire. An algorithm's cost is the sum over its canonical
+    rounds of [count_k] messages' bytes through that formula, i.e. the
+    {e serialized} per-rank round path: every rank participates in every
+    round of the tree algorithms at most once, so the critical path is
+    the round count, and dissemination pays wider messages instead of
+    more rounds. With 8-byte scalar payloads alpha dominates beta by two
+    to three orders of magnitude on both machines, so the search is
+    effectively over round counts: recursive doubling (log2 P rounds,
+    no broadcast) wins at power-of-two meshes, dissemination
+    (ceil log2 P rounds) wins elsewhere, and ring (2(P-1) rounds) wins
+    nothing until P <= 2 ties — exactly the landscape EXPERIMENTS.md
+    tabulates against measured times. *)
+
+let alpha ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) =
+  let c = lib.Machine.Library.costs in
+  let rendezvous =
+    Machine.Library.semantics lib.Machine.Library.kind Ir.Instr.SR
+    = Machine.Library.Send_rendezvous
+  in
+  c.Machine.Params.dr_over +. c.Machine.Params.sr_over
+  +. c.Machine.Params.dn_over +. c.Machine.Params.sv_over
+  +. machine.Machine.Params.wire_latency
+  +. c.Machine.Params.msg_latency
+  +.
+  if rendezvous then
+    machine.Machine.Params.wire_latency +. c.Machine.Params.token_latency
+  else 0.0
+
+let beta ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) =
+  let c = lib.Machine.Library.costs in
+  c.Machine.Params.send_byte +. c.Machine.Params.recv_byte
+  +. (1.0 /. machine.Machine.Params.bandwidth)
+
+(** Modeled cost of one whole collective of algorithm [alg] on [nprocs]
+    ranks (8-byte scalar elements). *)
+let cost ~machine ~lib ~nprocs (alg : Ir.Coll.alg) : float =
+  let a = alpha ~machine ~lib and b = beta ~machine ~lib in
+  List.fold_left
+    (fun acc (phase, k) ->
+      let count =
+        match (alg, phase) with
+        | Ir.Coll.Dissem, Ir.Coll.Gather -> Ir.Coll.dissem_count ~nprocs k
+        | _ -> 1
+      in
+      acc +. a +. (float_of_int (8 * count) *. b))
+    0.0
+    (Ir.Coll.rounds alg ~nprocs)
+
+(** Cheapest algorithm under the cost model; strictly-less search over
+    {!Ir.Coll.all_algs} in order, so ties keep the earlier algorithm —
+    deterministic for any parameter set. *)
+let choose ~machine ~lib ~nprocs : Ir.Coll.alg =
+  match Ir.Coll.all_algs with
+  | [] -> assert false
+  | first :: rest ->
+      let best = ref first in
+      let best_cost = ref (cost ~machine ~lib ~nprocs first) in
+      List.iter
+        (fun alg ->
+          let c = cost ~machine ~lib ~nprocs alg in
+          if c < !best_cost then begin
+            best := alg;
+            best_cost := c
+          end)
+        rest;
+      !best
+
+(* ------------------------------------------------------------------ *)
+(* Expansion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Expand every [ReduceK] of [p] into [CollPart]; rounds; [CollFin]
+    under [collective] ([Opaque] returns [p] unchanged). Round transfers
+    are appended to the transfer table with fresh ids, carry no member
+    arrays and a zero offset, and are tagged with their {!Ir.Coll.desc} —
+    so {!Ir.Transfer.describe}, the printer, Schedcheck and the engine
+    all name the algorithm, phase and round of any diagnostic. *)
+let expand ~(collective : Config.collective) ~(machine : Machine.Params.t)
+    ~(lib : Machine.Library.t) ~(nprocs : int) (p : Ir.Instr.program) :
+    Ir.Instr.program =
+  match collective with
+  | Config.Opaque -> p
+  | Config.Auto | Config.Forced _ ->
+      let alg =
+        match collective with
+        | Config.Forced a -> a
+        | _ -> choose ~machine ~lib ~nprocs
+      in
+      let table = ref (Array.to_list p.Ir.Instr.transfers |> List.rev) in
+      let next = ref (Array.length p.Ir.Instr.transfers) in
+      let slots = ref 0 in
+      let expand_reduce (r : Zpl.Prog.reduce_s) : Ir.Instr.instr list =
+        let slot = !slots in
+        incr slots;
+        let w =
+          { Ir.Instr.cw_red = r; Ir.Instr.cw_slot = slot;
+            Ir.Instr.cw_alg = alg }
+        in
+        let rounds =
+          List.concat_map
+            (fun (phase, k) ->
+              let d =
+                { Ir.Coll.cl_alg = alg;
+                  Ir.Coll.cl_phase = phase;
+                  Ir.Coll.cl_round = k;
+                  Ir.Coll.cl_slot = slot;
+                  Ir.Coll.cl_op = r.Zpl.Prog.r_op;
+                  Ir.Coll.cl_nprocs = nprocs }
+              in
+              let id = !next in
+              incr next;
+              table :=
+                { Ir.Transfer.id; arrays = []; off = (0, 0); coll = Some d }
+                :: !table;
+              [ Ir.Instr.Comm (Ir.Instr.DR, id);
+                Ir.Instr.Comm (Ir.Instr.SR, id);
+                Ir.Instr.Comm (Ir.Instr.DN, id);
+                Ir.Instr.Comm (Ir.Instr.SV, id) ])
+            (Ir.Coll.rounds alg ~nprocs)
+        in
+        (Ir.Instr.CollPart w :: rounds) @ [ Ir.Instr.CollFin w ]
+      in
+      let rec go (code : Ir.Instr.instr list) : Ir.Instr.instr list =
+        List.concat_map
+          (function
+            | Ir.Instr.ReduceK r -> expand_reduce r
+            | Ir.Instr.Repeat (body, cond) ->
+                [ Ir.Instr.Repeat (go body, cond) ]
+            | Ir.Instr.For { var; lo; hi; step; body } ->
+                [ Ir.Instr.For { var; lo; hi; step; body = go body } ]
+            | Ir.Instr.If (cond, a, b) -> [ Ir.Instr.If (cond, go a, go b) ]
+            | (Ir.Instr.Comm _ | Ir.Instr.Kernel _ | Ir.Instr.ScalarK _
+              | Ir.Instr.CollPart _ | Ir.Instr.CollFin _) as i ->
+                [ i ])
+          code
+      in
+      let code = go p.Ir.Instr.code in
+      { p with
+        Ir.Instr.code;
+        Ir.Instr.transfers = Array.of_list (List.rev !table) }

@@ -1,0 +1,42 @@
+(** Collective synthesis: compile full reductions into explicit,
+    cost-searched DR/SR/DN/SV round schedules (see the implementation
+    header for the model and the search landscape, and {!Ir.Coll} for
+    the four algorithms and their reassociation legality). *)
+
+(** Fixed per-message cost (seconds): the four call overheads, wire and
+    messaging-stack latency, plus a rendezvous round trip when the
+    library's SR blocks on a token. *)
+val alpha : machine:Machine.Params.t -> lib:Machine.Library.t -> float
+
+(** Per-byte cost (seconds): sender pack + receiver unpack + wire
+    occupancy. *)
+val beta : machine:Machine.Params.t -> lib:Machine.Library.t -> float
+
+(** Modeled cost of one whole collective of the algorithm on [nprocs]
+    ranks, 8-byte scalar payloads: the sum of its canonical rounds'
+    messages through [alpha + bytes * beta]. *)
+val cost :
+  machine:Machine.Params.t ->
+  lib:Machine.Library.t ->
+  nprocs:int ->
+  Ir.Coll.alg ->
+  float
+
+(** The cheapest algorithm under {!cost}; ties keep the earlier entry of
+    {!Ir.Coll.all_algs}, so the pick is deterministic. *)
+val choose :
+  machine:Machine.Params.t -> lib:Machine.Library.t -> nprocs:int ->
+  Ir.Coll.alg
+
+(** Expand every [ReduceK] into [CollPart]; canonical rounds; [CollFin]
+    under the configured mode ([Opaque] is the identity). Round
+    transfers are appended to the transfer table, tagged with their
+    {!Ir.Coll.desc}. Each reduction site gets its own collective slot,
+    reused across loop iterations. *)
+val expand :
+  collective:Config.collective ->
+  machine:Machine.Params.t ->
+  lib:Machine.Library.t ->
+  nprocs:int ->
+  Ir.Instr.program ->
+  Ir.Instr.program

@@ -12,11 +12,29 @@ val pp_heuristic : Format.formatter -> heuristic -> unit
 val show_heuristic : heuristic -> string
 val equal_heuristic : heuristic -> heuristic -> bool
 
+(** How full reductions compile: [Opaque] keeps the vendor-collective
+    [ReduceK]; [Forced a] synthesizes every reduction into algorithm
+    [a]'s explicit DR/SR/DN/SV rounds; [Auto] picks the cheapest
+    algorithm under the target machine's cost model at compile time
+    (see {!Collective}). *)
+type collective = Opaque | Auto | Forced of Ir.Coll.alg
+
+val pp_collective : Format.formatter -> collective -> unit
+val show_collective : collective -> string
+val equal_collective : collective -> collective -> bool
+
+(** "opaque", "auto", or the algorithm name. *)
+val collective_name : collective -> string
+
+(** Inverse of {!collective_name} (CLI flags); [None] on unknown names. *)
+val collective_of_string : string -> collective option
+
 type t = {
   rr : bool;  (** redundant communication removal *)
   cc : bool;  (** communication combination *)
   pl : bool;  (** communication pipelining *)
   heuristic : heuristic;
+  collective : collective;  (** full-reduction synthesis *)
 }
 
 val pp : Format.formatter -> t -> unit

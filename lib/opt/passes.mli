@@ -19,8 +19,24 @@ val optimize : Config.t -> Ir.Block.code -> Ir.Block.code
     the emitted program is additionally verified by
     {!Analysis.Schedcheck.check_exn} — an independent dataflow pass over
     the final instruction stream ([Failure] carries one diagnostic per
-    line). *)
-val compile : ?check:bool -> Config.t -> Zpl.Prog.t -> Ir.Instr.program
+    line). [machine]/[lib]/[mesh] (defaults: T3D, PVM, 4x4) are the
+    collective-synthesis targets — the cost model searched and the mesh
+    size baked into the synthesized round structure; irrelevant under
+    [collective = Opaque]. *)
+val compile :
+  ?check:bool ->
+  ?machine:Machine.Params.t ->
+  ?lib:Machine.Library.t ->
+  ?mesh:int * int ->
+  Config.t ->
+  Zpl.Prog.t ->
+  Ir.Instr.program
 
 (** [compile] plus a static-count comparison against the baseline. *)
-val report : Config.t -> Zpl.Prog.t -> report * Ir.Instr.program
+val report :
+  ?machine:Machine.Params.t ->
+  ?lib:Machine.Library.t ->
+  ?mesh:int * int ->
+  Config.t ->
+  Zpl.Prog.t ->
+  report * Ir.Instr.program

@@ -116,6 +116,42 @@ let combined_busy_source =
 let combined_defines ~doubles ~iters =
   [ ("m", float_of_int doubles); ("iters", float_of_int iters) ]
 
+(** Reduction-heavy synthetic for the collective benchmark: three full
+    reductions (sum, max, min) per iteration over a small grid, plus one
+    cheap kernel statement that consumes the reduced scalars so no
+    reduction can be optimized away. The grid is kept small so the
+    per-rank partial is cheap and the measurement is dominated by the
+    collective machinery itself — opaque rendezvous bookkeeping versus
+    the synthesized DR/SR/DN/SV rounds. *)
+let reduce_source =
+  {|
+constant n     = 16;
+constant iters = 400;
+
+region R = [1..n, 1..n];
+
+var A : [0..n+1, 0..n+1] float;
+var t : int;
+var s1, s2, s3 : float;
+
+procedure main();
+begin
+  [0..n+1, 0..n+1] A := Index1 * 0.5 + Index2 * 0.25;
+  for t := 1 to iters do
+    [R] s1 := +<< A;
+    [R] s2 := max<< A;
+    [R] s3 := min<< A;
+    [R] A := A * 0.9999 + (s2 - s3 - s1 * 0.001) * 0.000001;
+  end;
+end;
+|}
+
+(** Reductions executed per simulated processor in one run. *)
+let reduce_count ~iters = 3 * iters
+
+let reduce_defines ~n ~iters =
+  [ ("n", float_of_int n); ("iters", float_of_int iters) ]
+
 let def : Bench_def.t =
   { Bench_def.name = "synth";
     description = "Two-node exposed-overhead microbenchmark (Figure 6)";

@@ -25,7 +25,10 @@ let paper_rows : (string * Opt.Config.t * Machine.Library.t) list =
 let run_one ?label ?fuse ~(machine : Machine.Params.t)
     ~(lib : Machine.Library.t) ~(config : Opt.Config.t) ~pr ~pc
     (prog : Zpl.Prog.t) : row =
-  let ir = Opt.Passes.compile config prog in
+  (* the compile target must be the simulation target: collective
+     synthesis searches this machine/library's cost model and bakes the
+     mesh size into its round structure *)
+  let ir = Opt.Passes.compile ~machine ~lib ~mesh:(pr, pc) config prog in
   let flat = Ir.Flat.flatten ir in
   let engine = Sim.Engine.make ?fuse ~machine ~lib ~pr ~pc flat in
   let result = Sim.Engine.run engine in

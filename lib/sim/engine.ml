@@ -80,6 +80,22 @@ type wside = {
 
 type wplan = { w_recv : wside array; w_send : wside array }
 
+(** One rank's side of one synthesized collective round
+    ({!Ir.Coll.role}, frozen at [make] time): at most one send partner
+    and one receive partner, [c_count] scalar values per message. The
+    send pool is owned; the receive pool aliases the sender's, exactly
+    like {!wside}. Collective rounds use the dense mailboxes in {e both}
+    engine modes — the payload is synthesized scalars, not array
+    fringes, so there is no legacy extract/inject variant to mirror and
+    wire/legacy bit-identity is structural. *)
+type cside = {
+  c_to : int;  (** send partner, or -1 *)
+  c_from : int;  (** receive partner, or -1 *)
+  c_count : int;  (** scalar values per message this round *)
+  c_spool : Runtime.Wireplan.pool;
+  mutable c_rpool : Runtime.Wireplan.pool;
+}
+
 (* Blocked-state encoding. An option-of-variant would allocate on every
    block; two ints don't. The partner lists the old encoding carried are
    only needed for deadlock diagnostics and are recomputed there. *)
@@ -178,6 +194,10 @@ type proc = {
   scratch : float array;
       (** unboxed hot-path temporaries: [0] max-arrival accumulator
           (also {!block_until_acc}'s argument), [1] per-byte unpack rate *)
+  cacc : float array;  (** per collective slot: running combine value *)
+  cvals : float array array;
+      (** per collective slot used by dissemination: the allgathered
+          partials, indexed by source rank; [[||]] for other slots *)
   kernels : ckernel option array;  (** per op index *)
   stats : Stats.per_proc;
 }
@@ -200,6 +220,8 @@ type t = {
   nx : int;  (** number of transfers *)
   plans : xfer_plan array array;  (** legacy: [transfer id].(proc) *)
   wplans : wplan array array;  (** wire: [transfer id].(proc) *)
+  colls : Ir.Coll.desc option array;  (** per transfer: its collective tag *)
+  csides : cside array array;  (** collective rounds: [transfer id].(proc) *)
   runnable : int array;  (** ring; capacity = nprocs ([queued] dedups) *)
   mutable run_head : int;
   mutable run_len : int;
@@ -356,6 +378,40 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
       max_off mr mc pr pc;
   let fringe = Zpl.Prog.fringe_widths prog in
   let nx = Array.length flat.Ir.Flat.transfers in
+  let colls =
+    Array.map (fun (x : Ir.Transfer.t) -> x.Ir.Transfer.coll)
+      flat.Ir.Flat.transfers
+  in
+  let has_coll = Array.exists Option.is_some colls in
+  Array.iter
+    (function
+      | Some (d : Ir.Coll.desc) ->
+          if d.Ir.Coll.cl_nprocs <> nprocs then
+            Fmt.invalid_arg
+              "Engine.make: collective round %s was synthesized for %d \
+               processors, but the engine mesh is %dx%d (%d) — recompile for \
+               this mesh"
+              (Ir.Coll.describe d) d.Ir.Coll.cl_nprocs pr pc nprocs
+      | None -> ())
+    colls;
+  let nslots = Ir.Flat.coll_slots flat in
+  (* slots whose algorithm gathers raw partials (dissemination) need the
+     per-rank value array; derived from ops too, for the zero-round
+     one-processor case *)
+  let dissem_slot = Array.make nslots false in
+  Array.iter
+    (function
+      | Some (d : Ir.Coll.desc) when d.Ir.Coll.cl_alg = Ir.Coll.Dissem ->
+          dissem_slot.(d.Ir.Coll.cl_slot) <- true
+      | _ -> ())
+    colls;
+  Array.iter
+    (function
+      | Ir.Flat.FCollPart w | Ir.Flat.FCollFin w ->
+          if w.Ir.Instr.cw_alg = Ir.Coll.Dissem then
+            dissem_slot.(w.Ir.Instr.cw_slot) <- true
+      | _ -> ())
+    flat.Ir.Flat.ops;
   let procs =
     Array.init nprocs (fun rank ->
         let stores =
@@ -376,22 +432,71 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
           reduce_seq = 0;
           mail = Hashtbl.create (if wire then 1 else 64);
           wmail =
-            (if wire then Array.make (nprocs * nx * 2) unused_mbox else [||]);
+            (if wire || has_coll then Array.make (nprocs * nx * 2) unused_mbox
+             else [||]);
           scratch = Array.make 2 0.0;
+          cacc = Array.make nslots 0.0;
+          cvals =
+            Array.init nslots (fun s ->
+                if dissem_slot.(s) then Array.make nprocs 0.0 else [||]);
           kernels = Array.make (Array.length flat.Ir.Flat.ops) None;
           stats = Stats.fresh_proc () })
   in
   let plans =
     if wire then [||]
     else
-      Array.map (fun x -> build_plan layout prog x ~nprocs) flat.Ir.Flat.transfers
+      Array.map
+        (fun (x : Ir.Transfer.t) ->
+          if Ir.Transfer.is_coll x then
+            Array.init nprocs (fun _ -> { recv_sides = []; send_sides = [] })
+          else build_plan layout prog x ~nprocs)
+        flat.Ir.Flat.transfers
   in
   let wplans =
     if not wire then [||]
-    else Array.map (fun x -> build_wplan layout prog x ~procs) flat.Ir.Flat.transfers
+    else
+      Array.map
+        (fun (x : Ir.Transfer.t) ->
+          if Ir.Transfer.is_coll x then
+            Array.init nprocs (fun _ -> { w_recv = [||]; w_send = [||] })
+          else build_wplan layout prog x ~procs)
+        flat.Ir.Flat.transfers
+  in
+  let csides =
+    Array.map
+      (fun (x : Ir.Transfer.t) ->
+        match x.Ir.Transfer.coll with
+        | None -> [||]
+        | Some d ->
+            let sides =
+              Array.init nprocs (fun rank ->
+                  let r = Ir.Coll.role d ~rank in
+                  let pool =
+                    Runtime.Wireplan.make_pool ~cells:r.Ir.Coll.r_count
+                  in
+                  { c_to = r.Ir.Coll.r_to;
+                    c_from = r.Ir.Coll.r_from;
+                    c_count = r.Ir.Coll.r_count;
+                    c_spool = pool;
+                    c_rpool = pool })
+            in
+            (* receive pools alias the matching sender's pool, so a
+               consumed buffer is released to where the next send will
+               acquire — same discipline as {!link_wplan} *)
+            Array.iter
+              (fun s ->
+                if s.c_from >= 0 then begin
+                  let sender = sides.(s.c_from) in
+                  assert (sender.c_to >= 0 && sender.c_count = s.c_count);
+                  s.c_rpool <- sender.c_spool
+                end)
+              sides;
+            sides)
+      flat.Ir.Flat.transfers
   in
   let t =
-    { flat; machine; lib; layout; procs; wire; nx; plans; wplans;
+    { flat; machine; lib; layout; procs; wire; nx; plans; wplans; colls;
+      csides;
       runnable = Array.make (max 1 nprocs) 0;
       run_head = 0;
       run_len = 0;
@@ -410,6 +515,8 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
           (function
             | Ir.Flat.FKernel a -> Runtime.Kernel.refs_of a.Zpl.Prog.rhs
             | Ir.Flat.FReduce r -> Runtime.Kernel.refs_of r.Zpl.Prog.r_rhs
+            | Ir.Flat.FCollPart w ->
+                Runtime.Kernel.refs_of w.Ir.Instr.cw_red.Zpl.Prog.r_rhs
             | _ -> [||])
           flat.Ir.Flat.ops }
   in
@@ -433,6 +540,20 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
               plan.w_send)
           wp)
       wplans;
+  (* collective round mailboxes exist in both engine modes: data flows
+     sender -> receiver, rendezvous tokens receiver -> sender *)
+  Array.iteri
+    (fun xi sides ->
+      Array.iteri
+        (fun p (s : cside) ->
+          if s.c_from >= 0 then
+            procs.(p).wmail.(wkey t ~src:s.c_from ~xfer:xi kb_data) <-
+              fresh_mbox ();
+          if s.c_to >= 0 then
+            procs.(p).wmail.(wkey t ~src:s.c_to ~xfer:xi kb_token) <-
+              fresh_mbox ())
+        sides)
+    csides;
   t
 
 (* ------------------------------------------------------------------ *)
@@ -945,9 +1066,194 @@ let exec_comm_wire (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) :
       end;
       Continue
 
+(* --- synthesized collective rounds ---
+
+   One shared path for both engine modes: the payload is a handful of
+   synthesized scalars, not array fringes, so there is no extract/inject
+   variant to mirror — rounds always travel through the dense mailboxes
+   and pooled staging buffers, and wire/legacy bit-identity is
+   structural. Charge formulas and their float-accumulation order are
+   the fringe path's, with the round's [8 * count] bytes. *)
+
+let coll_send (t : t) (p : proc) ~xfer (d : Ir.Coll.desc) (s : cside) =
+  let c = costs t in
+  let m = t.machine in
+  let buf = Runtime.Wireplan.acquire s.c_spool in
+  (match (d.Ir.Coll.cl_alg, d.Ir.Coll.cl_phase) with
+  | Ir.Coll.Dissem, Ir.Coll.Gather ->
+      (* the window of [count] consecutive partials ending at our rank,
+         newest first: entry j originated at rank - j *)
+      let vals = p.cvals.(d.Ir.Coll.cl_slot) in
+      let np = d.Ir.Coll.cl_nprocs in
+      for j = 0 to s.c_count - 1 do
+        Bigarray.Array1.unsafe_set buf j
+          vals.((((p.rank - j) mod np) + np) mod np)
+      done
+  | _ -> Bigarray.Array1.unsafe_set buf 0 p.cacc.(d.Ir.Coll.cl_slot));
+  let bytes = float_of_int (8 * s.c_count) in
+  let cpu = c.Machine.Params.sr_over +. (bytes *. c.Machine.Params.send_byte) in
+  p.time.fv <- p.time.fv +. cpu;
+  p.stats.Stats.times.Stats.comm_cpu <-
+    p.stats.Stats.times.Stats.comm_cpu +. cpu;
+  let q = t.procs.(s.c_to) in
+  let mb = q.wmail.(wkey t ~src:p.rank ~xfer kb_data) in
+  let j = mbox_reserve mb in
+  mb.mb_arr.(j) <-
+    p.time.fv
+    +. (m.Machine.Params.wire_latency +. c.Machine.Params.msg_latency
+       +. (bytes /. m.Machine.Params.bandwidth));
+  mb.mb_buf.(j) <- buf;
+  wake t q;
+  let cand = p.time.fv +. (bytes /. m.Machine.Params.bandwidth) in
+  if cand > p.send_done.(xfer) then p.send_done.(xfer) <- cand;
+  p.stats.Stats.msgs_sent <- p.stats.Stats.msgs_sent + 1;
+  p.stats.Stats.bytes_sent <- p.stats.Stats.bytes_sent + (8 * s.c_count)
+
+(** Fold the received round payload into this rank's collective state.
+    The combine expressions are fixed per (algorithm, phase) — see
+    {!Ir.Coll} for why each choice keeps the result bit-identical across
+    ranks. *)
+let coll_combine (p : proc) (d : Ir.Coll.desc) (s : cside)
+    (buf : Runtime.Store.buf) =
+  let slot = d.Ir.Coll.cl_slot in
+  let op = d.Ir.Coll.cl_op in
+  match (d.Ir.Coll.cl_alg, d.Ir.Coll.cl_phase) with
+  | Ir.Coll.Ring, Ir.Coll.Reduce ->
+      (* the chain prefix arrives; our partial folds on its right *)
+      p.cacc.(slot) <-
+        Runtime.Reduce.apply op (Bigarray.Array1.unsafe_get buf 0) p.cacc.(slot)
+  | Ir.Coll.Binomial, Ir.Coll.Reduce | Ir.Coll.Recdouble, Ir.Coll.Fold_in ->
+      (* lower rank holds the left operand *)
+      p.cacc.(slot) <-
+        Runtime.Reduce.apply op p.cacc.(slot) (Bigarray.Array1.unsafe_get buf 0)
+  | Ir.Coll.Recdouble, Ir.Coll.Reduce ->
+      (* both partners evaluate lower-rank-left, so their bits agree *)
+      if s.c_from > p.rank then
+        p.cacc.(slot) <-
+          Runtime.Reduce.apply op p.cacc.(slot)
+            (Bigarray.Array1.unsafe_get buf 0)
+      else
+        p.cacc.(slot) <-
+          Runtime.Reduce.apply op
+            (Bigarray.Array1.unsafe_get buf 0)
+            p.cacc.(slot)
+  | Ir.Coll.Ring, Ir.Coll.Bcast
+  | Ir.Coll.Binomial, Ir.Coll.Bcast
+  | Ir.Coll.Recdouble, Ir.Coll.Fold_out ->
+      p.cacc.(slot) <- Bigarray.Array1.unsafe_get buf 0
+  | Ir.Coll.Dissem, Ir.Coll.Gather ->
+      let vals = p.cvals.(slot) in
+      let np = d.Ir.Coll.cl_nprocs in
+      for j = 0 to s.c_count - 1 do
+        vals.((((s.c_from - j) mod np) + np) mod np) <-
+          Bigarray.Array1.unsafe_get buf j
+      done
+  | _ -> assert false (* no role delivers data in these (alg, phase) *)
+
+let exec_comm_coll (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int)
+    (d : Ir.Coll.desc) : step =
+  let s = t.csides.(xfer).(p.rank) in
+  let c = costs t in
+  match Machine.Library.semantics t.lib.Machine.Library.kind call with
+  | Machine.Library.No_op -> Continue
+  | Machine.Library.Post_recv ->
+      if s.c_from >= 0 then begin
+        charge_comm p c.Machine.Params.dr_over;
+        p.posted.(xfer) <- p.posted.(xfer) + 1
+      end;
+      Continue
+  | Machine.Library.Notify_ready ->
+      if s.c_from >= 0 then begin
+        charge_comm p c.Machine.Params.dr_over;
+        let q = t.procs.(s.c_from) in
+        let mb = q.wmail.(wkey t ~src:p.rank ~xfer kb_token) in
+        let j = mbox_reserve mb in
+        mb.mb_arr.(j) <-
+          p.time.fv
+          +. t.machine.Machine.Params.wire_latency
+          +. c.Machine.Params.token_latency;
+        mb.mb_buf.(j) <- dummy_buf;
+        wake t q
+      end;
+      Continue
+  | Machine.Library.Send_buffered ->
+      if s.c_to >= 0 then begin
+        coll_send t p ~xfer d s;
+        p.stats.Stats.xfers_sent <- p.stats.Stats.xfers_sent + 1
+      end;
+      Continue
+  | Machine.Library.Send_rendezvous ->
+      if s.c_to < 0 then Continue
+      else begin
+        let mb = p.wmail.(wkey t ~src:s.c_to ~xfer kb_token) in
+        if mb.mb_n = 0 then begin
+          p.wait_kind <- wk_tokens;
+          p.wait_arg <- xfer;
+          Blocked
+        end
+        else begin
+          p.wait_kind <- wk_none;
+          let j = mbox_pop mb in
+          p.scratch.(0) <- mb.mb_arr.(j);
+          block_until_acc p;
+          coll_send t p ~xfer d s;
+          p.stats.Stats.xfers_sent <- p.stats.Stats.xfers_sent + 1;
+          Continue
+        end
+      end
+  | Machine.Library.Wait_data ->
+      if s.c_from < 0 then Continue
+      else begin
+        let mb = p.wmail.(wkey t ~src:s.c_from ~xfer kb_data) in
+        if mb.mb_n = 0 then begin
+          p.wait_kind <- wk_data;
+          p.wait_arg <- xfer;
+          Blocked
+        end
+        else begin
+          p.wait_kind <- wk_none;
+          let j = mbox_pop mb in
+          p.scratch.(0) <- mb.mb_arr.(j);
+          block_until_acc p;
+          if p.posted.(xfer) > 0 then begin
+            p.posted.(xfer) <- p.posted.(xfer) - 1;
+            p.scratch.(1) <- 0.0
+          end
+          else if Machine.Library.deposits_directly t.lib.Machine.Library.kind
+          then p.scratch.(1) <- 0.0
+          else p.scratch.(1) <- c.Machine.Params.recv_byte;
+          let buf = mb.mb_buf.(j) in
+          mb.mb_buf.(j) <- dummy_buf;
+          let dt =
+            c.Machine.Params.dn_over
+            +. (float_of_int (8 * s.c_count) *. p.scratch.(1))
+          in
+          p.time.fv <- p.time.fv +. dt;
+          p.stats.Stats.times.Stats.comm_cpu <-
+            p.stats.Stats.times.Stats.comm_cpu +. dt;
+          coll_combine p d s buf;
+          Runtime.Wireplan.release s.c_rpool buf;
+          p.stats.Stats.msgs_recv <- p.stats.Stats.msgs_recv + 1;
+          p.stats.Stats.bytes_recv <-
+            p.stats.Stats.bytes_recv + (8 * s.c_count);
+          p.stats.Stats.xfers_recv <- p.stats.Stats.xfers_recv + 1;
+          Continue
+        end
+      end
+  | Machine.Library.Wait_send_done ->
+      if s.c_to >= 0 then begin
+        p.scratch.(0) <- p.send_done.(xfer);
+        block_until_acc p;
+        charge_comm p c.Machine.Params.sv_over
+      end;
+      Continue
+
 let exec_comm (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) : step =
-  if t.wire then exec_comm_wire t p call xfer
-  else exec_comm_legacy t p call xfer
+  match t.colls.(xfer) with
+  | Some d -> exec_comm_coll t p call xfer d
+  | None ->
+      if t.wire then exec_comm_wire t p call xfer
+      else exec_comm_legacy t p call xfer
 
 (* --- collective reduction --- *)
 
@@ -1014,6 +1320,66 @@ let exec_reduce (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) : step =
   if slot.arrived = Array.length t.procs then finish_reduce t seq slot;
   Blocked
 
+(* --- synthesized collective bookends --- *)
+
+(** Compute this rank's local partial — the same plan, cost formula and
+    float-accumulation order as the compute half of {!exec_reduce} — and
+    seed the slot state the rounds will combine into. *)
+let exec_coll_part (t : t) (p : proc) idx (w : Ir.Instr.coll_work) =
+  let r = w.Ir.Instr.cw_red in
+  let region = Runtime.Values.eval_dregion p.env r.Zpl.Prog.r_region in
+  let region = local_region t p region in
+  Runtime.Kernel.check_ref_bounds ~region
+    ~alloc_of:(fun aid -> Runtime.Store.alloc p.stores.(aid))
+    t.refchecks.(idx);
+  let partial, cells =
+    Runtime.Kernel.exec_rplan (reduce_plan t p idx r) ~region r.Zpl.Prog.r_op
+  in
+  let dt =
+    t.machine.Machine.Params.kernel_overhead
+    +. (float_of_int (cells * r.Zpl.Prog.r_flops)
+       *. t.machine.Machine.Params.sec_per_flop)
+  in
+  p.time.fv <- p.time.fv +. dt;
+  p.stats.Stats.times.Stats.compute <- p.stats.Stats.times.Stats.compute +. dt;
+  p.stats.Stats.cells <- p.stats.Stats.cells + cells;
+  let slot = w.Ir.Instr.cw_slot in
+  p.cacc.(slot) <- partial;
+  match w.Ir.Instr.cw_alg with
+  | Ir.Coll.Ring ->
+      (* rank 0 heads the chain: seed with the identity so the chain
+         reproduces the opaque fold bit for bit *)
+      if p.rank = 0 then
+        p.cacc.(slot) <-
+          Runtime.Reduce.apply r.Zpl.Prog.r_op
+            (Runtime.Reduce.identity r.Zpl.Prog.r_op)
+            partial
+  | Ir.Coll.Dissem -> p.cvals.(slot).(p.rank) <- partial
+  | Ir.Coll.Binomial | Ir.Coll.Recdouble -> ()
+
+(** Publish the finished value into the replicated scalar. For
+    dissemination every rank folds the allgathered partials locally in
+    rank order seeded with the identity — the opaque fold order — so all
+    ranks (and the opaque path) agree bitwise; the other algorithms
+    already hold the finished value in the slot accumulator. *)
+let exec_coll_fin (t : t) (p : proc) (w : Ir.Instr.coll_work) =
+  let r = w.Ir.Instr.cw_red in
+  let slot = w.Ir.Instr.cw_slot in
+  let value =
+    match w.Ir.Instr.cw_alg with
+    | Ir.Coll.Dissem ->
+        let vals = p.cvals.(slot) in
+        let v = ref (Runtime.Reduce.identity r.Zpl.Prog.r_op) in
+        for src = 0 to Array.length vals - 1 do
+          v := Runtime.Reduce.apply r.Zpl.Prog.r_op !v vals.(src)
+        done;
+        !v
+    | Ir.Coll.Ring | Ir.Coll.Binomial | Ir.Coll.Recdouble -> p.cacc.(slot)
+  in
+  p.env.(r.Zpl.Prog.r_lhs) <- Runtime.Values.VFloat value;
+  p.time.fv <- p.time.fv +. t.machine.Machine.Params.scalar_op_cost;
+  p.stats.Stats.reduces <- p.stats.Stats.reduces + 1
+
 (* --- main dispatch --- *)
 
 (** Count [k] executed instructions against [p]'s budget. The limit is
@@ -1062,6 +1428,16 @@ let exec_one (t : t) (p : proc) : step =
   | Ir.Flat.FReduce r ->
       count_instrs t p 1;
       exec_reduce t p p.pc r
+  | Ir.Flat.FCollPart w ->
+      count_instrs t p 1;
+      exec_coll_part t p p.pc w;
+      p.pc <- p.pc + 1;
+      Continue
+  | Ir.Flat.FCollFin w ->
+      count_instrs t p 1;
+      exec_coll_fin t p w;
+      p.pc <- p.pc + 1;
+      Continue
   | Ir.Flat.FComm (call, xfer) -> (
       match exec_comm t p call xfer with
       | Continue ->
@@ -1089,7 +1465,10 @@ let run_proc (t : t) (p : proc) = if not p.halted then exec_until_blocked t p
 let is_local (op : Ir.Flat.finstr) =
   match op with
   | Ir.Flat.FKernel _ | Ir.Flat.FScalar _ | Ir.Flat.FJump _
-  | Ir.Flat.FJumpIfNot _ | Ir.Flat.FHalt ->
+  | Ir.Flat.FJumpIfNot _ | Ir.Flat.FHalt
+  (* the collective bookends touch only the executing rank's slot state
+     and environment — the rounds in between are the shared part *)
+  | Ir.Flat.FCollPart _ | Ir.Flat.FCollFin _ ->
       true
   | Ir.Flat.FComm _ | Ir.Flat.FReduce _ -> false
 
@@ -1169,8 +1548,23 @@ let run (t : t) : result =
         in
         String.concat "," (List.map string_of_int miss)
       in
+      let coll_why kind =
+        (* a stuck synthesized round names its algorithm, phase, round
+           and the exact partner rank *)
+        let s = t.csides.(p.wait_arg).(p.rank) in
+        Printf.sprintf
+          "proc %d waiting for %s of collective round %s from proc %d"
+          p.rank kind
+          (Ir.Transfer.describe t.flat.Ir.Flat.prog
+             t.flat.Ir.Flat.transfers.(p.wait_arg))
+          (if kind = "data" then s.c_from else s.c_to)
+      in
       let why =
-        if p.wait_kind = wk_data then
+        if
+          (p.wait_kind = wk_data || p.wait_kind = wk_tokens)
+          && t.colls.(p.wait_arg) <> None
+        then coll_why (if p.wait_kind = wk_data then "data" else "the token")
+        else if p.wait_kind = wk_data then
           Printf.sprintf "proc %d waiting for data of transfer %d from %s"
             p.rank p.wait_arg
             (missing ~kind_bit:kb_data ~kind:Data

@@ -39,6 +39,9 @@ let abstract_run (f : Ir.Flat.t) =
     | Ir.Flat.FComm _ ->
         trace := "comm" :: !trace;
         incr pc
+    | Ir.Flat.FCollPart _ | Ir.Flat.FCollFin _ ->
+        trace := "coll" :: !trace;
+        incr pc
     | Ir.Flat.FScalar { lhs; rhs } ->
         env.(lhs) <- Runtime.Values.eval_env env rhs;
         trace := "scalar" :: !trace;

@@ -29,7 +29,9 @@ let rec map_lists (f : I.instr list -> I.instr list) (is : I.instr list) :
           | I.For { var; lo; hi; step; body } ->
               I.For { var; lo; hi; step; body = map_lists f body }
           | I.If (c, a, b) -> I.If (c, map_lists f a, map_lists f b)
-          | (I.Comm _ | I.Kernel _ | I.ScalarK _ | I.ReduceK _) as i -> i
+          | (I.Comm _ | I.Kernel _ | I.ScalarK _ | I.ReduceK _ | I.CollPart _
+            | I.CollFin _) as i ->
+              i
         in
         i :: each rest
   in
