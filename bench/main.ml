@@ -19,6 +19,11 @@
                                          four synthesized collective
                                          schedules across mesh sizes;
                                          writes BENCH_collective.json
+    dune exec bench/main.exe -- --sweep  content-addressed plan cache:
+                                         a cold pass then a warm pass
+                                         over a benchmark x row x
+                                         collective spec grid; writes
+                                         BENCH_sweep.json
     dune exec bench/main.exe -- --bechamel
                                          Bechamel micro-benchmarks: one
                                          Test.make per exhibit, measuring
@@ -174,8 +179,9 @@ let kernel_trial ~path ~budget (c : Commopt.compiled) =
   let runs, total =
     repeat_for ~budget (fun () ->
         let engine =
-          Sim.Engine.make ~row_path ~fuse ~cse ~machine:Machine.T3d.machine
-            ~lib:Machine.T3d.shmem ~pr:1 ~pc:1 c.flat
+          Sim.Engine.of_plans
+            (Sim.Engine.plan ~row_path ~fuse ~cse ~machine:Machine.T3d.machine
+               ~lib:Machine.T3d.shmem ~pr:1 ~pc:1 c.flat)
         in
         let result = Sim.Engine.run engine in
         cells :=
@@ -240,7 +246,7 @@ let run_kernel_bench ~scale () =
     bench_paths ~defines:swm_defines
       Programs.Suite.swm.Programs.Bench_def.source
   in
-  let domains = Report.Pool.default_domains () in
+  let domains = Sim.Pool.default_domains () in
   let _, grid_serial =
     wall (fun () -> Report.Experiment.grid ~scale:`Test ~domains:1 ())
   in
@@ -328,8 +334,9 @@ let comm_trial ~wire ~budget ~lib ~pr ~pc (c : Commopt.compiled) =
   let runs, total =
     repeat_for ~budget (fun () ->
         let engine =
-          Sim.Engine.make ~wire ~machine:Machine.T3d.machine ~lib ~pr ~pc
-            c.flat
+          Sim.Engine.of_plans
+            (Sim.Engine.plan ~wire ~machine:Machine.T3d.machine ~lib ~pr ~pc
+               c.flat)
         in
         let w0 = Gc.minor_words () in
         let result = Sim.Engine.run engine in
@@ -383,8 +390,9 @@ let run_once ~wire ~budget (c : Commopt.compiled) =
     let _, dt =
       wall (fun () ->
           let engine =
-            Sim.Engine.make ~wire ~machine:Machine.T3d.machine
-              ~lib:Machine.T3d.pvm ~pr:1 ~pc:2 c.flat
+            Sim.Engine.of_plans
+              (Sim.Engine.plan ~wire ~machine:Machine.T3d.machine
+                 ~lib:Machine.T3d.pvm ~pr:1 ~pc:2 c.flat)
           in
           let w0 = Gc.minor_words () in
           let r = Sim.Engine.run engine in
@@ -564,8 +572,9 @@ let coll_trial ~budget ~pr ~pc ~reduces (c : Commopt.compiled) =
   let runs, total =
     repeat_for ~budget (fun () ->
         let engine =
-          Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
-            ~pr ~pc c.flat
+          Sim.Engine.of_plans
+            (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+               ~pr ~pc c.flat)
         in
         let w0 = Gc.minor_words () in
         let r = Sim.Engine.run engine in
@@ -644,8 +653,81 @@ let write_coll_json path grid =
   close_out oc
 
 (* --------------------------------------------------------------- *)
-(* Baseline comparison: --kernel --baseline FILE                     *)
+(* Sweep benchmark: plan-cache throughput, cold vs warm pass         *)
 (* --------------------------------------------------------------- *)
+
+(** The sweep grid: benchmark x experiment row x collective mode, at
+    test problem sizes clamped to a single iteration — compilation
+    (parse, optimize, flatten, plan) dominates each task, which is
+    exactly the work the content-addressed plan cache deduplicates. *)
+let sweep_items ~scale () =
+  let benches =
+    match scale with
+    | `Bench -> Programs.Suite.paper_benchmarks
+    | `Test -> [ List.hd Programs.Suite.paper_benchmarks ]
+  in
+  let collectives =
+    [ ("opaque", Opt.Config.Opaque); ("auto", Opt.Config.Auto) ]
+  in
+  List.concat_map
+    (fun (b : Programs.Bench_def.t) ->
+      let defines =
+        List.map
+          (fun (k, v) ->
+            if k = "iters" then (k, 1.0)
+            else if k = "n" then (k, Float.min v 8.0)
+            else (k, v))
+          b.Programs.Bench_def.test_defines
+      in
+      List.concat_map
+        (fun (label, config, lib) ->
+          List.map
+            (fun (cname, collective) ->
+              let spec =
+                let open Run.Spec in
+                default b.Programs.Bench_def.source
+                |> with_defines defines |> with_config config
+                |> with_collective collective
+                |> with_target Machine.T3d.machine lib
+                |> with_mesh 2 2
+              in
+              { Run.Sweep.label =
+                  Printf.sprintf "%s/%s/%s" b.Programs.Bench_def.name label
+                    cname;
+                spec })
+            collectives)
+        Report.Experiment.paper_rows)
+    benches
+
+let sweep_numbers ~n (cold : Run.Sweep.summary) (warm : Run.Sweep.summary) :
+    (string * float) list =
+  let fn = float_of_int n in
+  [ ("sweep_specs", fn);
+    ("cold_wall_sec", cold.Run.Sweep.wall);
+    ("warm_wall_sec", warm.Run.Sweep.wall);
+    ("cold_specs_per_sec", fn /. cold.Run.Sweep.wall);
+    ("warm_specs_per_sec", fn /. warm.Run.Sweep.wall);
+    ("warm_vs_cold_speedup", cold.Run.Sweep.wall /. warm.Run.Sweep.wall);
+    ("cold_hits", float_of_int cold.Run.Sweep.hits);
+    ("warm_hits", float_of_int warm.Run.Sweep.hits);
+    ("warm_misses", float_of_int warm.Run.Sweep.misses);
+    ("warm_memo_hits", float_of_int warm.Run.Sweep.memo_hits);
+    ( "cache_evictions",
+      float_of_int warm.Run.Sweep.counters.Run.Cache.evictions ) ]
+
+let write_sweep_json path numbers =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"content-addressed plan cache: cold vs warm sweep \
+     over a benchmark x row x collective spec grid (test scale, 1 \
+     iteration, 2x2 mesh)\",\n\
+    \  \"profile\": \"%s\",\n  \"flambda\": %b"
+    Build_info.profile Build_info.flambda;
+  List.iter
+    (fun (k, v) -> Printf.fprintf oc ",\n  \"%s\": %s" k (fmt_num v))
+    numbers;
+  Printf.fprintf oc "\n}\n";
+  close_out oc
 
 (** Minimal reader for the flat [{"key": number, ...}] files this
     program writes: one pair per line, string values skipped. *)
@@ -681,6 +763,93 @@ let baseline_numbers path : (string * float) list =
                   | None -> go acc)))
   in
   go []
+
+(** Same ≥5% gate as the other benchmarks over the sweep's throughput
+    keys. The speedup ratio and hit counts are structural, not gated
+    here — the warm pass's hit rate is a hard correctness assert
+    (exit 4) instead. *)
+let sweep_regressions ~baseline numbers =
+  let base = baseline_numbers baseline in
+  List.filter_map
+    (fun (key, now) ->
+      if not (Filename.check_suffix key "_per_sec") then None
+      else
+        match List.assoc_opt key base with
+        | Some was when now < was *. 0.95 -> Some (key, was, now)
+        | _ -> None)
+    numbers
+
+let print_sweep_bench ?baseline ~scale () =
+  let items = sweep_items ~scale () in
+  let n = List.length items in
+  let sweep = Run.Sweep.create () in
+  let cold = Run.Sweep.run sweep items in
+  let warm =
+    (* the warm pass streams the incremental per-spec artifact; the
+       cold pass is the reference wall time. Quick runs exercise the
+       streaming path into a scratch file so the committed full-scale
+       artifact is never overwritten by a test-scale pass. *)
+    let grid_path =
+      if scale = `Bench then "BENCH_sweep_grid.json"
+      else Filename.temp_file "sweep_grid" ".json"
+    in
+    let oc = open_out grid_path in
+    Fun.protect
+      ~finally:(fun () ->
+        close_out oc;
+        if scale <> `Bench then Sys.remove grid_path)
+      (fun () -> Run.Sweep.run ~out:oc sweep items)
+  in
+  let numbers = sweep_numbers ~n cold warm in
+  let speedup = cold.Run.Sweep.wall /. warm.Run.Sweep.wall in
+  section "Sweep benchmark: content-addressed plan cache, cold vs warm pass"
+    (Printf.sprintf
+       "Build profile: %s (flambda: %b)\n\
+        Grid: %d specs (benchmark x experiment row x collective mode)\n\
+       \  cold pass      : %8.3f s  (%8.1f specs/sec, %d hits / %d misses)\n\
+       \  warm pass      : %8.3f s  (%8.1f specs/sec, %d hits / %d misses, \
+        %d memo)\n\
+       \  speedup        : %.2fx cached vs cold (target >= 2x: %s)\n\
+       \  evictions      : %d%s"
+       Build_info.profile Build_info.flambda n cold.Run.Sweep.wall
+       (float_of_int n /. cold.Run.Sweep.wall)
+       cold.Run.Sweep.hits cold.Run.Sweep.misses warm.Run.Sweep.wall
+       (float_of_int n /. warm.Run.Sweep.wall)
+       warm.Run.Sweep.hits warm.Run.Sweep.misses warm.Run.Sweep.memo_hits
+       speedup
+       (if speedup >= 2.0 then "PASS" else "MISS")
+       warm.Run.Sweep.counters.Run.Cache.evictions
+       (if scale = `Bench then
+          "\nWrote BENCH_sweep_grid.json (incremental per-spec artifact)"
+        else ""));
+  if warm.Run.Sweep.misses > 0 then begin
+    Printf.printf
+      "CACHE FAILURE: the warm pass re-compiled %d of %d specs — identical \
+       specs must hit\n"
+      warm.Run.Sweep.misses n;
+    exit 4
+  end;
+  if scale = `Bench then begin
+    write_sweep_json "BENCH_sweep.json" numbers;
+    Printf.printf "\nWrote BENCH_sweep.json\n"
+  end;
+  match baseline with
+  | None -> ()
+  | Some file -> (
+      match sweep_regressions ~baseline:file numbers with
+      | [] -> Printf.printf "No throughput regressions >= 5%% against %s\n" file
+      | rs ->
+          List.iter
+            (fun (key, was, now) ->
+              Printf.printf "REGRESSION %s: %.0f -> %.0f /sec (%.1f%%)\n" key
+                was now
+                (100. *. (1. -. (now /. was))))
+            rs;
+          exit 3)
+
+(* --------------------------------------------------------------- *)
+(* Baseline comparison: --kernel --baseline FILE                     *)
+(* --------------------------------------------------------------- *)
 
 (** Compare throughput keys against a baseline file; returns the keys
     that regressed by 5% or more. Wall-clock grid times are excluded:
@@ -885,26 +1054,56 @@ let print_comm_bench ?baseline ~scale () =
             rs;
           exit 3)
 
-let rec opt_value flag = function
-  | [] -> None
-  | x :: v :: _ when x = flag -> Some v
-  | _ :: rest -> opt_value flag rest
+(* Flag parsing is shared with zplc through {!Cli.Cmdline} (--quick,
+   --baseline); only the mode selector is bench-specific. *)
+let main =
+  let open Cmdliner in
+  let mode_arg =
+    Arg.(
+      value
+      & vflag `Report
+          [ ( `Bechamel,
+              info [ "bechamel" ]
+                ~doc:"Bechamel micro-benchmarks over the paper exhibits" );
+            ( `Kernel,
+              info [ "kernel" ]
+                ~doc:
+                  "row-path vs per-point kernel throughput; writes \
+                   BENCH_kernel.json" );
+            ( `Comm,
+              info [ "comm" ]
+                ~doc:
+                  "wire-plan vs legacy communication runtime; writes \
+                   BENCH_comm.json" );
+            ( `Collective,
+              info [ "collective" ]
+                ~doc:
+                  "opaque vendor reductions vs synthesized collective \
+                   schedules; writes BENCH_collective.json" );
+            ( `Sweep,
+              info [ "sweep" ]
+                ~doc:
+                  "content-addressed plan cache: cold vs warm pass over a \
+                   spec grid; writes BENCH_sweep.json" ) ])
+  in
+  let run mode quick baseline =
+    let scale = Cli.Cmdline.scale_of_quick quick in
+    match mode with
+    | `Bechamel -> run_bechamel ()
+    | `Kernel -> print_kernel_bench ?baseline ~scale ()
+    | `Comm -> print_comm_bench ?baseline ~scale ()
+    | `Collective -> print_coll_bench ?baseline ~scale ()
+    | `Sweep -> print_sweep_bench ?baseline ~scale ()
+    | `Report ->
+        print_report ~scale ();
+        if scale = `Test then print_kernel_bench ?baseline ~scale ()
+  in
+  Cmd.v
+    (Cmd.info "bench" ~version:"1.0.0"
+       ~doc:
+         "paper-reproduction harness: the full report by default, or one \
+          focused benchmark per mode flag")
+    Term.(
+      const run $ mode_arg $ Cli.Cmdline.quick_arg $ Cli.Cmdline.baseline_arg)
 
-let () =
-  let args = Array.to_list Sys.argv in
-  let baseline = opt_value "--baseline" args in
-  if List.mem "--bechamel" args then run_bechamel ()
-  else if List.mem "--kernel" args then
-    let scale = if List.mem "--quick" args then `Test else `Bench in
-    print_kernel_bench ?baseline ~scale ()
-  else if List.mem "--comm" args then
-    let scale = if List.mem "--quick" args then `Test else `Bench in
-    print_comm_bench ?baseline ~scale ()
-  else if List.mem "--collective" args then
-    let scale = if List.mem "--quick" args then `Test else `Bench in
-    print_coll_bench ?baseline ~scale ()
-  else begin
-    let scale = if List.mem "--quick" args then `Test else `Bench in
-    print_report ~scale ();
-    if scale = `Test then print_kernel_bench ?baseline ~scale ()
-  end
+let () = exit (Cmdliner.Cmd.eval main)

@@ -8,153 +8,16 @@
     zplc run      prog.zpl -O pl --lib shmem -p 4x4 --verify --check
     zplc bench    --name tomcatv            one benchmark, all paper rows
     zplc list                               bundled benchmark programs
-    v} *)
+    v}
+
+    Every simulation request is a {!Run.Spec.t} assembled by the shared
+    {!Cli.Cmdline} flag grammar; compiled artifacts are answered by a
+    {!Run.Cache}, so commands that touch several configurations of one
+    program parse it once. *)
 
 open Cmdliner
 open Commopt
-
-(* ------------------------------------------------------------------ *)
-(* Shared arguments                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(** A source is either a file path or the name of a bundled benchmark. *)
-let load_source path =
-  if Sys.file_exists path then read_file path
-  else
-    match Programs.Suite.find path with
-    | Some b -> b.Programs.Bench_def.source
-    | None -> Fmt.failwith "no such file or bundled benchmark: %s" path
-
-let src_arg =
-  Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"PROG" ~doc:"mini-ZPL source file or bundled benchmark name")
-
-let config_of_string = function
-  | "baseline" | "none" -> Ok Opt.Config.baseline
-  | "rr" -> Ok Opt.Config.rr_only
-  | "cc" -> Ok Opt.Config.cc_cum
-  | "pl" -> Ok Opt.Config.pl_cum
-  | "pl-maxlat" | "maxlat" -> Ok Opt.Config.pl_max_latency
-  | s -> Error (`Msg (Printf.sprintf "unknown optimization level %S" s))
-
-let config_conv =
-  Arg.conv
-    ( config_of_string,
-      fun ppf c -> Fmt.string ppf (Opt.Config.name c) )
-
-let config_arg =
-  Arg.(
-    value
-    & opt config_conv Opt.Config.pl_cum
-    & info [ "O"; "opt" ] ~docv:"LEVEL"
-        ~doc:"optimization level: baseline | rr | cc | pl | pl-maxlat")
-
-let collective_conv =
-  Arg.conv
-    ( (fun s ->
-        match Opt.Config.collective_of_string s with
-        | Some c -> Ok c
-        | None ->
-            Error
-              (`Msg
-                 (Printf.sprintf
-                    "unknown collective mode %S (opaque | auto | ring | \
-                     binomial | recdouble | dissem)"
-                    s))),
-      fun ppf c -> Fmt.string ppf (Opt.Config.collective_name c) )
-
-(** [None] keeps the optimization level's own setting (opaque for all
-    presets); [Some _] overrides it. *)
-let collective_arg =
-  Arg.(
-    value
-    & opt (some collective_conv) None
-    & info [ "collective" ] ~docv:"MODE"
-        ~doc:
-          "how full reductions compile: opaque (vendor collective) | ring | \
-           binomial | recdouble | dissem (force one synthesized algorithm) \
-           | auto (cost-model search over the target machine)")
-
-let with_collective collective (config : Opt.Config.t) =
-  match collective with
-  | None -> config
-  | Some c -> { config with Opt.Config.collective = c }
-
-let lib_of_string = function
-  | "pvm" -> Ok (Machine.T3d.machine, Machine.T3d.pvm)
-  | "shmem" -> Ok (Machine.T3d.machine, Machine.T3d.shmem)
-  | "csend" | "nx" -> Ok (Machine.Paragon.machine, Machine.Paragon.nx_sync)
-  | "isend" -> Ok (Machine.Paragon.machine, Machine.Paragon.nx_async)
-  | "hsend" -> Ok (Machine.Paragon.machine, Machine.Paragon.nx_callback)
-  | s -> Error (`Msg (Printf.sprintf "unknown library %S" s))
-
-let lib_conv =
-  Arg.conv
-    ( lib_of_string,
-      fun ppf (_, l) ->
-        Fmt.string ppf l.Machine.Library.costs.Machine.Params.lib_name )
-
-let lib_arg =
-  Arg.(
-    value
-    & opt lib_conv (Machine.T3d.machine, Machine.T3d.pvm)
-    & info [ "lib" ] ~docv:"LIB"
-        ~doc:"communication library: pvm | shmem | csend | isend | hsend")
-
-let mesh_conv =
-  let parse s =
-    match String.split_on_char 'x' (String.lowercase_ascii s) with
-    | [ a; b ] -> (
-        match (int_of_string_opt a, int_of_string_opt b) with
-        | Some pr, Some pc when pr > 0 && pc > 0 -> Ok (pr, pc)
-        | _ -> Error (`Msg "mesh must be RxC, e.g. 4x4"))
-    | _ -> Error (`Msg "mesh must be RxC, e.g. 4x4")
-  in
-  Arg.conv (parse, fun ppf (r, c) -> Fmt.pf ppf "%dx%d" r c)
-
-let mesh_arg =
-  Arg.(
-    value
-    & opt mesh_conv (4, 4)
-    & info [ "p"; "mesh" ] ~docv:"RxC" ~doc:"processor mesh, e.g. 8x8")
-
-let define_conv =
-  let parse s =
-    match String.index_opt s '=' with
-    | Some i -> (
-        let k = String.sub s 0 i
-        and v = String.sub s (i + 1) (String.length s - i - 1) in
-        match float_of_string_opt v with
-        | Some f -> Ok (k, f)
-        | None -> Error (`Msg "define must be NAME=NUMBER"))
-    | None -> Error (`Msg "define must be NAME=NUMBER")
-  in
-  Arg.conv (parse, fun ppf (k, v) -> Fmt.pf ppf "%s=%g" k v)
-
-let defines_arg =
-  Arg.(
-    value
-    & opt_all define_conv []
-    & info [ "D"; "define" ] ~docv:"NAME=VALUE"
-        ~doc:"override a constant declaration (repeatable)")
-
-let handle f =
-  match Zpl.Loc.guard f with
-  | Ok () -> 0
-  | Error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-  | exception Failure msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
+open Cli
 
 (* ------------------------------------------------------------------ *)
 (* Commands                                                            *)
@@ -162,15 +25,19 @@ let handle f =
 
 let check_cmd =
   let run src defines =
-    handle (fun () ->
-        let c = compile ~defines (load_source src) in
+    Cmdline.handle (fun () ->
+        let c =
+          of_spec
+            Run.Spec.(
+              default (Cmdline.load_source src) |> with_defines defines)
+        in
         Printf.printf "%s: OK — %d arrays, %d scalars, %d statements\n" src
           (Array.length c.prog.Zpl.Prog.arrays)
           (Array.length c.prog.Zpl.Prog.scalars)
           (Zpl.Prog.count_stmts c.prog.Zpl.Prog.body))
   in
   Cmd.v (Cmd.info "check" ~doc:"parse and typecheck a program")
-    Term.(const run $ src_arg $ defines_arg)
+    Term.(const run $ Cmdline.src_arg $ Cmdline.defines_arg)
 
 let dump_cmd =
   let stage_arg =
@@ -179,13 +46,9 @@ let dump_cmd =
       & opt (enum [ ("ast", `Ast); ("ir", `Ir); ("flat", `Flat) ]) `Ir
       & info [ "stage" ] ~docv:"STAGE" ~doc:"ast | ir | flat")
   in
-  let run src defines config collective (machine, lib) (pr, pc) stage =
-    handle (fun () ->
-        let config = with_collective collective config in
-        let c =
-          compile ~config ~defines ~machine ~lib ~mesh:(pr, pc)
-            (load_source src)
-        in
+  let run spec stage =
+    Cmdline.handle (fun () ->
+        let c = of_spec spec in
         match stage with
         | `Ast -> print_endline (Zpl.Pretty.program_to_string c.prog)
         | `Ir -> print_endline (Ir.Printer.program_to_annotated_string c.ir)
@@ -193,18 +56,21 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"dump a compilation stage (IRONMAN calls visible)")
-    Term.(
-      const run $ src_arg $ defines_arg $ config_arg $ collective_arg
-      $ lib_arg $ mesh_arg $ stage_arg)
+    Term.(const run $ Cmdline.spec_term $ stage_arg)
 
 let counts_cmd =
   let run src defines =
-    handle (fun () ->
-        let c0 = compile ~config:Opt.Config.baseline ~defines (load_source src) in
+    Cmdline.handle (fun () ->
+        let base =
+          Run.Spec.(
+            default (Cmdline.load_source src) |> with_defines defines)
+        in
+        (* one cache across the five configs: the program parses once *)
+        let cache = Run.Cache.create () in
         let rows =
           List.map
             (fun config ->
-              let c = recompile ~config c0 in
+              let c = of_spec ~cache (Run.Spec.with_config config base) in
               [ Opt.Config.name config;
                 string_of_int (static_count c);
                 string_of_int (Ir.Count.static_member_count c.ir) ])
@@ -218,7 +84,7 @@ let counts_cmd =
   in
   Cmd.v
     (Cmd.info "counts" ~doc:"static communication counts per optimization level")
-    Term.(const run $ src_arg $ defines_arg)
+    Term.(const run $ Cmdline.src_arg $ Cmdline.defines_arg)
 
 let lint_cmd =
   let all_arg =
@@ -243,7 +109,7 @@ let lint_cmd =
              actually executes")
   in
   let run progs defines all collective (pr, pc) flat =
-    handle (fun () ->
+    Cmdline.handle (fun () ->
         let targets =
           (if all then
              List.map
@@ -253,7 +119,7 @@ let lint_cmd =
                    b.Programs.Bench_def.test_defines ))
                Programs.Suite.all
            else [])
-          @ List.map (fun p -> (p, load_source p, defines)) progs
+          @ List.map (fun p -> (p, Cmdline.load_source p, defines)) progs
         in
         if targets = [] then
           Fmt.failwith "nothing to lint: name a program or pass --all";
@@ -263,7 +129,7 @@ let lint_cmd =
             let prog = Zpl.Check.compile_string ~defines src in
             List.iter
               (fun (label, config, lib) ->
-                let config = with_collective collective config in
+                let config = Cmdline.with_collective collective config in
                 (* paper rows are T3D rows; the collective synthesis
                    targets the row's library on the linted mesh *)
                 let ir =
@@ -298,67 +164,33 @@ let lint_cmd =
           rows (schedcheck: protocol, races, availability, rendezvous \
           order, collective rounds)")
     Term.(
-      const run $ progs_arg $ defines_arg $ all_arg $ collective_arg
-      $ mesh_arg $ flat_arg)
+      const run $ progs_arg $ Cmdline.defines_arg $ all_arg
+      $ Cmdline.collective_arg $ Cmdline.mesh_arg $ flat_arg)
 
 let run_cmd =
   let verify_arg =
     Arg.(value & flag & info [ "verify" ] ~doc:"check against the sequential oracle")
   in
-  let check_arg =
-    Arg.(
-      value & flag
-      & info [ "check" ]
-          ~doc:"statically verify the emitted schedule (schedcheck)")
-  in
-  let no_fuse_arg =
-    Arg.(
-      value & flag
-      & info [ "no-fuse" ] ~doc:"disable row-kernel fusion in the simulator")
-  in
-  let no_cse_arg =
-    Arg.(
-      value & flag
-      & info [ "no-cse" ]
-          ~doc:
-            "disable common-subexpression row temporaries in fused kernels")
-  in
-  let domains_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "domains" ] ~docv:"N"
-          ~doc:"drain independent simulated processors over N OCaml domains")
-  in
-  let no_wire_arg =
-    Arg.(
-      value & flag
-      & info [ "no-wire" ]
-          ~doc:
-            "use the legacy extract/inject communication path instead of \
-             pre-compiled wire plans (results are bit-identical; for \
-             differential testing and benchmarking)")
-  in
-  let run src defines config collective (machine, lib) (pr, pc) verify_flag
-      check_flag no_fuse no_cse domains no_wire =
-    handle (fun () ->
-        let config = with_collective collective config in
-        let c =
-          compile ~config ~defines ~check:check_flag ~machine ~lib
-            ~mesh:(pr, pc) (load_source src)
+  let run src spec verify_flag check_flag no_fuse no_cse domains no_wire =
+    Cmdline.handle (fun () ->
+        let spec =
+          let open Run.Spec in
+          spec |> with_check check_flag |> with_fuse (not no_fuse)
+          |> with_cse (not no_cse) |> with_wire (not no_wire)
+          |> match domains with None -> Fun.id | Some d -> with_domains d
         in
-        let fuse = not no_fuse in
-        let cse = not no_cse in
-        let res =
-          simulate ~machine ~lib ~mesh:(pr, pc) ~fuse ~cse ?domains
-            ~wire:(not no_wire) c
-        in
+        let cache = Run.Cache.create () in
+        let c = of_spec ~cache spec in
+        let res = Run.Cache.run cache spec in
         let st = res.Sim.Engine.stats in
+        let pr, pc = spec.Run.Spec.mesh in
         Printf.printf "program        : %s\n" src;
-        Printf.printf "optimization   : %s\n" (Opt.Config.name config);
+        Printf.printf "optimization   : %s\n"
+          (Opt.Config.name spec.Run.Spec.config);
         Printf.printf "machine        : %s / %s, %dx%d procs\n"
-          machine.Machine.Params.name
-          lib.Machine.Library.costs.Machine.Params.lib_name pr pc;
+          spec.Run.Spec.machine.Machine.Params.name
+          spec.Run.Spec.lib.Machine.Library.costs.Machine.Params.lib_name pr
+          pc;
         Printf.printf "static count   : %d\n" (static_count c);
         Printf.printf "dynamic count  : %d (per-processor max)\n"
           (Sim.Stats.dynamic_count st);
@@ -375,9 +207,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"simulate a program on a machine model")
     Term.(
-      const run $ src_arg $ defines_arg $ config_arg $ collective_arg
-      $ lib_arg $ mesh_arg $ verify_arg $ check_arg $ no_fuse_arg
-      $ no_cse_arg $ domains_arg $ no_wire_arg)
+      const run $ Cmdline.src_arg $ Cmdline.spec_term $ verify_arg
+      $ Cmdline.check_arg $ Cmdline.no_fuse_arg $ Cmdline.no_cse_arg
+      $ Cmdline.domains_arg $ Cmdline.no_wire_arg)
 
 let bench_cmd =
   let name_arg =
@@ -386,21 +218,18 @@ let bench_cmd =
       & opt (some string) None
       & info [ "name" ] ~docv:"BENCH" ~doc:"benchmark name (see 'zplc list')")
   in
-  let quick_arg =
-    Arg.(value & flag & info [ "quick" ] ~doc:"reduced problem size")
-  in
   let run name quick =
-    handle (fun () ->
+    Cmdline.handle (fun () ->
         match Programs.Suite.find name with
         | None -> Fmt.failwith "unknown benchmark %S" name
         | Some b ->
-            let scale = if quick then `Test else `Bench in
+            let scale = Cmdline.scale_of_quick quick in
             let r = Report.Experiment.run_bench ~scale b in
             print_endline (Report.Figures.appendix_table r))
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"run one benchmark through all paper experiment rows")
-    Term.(const run $ name_arg $ quick_arg)
+    Term.(const run $ name_arg $ Cmdline.quick_arg)
 
 let list_cmd =
   let run () =
@@ -420,4 +249,12 @@ let main =
        ~doc:"mini-ZPL compiler with machine-independent communication optimization")
     [ check_cmd; dump_cmd; counts_cmd; lint_cmd; run_cmd; bench_cmd; list_cmd ]
 
-let () = exit (Cmd.eval' main)
+(* Source loading happens while cmdliner evaluates spec_term, before any
+   command body's [Cmdline.handle] guard — catch those failures here so a
+   bad program name stays a clean "error:" line with exit 1. *)
+let () =
+  exit
+    (try Cmd.eval' ~catch:false main with
+    | Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1)

@@ -22,11 +22,16 @@ let scaled_lib f : Machine.Library.t =
 
 let () =
   let b = Programs.Suite.swm in
-  let c0 =
-    compile ~config:Opt.Config.baseline
-      ~defines:[ ("n", 64.); ("iters", 8.) ]
-      b.Programs.Bench_def.source
+  let base =
+    Run.Spec.(
+      default b.Programs.Bench_def.source
+      |> with_defines [ ("n", 64.); ("iters", 8.) ]
+      |> with_mesh 4 4)
   in
+  (* the library record is part of the cache key (its cost floats are
+     digested), so every scaled machine gets its own plans while the
+     parsed program is shared across all twenty specs *)
+  let cache = Run.Cache.create () in
   Printf.printf
     "SWM 64x64 on a 4x4 mesh: benefit of each optimization as the\n\
      messaging stack gets leaner (overhead scale 1.0 = 1995 PVM)\n\n";
@@ -36,8 +41,10 @@ let () =
     (fun f ->
       let lib = scaled_lib f in
       let time config =
-        let res = simulate ~lib ~mesh:(4, 4) (recompile ~config c0) in
-        res.Sim.Engine.time *. 1e3
+        let spec =
+          Run.Spec.(base |> with_config config |> with_lib lib)
+        in
+        (Run.Cache.run cache spec).Sim.Engine.time *. 1e3
       in
       let tb = time Opt.Config.baseline in
       let trr = time Opt.Config.rr_only in

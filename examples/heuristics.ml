@@ -34,11 +34,15 @@ let show_placements title (code : Ir.Block.code) =
 
 let () =
   let b = Programs.Suite.simple in
-  let c0 =
-    compile
-      ~defines:[ ("n", 48.); ("iters", 4.) ]
-      b.Programs.Bench_def.source
+  let defines = [ ("n", 48.); ("iters", 4.) ] in
+  let base =
+    Run.Spec.(
+      default b.Programs.Bench_def.source
+      |> with_defines defines
+      |> with_lib Machine.T3d.shmem |> with_mesh 4 4)
   in
+  let cache = Run.Cache.create () in
+  let c0 = of_spec ~cache base in
   let with_heuristic h =
     Opt.Passes.optimize
       { Opt.Config.pl_cum with Opt.Config.heuristic = h }
@@ -49,11 +53,13 @@ let () =
   show_placements
     "Max-latency-hiding (merge only when no member loses distance):"
     (with_heuristic Opt.Config.Max_latency);
-  (* time both on the simulated T3D with SHMEM, as the paper's Figure 12 *)
+  (* time both on the simulated T3D with SHMEM, as the paper's Figure 12;
+     the cache shares the parsed program across the two specs *)
   List.iter
     (fun (name, config) ->
-      let c = recompile ~config c0 in
-      let res = simulate ~lib:Machine.T3d.shmem ~mesh:(4, 4) c in
+      let spec = Run.Spec.with_config config base in
+      let c = of_spec ~cache spec in
+      let res = Run.Cache.run cache spec in
       Printf.printf "%-28s static=%3d dynamic=%5d time=%.2f ms\n" name
         (static_count c)
         (Sim.Stats.dynamic_count res.Sim.Engine.stats)

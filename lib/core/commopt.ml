@@ -23,6 +23,7 @@ module Machine = Machine
 module Runtime = Runtime
 module Sim = Sim
 module Programs = Programs
+module Run = Run
 module Report = Report
 
 type compiled = {
@@ -51,6 +52,21 @@ let recompile ?check ?machine ?lib ?mesh ~(config : Opt.Config.t)
   let ir = Opt.Passes.compile ?check ?machine ?lib ?mesh config c.prog in
   { c with config; ir; flat = Ir.Flat.flatten ir }
 
+(** The spec-based entry: compile the artifacts described by a
+    {!Run.Spec.t}, answered from [cache] when given (identical specs
+    then share everything, including the engine plans behind
+    [Run.Cache.engine]). *)
+let of_spec ?cache (spec : Run.Spec.t) : compiled =
+  let art =
+    match cache with
+    | Some c -> Run.Cache.artifact c spec
+    | None -> Run.Spec.build spec
+  in
+  { prog = art.Run.Spec.a_prog;
+    config = spec.Run.Spec.config;
+    ir = art.Run.Spec.a_ir;
+    flat = art.Run.Spec.a_flat }
+
 let static_count (c : compiled) = Ir.Count.static_count c.ir
 
 (** Simulate on [mesh] (default 4x4) of the given machine/library (default
@@ -66,8 +82,8 @@ let simulate ?(machine = Machine.T3d.machine) ?(lib = Machine.T3d.pvm)
     Sim.Engine.result =
   let pr, pc = mesh in
   Sim.Engine.run
-    (Sim.Engine.make ?limit ?fuse ?cse ?domains ?wire ~machine ~lib ~pr ~pc
-       c.flat)
+    (Sim.Engine.of_plans ?limit ?domains
+       (Sim.Engine.plan ?fuse ?cse ?wire ~machine ~lib ~pr ~pc c.flat))
 
 (** Run the sequential oracle on the same program. *)
 let run_oracle ?limit (c : compiled) : Runtime.Seqexec.t =

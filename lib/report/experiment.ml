@@ -1,7 +1,13 @@
 (** The experiment driver: runs one benchmark under one experiment row of
     the paper's Figure 9 (optimization selection + communication library)
     and records static count, dynamic count and simulated execution time —
-    the three columns of the paper's appendix tables. *)
+    the three columns of the paper's appendix tables.
+
+    Every run is described by a {!Run.Spec.t} and its compiled artifacts
+    are answered by a {!Run.Cache}: each driver call creates a private
+    cache (unless handed one), so six rows over one benchmark parse and
+    type-check the program once, while cross-{e call} hits can never
+    corrupt a wall-clock measurement of the grid. *)
 
 type row = {
   label : string;  (** the paper's row name, e.g. "pl with shmem" *)
@@ -22,54 +28,72 @@ let paper_rows : (string * Opt.Config.t * Machine.Library.t) list =
     ("pl with shmem", Opt.Config.pl_cum, Machine.T3d.shmem);
     ("pl with max latency", Opt.Config.pl_max_latency, Machine.T3d.shmem) ]
 
-let run_one ?label ?fuse ~(machine : Machine.Params.t)
-    ~(lib : Machine.Library.t) ~(config : Opt.Config.t) ~pr ~pc
-    (prog : Zpl.Prog.t) : row =
-  (* the compile target must be the simulation target: collective
-     synthesis searches this machine/library's cost model and bakes the
-     mesh size into its round structure *)
-  let ir = Opt.Passes.compile ~machine ~lib ~mesh:(pr, pc) config prog in
-  let flat = Ir.Flat.flatten ir in
-  let engine = Sim.Engine.make ?fuse ~machine ~lib ~pr ~pc flat in
-  let result = Sim.Engine.run engine in
-  { label = (match label with Some l -> l | None -> Opt.Config.name config);
-    config;
-    lib;
-    static_count = Ir.Count.static_count ir;
+let mesh_of scale (b : Programs.Bench_def.t) =
+  match scale with `Bench -> b.Programs.Bench_def.bench_mesh | `Test -> (2, 2)
+
+(** The spec of one benchmark at one experiment row: the benchmark's
+    source and scale defines, the row's config and library, the given
+    machine, the scale's mesh. The compile target is the simulation
+    target — collective synthesis searches this machine/library's cost
+    model and bakes the mesh size into its round structure. *)
+let bench_spec ?fuse ~(machine : Machine.Params.t)
+    ~(lib : Machine.Library.t) ~(config : Opt.Config.t) ~scale
+    (b : Programs.Bench_def.t) : Run.Spec.t =
+  let defines =
+    match scale with
+    | `Test -> b.Programs.Bench_def.test_defines
+    | `Bench -> b.Programs.Bench_def.bench_defines
+  in
+  let pr, pc = mesh_of scale b in
+  let open Run.Spec in
+  default b.Programs.Bench_def.source
+  |> with_defines defines |> with_config config |> with_target machine lib
+  |> with_mesh pr pc
+  |> match fuse with None -> Fun.id | Some f -> with_fuse f
+
+(** Run one spec to a table row. [cache] answers the compiled artifacts
+    (default: compile privately, uncached). *)
+let run_one ?label ?cache (spec : Run.Spec.t) : row =
+  let art =
+    match cache with
+    | Some c -> Run.Cache.artifact c spec
+    | None -> Run.Spec.build spec
+  in
+  let result = Sim.Engine.run (Run.Spec.engine_of art) in
+  { label =
+      (match label with
+      | Some l -> l
+      | None -> Opt.Config.name spec.Run.Spec.config);
+    config = spec.Run.Spec.config;
+    lib = spec.Run.Spec.lib;
+    static_count = Ir.Count.static_count art.Run.Spec.a_ir;
     dynamic_count = Sim.Stats.dynamic_count result.Sim.Engine.stats;
     time = result.Sim.Engine.time }
 
 type bench_result = { bench : Programs.Bench_def.t; rows : row list }
 
-let mesh_of scale (b : Programs.Bench_def.t) =
-  match scale with `Bench -> b.Programs.Bench_def.bench_mesh | `Test -> (2, 2)
-
 (** Run [rows] for every benchmark in [benches], fanning the independent
     (benchmark x row) simulations over a domain pool ([domains] workers,
-    default {!Pool.default_domains}; [1] runs serially). Programs are
-    compiled once per benchmark up front and shared read-only; each task
-    owns its engine, so results — and their order — are bit-identical to
-    the serial run. *)
+    default {!Sim.Pool.default_domains}; [1] runs serially). A private
+    {!Run.Cache} (or [cache]) deduplicates the per-benchmark parse
+    across rows; each task owns its engine, so results — and their
+    order — are bit-identical to the serial run. *)
 let run_grid ~(machine : Machine.Params.t)
     ~(rows : (string * Opt.Config.t * Machine.Library.t) list) ?domains
-    ?fuse ~scale (benches : Programs.Bench_def.t list) : bench_result list =
-  let compiled =
-    List.map
-      (fun b -> (b, Programs.Suite.compile ~scale b, mesh_of scale b))
-      benches
+    ?fuse ?cache ~scale (benches : Programs.Bench_def.t list) :
+    bench_result list =
+  let cache =
+    match cache with Some c -> c | None -> Run.Cache.create ()
   in
   let tasks =
     List.concat_map
-      (fun (_, prog, (pr, pc)) ->
-        List.map
-          (fun (label, config, lib) -> (prog, pr, pc, label, config, lib))
-          rows)
-      compiled
+      (fun b -> List.map (fun (label, config, lib) -> (b, label, config, lib)) rows)
+      benches
   in
   let results =
-    Pool.parmap ?domains
-      (fun (prog, pr, pc, label, config, lib) ->
-        run_one ~label ?fuse ~machine ~lib ~config ~pr ~pc prog)
+    Sim.Pool.parmap ?domains
+      (fun (b, label, config, lib) ->
+        run_one ~label ~cache (bench_spec ?fuse ~machine ~lib ~config ~scale b))
       tasks
   in
   (* regroup: |rows| consecutive results per benchmark, input order *)
@@ -86,11 +110,11 @@ let run_grid ~(machine : Machine.Params.t)
   let rec chunk benches results =
     match benches with
     | [] -> []
-    | (b, _, _) :: rest ->
+    | b :: rest ->
         let mine, others = take nrows results in
         { bench = b; rows = mine } :: chunk rest others
   in
-  chunk compiled results
+  chunk benches results
 
 (** Run the paper's six rows for one benchmark on the T3D. *)
 let run_bench ?(scale = `Bench) ?domains ?fuse (b : Programs.Bench_def.t) :

@@ -31,12 +31,15 @@ let busyn_for (machine : Machine.Params.t) (lib : Machine.Library.t) doubles =
   let per_row = 9.0 *. machine.Machine.Params.sec_per_flop in
   max 16 (int_of_float (Float.ceil (1.5 *. transmission /. per_row)))
 
+(* uncached on purpose: each call owns its compile, so the comm-vs-busy
+   subtraction below measures two fresh simulations, never a cache hit *)
 let simulate_time ~machine ~lib ~defines source =
-  let prog = Zpl.Check.compile_string ~defines source in
-  let ir = Opt.Passes.compile Opt.Config.pl_cum prog in
-  let flat = Ir.Flat.flatten ir in
-  let engine = Sim.Engine.make ~machine ~lib ~pr:1 ~pc:2 flat in
-  (Sim.Engine.run engine).Sim.Engine.time
+  let spec =
+    let open Run.Spec in
+    default source |> with_defines defines |> with_target machine lib
+    |> with_mesh 1 2
+  in
+  (Run.Spec.run spec).Sim.Engine.time
 
 (** Measure one (machine, library) curve. *)
 let measure ?(sizes = default_sizes) ?(iters = 50)

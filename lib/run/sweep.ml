@@ -1,0 +1,176 @@
+type item = { label : string; spec : Spec.t }
+
+type row = {
+  r_label : string;
+  r_hit : bool;
+  r_memo : bool;
+  r_time : float;
+  r_static : int;
+  r_dynamic : int;
+  r_wall : float;
+}
+
+type summary = {
+  rows : row list;
+  hits : int;
+  misses : int;
+  memo_hits : int;
+  counters : Cache.counters;
+  pool_fresh : int;
+  pool_reused : int;
+  wall : float;
+}
+
+(* The memoized part of a row: the numbers the simulation determines.
+   Keyed by Spec.key plus the limit — the one runtime knob that can
+   change what a run computes (by truncating it); domains never does. *)
+type memo_row = { m_time : float; m_static : int; m_dynamic : int }
+
+type t = {
+  cache : Cache.t;
+  memo : (string, memo_row) Hashtbl.t;
+  memo_lock : Mutex.t;
+}
+
+let create ?cache () =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  { cache; memo = Hashtbl.create 64; memo_lock = Mutex.create () }
+
+let cache t = t.cache
+
+let reset_memo t =
+  Mutex.lock t.memo_lock;
+  Hashtbl.reset t.memo;
+  Mutex.unlock t.memo_lock
+
+let memo_key (spec : Spec.t) =
+  Printf.sprintf "%s:%d" (Spec.key spec) spec.Spec.limit
+
+let memo_find t key =
+  Mutex.lock t.memo_lock;
+  let r = Hashtbl.find_opt t.memo key in
+  Mutex.unlock t.memo_lock;
+  r
+
+let memo_add t key m =
+  Mutex.lock t.memo_lock;
+  if not (Hashtbl.mem t.memo key) then Hashtbl.add t.memo key m;
+  Mutex.unlock t.memo_lock
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_row oc ~first (r : row) =
+  Printf.fprintf oc
+    "%s\n    {\"label\": \"%s\", \"hit\": %b, \"memo\": %b, \"sim_time\": \
+     %.17g, \"static\": %d, \"dynamic\": %d, \"wall_sec\": %.6f}"
+    (if first then "" else ",")
+    (json_escape r.r_label) r.r_hit r.r_memo r.r_time r.r_static r.r_dynamic
+    r.r_wall;
+  flush oc
+
+let run ?domains ?out (t : t) (items : item list) : summary =
+  let emit_lock = Mutex.create () in
+  let emitted = ref 0 in
+  (match out with
+  | Some oc ->
+      Printf.fprintf oc "{\n  \"sweep\": [";
+      flush oc
+  | None -> ());
+  let t0 = Unix.gettimeofday () in
+  let pool_fresh = ref 0 and pool_reused = ref 0 in
+  let rows =
+    Sim.Pool.parmap ?domains
+      (fun (it : item) ->
+        let w0 = Unix.gettimeofday () in
+        let key = memo_key it.spec in
+        let r =
+          match memo_find t key with
+          | Some m ->
+              { r_label = it.label;
+                r_hit = true;
+                r_memo = true;
+                r_time = m.m_time;
+                r_static = m.m_static;
+                r_dynamic = m.m_dynamic;
+                r_wall = Unix.gettimeofday () -. w0 }
+          | None ->
+              let art, hit = Cache.find t.cache it.spec in
+              let res = Sim.Engine.run (Spec.engine_of art) in
+              let m =
+                { m_time = res.Sim.Engine.time;
+                  m_static = Ir.Count.static_count art.Spec.a_ir;
+                  m_dynamic = Sim.Stats.dynamic_count res.Sim.Engine.stats }
+              in
+              memo_add t key m;
+              let fresh, reused =
+                Sim.Engine.pool_counts res.Sim.Engine.engine
+              in
+              Mutex.lock emit_lock;
+              pool_fresh := !pool_fresh + fresh;
+              pool_reused := !pool_reused + reused;
+              Mutex.unlock emit_lock;
+              { r_label = it.label;
+                r_hit = hit;
+                r_memo = false;
+                r_time = m.m_time;
+                r_static = m.m_static;
+                r_dynamic = m.m_dynamic;
+                r_wall = Unix.gettimeofday () -. w0 }
+        in
+        (match out with
+        | Some oc ->
+            Mutex.lock emit_lock;
+            emit_row oc ~first:(!emitted = 0) r;
+            incr emitted;
+            Mutex.unlock emit_lock
+        | None -> ());
+        r)
+      items
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let hits = List.length (List.filter (fun r -> r.r_hit) rows) in
+  let misses = List.length rows - hits in
+  let memo_hits = List.length (List.filter (fun r -> r.r_memo) rows) in
+  let counters = Cache.counters t.cache in
+  (match out with
+  | Some oc ->
+      let n = List.length rows in
+      Printf.fprintf oc
+        "\n\
+        \  ],\n\
+        \  \"specs\": %d,\n\
+        \  \"hits\": %d,\n\
+        \  \"misses\": %d,\n\
+        \  \"memo_hits\": %d,\n\
+        \  \"evictions\": %d,\n\
+        \  \"pool_fresh\": %d,\n\
+        \  \"pool_reused\": %d,\n\
+        \  \"wall_sec\": %.6f,\n\
+        \  \"specs_per_sec\": %.3f\n\
+         }\n"
+        n hits misses memo_hits counters.Cache.evictions !pool_fresh
+        !pool_reused wall
+        (if wall > 0.0 then float_of_int n /. wall else 0.0);
+      flush oc
+  | None -> ());
+  { rows;
+    hits;
+    misses;
+    memo_hits;
+    counters;
+    pool_fresh = !pool_fresh;
+    pool_reused = !pool_reused;
+    wall }

@@ -54,7 +54,7 @@ let grow (r : Zpl.Region.t) ~fringe : Zpl.Region.t =
       if d < 2 then { Zpl.Region.lo = lo - fringe; hi = hi + fringe } else rg)
     r
 
-let make (info : Zpl.Prog.array_info) ~(owned : Zpl.Region.t) ~fringe : t =
+let shape ~(owned : Zpl.Region.t) ~fringe =
   let alloc =
     if Zpl.Region.is_empty owned then owned else grow owned ~fringe
   in
@@ -63,8 +63,17 @@ let make (info : Zpl.Prog.array_info) ~(owned : Zpl.Region.t) ~fringe : t =
   for d = rank - 2 downto 0 do
     strides.(d) <- strides.(d + 1) * Zpl.Region.range_size (Zpl.Region.dim alloc (d + 1))
   done;
+  (alloc, strides)
+
+let make (info : Zpl.Prog.array_info) ~(owned : Zpl.Region.t) ~fringe : t =
+  let alloc, strides = shape ~owned ~fringe in
   let cells = if Zpl.Region.is_empty alloc then 0 else Zpl.Region.size alloc in
   { info; owned; alloc; strides; data = alloc_buf cells }
+
+let make_shape (info : Zpl.Prog.array_info) ~(owned : Zpl.Region.t) ~fringe : t
+    =
+  let alloc, strides = shape ~owned ~fringe in
+  { info; owned; alloc; strides; data = alloc_buf 0 }
 
 let index (s : t) (p : int array) =
   let idx = ref 0 in

@@ -21,6 +21,14 @@ type t
     of rank-3 arrays is never grown). All cells start at 0. *)
 val make : Zpl.Prog.array_info -> owned:Zpl.Region.t -> fringe:int -> t
 
+(** [make_shape info ~owned ~fringe] computes the same [owned]/[alloc]
+    regions and strides as {!make} but allocates no data (the flat buffer
+    has zero cells). Shape-only stores answer {!alloc}, {!stride},
+    {!index} and {!row_blits} — everything plan compilation needs —
+    without paying for the cells; reading or writing one is a bounds
+    error. *)
+val make_shape : Zpl.Prog.array_info -> owned:Zpl.Region.t -> fringe:int -> t
+
 val info : t -> Zpl.Prog.array_info
 
 (** Owned part of the declared region; may be empty. *)

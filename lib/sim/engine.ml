@@ -96,6 +96,58 @@ type cside = {
   mutable c_rpool : Runtime.Wireplan.pool;
 }
 
+(** Immutable blueprint of one {!wside}: the blit plan (compiled against
+    shape-only stores, so it depends only on the layout, never on cell
+    data) plus everything needed to mint the per-engine pool.
+    [b_link] on receive sides is the index of the matching side in the
+    sender's send array, resolved and validated once at {!plan} time; it
+    is written during linking and frozen thereafter. *)
+type wblue = {
+  b_partner : int;
+  b_bytes : int;
+  b_cells : int;
+  b_plan : Runtime.Wireplan.t;
+  mutable b_link : int;
+}
+
+type wbpair = { b_recv : wblue array; b_send : wblue array }
+
+(** Immutable blueprint of one {!cside}: the rank's role in a
+    synthesized collective round ({!Ir.Coll.role}, frozen at plan
+    time). *)
+type cblue = { cb_to : int; cb_from : int; cb_count : int }
+
+(** Everything {!make} used to compute that does not depend on run-time
+    state: the compiled, immutable, shareable half of an engine. Two
+    engines built from one [plans] value share these artifacts
+    physically ([==]); each {!of_plans} call mints only the mutable
+    half (stores, mailboxes, staging pools, statistics). *)
+type plans = {
+  p_flat : Ir.Flat.t;
+  p_machine : Machine.Params.t;
+  p_lib : Machine.Library.t;
+  p_pr : int;
+  p_pc : int;
+  p_layout : Runtime.Layout.t;
+  p_fringe : int array;  (** per array id: fringe width *)
+  p_nx : int;  (** number of transfers *)
+  p_nslots : int;  (** collective slots *)
+  p_dissem : bool array;  (** per slot: needs the allgathered partials *)
+  p_has_coll : bool;
+  p_wire : bool;
+  p_row_path : bool;
+  p_fuse : bool;
+  p_cse : bool;
+  p_legacy : xfer_plan array array;  (** legacy: [transfer id].(proc) *)
+  p_wblue : wbpair array array;  (** wire: [transfer id].(proc) *)
+  p_colls : Ir.Coll.desc option array;  (** per transfer: collective tag *)
+  p_cblue : cblue array array;  (** collective rounds: [transfer id].(proc) *)
+  p_fuse_len : int array;
+      (** per op index: length of the fused group starting there, or 0 *)
+  p_refchecks : Runtime.Kernel.refs array;
+      (** per op index: the rhs's (array, shift) reads, extracted once *)
+}
+
 (* Blocked-state encoding. An option-of-variant would allocate on every
    block; two ints don't. The partner lists the old encoding carried are
    only needed for deadlock diagnostics and are recomputed there. *)
@@ -211,6 +263,7 @@ type reduce_slot = {
 }
 
 type t = {
+  shared : plans;  (** the immutable half this engine was built from *)
   flat : Ir.Flat.t;
   machine : Machine.Params.t;
   lib : Machine.Library.t;
@@ -262,58 +315,62 @@ let build_plan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
   Array.init nprocs (fun p ->
       { recv_sides = recvs.(p); send_sides = sends.(p) })
 
-(** Compile the wire plans of one transfer: per processor, per partner,
-    the blit descriptors and (on send sides) the staging pool. *)
-let build_wplan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
-    (x : Ir.Transfer.t) ~(procs : proc array) : wplan array =
+(** Compile the wire blueprints of one transfer: per processor, per
+    partner, the blit descriptors against shape-only stores. *)
+let build_wblue (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
+    (x : Ir.Transfer.t) ~(shapes : Runtime.Store.t array array) :
+    wbpair array =
   let collect p dir =
     Array.of_list
       (List.map
          (fun (pp : Runtime.Halo.partner_pieces) ->
-           { w_partner = pp.Runtime.Halo.pp_partner;
-             w_bytes = 8 * pp.Runtime.Halo.pp_cells;
-             w_plan =
-               Runtime.Wireplan.build ~stores:procs.(p).stores
+           { b_partner = pp.Runtime.Halo.pp_partner;
+             b_bytes = 8 * pp.Runtime.Halo.pp_cells;
+             b_cells = pp.Runtime.Halo.pp_cells;
+             b_plan =
+               Runtime.Wireplan.build ~stores:shapes.(p)
                  pp.Runtime.Halo.pp_rects;
-             w_pool = Runtime.Wireplan.make_pool ~cells:pp.Runtime.Halo.pp_cells })
+             b_link = -1 })
          (Runtime.Halo.partner_sides layout prog ~arrays:x.Ir.Transfer.arrays
             ~off:x.Ir.Transfer.off ~p ~dir))
   in
-  Array.init (Array.length procs) (fun p ->
-      { w_recv = collect p `Recv; w_send = collect p `Send })
+  Array.init (Array.length shapes) (fun p ->
+      { b_recv = collect p `Recv; b_send = collect p `Send })
 
-(** Point every receive side's pool at the matching sender's pool (so a
-    consumed buffer is released to where the next send acquires), and
-    check that both ends compiled the same staging layout. *)
-let link_wplan (xi : int) (wp : wplan array) =
+(** Resolve every receive blueprint's [b_link] to the matching side in
+    the sender's send array, and check that both ends compiled the same
+    staging layout. Runs once at {!plan} time; {!of_plans} only follows
+    the recorded indices. *)
+let link_wblue (xi : int) (bp : wbpair array) =
   Array.iteri
-    (fun p plan ->
+    (fun p pair ->
       Array.iter
-        (fun (rs : wside) ->
-          let sender = wp.(rs.w_partner) in
-          match
-            Array.find_opt (fun (ss : wside) -> ss.w_partner = p) sender.w_send
-          with
-          | None ->
-              Fmt.failwith
-                "Engine.make: transfer %d: proc %d expects data from %d, \
-                 which plans no send back"
-                xi p rs.w_partner
-          | Some ss ->
-              if
-                Runtime.Wireplan.cells ss.w_plan
-                <> Runtime.Wireplan.cells rs.w_plan
-                || ss.w_bytes <> rs.w_bytes
-              then
-                Fmt.failwith
-                  "Engine.make: transfer %d: procs %d and %d disagree on \
-                   the message layout (%d vs %d cells)"
-                  xi rs.w_partner p
-                  (Runtime.Wireplan.cells ss.w_plan)
-                  (Runtime.Wireplan.cells rs.w_plan);
-              rs.w_pool <- ss.w_pool)
-        plan.w_recv)
-    wp
+        (fun (rb : wblue) ->
+          let sender = bp.(rb.b_partner) in
+          let link = ref (-1) in
+          Array.iteri
+            (fun i (sb : wblue) -> if sb.b_partner = p then link := i)
+            sender.b_send;
+          if !link < 0 then
+            Fmt.failwith
+              "Engine.plan: transfer %d: proc %d expects data from %d, \
+               which plans no send back"
+              xi p rb.b_partner;
+          let sb = sender.b_send.(!link) in
+          if
+            Runtime.Wireplan.cells sb.b_plan
+            <> Runtime.Wireplan.cells rb.b_plan
+            || sb.b_bytes <> rb.b_bytes
+          then
+            Fmt.failwith
+              "Engine.plan: transfer %d: procs %d and %d disagree on \
+               the message layout (%d vs %d cells)"
+              xi rb.b_partner p
+              (Runtime.Wireplan.cells sb.b_plan)
+              (Runtime.Wireplan.cells rb.b_plan);
+          rb.b_link <- !link)
+        pair.b_recv)
+    bp
 
 (** Index of the (source, transfer, kind) slot in a proc's dense mailbox
     array. *)
@@ -355,10 +412,9 @@ let fuse_groups (flat : Ir.Flat.t) : int array =
   done;
   lens
 
-let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
-    ?(cse = true) ?(domains = 1) ?(wire = true)
-    ~(machine : Machine.Params.t)
-    ~(lib : Machine.Library.t) ~pr ~pc (flat : Ir.Flat.t) : t =
+let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
+    ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) ~pr ~pc
+    (flat : Ir.Flat.t) : plans =
   let prog = flat.Ir.Flat.prog in
   let layout = Runtime.Layout.for_program ~pr ~pc prog in
   let nprocs = Runtime.Layout.nprocs layout in
@@ -373,22 +429,20 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
   let mr, mc = Runtime.Layout.min_block_extent layout in
   if max_off > min mr mc then
     Fmt.invalid_arg
-      "Engine.make: shift magnitude %d exceeds the smallest block extent \
+      "Engine.plan: shift magnitude %d exceeds the smallest block extent \
        (%d x %d) of a %dx%d mesh"
       max_off mr mc pr pc;
   let fringe = Zpl.Prog.fringe_widths prog in
-  let nx = Array.length flat.Ir.Flat.transfers in
   let colls =
     Array.map (fun (x : Ir.Transfer.t) -> x.Ir.Transfer.coll)
       flat.Ir.Flat.transfers
   in
-  let has_coll = Array.exists Option.is_some colls in
   Array.iter
     (function
       | Some (d : Ir.Coll.desc) ->
           if d.Ir.Coll.cl_nprocs <> nprocs then
             Fmt.invalid_arg
-              "Engine.make: collective round %s was synthesized for %d \
+              "Engine.plan: collective round %s was synthesized for %d \
                processors, but the engine mesh is %dx%d (%d) — recompile for \
                this mesh"
               (Ir.Coll.describe d) d.Ir.Coll.cl_nprocs pr pc nprocs
@@ -412,6 +466,95 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
             dissem_slot.(w.Ir.Instr.cw_slot) <- true
       | _ -> ())
     flat.Ir.Flat.ops;
+  let p_legacy =
+    if wire then [||]
+    else
+      Array.map
+        (fun (x : Ir.Transfer.t) ->
+          if Ir.Transfer.is_coll x then
+            Array.init nprocs (fun _ -> { recv_sides = []; send_sides = [] })
+          else build_plan layout prog x ~nprocs)
+        flat.Ir.Flat.transfers
+  in
+  let p_wblue =
+    if not wire then [||]
+    else begin
+      (* blit plans only read shapes and strides, so compile them
+         against data-free stores — no cell allocation at plan time *)
+      let shapes =
+        Array.init nprocs (fun rank ->
+            Array.map
+              (fun (info : Zpl.Prog.array_info) ->
+                Runtime.Store.make_shape info
+                  ~owned:(Runtime.Halo.owned_of layout info rank)
+                  ~fringe:fringe.(info.a_id))
+              prog.Zpl.Prog.arrays)
+      in
+      let bp =
+        Array.map
+          (fun (x : Ir.Transfer.t) ->
+            if Ir.Transfer.is_coll x then
+              Array.init nprocs (fun _ -> { b_recv = [||]; b_send = [||] })
+            else build_wblue layout prog x ~shapes)
+          flat.Ir.Flat.transfers
+      in
+      Array.iteri link_wblue bp;
+      bp
+    end
+  in
+  let p_cblue =
+    Array.map
+      (fun (x : Ir.Transfer.t) ->
+        match x.Ir.Transfer.coll with
+        | None -> [||]
+        | Some d ->
+            Array.init nprocs (fun rank ->
+                let r = Ir.Coll.role d ~rank in
+                { cb_to = r.Ir.Coll.r_to;
+                  cb_from = r.Ir.Coll.r_from;
+                  cb_count = r.Ir.Coll.r_count }))
+      flat.Ir.Flat.transfers
+  in
+  { p_flat = flat;
+    p_machine = machine;
+    p_lib = lib;
+    p_pr = pr;
+    p_pc = pc;
+    p_layout = layout;
+    p_fringe = fringe;
+    p_nx = Array.length flat.Ir.Flat.transfers;
+    p_nslots = nslots;
+    p_dissem = dissem_slot;
+    p_has_coll = Array.exists Option.is_some colls;
+    p_wire = wire;
+    p_row_path = row_path;
+    p_fuse = fuse && row_path;
+    p_cse = cse;
+    p_legacy;
+    p_wblue;
+    p_colls = colls;
+    p_cblue;
+    p_fuse_len =
+      (if fuse && row_path then fuse_groups flat
+       else Array.make (Array.length flat.Ir.Flat.ops) 0);
+    p_refchecks =
+      Array.map
+        (function
+          | Ir.Flat.FKernel a -> Runtime.Kernel.refs_of a.Zpl.Prog.rhs
+          | Ir.Flat.FReduce r -> Runtime.Kernel.refs_of r.Zpl.Prog.r_rhs
+          | Ir.Flat.FCollPart w ->
+              Runtime.Kernel.refs_of w.Ir.Instr.cw_red.Zpl.Prog.r_rhs
+          | _ -> [||])
+        flat.Ir.Flat.ops }
+
+let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
+  let flat = sp.p_flat in
+  let prog = flat.Ir.Flat.prog in
+  let layout = sp.p_layout in
+  let nprocs = Runtime.Layout.nprocs layout in
+  let nx = sp.p_nx in
+  let nslots = sp.p_nslots in
+  let wire = sp.p_wire in
   let procs =
     Array.init nprocs (fun rank ->
         let stores =
@@ -419,7 +562,7 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
             (fun (info : Zpl.Prog.array_info) ->
               Runtime.Store.make info
                 ~owned:(Runtime.Halo.owned_of layout info rank)
-                ~fringe:fringe.(info.a_id))
+                ~fringe:sp.p_fringe.(info.a_id))
             prog.Zpl.Prog.arrays
         in
         { rank; pc = 0; time = { fv = 0.0 }; stores;
@@ -432,70 +575,86 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
           reduce_seq = 0;
           mail = Hashtbl.create (if wire then 1 else 64);
           wmail =
-            (if wire || has_coll then Array.make (nprocs * nx * 2) unused_mbox
+            (if wire || sp.p_has_coll then
+               Array.make (nprocs * nx * 2) unused_mbox
              else [||]);
           scratch = Array.make 2 0.0;
           cacc = Array.make nslots 0.0;
           cvals =
             Array.init nslots (fun s ->
-                if dissem_slot.(s) then Array.make nprocs 0.0 else [||]);
+                if sp.p_dissem.(s) then Array.make nprocs 0.0 else [||]);
           kernels = Array.make (Array.length flat.Ir.Flat.ops) None;
           stats = Stats.fresh_proc () })
   in
-  let plans =
-    if wire then [||]
-    else
-      Array.map
-        (fun (x : Ir.Transfer.t) ->
-          if Ir.Transfer.is_coll x then
-            Array.init nprocs (fun _ -> { recv_sides = []; send_sides = [] })
-          else build_plan layout prog x ~nprocs)
-        flat.Ir.Flat.transfers
-  in
+  (* wire sides: shared blit plans, per-engine staging pools; receive
+     pools alias the matching sender's pool (resolved at plan time into
+     [b_link]), so a consumed buffer is released to where the next send
+     acquires *)
   let wplans =
-    if not wire then [||]
-    else
-      Array.map
-        (fun (x : Ir.Transfer.t) ->
-          if Ir.Transfer.is_coll x then
-            Array.init nprocs (fun _ -> { w_recv = [||]; w_send = [||] })
-          else build_wplan layout prog x ~procs)
-        flat.Ir.Flat.transfers
+    Array.map
+      (fun (bp : wbpair array) ->
+        let mk (b : wblue) =
+          { w_partner = b.b_partner;
+            w_bytes = b.b_bytes;
+            w_plan = b.b_plan;
+            w_pool = Runtime.Wireplan.make_pool ~cells:b.b_cells }
+        in
+        let sides =
+          Array.map
+            (fun (pair : wbpair) ->
+              { w_recv = Array.map mk pair.b_recv;
+                w_send = Array.map mk pair.b_send })
+            bp
+        in
+        Array.iteri
+          (fun p (pair : wbpair) ->
+            Array.iteri
+              (fun i (rb : wblue) ->
+                sides.(p).w_recv.(i).w_pool <-
+                  sides.(rb.b_partner).w_send.(rb.b_link).w_pool)
+              pair.b_recv)
+          bp;
+        sides)
+      sp.p_wblue
   in
+  (* collective sides: same pool-aliasing discipline *)
   let csides =
     Array.map
-      (fun (x : Ir.Transfer.t) ->
-        match x.Ir.Transfer.coll with
-        | None -> [||]
-        | Some d ->
-            let sides =
-              Array.init nprocs (fun rank ->
-                  let r = Ir.Coll.role d ~rank in
-                  let pool =
-                    Runtime.Wireplan.make_pool ~cells:r.Ir.Coll.r_count
-                  in
-                  { c_to = r.Ir.Coll.r_to;
-                    c_from = r.Ir.Coll.r_from;
-                    c_count = r.Ir.Coll.r_count;
-                    c_spool = pool;
-                    c_rpool = pool })
-            in
-            (* receive pools alias the matching sender's pool, so a
-               consumed buffer is released to where the next send will
-               acquire — same discipline as {!link_wplan} *)
-            Array.iter
-              (fun s ->
-                if s.c_from >= 0 then begin
-                  let sender = sides.(s.c_from) in
-                  assert (sender.c_to >= 0 && sender.c_count = s.c_count);
-                  s.c_rpool <- sender.c_spool
-                end)
-              sides;
-            sides)
-      flat.Ir.Flat.transfers
+      (fun (cb : cblue array) ->
+        let sides =
+          Array.map
+            (fun (b : cblue) ->
+              let pool = Runtime.Wireplan.make_pool ~cells:b.cb_count in
+              { c_to = b.cb_to;
+                c_from = b.cb_from;
+                c_count = b.cb_count;
+                c_spool = pool;
+                c_rpool = pool })
+            cb
+        in
+        Array.iter
+          (fun s ->
+            if s.c_from >= 0 then begin
+              let sender = sides.(s.c_from) in
+              assert (sender.c_to >= 0 && sender.c_count = s.c_count);
+              s.c_rpool <- sender.c_spool
+            end)
+          sides;
+        sides)
+      sp.p_cblue
   in
   let t =
-    { flat; machine; lib; layout; procs; wire; nx; plans; wplans; colls;
+    { shared = sp;
+      flat;
+      machine = sp.p_machine;
+      lib = sp.p_lib;
+      layout;
+      procs;
+      wire;
+      nx;
+      plans = sp.p_legacy;
+      wplans;
+      colls = sp.p_colls;
       csides;
       runnable = Array.make (max 1 nprocs) 0;
       run_head = 0;
@@ -503,27 +662,16 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
       reduce_slots = Hashtbl.create 8;
       stats = Stats.make nprocs;
       limit;
-      row_path;
-      fuse = fuse && row_path;
-      cse;
+      row_path = sp.p_row_path;
+      fuse = sp.p_fuse;
+      cse = sp.p_cse;
       domains = max 1 domains;
-      fuse_len =
-        (if fuse && row_path then fuse_groups flat
-         else Array.make (Array.length flat.Ir.Flat.ops) 0);
-      refchecks =
-        Array.map
-          (function
-            | Ir.Flat.FKernel a -> Runtime.Kernel.refs_of a.Zpl.Prog.rhs
-            | Ir.Flat.FReduce r -> Runtime.Kernel.refs_of r.Zpl.Prog.r_rhs
-            | Ir.Flat.FCollPart w ->
-                Runtime.Kernel.refs_of w.Ir.Instr.cw_red.Zpl.Prog.r_rhs
-            | _ -> [||])
-          flat.Ir.Flat.ops }
+      fuse_len = sp.p_fuse_len;
+      refchecks = sp.p_refchecks }
   in
   if wire then
     Array.iteri
       (fun xi wp ->
-        link_wplan xi wp;
         (* materialize exactly the mailbox slots some plan delivers to:
            data flows sender -> receiver, tokens receiver -> sender *)
         Array.iteri
@@ -555,6 +703,14 @@ let make ?(limit = 1_000_000_000) ?(row_path = true) ?(fuse = true)
         sides)
     csides;
   t
+
+let shared_plans (t : t) = t.shared
+
+let make ?limit ?row_path ?fuse ?cse ?domains ?wire
+    ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) ~pr ~pc
+    (flat : Ir.Flat.t) : t =
+  of_plans ?limit ?domains
+    (plan ?row_path ?fuse ?cse ?wire ~machine ~lib ~pr ~pc flat)
 
 (* ------------------------------------------------------------------ *)
 (* Mail and the runnable ring                                          *)

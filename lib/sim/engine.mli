@@ -22,39 +22,59 @@ type proc
 exception Deadlock of string
 
 (** Raised when some single processor exceeds the instruction budget
-    given to {!make} — a runaway-loop backstop. The limit is per
+    given to {!of_plans} — a runaway-loop backstop. The limit is per
     processor, not global, so the parallel drain can enforce it without
     synchronization. *)
 exception Instruction_limit of int
 
-(** [make ~machine ~lib ~pr ~pc flat] lays the program's arrays out on a
-    [pr x pc] processor mesh and readies one virtual processor per mesh
-    point.
+(** The immutable, shareable half of an engine: the compiled comm
+    schedule bound to a layout, the wire blit plans, the collective role
+    tables, the fused-group partition and the reference-check tables.
+    Engines minted from one [plans] value by {!of_plans} share all of it
+    physically ([==]); only per-engine mutable state (stores, mailboxes,
+    staging pools, statistics) is rebuilt. This is the unit
+    [Run.Cache] stores, keyed by [Run.Spec]. *)
+type plans
 
-    [limit] bounds instructions {e per processor} (default [1e9]).
-    [row_path] (default true) allows the row-compiled kernels;
-    [false] forces the per-point oracle path everywhere.
-    [fuse] (default true, implies [row_path]) lets adjacent fusable
-    kernel statements share one region evaluation and row traversal —
-    simulated times and statistics are unchanged by fusion.
-    [cse] (default true, effective only under [fuse]) lets fused groups
-    hoist repeated shifted-read subterms into row temporaries computed
-    once per row; results are bit-identical either way, and cached
-    fused plans are keyed on the flag.
-    [domains] (default 1) drives the drain loop with that many host
-    domains: local instructions run in parallel, communication and
-    reductions stay serial. Results are bit-identical for any value.
-    [wire] (default true) selects the pre-compiled wire-plan
-    communication runtime: per-(transfer, partner) blit plans packing
-    all member pieces into one pooled staging buffer per message, with
-    dense ring mailboxes — steady-state communication allocates nothing.
-    [false] keeps the legacy extract/inject path with hashed queues;
-    simulated times, statistics, and results are bit-identical either
-    way (property-tested), so the flag exists for differential tests
-    and honest benchmarking of the optimization.
+(** [plan ~machine ~lib ~pr ~pc flat] compiles every artifact of an
+    engine that does not depend on run-time state, for a [pr x pc]
+    processor mesh. The knobs mirror the fields of [Run.Spec.t], where
+    each is documented; defaults are the spec's defaults ([row_path],
+    [fuse], [cse], [wire] all true).
 
     Raises [Invalid_argument] if a stencil shift exceeds the smallest
-    block extent of the mesh. *)
+    block extent of the mesh, or if a synthesized collective round was
+    compiled for a different mesh. *)
+val plan :
+  ?row_path:bool ->
+  ?fuse:bool ->
+  ?cse:bool ->
+  ?wire:bool ->
+  machine:Machine.Params.t ->
+  lib:Machine.Library.t ->
+  pr:int ->
+  pc:int ->
+  Ir.Flat.t ->
+  plans
+
+(** [of_plans plans] readies one virtual processor per mesh point:
+    fresh stores, mailboxes, staging pools and statistics around the
+    shared compiled artifacts. [limit] bounds instructions {e per
+    processor} (default [1e9]); [domains] (default 1) drives the drain
+    loop with that many host domains (results are bit-identical for any
+    value). Neither affects the compiled artifacts, which is why they
+    live here and not in the cache key. *)
+val of_plans : ?limit:int -> ?domains:int -> plans -> t
+
+(** The shared compiled half this engine was built from. Two engines
+    answer with physically equal ([==]) values iff they share plans —
+    the cache-hit property [Run.Cache]'s tests assert. *)
+val shared_plans : t -> plans
+
+(** Legacy one-shot constructor: compiles a private [plans] value and
+    builds one engine from it. Use [Run.Spec] + [Run.Cache] (or {!plan}
+    + {!of_plans}) instead — this entry recompiles every artifact per
+    call, which sweep-scale callers cannot afford. *)
 val make :
   ?limit:int ->
   ?row_path:bool ->
@@ -68,6 +88,11 @@ val make :
   pc:int ->
   Ir.Flat.t ->
   t
+[@@alert
+  legacy
+    "Engine.make recompiles all plan artifacts per call; build a \
+     Run.Spec.t and go through Run.Cache, or use Engine.plan + \
+     Engine.of_plans."]
 
 type result = {
   time : float;  (** makespan over processors *)

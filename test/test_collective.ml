@@ -293,7 +293,8 @@ let nprocs_mismatch () =
   let b = List.hd benches in
   let c = compile_bench ~config:(forced Ir.Coll.Ring) ~mesh:(2, 2) b in
   match
-    Sim.Engine.make ~machine:t3d ~lib:Machine.T3d.pvm ~pr:1 ~pc:2 c.flat
+    Sim.Engine.of_plans
+      (Sim.Engine.plan ~machine:t3d ~lib:Machine.T3d.pvm ~pr:1 ~pc:2 c.flat)
   with
   | (_ : Sim.Engine.t) -> Alcotest.fail "mesh mismatch not rejected"
   | exception Invalid_argument msg ->

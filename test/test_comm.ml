@@ -13,7 +13,9 @@ let compile_flat ?defines src =
   Ir.Flat.flatten (Opt.Passes.compile Opt.Config.pl_cum prog)
 
 let run ?domains ?wire ?(lib = Machine.T3d.pvm) ~pr ~pc flat =
-  Sim.Engine.run (Sim.Engine.make ?domains ?wire ~machine:t3d ~lib ~pr ~pc flat)
+  Sim.Engine.run
+    (Sim.Engine.of_plans ?domains
+       (Sim.Engine.plan ?wire ~machine:t3d ~lib ~pr ~pc flat))
 
 (* ------------------------------------------------------------------ *)
 (* Zero-allocation steady state                                        *)
@@ -25,7 +27,8 @@ let minor_words_of ~iters src =
   let defines = Programs.Synthetic.defines ~doubles:64 ~busyn:32 ~iters in
   let flat = compile_flat ~defines src in
   let engine =
-    Sim.Engine.make ~machine:t3d ~lib:Machine.T3d.pvm ~pr:1 ~pc:2 flat
+    Sim.Engine.of_plans
+      (Sim.Engine.plan ~machine:t3d ~lib:Machine.T3d.pvm ~pr:1 ~pc:2 flat)
   in
   let before = Gc.minor_words () in
   ignore (Sim.Engine.run engine);

@@ -29,8 +29,9 @@ let make_engine ?(config = Opt.Config.pl_cum) ?(lib = Machine.T3d.pvm)
     ?(pr = 2) ?(pc = 2) ?limit ?fuse ?domains src =
   let prog = Zpl.Check.compile_string src in
   let ir = Opt.Passes.compile config prog in
-  Sim.Engine.make ?limit ?fuse ?domains ~machine:Machine.T3d.machine ~lib ~pr
-    ~pc (Ir.Flat.flatten ir)
+  Sim.Engine.of_plans ?limit ?domains
+    (Sim.Engine.plan ?fuse ~machine:Machine.T3d.machine ~lib ~pr ~pc
+       (Ir.Flat.flatten ir))
 
 let test_counts_and_time () =
   let res = Sim.Engine.run (make_engine stencil_src) in
@@ -115,8 +116,9 @@ let test_fusion_engages_on_tomcatv () =
   let p = Programs.Suite.compile ~scale:`Test Programs.Suite.tomcatv in
   let flat = Ir.Flat.flatten (Opt.Passes.compile Opt.Config.pl_cum p) in
   let mk ~fuse =
-    Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm ~pr:2
-      ~pc:2 ~fuse flat
+    Sim.Engine.of_plans
+      (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+         ~pr:2 ~pc:2 ~fuse flat)
   in
   let fused_eng = mk ~fuse:true in
   Alcotest.(check bool) "groups formed" true
@@ -218,7 +220,8 @@ let test_paragon_machine_is_slower () =
       else Machine.T3d.pvm
     in
     (Sim.Engine.run
-       (Sim.Engine.make ~machine ~lib ~pr:2 ~pc:2 (Ir.Flat.flatten ir)))
+       (Sim.Engine.of_plans
+          (Sim.Engine.plan ~machine ~lib ~pr:2 ~pc:2 (Ir.Flat.flatten ir))))
       .Sim.Engine.time
   in
   Alcotest.(check bool) "50 MHz Paragon slower than 150 MHz T3D" true

@@ -35,8 +35,9 @@ let oracle_case (b : Programs.Bench_def.t) =
               let ir = Opt.Passes.compile config prog in
               let res =
                 Sim.Engine.run
-                  (Sim.Engine.make ~machine:Machine.T3d.machine ~lib ~pr:2
-                     ~pc:2 (Ir.Flat.flatten ir))
+                  (Sim.Engine.of_plans
+                     (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib ~pr:2
+                        ~pc:2 (Ir.Flat.flatten ir)))
               in
               let worst = ref 0.0 in
               Array.iteri
@@ -85,8 +86,9 @@ let dynamic_relations_case (b : Programs.Bench_def.t) =
         let ir = Opt.Passes.compile config prog in
         let res =
           Sim.Engine.run
-            (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
-               ~pr:2 ~pc:2 (Ir.Flat.flatten ir))
+            (Sim.Engine.of_plans
+               (Sim.Engine.plan ~machine:Machine.T3d.machine
+                  ~lib:Machine.T3d.pvm ~pr:2 ~pc:2 (Ir.Flat.flatten ir)))
         in
         (Sim.Stats.dynamic_count res.Sim.Engine.stats, res.Sim.Engine.time)
       in
@@ -127,8 +129,9 @@ end;
   let ir = Ir.Instr.of_code prog code in
   let res =
     Sim.Engine.run
-      (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm ~pr:1
-         ~pc:2 (Ir.Flat.flatten ir))
+      (Sim.Engine.of_plans
+         (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+            ~pr:1 ~pc:2 (Ir.Flat.flatten ir)))
   in
   let oracle = Runtime.Seqexec.run prog in
   let par = Sim.Engine.gather res.Sim.Engine.engine 1 in

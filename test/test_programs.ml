@@ -109,8 +109,10 @@ let test_bench_mesh_fits () =
       let p = Programs.Suite.compile ~scale:`Bench b in
       let pr, pc = b.Programs.Bench_def.bench_mesh in
       let flat = Ir.Flat.flatten (Opt.Passes.compile Opt.Config.baseline p) in
-      (* Engine.make validates block extents against shifts *)
-      ignore (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm ~pr ~pc flat))
+      (* Engine.plan validates block extents against shifts *)
+      ignore
+        (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+           ~pr ~pc flat))
     Programs.Suite.paper_benchmarks
 
 let () =

@@ -143,8 +143,9 @@ let oracle_distance prog (lib : Machine.Library.t) config ~pr ~pc =
   let ir = Opt.Passes.compile config prog in
   let res =
     Sim.Engine.run
-      (Sim.Engine.make ~machine:Machine.T3d.machine ~lib ~pr ~pc
-         (Ir.Flat.flatten ir))
+      (Sim.Engine.of_plans
+         (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib ~pr ~pc
+            (Ir.Flat.flatten ir)))
   in
   let oracle = Runtime.Seqexec.run prog in
   let worst = ref 0.0 in
@@ -235,9 +236,10 @@ let prop_never_slower =
       let time config =
         let res =
           Sim.Engine.run
-            (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
-               ~pr:2 ~pc:2
-               (Ir.Flat.flatten (Opt.Passes.compile config prog)))
+            (Sim.Engine.of_plans
+               (Sim.Engine.plan ~machine:Machine.T3d.machine
+                  ~lib:Machine.T3d.pvm ~pr:2 ~pc:2
+                  (Ir.Flat.flatten (Opt.Passes.compile config prog))))
         in
         (res.Sim.Engine.time, Sim.Stats.dynamic_count res.Sim.Engine.stats)
       in
@@ -763,8 +765,9 @@ let engine_fingerprint ?cse ~fuse ~domains prog =
   let ir = Opt.Passes.compile Opt.Config.pl_cum prog in
   let res =
     Sim.Engine.run
-      (Sim.Engine.make ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
-         ~pr:2 ~pc:2 ~fuse ?cse ~domains (Ir.Flat.flatten ir))
+      (Sim.Engine.of_plans ~domains
+         (Sim.Engine.plan ~fuse ?cse ~machine:Machine.T3d.machine
+            ~lib:Machine.T3d.pvm ~pr:2 ~pc:2 (Ir.Flat.flatten ir)))
   in
   ( bits res.Sim.Engine.time,
     res.Sim.Engine.stats,
@@ -804,8 +807,9 @@ let wire_fingerprint ~wire ~domains (config, lib) prog =
   let ir = Opt.Passes.compile config prog in
   let res =
     Sim.Engine.run
-      (Sim.Engine.make ~machine:Machine.T3d.machine ~lib ~pr:2 ~pc:2 ~wire
-         ~domains (Ir.Flat.flatten ir))
+      (Sim.Engine.of_plans ~domains
+         (Sim.Engine.plan ~wire ~machine:Machine.T3d.machine ~lib ~pr:2 ~pc:2
+            (Ir.Flat.flatten ir)))
   in
   ( bits res.Sim.Engine.time,
     res.Sim.Engine.stats,

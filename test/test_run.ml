@@ -1,0 +1,315 @@
+(** Properties of the unified [Run] API: content-addressed plan cache
+    ([Run.Cache]), spec canonicalization ([Run.Spec.key]), and the batch
+    sweep service ([Run.Sweep]). These are the acceptance properties of
+    the Spec redesign: equal specs share compiled plans physically and
+    never recompile; flipping any single key-relevant field misses; a
+    cached engine's results are bit-identical to a cold compile's. *)
+
+open Commopt
+
+let src =
+  {|
+constant n = 8;
+region R = [1..n, 1..n];
+region BigR = [0..n+1, 0..n+1];
+direction e = [0, 1]; direction w = [0, -1];
+direction no = [-1, 0]; direction s = [1, 0];
+var A, B : [BigR] float;
+var err : float;
+var t : int;
+procedure main();
+begin
+  [BigR] A := Index1 + 10.0 * Index2;
+  for t := 1 to 3 do
+    [R] B := 0.25 * (A@e + A@w + A@no + A@s);
+    [R] err := max<< abs(B - A);
+    [R] A := B;
+  end;
+end;
+|}
+
+let base () = Run.Spec.(default src |> with_mesh 2 2)
+let bits = Int64.bits_of_float
+
+(* ------------------------------------------------------------------ *)
+(* Cache hits share plans physically                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_hit_physical_equality () =
+  let cache = Run.Cache.create () in
+  let spec = base () in
+  let a1, h1 = Run.Cache.find cache spec in
+  let a2, h2 = Run.Cache.find cache (base ()) in
+  Alcotest.(check bool) "first lookup compiles" false h1;
+  Alcotest.(check bool) "second lookup hits" true h2;
+  Alcotest.(check bool) "identical artifact, not a recompile" true (a1 == a2);
+  let e1 = Run.Spec.engine_of a1 and e2 = Run.Spec.engine_of a2 in
+  Alcotest.(check bool) "engines share plans physically" true
+    (Sim.Engine.shared_plans e1 == Sim.Engine.shared_plans e2);
+  Alcotest.(check bool) "engines have private mutable state" true (e1 != e2);
+  let c = Run.Cache.counters cache in
+  Alcotest.(check int) "one miss" 1 c.Run.Cache.misses;
+  Alcotest.(check int) "one hit" 1 c.Run.Cache.hits;
+  Alcotest.(check int) "no evictions" 0 c.Run.Cache.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Any single key-relevant field flip misses                           *)
+(* ------------------------------------------------------------------ *)
+
+let flips : (string * (Run.Spec.t -> Run.Spec.t)) list =
+  [ ("source", fun s -> { s with Run.Spec.source = src ^ "-- tail\n" });
+    ("defines", Run.Spec.with_defines [ ("n", 9.0) ]);
+    ("config", Run.Spec.with_config Opt.Config.baseline);
+    ("collective", Run.Spec.with_collective Opt.Config.Auto);
+    ("heuristic", Run.Spec.with_config Opt.Config.pl_max_latency);
+    ("machine", Run.Spec.with_machine Machine.Paragon.machine);
+    ("lib", Run.Spec.with_lib Machine.T3d.shmem);
+    ("mesh", Run.Spec.with_mesh 1 2);
+    ("row_path", Run.Spec.with_row_path false);
+    ("fuse", Run.Spec.with_fuse false);
+    ("cse", Run.Spec.with_cse false);
+    ("wire", Run.Spec.with_wire false);
+    ("check", Run.Spec.with_check true) ]
+
+let test_single_flip_misses () =
+  let b = base () in
+  let k = Run.Spec.key b in
+  List.iter
+    (fun (name, flip) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flipping %s changes the key" name)
+        false
+        (String.equal k (Run.Spec.key (flip b))))
+    flips;
+  (* a flipped spec misses the cache that holds the base *)
+  let cache = Run.Cache.create () in
+  ignore (Run.Cache.find cache b);
+  List.iter
+    (fun (name, flip) ->
+      if name = "source" || name = "defines" then ()
+        (* same program family only: don't compile a 9x9 variant here *)
+      else
+        let _, hit = Run.Cache.find cache (flip b) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s variant misses" name)
+          false hit)
+    [ List.nth flips 2; List.nth flips 7; List.nth flips 10 ]
+
+let test_runtime_knobs_excluded () =
+  let b = base () in
+  let k = Run.Spec.key b in
+  Alcotest.(check string) "limit is not part of the key" k
+    (Run.Spec.key (Run.Spec.with_limit 5 b));
+  Alcotest.(check string) "domains is not part of the key" k
+    (Run.Spec.key (Run.Spec.with_domains 4 b))
+
+let test_defines_canonical () =
+  let d1 = [ ("iters", 3.0); ("n", 8.0) ]
+  and d2 = [ ("n", 8.0); ("iters", 3.0) ] in
+  let s1 = Run.Spec.with_defines d1 (base ())
+  and s2 = Run.Spec.with_defines d2 (base ()) in
+  Alcotest.(check bool) "define order does not matter" true
+    (Run.Spec.equal s1 s2);
+  Alcotest.(check string) "same program digest" (Run.Spec.program_digest s1)
+    (Run.Spec.program_digest s2)
+
+(* qcheck: a random subset of knob flips keys equal iff the subset is
+   empty, while limit/domains perturbations never affect the key *)
+let prop_key_iff_knobs =
+  let gen =
+    QCheck.make
+      ~print:(fun (a, b, c, d, l, m) ->
+        Printf.sprintf "row_path=%b fuse=%b cse=%b wire=%b limit=%d domains=%d"
+          a b c d l m)
+      QCheck.Gen.(
+        map
+          (fun (a, b, c, d, l, m) -> (a, b, c, d, l, m))
+          (tup6 bool bool bool bool (int_range 1 1000) (int_range 1 8)))
+  in
+  QCheck.Test.make ~count:100 ~name:"key ignores limit/domains, sees knobs"
+    gen
+    (fun (row_path, fuse, cse, wire, limit, domains) ->
+      let b = base () in
+      let s =
+        Run.Spec.(
+          b |> with_row_path row_path |> with_fuse fuse |> with_cse cse
+          |> with_wire wire |> with_limit limit |> with_domains domains)
+      in
+      let knobs_default = row_path && fuse && cse && wire in
+      Bool.equal (Run.Spec.equal b s) knobs_default)
+
+(* ------------------------------------------------------------------ *)
+(* Cached vs cold: bit-identical results across the six paper rows     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cached_equals_cold_paper_rows () =
+  let b = Programs.Suite.tomcatv in
+  let cache = Run.Cache.create () in
+  List.iter
+    (fun (label, config, lib) ->
+      let spec =
+        Report.Experiment.bench_spec ~machine:Machine.T3d.machine ~lib
+          ~config ~scale:`Test b
+      in
+      let cold = Run.Spec.run spec in
+      let warm1 = Run.Cache.run cache spec in
+      let warm2 = Run.Cache.run cache spec in
+      List.iter
+        (fun (what, r) ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%s: %s time bits" label what)
+            (bits cold.Sim.Engine.time)
+            (bits r.Sim.Engine.time);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s dynamic count" label what)
+            (Sim.Stats.dynamic_count cold.Sim.Engine.stats)
+            (Sim.Stats.dynamic_count r.Sim.Engine.stats);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s message count" label what)
+            (Sim.Stats.total_messages cold.Sim.Engine.stats)
+            (Sim.Stats.total_messages r.Sim.Engine.stats);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s byte count" label what)
+            (Sim.Stats.total_bytes cold.Sim.Engine.stats)
+            (Sim.Stats.total_bytes r.Sim.Engine.stats))
+        [ ("cache-miss run", warm1); ("cache-hit run", warm2) ])
+    Report.Experiment.paper_rows;
+  let c = Run.Cache.counters cache in
+  Alcotest.(check int) "six rows -> six compiles"
+    (List.length Report.Experiment.paper_rows)
+    c.Run.Cache.misses;
+  Alcotest.(check int) "six repeats -> six hits"
+    (List.length Report.Experiment.paper_rows)
+    c.Run.Cache.hits
+
+(* ------------------------------------------------------------------ *)
+(* LRU eviction under a capacity bound                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_eviction () =
+  let cache = Run.Cache.create ~capacity:2 () in
+  let s1 = base () in
+  let s2 = Run.Spec.with_config Opt.Config.baseline s1 in
+  let s3 = Run.Spec.with_config Opt.Config.rr_only s1 in
+  ignore (Run.Cache.find cache s1);
+  ignore (Run.Cache.find cache s2);
+  ignore (Run.Cache.find cache s3);
+  Alcotest.(check int) "capacity bound holds" 2 (Run.Cache.length cache);
+  Alcotest.(check int) "one eviction" 1
+    (Run.Cache.counters cache).Run.Cache.evictions;
+  let _, hit1 = Run.Cache.find cache s1 in
+  Alcotest.(check bool) "least-recently-used entry was dropped" false hit1;
+  let _, hit3 = Run.Cache.find cache s3 in
+  Alcotest.(check bool) "recent entry survived" true hit3
+
+(* ------------------------------------------------------------------ *)
+(* Sweep service: second pass all hits, incremental JSON well-formed   *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_items () =
+  List.map
+    (fun (label, config) ->
+      { Run.Sweep.label;
+        spec = Run.Spec.with_config config (base ()) })
+    [ ("baseline", Opt.Config.baseline); ("pl", Opt.Config.pl_cum) ]
+
+let test_sweep_second_pass () =
+  let sweep = Run.Sweep.create () in
+  let items = sweep_items () in
+  let cold = Run.Sweep.run sweep items in
+  Alcotest.(check int) "cold pass misses everything" 2 cold.Run.Sweep.misses;
+  Alcotest.(check int) "cold pass memoizes nothing" 0
+    cold.Run.Sweep.memo_hits;
+  let path = Filename.temp_file "sweep" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let warm =
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Run.Sweep.run ~out:oc sweep items)
+      in
+      Alcotest.(check int) "warm pass all hits" 2 warm.Run.Sweep.hits;
+      Alcotest.(check int) "warm pass no misses" 0 warm.Run.Sweep.misses;
+      Alcotest.(check int) "warm pass answered from the result memo" 2
+        warm.Run.Sweep.memo_hits;
+      List.iter2
+        (fun (c : Run.Sweep.row) (w : Run.Sweep.row) ->
+          Alcotest.(check int64)
+            (w.Run.Sweep.r_label ^ ": memoized time bits")
+            (bits c.Run.Sweep.r_time) (bits w.Run.Sweep.r_time);
+          Alcotest.(check int)
+            (w.Run.Sweep.r_label ^ ": memoized dynamic count")
+            c.Run.Sweep.r_dynamic w.Run.Sweep.r_dynamic)
+        cold.Run.Sweep.rows warm.Run.Sweep.rows;
+      (* the incremental artifact must be well-formed: balanced braces,
+         one row object per item, a footer with the counters *)
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let count c = String.fold_left (fun n x -> if x = c then n + 1 else n) 0 text in
+      Alcotest.(check int) "braces balance" (count '{') (count '}');
+      Alcotest.(check int) "one object per row plus envelope" 3 (count '{');
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "artifact mentions %S" needle)
+            true
+            (let nl = String.length needle and tl = String.length text in
+             let rec scan i =
+               i + nl <= tl
+               && (String.sub text i nl = needle || scan (i + 1))
+             in
+             scan 0))
+        [ "\"sweep\""; "\"label\""; "\"memo\": true"; "\"hits\": 2";
+          "\"memo_hits\": 2"; "\"specs_per_sec\"" ])
+
+(* ------------------------------------------------------------------ *)
+(* Legacy one-shot constructor still agrees with plan/of_plans         *)
+(* ------------------------------------------------------------------ *)
+
+let test_legacy_make_back_compat () =
+  let prog = Zpl.Check.compile_string src in
+  let flat = Ir.Flat.flatten (Opt.Passes.compile Opt.Config.pl_cum prog) in
+  let legacy =
+    Sim.Engine.run
+      ((Sim.Engine.make [@alert "-legacy"]) ~machine:Machine.T3d.machine
+         ~lib:Machine.T3d.pvm ~pr:2 ~pc:2 flat)
+  in
+  let split =
+    Sim.Engine.run
+      (Sim.Engine.of_plans
+         (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+            ~pr:2 ~pc:2 flat))
+  in
+  Alcotest.(check int64) "same makespan bits" (bits legacy.Sim.Engine.time)
+    (bits split.Sim.Engine.time);
+  Alcotest.(check int) "same dynamic count"
+    (Sim.Stats.dynamic_count legacy.Sim.Engine.stats)
+    (Sim.Stats.dynamic_count split.Sim.Engine.stats)
+
+let () =
+  Alcotest.run "run"
+    [ ( "cache",
+        [ Alcotest.test_case "hit shares plans physically" `Quick
+            test_hit_physical_equality;
+          Alcotest.test_case "single field flip misses" `Quick
+            test_single_flip_misses;
+          Alcotest.test_case "limit/domains excluded from key" `Quick
+            test_runtime_knobs_excluded;
+          Alcotest.test_case "defines order canonical" `Quick
+            test_defines_canonical;
+          QCheck_alcotest.to_alcotest prop_key_iff_knobs;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction ] );
+      ( "results",
+        [ Alcotest.test_case "cached == cold over paper rows" `Quick
+            test_cached_equals_cold_paper_rows;
+          Alcotest.test_case "legacy make agrees" `Quick
+            test_legacy_make_back_compat ] );
+      ( "sweep",
+        [ Alcotest.test_case "second pass hits and JSON artifact" `Quick
+            test_sweep_second_pass ] ) ]
