@@ -108,7 +108,7 @@ let lint_cmd =
              vector with the fixpoint flat checker — the form the simulator \
              actually executes")
   in
-  let run progs defines all collective (pr, pc) flat =
+  let run progs defines all collective (pr, pc) topology flat =
     Cmdline.handle (fun () ->
         let targets =
           (if all then
@@ -131,10 +131,11 @@ let lint_cmd =
               (fun (label, config, lib) ->
                 let config = Cmdline.with_collective collective config in
                 (* paper rows are T3D rows; the collective synthesis
-                   targets the row's library on the linted mesh *)
+                   targets the row's library on the linted mesh and
+                   topology (topology only shifts the auto pick) *)
                 let ir =
                   Opt.Passes.compile ~machine:Machine.T3d.machine ~lib
-                    ~mesh:(pr, pc) config prog
+                    ~mesh:(pr, pc) ~topology config prog
                 in
                 let diags =
                   Analysis.Schedcheck.check ir
@@ -165,7 +166,8 @@ let lint_cmd =
           order, collective rounds)")
     Term.(
       const run $ progs_arg $ Cmdline.defines_arg $ all_arg
-      $ Cmdline.collective_arg $ Cmdline.mesh_arg $ flat_arg)
+      $ Cmdline.collective_arg $ Cmdline.mesh_arg $ Cmdline.topology_arg
+      $ flat_arg)
 
 let run_cmd =
   let verify_arg =
@@ -187,10 +189,14 @@ let run_cmd =
         Printf.printf "program        : %s\n" src;
         Printf.printf "optimization   : %s\n"
           (Opt.Config.name spec.Run.Spec.config);
-        Printf.printf "machine        : %s / %s, %dx%d procs\n"
+        Printf.printf "machine        : %s / %s, %dx%d procs%s\n"
           spec.Run.Spec.machine.Machine.Params.name
           spec.Run.Spec.lib.Machine.Library.costs.Machine.Params.lib_name pr
-          pc;
+          pc
+          (match spec.Run.Spec.topology with
+          | Machine.Topology.Ideal -> ""
+          | topo ->
+              Printf.sprintf ", %s topology" (Machine.Topology.name topo));
         Printf.printf "static count   : %d\n" (static_count c);
         Printf.printf "dynamic count  : %d (per-processor max)\n"
           (Sim.Stats.dynamic_count st);

@@ -116,6 +116,28 @@ let mesh_arg =
     & opt mesh_conv (4, 4)
     & info [ "p"; "mesh" ] ~docv:"RxC" ~doc:"processor mesh, e.g. 8x8")
 
+let topology_conv =
+  Arg.conv
+    ( (fun s ->
+        match Machine.Topology.of_name (String.lowercase_ascii s) with
+        | Some t -> Ok t
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown topology %S (ideal | mesh | torus)" s))),
+      Machine.Topology.pp )
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv Machine.Topology.Ideal
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          "interconnect model: ideal (flat crossbar, no contention — the \
+           default) | mesh | torus (dimension-order routing with per-link \
+           occupancy; also steers the collective cost search)")
+
 let define_conv =
   let parse s =
     match String.index_opt s '=' with
@@ -199,24 +221,26 @@ let baseline_arg =
     bundled benchmark name (see {!load_source}); [collective] overrides
     the config's collective mode when given. Engine knobs keep their
     {!Run.Spec.default}s — refine with [Run.Spec.with_*]. *)
-let make_spec src defines config collective (machine, lib) (pr, pc) :
+let make_spec src defines config collective (machine, lib) (pr, pc) topology :
     Run.Spec.t =
   let spec =
     let open Run.Spec in
     default (load_source src)
     |> with_defines defines |> with_config config
     |> with_target machine lib |> with_mesh pr pc
+    |> with_topology topology
   in
   match collective with
   | None -> spec
   | Some c -> Run.Spec.with_collective c spec
 
 (** A term over the whole shared flag set, evaluating to the described
-    {!Run.Spec.t} (PROG positional + -D/-O/--collective/--lib/-p). *)
+    {!Run.Spec.t} (PROG positional +
+    -D/-O/--collective/--lib/-p/--topology). *)
 let spec_term =
   Term.(
     const make_spec $ src_arg $ defines_arg $ config_arg $ collective_arg
-    $ lib_arg $ mesh_arg)
+    $ lib_arg $ mesh_arg $ topology_arg)
 
 (** Run [f], mapping failures to exit code 1 with an [error:] line. *)
 let handle f =

@@ -1,0 +1,100 @@
+(* Network topology: how simulated processors are wired together.
+
+   The seed model charged every message a flat
+   [wire_latency + msg_latency + bytes/bandwidth] regardless of distance
+   or concurrent traffic. This module adds the geometry half of a
+   contention model: a 2-D mesh and torus with dimension-order (X then
+   Y) routing over the [Runtime.Layout] process grid, plus the
+   idealized full-crossbar [Ideal] that reproduces the flat model
+   bit-for-bit. The occupancy half (per-link busy times) lives in the
+   engine; here we only answer the static questions — how many hops,
+   and exactly which directed links a message crosses.
+
+   Link naming: each node owns four directed *outgoing* links,
+   [node * 4 + dir] with dir 0=E (+col), 1=W (-col), 2=S (+row),
+   3=N (-row). A route is the sequence of link ids crossed in order;
+   its length is the hop count. Routes are precomputed at plan time —
+   the engine's hot path only walks int arrays. *)
+
+type t = Ideal | Mesh | Torus
+
+let all = [ Ideal; Mesh; Torus ]
+
+let name = function Ideal -> "ideal" | Mesh -> "mesh" | Torus -> "torus"
+
+let of_name = function
+  | "ideal" -> Some Ideal
+  | "mesh" -> Some Mesh
+  | "torus" -> Some Torus
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+(* Four directed outgoing links per node, even for nodes on the mesh
+   boundary (boundary W/E/N/S links simply never appear in any mesh
+   route). Keeping the count uniform makes link ids a pure affine
+   function of (node, dir) with no per-topology case split. *)
+let nlinks ~pr ~pc = 4 * pr * pc
+
+let link_id ~pc ~row ~col dir = (((row * pc) + col) * 4) + dir
+
+(* Signed distance along one dimension of extent [n]: mesh walks
+   directly, torus takes the shorter wrap (ties broken toward the
+   positive direction, so routes are deterministic). Extent 1 (or a
+   degenerate 0) means the coordinate cannot differ — distance 0. *)
+let axis_delta t ~extent ~from_ ~to_ =
+  if extent <= 1 then 0
+  else
+    let d = to_ - from_ in
+    match t with
+    | Ideal -> d
+    | Mesh -> d
+    | Torus ->
+        let d = ((d mod extent) + extent) mod extent in
+        if 2 * d <= extent then d else d - extent
+
+let hops t ~pr ~pc ~src ~dst =
+  if t = Ideal || src = dst then if src = dst then 0 else 1
+  else
+    let sr = src / pc and sc = src mod pc in
+    let dr = dst / pc and dc = dst mod pc in
+    abs (axis_delta t ~extent:pc ~from_:sc ~to_:dc)
+    + abs (axis_delta t ~extent:pr ~from_:sr ~to_:dr)
+
+(* Dimension-order route: all column (X) movement first, then all row
+   (Y) movement. Returns the directed link ids crossed, in order. For
+   [Ideal] or a self-send the route is empty — the engine charges the
+   flat seed cost for those. *)
+let route t ~pr ~pc ~src ~dst =
+  if t = Ideal || src = dst then [||]
+  else begin
+    let sr = src / pc and sc = src mod pc in
+    let dr = dst / pc and dc = dst mod pc in
+    let dx = axis_delta t ~extent:pc ~from_:sc ~to_:dc in
+    let dy = axis_delta t ~extent:pr ~from_:sr ~to_:dr in
+    let n = abs dx + abs dy in
+    let links = Array.make n 0 in
+    let k = ref 0 in
+    let row = ref sr and col = ref sc in
+    let wrap v extent = ((v mod extent) + extent) mod extent in
+    for _ = 1 to abs dx do
+      let dir = if dx > 0 then 0 (* E *) else 1 (* W *) in
+      links.(!k) <- link_id ~pc ~row:!row ~col:!col dir;
+      incr k;
+      col := wrap (!col + if dx > 0 then 1 else -1) pc
+    done;
+    for _ = 1 to abs dy do
+      let dir = if dy > 0 then 2 (* S *) else 3 (* N *) in
+      links.(!k) <- link_id ~pc ~row:!row ~col:!col dir;
+      incr k;
+      row := wrap (!row + if dy > 0 then 1 else -1) pr
+    done;
+    links
+  end
+
+(* Worst-case hop count between any pair — the network diameter. *)
+let diameter t ~pr ~pc =
+  match t with
+  | Ideal -> 1
+  | Mesh -> max 0 (pr - 1) + max 0 (pc - 1)
+  | Torus -> (pr / 2) + (pc / 2)

@@ -1,0 +1,35 @@
+(** Network topology: geometry of the simulated interconnect.
+
+    The engine's contention model splits in two: this module answers
+    the static questions (hop counts, which directed links a message
+    crosses under dimension-order routing), while the engine tracks
+    per-link busy times at run time. [Ideal] is the seed's idealized
+    full crossbar — empty routes, flat cost, bit-identical to the
+    model before topologies existed. *)
+
+type t =
+  | Ideal  (** full crossbar / infinite-bisection fat-tree (seed model) *)
+  | Mesh  (** 2-D mesh, dimension-order (X then Y) routing *)
+  | Torus  (** 2-D torus: mesh plus wrap links, shorter-way routing *)
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val nlinks : pr:int -> pc:int -> int
+(** Number of directed links: four outgoing per node ([node*4 + dir],
+    dir 0=E 1=W 2=S 3=N), uniform even on mesh boundaries (boundary
+    links never appear in a mesh route). *)
+
+val hops : t -> pr:int -> pc:int -> src:int -> dst:int -> int
+(** Hop count from [src] to [dst] (ranks in row-major layout order).
+    0 for a self-send; 1 for any [Ideal] pair. *)
+
+val route : t -> pr:int -> pc:int -> src:int -> dst:int -> int array
+(** Directed link ids crossed in order. Empty for [Ideal] or a
+    self-send. Length equals [hops] for mesh/torus. Safe on degenerate
+    1×n / n×1 meshes: an extent-1 dimension contributes no movement. *)
+
+val diameter : t -> pr:int -> pc:int -> int
+(** Worst-case hop count between any pair of ranks. *)

@@ -57,33 +57,97 @@ let beta ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) =
   c.Machine.Params.send_byte +. c.Machine.Params.recv_byte
   +. (1.0 /. machine.Machine.Params.bandwidth)
 
+(** Messages per round: dissemination's gather rounds carry a window of
+    partials, every other (alg, phase, round) moves one scalar. *)
+let round_count (alg : Ir.Coll.alg) phase ~nprocs k =
+  match (alg, phase) with
+  | Ir.Coll.Dissem, Ir.Coll.Gather -> Ir.Coll.dissem_count ~nprocs k
+  | _ -> 1
+
 (** Modeled cost of one whole collective of algorithm [alg] on [nprocs]
-    ranks (8-byte scalar elements). *)
-let cost ~machine ~lib ~nprocs (alg : Ir.Coll.alg) : float =
+    ranks (8-byte scalar elements).
+
+    Under the default [Ideal] topology this is exactly the flat
+    per-round [alpha + bytes * beta] sum the model has always used —
+    same fold, same float-accumulation order, so every pick pinned
+    before topologies existed is preserved bit for bit.
+
+    Under [Mesh]/[Torus] ([mesh] gives the rank grid, default
+    [1 x nprocs]) each round additionally pays for its geometry, mirroring
+    the engine's store-and-forward occupancy model: the longest active
+    route adds [(h_max - 1)] extra hops of wire latency + transfer time
+    (the first hop is already in alpha/beta), and the most-loaded
+    directed link under dimension-order routing serializes its
+    [l_max] concurrent messages, adding [(l_max - 1)] transfer times.
+    Round structure differs per algorithm — dissemination's circulant
+    strides wrap (cheap on a torus, diameter-long on a mesh), recursive
+    doubling's butterflies stay local — so the argmin genuinely shifts
+    with the topology. *)
+let cost ?(topology = Machine.Topology.Ideal) ?mesh ~machine ~lib ~nprocs
+    (alg : Ir.Coll.alg) : float =
   let a = alpha ~machine ~lib and b = beta ~machine ~lib in
-  List.fold_left
-    (fun acc (phase, k) ->
-      let count =
-        match (alg, phase) with
-        | Ir.Coll.Dissem, Ir.Coll.Gather -> Ir.Coll.dissem_count ~nprocs k
-        | _ -> 1
+  match topology with
+  | Machine.Topology.Ideal ->
+      List.fold_left
+        (fun acc (phase, k) ->
+          let count = round_count alg phase ~nprocs k in
+          acc +. a +. (float_of_int (8 * count) *. b))
+        0.0
+        (Ir.Coll.rounds alg ~nprocs)
+  | Machine.Topology.Mesh | Machine.Topology.Torus ->
+      let pr, pc =
+        match mesh with Some m -> m | None -> (1, nprocs)
       in
-      acc +. a +. (float_of_int (8 * count) *. b))
-    0.0
-    (Ir.Coll.rounds alg ~nprocs)
+      let bw = machine.Machine.Params.bandwidth in
+      let wl = machine.Machine.Params.wire_latency in
+      let load = Array.make (Machine.Topology.nlinks ~pr ~pc) 0 in
+      List.fold_left
+        (fun acc (phase, k) ->
+          let count = round_count alg phase ~nprocs k in
+          let bytes = float_of_int (8 * count) in
+          Array.fill load 0 (Array.length load) 0;
+          let h_max = ref 0 and l_max = ref 0 in
+          let d =
+            { Ir.Coll.cl_alg = alg; cl_phase = phase; cl_round = k;
+              cl_slot = 0; cl_op = Zpl.Ast.RMax; cl_nprocs = nprocs }
+          in
+          for rank = 0 to nprocs - 1 do
+            let r = Ir.Coll.role d ~rank in
+            if r.Ir.Coll.r_to >= 0 then begin
+              let route =
+                Machine.Topology.route topology ~pr ~pc ~src:rank
+                  ~dst:r.Ir.Coll.r_to
+              in
+              if Array.length route > !h_max then
+                h_max := Array.length route;
+              Array.iter
+                (fun l ->
+                  load.(l) <- load.(l) + 1;
+                  if load.(l) > !l_max then l_max := load.(l))
+                route
+            end
+          done;
+          acc +. a
+          +. (bytes *. b)
+          +. (float_of_int (max 0 (!h_max - 1)) *. (wl +. (bytes /. bw)))
+          +. (float_of_int (max 0 (!l_max - 1)) *. (bytes /. bw)))
+        0.0
+        (Ir.Coll.rounds alg ~nprocs)
 
 (** Cheapest algorithm under the cost model; strictly-less search over
     {!Ir.Coll.all_algs} in order, so ties keep the earlier algorithm —
     deterministic for any parameter set. *)
-let choose ~machine ~lib ~nprocs : Ir.Coll.alg =
+let choose ?topology ?mesh ~machine ~lib nprocs : Ir.Coll.alg =
   match Ir.Coll.all_algs with
   | [] -> assert false
   | first :: rest ->
       let best = ref first in
-      let best_cost = ref (cost ~machine ~lib ~nprocs first) in
+      let best_cost =
+        ref (cost ?topology ?mesh ~machine ~lib ~nprocs first)
+      in
       List.iter
         (fun alg ->
-          let c = cost ~machine ~lib ~nprocs alg in
+          let c = cost ?topology ?mesh ~machine ~lib ~nprocs alg in
           if c < !best_cost then begin
             best := alg;
             best_cost := c
@@ -101,16 +165,16 @@ let choose ~machine ~lib ~nprocs : Ir.Coll.alg =
     arrays and a zero offset, and are tagged with their {!Ir.Coll.desc} —
     so {!Ir.Transfer.describe}, the printer, Schedcheck and the engine
     all name the algorithm, phase and round of any diagnostic. *)
-let expand ~(collective : Config.collective) ~(machine : Machine.Params.t)
-    ~(lib : Machine.Library.t) ~(nprocs : int) (p : Ir.Instr.program) :
-    Ir.Instr.program =
+let expand ?topology ?mesh ~(collective : Config.collective)
+    ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) ~(nprocs : int)
+    (p : Ir.Instr.program) : Ir.Instr.program =
   match collective with
   | Config.Opaque -> p
   | Config.Auto | Config.Forced _ ->
       let alg =
         match collective with
         | Config.Forced a -> a
-        | _ -> choose ~machine ~lib ~nprocs
+        | _ -> choose ?topology ?mesh ~machine ~lib nprocs
       in
       let table = ref (Array.to_list p.Ir.Instr.transfers |> List.rev) in
       let next = ref (Array.length p.Ir.Instr.transfers) in

@@ -14,18 +14,29 @@ val beta : machine:Machine.Params.t -> lib:Machine.Library.t -> float
 
 (** Modeled cost of one whole collective of the algorithm on [nprocs]
     ranks, 8-byte scalar payloads: the sum of its canonical rounds'
-    messages through [alpha + bytes * beta]. *)
+    messages through [alpha + bytes * beta]. Under the default [Ideal]
+    topology this is bit-identical to the pre-topology model; under
+    [Mesh]/[Torus] ([mesh] is the rank grid, default [1 x nprocs]) each
+    round also pays its geometry — extra store-and-forward hops along
+    the longest active route and serialization on the most-loaded
+    directed link under dimension-order routing — so the argmin shifts
+    with the topology. *)
 val cost :
+  ?topology:Machine.Topology.t ->
+  ?mesh:int * int ->
   machine:Machine.Params.t ->
   lib:Machine.Library.t ->
   nprocs:int ->
   Ir.Coll.alg ->
   float
 
-(** The cheapest algorithm under {!cost}; ties keep the earlier entry of
-    {!Ir.Coll.all_algs}, so the pick is deterministic. *)
+(** [choose ~machine ~lib nprocs] is the cheapest algorithm under
+    {!cost}; ties keep the earlier entry of {!Ir.Coll.all_algs}, so the
+    pick is deterministic. *)
 val choose :
-  machine:Machine.Params.t -> lib:Machine.Library.t -> nprocs:int ->
+  ?topology:Machine.Topology.t ->
+  ?mesh:int * int ->
+  machine:Machine.Params.t -> lib:Machine.Library.t -> int ->
   Ir.Coll.alg
 
 (** Expand every [ReduceK] into [CollPart]; canonical rounds; [CollFin]
@@ -34,6 +45,8 @@ val choose :
     {!Ir.Coll.desc}. Each reduction site gets its own collective slot,
     reused across loop iterations. *)
 val expand :
+  ?topology:Machine.Topology.t ->
+  ?mesh:int * int ->
   collective:Config.collective ->
   machine:Machine.Params.t ->
   lib:Machine.Library.t ->

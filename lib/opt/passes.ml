@@ -29,27 +29,29 @@ let optimize (config : Config.t) (code : Ir.Block.code) : Ir.Block.code =
 
 (** Compile a typed program under [config] to the final IR. [check]
     additionally runs the schedcheck verifier on the emitted program.
-    [machine]/[lib]/[mesh] only matter when [config.collective] is not
-    [Opaque]: collective synthesis bakes the mesh size into its round
-    structure and searches the machine's cost model, so the compile
-    target must match the simulation target (the engine rejects a
-    mismatch). *)
+    [machine]/[lib]/[mesh]/[topology] only matter when
+    [config.collective] is not [Opaque]: collective synthesis bakes the
+    mesh size into its round structure and searches the machine's cost
+    model — under a non-ideal topology the search also weighs route
+    lengths and link congestion — so the compile target must match the
+    simulation target (the engine rejects a mesh mismatch). *)
 let compile ?(check = false) ?(machine = Machine.T3d.machine)
-    ?(lib = Machine.T3d.pvm) ?(mesh = (4, 4)) (config : Config.t)
+    ?(lib = Machine.T3d.pvm) ?(mesh = (4, 4))
+    ?(topology = Machine.Topology.Ideal) (config : Config.t)
     (p : Zpl.Prog.t) : Ir.Instr.program =
   let ir = Ir.Instr.of_code p (optimize config (Lower.lower p)) in
   let pr, pc = mesh in
   let ir =
-    Collective.expand ~collective:config.Config.collective ~machine ~lib
-      ~nprocs:(pr * pc) ir
+    Collective.expand ~topology ~mesh ~collective:config.Config.collective
+      ~machine ~lib ~nprocs:(pr * pc) ir
   in
   if check then Analysis.Schedcheck.check_exn ir;
   ir
 
-let report ?machine ?lib ?mesh (config : Config.t) (p : Zpl.Prog.t) :
+let report ?machine ?lib ?mesh ?topology (config : Config.t) (p : Zpl.Prog.t) :
     report * Ir.Instr.program =
-  let baseline = compile ?machine ?lib ?mesh Config.baseline p in
-  let optimized = compile ?machine ?lib ?mesh config p in
+  let baseline = compile ?machine ?lib ?mesh ?topology Config.baseline p in
+  let optimized = compile ?machine ?lib ?mesh ?topology config p in
   ( { config;
       static_count = Ir.Count.static_count optimized;
       static_members = Ir.Count.static_member_count optimized;

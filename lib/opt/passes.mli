@@ -19,8 +19,9 @@ val optimize : Config.t -> Ir.Block.code -> Ir.Block.code
     the emitted program is additionally verified by
     {!Analysis.Schedcheck.check_exn} — an independent dataflow pass over
     the final instruction stream ([Failure] carries one diagnostic per
-    line). [machine]/[lib]/[mesh] (defaults: T3D, PVM, 4x4) are the
-    collective-synthesis targets — the cost model searched and the mesh
+    line). [machine]/[lib]/[mesh]/[topology] (defaults: T3D, PVM, 4x4,
+    ideal) are the collective-synthesis targets — the cost model
+    searched (hop- and congestion-aware under mesh/torus) and the mesh
     size baked into the synthesized round structure; irrelevant under
     [collective = Opaque]. *)
 val compile :
@@ -28,6 +29,7 @@ val compile :
   ?machine:Machine.Params.t ->
   ?lib:Machine.Library.t ->
   ?mesh:int * int ->
+  ?topology:Machine.Topology.t ->
   Config.t ->
   Zpl.Prog.t ->
   Ir.Instr.program
@@ -37,6 +39,7 @@ val report :
   ?machine:Machine.Params.t ->
   ?lib:Machine.Library.t ->
   ?mesh:int * int ->
+  ?topology:Machine.Topology.t ->
   Config.t ->
   Zpl.Prog.t ->
   report * Ir.Instr.program

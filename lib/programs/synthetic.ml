@@ -152,6 +152,56 @@ let reduce_count ~iters = 3 * iters
 let reduce_defines ~n ~iters =
   [ ("n", float_of_int n); ("iters", float_of_int iters) ]
 
+(** Bisection-stress synthetic for the contention benchmark: a 1xP
+    processor line where every iteration mixes eastward stencil traffic
+    (four same-shaped member transfers the [cc] pass combines into one
+    message per neighbor pair, plus a repeated read the [rr] pass
+    removes) with a full reduction. Under a synthesized collective the
+    dissemination/recursive-doubling rounds send between ranks far
+    apart in the line, so on a mesh topology those multi-hop messages
+    route through the {e same} eastward links the stencil messages use —
+    the bisection links in the middle of the line see traffic from both
+    sources and per-link occupancy serializes them. On the ideal
+    topology the two kinds of traffic never interact, which is what
+    makes this program's optimization ranking topology-sensitive.
+    Scale with [contended_defines]; meant for a [1xP] mesh with [P]
+    matching the [cols] define. *)
+let contended_source =
+  {|
+constant n     = 48;
+constant cols  = 8;
+constant iters = 6;
+
+region R = [1..n, 1..cols];
+
+direction east = [0, 1];
+
+var A, B, C, D, E, F : [0..n+1, 0..cols+1] float;
+var t : int;
+var s : float;
+
+procedure main();
+begin
+  [0..n+1, 0..cols+1] B := Index1 * 0.5 + Index2;
+  [0..n+1, 0..cols+1] C := Index1 * 0.25 - Index2;
+  [0..n+1, 0..cols+1] D := Index1 + Index2 * 0.5;
+  [0..n+1, 0..cols+1] E := Index1 - Index2 * 0.25;
+  [0..n+1, 0..cols+1] F := 0.0;
+  for t := 1 to iters do
+    [R] A := B@east + C@east + D@east + E@east;
+    [R] s := +<< A;
+    [R] F := B@east * 0.5 + s * 0.000001;
+    [R] B := A * 0.9999 + F * 0.0001;
+    [R] C := F * 0.5 + B * 0.0001;
+    [R] D := C * 0.5 + A * 0.0001;
+    [R] E := D * 0.5 + F * 0.0001;
+  end;
+end;
+|}
+
+let contended_defines ~n ~iters =
+  [ ("n", float_of_int n); ("iters", float_of_int iters) ]
+
 let def : Bench_def.t =
   { Bench_def.name = "synth";
     description = "Two-node exposed-overhead microbenchmark (Figure 6)";

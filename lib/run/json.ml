@@ -1,0 +1,21 @@
+(** Minimal JSON string escaping, shared by every artifact writer (the
+    sweep's incremental grid artifact and the bench harness's
+    [BENCH_*.json] files). Escapes the two structurally dangerous
+    characters — the double quote and the backslash — plus control
+    characters, which is exactly the set RFC 8259 requires for string
+    contents. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b

@@ -1,0 +1,7 @@
+(** Minimal JSON string escaping shared by every artifact writer. *)
+
+(** [escape s] is [s] with double quotes, backslashes and control
+    characters escaped so the result can be spliced between double
+    quotes in a JSON document. Non-ASCII bytes pass through unchanged
+    (the writers emit UTF-8). *)
+val escape : string -> string

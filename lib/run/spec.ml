@@ -5,6 +5,7 @@ type t = {
   machine : Machine.Params.t;
   lib : Machine.Library.t;
   mesh : int * int;
+  topology : Machine.Topology.t;
   row_path : bool;
   fuse : bool;
   cse : bool;
@@ -21,6 +22,7 @@ let default source =
     machine = Machine.T3d.machine;
     lib = Machine.T3d.pvm;
     mesh = (4, 4);
+    topology = Machine.Topology.Ideal;
     row_path = true;
     fuse = true;
     cse = true;
@@ -43,6 +45,7 @@ let with_machine machine t = { t with machine }
 let with_lib lib t = { t with lib }
 let with_target machine lib t = { t with machine; lib }
 let with_mesh pr pc t = { t with mesh = (pr, pc) }
+let with_topology topology t = { t with topology }
 let with_row_path row_path t = { t with row_path }
 let with_fuse fuse t = { t with fuse }
 let with_cse cse t = { t with cse }
@@ -134,6 +137,7 @@ let key t =
   let pr, pc = t.mesh in
   add_i b pr;
   add_i b pc;
+  add_s b (Machine.Topology.name t.topology);
   add_b b t.row_path;
   add_b b t.fuse;
   add_b b t.cse;
@@ -145,12 +149,15 @@ let equal a b = String.equal (key a) (key b)
 
 let pp ppf t =
   let pr, pc = t.mesh in
-  Fmt.pf ppf "spec{%s, %s on %s/%s, %dx%d%s%s%s%s%s}"
+  Fmt.pf ppf "spec{%s, %s on %s/%s, %dx%d%s%s%s%s%s%s}"
     (String.sub (program_digest t) 0 8)
     (Opt.Config.name t.config)
     t.machine.Machine.Params.name
     (Machine.Library.kind_name t.lib.Machine.Library.kind)
     pr pc
+    (match t.topology with
+    | Machine.Topology.Ideal -> ""
+    | topo -> ", " ^ Machine.Topology.name topo)
     (if t.row_path then "" else ", no-row-path")
     (if t.fuse then "" else ", no-fuse")
     (if t.cse then "" else ", no-cse")
@@ -177,13 +184,14 @@ let build ?prog (spec : t) : artifact =
   in
   let ir =
     Opt.Passes.compile ~check:spec.check ~machine:spec.machine ~lib:spec.lib
-      ~mesh:spec.mesh spec.config prog
+      ~mesh:spec.mesh ~topology:spec.topology spec.config prog
   in
   let flat = Ir.Flat.flatten ir in
   let pr, pc = spec.mesh in
   let plans =
     Sim.Engine.plan ~row_path:spec.row_path ~fuse:spec.fuse ~cse:spec.cse
-      ~wire:spec.wire ~machine:spec.machine ~lib:spec.lib ~pr ~pc flat
+      ~wire:spec.wire ~topology:spec.topology ~machine:spec.machine
+      ~lib:spec.lib ~pr ~pc flat
   in
   { a_spec = spec; a_prog = prog; a_ir = ir; a_flat = flat; a_plans = plans }
 

@@ -17,6 +17,13 @@ type t = {
   machine : Machine.Params.t;  (** simulated machine's cost parameters *)
   lib : Machine.Library.t;  (** communication primitive set *)
   mesh : int * int;  (** [pr x pc] processor mesh *)
+  topology : Machine.Topology.t;
+      (** interconnect geometry. [Ideal] (the default) is the seed's
+          flat contention-free model, bit-identical to the pre-topology
+          engine; [Mesh]/[Torus] route every message dimension-order
+          over the [pr x pc] grid with per-link occupancy, and steer
+          the collective cost search. Non-ideal topologies force the
+          serial drain ([domains] is ignored). *)
   row_path : bool;
       (** allow the row-compiled kernels; [false] forces the per-point
           oracle path everywhere (default true) *)
@@ -69,6 +76,7 @@ val with_lib : Machine.Library.t -> t -> t
 val with_target : Machine.Params.t -> Machine.Library.t -> t -> t
 
 val with_mesh : int -> int -> t -> t
+val with_topology : Machine.Topology.t -> t -> t
 val with_row_path : bool -> t -> t
 val with_fuse : bool -> t -> t
 val with_cse : bool -> t -> t
@@ -84,8 +92,8 @@ val program_digest : t -> string
 
 (** Content address of the spec: a digest over every field that can
     change a compiled artifact — program inputs, config, machine
-    parameters, library kind and costs, mesh, [row_path]/[fuse]/[cse]/
-    [wire]/[check]. [limit] and [domains] are excluded: they only
+    parameters, library kind and costs, mesh, topology,
+    [row_path]/[fuse]/[cse]/[wire]/[check]. [limit] and [domains] are excluded: they only
     parameterize the mutable engine, never the plans (property-tested).
     Serialization is canonical: floats are rendered exactly (hex
     notation), defines are sorted. *)

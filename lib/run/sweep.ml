@@ -57,27 +57,12 @@ let memo_add t key m =
   if not (Hashtbl.mem t.memo key) then Hashtbl.add t.memo key m;
   Mutex.unlock t.memo_lock
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let emit_row oc ~first (r : row) =
   Printf.fprintf oc
     "%s\n    {\"label\": \"%s\", \"hit\": %b, \"memo\": %b, \"sim_time\": \
      %.17g, \"static\": %d, \"dynamic\": %d, \"wall_sec\": %.6f}"
     (if first then "" else ",")
-    (json_escape r.r_label) r.r_hit r.r_memo r.r_time r.r_static r.r_dynamic
+    (Json.escape r.r_label) r.r_hit r.r_memo r.r_time r.r_static r.r_dynamic
     r.r_wall;
   flush oc
 

@@ -45,8 +45,16 @@
 
     The network model charges per-message CPU overheads and per-byte
     copy/pack costs on the involved processors (the "software overhead"
-    the paper measures) plus wire latency and bandwidth; link contention
-    is not modeled (see DESIGN.md). *)
+    the paper measures) plus wire latency and bandwidth. Under the
+    default {!Machine.Topology.Ideal} every pair is one hop and links
+    are never shared — the flat model the seed shipped, bit-identical
+    to it. Under [Mesh]/[Torus] each message walks its precomputed
+    dimension-order route hop by hop: at every directed link it waits
+    for [max (head arrival) (link free)], holds the link for the
+    transfer time, and pays one wire latency — so concurrent traffic
+    over a shared link serializes (see DESIGN.md). Link grants follow
+    drain execution order, which is deterministic because non-ideal
+    topologies force the serial drain. *)
 
 type msg_kind = Data | Token
 
@@ -62,6 +70,10 @@ type side = {
   partner : int;
   rects : (int * Zpl.Region.t) list;  (** (array id, full-rank rect) *)
   bytes : int;
+  route : int array;
+      (** directed link ids from this proc to [partner] (data on send
+          sides, rendezvous tokens on recv sides); [[||]] under the
+          ideal topology *)
 }
 
 type xfer_plan = { recv_sides : side list; send_sides : side list }
@@ -75,6 +87,7 @@ type wside = {
   w_partner : int;
   w_bytes : int;
   w_plan : Runtime.Wireplan.t;
+  w_route : int array;  (** link ids to [w_partner]; [[||]] under ideal *)
   mutable w_pool : Runtime.Wireplan.pool;
 }
 
@@ -92,6 +105,8 @@ type cside = {
   c_to : int;  (** send partner, or -1 *)
   c_from : int;  (** receive partner, or -1 *)
   c_count : int;  (** scalar values per message this round *)
+  c_rto : int array;  (** link ids to [c_to] (round data) *)
+  c_rfrom : int array;  (** link ids to [c_from] (rendezvous token) *)
   c_spool : Runtime.Wireplan.pool;
   mutable c_rpool : Runtime.Wireplan.pool;
 }
@@ -107,6 +122,7 @@ type wblue = {
   b_bytes : int;
   b_cells : int;
   b_plan : Runtime.Wireplan.t;
+  b_route : int array;  (** link ids to [b_partner]; [[||]] under ideal *)
   mutable b_link : int;
 }
 
@@ -115,7 +131,13 @@ type wbpair = { b_recv : wblue array; b_send : wblue array }
 (** Immutable blueprint of one {!cside}: the rank's role in a
     synthesized collective round ({!Ir.Coll.role}, frozen at plan
     time). *)
-type cblue = { cb_to : int; cb_from : int; cb_count : int }
+type cblue = {
+  cb_to : int;
+  cb_from : int;
+  cb_count : int;
+  cb_rto : int array;  (** link ids to [cb_to]; [[||]] under ideal *)
+  cb_rfrom : int array;  (** link ids to [cb_from]; [[||]] under ideal *)
+}
 
 (** Everything {!make} used to compute that does not depend on run-time
     state: the compiled, immutable, shareable half of an engine. Two
@@ -129,6 +151,7 @@ type plans = {
   p_pr : int;
   p_pc : int;
   p_layout : Runtime.Layout.t;
+  p_topology : Machine.Topology.t;
   p_fringe : int array;  (** per array id: fringe width *)
   p_nx : int;  (** number of transfers *)
   p_nslots : int;  (** collective slots *)
@@ -268,6 +291,12 @@ type t = {
   machine : Machine.Params.t;
   lib : Machine.Library.t;
   layout : Runtime.Layout.t;
+  topology : Machine.Topology.t;
+  topo_ideal : bool;  (** [topology = Ideal]: take the flat-cost path *)
+  link_free : float array;
+      (** per directed link: when it next frees up; [[||]] under ideal.
+          Mutated at send time in drain execution order, which is why
+          non-ideal topologies force [domains = 1]. *)
   procs : proc array;
   wire : bool;  (** wire-plan comm runtime vs. legacy extract/inject *)
   nx : int;  (** number of transfers *)
@@ -300,14 +329,18 @@ exception Instruction_limit of int
 (* ------------------------------------------------------------------ *)
 
 let build_plan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
-    (x : Ir.Transfer.t) ~nprocs : xfer_plan array =
+    (x : Ir.Transfer.t) ~nprocs ~(topo : Machine.Topology.t) ~pr ~pc :
+    xfer_plan array =
   let collect dir =
     Array.init nprocs (fun p ->
         List.map
           (fun (pp : Runtime.Halo.partner_pieces) ->
             { partner = pp.Runtime.Halo.pp_partner;
               rects = pp.Runtime.Halo.pp_rects;
-              bytes = 8 * pp.Runtime.Halo.pp_cells })
+              bytes = 8 * pp.Runtime.Halo.pp_cells;
+              route =
+                Machine.Topology.route topo ~pr ~pc ~src:p
+                  ~dst:pp.Runtime.Halo.pp_partner })
           (Runtime.Halo.partner_sides layout prog ~arrays:x.Ir.Transfer.arrays
              ~off:x.Ir.Transfer.off ~p ~dir))
   in
@@ -318,8 +351,8 @@ let build_plan (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
 (** Compile the wire blueprints of one transfer: per processor, per
     partner, the blit descriptors against shape-only stores. *)
 let build_wblue (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
-    (x : Ir.Transfer.t) ~(shapes : Runtime.Store.t array array) :
-    wbpair array =
+    (x : Ir.Transfer.t) ~(shapes : Runtime.Store.t array array)
+    ~(topo : Machine.Topology.t) ~pr ~pc : wbpair array =
   let collect p dir =
     Array.of_list
       (List.map
@@ -330,6 +363,9 @@ let build_wblue (layout : Runtime.Layout.t) (prog : Zpl.Prog.t)
              b_plan =
                Runtime.Wireplan.build ~stores:shapes.(p)
                  pp.Runtime.Halo.pp_rects;
+             b_route =
+               Machine.Topology.route topo ~pr ~pc ~src:p
+                 ~dst:pp.Runtime.Halo.pp_partner;
              b_link = -1 })
          (Runtime.Halo.partner_sides layout prog ~arrays:x.Ir.Transfer.arrays
             ~off:x.Ir.Transfer.off ~p ~dir))
@@ -413,8 +449,8 @@ let fuse_groups (flat : Ir.Flat.t) : int array =
   lens
 
 let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
-    ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) ~pr ~pc
-    (flat : Ir.Flat.t) : plans =
+    ?(topology = Machine.Topology.Ideal) ~(machine : Machine.Params.t)
+    ~(lib : Machine.Library.t) ~pr ~pc (flat : Ir.Flat.t) : plans =
   let prog = flat.Ir.Flat.prog in
   let layout = Runtime.Layout.for_program ~pr ~pc prog in
   let nprocs = Runtime.Layout.nprocs layout in
@@ -473,7 +509,7 @@ let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
         (fun (x : Ir.Transfer.t) ->
           if Ir.Transfer.is_coll x then
             Array.init nprocs (fun _ -> { recv_sides = []; send_sides = [] })
-          else build_plan layout prog x ~nprocs)
+          else build_plan layout prog x ~nprocs ~topo:topology ~pr ~pc)
         flat.Ir.Flat.transfers
   in
   let p_wblue =
@@ -495,7 +531,7 @@ let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
           (fun (x : Ir.Transfer.t) ->
             if Ir.Transfer.is_coll x then
               Array.init nprocs (fun _ -> { b_recv = [||]; b_send = [||] })
-            else build_wblue layout prog x ~shapes)
+            else build_wblue layout prog x ~shapes ~topo:topology ~pr ~pc)
           flat.Ir.Flat.transfers
       in
       Array.iteri link_wblue bp;
@@ -510,9 +546,16 @@ let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
         | Some d ->
             Array.init nprocs (fun rank ->
                 let r = Ir.Coll.role d ~rank in
+                let route dst =
+                  if dst < 0 then [||]
+                  else
+                    Machine.Topology.route topology ~pr ~pc ~src:rank ~dst
+                in
                 { cb_to = r.Ir.Coll.r_to;
                   cb_from = r.Ir.Coll.r_from;
-                  cb_count = r.Ir.Coll.r_count }))
+                  cb_count = r.Ir.Coll.r_count;
+                  cb_rto = route r.Ir.Coll.r_to;
+                  cb_rfrom = route r.Ir.Coll.r_from }))
       flat.Ir.Flat.transfers
   in
   { p_flat = flat;
@@ -521,6 +564,7 @@ let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
     p_pr = pr;
     p_pc = pc;
     p_layout = layout;
+    p_topology = topology;
     p_fringe = fringe;
     p_nx = Array.length flat.Ir.Flat.transfers;
     p_nslots = nslots;
@@ -551,6 +595,11 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
   let flat = sp.p_flat in
   let prog = flat.Ir.Flat.prog in
   let layout = sp.p_layout in
+  let topo_ideal = sp.p_topology = Machine.Topology.Ideal in
+  (* Per-link busy times are shared mutable state updated at send time;
+     under the parallel drain the batch boundaries would change the
+     update order, so non-ideal topologies always drain serially. *)
+  let domains = if topo_ideal then domains else 1 in
   let nprocs = Runtime.Layout.nprocs layout in
   let nx = sp.p_nx in
   let nslots = sp.p_nslots in
@@ -597,6 +646,7 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
           { w_partner = b.b_partner;
             w_bytes = b.b_bytes;
             w_plan = b.b_plan;
+            w_route = b.b_route;
             w_pool = Runtime.Wireplan.make_pool ~cells:b.b_cells }
         in
         let sides =
@@ -628,6 +678,8 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
               { c_to = b.cb_to;
                 c_from = b.cb_from;
                 c_count = b.cb_count;
+                c_rto = b.cb_rto;
+                c_rfrom = b.cb_rfrom;
                 c_spool = pool;
                 c_rpool = pool })
             cb
@@ -649,6 +701,14 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
       machine = sp.p_machine;
       lib = sp.p_lib;
       layout;
+      topology = sp.p_topology;
+      topo_ideal;
+      link_free =
+        (if topo_ideal then [||]
+         else
+           Array.make
+             (Machine.Topology.nlinks ~pr:sp.p_pr ~pc:sp.p_pc)
+             0.0);
       procs;
       wire;
       nx;
@@ -706,11 +766,11 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
 
 let shared_plans (t : t) = t.shared
 
-let make ?limit ?row_path ?fuse ?cse ?domains ?wire
+let make ?limit ?row_path ?fuse ?cse ?domains ?wire ?topology
     ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) ~pr ~pc
     (flat : Ir.Flat.t) : t =
   of_plans ?limit ?domains
-    (plan ?row_path ?fuse ?cse ?wire ~machine ~lib ~pr ~pc flat)
+    (plan ?row_path ?fuse ?cse ?wire ?topology ~machine ~lib ~pr ~pc flat)
 
 (* ------------------------------------------------------------------ *)
 (* Mail and the runnable ring                                          *)
@@ -789,7 +849,30 @@ let reduce_stage_cost (t : t) =
 
 let reduce_stages (t : t) =
   let n = Runtime.Layout.nprocs t.layout in
-  int_of_float (Float.ceil (Float.log2 (float_of_int (max 2 n))))
+  Ir.Coll.ceil_log2 (max 2 n)
+
+(** Arrival of a message's head after walking [route] (a precomputed
+    directed-link sequence), departing at [from_time]: at each hop the
+    message claims the link at [max (head so far) (link free)], holds it
+    for the transfer time, and pays one wire latency — store-and-forward
+    with per-link serialization. Mutates {!t.link_free}; link grants
+    follow call order, which the serial drain makes deterministic.
+    Callers add the library's messaging latency (msg or token) on top,
+    exactly as the flat model does. Never called under [Ideal] (routes
+    are empty there anyway), so the zero-allocation guarantee of the
+    default configuration is unaffected by this helper's boxed floats. *)
+let route_arrival (t : t) ~(from_time : float) ~(bytes : float)
+    (route : int array) : float =
+  let occupy = bytes /. t.machine.Machine.Params.bandwidth in
+  let hop = t.machine.Machine.Params.wire_latency +. occupy in
+  let tm = ref from_time in
+  for i = 0 to Array.length route - 1 do
+    let l = Array.unsafe_get route i in
+    if t.link_free.(l) > !tm then tm := t.link_free.(l);
+    t.link_free.(l) <- !tm +. occupy;
+    tm := !tm +. hop
+  done;
+  !tm
 
 (* ------------------------------------------------------------------ *)
 (* Instruction execution                                               *)
@@ -948,7 +1031,13 @@ let do_send (t : t) (p : proc) ~xfer (s : side) =
   in
   let payload = payload_of p s in
   charge_comm p cpu;
-  let arrival = p.time.fv +. wire_time t s.bytes in
+  let arrival =
+    if t.topo_ideal then p.time.fv +. wire_time t s.bytes
+    else
+      route_arrival t ~from_time:p.time.fv ~bytes:(float_of_int s.bytes)
+        s.route
+      +. c.Machine.Params.msg_latency
+  in
   deliver t ~dest:s.partner ~key:(p.rank, xfer, Data) { arrival; payload };
   p.send_done.(xfer) <-
     Float.max p.send_done.(xfer)
@@ -977,8 +1066,12 @@ let exec_comm_legacy (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) :
           charge_comm p c.Machine.Params.dr_over;
           deliver t ~dest:s.partner ~key:(p.rank, xfer, Token)
             { arrival =
-                p.time.fv +. t.machine.Machine.Params.wire_latency
-                +. (costs t).Machine.Params.token_latency;
+                (if t.topo_ideal then
+                   p.time.fv +. t.machine.Machine.Params.wire_latency
+                   +. (costs t).Machine.Params.token_latency
+                 else
+                   route_arrival t ~from_time:p.time.fv ~bytes:0.0 s.route
+                   +. c.Machine.Params.token_latency);
               payload = [] })
         plan.recv_sides;
       Continue
@@ -1085,9 +1178,13 @@ let wire_send (t : t) (p : proc) ~xfer (s : wside) =
   let mb = q.wmail.(wkey t ~src:p.rank ~xfer kb_data) in
   let j = mbox_reserve mb in
   mb.mb_arr.(j) <-
-    p.time.fv
-    +. (m.Machine.Params.wire_latency +. c.Machine.Params.msg_latency
-       +. (bytes /. m.Machine.Params.bandwidth));
+    (if t.topo_ideal then
+       p.time.fv
+       +. (m.Machine.Params.wire_latency +. c.Machine.Params.msg_latency
+          +. (bytes /. m.Machine.Params.bandwidth))
+     else
+       route_arrival t ~from_time:p.time.fv ~bytes s.w_route
+       +. c.Machine.Params.msg_latency);
   mb.mb_buf.(j) <- buf;
   wake t q;
   let cand = p.time.fv +. (bytes /. m.Machine.Params.bandwidth) in
@@ -1121,9 +1218,13 @@ let exec_comm_wire (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int) :
         let mb = q.wmail.(wkey t ~src:p.rank ~xfer kb_token) in
         let j = mbox_reserve mb in
         mb.mb_arr.(j) <-
-          p.time.fv
-          +. t.machine.Machine.Params.wire_latency
-          +. c.Machine.Params.token_latency;
+          (if t.topo_ideal then
+             p.time.fv
+             +. t.machine.Machine.Params.wire_latency
+             +. c.Machine.Params.token_latency
+           else
+             route_arrival t ~from_time:p.time.fv ~bytes:0.0 s.w_route
+             +. c.Machine.Params.token_latency);
         mb.mb_buf.(j) <- dummy_buf;
         wake t q
       done;
@@ -1255,9 +1356,13 @@ let coll_send (t : t) (p : proc) ~xfer (d : Ir.Coll.desc) (s : cside) =
   let mb = q.wmail.(wkey t ~src:p.rank ~xfer kb_data) in
   let j = mbox_reserve mb in
   mb.mb_arr.(j) <-
-    p.time.fv
-    +. (m.Machine.Params.wire_latency +. c.Machine.Params.msg_latency
-       +. (bytes /. m.Machine.Params.bandwidth));
+    (if t.topo_ideal then
+       p.time.fv
+       +. (m.Machine.Params.wire_latency +. c.Machine.Params.msg_latency
+          +. (bytes /. m.Machine.Params.bandwidth))
+     else
+       route_arrival t ~from_time:p.time.fv ~bytes s.c_rto
+       +. c.Machine.Params.msg_latency);
   mb.mb_buf.(j) <- buf;
   wake t q;
   let cand = p.time.fv +. (bytes /. m.Machine.Params.bandwidth) in
@@ -1325,9 +1430,13 @@ let exec_comm_coll (t : t) (p : proc) (call : Ir.Instr.call) (xfer : int)
         let mb = q.wmail.(wkey t ~src:p.rank ~xfer kb_token) in
         let j = mbox_reserve mb in
         mb.mb_arr.(j) <-
-          p.time.fv
-          +. t.machine.Machine.Params.wire_latency
-          +. c.Machine.Params.token_latency;
+          (if t.topo_ideal then
+             p.time.fv
+             +. t.machine.Machine.Params.wire_latency
+             +. c.Machine.Params.token_latency
+           else
+             route_arrival t ~from_time:p.time.fv ~bytes:0.0 s.c_rfrom
+             +. c.Machine.Params.token_latency);
         mb.mb_buf.(j) <- dummy_buf;
         wake t q
       end;
@@ -1768,6 +1877,12 @@ let procs (t : t) = t.procs
 let proc_env (p : proc) = p.env
 let proc_stores (p : proc) = p.stores
 let wired (t : t) = t.wire
+let topology (t : t) = t.topology
+
+(** Per-link busy-until times after a run — all zeros (empty) under
+    [Ideal]. Exposed for tests that assert occupancy stays sane (no
+    negative/NaN entries, phantom boundary links never claimed). *)
+let link_occupancy (t : t) : float array = Array.copy t.link_free
 
 (** Staging-pool accounting over all send sides (receive sides alias the
     sender's pool): (buffers freshly allocated, acquires served from the

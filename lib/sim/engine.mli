@@ -50,6 +50,7 @@ val plan :
   ?fuse:bool ->
   ?cse:bool ->
   ?wire:bool ->
+  ?topology:Machine.Topology.t ->
   machine:Machine.Params.t ->
   lib:Machine.Library.t ->
   pr:int ->
@@ -63,7 +64,12 @@ val plan :
     processor} (default [1e9]); [domains] (default 1) drives the drain
     loop with that many host domains (results are bit-identical for any
     value). Neither affects the compiled artifacts, which is why they
-    live here and not in the cache key. *)
+    live here and not in the cache key.
+
+    Under a non-ideal topology ({!Machine.Topology.Mesh}/[Torus]) the
+    per-link busy times are shared mutable state whose update order the
+    parallel drain's batching would perturb, so [domains] is forced to
+    1 there; the drain stays deterministic. *)
 val of_plans : ?limit:int -> ?domains:int -> plans -> t
 
 (** The shared compiled half this engine was built from. Two engines
@@ -82,6 +88,7 @@ val make :
   ?cse:bool ->
   ?domains:int ->
   ?wire:bool ->
+  ?topology:Machine.Topology.t ->
   machine:Machine.Params.t ->
   lib:Machine.Library.t ->
   pr:int ->
@@ -123,6 +130,15 @@ val proc_stores : proc -> Runtime.Store.t array
 
 (** Whether this engine runs the wire-plan communication runtime. *)
 val wired : t -> bool
+
+(** The network topology this engine models (default [Ideal]). *)
+val topology : t -> Machine.Topology.t
+
+(** Per-link busy-until times after a run (a copy): index by
+    [Machine.Topology] link ids. Empty under [Ideal]. Exposed for tests
+    that assert occupancy stays finite and phantom boundary links are
+    never claimed. *)
+val link_occupancy : t -> float array
 
 (** After a run: (staging buffers freshly allocated by the wire pools,
     acquires served from the freelists). The split is a runtime

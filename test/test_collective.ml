@@ -50,7 +50,7 @@ let benches =
     at two distinct machine-model points, per the acceptance criteria. *)
 let cost_search_shifts () =
   let pick ~machine ~lib nprocs =
-    Opt.Collective.choose ~machine ~lib ~nprocs
+    Opt.Collective.choose ~machine ~lib nprocs
   in
   Alcotest.check alg_t "T3D/PVM 4x4 -> recursive doubling" Ir.Coll.Recdouble
     (pick ~machine:t3d ~lib:Machine.T3d.pvm 16);
@@ -93,7 +93,7 @@ let auto_picks_choice () =
     (fun (mesh, lib) ->
       let pr, pc = mesh in
       let nprocs = pr * pc in
-      let want = Opt.Collective.choose ~machine:t3d ~lib ~nprocs in
+      let want = Opt.Collective.choose ~machine:t3d ~lib nprocs in
       let config =
         { Opt.Config.pl_cum with Opt.Config.collective = Opt.Config.Auto }
       in
@@ -485,12 +485,35 @@ let mutation_flat () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The integer stage count is exact: 2^k is the least power of two
+   covering n, and it agrees with the float log2/ceil computation it
+   replaced over the whole range any plausible mesh reaches. *)
+let ceil_log2_exact () =
+  for n = 2 to 4100 do
+    let k = Ir.Coll.ceil_log2 n in
+    Alcotest.(check bool)
+      (Printf.sprintf "2^k covers %d" n)
+      true
+      (1 lsl k >= n);
+    Alcotest.(check bool)
+      (Printf.sprintf "2^(k-1) does not cover %d" n)
+      true
+      (1 lsl (k - 1) < n);
+    Alcotest.(check int)
+      (Printf.sprintf "agrees with the float path at %d" n)
+      (int_of_float (Float.ceil (Float.log2 (float_of_int n))))
+      k
+  done
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   Alcotest.run "collective"
     [ ( "cost-search",
         [ Alcotest.test_case "pick shifts across machines and meshes" `Quick
             cost_search_shifts;
           Alcotest.test_case "cost model sane" `Quick cost_model_sane;
+          Alcotest.test_case "integer ceil_log2 exact" `Quick ceil_log2_exact;
           Alcotest.test_case "auto bakes the picked algorithm" `Quick
             auto_picks_choice ] );
       ("schedcheck-clean", List.map schedcheck_clean_case benches);

@@ -65,6 +65,7 @@ let flips : (string * (Run.Spec.t -> Run.Spec.t)) list =
     ("machine", Run.Spec.with_machine Machine.Paragon.machine);
     ("lib", Run.Spec.with_lib Machine.T3d.shmem);
     ("mesh", Run.Spec.with_mesh 1 2);
+    ("topology", Run.Spec.with_topology Machine.Topology.Mesh);
     ("row_path", Run.Spec.with_row_path false);
     ("fuse", Run.Spec.with_fuse false);
     ("cse", Run.Spec.with_cse false);
@@ -268,6 +269,53 @@ let test_sweep_second_pass () =
         [ "\"sweep\""; "\"label\""; "\"memo\": true"; "\"hits\": 2";
           "\"memo_hits\": 2"; "\"specs_per_sec\"" ])
 
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec scan i = i + nl <= tl && (String.sub text i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_json_escape () =
+  Alcotest.(check string) "escapes quotes, backslashes, controls"
+    "a\\\"b\\\\c\\nd\\te\\u0001f"
+    (Run.Json.escape "a\"b\\c\nd\te\x01f");
+  Alcotest.(check string) "plain text passes through" "plain text"
+    (Run.Json.escape "plain text")
+
+(* A hostile row label (quotes, backslash, newline, tab, a raw control
+   byte) must not corrupt the sweep's incremental JSON artifact. *)
+let test_sweep_hostile_label () =
+  let evil = "evil \"label\" \\ with\nnewline\tand \x01 control" in
+  let sweep = Run.Sweep.create () in
+  let items = [ { Run.Sweep.label = evil; spec = base () } ] in
+  let path = Filename.temp_file "sweep_evil" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let _ =
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Run.Sweep.run ~out:oc sweep items)
+      in
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let count c =
+        String.fold_left (fun n x -> if x = c then n + 1 else n) 0 text
+      in
+      Alcotest.(check int) "braces balance" (count '{') (count '}');
+      Alcotest.(check bool) "raw quoted label does not survive" false
+        (contains text "evil \"label\"");
+      Alcotest.(check bool) "escaped label is present" true
+        (contains text "evil \\\"label\\\"");
+      Alcotest.(check bool) "no raw control byte in the artifact" true
+        (String.for_all (fun ch -> ch = '\n' || Char.code ch >= 0x20) text);
+      Alcotest.(check bool) "control byte was \\u-escaped" true
+        (contains text "\\u0001"))
+
 (* ------------------------------------------------------------------ *)
 (* Legacy one-shot constructor still agrees with plan/of_plans         *)
 (* ------------------------------------------------------------------ *)
@@ -312,4 +360,7 @@ let () =
             test_legacy_make_back_compat ] );
       ( "sweep",
         [ Alcotest.test_case "second pass hits and JSON artifact" `Quick
-            test_sweep_second_pass ] ) ]
+            test_sweep_second_pass;
+          Alcotest.test_case "json escape helper" `Quick test_json_escape;
+          Alcotest.test_case "hostile label stays well-formed" `Quick
+            test_sweep_hostile_label ] ) ]
