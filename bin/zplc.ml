@@ -3,7 +3,8 @@
     {v
     zplc check    prog.zpl                  parse + typecheck
     zplc dump     prog.zpl -O cc --stage ir dump a compilation stage
-    zplc counts   prog.zpl                  static counts per optimization level
+    zplc counts   prog.zpl [--compare]      static counts per optimization level
+    zplc analyze  prog.zpl --verify-counts  static comm-volume prediction
     zplc lint     prog.zpl | --all          verify schedules (all experiment rows)
     zplc run      prog.zpl -O pl --lib shmem -p 4x4 --verify --check
     zplc bench    --name tomcatv            one benchmark, all paper rows
@@ -59,7 +60,16 @@ let dump_cmd =
     Term.(const run $ Cmdline.spec_term $ stage_arg)
 
 let counts_cmd =
-  let run src defines =
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "per communication site, diff the static activation/volume \
+             prediction against the engine's dynamic counters (on the \
+             default 4x4 T3D/PVM target) and exit nonzero on any mismatch")
+  in
+  let run src defines compare =
     Cmdline.handle (fun () ->
         let base =
           Run.Spec.(
@@ -67,24 +77,207 @@ let counts_cmd =
         in
         (* one cache across the five configs: the program parses once *)
         let cache = Run.Cache.create () in
-        let rows =
-          List.map
-            (fun config ->
-              let c = of_spec ~cache (Run.Spec.with_config config base) in
-              [ Opt.Config.name config;
-                string_of_int (static_count c);
-                string_of_int (Ir.Count.static_member_count c.ir) ])
-            Opt.Config.
-              [ baseline; rr_only; cc_cum; pl_cum; pl_max_latency ]
+        let configs =
+          Opt.Config.[ baseline; rr_only; cc_cum; pl_cum; pl_max_latency ]
         in
-        print_endline
-          (Report.Table.render
-             ~header:[ "optimization"; "static transfers"; "member messages" ]
-             rows))
+        if not compare then
+          let rows =
+            List.map
+              (fun config ->
+                let c = of_spec ~cache (Run.Spec.with_config config base) in
+                [ Opt.Config.name config;
+                  string_of_int (static_count c);
+                  string_of_int (Ir.Count.static_member_count c.ir) ])
+              configs
+          in
+          print_endline
+            (Report.Table.render
+               ~header:
+                 [ "optimization"; "static transfers"; "member messages" ]
+               rows)
+        else begin
+          let bad = ref 0 in
+          List.iter
+            (fun config ->
+              let spec = Run.Spec.with_config config base in
+              let t = Run.Predict.analyze ~cache spec in
+              Printf.printf "== %s ==\n" (Opt.Config.name config);
+              print_endline
+                (Report.Table.render ~header:Run.Predict.site_header
+                   (Run.Predict.site_rows t));
+              match Run.Predict.verify t with
+              | [] -> Printf.printf "static = dynamic: OK\n\n"
+              | ms ->
+                  bad := !bad + List.length ms;
+                  List.iter (fun m -> Printf.printf "MISMATCH %s\n" m) ms;
+                  print_newline ())
+            configs;
+          if !bad > 0 then
+            Fmt.failwith "static/dynamic count comparison failed: %d mismatch(es)"
+              !bad
+        end)
   in
   Cmd.v
     (Cmd.info "counts" ~doc:"static communication counts per optimization level")
-    Term.(const run $ Cmdline.src_arg $ Cmdline.defines_arg)
+    Term.(const run $ Cmdline.src_arg $ Cmdline.defines_arg $ compare_arg)
+
+let analyze_cmd =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "analyze every bundled benchmark (at test scale) instead of PROG")
+  in
+  let progs_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PROG"
+          ~doc:"mini-ZPL source files or bundled benchmark names")
+  in
+  let rows_arg =
+    Arg.(
+      value & flag
+      & info [ "rows" ]
+          ~doc:
+            "iterate the six paper experiment rows (overrides -O/--lib) \
+             instead of the single configuration the flags describe")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-counts" ]
+          ~doc:
+            "run the engine and require the static prediction to reproduce \
+             its dynamic counters exactly (message/byte/transfer counts per \
+             processor, comm-CPU to 1e-9) and the interval bounds to \
+             bracket them; exit nonzero on any mismatch")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"append one JSON object per analyzed configuration to FILE")
+  in
+  let run progs defines all rows config collective (machine, lib) (pr, pc)
+      topology verify json =
+    Cmdline.handle (fun () ->
+        let targets =
+          (if all then
+             List.map
+               (fun (b : Programs.Bench_def.t) ->
+                 ( b.Programs.Bench_def.name,
+                   b.Programs.Bench_def.source,
+                   b.Programs.Bench_def.test_defines ))
+               Programs.Suite.all
+           else [])
+          @ List.map (fun p -> (p, Cmdline.load_source p, defines)) progs
+        in
+        if targets = [] then
+          Fmt.failwith "nothing to analyze: name a program or pass --all";
+        let row_list =
+          if rows then
+            List.map
+              (fun (label, config, lib) ->
+                (label, config, Machine.T3d.machine, lib))
+              Report.Experiment.paper_rows
+          else
+            [ ( Opt.Config.name (Cmdline.with_collective collective config),
+                Cmdline.with_collective collective config,
+                machine,
+                lib ) ]
+        in
+        let jout =
+          Option.map
+            (fun path -> open_out_gen [ Open_creat; Open_append ] 0o644 path)
+            json
+        in
+        Fun.protect
+          ~finally:(fun () -> Option.iter close_out jout)
+          (fun () ->
+            let bad = ref 0 in
+            List.iter
+              (fun (name, src, defines) ->
+                let cache = Run.Cache.create () in
+                List.iter
+                  (fun (label, config, machine, lib) ->
+                    let spec =
+                      Run.Spec.(
+                        default src |> with_defines defines
+                        |> with_config config |> with_target machine lib
+                        |> with_mesh pr pc |> with_topology topology)
+                    in
+                    let t = Run.Predict.analyze ~cache spec in
+                    let s = Run.Predict.summarize t in
+                    Option.iter
+                      (fun oc ->
+                        output_string oc (Run.Predict.to_json ~name t);
+                        output_char oc '\n')
+                      jout;
+                    if verify then
+                      match Run.Predict.verify t with
+                      | [] ->
+                          Printf.printf
+                            "%s [%s] %s: OK — %d sites, %d messages \
+                             predicted = measured, dynamic count %d\n"
+                            name label
+                            (Machine.Topology.name topology)
+                            (List.length t.Run.Predict.p_sites)
+                            s.Run.Predict.s_messages_pred
+                            s.Run.Predict.s_dyn_pred
+                      | ms ->
+                          bad := !bad + List.length ms;
+                          List.iter
+                            (fun m ->
+                              Printf.printf "%s [%s] %s: MISMATCH %s\n" name
+                                label
+                                (Machine.Topology.name topology)
+                                m)
+                            ms
+                    else begin
+                      Printf.printf "== %s [%s] %s ==\n" name label
+                        (Machine.Topology.name topology);
+                      print_endline
+                        (Report.Table.render ~header:Run.Predict.site_header
+                           (Run.Predict.site_rows t));
+                      Printf.printf
+                        "messages  : %s bound, %d predicted, %d measured\n"
+                        (Analysis.Absint.string_of_ival
+                           s.Run.Predict.s_messages_bound)
+                        s.Run.Predict.s_messages_pred
+                        s.Run.Predict.s_messages_meas;
+                      Printf.printf
+                        "bytes     : %s bound, %d predicted, %d measured\n"
+                        (Analysis.Absint.string_of_ival
+                           s.Run.Predict.s_bytes_bound)
+                        s.Run.Predict.s_bytes_pred s.Run.Predict.s_bytes_meas;
+                      Printf.printf
+                        "comm cpu  : %.6g predicted, %.6g measured (max/proc)\n"
+                        s.Run.Predict.s_cpu_pred s.Run.Predict.s_cpu_meas;
+                      Printf.printf
+                        "dyn count : %s bound, %d predicted, %d measured\n\n"
+                        (Analysis.Absint.string_of_ival
+                           s.Run.Predict.s_dyn_bound)
+                        s.Run.Predict.s_dyn_pred s.Run.Predict.s_dyn_meas
+                    end)
+                  row_list)
+              targets;
+            if !bad > 0 then
+              Fmt.failwith
+                "static/dynamic verification failed: %d mismatch(es)" !bad))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "static communication-volume analysis: per-site activation bounds \
+          and per-processor message/byte/comm-CPU predictions from the \
+          abstract scalar domain, cross-checked against the engine with \
+          --verify-counts")
+    Term.(
+      const run $ progs_arg $ Cmdline.defines_arg $ all_arg $ rows_arg
+      $ Cmdline.config_arg $ Cmdline.collective_arg $ Cmdline.lib_arg
+      $ Cmdline.mesh_arg $ Cmdline.topology_arg $ verify_arg $ json_arg)
 
 let lint_cmd =
   let all_arg =
@@ -108,7 +301,16 @@ let lint_cmd =
              vector with the fixpoint flat checker — the form the simulator \
              actually executes")
   in
-  let run progs defines all collective (pr, pc) topology flat =
+  let prune_arg =
+    Arg.(
+      value & flag
+      & info [ "prune" ]
+          ~doc:
+            "skip branches the abstract scalar interpretation proves \
+             infeasible (precision-only: anything accepted unpruned stays \
+             accepted)")
+  in
+  let run progs defines all collective (pr, pc) topology flat prune =
     Cmdline.handle (fun () ->
         let targets =
           (if all then
@@ -127,6 +329,13 @@ let lint_cmd =
         List.iter
           (fun (name, src, defines) ->
             let prog = Zpl.Check.compile_string ~defines src in
+            (* dead-scalar warnings are per program, independent of the
+               optimization row; they never fail the lint *)
+            List.iter
+              (fun w ->
+                Printf.printf "%s: warning: %s\n" name
+                  (Analysis.Deadscalar.warning_to_string w))
+              (Analysis.Deadscalar.run prog);
             List.iter
               (fun (label, config, lib) ->
                 let config = Cmdline.with_collective collective config in
@@ -138,10 +347,11 @@ let lint_cmd =
                     ~mesh:(pr, pc) ~topology config prog
                 in
                 let diags =
-                  Analysis.Schedcheck.check ir
+                  Analysis.Schedcheck.check ~prune ir
                   @
                   if flat then
-                    Analysis.Schedcheck.check_flat (Ir.Flat.flatten ir)
+                    Analysis.Schedcheck.check_flat ~prune
+                      (Ir.Flat.flatten ir)
                   else []
                 in
                 match diags with
@@ -167,7 +377,7 @@ let lint_cmd =
     Term.(
       const run $ progs_arg $ Cmdline.defines_arg $ all_arg
       $ Cmdline.collective_arg $ Cmdline.mesh_arg $ Cmdline.topology_arg
-      $ flat_arg)
+      $ flat_arg $ prune_arg)
 
 let run_cmd =
   let verify_arg =
@@ -253,7 +463,16 @@ let main =
   Cmd.group
     (Cmd.info "zplc" ~version:"1.0.0"
        ~doc:"mini-ZPL compiler with machine-independent communication optimization")
-    [ check_cmd; dump_cmd; counts_cmd; lint_cmd; run_cmd; bench_cmd; list_cmd ]
+    [
+      check_cmd;
+      dump_cmd;
+      counts_cmd;
+      analyze_cmd;
+      lint_cmd;
+      run_cmd;
+      bench_cmd;
+      list_cmd;
+    ]
 
 (* Source loading happens while cmdliner evaluates spec_term, before any
    command body's [Cmdline.handle] guard — catch those failures here so a

@@ -7,7 +7,9 @@
     (the back edge). A [For] body may run zero times, so its exit
     additionally meets the pre-loop state. Fixpoints terminate because
     every client lattice has finite height (meets only ever lose
-    information); the iteration cap is a safety net, not a widening. *)
+    information); the iteration cap is a safety net for finite-height
+    clients, while infinite-height clients (interval domains) must pass
+    [widen] to force convergence. *)
 
 type 'a ops = {
   equal : 'a -> 'a -> bool;
@@ -15,9 +17,18 @@ type 'a ops = {
   transfer : final:bool -> pos:int -> Ir.Instr.instr -> 'a -> 'a;
 }
 
+type branch_kind = [ `If | `Until ]
+
 let max_fixpoint_iters = 1000
 
-let run (ops : 'a ops) ~(init : 'a) (code : Ir.Instr.instr list) : 'a =
+let run ?widen ?branch ?enter_for ?exit_for (ops : 'a ops) ~(init : 'a)
+    (code : Ir.Instr.instr list) : 'a =
+  let widen =
+    match widen with Some w -> w | None -> fun ~iter:_ _old merged -> merged
+  in
+  let decide ~final ~pos kind cond st =
+    match branch with Some f -> f ~final ~pos kind cond st | None -> None
+  in
   let rec exec_list ~final pos st = function
     | [] -> st
     | i :: rest ->
@@ -28,19 +39,53 @@ let run (ops : 'a ops) ~(init : 'a) (code : Ir.Instr.instr list) : 'a =
     | Ir.Instr.Comm _ | Ir.Instr.Kernel _ | Ir.Instr.ScalarK _
     | Ir.Instr.ReduceK _ | Ir.Instr.CollPart _ | Ir.Instr.CollFin _ ->
         ops.transfer ~final ~pos i st
-    | Ir.Instr.If (_, a, b) ->
-        let sa = exec_list ~final (pos + 1) st a in
-        let sb = exec_list ~final (pos + 1 + Ir.Instr.size_list a) st b in
-        ops.meet sa sb
-    | Ir.Instr.Repeat (body, _) -> loop ~final ~zero_trip:false pos body st
-    | Ir.Instr.For { body; _ } -> loop ~final ~zero_trip:true pos body st
+    | Ir.Instr.If (cond, a, b) -> (
+        (* a decided branch walks only the taken arm: the dead arm's
+           instructions are never handed to [transfer] — this is the
+           pruning entry point, so skipping must be opted into by the
+           client through [branch] *)
+        match decide ~final ~pos `If cond st with
+        | Some true -> exec_list ~final (pos + 1) st a
+        | Some false -> exec_list ~final (pos + 1 + Ir.Instr.size_list a) st b
+        | None ->
+            let sa = exec_list ~final (pos + 1) st a in
+            let sb = exec_list ~final (pos + 1 + Ir.Instr.size_list a) st b in
+            ops.meet sa sb)
+    | Ir.Instr.Repeat (body, cond) ->
+        let body_pos = pos + 1 in
+        (* do-until: if the condition is provably true after the first
+           pass, the loop exits after exactly one iteration and the back
+           edge never fires — no fixpoint needed *)
+        let first = exec_list ~final:false body_pos st body in
+        (match decide ~final:false ~pos `Until cond first with
+        | Some true ->
+            let out =
+              if final then exec_list ~final:true body_pos st body else first
+            in
+            ignore (decide ~final ~pos `Until cond out);
+            out
+        | Some false | None ->
+            let out = loop ~final ~zero_trip:false pos body st in
+            ignore (decide ~final ~pos `Until cond out);
+            out)
+    | Ir.Instr.For { var; lo; hi; step; body } -> (
+        let pre = st in
+        let pre_body =
+          match enter_for with
+          | Some f -> f ~final ~pos ~var ~lo ~hi ~step pre
+          | None -> pre
+        in
+        let out = loop ~final ~zero_trip:false pos body pre_body in
+        match exit_for with
+        | Some f -> f ~final ~pos ~var ~lo ~hi ~step ~pre out
+        | None -> ops.meet pre out)
   and loop ~final ~zero_trip pos body pre =
     let body_pos = pos + 1 in
     let rec fix entry n =
       if n > max_fixpoint_iters then
         failwith "Dataflow.run: loop fixpoint did not converge";
       let out = exec_list ~final:false body_pos entry body in
-      let entry' = ops.meet pre out in
+      let entry' = widen ~iter:n entry (ops.meet pre out) in
       if ops.equal entry entry' then (entry, out) else fix entry' (n + 1)
     in
     let entry, out = fix pre 0 in

@@ -27,9 +27,62 @@ type 'a ops = {
           program point. *)
 }
 
+(** Where a [branch] hook is consulted: the condition of an [If], or the
+    [until] condition of a [Repeat] evaluated on the state {e after} the
+    body. *)
+type branch_kind = [ `If | `Until ]
+
 (** [run ops ~init code] propagates [init] through [code] and returns
     the state at the exit. [Repeat] bodies execute at least once; [For]
     bodies may execute zero times (the exit state meets the entry).
     Raises [Failure] if a loop fixpoint fails to stabilize within an
-    internal iteration bound — impossible for finite-height lattices. *)
-val run : 'a ops -> init:'a -> Ir.Instr.instr list -> 'a
+    internal iteration bound — impossible for finite-height lattices
+    (infinite-height clients must pass [widen]).
+
+    The optional hooks leave the [ops] record — and every existing
+    client — untouched:
+
+    - [widen ~iter old merged] replaces the loop-entry meet on fixpoint
+      round [iter]; an interval client returns [merged] for small [iter]
+      and jumps unstable bounds to infinity afterwards, forcing
+      convergence.
+    - [branch ~final ~pos kind cond st] may decide a conditional from
+      the abstract state [st] {e before} an [If] (or {e after} a
+      [Repeat] body for [`Until]). [Some true]/[Some false] on an [`If]
+      walks only that arm — the dead arm is never shown to [transfer].
+      [Some true] on [`Until] after the first body pass pins the loop to
+      exactly one iteration. The hook is also invoked once with the
+      final stable state (with [final] inherited from the walk) so
+      summary-building clients can record the decision.
+    - [enter_for ~final ~pos ~var ~lo ~hi ~step pre] produces the body
+      entry state (e.g. binding [var] to the hull of the iteration
+      space); [exit_for ... ~pre out] produces the loop exit state from
+      the original pre-state and the stable body output (default:
+      [meet pre out], the zero-trip-safe join). *)
+val run :
+  ?widen:(iter:int -> 'a -> 'a -> 'a) ->
+  ?branch:
+    (final:bool -> pos:int -> branch_kind -> Zpl.Prog.sexpr -> 'a -> bool option) ->
+  ?enter_for:
+    (final:bool ->
+    pos:int ->
+    var:int ->
+    lo:Zpl.Prog.sexpr ->
+    hi:Zpl.Prog.sexpr ->
+    step:int ->
+    'a ->
+    'a) ->
+  ?exit_for:
+    (final:bool ->
+    pos:int ->
+    var:int ->
+    lo:Zpl.Prog.sexpr ->
+    hi:Zpl.Prog.sexpr ->
+    step:int ->
+    pre:'a ->
+    'a ->
+    'a) ->
+  'a ops ->
+  init:'a ->
+  Ir.Instr.instr list ->
+  'a

@@ -1,0 +1,155 @@
+(** Dead-scalar detection over the typed program, fed by the {!Absint}
+    interval domain: a scalar (or [-D]-overridable constant) is {e dead}
+    when no feasible path ever reads it — reads inside branches the
+    abstract interpretation proves infeasible do not count.
+
+    Soundness direction: reads are {e over}-approximated. Loop bodies
+    are walked under havocked states (every scalar the body writes goes
+    to top, as in {!Opt.Deadbranch}), so every branch decision that
+    excludes an arm holds on all feasible executions; an undecided
+    branch contributes the reads of both arms. A warning therefore means
+    the value is provably never consumed, while a scalar that is read
+    only under data-dependent conditions stays silent. *)
+
+module A = Absint
+
+type warning = { w_loc : Zpl.Loc.t; w_msg : string }
+
+let warning_to_string w =
+  Zpl.Loc.format_error (Zpl.Loc.Src w.w_loc) w.w_msg
+
+(* ------------------------------------------------------------------ *)
+(* Read collection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec sexpr_reads mark (e : Zpl.Prog.sexpr) =
+  match e with
+  | Zpl.Prog.SVar v -> mark v
+  | Zpl.Prog.SFloat _ | Zpl.Prog.SInt _ | Zpl.Prog.SBool _ -> ()
+  | Zpl.Prog.SBin (_, a, b) ->
+      sexpr_reads mark a;
+      sexpr_reads mark b
+  | Zpl.Prog.SUn (_, a) -> sexpr_reads mark a
+  | Zpl.Prog.SCall (_, args) -> List.iter (sexpr_reads mark) args
+
+let rec aexpr_reads mark (e : Zpl.Prog.aexpr) =
+  match e with
+  | Zpl.Prog.AScalar v -> mark v
+  | Zpl.Prog.AConst _ | Zpl.Prog.ARef _ | Zpl.Prog.AIndex _ -> ()
+  | Zpl.Prog.ABin (_, a, b) ->
+      aexpr_reads mark a;
+      aexpr_reads mark b
+  | Zpl.Prog.AUn (_, a) -> aexpr_reads mark a
+  | Zpl.Prog.ACall (_, args) -> List.iter (aexpr_reads mark) args
+
+let dregion_reads mark (r : Zpl.Prog.dregion) =
+  Array.iter
+    (fun ((lo : Zpl.Prog.bound), (hi : Zpl.Prog.bound)) ->
+      Option.iter mark lo.Zpl.Prog.bvar;
+      Option.iter mark hi.Zpl.Prog.bvar)
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Scalar writes of a statement list (for loop havoc)                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt_writes (stmts : Zpl.Prog.stmt list) : int list =
+  List.concat_map
+    (function
+      | Zpl.Prog.AssignS { lhs; _ } -> [ lhs ]
+      | Zpl.Prog.ReduceS r -> [ r.Zpl.Prog.r_lhs ]
+      | Zpl.Prog.AssignA _ -> []
+      | Zpl.Prog.Repeat (body, _) -> stmt_writes body
+      | Zpl.Prog.For { var; body; _ } -> var :: stmt_writes body
+      | Zpl.Prog.If (_, a, b) -> stmt_writes a @ stmt_writes b)
+    stmts
+
+(* ------------------------------------------------------------------ *)
+(* The feasible-path walk                                              *)
+(* ------------------------------------------------------------------ *)
+
+type acc = {
+  read : bool array;  (** scalar id read on some feasible path *)
+  mutable assigns : (Zpl.Loc.t * int) list;
+      (** feasible [AssignS] sites, reversed *)
+  mutable for_vars : int list;
+}
+
+let havoc (st : A.state) ids =
+  let st = Array.copy st in
+  List.iter (fun v -> st.(v) <- A.top) ids;
+  st
+
+let run (p : Zpl.Prog.t) : warning list =
+  let nscalars = Array.length p.Zpl.Prog.scalars in
+  let acc = { read = Array.make nscalars false; assigns = []; for_vars = [] } in
+  let mark v = acc.read.(v) <- true in
+  let rec go st (stmts : Zpl.Prog.stmt list) : A.state =
+    List.fold_left
+      (fun st stmt ->
+        match stmt with
+        | Zpl.Prog.AssignS { lhs; rhs; loc } ->
+            sexpr_reads mark rhs;
+            acc.assigns <- (loc, lhs) :: acc.assigns;
+            let st = Array.copy st in
+            st.(lhs) <- A.eval_state st rhs;
+            st
+        | Zpl.Prog.AssignA { region; rhs; _ } ->
+            dregion_reads mark region;
+            aexpr_reads mark rhs;
+            st
+        | Zpl.Prog.ReduceS r ->
+            dregion_reads mark r.Zpl.Prog.r_region;
+            aexpr_reads mark r.Zpl.Prog.r_rhs;
+            let st = Array.copy st in
+            st.(r.Zpl.Prog.r_lhs) <- A.top;
+            st
+        | Zpl.Prog.Repeat (body, cond) ->
+            let st = havoc st (stmt_writes body) in
+            let st = go st body in
+            sexpr_reads mark cond;
+            st
+        | Zpl.Prog.For { var; lo; hi; body; _ } ->
+            sexpr_reads mark lo;
+            sexpr_reads mark hi;
+            acc.for_vars <- var :: acc.for_vars;
+            let st = havoc st (var :: stmt_writes body) in
+            go st body
+        | Zpl.Prog.If (cond, a, b) -> (
+            sexpr_reads mark cond;
+            match A.decide_bool (A.eval_state st cond) with
+            | Some true -> go st a
+            | Some false -> go st b
+            | None -> A.state_join (go st a) (go st b)))
+      st stmts
+  in
+  ignore (go (A.init_state p) p.Zpl.Prog.body);
+  let warns = ref [] in
+  let warn loc fmt = Fmt.kstr (fun m -> warns := { w_loc = loc; w_msg = m } :: !warns) fmt in
+  List.iter
+    (fun name ->
+      warn Zpl.Loc.dummy "-D %s matches no constant declaration" name)
+    p.Zpl.Prog.unknown_defines;
+  Array.iter
+    (fun (c : Zpl.Prog.const_info) ->
+      if not c.Zpl.Prog.c_used then
+        warn c.Zpl.Prog.c_loc "%sconstant %S is never read"
+          (if c.Zpl.Prog.c_overridden then "-D-overridden " else "")
+          c.Zpl.Prog.c_name)
+    p.Zpl.Prog.consts;
+  Array.iter
+    (fun (s : Zpl.Prog.scalar_info) ->
+      if
+        (not acc.read.(s.Zpl.Prog.s_id))
+        && not (List.mem s.Zpl.Prog.s_id acc.for_vars)
+      then
+        warn s.Zpl.Prog.s_loc "scalar %S is never read on any feasible path"
+          s.Zpl.Prog.s_name)
+    p.Zpl.Prog.scalars;
+  List.iter
+    (fun (loc, lhs) ->
+      if not acc.read.(lhs) then
+        warn loc "assignment to %S is never read on any feasible path"
+          (Zpl.Prog.scalar_info p lhs).Zpl.Prog.s_name)
+    (List.rev acc.assigns);
+  List.rev !warns

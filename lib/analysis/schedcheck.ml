@@ -453,7 +453,21 @@ let end_state_diags (cx : ctx) ~flat ~end_pos (exit : state) : diag list =
     exit.coll;
   List.rev !diags
 
-let dataflow_diags (p : Ir.Instr.program) : diag list =
+(** Branch decisions for pruned checking, replayed from an {!Absint}
+    summary: a decided [If] walks its live arm only, and a [Repeat]
+    whose trip count is pinned to exactly one iteration skips its back
+    edge. Decisions are static lookups by position, so the hook answers
+    identically on every fixpoint round. *)
+let absint_branch (summary : Absint.summary) ~final:_ ~pos
+    (kind : Dataflow.branch_kind) _cond _st : bool option =
+  match kind with
+  | `If -> Absint.decision summary pos
+  | `Until -> (
+      match Absint.trips summary pos with
+      | Some t when Absint.equal_ival t (Absint.point 1.0) -> Some true
+      | _ -> None)
+
+let dataflow_diags ?summary (p : Ir.Instr.program) : diag list =
   let cx =
     make_ctx p.Ir.Instr.prog p.Ir.Instr.transfers
       ~nslots:(nslots_of p.Ir.Instr.transfers (code_slots p.Ir.Instr.code))
@@ -475,8 +489,9 @@ let dataflow_diags (p : Ir.Instr.program) : diag list =
       avail = Avail.empty;
       coll = Array.make (Array.length cx.slots) (-1) }
   in
+  let branch = Option.map absint_branch summary in
   let exit =
-    Dataflow.run
+    Dataflow.run ?branch
       { Dataflow.equal = state_equal; meet = state_meet; transfer }
       ~init p.Ir.Instr.code
   in
@@ -635,11 +650,18 @@ let order_check (prog : Zpl.Prog.t) (transfers : Ir.Transfer.t array) ~flat
   in
   check_run
 
-let order_diags (p : Ir.Instr.program) : diag list =
+let order_diags ?summary (p : Ir.Instr.program) : diag list =
   let diags = ref [] in
   let check_run =
     order_check p.Ir.Instr.prog p.Ir.Instr.transfers ~flat:false
       ~emit_diag:(fun d -> diags := d :: !diags)
+  in
+  (* When pruning, a decided [If] contributes only its live arm: the
+     dead arm's calls can never execute, so ordering diagnostics there
+     would be spurious. Precision-only: with no summary both arms are
+     walked, which can only add diagnostics. *)
+  let decide pos =
+    match summary with None -> None | Some s -> Absint.decision s pos
   in
   let flush run = if run <> [] then check_run (List.rev run) in
   let rec go pos run = function
@@ -650,9 +672,13 @@ let order_diags (p : Ir.Instr.program) : diag list =
         (match i with
         | Ir.Instr.Repeat (body, _) -> go (pos + 1) [] body
         | Ir.Instr.For { body; _ } -> go (pos + 1) [] body
-        | Ir.Instr.If (_, a, b) ->
-            go (pos + 1) [] a;
-            go (pos + 1 + Ir.Instr.size_list a) [] b
+        | Ir.Instr.If (_, a, b) -> (
+            match decide pos with
+            | Some true -> go (pos + 1) [] a
+            | Some false -> go (pos + 1 + Ir.Instr.size_list a) [] b
+            | None ->
+                go (pos + 1) [] a;
+                go (pos + 1 + Ir.Instr.size_list a) [] b)
         | Ir.Instr.Comm _ | Ir.Instr.Kernel _ | Ir.Instr.ScalarK _
         | Ir.Instr.ReduceK _ | Ir.Instr.CollPart _ | Ir.Instr.CollFin _ ->
             ());
@@ -676,14 +702,18 @@ let atom_of : Ir.Flat.finstr -> Ir.Instr.instr option = function
   | Ir.Flat.FCollFin w -> Some (Ir.Instr.CollFin w)
   | Ir.Flat.FJump _ | Ir.Flat.FJumpIfNot _ | Ir.Flat.FHalt -> None
 
-let flat_succs (ops : Ir.Flat.finstr array) i =
+let flat_succs ?(decide = fun _ -> None) (ops : Ir.Flat.finstr array) i =
   match ops.(i) with
   | Ir.Flat.FJump t -> [ t ]
-  | Ir.Flat.FJumpIfNot (_, t) -> [ i + 1; t ]
+  | Ir.Flat.FJumpIfNot (_, t) -> (
+      match decide i with
+      | Some true -> [ i + 1 ]
+      | Some false -> [ t ]
+      | None -> [ i + 1; t ])
   | Ir.Flat.FHalt -> []
   | _ -> [ i + 1 ]
 
-let flat_dataflow_diags (f : Ir.Flat.t) : diag list =
+let flat_dataflow_diags ?fsummary (f : Ir.Flat.t) : diag list =
   let ops = f.Ir.Flat.ops in
   let n = Array.length ops in
   let cx =
@@ -711,6 +741,15 @@ let flat_dataflow_diags (f : Ir.Flat.t) : diag list =
     { phases = Array.make (Array.length cx.transfers) Idle;
       avail = Avail.empty;
       coll = Array.make (Array.length cx.slots) (-1) }
+  in
+  (* With a flat abstract-interpretation summary, decided conditional
+     jumps contribute their live successor only; ops the pruned CFG
+     cannot reach never acquire an in-state and are never replayed.
+     Precision-only: pruning can only shrink the emitted set. *)
+  let decide i =
+    match fsummary with
+    | None -> None
+    | Some fs -> Absint.decide_flat fs i
   in
   (* forward worklist fixpoint over the op CFG; the lattice has finite
      height, so it terminates without widening *)
@@ -741,7 +780,7 @@ let flat_dataflow_diags (f : Ir.Flat.t) : diag list =
                     instate.(j) <- Some m;
                     Queue.push j work
                   end)
-          (flat_succs ops i)
+          (flat_succs ~decide ops i)
   done;
   (* replay every reachable op once from its stable in-state, emitting *)
   Array.iteri
@@ -759,13 +798,18 @@ let flat_dataflow_diags (f : Ir.Flat.t) : diag list =
     instate;
   List.rev !diags @ table_diags cx ~flat:true ~end_pos:(n - 1)
 
-let flat_order_diags (f : Ir.Flat.t) : diag list =
+let flat_order_diags ?fsummary (f : Ir.Flat.t) : diag list =
   let ops = f.Ir.Flat.ops in
   let n = Array.length ops in
   let diags = ref [] in
   let check_run =
     order_check f.Ir.Flat.prog f.Ir.Flat.transfers ~flat:true
       ~emit_diag:(fun d -> diags := d :: !diags)
+  in
+  let reachable i =
+    match fsummary with
+    | None -> true
+    | Some fs -> Absint.reachable_flat fs i
   in
   (* a jump target starts a new rendezvous group: two processors may
      reach it along different paths, so adjacency across the boundary is
@@ -785,9 +829,11 @@ let flat_order_diags (f : Ir.Flat.t) : diag list =
   Array.iteri
     (fun i op ->
       if target.(i) then flush ();
-      match op with
-      | Ir.Flat.FComm (c, t) -> run := (i, c, t) :: !run
-      | _ -> flush ())
+      if not (reachable i) then flush ()
+      else
+        match op with
+        | Ir.Flat.FComm (c, t) -> run := (i, c, t) :: !run
+        | _ -> flush ())
     ops;
   flush ();
   List.rev !diags
@@ -796,21 +842,23 @@ let flat_order_diags (f : Ir.Flat.t) : diag list =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let check (p : Ir.Instr.program) : diag list =
+let check ?(prune = false) (p : Ir.Instr.program) : diag list =
+  let summary = if prune then Some (Absint.analyze p) else None in
   List.stable_sort
     (fun a b -> compare a.d_pos b.d_pos)
-    (dataflow_diags p @ order_diags p)
+    (dataflow_diags ?summary p @ order_diags ?summary p)
 
 (** The same checkers over the flattened op vector: the flattener (jump
     threading) and collective expansion ordering sit inside the verified
     boundary. Positions are flat op indices ([flat#N]). *)
-let check_flat (f : Ir.Flat.t) : diag list =
+let check_flat ?(prune = false) (f : Ir.Flat.t) : diag list =
+  let fsummary = if prune then Some (Absint.analyze_flat f) else None in
   List.stable_sort
     (fun a b -> compare a.d_pos b.d_pos)
-    (flat_dataflow_diags f @ flat_order_diags f)
+    (flat_dataflow_diags ?fsummary f @ flat_order_diags ?fsummary f)
 
-let check_exn (p : Ir.Instr.program) : unit =
-  match check p with
+let check_exn ?prune (p : Ir.Instr.program) : unit =
+  match check ?prune p with
   | [] -> ()
   | ds ->
       failwith
@@ -819,8 +867,8 @@ let check_exn (p : Ir.Instr.program) : unit =
            (if List.length ds = 1 then "" else "s")
            (String.concat "\n" (List.map diag_to_string ds)))
 
-let check_flat_exn (f : Ir.Flat.t) : unit =
-  match check_flat f with
+let check_flat_exn ?prune (f : Ir.Flat.t) : unit =
+  match check_flat ?prune f with
   | [] -> ()
   | ds ->
       failwith

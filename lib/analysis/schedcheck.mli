@@ -64,8 +64,18 @@ val pp_diag : Format.formatter -> diag -> unit
 val diag_to_string : diag -> string
 
 (** All diagnostics, sorted by position. [[]] means the schedule passed
-    every checker. *)
-val check : Ir.Instr.program -> diag list
+    every checker.
+
+    [~prune:true] (default [false]) first runs the {!Absint} scalar
+    interval analysis and skips branches it proves infeasible: a decided
+    [If] contributes only its live arm (to every checker, including the
+    syntactic order scan), and a [Repeat] whose trip count is pinned to
+    exactly one iteration skips its back edge. The contract is
+    {e precision-only}: pruning can only remove diagnostics, never add
+    them — any schedule accepted unpruned is accepted pruned, so callers
+    may enable it freely to avoid false positives in statically-dead
+    code. *)
+val check : ?prune:bool -> Ir.Instr.program -> diag list
 
 (** The same checkers over the flattened op vector, so the flattener's
     jump threading and the placement of collective rounds relative to
@@ -74,12 +84,17 @@ val check : Ir.Instr.program -> diag list
     worklist fixpoint; every [FHalt] must be reached with all transfers
     idle and no collective open. A jump target starts a new rendezvous
     group for the order checker: adjacency across a join is not an SPMD
-    property. *)
-val check_flat : Ir.Flat.t -> diag list
+    property.
+
+    [~prune:true] uses {!Absint.analyze_flat}: decided conditional jumps
+    contribute their live successor only, and ops the pruned CFG cannot
+    reach are checked by no checker. Same precision-only contract as
+    {!check}. *)
+val check_flat : ?prune:bool -> Ir.Flat.t -> diag list
 
 (** [check_exn p] raises [Failure] with one rendered diagnostic per line
     if {!check} finds anything. *)
-val check_exn : Ir.Instr.program -> unit
+val check_exn : ?prune:bool -> Ir.Instr.program -> unit
 
 (** [check_flat_exn f] likewise for {!check_flat}. *)
-val check_flat_exn : Ir.Flat.t -> unit
+val check_flat_exn : ?prune:bool -> Ir.Flat.t -> unit

@@ -13,70 +13,86 @@ type finstr =
   | FJumpIfNot of Zpl.Prog.sexpr * int  (** jump when the condition is false *)
   | FHalt
 
-type t = { prog : Zpl.Prog.t; transfers : Transfer.t array; ops : finstr array }
+type t = {
+  prog : Zpl.Prog.t;
+  transfers : Transfer.t array;
+  ops : finstr array;
+  src_of_op : int array;
+      (** per op: the preorder {!Instr.size} position of the source
+          instruction it was flattened from (synthetic loop init / test /
+          increment / jump ops map to their loop header; [FHalt] to -1) —
+          the join key between flat-form diagnostics or per-op execution
+          counters and the structured program. *)
+}
 
 let flatten (p : Instr.program) : t =
   let buf = ref [] in
+  let srcs = ref [] in
   let len = ref 0 in
-  let push i =
+  let push src i =
     buf := i :: !buf;
+    srcs := src :: !srcs;
     incr len
   in
-  (* Jump targets are patched after the fact via placeholders. *)
-  let rec go (code : Instr.instr list) =
-    List.iter
-      (function
-        | Instr.Comm (c, x) -> push (FComm (c, x))
-        | Instr.Kernel a -> push (FKernel a)
-        | Instr.ScalarK { lhs; rhs } -> push (FScalar { lhs; rhs })
-        | Instr.ReduceK r -> push (FReduce r)
-        | Instr.CollPart w -> push (FCollPart w)
-        | Instr.CollFin w -> push (FCollFin w)
+  (* Jump targets are patched after the fact via placeholders; patching
+     replaces the op only, so the parallel source list stays aligned. *)
+  let rec go pos (code : Instr.instr list) =
+    match code with
+    | [] -> ()
+    | i :: rest ->
+        (match i with
+        | Instr.Comm (c, x) -> push pos (FComm (c, x))
+        | Instr.Kernel a -> push pos (FKernel a)
+        | Instr.ScalarK { lhs; rhs } -> push pos (FScalar { lhs; rhs })
+        | Instr.ReduceK r -> push pos (FReduce r)
+        | Instr.CollPart w -> push pos (FCollPart w)
+        | Instr.CollFin w -> push pos (FCollFin w)
         | Instr.Repeat (body, cond) ->
             let start = !len in
-            go body;
+            go (pos + 1) body;
             (* repeat..until: loop back while the condition is false *)
-            push (FJumpIfNot (cond, start))
+            push pos (FJumpIfNot (cond, start))
         | Instr.For { var; lo; hi; step; body } ->
-            push (FScalar { lhs = var; rhs = lo });
+            push pos (FScalar { lhs = var; rhs = lo });
             let head = !len in
             let cond =
               if step >= 0 then Zpl.Prog.SBin (Zpl.Ast.Le, Zpl.Prog.SVar var, hi)
               else Zpl.Prog.SBin (Zpl.Ast.Ge, Zpl.Prog.SVar var, hi)
             in
             let patch_pos = !len in
-            push (FJumpIfNot (cond, -1) (* patched below *));
-            go body;
-            push
+            push pos (FJumpIfNot (cond, -1) (* patched below *));
+            go (pos + 1) body;
+            push pos
               (FScalar
                  { lhs = var;
                    rhs =
                      Zpl.Prog.SBin
                        (Zpl.Ast.Add, Zpl.Prog.SVar var, Zpl.Prog.SInt step) });
-            push (FJump head);
+            push pos (FJump head);
             patch patch_pos (FJumpIfNot (cond, !len))
         | Instr.If (cond, then_, else_) ->
             let p1 = !len in
-            push (FJumpIfNot (cond, -1));
-            go then_;
+            push pos (FJumpIfNot (cond, -1));
+            go (pos + 1) then_;
             if else_ = [] then patch p1 (FJumpIfNot (cond, !len))
             else begin
               let p2 = !len in
-              push (FJump (-1));
+              push pos (FJump (-1));
               patch p1 (FJumpIfNot (cond, !len));
-              go else_;
+              go (pos + 1 + Instr.size_list then_) else_;
               patch p2 (FJump !len)
-            end)
-      code
+            end);
+        go (pos + Instr.size i) rest
   and patch pos instr =
     (* [buf] is reversed: element at logical index i lives at !len-1-i *)
     buf := List.mapi (fun k x -> if k = !len - 1 - pos then instr else x) !buf
   in
-  go p.Instr.code;
-  push FHalt;
+  go 0 p.Instr.code;
+  push (-1) FHalt;
   { prog = p.Instr.prog;
     transfers = p.Instr.transfers;
-    ops = Array.of_list (List.rev !buf) }
+    ops = Array.of_list (List.rev !buf);
+    src_of_op = Array.of_list (List.rev !srcs) }
 
 (** Number of collective slots the program uses (0 when no collective
     synthesis ran) — the size of the per-processor slot state the

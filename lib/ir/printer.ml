@@ -32,7 +32,7 @@ let rec instr_lines (p : Instr.program) ~indent (i : Instr.instr) : string list 
   | Instr.CollFin w -> [ pad ^ coll_work_str prog "finish" w ]
   | Instr.Kernel a -> Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignA a)
   | Instr.ScalarK { lhs; rhs } ->
-      Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignS { lhs; rhs })
+      Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignS { lhs; rhs; loc = Zpl.Loc.dummy })
   | Instr.ReduceK r -> Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.ReduceS r)
   | Instr.Repeat (body, cond) ->
       (Printf.sprintf "%srepeat" pad
@@ -89,7 +89,7 @@ let annotated_lines (p : Instr.program) : string list =
         prefix_first k (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignA a))
     | Instr.ScalarK { lhs; rhs } ->
         prefix_first k
-          (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignS { lhs; rhs }))
+          (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.AssignS { lhs; rhs; loc = Zpl.Loc.dummy }))
     | Instr.ReduceK r ->
         prefix_first k (Zpl.Pretty.stmt_lines prog ~indent (Zpl.Prog.ReduceS r))
     | Instr.CollPart w -> [ idx k ^ pad ^ coll_work_str prog "partial" w ]

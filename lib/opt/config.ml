@@ -17,6 +17,7 @@ type t = {
   rr : bool;  (** redundant communication removal *)
   cc : bool;  (** communication combination *)
   pl : bool;  (** communication pipelining *)
+  dbe : bool;  (** dead-branch elimination (before rr/cc/pl) *)
   heuristic : heuristic;
   collective : collective;  (** full-reduction synthesis *)
 }
@@ -26,8 +27,11 @@ let baseline =
   { rr = false;
     cc = false;
     pl = false;
+    dbe = true;
     heuristic = Max_combine;
     collective = Opaque }
+
+let with_dbe dbe c = { c with dbe }
 
 (** The cumulative experiment rows of the paper's Figure 9. *)
 let rr_only = { baseline with rr = true }
@@ -63,6 +67,9 @@ let name c =
           (if pl then "pl+" else "")
           (match h with Max_combine -> "maxcc" | Max_latency -> "maxlat")
   in
-  match c.collective with
-  | Opaque -> base
-  | coll -> base ^ "+coll=" ^ collective_name coll
+  let base =
+    match c.collective with
+    | Opaque -> base
+    | coll -> base ^ "+coll=" ^ collective_name coll
+  in
+  if c.dbe then base else base ^ "+nodbe"

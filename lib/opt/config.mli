@@ -33,6 +33,11 @@ type t = {
   rr : bool;  (** redundant communication removal *)
   cc : bool;  (** communication combination *)
   pl : bool;  (** communication pipelining *)
+  dbe : bool;
+      (** dead-branch elimination: splice statically-decided [CIf]s
+          before rr/cc/pl run (see {!Deadbranch}). On in every preset —
+          it only removes code no execution runs — and off only for
+          A/B-ing the straightening effect. *)
   heuristic : heuristic;
   collective : collective;  (** full-reduction synthesis *)
 }
@@ -43,6 +48,9 @@ val equal : t -> t -> bool
 
 (** Message vectorization only — the paper's baseline. *)
 val baseline : t
+
+(** [with_dbe b c] — [c] with dead-branch elimination set to [b]. *)
+val with_dbe : bool -> t -> t
 
 (** The cumulative rows of the paper's Figure 9. *)
 val rr_only : t

@@ -1,0 +1,83 @@
+(** Dead-branch elimination over the optimizer's block form, fed by the
+    {!Analysis.Absint} scalar interval domain: a [CIf] whose condition
+    the abstract state decides is spliced down to its live arm, so the
+    communication passes (rr, cc, pl) see straighter code — a hoist or a
+    merge never stops at a branch that can never be taken.
+
+    The walker's domain is deliberately a fixpoint-free subset of the
+    full analysis: loop bodies havoc every scalar they write (loop
+    variables included) instead of iterating to a fixpoint. That is
+    sound — havoc is the coarsest post-state — and decides exactly the
+    conditions dead branches have in practice: [-D] defines are folded
+    to literals by the front end, so guards like [if DEBUG > 0] are
+    loop-invariant constants. The soundness contract matches pruning:
+    an undecided condition keeps both arms, so elimination can only
+    remove code no execution runs. *)
+
+module A = Analysis.Absint
+
+(** Scalar ids written anywhere under [code]: scalar assigns, scalar
+    reductions, and [CFor] loop variables. *)
+let rec writes_of_code (code : Ir.Block.code) : int list =
+  List.concat_map
+    (function
+      | Ir.Block.Straight b ->
+          Array.to_list b.Ir.Block.work
+          |> List.filter_map (function
+               | Ir.Block.WScalar { lhs; _ } -> Some lhs
+               | Ir.Block.WReduce r -> Some r.Zpl.Prog.r_lhs
+               | Ir.Block.WKernel _ -> None)
+      | Ir.Block.CRepeat (body, _) -> writes_of_code body
+      | Ir.Block.CFor { var; body; _ } -> var :: writes_of_code body
+      | Ir.Block.CIf (_, a, b) -> writes_of_code a @ writes_of_code b)
+    code
+
+let havoc (st : A.state) ids =
+  let st = Array.copy st in
+  List.iter (fun v -> st.(v) <- A.top) ids;
+  st
+
+let block_post (st : A.state) (b : Ir.Block.block) : A.state =
+  let st = Array.copy st in
+  Array.iter
+    (function
+      | Ir.Block.WScalar { lhs; rhs } -> st.(lhs) <- A.eval_state st rhs
+      | Ir.Block.WReduce r -> st.(r.Zpl.Prog.r_lhs) <- A.top
+      | Ir.Block.WKernel _ -> ())
+    b.Ir.Block.work;
+  st
+
+(** [run prog code] — eliminate decided branches; returns the spliced
+    code. The count of eliminated [CIf]s is not reported here; compare
+    {!Ir.Count.static_count} before and after instead. *)
+let run (prog : Zpl.Prog.t) (code : Ir.Block.code) : Ir.Block.code =
+  let rec go st (code : Ir.Block.code) : Ir.Block.code * A.state =
+    List.fold_left
+      (fun (acc, st) item ->
+        match item with
+        | Ir.Block.Straight b -> (item :: acc, block_post st b)
+        | Ir.Block.CRepeat (body, cond) ->
+            let st = havoc st (writes_of_code body) in
+            let body, st = go st body in
+            (Ir.Block.CRepeat (body, cond) :: acc, st)
+        | Ir.Block.CFor ({ var; body; _ } as f) ->
+            let st = havoc st (var :: writes_of_code body) in
+            let body, st = go st body in
+            (Ir.Block.CFor { f with body } :: acc, st)
+        | Ir.Block.CIf (cond, a, b) -> (
+            match A.decide_bool (A.eval_state st cond) with
+            | Some true ->
+                let a, st = go st a in
+                (List.rev_append a acc, st)
+            | Some false ->
+                let b, st = go st b in
+                (List.rev_append b acc, st)
+            | None ->
+                let a, sa = go st a in
+                let b, sb = go st b in
+                (Ir.Block.CIf (cond, a, b) :: acc, A.state_join sa sb)))
+      ([], st) code
+    |> fun (acc, st) -> (List.rev acc, st)
+  in
+  let code, _ = go (A.init_state prog) code in
+  code

@@ -1,0 +1,14 @@
+(** Dead-branch elimination: splice every [CIf] whose condition the
+    {!Analysis.Absint} interval domain decides down to its live arm,
+    before the communication passes run. Sound in the pruning sense —
+    an undecided condition keeps both arms, so only code no execution
+    runs is removed; a removed arm takes its transfers with it. *)
+
+(** Scalar ids written anywhere under the code (scalar assigns, scalar
+    reductions, [CFor] loop variables) — exposed for tests. *)
+val writes_of_code : Ir.Block.code -> int list
+
+(** [run prog code] — [prog] supplies the scalar table for the exact
+    initial abstract state ([-D] defines are already folded to literals
+    by the front end). *)
+val run : Zpl.Prog.t -> Ir.Block.code -> Ir.Block.code

@@ -7,7 +7,7 @@
 let work_of (s : Zpl.Prog.stmt) : Ir.Block.work option =
   match s with
   | Zpl.Prog.AssignA a -> Some (Ir.Block.WKernel a)
-  | Zpl.Prog.AssignS { lhs; rhs } -> Some (Ir.Block.WScalar { lhs; rhs })
+  | Zpl.Prog.AssignS { lhs; rhs; _ } -> Some (Ir.Block.WScalar { lhs; rhs })
   | Zpl.Prog.ReduceS r -> Some (Ir.Block.WReduce r)
   | Zpl.Prog.Repeat _ | Zpl.Prog.For _ | Zpl.Prog.If _ -> None
 

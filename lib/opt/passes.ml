@@ -20,8 +20,17 @@ let pass name enabled f (code : Ir.Block.code) : Ir.Block.code =
     code
   end
 
-let optimize (config : Config.t) (code : Ir.Block.code) : Ir.Block.code =
+(* Dead-branch elimination runs first so rr/cc/pl see straight code; it
+   needs the program's scalar table for the initial abstract state, so
+   callers without one ([?prog] absent) get the pass silently skipped —
+   the comm passes are correct either way, dbe only straightens. *)
+let optimize ?prog (config : Config.t) (code : Ir.Block.code) : Ir.Block.code =
   Ir.Block.check_invariants ~pass:"lower" code;
+  let code =
+    match prog with
+    | Some p -> pass "dbe" config.Config.dbe (Deadbranch.run p) code
+    | None -> code
+  in
   code
   |> pass "rr" config.Config.rr Redundant.run
   |> pass "cc" config.Config.cc (Combine.run config.Config.heuristic)
@@ -39,7 +48,7 @@ let compile ?(check = false) ?(machine = Machine.T3d.machine)
     ?(lib = Machine.T3d.pvm) ?(mesh = (4, 4))
     ?(topology = Machine.Topology.Ideal) (config : Config.t)
     (p : Zpl.Prog.t) : Ir.Instr.program =
-  let ir = Ir.Instr.of_code p (optimize config (Lower.lower p)) in
+  let ir = Ir.Instr.of_code p (optimize ~prog:p config (Lower.lower p)) in
   let pr, pc = mesh in
   let ir =
     Collective.expand ~topology ~mesh ~collective:config.Config.collective

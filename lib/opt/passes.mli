@@ -12,8 +12,11 @@ type report = {
 
 (** Apply the selected passes in place. {!Ir.Block.check_invariants}
     runs unconditionally on the input and after each enabled pass; a
-    violation fails with the responsible pass named in the message. *)
-val optimize : Config.t -> Ir.Block.code -> Ir.Block.code
+    violation fails with the responsible pass named in the message.
+    [?prog] enables {!Deadbranch} elimination (when [config.dbe]) ahead
+    of rr/cc/pl — it needs the scalar table for the initial abstract
+    state, so without it the pass is skipped. *)
+val optimize : ?prog:Zpl.Prog.t -> Config.t -> Ir.Block.code -> Ir.Block.code
 
 (** Full pipeline: typed program to final IRONMAN IR. With [~check:true]
     the emitted program is additionally verified by

@@ -18,14 +18,16 @@ type t = {
   row_path : bool;  (** whether array statements may use the row path *)
   fuse : bool;  (** whether adjacent assignments may fuse (needs row path) *)
   cse : bool;  (** whether fused groups may hoist repeated subterms *)
+  on_scalar : int -> Values.value -> unit;
+      (** observation hook, called after every scalar write *)
   mutable steps : int;  (** simple statements executed *)
   mutable cells : int;  (** array cells updated or reduced *)
 }
 
 exception Step_limit of int
 
-let make ?(row_path = true) ?(fuse = true) ?(cse = true) (prog : Zpl.Prog.t) :
-    t =
+let make ?(row_path = true) ?(fuse = true) ?(cse = true)
+    ?(on_scalar = fun _ _ -> ()) (prog : Zpl.Prog.t) : t =
   let stores =
     Array.map
       (fun (info : Zpl.Prog.array_info) ->
@@ -33,7 +35,7 @@ let make ?(row_path = true) ?(fuse = true) ?(cse = true) (prog : Zpl.Prog.t) :
       prog.arrays
   in
   { prog; stores; env = Values.make_env prog;
-    row_path; fuse = fuse && row_path; cse;
+    row_path; fuse = fuse && row_path; cse; on_scalar;
     steps = 0; cells = 0 }
 
 let rowctx_of (t : t) : Kernel.rowctx =
@@ -94,7 +96,7 @@ let rec compile_stmts t (stmts : Zpl.Prog.stmt list) : cstmt list =
 and compile_stmt (t : t) (s : Zpl.Prog.stmt) : cstmt =
   match s with
   | Zpl.Prog.AssignA a -> CAssignA (cassign_of t a)
-  | Zpl.Prog.AssignS { lhs; rhs } -> CAssignS (lhs, rhs)
+  | Zpl.Prog.AssignS { lhs; rhs; _ } -> CAssignS (lhs, rhs)
   | Zpl.Prog.ReduceS r ->
       CReduceS
         (r, lazy (Kernel.plan_reduce ~row:t.row_path (rowctx_of t) r))
@@ -138,13 +140,15 @@ and exec_stmt t ~limit (s : cstmt) =
             t.cells <- t.cells + Kernel.exec_fused fp ~region)
   | CAssignS (lhs, rhs) ->
       bump t limit;
-      t.env.(lhs) <- Values.eval_env t.env rhs
+      t.env.(lhs) <- Values.eval_env t.env rhs;
+      t.on_scalar lhs t.env.(lhs)
   | CReduceS (r, plan) ->
       bump t limit;
       let region = Values.eval_dregion t.env r.r_region in
       let v, cells = Kernel.exec_rplan (Lazy.force plan) ~region r.r_op in
       t.cells <- t.cells + cells;
-      t.env.(r.r_lhs) <- Values.VFloat v
+      t.env.(r.r_lhs) <- Values.VFloat v;
+      t.on_scalar r.r_lhs t.env.(r.r_lhs)
   | CRepeat (body, cond) ->
       let rec loop () =
         exec_stmts t ~limit body;
@@ -157,6 +161,7 @@ and exec_stmt t ~limit (s : cstmt) =
       let count = if step >= 0 then hi - lo + 1 else lo - hi + 1 in
       for k = 0 to count - 1 do
         t.env.(var) <- Values.VInt (lo + (k * step));
+        t.on_scalar var t.env.(var);
         exec_stmts t ~limit body
       done
   | CIf (cond, then_, else_) ->
@@ -169,8 +174,9 @@ and exec_stmt t ~limit (s : cstmt) =
     per-point fallback everywhere — the differential-testing oracle.
     [fuse:false] keeps the row path but runs every statement alone.
     [cse:false] fuses without hoisting repeated subterms. *)
-let run ?(limit = 10_000_000) ?row_path ?fuse ?cse (prog : Zpl.Prog.t) : t =
-  let t = make ?row_path ?fuse ?cse prog in
+let run ?(limit = 10_000_000) ?row_path ?fuse ?cse ?on_scalar
+    (prog : Zpl.Prog.t) : t =
+  let t = make ?row_path ?fuse ?cse ?on_scalar prog in
   exec_stmts t ~limit (compile_stmts t prog.body);
   t
 

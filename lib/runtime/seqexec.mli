@@ -13,6 +13,11 @@ type t = {
   row_path : bool;  (** whether array statements may use the row path *)
   fuse : bool;  (** whether adjacent assignments may fuse (needs row path) *)
   cse : bool;  (** whether fused groups may hoist repeated subterms *)
+  on_scalar : int -> Values.value -> unit;
+      (** observation hook, called with (scalar id, new value) after
+          every scalar write — loop variable updates included. Used by
+          the Absint soundness property to check every concrete scalar
+          trace against the abstract hull. Default: no-op. *)
   mutable steps : int;  (** simple statements executed *)
   mutable cells : int;  (** array cells updated or reduced *)
 }
@@ -20,7 +25,13 @@ type t = {
 (** Raised when the statement budget is exhausted (runaway [repeat]). *)
 exception Step_limit of int
 
-val make : ?row_path:bool -> ?fuse:bool -> ?cse:bool -> Zpl.Prog.t -> t
+val make :
+  ?row_path:bool ->
+  ?fuse:bool ->
+  ?cse:bool ->
+  ?on_scalar:(int -> Values.value -> unit) ->
+  Zpl.Prog.t ->
+  t
 
 (** Run to completion. [limit] bounds executed simple statements
     (default 10 million). [row_path] defaults to [true]; [false] forces
@@ -31,7 +42,13 @@ val make : ?row_path:bool -> ?fuse:bool -> ?cse:bool -> Zpl.Prog.t -> t
     cells) are bit-identical across all configurations —
     property-tested in [test_props.ml]. *)
 val run :
-  ?limit:int -> ?row_path:bool -> ?fuse:bool -> ?cse:bool -> Zpl.Prog.t -> t
+  ?limit:int ->
+  ?row_path:bool ->
+  ?fuse:bool ->
+  ?cse:bool ->
+  ?on_scalar:(int -> Values.value -> unit) ->
+  Zpl.Prog.t ->
+  t
 
 val scalar_value : t -> string -> Values.value option
 val array_store : t -> string -> Store.t option

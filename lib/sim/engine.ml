@@ -261,6 +261,13 @@ type proc = {
   mutable halted : bool;
   mutable queued : bool;
   mutable instrs : int;  (** instructions executed by this processor *)
+  ops_run : int array;
+      (** per flat op index: completed executions on this processor.
+          Communication calls count on completion only (like [instrs]),
+          so an op's count is its activation count; control flow is
+          replicated, so the counts are identical across processors —
+          the join key static communication predictions are validated
+          against (see {!op_counts}). *)
   posted : int array;  (** per transfer: outstanding posted receives *)
   send_done : float array;  (** per transfer: when the last send drained *)
   mutable reduce_seq : int;
@@ -619,6 +626,7 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
           wait_kind = wk_none; wait_arg = 0;
           halted = false; queued = false;
           instrs = 0;
+          ops_run = Array.make (Array.length flat.Ir.Flat.ops) 0;
           posted = Array.make nx 0;
           send_done = Array.make nx 0.0;
           reduce_seq = 0;
@@ -1654,10 +1662,15 @@ let count_instrs (t : t) (p : proc) k =
   p.instrs <- p.instrs + k;
   if p.instrs > t.limit then raise (Instruction_limit t.limit)
 
+(** Record one completed execution of op [idx] — same completion-only
+    discipline as {!count_instrs}, but per op index. *)
+let count_op (p : proc) idx = p.ops_run.(idx) <- p.ops_run.(idx) + 1
+
 let exec_one (t : t) (p : proc) : step =
   match t.flat.Ir.Flat.ops.(p.pc) with
   | Ir.Flat.FHalt ->
       count_instrs t p 1;
+      count_op p p.pc;
       p.halted <- true;
       p.stats.Stats.times.Stats.finish <- p.time.fv;
       Halted
@@ -1665,41 +1678,51 @@ let exec_one (t : t) (p : proc) : step =
       let glen = t.fuse_len.(p.pc) in
       if glen >= 2 then begin
         count_instrs t p glen;
+        for k = 0 to glen - 1 do
+          count_op p (p.pc + k)
+        done;
         exec_fused_group t p p.pc glen;
         p.pc <- p.pc + glen
       end
       else begin
         count_instrs t p 1;
+        count_op p p.pc;
         exec_kernel t p p.pc a;
         p.pc <- p.pc + 1
       end;
       Continue
   | Ir.Flat.FScalar { lhs; rhs } ->
       count_instrs t p 1;
+      count_op p p.pc;
       p.env.(lhs) <- Runtime.Values.eval_env p.env rhs;
       p.time.fv <- p.time.fv +. t.machine.Machine.Params.scalar_op_cost;
       p.pc <- p.pc + 1;
       Continue
   | Ir.Flat.FJump target ->
       count_instrs t p 1;
+      count_op p p.pc;
       p.pc <- target;
       Continue
   | Ir.Flat.FJumpIfNot (cond, target) ->
       count_instrs t p 1;
+      count_op p p.pc;
       p.time.fv <- p.time.fv +. t.machine.Machine.Params.scalar_op_cost;
       if Runtime.Values.eval_bool p.env cond then p.pc <- p.pc + 1
       else p.pc <- target;
       Continue
   | Ir.Flat.FReduce r ->
       count_instrs t p 1;
+      count_op p p.pc;
       exec_reduce t p p.pc r
   | Ir.Flat.FCollPart w ->
       count_instrs t p 1;
+      count_op p p.pc;
       exec_coll_part t p p.pc w;
       p.pc <- p.pc + 1;
       Continue
   | Ir.Flat.FCollFin w ->
       count_instrs t p 1;
+      count_op p p.pc;
       exec_coll_fin t p w;
       p.pc <- p.pc + 1;
       Continue
@@ -1711,6 +1734,7 @@ let exec_one (t : t) (p : proc) : step =
              counting attempts would make [instructions] differ between
              the serial and parallel drains *)
           count_instrs t p 1;
+          count_op p p.pc;
           p.pc <- p.pc + 1;
           Continue
       | other -> other)
@@ -1903,3 +1927,10 @@ let pool_counts (t : t) : int * int =
   (!fresh, !reused)
 let fused_group_count (t : t) =
   Array.fold_left (fun n l -> if l >= 2 then n + 1 else n) 0 t.fuse_len
+
+(** Completed executions per flat op index after a run (processor 0's
+    counters; control flow is replicated, so every processor's counts
+    are identical). [Ir.Flat.src_of_op] joins them back to structured
+    positions — the measured activation counts static communication
+    predictions are validated against. *)
+let op_counts (t : t) : int array = Array.copy t.procs.(0).ops_run

@@ -149,3 +149,9 @@ val pool_counts : t -> int * int
 (** Number of fused kernel groups the op stream was partitioned into
     (0 when fusion is off) — exposed for tests and tooling. *)
 val fused_group_count : t -> int
+
+(** Completed executions per flat op index after a run (identical across
+    processors — control flow is replicated); communication calls count
+    on completion, so a comm op's count is its activation count.
+    [Ir.Flat.src_of_op] joins the counters back to structured positions. *)
+val op_counts : t -> int array

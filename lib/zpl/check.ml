@@ -21,6 +21,9 @@ type env = {
   mutable table : (string * entry) list;
   mutable arrays : Prog.array_info list;  (** reversed *)
   mutable scalars : Prog.scalar_info list;  (** reversed *)
+  mutable consts : (string * Loc.t * bool ref) list;
+      (** declared constants with a usage cell, reversed; folded values
+          leave no trace in the program, so usage is recorded at lookup *)
   mutable ambient : Prog.dregion option;
       (** region of the nearest preceding explicit region prefix, mimicking
           ZPL's dynamic region scoping for straight-line code *)
@@ -30,7 +33,16 @@ type env = {
 
 let lookup env loc name =
   match List.assoc_opt name env.table with
-  | Some e -> e
+  | Some e ->
+      (match e with
+      | KConst _ -> (
+          match
+            List.find_opt (fun (n, _, _) -> n = name) env.consts
+          with
+          | Some (_, _, used) -> used := true
+          | None -> ())
+      | _ -> ());
+      e
   | None -> (
       match name with
       | "Index1" -> KIndexd 0
@@ -44,9 +56,10 @@ let define env loc name entry =
   | None -> ());
   env.table <- (name, entry) :: env.table
 
-let fresh_scalar env name ty =
+let fresh_scalar env ~loc name ty =
   let id = List.length env.scalars in
-  env.scalars <- { Prog.s_id = id; s_name = name; s_ty = ty } :: env.scalars;
+  env.scalars <-
+    { Prog.s_id = id; s_name = name; s_ty = ty; s_loc = loc } :: env.scalars;
   id
 
 let fresh_array env loc name region =
@@ -419,7 +432,7 @@ and check_stmt env (s : Ast.stmt) : Prog.stmt list =
           in
           if not ok then
             Loc.fail s.sloc "type mismatch assigning to scalar %S" name;
-          [ P.AssignS { lhs = id; rhs = fold_sexpr te } ]
+          [ P.AssignS { lhs = id; rhs = fold_sexpr te; loc = s.sloc } ]
       | KArray _, Ast.EReduce _ ->
           Loc.fail s.sloc "reduction target %S must be a scalar, not an array"
             name
@@ -452,7 +465,7 @@ and check_stmt env (s : Ast.stmt) : Prog.stmt list =
       let thi, tyhi = check_sexpr env hi in
       if tylo <> TInt || tyhi <> TInt then
         Loc.fail s.sloc "'for' bounds must be integers";
-      let id = fresh_scalar env v Ast.TInt in
+      let id = fresh_scalar env ~loc:s.sloc v Ast.TInt in
       let saved = env.table in
       env.table <- (v, KScalar id) :: env.table;
       let tbody = check_stmts env body in
@@ -495,6 +508,7 @@ let check_decl env (d : Ast.decl) =
       let te, _ = check_sexpr env e in
       match fold_sexpr te with
       | (Prog.SInt _ | Prog.SFloat _ | Prog.SBool _) as lit ->
+          env.consts <- (name, loc, ref false) :: env.consts;
           define env loc name (KConst lit)
       | _ -> Loc.fail loc "constant %S is not a compile-time value" name)
   | Ast.DVarArray (names, rref, elem, loc) ->
@@ -510,7 +524,9 @@ let check_decl env (d : Ast.decl) =
         (fun n -> define env loc n (KArray (fresh_array env loc n region)))
         names
   | Ast.DVarScalar (names, elem, loc) ->
-      List.iter (fun n -> define env loc n (KScalar (fresh_scalar env n elem))) names
+      List.iter
+        (fun n -> define env loc n (KScalar (fresh_scalar env ~loc n elem)))
+        names
 
 (** [check ?defines ?entry program] type-checks [program]. [defines]
     overrides same-named [constant] declarations (used to rescale problem
@@ -519,7 +535,7 @@ let check_decl env (d : Ast.decl) =
 let check ?(defines : (string * float) list = []) ?entry ?(source_lines = 0)
     (prog : Ast.program) : Prog.t =
   let env =
-    { table = []; arrays = []; scalars = []; ambient = None;
+    { table = []; arrays = []; scalars = []; consts = []; ambient = None;
       procs = Hashtbl.create 8; inlining = [] }
   in
   List.iter (fun p -> Hashtbl.replace env.procs p.Ast.p_name p) prog.Ast.procs;
@@ -560,10 +576,25 @@ let check ?(defines : (string * float) list = []) ?entry ?(source_lines = 0)
   in
   env.inlining <- [ entry_proc.Ast.p_name ];
   let body = check_stmts env entry_proc.Ast.p_body in
+  let const_names = List.map (fun (n, _, _) -> n) env.consts in
   {
     Prog.name = entry_proc.Ast.p_name;
     arrays = Array.of_list (List.rev env.arrays);
     scalars = Array.of_list (List.rev env.scalars);
+    consts =
+      Array.of_list
+        (List.rev_map
+           (fun (name, loc, used) ->
+             { Prog.c_name = name;
+               c_loc = loc;
+               c_used = !used;
+               c_overridden = List.mem_assoc name defines })
+           env.consts);
+    unknown_defines =
+      List.filter_map
+        (fun (name, _) ->
+          if List.mem name const_names then None else Some name)
+        defines;
     body;
     source_lines;
   }

@@ -60,7 +60,7 @@ let rec stmt_lines (p : t) ~indent (s : stmt) : string list =
   | AssignA { region; lhs; rhs; _ } ->
       [ Printf.sprintf "%s%s %s := %s;" pad (dregion_to_string region)
           (array_info p lhs).a_name (aexpr_to_string p rhs) ]
-  | AssignS { lhs; rhs } ->
+  | AssignS { lhs; rhs; _ } ->
       [ Printf.sprintf "%s%s := %s;" pad (scalar_info p lhs).s_name
           (sexpr_to_string p rhs) ]
   | ReduceS { r_lhs; r_op; r_region; r_rhs; _ } ->

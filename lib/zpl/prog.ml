@@ -16,7 +16,23 @@ type array_info = {
 }
 [@@deriving show, eq]
 
-type scalar_info = { s_id : int; s_name : string; s_ty : Ast.elem }
+type scalar_info = {
+  s_id : int;
+  s_name : string;
+  s_ty : Ast.elem;
+  s_loc : Loc.t;  (** declaration site ({!Loc.dummy} for synthetic ids) *)
+}
+[@@deriving show, eq]
+
+(** A [constant] declaration, retained for diagnostics only — its value
+    is folded into every use site by the checker, so nothing downstream
+    evaluates it. *)
+type const_info = {
+  c_name : string;
+  c_loc : Loc.t;
+  c_used : bool;  (** referenced anywhere in the checked program *)
+  c_overridden : bool;  (** value supplied by a [-D] define *)
+}
 [@@deriving show, eq]
 
 (** Scalar (replicated) expressions: conditions, loop bounds, scalar rhs. *)
@@ -61,7 +77,7 @@ type reduce_s = {
 
 type stmt =
   | AssignA of assign_a  (** whole-array assignment over a region *)
-  | AssignS of { lhs : int; rhs : sexpr }
+  | AssignS of { lhs : int; rhs : sexpr; loc : Loc.t }
   | ReduceS of reduce_s  (** full reduction of an array expression to a scalar *)
   | Repeat of stmt list * sexpr
   | For of { var : int; lo : sexpr; hi : sexpr; step : int; body : stmt list }
@@ -74,6 +90,9 @@ type t = {
   name : string;
   arrays : array_info array;
   scalars : scalar_info array;
+  consts : const_info array;  (** declared [constant]s, diagnostics only *)
+  unknown_defines : string list;
+      (** [-D] names that matched no [constant] declaration *)
   body : stmt list;
   source_lines : int;  (** line count of the ZPL source, for Figure 7 *)
 }

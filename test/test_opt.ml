@@ -220,6 +220,60 @@ let test_config_names () =
   Alcotest.(check string) "pl" "pl" (Opt.Config.name Opt.Config.pl_cum);
   Alcotest.(check string) "maxlat" "pl-maxlat" (Opt.Config.name Opt.Config.pl_max_latency)
 
+(* --- dead-branch elimination (abstract interpretation satellite) --- *)
+
+let dbe_body =
+  {|
+constant use_east = 0;
+procedure main();
+begin
+  if use_east > 0 then
+    [R] C := A@east;
+  else
+    [R] C := A;
+  end;
+  [R] D := A@west;
+end;
+|}
+
+let test_dbe_removes_dead_transfer () =
+  (* the guard folds to the literal 0 > 0: dbe proves the then-arm
+     infeasible and the A@east transfer disappears from the static
+     schedule; with dbe off both branches survive *)
+  Alcotest.(check int) "dbe drops the dead transfer" 1
+    (static Opt.Config.baseline dbe_body);
+  Alcotest.(check int) "without dbe both arms survive" 2
+    (static Opt.Config.(with_dbe false baseline) dbe_body);
+  (* -D re-deciding the guard resurrects the transfer *)
+  let prog =
+    Zpl.Check.compile_string ~defines:[ ("use_east", 1.) ] (prelude ^ dbe_body)
+  in
+  Alcotest.(check int) "-D use_east=1 keeps it" 2
+    (Ir.Count.static_count (Opt.Passes.compile Opt.Config.baseline prog))
+
+let test_dbe_keeps_undecided_branch () =
+  (* x is data-dependent (reduce result): the interval domain cannot
+     decide the guard, so both arms must survive *)
+  let body =
+    {|
+procedure main();
+begin
+  [R] x := +<< A;
+  if x > 0.0 then
+    [R] C := A@east;
+  end;
+  [R] D := A@west;
+end;
+|}
+  in
+  Alcotest.(check int) "undecided guard kept" 2
+    (static Opt.Config.baseline body)
+
+let test_dbe_config_name () =
+  Alcotest.(check string) "nodbe suffix"
+    "baseline+nodbe"
+    (Opt.Config.name Opt.Config.(with_dbe false baseline))
+
 let test_pass_report () =
   let report, _ =
     Opt.Passes.report Opt.Config.cc_cum
@@ -250,6 +304,13 @@ let () =
         [ Alcotest.test_case "heuristics differ" `Quick test_heuristics_differ;
           Alcotest.test_case "equal windows merge" `Quick
             test_max_latency_merges_equal_windows ] );
+      ( "dead branches",
+        [ Alcotest.test_case "dbe removes a transfer" `Quick
+            test_dbe_removes_dead_transfer;
+          Alcotest.test_case "undecided branch kept" `Quick
+            test_dbe_keeps_undecided_branch;
+          Alcotest.test_case "+nodbe config name" `Quick test_dbe_config_name ]
+      );
       ( "emission",
         [ Alcotest.test_case "call order" `Quick test_emitted_call_order;
           Alcotest.test_case "invariants" `Quick test_invariants_hold;

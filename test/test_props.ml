@@ -248,6 +248,81 @@ let prop_never_slower =
       pl <= (base *. 1.001) +. (1e-5 *. float_of_int dyn))
 
 (* ------------------------------------------------------------------ *)
+(* Abstract interpretation soundness                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Every concrete scalar value ever written during a sequential run —
+    assignments, reductions, and loop-variable updates, observed through
+    the {!Runtime.Seqexec} [on_scalar] hook — lies inside the abstract
+    hull {!Analysis.Absint} computes for that scalar, on every
+    optimization config (the analysis runs on the final IR, which the
+    configs reshape). The final environment is checked against the hull
+    too, since a scalar's last value is its initial value or some write. *)
+let prop_absint_hull_sound =
+  QCheck.Test.make ~name:"absint hull bounds every scalar trace" ~count:30
+    arb_prog (fun p ->
+      let prog = Zpl.Check.compile_string (prog_to_source p) in
+      List.for_all
+        (fun config ->
+          let ir = Opt.Passes.compile config prog in
+          let s = Analysis.Absint.analyze ir in
+          let escapes = ref [] in
+          let to_float = function
+            | Runtime.Values.VFloat f -> f
+            | Runtime.Values.VInt i -> float_of_int i
+            | Runtime.Values.VBool b -> if b then 1.0 else 0.0
+          in
+          let on_scalar id v =
+            let f = to_float v in
+            if not (Analysis.Absint.contains s.Analysis.Absint.s_hull.(id) f)
+            then escapes := (id, f) :: !escapes
+          in
+          let t = Runtime.Seqexec.run ~on_scalar prog in
+          Array.iteri
+            (fun id v ->
+              if
+                not
+                  (Analysis.Absint.contains s.Analysis.Absint.s_hull.(id)
+                     (to_float v))
+              then escapes := (id, to_float v) :: !escapes)
+            t.Runtime.Seqexec.env;
+          if !escapes <> [] then
+            QCheck.Test.fail_reportf "escaped hull under %s: %s"
+              (Opt.Config.name config)
+              (String.concat ", "
+                 (List.map
+                    (fun (id, f) ->
+                      Printf.sprintf "%s=%g"
+                        (Zpl.Prog.scalar_info prog id).Zpl.Prog.s_name f)
+                    !escapes))
+          else true)
+        all_configs)
+
+(** Commvol's static bounds and exact predictions agree with the engine
+    on random control shapes across all six paper rows: per-processor
+    message/byte counters match the coefficient model exactly, static
+    intervals bracket every measured value, and the paper's dynamic
+    count is predicted exactly ([Run.Predict.verify] checks all of it). *)
+let prop_commvol_engine_validated =
+  QCheck.Test.make ~name:"commvol bounds validated by the engine" ~count:10
+    arb_prog (fun p ->
+      let src = prog_to_source p in
+      List.for_all
+        (fun (label, config, lib) ->
+          let spec =
+            Run.Spec.(
+              default src |> with_config config |> with_lib lib
+              |> with_mesh 2 2)
+          in
+          let t = Run.Predict.analyze spec in
+          match Run.Predict.verify t with
+          | [] -> true
+          | errs ->
+              QCheck.Test.fail_reportf "[%s]:\n%s" label
+                (String.concat "\n" errs))
+        Report.Experiment.paper_rows)
+
+(* ------------------------------------------------------------------ *)
 (* Halo duality across random layouts and offsets                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -872,6 +947,9 @@ let () =
           [ prop_optimizer_preserves_semantics; prop_counts_monotone;
             prop_members_preserved; prop_schedcheck_accepts;
             prop_invariants; prop_never_slower ] );
+      ( "analysis",
+        List.map to_alcotest
+          [ prop_absint_hull_sound; prop_commvol_engine_validated ] );
       ( "halo",
         List.map to_alcotest [ prop_halo_duality; prop_halo_covers ] );
       ( "row engine",

@@ -230,6 +230,124 @@ let test_split_dn_sv_pair () =
     (swap_adjacent (is_comm I.SV 0) (is_comm I.DN 1))
 
 (* ------------------------------------------------------------------ *)
+(* Branch pruning: statically-infeasible arms                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A stray DN for x0 — by the point it is inserted the activation has
+   completed, so replaying it is a protocol violation wherever it is
+   actually reachable. *)
+let stray_dn = I.Comm (I.DN, 0)
+let never = Zpl.Prog.SBin (Zpl.Ast.Gt, Zpl.Prog.SInt 0, Zpl.Prog.SInt 1)
+
+let rec find_for_var (is : I.instr list) : int option =
+  List.fold_left
+    (fun acc i ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match i with
+          | I.For { var; _ } -> Some var
+          | I.Repeat (b, _) -> find_for_var b
+          | I.If (_, a, b) -> (
+              match find_for_var a with
+              | Some _ as v -> v
+              | None -> find_for_var b)
+          | _ -> None))
+    None is
+
+let test_prune_infeasible_branch () =
+  (* protocol violation under a statically-false guard: the unpruned
+     checkers walk both arms and report it; with ~prune:true the
+     interval domain proves the arm infeasible and the schedule is
+     accepted — the pruned and unpruned path sets genuinely differ *)
+  let ir = fixture () in
+  let ir' = { ir with I.code = ir.I.code @ [ I.If (never, [ stray_dn ], []) ] } in
+  (match S.check ir' with
+  | [] -> Alcotest.fail "unpruned check accepted the guarded violation"
+  | ds ->
+      Alcotest.(check bool) "protocol fired unpruned" true
+        (List.mem S.Protocol (checkers ds)));
+  Alcotest.(check (list string)) "pruned accepts" []
+    (List.map S.diag_to_string (S.check ~prune:true ir'));
+  let f = Ir.Flat.flatten ir' in
+  (match S.check_flat f with
+  | [] -> Alcotest.fail "unpruned flat check accepted the guarded violation"
+  | _ -> ());
+  Alcotest.(check (list string)) "pruned flat accepts" []
+    (List.map S.diag_to_string (S.check_flat ~prune:true f))
+
+let test_prune_keeps_live_arm () =
+  (* a decided-true guard: pruning must still check the live arm *)
+  let always = Zpl.Prog.SBin (Zpl.Ast.Gt, Zpl.Prog.SInt 1, Zpl.Prog.SInt 0) in
+  let ir = fixture () in
+  let ir' =
+    { ir with I.code = ir.I.code @ [ I.If (always, [ stray_dn ], []) ] }
+  in
+  List.iter
+    (fun prune ->
+      match S.check ~prune ir' with
+      | [] ->
+          Alcotest.failf "live arm not checked (prune=%b)" prune
+      | ds ->
+          Alcotest.(check bool) "protocol fired" true
+            (List.mem S.Protocol (checkers ds)))
+    [ false; true ]
+
+let test_prune_undecided_guard_reported () =
+  (* guard on the loop variable, whose interval [1,3] leaves t > 2
+     undecided: pruning must keep both arms, so the violation is
+     reported either way (precision-only contract) *)
+  let ir = fixture () in
+  let var =
+    match find_for_var ir.I.code with
+    | Some v -> v
+    | None -> Alcotest.fail "fixture lost its for loop"
+  in
+  let undecided =
+    Zpl.Prog.SBin (Zpl.Ast.Gt, Zpl.Prog.SVar var, Zpl.Prog.SInt 2)
+  in
+  let ir' =
+    { ir with
+      I.code =
+        insert_after_first (is_comm I.SV 2)
+          (I.If (undecided, [ stray_dn ], []))
+          ir.I.code }
+  in
+  List.iter
+    (fun prune ->
+      match S.check ~prune ir' with
+      | [] -> Alcotest.failf "undecided guard pruned away (prune=%b)" prune
+      | ds ->
+          Alcotest.(check bool) "protocol fired" true
+            (List.mem S.Protocol (checkers ds)))
+    [ false; true ];
+  let f = Ir.Flat.flatten ir' in
+  List.iter
+    (fun prune ->
+      if S.check_flat ~prune f = [] then
+        Alcotest.failf "undecided guard pruned away in flat form (prune=%b)"
+          prune)
+    [ false; true ]
+
+let test_prune_grid_unchanged () =
+  (* on the real benchmark grid (no infeasible branches) pruning must
+     not change the verdict: everything stays clean *)
+  List.iter
+    (fun (b : Programs.Bench_def.t) ->
+      let prog = Programs.Suite.compile ~scale:`Test b in
+      List.iter
+        (fun (label, config, _lib) ->
+          let ir = Opt.Passes.compile config prog in
+          match S.check ~prune:true ir with
+          | [] -> ()
+          | ds ->
+              Alcotest.failf "%s [%s] with pruning:\n%s"
+                b.Programs.Bench_def.name label
+                (String.concat "\n" (List.map S.diag_to_string ds)))
+        Report.Experiment.paper_rows)
+    Programs.Suite.all
+
+(* ------------------------------------------------------------------ *)
 (* End-of-program protocol check in straight-line code                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -364,6 +482,15 @@ let () =
             test_split_dn_sv_pair;
           Alcotest.test_case "incomplete activation at end" `Quick
             test_incomplete_at_end ] );
+      ( "pruning",
+        [ Alcotest.test_case "infeasible arm: pruned accepts, unpruned reports"
+            `Quick test_prune_infeasible_branch;
+          Alcotest.test_case "live arm still checked under pruning" `Quick
+            test_prune_keeps_live_arm;
+          Alcotest.test_case "undecided guard reported either way" `Quick
+            test_prune_undecided_guard_reported;
+          Alcotest.test_case "benchmark grid clean with pruning" `Quick
+            test_prune_grid_unchanged ] );
       ( "pipeline",
         [ Alcotest.test_case "experiment grid is schedcheck-clean" `Quick
             test_grid_clean;
