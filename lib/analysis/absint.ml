@@ -56,11 +56,6 @@ let widen_ival (old : ival) (nw : ival) =
   { lo = (if nw.lo < old.lo then neg_infinity else Float.min old.lo nw.lo);
     hi = (if nw.hi > old.hi then infinity else Float.max old.hi nw.hi) }
 
-(* endpoint product with the interval convention 0 * inf = 0: an
-   infinite endpoint stands for arbitrarily large finite values, and
-   0 * finite = 0 *)
-let mul_ep x y = if x = 0.0 || y = 0.0 then 0.0 else x *. y
-
 let min4 a b c d = Float.min (Float.min a b) (Float.min c d)
 let max4 a b c d = Float.max (Float.max a b) (Float.max c d)
 
@@ -68,9 +63,14 @@ let neg (a : ival) = mk (-.a.hi) (-.a.lo)
 let add (a : ival) (b : ival) = mk (a.lo +. b.lo) (a.hi +. b.hi)
 let sub (a : ival) (b : ival) = mk (a.lo -. b.hi) (a.hi -. b.lo)
 
+(* No 0 * inf = 0 shortcut: an infinite endpoint can be a genuine
+   concrete infinity (exp/pow overflow), where concretely 0 * inf is
+   NaN. The endpoint product then yields NaN and [mk] collapses to top;
+   a 0-straddling operand against an infinite endpoint already spans
+   [-inf, inf] anyway, so nothing is lost that soundness permits. *)
 let mul (a : ival) (b : ival) =
-  let p1 = mul_ep a.lo b.lo and p2 = mul_ep a.lo b.hi in
-  let p3 = mul_ep a.hi b.lo and p4 = mul_ep a.hi b.hi in
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
   mk (min4 p1 p2 p3 p4) (max4 p1 p2 p3 p4)
 
 let div (a : ival) (b : ival) =

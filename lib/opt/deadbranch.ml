@@ -6,8 +6,11 @@
 
     The walker's domain is deliberately a fixpoint-free subset of the
     full analysis: loop bodies havoc every scalar they write (loop
-    variables included) instead of iterating to a fixpoint. That is
-    sound — havoc is the coarsest post-state — and decides exactly the
+    variables included) instead of iterating to a fixpoint, and a
+    counted loop's post-state is the havoc'd entry state itself, since
+    a zero-trip [CFor] (hi < lo) leaves every scalar at its pre-loop
+    value. That is sound — havoc is the coarsest post-state — and
+    decides exactly the
     conditions dead branches have in practice: [-D] defines are folded
     to literals by the front end, so guards like [if DEBUG > 0] are
     loop-invariant constants. The soundness contract matches pruning:
@@ -61,8 +64,14 @@ let run (prog : Zpl.Prog.t) (code : Ir.Block.code) : Ir.Block.code =
             let body, st = go st body in
             (Ir.Block.CRepeat (body, cond) :: acc, st)
         | Ir.Block.CFor ({ var; body; _ } as f) ->
+            (* the havoc'd entry state is the loop invariant AND the
+               post-state: it covers every body post-state (written
+               scalars are top, the rest untouched) and — unlike the
+               body's own post-state — the zero-trip run (hi < lo, per
+               the sequential executor), where scalars keep their
+               pre-loop values *)
             let st = havoc st (var :: writes_of_code body) in
-            let body, st = go st body in
+            let body, _ = go st body in
             (Ir.Block.CFor { f with body } :: acc, st)
         | Ir.Block.CIf (cond, a, b) -> (
             match A.decide_bool (A.eval_state st cond) with

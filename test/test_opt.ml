@@ -269,6 +269,46 @@ end;
   Alcotest.(check int) "undecided guard kept" 2
     (static Opt.Config.baseline body)
 
+let test_dbe_zero_trip_for () =
+  (* a statically zero-trip counted loop (hi < lo never enters the body,
+     per the sequential executor) leaves x at its pre-loop 0.0, so the
+     guard must stay undecided: walking the body once and keeping its
+     post-state (x = 5.0) would splice the then-arm and delete the
+     else-arm transfer that every concrete run takes *)
+  let body =
+    {|
+procedure main();
+begin
+  x := 0.0;
+  for i := 1 to 0 do
+    x := 5.0;
+  end;
+  if x = 5.0 then
+    [R] C := A;
+  else
+    [R] C := A@east;
+    x := 2.0;
+  end;
+  [R] D := A@west;
+end;
+|}
+  in
+  Alcotest.(check int) "both arms survive" 2 (static Opt.Config.baseline body);
+  (* runtime behavior preserved: the else-arm actually runs *)
+  let prog = program body in
+  let res =
+    Sim.Engine.run
+      (Sim.Engine.of_plans
+         (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
+            ~pr:2 ~pc:2
+            (Ir.Flat.flatten (Opt.Passes.compile Opt.Config.baseline prog))))
+  in
+  let x = Option.get (Zpl.Prog.find_scalar prog "x") in
+  match (Sim.Engine.final_env res.Sim.Engine.engine).(x.Zpl.Prog.s_id) with
+  | Runtime.Values.VFloat v ->
+      Alcotest.(check (float 0.0)) "else-arm ran after zero-trip loop" 2.0 v
+  | _ -> Alcotest.fail "x is not a float"
+
 let test_dbe_config_name () =
   Alcotest.(check string) "nodbe suffix"
     "baseline+nodbe"
@@ -309,6 +349,8 @@ let () =
             test_dbe_removes_dead_transfer;
           Alcotest.test_case "undecided branch kept" `Quick
             test_dbe_keeps_undecided_branch;
+          Alcotest.test_case "zero-trip for keeps both arms" `Quick
+            test_dbe_zero_trip_for;
           Alcotest.test_case "+nodbe config name" `Quick test_dbe_config_name ]
       );
       ( "emission",
