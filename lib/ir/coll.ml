@@ -49,7 +49,7 @@ type phase =
 
 (** The collective tag of one synthesized round-transfer. [nprocs] is
     baked in because the round structure depends on it: an engine whose
-    mesh disagrees must reject the program (see {!Sim.Engine.make}). *)
+    mesh disagrees must reject the program (see {!Sim.Engine.plan}). *)
 type desc = {
   cl_alg : alg;
   cl_phase : phase;

@@ -57,14 +57,37 @@ let memo_add t key m =
   if not (Hashtbl.mem t.memo key) then Hashtbl.add t.memo key m;
   Mutex.unlock t.memo_lock
 
-let emit_row oc ~first (r : row) =
-  Printf.fprintf oc
-    "%s\n    {\"label\": \"%s\", \"hit\": %b, \"memo\": %b, \"sim_time\": \
-     %.17g, \"static\": %d, \"dynamic\": %d, \"wall_sec\": %.6f}"
-    (if first then "" else ",")
-    (Json.escape r.r_label) r.r_hit r.r_memo r.r_time r.r_static r.r_dynamic
-    r.r_wall;
-  flush oc
+(* Per-worker render buffer, reused for every row the domain emits:
+   the steady-state emit path renders into an already-grown buffer and
+   only the byte write happens under the emit lock. One buffer per pool
+   domain (not one shared) so rendering needs no synchronization. *)
+let row_buf : Buffer.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Buffer.create 256)
+
+let render_row (b : Buffer.t) (r : row) =
+  Buffer.clear b;
+  Buffer.add_string b "\n    {";
+  Json.add_key b "label";
+  Json.add_str b r.r_label;
+  Buffer.add_string b ", ";
+  Json.add_key b "hit";
+  Json.add_bool b r.r_hit;
+  Buffer.add_string b ", ";
+  Json.add_key b "memo";
+  Json.add_bool b r.r_memo;
+  Buffer.add_string b ", ";
+  Json.add_key b "sim_time";
+  Json.add_exact b r.r_time;
+  Buffer.add_string b ", ";
+  Json.add_key b "static";
+  Json.add_int b r.r_static;
+  Buffer.add_string b ", ";
+  Json.add_key b "dynamic";
+  Json.add_int b r.r_dynamic;
+  Buffer.add_string b ", ";
+  Json.add_key b "wall_sec";
+  Json.add_fixed b 6 r.r_wall;
+  Buffer.add_char b '}'
 
 let run ?domains ?out (t : t) (items : item list) : summary =
   let emit_lock = Mutex.create () in
@@ -117,9 +140,13 @@ let run ?domains ?out (t : t) (items : item list) : summary =
         in
         (match out with
         | Some oc ->
+            let b = Domain.DLS.get row_buf in
+            render_row b r;
             Mutex.lock emit_lock;
-            emit_row oc ~first:(!emitted = 0) r;
+            if !emitted > 0 then output_char oc ',';
+            Buffer.output_buffer oc b;
             incr emitted;
+            flush oc;
             Mutex.unlock emit_lock
         | None -> ());
         r)
@@ -133,22 +160,40 @@ let run ?domains ?out (t : t) (items : item list) : summary =
   (match out with
   | Some oc ->
       let n = List.length rows in
-      Printf.fprintf oc
-        "\n\
-        \  ],\n\
-        \  \"specs\": %d,\n\
-        \  \"hits\": %d,\n\
-        \  \"misses\": %d,\n\
-        \  \"memo_hits\": %d,\n\
-        \  \"evictions\": %d,\n\
-        \  \"pool_fresh\": %d,\n\
-        \  \"pool_reused\": %d,\n\
-        \  \"wall_sec\": %.6f,\n\
-        \  \"specs_per_sec\": %.3f\n\
-         }\n"
-        n hits misses memo_hits counters.Cache.evictions !pool_fresh
-        !pool_reused wall
-        (if wall > 0.0 then float_of_int n /. wall else 0.0);
+      let b = Domain.DLS.get row_buf in
+      Buffer.clear b;
+      Buffer.add_string b "\n  ],";
+      let ifield k v =
+        Buffer.add_string b "\n  ";
+        Json.add_key b k;
+        Json.add_int b v;
+        Buffer.add_char b ','
+      in
+      ifield "specs" n;
+      ifield "hits" hits;
+      ifield "misses" misses;
+      ifield "memo_hits" memo_hits;
+      ifield "evictions" counters.Cache.evictions;
+      ifield "pool_fresh" !pool_fresh;
+      ifield "pool_reused" !pool_reused;
+      (* GC stamp: this domain's cumulative allocation at close time, so
+         artifact consumers can relate sweep throughput to GC pressure
+         (same keys as the BENCH_*.json headers). *)
+      let gc = Gc.quick_stat () in
+      Buffer.add_string b "\n  ";
+      Json.add_key b "gc_minor_words";
+      Json.add_num b gc.Gc.minor_words;
+      Buffer.add_string b ",\n  ";
+      Json.add_key b "gc_promoted_words";
+      Json.add_num b gc.Gc.promoted_words;
+      Buffer.add_string b ",\n  ";
+      Json.add_key b "wall_sec";
+      Json.add_fixed b 6 wall;
+      Buffer.add_string b ",\n  ";
+      Json.add_key b "specs_per_sec";
+      Json.add_fixed b 3 (if wall > 0.0 then float_of_int n /. wall else 0.0);
+      Buffer.add_string b "\n}\n";
+      Buffer.output_buffer oc b;
       flush oc
   | None -> ());
   { rows;

@@ -58,6 +58,8 @@ val reset_memo : t -> unit
     [out], when given, receives the incremental JSON artifact: an object
     whose ["sweep"] array grows row by row, closed with the summary
     fields ["specs"], ["hits"], ["misses"], ["memo_hits"],
-    ["evictions"], ["pool_fresh"], ["pool_reused"], ["wall_sec"],
-    ["specs_per_sec"]. *)
+    ["evictions"], ["pool_fresh"], ["pool_reused"],
+    ["gc_minor_words"], ["gc_promoted_words"], ["wall_sec"],
+    ["specs_per_sec"]. Each pool worker renders its rows into one
+    reused buffer; only the byte write is serialized. *)
 val run : ?domains:int -> ?out:out_channel -> t -> item list -> summary

@@ -8,7 +8,17 @@
     oracle. The row path compiles the expression once into loops over
     contiguous Bigarray rows; every row kernel performs the exact same
     floating-point operation sequence per cell as the per-point path, so
-    the two are bit-identical (see test/test_props.ml). *)
+    the two are bit-identical (see test/test_props.ml).
+
+    Compiled plans are {e store-agnostic}: they capture only layout
+    (array ids, flat shifts computed from strides), operator structure
+    and coefficient structure — never a store's cells, a scalar value,
+    or any mutable scratch. Everything mutable lives in a runtime
+    {!env}, allocated once per executor from the {!envspec} the compile
+    pass records in its workspace ({!ws}), and passed to every [exec_*]
+    entry. One compiled plan may therefore be shared by many concurrent
+    executors (engines minted from one cached plan set), each binding
+    its own stores and workspace. *)
 
 module A1 = Bigarray.Array1
 
@@ -124,46 +134,179 @@ let exec_reduce (ctx : ctx) ~(region : Zpl.Region.t) (r : Zpl.Prog.reduce_s) :
   run_reduce ~region r.r_op (compile ctx r.r_rhs)
 
 (* ------------------------------------------------------------------ *)
+(* Runtime environment: the store-binding contract                     *)
+(*                                                                     *)
+(* A compiled plan may capture array ids, flat shifts, operator        *)
+(* dispatch and coefficient structure. It must NOT capture stores,     *)
+(* scalar values, or any mutable scratch: those arrive at execution    *)
+(* time inside an [env]. The compile pass allocates workspace slots    *)
+(* (row buffers, chain workspaces, integer point scratch) from a [ws]  *)
+(* builder; [ws_spec] freezes the slot counts into an [envspec], and   *)
+(* [make_env] mints one mutable workspace per executor from it. Two    *)
+(* engines sharing one compiled plan never share workspace.            *)
+(* ------------------------------------------------------------------ *)
+
+let empty_buf : buf = A1.create Bigarray.float64 Bigarray.c_layout 0
+
+(** Workspace slot allocator threaded through one compile pass. *)
+type ws = {
+  mutable wbufs : int;  (** row-buffer slots handed out *)
+  mutable wchains : int list;  (** chain slot lengths, reversed *)
+  mutable wnchains : int;
+  mutable wipt : int;  (** 1 + max rank needing integer point scratch *)
+}
+
+let make_ws () : ws = { wbufs = 0; wchains = []; wnchains = 0; wipt = 0 }
+
+let ws_buf (ws : ws) : int =
+  let id = ws.wbufs in
+  ws.wbufs <- id + 1;
+  id
+
+let ws_chain (ws : ws) (n : int) : int =
+  let id = ws.wnchains in
+  ws.wnchains <- id + 1;
+  ws.wchains <- n :: ws.wchains;
+  id
+
+let ws_ipt (ws : ws) (rank : int) : unit =
+  if rank + 1 > ws.wipt then ws.wipt <- rank + 1
+
+(** Frozen workspace requirements of a compiled plan set. *)
+type envspec = { es_bufs : int; es_chains : int array; es_ipt : int }
+
+let ws_spec (ws : ws) : envspec =
+  { es_bufs = ws.wbufs;
+    es_chains = Array.of_list (List.rev ws.wchains);
+    es_ipt = ws.wipt }
+
+let envspec_buffers (s : envspec) = s.es_bufs
+
+(** Per-chain-kernel workspace: resolved term buffers, per-row base
+    indices and coefficient values, refilled on every row. *)
+type chain_ws = {
+  cw_datas : buf array;
+  cw_bases : int array;
+  cw_cvals : float array;
+}
+
+(** The runtime environment every [exec_*] entry takes: the executor's
+    stores (indexed by array id), its scalar reader, and the mutable
+    workspace the plan's slot ids index into. *)
+type env = {
+  e_stores : Store.t array;
+  e_scalar : int -> float;
+  e_bufs : buf ref array;  (** row buffers, grown on demand *)
+  e_chains : chain_ws array;
+  e_ipt : int array array;  (** integer point scratch, indexed by rank *)
+}
+
+let make_env ~(stores : Store.t array) ~(scalar : int -> float)
+    (spec : envspec) : env =
+  { e_stores = stores;
+    e_scalar = scalar;
+    e_bufs = Array.init spec.es_bufs (fun _ -> ref empty_buf);
+    e_chains =
+      Array.map
+        (fun n ->
+          { cw_datas = Array.make n empty_buf;
+            cw_bases = Array.make n 0;
+            cw_cvals = Array.make n 1.0 })
+        spec.es_chains;
+    e_ipt = Array.init spec.es_ipt (fun r -> Array.make r 0) }
+
+(** Store-agnostic per-point compiler: the same value, operation by
+    operation, as {!compile} over a ctx reading the env's stores — but
+    stores, scalars and shift scratch are resolved through the [env]
+    argument at call time, so the closure can be cached and shared. *)
+let rec compile_env (ws : ws) (e : Zpl.Prog.aexpr) :
+    env -> int array -> float =
+  match e with
+  | Zpl.Prog.AConst c -> fun _ _ -> c
+  | Zpl.Prog.AScalar id -> fun env _ -> env.e_scalar id
+  | Zpl.Prog.AIndex d -> fun _ p -> float_of_int p.(d)
+  | Zpl.Prog.ARef (aid, off) ->
+      if Array.for_all (fun d -> d = 0) off then fun env p ->
+        Store.get_unsafe env.e_stores.(aid) p
+      else begin
+        let n = Array.length off in
+        ws_ipt ws n;
+        fun env p ->
+          let scratch = env.e_ipt.(n) in
+          for k = 0 to n - 1 do
+            scratch.(k) <- p.(k) + off.(k)
+          done;
+          Store.get_unsafe env.e_stores.(aid) scratch
+      end
+  | Zpl.Prog.ABin (op, a, b) -> (
+      let fa = compile_env ws a and fb = compile_env ws b in
+      match op with
+      | Zpl.Ast.Add -> fun env p -> fa env p +. fb env p
+      | Zpl.Ast.Sub -> fun env p -> fa env p -. fb env p
+      | Zpl.Ast.Mul -> fun env p -> fa env p *. fb env p
+      | Zpl.Ast.Div -> fun env p -> fa env p /. fb env p
+      | Zpl.Ast.Pow -> fun env p -> Float.pow (fa env p) (fb env p)
+      | Zpl.Ast.Lt | Zpl.Ast.Le | Zpl.Ast.Gt | Zpl.Ast.Ge | Zpl.Ast.Eq
+      | Zpl.Ast.Ne | Zpl.Ast.And | Zpl.Ast.Or ->
+          invalid_arg "comparison in array expression")
+  | Zpl.Prog.AUn (Zpl.Ast.Neg, a) ->
+      let fa = compile_env ws a in
+      fun env p -> -.fa env p
+  | Zpl.Prog.AUn (Zpl.Ast.Not, _) -> invalid_arg "'not' in array expression"
+  | Zpl.Prog.ACall (f, [ a ]) ->
+      let fa = compile_env ws a in
+      fun env p -> Values.apply1 f (fa env p)
+  | Zpl.Prog.ACall (f, [ a; b ]) ->
+      let fa = compile_env ws a and fb = compile_env ws b in
+      fun env p -> Values.apply2 f (fa env p) (fb env p)
+  | Zpl.Prog.ACall (f, _) -> invalid_arg ("bad arity for intrinsic " ^ f)
+
+(* ------------------------------------------------------------------ *)
 (* Row-compiled fast path                                              *)
 (*                                                                     *)
 (* Array statements spend their lives in the innermost (stride-1)      *)
 (* dimension. The row compiler turns an array expression into a        *)
 (* [rowsrc] that produces one whole row at a time: each full-rank      *)
-(* stencil operand becomes a (store, flat shift) pair whose per-row    *)
-(* base index is computed once, and the per-cell work is a tight       *)
-(* [for] loop over [base + k] on the store's flat float64 Bigarray —   *)
-(* no per-point [int array] allocation, no closure dispatch per cell,  *)
-(* no boxing. Binary nodes over plain refs compile to single-pass      *)
-(* loops, and +/- chains of refs (the 4-point stencil averages of      *)
-(* TOMCATV, with an optional scalar factor) collapse to one loop with  *)
-(* n reads and one write per cell. Expressions the row compiler        *)
-(* cannot handle fall back to the per-point path above.                *)
+(* stencil operand becomes an (array id, flat shift) pair whose        *)
+(* per-row base index is computed once, and the per-cell work is a     *)
+(* tight [for] loop over [base + k] on the store's flat float64        *)
+(* Bigarray — no per-point [int array] allocation, no closure dispatch *)
+(* per cell, no boxing. Binary nodes over plain refs compile to        *)
+(* single-pass loops, and +/- chains of refs (the 4-point stencil      *)
+(* averages of TOMCATV, with an optional scalar factor) collapse to    *)
+(* one loop with n reads and one write per cell. Expressions the row   *)
+(* compiler cannot handle fall back to the per-point path above.       *)
+(*                                                                     *)
+(* Shifts are flattened against the compile-time stores' strides; the  *)
+(* runtime env must bind stores with the same geometry (the engine     *)
+(* compiles against [Store.make_shape] blueprints of the exact layout  *)
+(* it mints real stores from).                                         *)
 (* ------------------------------------------------------------------ *)
 
 type rowctx = {
-  rstore : int -> Store.t;  (** array id -> local storage *)
-  rscalar : int -> float;  (** numeric scalar value *)
+  rstore : int -> Store.t;
+      (** array id -> storage of the right geometry (shape-only is fine:
+          only rank, strides and extents are consulted at compile time) *)
+  rws : ws;  (** workspace slot allocator for this plan set *)
 }
-
-let point_ctx (rc : rowctx) : ctx =
-  { read = (fun aid p -> Store.get_unsafe (rc.rstore aid) p);
-    scalar = rc.rscalar }
 
 (** How to produce the values of an expression along one row of the
     iteration region. The row is identified by its start point [p0]
     (innermost coordinate at its [lo]) and its length. *)
 type rowsrc =
   | RConst of float  (** the same value in every cell *)
-  | RRow of (int array -> float)  (** row-invariant: one eval per row *)
-  | RRef of Store.t * int
-      (** full-rank shifted ref: flat cell [index p0 + shift + k] *)
+  | RRow of (env -> int array -> float)
+      (** row-invariant: one eval per row *)
+  | RRef of int * int
+      (** full-rank shifted ref: array id and flat shift; flat cell
+          [index p0 + shift + k] of the env's store *)
   | RIndexLast  (** the innermost coordinate itself: [p0.(last) + k] *)
-  | RFill of (int array -> int -> buf -> int -> unit)
+  | RFill of (env -> int array -> int -> buf -> int -> unit)
       (** general: fill [dst.(d0 .. d0+len-1)] with the row's values *)
-  | RTemp of buf ref
-      (** a CSE row temporary of a fused group: the current row's values
-          at [0 .. len-1], filled before any member statement runs (see
-          {!plan_fused} / {!exec_fused}) *)
+  | RTemp of int
+      (** a CSE row temporary of a fused group, by env buffer slot: the
+          current row's values at [0 .. len-1], filled before any member
+          statement runs (see {!plan_fused} / {!exec_fused}) *)
 
 exception Row_fallback
 
@@ -177,8 +320,6 @@ let ref_base (s : Store.t) (dshift : int) (p0 : int array) (len : int) : int =
       (Store.info s).a_name
       (Zpl.Region.to_string (Store.alloc s));
   base
-
-let empty_buf : buf = A1.create Bigarray.float64 Bigarray.c_layout 0
 
 let ensure : buf ref -> int -> buf = Store.grow_buf
 
@@ -197,12 +338,13 @@ let buf_blit (src : buf) s0 (dst : buf) d0 len =
   done
 
 (** Materialize a row source into [dst.(d0 .. d0+len-1)]. *)
-let fill (src : rowsrc) (p0 : int array) (len : int) (dst : buf) (d0 : int) :
-    unit =
+let fill (src : rowsrc) (env : env) (p0 : int array) (len : int) (dst : buf)
+    (d0 : int) : unit =
   match src with
   | RConst v -> buf_fill dst d0 len v
-  | RRow f -> buf_fill dst d0 len (f p0)
-  | RRef (s, dshift) ->
+  | RRow f -> buf_fill dst d0 len (f env p0)
+  | RRef (aid, dshift) ->
+      let s = env.e_stores.(aid) in
       let base = ref_base s dshift p0 len in
       buf_blit (Store.read_only s) base dst d0 len
   | RIndexLast ->
@@ -210,21 +352,23 @@ let fill (src : rowsrc) (p0 : int array) (len : int) (dst : buf) (d0 : int) :
       for k = 0 to len - 1 do
         A1.unsafe_set dst (d0 + k) (float_of_int (x0 + k))
       done
-  | RFill g -> g p0 len dst d0
-  | RTemp b -> buf_blit !b 0 dst d0 len
+  | RFill g -> g env p0 len dst d0
+  | RTemp slot -> buf_blit !(env.e_bufs.(slot)) 0 dst d0 len
 
 (** A row reduced to either a per-row constant or a contiguous slice. *)
 type slice = SConst of float | SVec of buf * int
 
-let slice_of (src : rowsrc) (scratch : buf ref) p0 len : slice =
+let slice_of (src : rowsrc) (env : env) (scratch : buf ref) p0 len : slice =
   match src with
   | RConst v -> SConst v
-  | RRow f -> SConst (f p0)
-  | RRef (s, dshift) -> SVec (Store.read_only s, ref_base s dshift p0 len)
-  | RTemp b -> SVec (!b, 0)
+  | RRow f -> SConst (f env p0)
+  | RRef (aid, dshift) ->
+      let s = env.e_stores.(aid) in
+      SVec (Store.read_only s, ref_base s dshift p0 len)
+  | RTemp slot -> SVec (!(env.e_bufs.(slot)), 0)
   | RIndexLast | RFill _ ->
       let b = ensure scratch len in
-      fill src p0 len b 0;
+      fill src env p0 len b 0;
       SVec (b, 0)
 
 (* Monomorphic combine loops: one [match] per row, zero dispatch per cell.
@@ -356,8 +500,8 @@ let apply_bin (op : Zpl.Ast.binop) x y =
   | Zpl.Ast.Pow -> Float.pow x y
   | _ -> raise Row_fallback
 
-let row_value = function
-  | RConst v -> fun _ -> v
+let row_value : rowsrc -> env -> int array -> float = function
+  | RConst v -> fun _ _ -> v
   | RRow f -> f
   | _ -> assert false
 
@@ -366,37 +510,36 @@ let row_value = function
 (** [dst.(d0+k) <- a.(ia+k) op b.(ib+k)] in one pass, no intermediate
     row. Same per-cell operation as fill-then-combine, one memory
     traversal instead of two. *)
-let fill_vv2 (op : Zpl.Ast.binop) (sa : Store.t) (da : int) (sb : Store.t)
-    (db : int) : rowsrc =
-  let a = Store.read_only sa and b = Store.read_only sb in
-  let body : int -> int -> buf -> int -> int -> unit =
+let fill_vv2 (op : Zpl.Ast.binop) ((aa, da) : int * int)
+    ((ab, db) : int * int) : rowsrc =
+  let body : buf -> int -> buf -> int -> buf -> int -> int -> unit =
     match op with
     | Zpl.Ast.Add ->
-        fun ia ib dst d0 len ->
+        fun a ia b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k)
               (A1.unsafe_get a (ia + k) +. A1.unsafe_get b (ib + k))
           done
     | Zpl.Ast.Sub ->
-        fun ia ib dst d0 len ->
+        fun a ia b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k)
               (A1.unsafe_get a (ia + k) -. A1.unsafe_get b (ib + k))
           done
     | Zpl.Ast.Mul ->
-        fun ia ib dst d0 len ->
+        fun a ia b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k)
               (A1.unsafe_get a (ia + k) *. A1.unsafe_get b (ib + k))
           done
     | Zpl.Ast.Div ->
-        fun ia ib dst d0 len ->
+        fun a ia b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k)
               (A1.unsafe_get a (ia + k) /. A1.unsafe_get b (ib + k))
           done
     | Zpl.Ast.Pow ->
-        fun ia ib dst d0 len ->
+        fun a ia b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k)
               (Float.pow (A1.unsafe_get a (ia + k)) (A1.unsafe_get b (ib + k)))
@@ -404,102 +547,107 @@ let fill_vv2 (op : Zpl.Ast.binop) (sa : Store.t) (da : int) (sb : Store.t)
     | _ -> raise Row_fallback
   in
   RFill
-    (fun p0 len dst d0 ->
+    (fun env p0 len dst d0 ->
+      let sa = env.e_stores.(aa) and sb = env.e_stores.(ab) in
       let ia = ref_base sa da p0 len and ib = ref_base sb db p0 len in
-      body ia ib dst d0 len)
+      body (Store.read_only sa) ia (Store.read_only sb) ib dst d0 len)
 
 (** [dst.(d0+k) <- a.(ia+k) op v] in one pass. *)
-let fill_vs2 (op : Zpl.Ast.binop) (sa : Store.t) (da : int)
-    (fv : int array -> float) : rowsrc =
-  let a = Store.read_only sa in
-  let body : int -> float -> buf -> int -> int -> unit =
+let fill_vs2 (op : Zpl.Ast.binop) ((aa, da) : int * int)
+    (fv : env -> int array -> float) : rowsrc =
+  let body : buf -> int -> float -> buf -> int -> int -> unit =
     match op with
     | Zpl.Ast.Add ->
-        fun ia v dst d0 len ->
+        fun a ia v dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (A1.unsafe_get a (ia + k) +. v)
           done
     | Zpl.Ast.Sub ->
-        fun ia v dst d0 len ->
+        fun a ia v dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (A1.unsafe_get a (ia + k) -. v)
           done
     | Zpl.Ast.Mul ->
-        fun ia v dst d0 len ->
+        fun a ia v dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (A1.unsafe_get a (ia + k) *. v)
           done
     | Zpl.Ast.Div ->
-        fun ia v dst d0 len ->
+        fun a ia v dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (A1.unsafe_get a (ia + k) /. v)
           done
     | Zpl.Ast.Pow ->
-        fun ia v dst d0 len ->
+        fun a ia v dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (Float.pow (A1.unsafe_get a (ia + k)) v)
           done
     | _ -> raise Row_fallback
   in
   RFill
-    (fun p0 len dst d0 ->
+    (fun env p0 len dst d0 ->
+      let sa = env.e_stores.(aa) in
       let ia = ref_base sa da p0 len in
-      body ia (fv p0) dst d0 len)
+      body (Store.read_only sa) ia (fv env p0) dst d0 len)
 
 (** [dst.(d0+k) <- v op b.(ib+k)] in one pass. *)
-let fill_sv2 (op : Zpl.Ast.binop) (fv : int array -> float) (sb : Store.t)
-    (db : int) : rowsrc =
-  let b = Store.read_only sb in
-  let body : float -> int -> buf -> int -> int -> unit =
+let fill_sv2 (op : Zpl.Ast.binop) (fv : env -> int array -> float)
+    ((ab, db) : int * int) : rowsrc =
+  let body : float -> buf -> int -> buf -> int -> int -> unit =
     match op with
     | Zpl.Ast.Add ->
-        fun v ib dst d0 len ->
+        fun v b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (v +. A1.unsafe_get b (ib + k))
           done
     | Zpl.Ast.Sub ->
-        fun v ib dst d0 len ->
+        fun v b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (v -. A1.unsafe_get b (ib + k))
           done
     | Zpl.Ast.Mul ->
-        fun v ib dst d0 len ->
+        fun v b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (v *. A1.unsafe_get b (ib + k))
           done
     | Zpl.Ast.Div ->
-        fun v ib dst d0 len ->
+        fun v b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (v /. A1.unsafe_get b (ib + k))
           done
     | Zpl.Ast.Pow ->
-        fun v ib dst d0 len ->
+        fun v b ib dst d0 len ->
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k) (Float.pow v (A1.unsafe_get b (ib + k)))
           done
     | _ -> raise Row_fallback
   in
   RFill
-    (fun p0 len dst d0 ->
+    (fun env p0 len dst d0 ->
+      let sb = env.e_stores.(ab) in
       let ib = ref_base sb db p0 len in
-      body (fv p0) ib dst d0 len)
+      body (fv env p0) (Store.read_only sb) ib dst d0 len)
 
 (** [dst.(d0+k) <- (a*b) op (c*d)] in one pass — the shape of the
     metric-coefficient statements ([AA := 0.25*(XY*XY + YY*YY)] and
     friends), which would otherwise cost two product passes, a scratch
     row and a combine. *)
-let fill_prodsum2 (op : [ `Add | `Sub ]) (sa, da) (sb, db) (sc, dc) (sd, dd) :
+let fill_prodsum2 (op : [ `Add | `Sub ]) (aa, da) (ab, db) (ac, dc) (ad, dd) :
     rowsrc =
-  let a = Store.read_only sa
-  and b = Store.read_only sb
-  and c = Store.read_only sc
-  and d = Store.read_only sd in
   RFill
-    (fun p0 len dst d0 ->
+    (fun env p0 len dst d0 ->
+      let sa = env.e_stores.(aa)
+      and sb = env.e_stores.(ab)
+      and sc = env.e_stores.(ac)
+      and sd = env.e_stores.(ad) in
       let ia = ref_base sa da p0 len
       and ib = ref_base sb db p0 len
       and ic = ref_base sc dc p0 len
       and id = ref_base sd dd p0 len in
+      let a = Store.read_only sa
+      and b = Store.read_only sb
+      and c = Store.read_only sc
+      and d = Store.read_only sd in
       match op with
       | `Add ->
           for k = 0 to len - 1 do
@@ -516,15 +664,18 @@ let fill_prodsum2 (op : [ `Add | `Sub ]) (sa, da) (sb, db) (sc, dc) (sd, dd) :
 
 (** [dst.(d0+k) <- a op (c*d)] in one pass — the tridiagonal-solver
     numerator shape, [RX + AA * DX@north]. *)
-let fill_refprod (op : [ `Add | `Sub ]) (sa, da) (sc, dc) (sd, dd) : rowsrc =
-  let a = Store.read_only sa
-  and c = Store.read_only sc
-  and d = Store.read_only sd in
+let fill_refprod (op : [ `Add | `Sub ]) (aa, da) (ac, dc) (ad, dd) : rowsrc =
   RFill
-    (fun p0 len dst d0 ->
+    (fun env p0 len dst d0 ->
+      let sa = env.e_stores.(aa)
+      and sc = env.e_stores.(ac)
+      and sd = env.e_stores.(ad) in
       let ia = ref_base sa da p0 len
       and ic = ref_base sc dc p0 len
       and id = ref_base sd dd p0 len in
+      let a = Store.read_only sa
+      and c = Store.read_only sc
+      and d = Store.read_only sd in
       match op with
       | `Add ->
           for k = 0 to len - 1 do
@@ -546,15 +697,17 @@ let fill_refprod (op : [ `Add | `Sub ]) (sa, da) (sc, dc) (sd, dd) : rowsrc =
     order the per-point evaluator uses. *)
 type scale_kind =
   | KNone
-  | KLeft of Zpl.Ast.binop * (int array -> float)  (** [s op chain] *)
-  | KRight of Zpl.Ast.binop * (int array -> float)  (** [chain op s] *)
+  | KLeft of Zpl.Ast.binop * (env -> int array -> float)  (** [s op chain] *)
+  | KRight of Zpl.Ast.binop * (env -> int array -> float)
+      (** [chain op s] *)
 
 (** One chain term: a contiguous row of floats — a full-rank ref at its
-    flat shift, or a CSE row temporary — with an optional row-invariant
-    multiplicative coefficient on its left, [c * A@d] / [c * temp]. *)
+    flat shift, or a CSE row temporary by env buffer slot — with an
+    optional row-invariant multiplicative coefficient on its left,
+    [c * A@d] / [c * temp]. *)
 type cterm = {
-  t_src : [ `Slice of Store.t * int | `Temp of buf ref ];
-  t_coeff : (int array -> float) option;
+  t_src : [ `Slice of int * int | `Temp of int ];
+  t_coeff : (env -> int array -> float) option;
 }
 
 (** A left-associated +/- chain of (optionally scaled) full-rank refs,
@@ -576,17 +729,16 @@ type cterm = {
     row; per-cell value and order of operations are exactly those of
     the per-point evaluator.
 
-    Data buffers are re-resolved per row (not captured at plan time):
-    a [`Temp] term's buffer ref is reallocated whenever the row length
-    grows, so the cores load it from [datas] on entry — n array reads
-    per row, invisible next to the per-cell work. *)
-let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
-    rowsrc =
+    The resolved data buffers, bases and coefficient values live in an
+    env-owned {!chain_ws} (one per chain slot, allocated by the compile
+    pass), refilled on every row — so the compiled chain itself holds no
+    mutable state and can be shared across concurrent executors. *)
+let fill_chain (ws : ws) (terms : cterm array) (sub : bool array)
+    (kind : scale_kind) : rowsrc =
   let n = Array.length terms in
-  let datas = Array.make n empty_buf in
-  let bases = Array.make n 0 in
-  let cvals = Array.make n 1.0 in
-  let generic (dst : buf) d0 len =
+  let slot = ws_chain ws n in
+  let generic (cw : chain_ws) (dst : buf) d0 len =
+    let datas = cw.cw_datas and bases = cw.cw_bases and cvals = cw.cw_cvals in
     for k = 0 to len - 1 do
       let v =
         ref
@@ -606,22 +758,22 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
     done
   in
   let all_add = Array.for_all not sub in
-  let core : buf -> int -> int -> unit =
+  let core : chain_ws -> buf -> int -> int -> unit =
     match n with
     | 2 ->
-        if sub.(0) then fun dst d0 len ->
-          let a = datas.(0) and b = datas.(1) in
-          let ia = bases.(0) and ib = bases.(1) in
-          let ca = cvals.(0) and cb = cvals.(1) in
+        if sub.(0) then fun cw dst d0 len ->
+          let a = cw.cw_datas.(0) and b = cw.cw_datas.(1) in
+          let ia = cw.cw_bases.(0) and ib = cw.cw_bases.(1) in
+          let ca = cw.cw_cvals.(0) and cb = cw.cw_cvals.(1) in
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k)
               ((ca *. A1.unsafe_get a (ia + k))
               -. (cb *. A1.unsafe_get b (ib + k)))
           done
-        else fun dst d0 len ->
-          let a = datas.(0) and b = datas.(1) in
-          let ia = bases.(0) and ib = bases.(1) in
-          let ca = cvals.(0) and cb = cvals.(1) in
+        else fun cw dst d0 len ->
+          let a = cw.cw_datas.(0) and b = cw.cw_datas.(1) in
+          let ia = cw.cw_bases.(0) and ib = cw.cw_bases.(1) in
+          let ca = cw.cw_cvals.(0) and cb = cw.cw_cvals.(1) in
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k)
               ((ca *. A1.unsafe_get a (ia + k))
@@ -629,10 +781,16 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
           done
     | 3 ->
         let s1 = sub.(0) and s2 = sub.(1) in
-        fun dst d0 len ->
-          let a = datas.(0) and b = datas.(1) and c = datas.(2) in
-          let ia = bases.(0) and ib = bases.(1) and ic = bases.(2) in
-          let ca = cvals.(0) and cb = cvals.(1) and cc = cvals.(2) in
+        fun cw dst d0 len ->
+          let a = cw.cw_datas.(0)
+          and b = cw.cw_datas.(1)
+          and c = cw.cw_datas.(2) in
+          let ia = cw.cw_bases.(0)
+          and ib = cw.cw_bases.(1)
+          and ic = cw.cw_bases.(2) in
+          let ca = cw.cw_cvals.(0)
+          and cb = cw.cw_cvals.(1)
+          and cc = cw.cw_cvals.(2) in
           if (not s1) && not s2 then
             for k = 0 to len - 1 do
               A1.unsafe_set dst (d0 + k)
@@ -662,19 +820,19 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
                 -. (cc *. A1.unsafe_get c (ic + k)))
             done
     | 4 when all_add ->
-        fun dst d0 len ->
-          let a = datas.(0)
-          and b = datas.(1)
-          and c = datas.(2)
-          and d = datas.(3) in
-          let ia = bases.(0)
-          and ib = bases.(1)
-          and ic = bases.(2)
-          and id = bases.(3) in
-          let ca = cvals.(0)
-          and cb = cvals.(1)
-          and cc = cvals.(2)
-          and cd = cvals.(3) in
+        fun cw dst d0 len ->
+          let a = cw.cw_datas.(0)
+          and b = cw.cw_datas.(1)
+          and c = cw.cw_datas.(2)
+          and d = cw.cw_datas.(3) in
+          let ia = cw.cw_bases.(0)
+          and ib = cw.cw_bases.(1)
+          and ic = cw.cw_bases.(2)
+          and id = cw.cw_bases.(3) in
+          let ca = cw.cw_cvals.(0)
+          and cb = cw.cw_cvals.(1)
+          and cc = cw.cw_cvals.(2)
+          and cd = cw.cw_cvals.(3) in
           for k = 0 to len - 1 do
             A1.unsafe_set dst (d0 + k)
               ((ca *. A1.unsafe_get a (ia + k))
@@ -687,19 +845,19 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
            straight-line body with three loop-invariant, predictable
            branches — still far from the generic inner term loop *)
         let s1 = sub.(0) and s2 = sub.(1) and s3 = sub.(2) in
-        fun dst d0 len ->
-          let a = datas.(0)
-          and b = datas.(1)
-          and c = datas.(2)
-          and d = datas.(3) in
-          let ia = bases.(0)
-          and ib = bases.(1)
-          and ic = bases.(2)
-          and id = bases.(3) in
-          let ca = cvals.(0)
-          and cb = cvals.(1)
-          and cc = cvals.(2)
-          and cd = cvals.(3) in
+        fun cw dst d0 len ->
+          let a = cw.cw_datas.(0)
+          and b = cw.cw_datas.(1)
+          and c = cw.cw_datas.(2)
+          and d = cw.cw_datas.(3) in
+          let ia = cw.cw_bases.(0)
+          and ib = cw.cw_bases.(1)
+          and ic = cw.cw_bases.(2)
+          and id = cw.cw_bases.(3) in
+          let ca = cw.cw_cvals.(0)
+          and cb = cw.cw_cvals.(1)
+          and cc = cw.cw_cvals.(2)
+          and cd = cw.cw_cvals.(3) in
           for k = 0 to len - 1 do
             let t0 = ca *. A1.unsafe_get a (ia + k)
             and t1 = cb *. A1.unsafe_get b (ib + k)
@@ -713,23 +871,26 @@ let fill_chain (terms : cterm array) (sub : bool array) (kind : scale_kind) :
     | _ -> generic
   in
   RFill
-    (fun p0 len dst d0 ->
+    (fun env p0 len dst d0 ->
+      let cw = env.e_chains.(slot) in
       for t = 0 to n - 1 do
         let { t_src; t_coeff } = terms.(t) in
         (match t_src with
-        | `Slice (s, shift) ->
-            datas.(t) <- Store.read_only s;
-            bases.(t) <- ref_base s shift p0 len
+        | `Slice (aid, shift) ->
+            let s = env.e_stores.(aid) in
+            cw.cw_datas.(t) <- Store.read_only s;
+            cw.cw_bases.(t) <- ref_base s shift p0 len
         | `Temp b ->
-            datas.(t) <- !b;
-            bases.(t) <- 0);
-        cvals.(t) <- (match t_coeff with None -> 1.0 | Some f -> f p0)
+            cw.cw_datas.(t) <- !(env.e_bufs.(b));
+            cw.cw_bases.(t) <- 0);
+        cw.cw_cvals.(t) <-
+          (match t_coeff with None -> 1.0 | Some f -> f env p0)
       done;
-      core dst d0 len;
+      core cw dst d0 len;
       match kind with
       | KNone -> ()
-      | KLeft (op, f) -> map_sv op (f p0) dst d0 len
-      | KRight (op, f) -> map_vs op dst d0 len (f p0))
+      | KLeft (op, f) -> map_sv op (f env p0) dst d0 len
+      | KRight (op, f) -> map_vs op dst d0 len (f env p0))
 
 (** [compile_row rc ~rank e] row-compiles [e] for iteration regions of
     rank [rank]; [None] means the caller must use the per-point path.
@@ -751,8 +912,10 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
     else List.find_opt (fun (t, _) -> Zpl.Prog.equal_aexpr t e) cse
   in
   let is_bound (e : Zpl.Prog.aexpr) = lookup e <> None in
-  (* a full-rank ref whose shift collapses to one flat offset *)
-  let as_ref (e : Zpl.Prog.aexpr) : (Store.t * int) option =
+  (* a full-rank ref whose shift collapses to one flat offset against
+     the compile-time store's strides; the runtime env binds stores of
+     the same geometry *)
+  let as_ref (e : Zpl.Prog.aexpr) : (int * int) option =
     match e with
     | Zpl.Prog.ARef (aid, off) ->
         let n = Array.length off in
@@ -763,7 +926,7 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
         then begin
           let dshift = ref 0 in
           Array.iteri (fun d o -> dshift := !dshift + (o * Store.stride s d)) off;
-          Some (s, !dshift)
+          Some (aid, !dshift)
         end
         else None
     | _ -> None
@@ -799,28 +962,29 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
   and go_unbound (e : Zpl.Prog.aexpr) : rowsrc =
     match e with
     | Zpl.Prog.AConst c -> RConst c
-    | Zpl.Prog.AScalar id -> RRow (fun _ -> rc.rscalar id)
+    | Zpl.Prog.AScalar id -> RRow (fun env _ -> env.e_scalar id)
     | Zpl.Prog.AIndex d ->
         if d = rank - 1 then RIndexLast
         else if d >= 0 && d < rank - 1 then
-          RRow (fun p0 -> float_of_int p0.(d))
+          RRow (fun _ p0 -> float_of_int p0.(d))
         else raise Row_fallback
     | Zpl.Prog.ARef (aid, off) -> (
         match as_ref e with
-        | Some (s, dshift) -> RRef (s, dshift)
+        | Some (aid, dshift) -> RRef (aid, dshift)
         | None ->
             let n = Array.length off in
             let s = rc.rstore aid in
             if Store.rank s <> n then raise Row_fallback
             else if n < rank then begin
               (* rank-deficient ref: constant along the innermost dimension *)
-              let scratch = Array.make n 0 in
+              ws_ipt rc.rws n;
               RRow
-                (fun p0 ->
+                (fun env p0 ->
+                  let scratch = env.e_ipt.(n) in
                   for k = 0 to n - 1 do
                     scratch.(k) <- p0.(k) + off.(k)
                   done;
-                  Store.get_unsafe s scratch)
+                  Store.get_unsafe env.e_stores.(aid) scratch)
             end
             else raise Row_fallback)
     | Zpl.Prog.ABin (op, a, b) -> (
@@ -845,14 +1009,14 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
         | Some (RConst x) -> RConst (x *. x)
         | Some (RRow f) ->
             RRow
-              (fun p0 ->
-                let v = f p0 in
+              (fun env p0 ->
+                let v = f env p0 in
                 v *. v)
-        | Some (RRef (sa, da)) -> fill_vv2 Zpl.Ast.Mul sa da sa da
+        | Some (RRef (aa, da)) -> fill_vv2 Zpl.Ast.Mul (aa, da) (aa, da)
         | Some ra ->
             RFill
-              (fun p0 len dst d0 ->
-                fill ra p0 len dst d0;
+              (fun env p0 len dst d0 ->
+                fill ra env p0 len dst d0;
                 for k = d0 to d0 + len - 1 do
                   let v = A1.unsafe_get dst k in
                   A1.unsafe_set dst k (v *. v)
@@ -863,54 +1027,56 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
             | RConst x, RConst y -> RConst (apply_bin op x y)
             | (RConst _ | RRow _), (RConst _ | RRow _) ->
                 let fa = row_value ra and fb = row_value rb in
-                RRow (fun p0 -> apply_bin op (fa p0) (fb p0))
-            | RRef (sa, da), RRef (sb, db) -> fill_vv2 op sa da sb db
-            | RRef (sa, da), (RConst _ | RRow _) ->
-                fill_vs2 op sa da (row_value rb)
-            | (RConst _ | RRow _), RRef (sb, db) ->
-                fill_sv2 op (row_value ra) sb db
-            | RRef (sa, da), _ ->
+                RRow (fun env p0 -> apply_bin op (fa env p0) (fb env p0))
+            | RRef (aa, da), RRef (ab, db) -> fill_vv2 op (aa, da) (ab, db)
+            | RRef (aa, da), (RConst _ | RRow _) ->
+                fill_vs2 op (aa, da) (row_value rb)
+            | (RConst _ | RRow _), RRef (ab, db) ->
+                fill_sv2 op (row_value ra) (ab, db)
+            | RRef (aa, da), _ ->
                 (* evaluate the composite right side into dst, then fold
                    in the left ref slice reversed — no scratch row *)
                 RFill
-                  (fun p0 len dst d0 ->
-                    fill rb p0 len dst d0;
-                    let ia = ref_base sa da p0 len in
-                    map_rv op (Store.read_only sa) ia dst d0 len)
+                  (fun env p0 len dst d0 ->
+                    fill rb env p0 len dst d0;
+                    let s = env.e_stores.(aa) in
+                    let ia = ref_base s da p0 len in
+                    map_rv op (Store.read_only s) ia dst d0 len)
             | _, (RConst _ | RRow _) ->
                 let fb = row_value rb in
                 RFill
-                  (fun p0 len dst d0 ->
-                    fill ra p0 len dst d0;
-                    map_vs op dst d0 len (fb p0))
+                  (fun env p0 len dst d0 ->
+                    fill ra env p0 len dst d0;
+                    map_vs op dst d0 len (fb env p0))
             | (RConst _ | RRow _), _ ->
                 let fa = row_value ra in
                 RFill
-                  (fun p0 len dst d0 ->
-                    fill rb p0 len dst d0;
-                    map_sv op (fa p0) dst d0 len)
-            | _, RRef (sb, db) ->
+                  (fun env p0 len dst d0 ->
+                    fill rb env p0 len dst d0;
+                    map_sv op (fa env p0) dst d0 len)
+            | _, RRef (ab, db) ->
                 RFill
-                  (fun p0 len dst d0 ->
-                    fill ra p0 len dst d0;
-                    let ib = ref_base sb db p0 len in
-                    map_vv op dst d0 (Store.read_only sb) ib len)
+                  (fun env p0 len dst d0 ->
+                    fill ra env p0 len dst d0;
+                    let s = env.e_stores.(ab) in
+                    let ib = ref_base s db p0 len in
+                    map_vv op dst d0 (Store.read_only s) ib len)
             | _, _ ->
-                let scratch = ref empty_buf in
+                let slot = ws_buf rc.rws in
                 RFill
-                  (fun p0 len dst d0 ->
-                    fill ra p0 len dst d0;
-                    match slice_of rb scratch p0 len with
+                  (fun env p0 len dst d0 ->
+                    fill ra env p0 len dst d0;
+                    match slice_of rb env env.e_bufs.(slot) p0 len with
                     | SConst v -> map_vs op dst d0 len v
                     | SVec (src, s0) -> map_vv op dst d0 src s0 len)))
     | Zpl.Prog.AUn (Zpl.Ast.Neg, a) -> (
         match go a with
         | RConst v -> RConst (-.v)
-        | RRow f -> RRow (fun p0 -> -.f p0)
+        | RRow f -> RRow (fun env p0 -> -.f env p0)
         | ra ->
             RFill
-              (fun p0 len dst d0 ->
-                fill ra p0 len dst d0;
+              (fun env p0 len dst d0 ->
+                fill ra env p0 len dst d0;
                 for k = d0 to d0 + len - 1 do
                   A1.unsafe_set dst k (-.A1.unsafe_get dst k)
                 done))
@@ -921,7 +1087,7 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
         in
         match go a with
         | RConst v -> RConst (g v)
-        | RRow fa -> RRow (fun p0 -> g (fa p0))
+        | RRow fa -> RRow (fun env p0 -> g (fa env p0))
         | ra ->
             let apply =
               (* keep the hottest intrinsics call-free in the loop *)
@@ -943,8 +1109,8 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
                     done
             in
             RFill
-              (fun p0 len dst d0 ->
-                fill ra p0 len dst d0;
+              (fun env p0 len dst d0 ->
+                fill ra env p0 len dst d0;
                 apply dst d0 len))
     | Zpl.Prog.ACall (f, [ a; b ]) -> (
         let g =
@@ -955,13 +1121,13 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
         | RConst x, RConst y -> RConst (g x y)
         | (RConst _ | RRow _), (RConst _ | RRow _) ->
             let fa = row_value ra and fb = row_value rb in
-            RRow (fun p0 -> g (fa p0) (fb p0))
+            RRow (fun env p0 -> g (fa env p0) (fb env p0))
         | _ ->
-            let scratch = ref empty_buf in
+            let slot = ws_buf rc.rws in
             RFill
-              (fun p0 len dst d0 ->
-                fill ra p0 len dst d0;
-                match slice_of rb scratch p0 len with
+              (fun env p0 len dst d0 ->
+                fill ra env p0 len dst d0;
+                match slice_of rb env env.e_bufs.(slot) p0 len with
                 | SConst v ->
                     for k = d0 to d0 + len - 1 do
                       A1.unsafe_set dst k (g (A1.unsafe_get dst k) v)
@@ -978,7 +1144,7 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
   and chain (e : Zpl.Prog.aexpr) : rowsrc option =
     let try_scalar e =
       match go e with
-      | RConst v -> Some (fun (_ : int array) -> v)
+      | RConst v -> Some (fun (_ : env) (_ : int array) -> v)
       | RRow f -> Some f
       | _ -> None
       | exception Row_fallback -> None
@@ -992,13 +1158,13 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
        statement stays a single-pass loop instead of degrading to
        operator-by-operator composition around the temp read. *)
     let as_slice (e : Zpl.Prog.aexpr) :
-        [ `Slice of Store.t * int | `Temp of buf ref ] option =
+        [ `Slice of int * int | `Temp of int ] option =
       match lookup e with
-      | Some (_, RTemp b) -> Some (`Temp b)
+      | Some (_, RTemp slot) -> Some (`Temp slot)
       | Some _ -> None
       | None -> (
           match as_ref e with
-          | Some (s, sh) -> Some (`Slice (s, sh))
+          | Some (aid, sh) -> Some (`Slice (aid, sh))
           | None -> None)
     in
     let as_term (e : Zpl.Prog.aexpr) : cterm option =
@@ -1032,7 +1198,7 @@ let compile_row ?(cse : (Zpl.Prog.aexpr * rowsrc) list = []) (rc : rowctx)
     let build kind (base, rest) =
       let terms = Array.of_list (base :: List.map snd rest) in
       let sub = Array.of_list (List.map fst rest) in
-      fill_chain terms sub kind
+      fill_chain rc.rws terms sub kind
     in
     match e with
     | Zpl.Prog.ABin (op, a, b) -> (
@@ -1067,9 +1233,10 @@ let write_mode (a : Zpl.Prog.assign_a) : write_mode =
   else WDirect
 
 (** Run a row-compiled source over [region], writing the rows of [lhs].
-    Returns the number of cells updated. *)
-let run_region_rows ~(lhs : Store.t) ~(region : Zpl.Region.t)
-    ~(mode : write_mode) (src : rowsrc) : int =
+    [slot] indexes the env row buffer the buffered modes stage through
+    (ignored by [WDirect]). Returns the number of cells updated. *)
+let run_region_rows (env : env) ~(lhs : Store.t) ~(region : Zpl.Region.t)
+    ~(mode : write_mode) ~(slot : int) (src : rowsrc) : int =
   if Zpl.Region.is_empty region then 0
   else begin
     if not (Zpl.Region.subset region (Store.alloc lhs)) then
@@ -1081,21 +1248,20 @@ let run_region_rows ~(lhs : Store.t) ~(region : Zpl.Region.t)
     | WDirect ->
         let data = Store.unsafe_data lhs in
         Zpl.Region.iter_rows region (fun p0 len ->
-            fill src p0 len data (Store.index lhs p0))
+            fill src env p0 len data (Store.index lhs p0))
     | WRowBuffer ->
-        let scratch = ref empty_buf in
+        let scratch = env.e_bufs.(slot) in
         let data = Store.unsafe_data lhs in
         Zpl.Region.iter_rows region (fun p0 len ->
             let b = ensure scratch len in
-            fill src p0 len b 0;
+            fill src env p0 len b 0;
             buf_blit b 0 data (Store.index lhs p0) len)
     | WFullBuffer ->
         let data = Store.unsafe_data lhs in
-        let buf = A1.create Bigarray.float64 Bigarray.c_layout
-            (Zpl.Region.size region) in
+        let buf = ensure env.e_bufs.(slot) (Zpl.Region.size region) in
         let k = ref 0 in
         Zpl.Region.iter_rows region (fun p0 len ->
-            fill src p0 len buf !k;
+            fill src env p0 len buf !k;
             k := !k + len);
         k := 0;
         Zpl.Region.iter_rows region (fun p0 len ->
@@ -1107,14 +1273,14 @@ let run_region_rows ~(lhs : Store.t) ~(region : Zpl.Region.t)
 (** Fold a row-compiled source over [region] in row-major order — the
     same per-cell operation sequence as {!run_reduce}, so partials are
     bit-identical to the per-point path. *)
-let fold_rows (op : Zpl.Ast.redop) (src : rowsrc) (region : Zpl.Region.t) :
-    float * int =
+let fold_rows (env : env) ~(slot : int) (op : Zpl.Ast.redop) (src : rowsrc)
+    (region : Zpl.Region.t) : float * int =
   if Zpl.Region.is_empty region then (Reduce.identity op, 0)
   else begin
-    let scratch = ref empty_buf in
+    let scratch = env.e_bufs.(slot) in
     let acc = ref (Reduce.identity op) in
     Zpl.Region.iter_rows region (fun p0 len ->
-        match slice_of src scratch p0 len with
+        match slice_of src env scratch p0 len with
         | SConst v ->
             let a = ref !acc in
             (match op with
@@ -1151,8 +1317,10 @@ let fold_rows (op : Zpl.Ast.redop) (src : rowsrc) (region : Zpl.Region.t) :
 (* ------------------------------------------------------------------ *)
 
 type plan =
-  | PRow of write_mode * rowsrc
-  | PPoint of bool * (int array -> float)  (** buffered flag, per-cell fn *)
+  | PRow of write_mode * int * rowsrc
+      (** mode, staging-buffer slot (-1 when [WDirect] needs none), src *)
+  | PPoint of bool * (env -> int array -> float)
+      (** buffered flag, per-cell fn *)
 
 (** Compile an assignment into an execution plan. [row:false] forces the
     per-point fallback (used by differential tests and the benchmark
@@ -1160,35 +1328,42 @@ type plan =
 let plan_assign ?(row = true) (rc : rowctx) (a : Zpl.Prog.assign_a) : plan =
   let rank = Array.length a.region in
   match if row then compile_row rc ~rank a.rhs else None with
-  | Some src -> PRow (write_mode a, src)
-  | None -> PPoint (needs_buffer a, compile (point_ctx rc) a.rhs)
+  | Some src ->
+      let mode = write_mode a in
+      let slot = match mode with WDirect -> -1 | _ -> ws_buf rc.rws in
+      PRow (mode, slot, src)
+  | None -> PPoint (needs_buffer a, compile_env rc.rws a.rhs)
 
 let plan_is_row = function PRow _ -> true | PPoint _ -> false
 
 (** Execute a plan over [region] (already clipped to ownership and lying
     inside [lhs]'s allocation). Returns the number of cells updated. *)
-let exec_plan (plan : plan) ~(lhs : Store.t) ~(region : Zpl.Region.t) : int =
+let exec_plan (plan : plan) ~(env : env) ~(lhs : Store.t)
+    ~(region : Zpl.Region.t) : int =
   match plan with
-  | PRow (mode, src) -> run_region_rows ~lhs ~region ~mode src
+  | PRow (mode, slot, src) -> run_region_rows env ~lhs ~region ~mode ~slot src
   | PPoint (buffered, f) ->
       run_region
         ~write:(fun p v -> Store.set_unsafe lhs p v)
-        ~region ~buffered f
+        ~region ~buffered
+        (fun p -> f env p)
 
-type rplan = RowRed of rowsrc | PointRed of (int array -> float)
+type rplan =
+  | RowRed of int * rowsrc  (** scratch slot for non-slice sources *)
+  | PointRed of (env -> int array -> float)
 
 let plan_reduce ?(row = true) (rc : rowctx) (r : Zpl.Prog.reduce_s) : rplan =
   let rank = Array.length r.r_region in
   match if row then compile_row rc ~rank r.r_rhs else None with
-  | Some src -> RowRed src
-  | None -> PointRed (compile (point_ctx rc) r.r_rhs)
+  | Some src -> RowRed (ws_buf rc.rws, src)
+  | None -> PointRed (compile_env rc.rws r.r_rhs)
 
 (** Local partial of a reduction plan over [region]: (partial, cells). *)
-let exec_rplan (plan : rplan) ~(region : Zpl.Region.t) (op : Zpl.Ast.redop) :
-    float * int =
+let exec_rplan (plan : rplan) ~(env : env) ~(region : Zpl.Region.t)
+    (op : Zpl.Ast.redop) : float * int =
   match plan with
-  | RowRed src -> fold_rows op src region
-  | PointRed f -> run_reduce ~region op f
+  | RowRed (slot, src) -> fold_rows env ~slot op src region
+  | PointRed f -> run_reduce ~region op (fun p -> f env p)
 
 (* ------------------------------------------------------------------ *)
 (* Statement fusion                                                    *)
@@ -1363,13 +1538,22 @@ let cse_select ~(written : int list) (rhss : Zpl.Prog.aexpr list) :
     (fun a b -> Stdlib.compare (aexpr_size a) (aexpr_size b))
     accepted
 
-type fstmt = { f_lhs : Store.t; f_mode : write_mode; f_src : rowsrc }
+type fstmt = { f_lhs : int; f_mode : write_mode; f_src : rowsrc }
+(** One fused member: lhs array id (resolved through the env at
+    execution), write mode and row source. *)
 
-type ftemp = { ft_buf : Store.buf ref; ft_src : rowsrc }
-(** One CSE row temporary: [ft_src] evaluated into [!ft_buf] (cells
-    [0 .. len-1]) before any member statement of the row runs. *)
+type ftemp = { ft_slot : int; ft_src : rowsrc }
+(** One CSE row temporary: [ft_src] evaluated into env buffer slot
+    [ft_slot] (cells [0 .. len-1]) before any member statement of the
+    row runs. *)
 
-type fplan = { f_temps : ftemp array; f_stmts : fstmt array }
+type fplan = {
+  f_temps : ftemp array;
+  f_stmts : fstmt array;
+  f_scratch : int;
+      (** env buffer slot shared by [WRowBuffer] members; -1 when every
+          member writes direct *)
+}
 
 let fused_temp_count (fp : fplan) = Array.length fp.f_temps
 
@@ -1400,16 +1584,24 @@ let plan_fused ?(cse = true) (rc : rowctx) (stmts : Zpl.Prog.assign_a array)
           match compile_row ~cse:!env rc ~rank t with
           | None -> ()
           | Some src ->
-              let b = ref empty_buf in
-              env := (t, RTemp b) :: !env;
-              temps := { ft_buf = b; ft_src = src } :: !temps)
+              let slot = ws_buf rc.rws in
+              env := (t, RTemp slot) :: !env;
+              temps := { ft_slot = slot; ft_src = src } :: !temps)
         (cse_select ~written rhss)
     end;
     let rec build i acc =
-      if i = n then
+      if i = n then begin
+        let stmts = Array.of_list (List.rev acc) in
+        let scratch =
+          if Array.exists (fun fs -> fs.f_mode = WRowBuffer) stmts then
+            ws_buf rc.rws
+          else -1
+        in
         Some
           { f_temps = Array.of_list (List.rev !temps);
-            f_stmts = Array.of_list (List.rev acc) }
+            f_stmts = stmts;
+            f_scratch = scratch }
+      end
       else
         match compile_row ~cse:!env rc ~rank stmts.(i).Zpl.Prog.rhs with
         | None -> None
@@ -1418,8 +1610,7 @@ let plan_fused ?(cse = true) (rc : rowctx) (stmts : Zpl.Prog.assign_a array)
             if mode = WFullBuffer then None
             else
               build (i + 1)
-                ({ f_lhs = rc.rstore stmts.(i).Zpl.Prog.lhs;
-                   f_mode = mode;
+                ({ f_lhs = stmts.(i).Zpl.Prog.lhs; f_mode = mode;
                    f_src = src }
                 :: acc)
     in
@@ -1429,51 +1620,48 @@ let plan_fused ?(cse = true) (rc : rowctx) (stmts : Zpl.Prog.assign_a array)
 (** Execute a fused plan: one traversal of [region], all statements per
     row, in statement order. Returns the total number of cells updated
     (region size times the number of statements). *)
-let exec_fused (fp : fplan) ~(region : Zpl.Region.t) : int =
+let exec_fused (fp : fplan) ~(env : env) ~(region : Zpl.Region.t) : int =
   if Zpl.Region.is_empty region then 0
   else begin
     Array.iter
       (fun fs ->
-        if not (Zpl.Region.subset region (Store.alloc fs.f_lhs)) then
+        let lhs = env.e_stores.(fs.f_lhs) in
+        if not (Zpl.Region.subset region (Store.alloc lhs)) then
           Fmt.invalid_arg
             "fused kernel: write region %s outside allocated %s of %s"
             (Zpl.Region.to_string region)
-            (Zpl.Region.to_string (Store.alloc fs.f_lhs))
-            (Store.info fs.f_lhs).a_name)
+            (Zpl.Region.to_string (Store.alloc lhs))
+            (Store.info lhs).a_name)
       fp.f_stmts;
-    let scratch = ref empty_buf in
-    (* hoist the per-statement write-mode dispatch out of the row loop *)
-    let runs =
-      Array.map
-        (fun fs ->
-          let lhs = fs.f_lhs in
-          let data = Store.unsafe_data lhs in
-          match fs.f_mode with
-          | WDirect ->
-              fun p0 len -> fill fs.f_src p0 len data (Store.index lhs p0)
-          | WRowBuffer ->
-              fun p0 len ->
-                let b = ensure scratch len in
-                fill fs.f_src p0 len b 0;
-                buf_blit b 0 data (Store.index lhs p0) len
-          | WFullBuffer -> assert false)
-        fp.f_stmts
-    in
-    let n = Array.length runs in
+    let stmts = fp.f_stmts in
+    let n = Array.length stmts in
     let temps = fp.f_temps in
     let nt = Array.length temps in
+    let stores = env.e_stores in
     Zpl.Region.iter_rows region (fun p0 len ->
         (* temp definitions first, in order: later temps may read
-           earlier ones through their [RTemp] refs *)
+           earlier ones through their [RTemp] slots *)
         for t = 0 to nt - 1 do
           let ft = Array.unsafe_get temps t in
-          let b = ensure ft.ft_buf len in
-          fill ft.ft_src p0 len b 0
+          let b = ensure env.e_bufs.(ft.ft_slot) len in
+          fill ft.ft_src env p0 len b 0
         done;
+        (* per-statement dispatch inline: the match is on an immediate
+           tag and branch-predicts perfectly, and building hoisted
+           closures here would allocate per execution *)
         for i = 0 to n - 1 do
-          (Array.unsafe_get runs i) p0 len
+          let fs = Array.unsafe_get stmts i in
+          let lhs = Array.unsafe_get stores fs.f_lhs in
+          let data = Store.unsafe_data lhs in
+          match fs.f_mode with
+          | WDirect -> fill fs.f_src env p0 len data (Store.index lhs p0)
+          | WRowBuffer ->
+              let b = ensure env.e_bufs.(fp.f_scratch) len in
+              fill fs.f_src env p0 len b 0;
+              buf_blit b 0 data (Store.index lhs p0) len
+          | WFullBuffer -> assert false
         done);
-    Zpl.Region.size region * Array.length fp.f_stmts
+    Zpl.Region.size region * n
   end
 
 (** Runtime validation that every shifted read of [e] over [region] stays

@@ -11,7 +11,18 @@
     as the per-point path, so the two are bit-identical (property-tested
     in [test/test_props.ml]). Adjacent compatible statements can
     additionally {e fuse} into a single row traversal — see
-    {!can_join} / {!plan_fused}. *)
+    {!can_join} / {!plan_fused}.
+
+    {b The store-binding contract.} Compiled plans are store-agnostic:
+    a plan may capture array ids, flat shifts (computed against the
+    compile-time stores' strides), operator dispatch and coefficient
+    structure — never a store's cells, a scalar value, or mutable
+    scratch. Everything mutable is passed at execution time inside an
+    {!env}: the executor's stores (same geometry as the compile-time
+    blueprints), its scalar reader, and a workspace minted by
+    {!make_env} from the {!envspec} the compile pass records. One plan
+    set may therefore be shared by many concurrent executors, each with
+    its own env. *)
 
 (* --- per-point path --- *)
 
@@ -46,15 +57,53 @@ val exec_assign :
 val exec_reduce :
   ctx -> region:Zpl.Region.t -> Zpl.Prog.reduce_s -> float * int
 
+(* --- workspace and runtime environment --- *)
+
+(** Workspace slot allocator threaded through one compile pass (one
+    [ws] per plan set; plans record slot ids into the env built from
+    the final spec). *)
+type ws
+
+val make_ws : unit -> ws
+
+(** Frozen workspace requirements of a compiled plan set: how many row
+    buffers, chain workspaces (and their widths), and integer
+    point-scratch ranks the plans' slot ids index into. *)
+type envspec
+
+(** Freeze a workspace builder. Call once, after every plan of the set
+    has been compiled. *)
+val ws_spec : ws -> envspec
+
+(** Number of row-buffer slots in a spec (observability for tests). *)
+val envspec_buffers : envspec -> int
+
+(** The runtime environment every [exec_*] entry takes: stores indexed
+    by array id, the scalar reader, and this executor's mutable
+    workspace. Envs are cheap; mint one per executor and never share
+    one across threads. *)
+type env
+
+(** [make_env ~stores ~scalar spec] binds an executor's stores and
+    scalar reader to a fresh workspace satisfying [spec]. The stores
+    must have the same geometry (rank, strides, allocation) as the
+    compile-time blueprints the plans were compiled against. *)
+val make_env :
+  stores:Store.t array -> scalar:(int -> float) -> envspec -> env
+
 (* --- execution plans (row path with per-point fallback) --- *)
 
 type rowctx = {
-  rstore : int -> Store.t;  (** array id -> local storage *)
-  rscalar : int -> float;  (** numeric scalar value *)
+  rstore : int -> Store.t;
+      (** array id -> storage of the target geometry. Shape-only stores
+          ({!Store.make_shape}) suffice: only rank, strides and extents
+          are consulted at compile time. *)
+  rws : ws;  (** the plan set's workspace allocator *)
 }
 
 (** A compiled assignment: row kernels when the row compiler succeeds,
-    per-point closure otherwise. *)
+    per-point closure otherwise. Store-agnostic — see the module
+    preamble. *)
 type plan
 
 (** Compile an assignment into an execution plan. [row:false] forces the
@@ -66,8 +115,10 @@ val plan_assign : ?row:bool -> rowctx -> Zpl.Prog.assign_a -> plan
 val plan_is_row : plan -> bool
 
 (** Execute a plan over [region] (already clipped to ownership and lying
-    inside [lhs]'s allocation). Returns the number of cells updated. *)
-val exec_plan : plan -> lhs:Store.t -> region:Zpl.Region.t -> int
+    inside [lhs]'s allocation) with this executor's [env]. Returns the
+    number of cells updated. *)
+val exec_plan :
+  plan -> env:env -> lhs:Store.t -> region:Zpl.Region.t -> int
 
 (** A compiled reduction body. *)
 type rplan
@@ -75,7 +126,8 @@ type rplan
 val plan_reduce : ?row:bool -> rowctx -> Zpl.Prog.reduce_s -> rplan
 
 (** Local partial of a reduction plan over [region]: (partial, cells). *)
-val exec_rplan : rplan -> region:Zpl.Region.t -> Zpl.Ast.redop -> float * int
+val exec_rplan :
+  rplan -> env:env -> region:Zpl.Region.t -> Zpl.Ast.redop -> float * int
 
 (* --- statement fusion --- *)
 
@@ -118,9 +170,10 @@ val plan_fused :
 val fused_temp_count : fplan -> int
 
 (** Execute a fused plan: one traversal of [region], all statements per
-    row, in statement order. Returns the total number of cells updated
-    (region size times the number of statements). *)
-val exec_fused : fplan -> region:Zpl.Region.t -> int
+    row, in statement order, with this executor's [env] (which supplies
+    the lhs stores by array id). Returns the total number of cells
+    updated (region size times the number of statements). *)
+val exec_fused : fplan -> env:env -> region:Zpl.Region.t -> int
 
 (* --- dynamic bounds checking --- *)
 

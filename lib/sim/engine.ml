@@ -139,11 +139,34 @@ type cblue = {
   cb_rfrom : int array;  (** link ids to [cb_from]; [[||]] under ideal *)
 }
 
-(** Everything {!make} used to compute that does not depend on run-time
+(** Compiled form of one flat op on one rank: store-agnostic
+    {!Runtime.Kernel} plans, built eagerly at {!plan} time against
+    shape-only stores. *)
+type ckern =
+  | KNone  (** op carries no kernel (control flow, comm, halt) *)
+  | KAssign of Runtime.Kernel.plan
+  | KReduce of Runtime.Kernel.rplan
+
+type kprog = {
+  k_ops : ckern array;  (** per op index *)
+  k_fused : Runtime.Kernel.fplan option array;
+      (** per op index: the fused plan of the group headed there (only
+          at heads where [p_fuse_len] >= 2); [None] at a head means some
+          member fell back to the per-point path and the group runs
+          unfused through [k_ops] *)
+  k_spec : Runtime.Kernel.envspec;
+      (** workspace requirements of this rank's plans; {!of_plans}
+          mints one {!Runtime.Kernel.env} per engine from it *)
+}
+
+(** Everything the engine needs that does not depend on run-time
     state: the compiled, immutable, shareable half of an engine. Two
     engines built from one [plans] value share these artifacts
     physically ([==]); each {!of_plans} call mints only the mutable
-    half (stores, mailboxes, staging pools, statistics). *)
+    half (stores, kernel workspaces, mailboxes, staging pools,
+    statistics) and performs {e no kernel compilation} — the kernel
+    programs in [p_kern] are store-agnostic and bind stores through a
+    per-engine {!Runtime.Kernel.env}. *)
 type plans = {
   p_flat : Ir.Flat.t;
   p_machine : Machine.Params.t;
@@ -169,6 +192,10 @@ type plans = {
       (** per op index: length of the fused group starting there, or 0 *)
   p_refchecks : Runtime.Kernel.refs array;
       (** per op index: the rhs's (array, shift) reads, extracted once *)
+  p_kern : kprog array;
+      (** per rank: the compiled, store-agnostic kernel program. Ranks
+          need distinct plans because uneven block splits give their
+          stores different strides, so the flat shifts differ. *)
 }
 
 (* Blocked-state encoding. An option-of-variant would allocate on every
@@ -239,17 +266,6 @@ let mbox_pop (mb : mbox) : int =
   mb.mb_n <- mb.mb_n - 1;
   i
 
-(** Compiled form of one array statement, reduction, or fused group,
-    cached per op index (fused plans under the group's first op). *)
-type ckernel =
-  | CAssign of Runtime.Kernel.plan
-  | CReduce of Runtime.Kernel.rplan
-  | CFused of bool * Runtime.Kernel.fplan option
-      (** the CSE flag the plan was compiled under — part of the cache
-          key, since plans with and without hoisted temporaries differ —
-          and the plan; [None]: some statement of the group fell back to
-          the per-point path, so the group runs unfused *)
-
 type proc = {
   rank : int;
   mutable pc : int;
@@ -280,7 +296,9 @@ type proc = {
   cvals : float array array;
       (** per collective slot used by dissemination: the allgathered
           partials, indexed by source rank; [[||]] for other slots *)
-  kernels : ckernel option array;  (** per op index *)
+  kenv : Runtime.Kernel.env;
+      (** this rank's binding of its stores and scalar env to the shared
+          kernel program's workspace spec *)
   stats : Stats.per_proc;
 }
 
@@ -321,6 +339,7 @@ type t = {
   fuse : bool;  (** whether adjacent kernels may fuse (needs row path) *)
   cse : bool;  (** whether fused groups may hoist repeated subterms *)
   domains : int;  (** host domains driving the drain loop *)
+  kern : kprog array;  (** per rank: shared compiled kernel programs *)
   fuse_len : int array;
       (** per op index: length of the fused group starting there, or 0 *)
   refchecks : Runtime.Kernel.refs array;
@@ -519,20 +538,23 @@ let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
           else build_plan layout prog x ~nprocs ~topo:topology ~pr ~pc)
         flat.Ir.Flat.transfers
   in
+  (* blit plans and row kernels only read shapes and strides, so
+     compile both against data-free stores — no cell allocation at
+     plan time. The geometry (rank, strides, allocation) is identical
+     to the real stores {!of_plans} mints, which is what makes the
+     compiled flat shifts valid against them. *)
+  let shapes =
+    Array.init nprocs (fun rank ->
+        Array.map
+          (fun (info : Zpl.Prog.array_info) ->
+            Runtime.Store.make_shape info
+              ~owned:(Runtime.Halo.owned_of layout info rank)
+              ~fringe:fringe.(info.a_id))
+          prog.Zpl.Prog.arrays)
+  in
   let p_wblue =
     if not wire then [||]
     else begin
-      (* blit plans only read shapes and strides, so compile them
-         against data-free stores — no cell allocation at plan time *)
-      let shapes =
-        Array.init nprocs (fun rank ->
-            Array.map
-              (fun (info : Zpl.Prog.array_info) ->
-                Runtime.Store.make_shape info
-                  ~owned:(Runtime.Halo.owned_of layout info rank)
-                  ~fringe:fringe.(info.a_id))
-              prog.Zpl.Prog.arrays)
-      in
       let bp =
         Array.map
           (fun (x : Ir.Transfer.t) ->
@@ -565,6 +587,52 @@ let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
                   cb_rfrom = route r.Ir.Coll.r_from }))
       flat.Ir.Flat.transfers
   in
+  let ops = flat.Ir.Flat.ops in
+  let nops = Array.length ops in
+  let fuse_len =
+    if fuse && row_path then fuse_groups flat else Array.make nops 0
+  in
+  (* Store-agnostic kernel compilation, once per rank at plan time.
+     Engines minted from this plan set never compile kernels — they
+     bind stores through a per-engine env. Individual plans are built
+     even for fused-group members: they back the unfused fallback when
+     a group's fused plan is [None], and mid-group jump targets. *)
+  let p_kern =
+    Array.init nprocs (fun rank ->
+        let ws = Runtime.Kernel.make_ws () in
+        let rc =
+          { Runtime.Kernel.rstore = (fun aid -> shapes.(rank).(aid));
+            rws = ws }
+        in
+        let k_ops =
+          Array.map
+            (function
+              | Ir.Flat.FKernel a ->
+                  KAssign (Runtime.Kernel.plan_assign ~row:row_path rc a)
+              | Ir.Flat.FReduce r ->
+                  KReduce (Runtime.Kernel.plan_reduce ~row:row_path rc r)
+              | Ir.Flat.FCollPart w ->
+                  KReduce
+                    (Runtime.Kernel.plan_reduce ~row:row_path rc
+                       w.Ir.Instr.cw_red)
+              | _ -> KNone)
+            ops
+        in
+        let k_fused = Array.make nops None in
+        Array.iteri
+          (fun idx glen ->
+            if glen >= 2 then begin
+              let stmts =
+                Array.init glen (fun k ->
+                    match ops.(idx + k) with
+                    | Ir.Flat.FKernel a -> a
+                    | _ -> assert false)
+              in
+              k_fused.(idx) <- Runtime.Kernel.plan_fused ~cse rc stmts
+            end)
+          fuse_len;
+        { k_ops; k_fused; k_spec = Runtime.Kernel.ws_spec ws })
+  in
   { p_flat = flat;
     p_machine = machine;
     p_lib = lib;
@@ -585,9 +653,7 @@ let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
     p_wblue;
     p_colls = colls;
     p_cblue;
-    p_fuse_len =
-      (if fuse && row_path then fuse_groups flat
-       else Array.make (Array.length flat.Ir.Flat.ops) 0);
+    p_fuse_len = fuse_len;
     p_refchecks =
       Array.map
         (function
@@ -596,7 +662,8 @@ let plan ?(row_path = true) ?(fuse = true) ?(cse = true) ?(wire = true)
           | Ir.Flat.FCollPart w ->
               Runtime.Kernel.refs_of w.Ir.Instr.cw_red.Zpl.Prog.r_rhs
           | _ -> [||])
-        flat.Ir.Flat.ops }
+        ops;
+    p_kern }
 
 let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
   let flat = sp.p_flat in
@@ -621,8 +688,14 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
                 ~fringe:sp.p_fringe.(info.a_id))
             prog.Zpl.Prog.arrays
         in
+        let env = Runtime.Values.make_env prog in
+        let kenv =
+          Runtime.Kernel.make_env ~stores
+            ~scalar:(fun id -> Runtime.Values.as_float env.(id))
+            sp.p_kern.(rank).k_spec
+        in
         { rank; pc = 0; time = { fv = 0.0 }; stores;
-          env = Runtime.Values.make_env prog;
+          env;
           wait_kind = wk_none; wait_arg = 0;
           halted = false; queued = false;
           instrs = 0;
@@ -640,7 +713,7 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
           cvals =
             Array.init nslots (fun s ->
                 if sp.p_dissem.(s) then Array.make nprocs 0.0 else [||]);
-          kernels = Array.make (Array.length flat.Ir.Flat.ops) None;
+          kenv;
           stats = Stats.fresh_proc () })
   in
   (* wire sides: shared blit plans, per-engine staging pools; receive
@@ -734,6 +807,7 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
       fuse = sp.p_fuse;
       cse = sp.p_cse;
       domains = max 1 domains;
+      kern = sp.p_kern;
       fuse_len = sp.p_fuse_len;
       refchecks = sp.p_refchecks }
   in
@@ -773,12 +847,6 @@ let of_plans ?(limit = 1_000_000_000) ?(domains = 1) (sp : plans) : t =
   t
 
 let shared_plans (t : t) = t.shared
-
-let make ?limit ?row_path ?fuse ?cse ?domains ?wire ?topology
-    ~(machine : Machine.Params.t) ~(lib : Machine.Library.t) ~pr ~pc
-    (flat : Ir.Flat.t) : t =
-  of_plans ?limit ?domains
-    (plan ?row_path ?fuse ?cse ?wire ?topology ~machine ~lib ~pr ~pc flat)
 
 (* ------------------------------------------------------------------ *)
 (* Mail and the runnable ring                                          *)
@@ -888,43 +956,20 @@ let route_arrival (t : t) ~(from_time : float) ~(bytes : float)
 
 type step = Continue | Blocked | Halted
 
-let rowctx_of (p : proc) : Runtime.Kernel.rowctx =
-  { Runtime.Kernel.rstore = (fun aid -> p.stores.(aid));
-    rscalar = (fun id -> Runtime.Values.as_float p.env.(id)) }
+(* The compiled, store-agnostic kernel programs live in the shared
+   [plans]; these lookups never compile anything. *)
 
-let assign_plan (t : t) (p : proc) idx (a : Zpl.Prog.assign_a) =
-  match p.kernels.(idx) with
-  | Some (CAssign plan) -> plan
-  | _ ->
-      let plan =
-        Runtime.Kernel.plan_assign ~row:t.row_path (rowctx_of p) a
-      in
-      p.kernels.(idx) <- Some (CAssign plan);
-      plan
+let assign_plan (t : t) (p : proc) idx =
+  match t.kern.(p.rank).k_ops.(idx) with
+  | KAssign plan -> plan
+  | KNone | KReduce _ -> assert false
 
-let reduce_plan (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) =
-  match p.kernels.(idx) with
-  | Some (CReduce plan) -> plan
-  | _ ->
-      let plan =
-        Runtime.Kernel.plan_reduce ~row:t.row_path (rowctx_of p) r
-      in
-      p.kernels.(idx) <- Some (CReduce plan);
-      plan
+let reduce_plan (t : t) (p : proc) idx =
+  match t.kern.(p.rank).k_ops.(idx) with
+  | KReduce plan -> plan
+  | KNone | KAssign _ -> assert false
 
-let fused_plan (t : t) (p : proc) idx glen =
-  match p.kernels.(idx) with
-  | Some (CFused (flag, fp)) when flag = t.cse -> fp
-  | _ ->
-      let stmts =
-        Array.init glen (fun k ->
-            match t.flat.Ir.Flat.ops.(idx + k) with
-            | Ir.Flat.FKernel a -> a
-            | _ -> assert false)
-      in
-      let fp = Runtime.Kernel.plan_fused ~cse:t.cse (rowctx_of p) stmts in
-      p.kernels.(idx) <- Some (CFused (t.cse, fp));
-      fp
+let fused_plan (t : t) (p : proc) idx = t.kern.(p.rank).k_fused.(idx)
 
 (** Local part of a statement region: dims 0-1 intersected with the
     processor's partition box, higher dims untouched. *)
@@ -957,7 +1002,8 @@ let exec_kernel (t : t) (p : proc) idx (a : Zpl.Prog.assign_a) =
       Runtime.Kernel.check_ref_bounds ~region
         ~alloc_of:(fun aid -> Runtime.Store.alloc p.stores.(aid))
         t.refchecks.(idx);
-      Runtime.Kernel.exec_plan (assign_plan t p idx a) ~lhs:store ~region
+      Runtime.Kernel.exec_plan (assign_plan t p idx) ~env:p.kenv ~lhs:store
+        ~region
     end
   in
   charge_kernel t p ~cells ~flops:a.flops
@@ -971,7 +1017,7 @@ let exec_fused_group (t : t) (p : proc) idx glen =
     | Ir.Flat.FKernel a -> a
     | _ -> assert false
   in
-  match fused_plan t p idx glen with
+  match fused_plan t p idx with
   | None ->
       (* some member fell back to the per-point path: run unfused *)
       for k = 0 to glen - 1 do
@@ -992,7 +1038,7 @@ let exec_fused_group (t : t) (p : proc) idx glen =
               ~alloc_of:(fun aid -> Runtime.Store.alloc p.stores.(aid))
               t.refchecks.(idx + k)
           done;
-          ignore (Runtime.Kernel.exec_fused fp ~region);
+          ignore (Runtime.Kernel.exec_fused fp ~env:p.kenv ~region);
           Zpl.Region.size region
         end
       in
@@ -1560,7 +1606,7 @@ let exec_reduce (t : t) (p : proc) idx (r : Zpl.Prog.reduce_s) : step =
     ~alloc_of:(fun aid -> Runtime.Store.alloc p.stores.(aid))
     t.refchecks.(idx);
   let partial, cells =
-    Runtime.Kernel.exec_rplan (reduce_plan t p idx r) ~region r.r_op
+    Runtime.Kernel.exec_rplan (reduce_plan t p idx) ~env:p.kenv ~region r.r_op
   in
   let dt =
     t.machine.Machine.Params.kernel_overhead
@@ -1606,7 +1652,8 @@ let exec_coll_part (t : t) (p : proc) idx (w : Ir.Instr.coll_work) =
     ~alloc_of:(fun aid -> Runtime.Store.alloc p.stores.(aid))
     t.refchecks.(idx);
   let partial, cells =
-    Runtime.Kernel.exec_rplan (reduce_plan t p idx r) ~region r.Zpl.Prog.r_op
+    Runtime.Kernel.exec_rplan (reduce_plan t p idx) ~env:p.kenv ~region
+      r.Zpl.Prog.r_op
   in
   let dt =
     t.machine.Machine.Params.kernel_overhead

@@ -29,11 +29,14 @@ exception Instruction_limit of int
 
 (** The immutable, shareable half of an engine: the compiled comm
     schedule bound to a layout, the wire blit plans, the collective role
-    tables, the fused-group partition and the reference-check tables.
-    Engines minted from one [plans] value by {!of_plans} share all of it
-    physically ([==]); only per-engine mutable state (stores, mailboxes,
-    staging pools, statistics) is rebuilt. This is the unit
-    [Run.Cache] stores, keyed by [Run.Spec]. *)
+    tables, the fused-group partition, the reference-check tables, and
+    the per-rank store-agnostic kernel programs (row/fused/CSE plans
+    compiled against shape-only stores — see the store-binding contract
+    in [Runtime.Kernel]). Engines minted from one [plans] value by
+    {!of_plans} share all of it physically ([==]); only per-engine
+    mutable state (stores, kernel workspaces, mailboxes, staging pools,
+    statistics) is rebuilt — {e no kernel compilation happens at mint
+    time}. This is the unit [Run.Cache] stores, keyed by [Run.Spec]. *)
 type plans
 
 (** [plan ~machine ~lib ~pr ~pc flat] compiles every artifact of an
@@ -59,8 +62,11 @@ val plan :
   plans
 
 (** [of_plans plans] readies one virtual processor per mesh point:
-    fresh stores, mailboxes, staging pools and statistics around the
-    shared compiled artifacts. [limit] bounds instructions {e per
+    fresh stores, kernel workspaces, mailboxes, staging pools and
+    statistics around the shared compiled artifacts. The per-rank
+    kernel programs in [plans] are bound to the fresh stores through a
+    [Runtime.Kernel.env] — store binding, not recompilation, so a
+    cache hit mints a ready-to-run engine. [limit] bounds instructions {e per
     processor} (default [1e9]); [domains] (default 1) drives the drain
     loop with that many host domains (results are bit-identical for any
     value). Neither affects the compiled artifacts, which is why they
@@ -76,30 +82,6 @@ val of_plans : ?limit:int -> ?domains:int -> plans -> t
     answer with physically equal ([==]) values iff they share plans —
     the cache-hit property [Run.Cache]'s tests assert. *)
 val shared_plans : t -> plans
-
-(** Legacy one-shot constructor: compiles a private [plans] value and
-    builds one engine from it. Use [Run.Spec] + [Run.Cache] (or {!plan}
-    + {!of_plans}) instead — this entry recompiles every artifact per
-    call, which sweep-scale callers cannot afford. *)
-val make :
-  ?limit:int ->
-  ?row_path:bool ->
-  ?fuse:bool ->
-  ?cse:bool ->
-  ?domains:int ->
-  ?wire:bool ->
-  ?topology:Machine.Topology.t ->
-  machine:Machine.Params.t ->
-  lib:Machine.Library.t ->
-  pr:int ->
-  pc:int ->
-  Ir.Flat.t ->
-  t
-[@@alert
-  legacy
-    "Engine.make recompiles all plan artifacts per call; build a \
-     Run.Spec.t and go through Run.Cache, or use Engine.plan + \
-     Engine.of_plans."]
 
 type result = {
   time : float;  (** makespan over processors *)

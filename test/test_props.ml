@@ -501,24 +501,34 @@ let arb_kcase =
         c.kseed)
     gen_kcase
 
+let kscalar i = [| 0.5; -1.25 |].(i)
+
+(* Plans are store-agnostic: compile against [stores] (any store of the
+   right geometry works), then bind the actual stores and scalars into
+   an env once every plan of the set is built. *)
 let kcase_stores (c : kcase) =
   let alloc = grow1 c.kregion in
-  let stores = Array.init narrays (fun aid -> mk_store aid c.krank alloc c.kseed) in
-  let rc =
-    { Runtime.Kernel.rstore = (fun aid -> stores.(aid));
-      rscalar = (fun i -> [| 0.5; -1.25 |].(i)) }
+  let stores =
+    Array.init narrays (fun aid -> mk_store aid c.krank alloc c.kseed)
   in
-  (stores, rc)
+  let ws = Runtime.Kernel.make_ws () in
+  let rc = { Runtime.Kernel.rstore = (fun aid -> stores.(aid)); rws = ws } in
+  let mkenv () =
+    Runtime.Kernel.make_env ~stores ~scalar:kscalar
+      (Runtime.Kernel.ws_spec ws)
+  in
+  (stores, rc, mkenv)
 
 let exec_kcase ~row (c : kcase) =
-  let stores, rc = kcase_stores c in
+  let stores, rc, mkenv = kcase_stores c in
   let a =
     { Zpl.Prog.region = Zpl.Prog.dregion_of_region c.kregion;
       lhs = c.klhs; rhs = c.krhs; flops = 0 }
   in
   let plan = Runtime.Kernel.plan_assign ~row rc a in
   let cells =
-    Runtime.Kernel.exec_plan plan ~lhs:stores.(c.klhs) ~region:c.kregion
+    Runtime.Kernel.exec_plan plan ~env:(mkenv ()) ~lhs:stores.(c.klhs)
+      ~region:c.kregion
   in
   ( cells,
     Array.map
@@ -541,14 +551,16 @@ let prop_row_reduce_bitwise =
           Zpl.Ast.[ RSum; RMax; RMin; RProd ]))
     (fun (c, op) ->
       let run ~row =
-        let _, rc = kcase_stores c in
+        let _, rc, mkenv = kcase_stores c in
         let r =
           { Zpl.Prog.r_lhs = 0; r_op = op;
             r_region = Zpl.Prog.dregion_of_region c.kregion;
             r_rhs = c.krhs; r_flops = 0 }
         in
         let plan = Runtime.Kernel.plan_reduce ~row rc r in
-        let v, cells = Runtime.Kernel.exec_rplan plan ~region:c.kregion op in
+        let v, cells =
+          Runtime.Kernel.exec_rplan plan ~env:(mkenv ()) ~region:c.kregion op
+        in
         (bits v, cells)
       in
       run ~row:true = run ~row:false)
@@ -570,7 +582,7 @@ let test_row_plan_engages () =
   in
   List.iter
     (fun (name, case) ->
-      let stores, rc = kcase_stores case in
+      let stores, rc, _ = kcase_stores case in
       ignore stores;
       let a =
         { Zpl.Prog.region = Zpl.Prog.dregion_of_region case.kregion;
@@ -747,11 +759,15 @@ let test_cse_plan_engages () =
   let mk () =
     let alloc = grow1 region in
     let stores = Array.init narrays (fun aid -> mk_store aid 2 alloc 77) in
+    let ws = Runtime.Kernel.make_ws () in
     let rc =
-      { Runtime.Kernel.rstore = (fun aid -> stores.(aid));
-        rscalar = (fun i -> [| 0.5; -1.25 |].(i)) }
+      { Runtime.Kernel.rstore = (fun aid -> stores.(aid)); rws = ws }
     in
-    (stores, rc)
+    let mkenv () =
+      Runtime.Kernel.make_env ~stores ~scalar:kscalar
+        (Runtime.Kernel.ws_spec ws)
+    in
+    (stores, rc, mkenv)
   in
   let fingerprint stores =
     Array.map
@@ -759,16 +775,19 @@ let test_cse_plan_engages () =
       stores
   in
   (* per-point oracle, statement by statement *)
-  let stores_pt, rc_pt = mk () in
-  Array.iter
-    (fun (a : Zpl.Prog.assign_a) ->
+  let stores_pt, rc_pt, mkenv_pt = mk () in
+  let plans_pt =
+    Array.map (Runtime.Kernel.plan_assign ~row:false rc_pt) group
+  in
+  let env_pt = mkenv_pt () in
+  Array.iteri
+    (fun i (a : Zpl.Prog.assign_a) ->
       ignore
-        (Runtime.Kernel.exec_plan
-           (Runtime.Kernel.plan_assign ~row:false rc_pt a)
+        (Runtime.Kernel.exec_plan plans_pt.(i) ~env:env_pt
            ~lhs:stores_pt.(a.Zpl.Prog.lhs) ~region))
     group;
   (* fused with CSE: a temp must be hoisted, bits must match *)
-  let stores_f, rc_f = mk () in
+  let stores_f, rc_f, mkenv_f = mk () in
   (match Runtime.Kernel.plan_fused rc_f group with
   | None -> Alcotest.fail "group should row-compile"
   | Some fp ->
@@ -776,17 +795,17 @@ let test_cse_plan_engages () =
         (Runtime.Kernel.fused_temp_count fp > 0);
       Alcotest.(check int) "cells"
         (2 * Zpl.Region.size region)
-        (Runtime.Kernel.exec_fused fp ~region));
+        (Runtime.Kernel.exec_fused fp ~env:(mkenv_f ()) ~region));
   Alcotest.(check bool) "CSE'd == per-point (bitwise)" true
     (fingerprint stores_f = fingerprint stores_pt);
   (* --no-cse: zero temps, same bits *)
-  let stores_n, rc_n = mk () in
+  let stores_n, rc_n, mkenv_n = mk () in
   (match Runtime.Kernel.plan_fused ~cse:false rc_n group with
   | None -> Alcotest.fail "group should row-compile without CSE"
   | Some fp ->
       Alcotest.(check int) "no temps under --no-cse" 0
         (Runtime.Kernel.fused_temp_count fp);
-      ignore (Runtime.Kernel.exec_fused fp ~region));
+      ignore (Runtime.Kernel.exec_fused fp ~env:(mkenv_n ()) ~region));
   Alcotest.(check bool) "no-CSE fused == per-point (bitwise)" true
     (fingerprint stores_n = fingerprint stores_pt)
 

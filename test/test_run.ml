@@ -184,6 +184,115 @@ let test_cached_equals_cold_paper_rows () =
     c.Run.Cache.hits
 
 (* ------------------------------------------------------------------ *)
+(* Cached kernel artifact vs fresh compile: the full acceptance grid   *)
+(* ------------------------------------------------------------------ *)
+
+(* An engine minted from a cached artifact executes the kernel programs
+   compiled at plan time (store binding only, no recompilation); a
+   fresh compile builds everything from source. Bit-identical makespans
+   and identical dynamic counters across every benchmark x paper row x
+   interconnect prove the store-binding contract is complete on the
+   whole acceptance surface, not just the tomcatv cell. Problem sizes
+   are clamped the same way the sweep grid clamps them, so the grid
+   stays test-suite cheap. *)
+let test_cached_mint_grid () =
+  let cache = Run.Cache.create () in
+  let topos =
+    [ Machine.Topology.Ideal; Machine.Topology.Mesh; Machine.Topology.Torus ]
+  in
+  List.iter
+    (fun (b : Programs.Bench_def.t) ->
+      let defines =
+        List.map
+          (fun (k, v) ->
+            if k = "iters" then (k, 1.0)
+            else if k = "n" then (k, Float.min v 8.0)
+            else (k, v))
+          b.Programs.Bench_def.test_defines
+      in
+      List.iter
+        (fun (label, config, lib) ->
+          List.iter
+            (fun topo ->
+              let spec =
+                let open Run.Spec in
+                default b.Programs.Bench_def.source
+                |> with_defines defines |> with_config config
+                |> with_target Machine.T3d.machine lib
+                |> with_mesh 2 2 |> with_topology topo
+              in
+              let name =
+                Printf.sprintf "%s/%s/%s" b.Programs.Bench_def.name label
+                  (Machine.Topology.name topo)
+              in
+              let cold = Run.Spec.run spec in
+              let _, hit = Run.Cache.find cache spec in
+              Alcotest.(check bool) (name ^ ": first lookup compiles") false
+                hit;
+              (* minted from the cached artifact: store binding only *)
+              let cached = Run.Cache.run cache spec in
+              Alcotest.(check int64)
+                (name ^ ": makespan bits")
+                (bits cold.Sim.Engine.time)
+                (bits cached.Sim.Engine.time);
+              Alcotest.(check int)
+                (name ^ ": dynamic count")
+                (Sim.Stats.dynamic_count cold.Sim.Engine.stats)
+                (Sim.Stats.dynamic_count cached.Sim.Engine.stats);
+              Alcotest.(check int)
+                (name ^ ": byte count")
+                (Sim.Stats.total_bytes cold.Sim.Engine.stats)
+                (Sim.Stats.total_bytes cached.Sim.Engine.stats))
+            topos)
+        Report.Experiment.paper_rows)
+    Programs.Suite.paper_benchmarks
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state warm sweep: pinned minor-word budget                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Once the plan cache and result memo are primed, a sweep pass is pure
+   lookup: memo key, hashtable probe, row record, one rendered JSON row
+   per item. None of that may mint an engine or compile a kernel — a
+   leak of either shows up as tens of thousands of minor words per
+   spec, so the budget below (with generous headroom over the ~1k words
+   a lookup costs) pins the steady state. The first warm pass is burned
+   as a warm-up so one-time growth (hashtable resizes, buffer growth in
+   the emitter) is not charged to the steady state; [domains:1] keeps
+   the loop on this domain, where [Gc.minor_words] can see it. *)
+let warm_sweep_budget = 4096.0
+
+let test_warm_sweep_allocation () =
+  let sweep = Run.Sweep.create () in
+  let items =
+    List.map
+      (fun (label, config) ->
+        { Run.Sweep.label; spec = Run.Spec.with_config config (base ()) })
+      [ ("baseline", Opt.Config.baseline);
+        ("rr", Opt.Config.rr_only);
+        ("cc", Opt.Config.cc_cum);
+        ("pl", Opt.Config.pl_cum) ]
+  in
+  let n = List.length items in
+  let null = open_out Filename.null in
+  Fun.protect
+    ~finally:(fun () -> close_out null)
+    (fun () ->
+      ignore (Run.Sweep.run ~domains:1 ~out:null sweep items);
+      ignore (Run.Sweep.run ~domains:1 ~out:null sweep items);
+      let w0 = Gc.minor_words () in
+      let steady = Run.Sweep.run ~domains:1 ~out:null sweep items in
+      let per_spec = (Gc.minor_words () -. w0) /. float_of_int n in
+      Alcotest.(check int) "steady pass is all memo hits" n
+        steady.Run.Sweep.memo_hits;
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "steady-state sweep allocates %.0f minor words/spec (budget %.0f)"
+           per_spec warm_sweep_budget)
+        true
+        (per_spec <= warm_sweep_budget))
+
+(* ------------------------------------------------------------------ *)
 (* LRU eviction under a capacity bound                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -317,28 +426,39 @@ let test_sweep_hostile_label () =
         (contains text "\\u0001"))
 
 (* ------------------------------------------------------------------ *)
-(* Legacy one-shot constructor still agrees with plan/of_plans         *)
+(* Engines minted from one plan set are independent and agree bitwise  *)
 (* ------------------------------------------------------------------ *)
 
-let test_legacy_make_back_compat () =
+(* The compiled kernel programs are store-agnostic and shared by every
+   engine minted from one [plans] value; each engine binds its own
+   stores and workspace. Running two mints of the same plan set — and a
+   freshly planned third — must give bit-identical makespans, proving
+   mint-time binding is complete and no mutable state leaks between
+   engines through the shared plans. *)
+let test_shared_plans_mint_twice () =
   let prog = Zpl.Check.compile_string src in
   let flat = Ir.Flat.flatten (Opt.Passes.compile Opt.Config.pl_cum prog) in
-  let legacy =
-    Sim.Engine.run
-      ((Sim.Engine.make [@alert "-legacy"]) ~machine:Machine.T3d.machine
-         ~lib:Machine.T3d.pvm ~pr:2 ~pc:2 flat)
+  let plans =
+    Sim.Engine.plan ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm ~pr:2
+      ~pc:2 flat
   in
-  let split =
+  let first = Sim.Engine.run (Sim.Engine.of_plans plans) in
+  let second = Sim.Engine.run (Sim.Engine.of_plans plans) in
+  let fresh =
     Sim.Engine.run
       (Sim.Engine.of_plans
          (Sim.Engine.plan ~machine:Machine.T3d.machine ~lib:Machine.T3d.pvm
             ~pr:2 ~pc:2 flat))
   in
-  Alcotest.(check int64) "same makespan bits" (bits legacy.Sim.Engine.time)
-    (bits split.Sim.Engine.time);
+  Alcotest.(check int64) "second mint: same makespan bits"
+    (bits first.Sim.Engine.time)
+    (bits second.Sim.Engine.time);
+  Alcotest.(check int64) "fresh plan: same makespan bits"
+    (bits first.Sim.Engine.time)
+    (bits fresh.Sim.Engine.time);
   Alcotest.(check int) "same dynamic count"
-    (Sim.Stats.dynamic_count legacy.Sim.Engine.stats)
-    (Sim.Stats.dynamic_count split.Sim.Engine.stats)
+    (Sim.Stats.dynamic_count first.Sim.Engine.stats)
+    (Sim.Stats.dynamic_count second.Sim.Engine.stats)
 
 let () =
   Alcotest.run "run"
@@ -356,8 +476,13 @@ let () =
       ( "results",
         [ Alcotest.test_case "cached == cold over paper rows" `Quick
             test_cached_equals_cold_paper_rows;
-          Alcotest.test_case "legacy make agrees" `Quick
-            test_legacy_make_back_compat ] );
+          Alcotest.test_case "shared plans mint independent engines" `Quick
+            test_shared_plans_mint_twice;
+          Alcotest.test_case
+            "cached mint == fresh compile (benchmarks x rows x topologies)"
+            `Slow test_cached_mint_grid;
+          Alcotest.test_case "warm sweep within minor-word budget" `Quick
+            test_warm_sweep_allocation ] );
       ( "sweep",
         [ Alcotest.test_case "second pass hits and JSON artifact" `Quick
             test_sweep_second_pass;
